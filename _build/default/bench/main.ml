@@ -1,0 +1,600 @@
+(* Benchmark and experiment harness.
+
+   Regenerates every table and figure of the paper's evaluation
+   (Section 7) — Table 1, Table 2, Figures 9(a), 9(b), 10(a), 10(b) —
+   plus the ablations called out in DESIGN.md and a set of Bechamel
+   microbenchmarks of the compiler passes.
+
+   Usage: dune exec bench/main.exe [-- SECTION...]
+   Sections: table1 table2 fig9a fig9b fig10a fig10b ablate-cluster
+             ablate-tpm ablate-drpm ablate-stripes layout-opt
+             proactive-drpm fusion micro all
+   (default: all). *)
+
+module App = Dp_workloads.App
+module Workloads = Dp_workloads.Workloads
+module Ir = Dp_ir.Ir
+module Striping = Dp_layout.Striping
+module Layout = Dp_layout.Layout
+module Concrete = Dp_dependence.Concrete
+module Cluster = Dp_restructure.Cluster
+module Reuse = Dp_restructure.Reuse_scheduler
+module Generate = Dp_trace.Generate
+module Engine = Dp_disksim.Engine
+module Policy = Dp_disksim.Policy
+module Version = Dp_harness.Version
+module Runner = Dp_harness.Runner
+module Experiments = Dp_harness.Experiments
+module Tabulate = Dp_harness.Tabulate
+
+let ppf = Format.std_formatter
+let section title = Format.printf "@.==================== %s ====================@." title
+
+(* Matrices are shared across sections; compute lazily once. *)
+let matrix_1p =
+  lazy
+    (Experiments.build_matrix ~procs:1
+       ~versions:
+         [ Version.Base; Version.Tpm; Version.Drpm; Version.T_tpm_s; Version.T_drpm_s ]
+       ())
+
+let matrix_4p =
+  lazy (Experiments.build_matrix ~procs:4 ~versions:Version.multi_cpu ())
+
+let table1 () =
+  section "Table 1";
+  Experiments.table1 ppf;
+  Format.printf "@."
+
+let table2 () =
+  section "Table 2";
+  Experiments.table2 ~matrix:(Lazy.force matrix_1p) ppf;
+  Format.printf "@."
+
+let fig9a () =
+  section "Figure 9(a) — energy, 1 CPU";
+  Experiments.fig_energy (Lazy.force matrix_1p) ppf;
+  Format.printf
+    "paper reference (average savings): TPM ~0%%, DRPM 9.95%%, T-TPM-s 8.30%%, T-DRPM-s \
+     18.30%%@."
+
+let fig9b () =
+  section "Figure 9(b) — energy, 4 CPUs";
+  Experiments.fig_energy (Lazy.force matrix_4p) ppf;
+  Format.printf
+    "paper reference (average savings): T-TPM-s 3.84%%, T-DRPM-s 10.66%%, T-TPM-m \
+     11.04%%, T-DRPM-m 18.04%%@."
+
+let fig10a () =
+  section "Figure 10(a) — performance degradation, 1 CPU";
+  Experiments.fig_perf (Lazy.force matrix_1p) ppf;
+  Format.printf
+    "paper reference (averages): TPM ~0%%, DRPM 11.9%%, T-TPM-s 2.1%%, T-DRPM-s 4.7%%@."
+
+let fig10b () =
+  section "Figure 10(b) — performance degradation, 4 CPUs";
+  Experiments.fig_perf (Lazy.force matrix_4p) ppf;
+  Format.printf
+    "paper reference (averages): DRPM 16.8%%, T-TPM-s 4.7%%, T-DRPM-s 8.7%%, T-TPM-m \
+     2.8%%, T-DRPM-m 5.0%%@."
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 5).  Each varies one design choice on a
+   subset of applications, reporting normalized T-DRPM-s / T-TPM-s
+   energy. *)
+
+let ablation_apps = [ "AST"; "RSense 2.0" ]
+
+let contexts =
+  lazy
+    (List.map (fun name -> Runner.context (Option.get (Workloads.by_name name))) ablation_apps)
+
+let restructured_trace ?policy (ctx : Runner.ctx) =
+  let s = Reuse.schedule ?policy ctx.Runner.layout ctx.Runner.app.App.program ctx.Runner.graph in
+  ( Generate.trace ctx.Runner.layout ctx.Runner.app.App.program ctx.Runner.graph
+      (Generate.single_stream ctx.Runner.graph ~order:s.Reuse.order),
+    s )
+
+let base_trace (ctx : Runner.ctx) =
+  Generate.trace ctx.Runner.layout ctx.Runner.app.App.program ctx.Runner.graph
+    (Generate.single_stream ctx.Runner.graph
+       ~order:(Concrete.original_order ctx.Runner.graph))
+
+let normalized (ctx : Runner.ctx) policy trace =
+  let disks = ctx.Runner.layout.Layout.disk_count in
+  let base = Engine.simulate ~disks Policy.No_pm (base_trace ctx) in
+  let r = Engine.simulate ~disks policy trace in
+  r.Engine.energy_j /. base.Engine.energy_j
+
+let ablate_cluster () =
+  section "Ablation — clustering key for multi-disk iterations";
+  let rows =
+    List.map2
+      (fun name ctx ->
+        name
+        :: List.map
+             (fun policy ->
+               let trace, _ = restructured_trace ~policy ctx in
+               Tabulate.fmt_norm (normalized ctx Policy.default_drpm trace))
+             Cluster.all_policies)
+      ablation_apps (Lazy.force contexts)
+  in
+  Tabulate.render ppf
+    ~header:("App (T-DRPM-s energy)" :: List.map Cluster.policy_name Cluster.all_policies)
+    ~rows;
+  Format.printf "@."
+
+let ablate_tpm () =
+  section "Ablation — TPM idleness threshold (x0.5 / x1 / x2 of break-even)";
+  let breakeven = Dp_disksim.Disk_model.ultrastar_36z15.Dp_disksim.Disk_model.tpm_breakeven_s in
+  let factors = [ 0.5; 1.0; 2.0 ] in
+  let rows =
+    List.map2
+      (fun name ctx ->
+        let trace, _ = restructured_trace ctx in
+        name
+        :: List.map
+             (fun f ->
+               Tabulate.fmt_norm
+                 (normalized ctx
+                    (Policy.tpm ~idle_threshold_s:(f *. breakeven) ~proactive:true ())
+                    trace))
+             factors)
+      ablation_apps (Lazy.force contexts)
+  in
+  Tabulate.render ppf
+    ~header:("App (T-TPM-s energy)" :: List.map (Printf.sprintf "x%.1f") factors)
+    ~rows;
+  Format.printf "@."
+
+let ablate_drpm () =
+  section "Ablation — DRPM per-level downshift idleness";
+  let thresholds = [ 500.0; 1_000.0; 2_000.0; 4_000.0 ] in
+  let rows =
+    List.map2
+      (fun name ctx ->
+        let trace, _ = restructured_trace ctx in
+        name
+        :: List.map
+             (fun ms ->
+               Tabulate.fmt_norm
+                 (normalized ctx (Policy.drpm ~downshift_idle_ms:ms ()) trace))
+             thresholds)
+      ablation_apps (Lazy.force contexts)
+  in
+  Tabulate.render ppf
+    ~header:
+      ("App (T-DRPM-s energy)" :: List.map (fun ms -> Printf.sprintf "%.1fs" (ms /. 1000.)) thresholds)
+    ~rows;
+  Format.printf "@."
+
+(* Rebuild an application's layout with a different stripe factor. *)
+let ctx_with_factor (app : App.t) factor =
+  let overrides =
+    List.mapi
+      (fun k (a : Ir.array_decl) ->
+        let row_pages =
+          match a.Ir.dims with [] -> 1 | _ :: rest -> List.fold_left ( * ) 1 rest
+        in
+        let prev = List.assoc a.Ir.name app.App.overrides in
+        let rows = prev.Striping.unit_bytes / (row_pages * App.page_bytes) in
+        ( a.Ir.name,
+          Striping.make
+            ~unit_bytes:(max 1 rows * row_pages * App.page_bytes)
+            ~factor
+            ~start_disk:(k * 2 mod factor) ))
+      app.App.program.Ir.arrays
+  in
+  let layout = Layout.make ~default:app.App.striping ~overrides app.App.program in
+  { Runner.app; layout; graph = Concrete.build app.App.program }
+
+let ablate_stripes () =
+  section "Ablation — stripe factor (number of I/O nodes)";
+  let factors = [ 4; 8; 16 ] in
+  let rows =
+    List.map
+      (fun name ->
+        let app = Option.get (Workloads.by_name name) in
+        name
+        :: List.map
+             (fun f ->
+               let ctx = ctx_with_factor app f in
+               let trace, _ = restructured_trace ctx in
+               Tabulate.fmt_norm (normalized ctx Policy.default_drpm trace))
+             factors)
+      ablation_apps
+  in
+  Tabulate.render ppf
+    ~header:("App (T-DRPM-s energy)" :: List.map (Printf.sprintf "%d disks") factors)
+    ~rows;
+  Format.printf "@."
+
+let ablate_layout_opt () =
+  section "Extension — unified layout optimizer (paper's future work)";
+  let rows =
+    List.map
+      (fun name ->
+        let app = Option.get (Workloads.by_name name) in
+        let g = Concrete.build app.App.program in
+        let res =
+          Dp_restructure.Layout_opt.optimize ~factor:8 ~initial:app.App.overrides
+            app.App.program g
+        in
+        let energy overrides =
+          let layout = Layout.make ~default:app.App.striping ~overrides app.App.program in
+          let ctx = { Runner.app; layout; graph = g } in
+          let trace, _ = restructured_trace ctx in
+          normalized ctx Policy.default_drpm trace
+        in
+        [
+          name;
+          Printf.sprintf "%.3f" res.Dp_restructure.Layout_opt.baseline_cost;
+          Printf.sprintf "%.3f" res.Dp_restructure.Layout_opt.cost;
+          Tabulate.fmt_norm (energy app.App.overrides);
+          Tabulate.fmt_norm (energy res.Dp_restructure.Layout_opt.stripings);
+        ])
+      ablation_apps
+  in
+  Tabulate.render ppf
+    ~header:[ "App"; "cost before"; "cost after"; "T-DRPM-s energy"; "with optimized layout" ]
+    ~rows;
+  Format.printf "@."
+
+let ablate_proactive_drpm () =
+  section "Extension — compiler-directed (proactive) DRPM speed setting";
+  let rows =
+    List.map2
+      (fun name ctx ->
+        let trace, _ = restructured_trace ctx in
+        let cell policy =
+          let disks = ctx.Runner.layout.Layout.disk_count in
+          let base = Engine.simulate ~disks Policy.No_pm (base_trace ctx) in
+          let r = Engine.simulate ~disks policy trace in
+          Printf.sprintf "%s / %+.1f%%"
+            (Tabulate.fmt_norm (r.Engine.energy_j /. base.Engine.energy_j))
+            (100. *. (r.Engine.io_time_ms -. base.Engine.io_time_ms) /. base.Engine.io_time_ms)
+        in
+        [ name; cell Policy.default_drpm; cell (Policy.drpm ~proactive:true ()) ])
+      ablation_apps (Lazy.force contexts)
+  in
+  Tabulate.render ppf
+    ~header:[ "App (T-DRPM-s energy/perf)"; "reactive DRPM"; "proactive DRPM" ]
+    ~rows;
+  Format.printf "@."
+
+let fusion_baseline () =
+  section "Baseline — loop fusion vs disk-reuse restructuring";
+  let rows =
+    List.map2
+      (fun name ctx ->
+        let g = ctx.Runner.graph and prog = ctx.Runner.app.App.program in
+        let table =
+          Cluster.build_table ctx.Runner.layout prog g
+        in
+        let switch order = Reuse.disk_switches table order in
+        let fused = Dp_restructure.Fusion.order prog g in
+        let reuse, _ = ((Reuse.schedule ctx.Runner.layout prog g).Reuse.order, ()) in
+        let energy order =
+          let trace =
+            Generate.trace ctx.Runner.layout prog g (Generate.single_stream g ~order)
+          in
+          Tabulate.fmt_norm (normalized ctx Policy.default_drpm trace)
+        in
+        [
+          name;
+          string_of_int (switch (Concrete.original_order g));
+          string_of_int (switch fused);
+          string_of_int (switch reuse);
+          energy fused;
+          energy reuse;
+        ])
+      ablation_apps (Lazy.force contexts)
+  in
+  Tabulate.render ppf
+    ~header:
+      [ "App"; "switches orig"; "fused"; "reuse"; "E fused+DRPM"; "E reuse+DRPM" ]
+    ~rows;
+  Format.printf
+    "loop fusion cannot reproduce the disk clustering (the paper's Section 6.2 remark)@."
+
+let caching_baseline () =
+  section "Baseline — power-aware caching (PA-LRU) vs restructuring";
+  let rows =
+    List.map2
+      (fun name ctx ->
+        let base = base_trace ctx in
+        let layout = ctx.Runner.layout in
+        let disks = layout.Layout.disk_count in
+        let base_r = Engine.simulate ~disks Policy.No_pm base in
+        let capacity = 2048 (* blocks: a 128 MB storage cache *) in
+        (* Per-disk activity on the base trace, for PA-LRU's priorities. *)
+        let activity = Array.make disks 0.0 in
+        List.iter
+          (fun (r : Dp_trace.Request.t) -> activity.(r.disk) <- activity.(r.disk) +. 1.0)
+          base;
+        let filtered_lru, st_lru =
+          Dp_cache.Filter.apply ~cache:(fun () -> Dp_cache.Lru.create ~capacity ()) base
+        in
+        let filtered_pa, st_pa =
+          Dp_cache.Filter.apply
+            ~cache:(fun () ->
+              Dp_cache.Filter.pa_lru ~capacity
+                ~priority_disk:(fun addr -> Layout.disk_of_address layout addr)
+                ~disk_activity:(fun d -> activity.(d))
+                ())
+            base
+        in
+        let reuse_trace, _ = restructured_trace ctx in
+        let combined, _ =
+          Dp_cache.Filter.apply
+            ~cache:(fun () -> Dp_cache.Lru.create ~capacity ())
+            reuse_trace
+        in
+        let e trace =
+          Tabulate.fmt_norm
+            ((Engine.simulate ~disks Policy.default_drpm trace).Engine.energy_j
+            /. base_r.Engine.energy_j)
+        in
+        [
+          name;
+          Printf.sprintf "%.0f%%" (100. *. st_lru.Dp_cache.Filter.hit_rate);
+          e filtered_lru;
+          Printf.sprintf "%.0f%%" (100. *. st_pa.Dp_cache.Filter.hit_rate);
+          e filtered_pa;
+          e reuse_trace;
+          e combined;
+        ])
+      ablation_apps (Lazy.force contexts)
+  in
+  Tabulate.render ppf
+    ~header:
+      [
+        "App (DRPM energy)"; "LRU hits"; "LRU+DRPM"; "PA-LRU hits"; "PA-LRU+DRPM";
+        "reuse+DRPM"; "reuse+LRU+DRPM";
+      ]
+    ~rows;
+  Format.printf
+    "restructuring composes with caching (the paper: its approach is complementary to \
+     the prior research)@."
+
+let transform_ablation () =
+  section "Extension — row-outermost loop interchange before reuse scheduling";
+  let rows =
+    List.map
+      (fun name ->
+        let app = Option.get (Workloads.by_name name) in
+        let ctx = Runner.context app in
+        let trace, sched = restructured_trace ctx in
+        let prog', changed =
+          Dp_restructure.Transform.normalize_rows_outermost ctx.Runner.layout
+            app.App.program
+        in
+        let ctx' =
+          {
+            Runner.app = { app with App.program = prog' };
+            layout =
+              Layout.make ~default:app.App.striping ~overrides:app.App.overrides prog';
+            graph = Concrete.build prog';
+          }
+        in
+        let trace', sched' = restructured_trace ctx' in
+        (* Both normalized against the ORIGINAL base. *)
+        let disks = ctx.Runner.layout.Layout.disk_count in
+        let base = Engine.simulate ~disks Policy.No_pm (base_trace ctx) in
+        let e trace =
+          Tabulate.fmt_norm
+            ((Engine.simulate ~disks Policy.default_drpm trace).Engine.energy_j
+            /. base.Engine.energy_j)
+        in
+        [
+          name;
+          string_of_int changed;
+          Printf.sprintf "%d" sched.Dp_restructure.Reuse_scheduler.rounds;
+          e trace;
+          Printf.sprintf "%d" sched'.Dp_restructure.Reuse_scheduler.rounds;
+          e trace';
+        ])
+      [ "Visuo"; "SCF 3.0" ]
+  in
+  Tabulate.render ppf
+    ~header:
+      [
+        "App"; "nests interchanged"; "rounds (reuse)"; "E reuse+DRPM";
+        "rounds (ic+reuse)"; "E ic+reuse+DRPM";
+      ]
+    ~rows;
+  Format.printf "@."
+
+let prefetch_baseline () =
+  section "Baseline — energy-aware prefetching (burst shaping) vs restructuring";
+  let rows =
+    List.map2
+      (fun name ctx ->
+        let base = base_trace ctx in
+        let disks = ctx.Runner.layout.Layout.disk_count in
+        let base_r = Engine.simulate ~disks Policy.No_pm base in
+        let e trace =
+          Tabulate.fmt_norm
+            ((Engine.simulate ~disks Policy.default_drpm trace).Engine.energy_j
+            /. base_r.Engine.energy_j)
+        in
+        let bursty d = Dp_cache.Prefetch.apply ~depth:d base in
+        let reuse_trace, _ = restructured_trace ctx in
+        [
+          name;
+          Printf.sprintf "%.2f" (Dp_cache.Prefetch.burstiness base);
+          Printf.sprintf "%.2f" (Dp_cache.Prefetch.burstiness (bursty 32));
+          e (bursty 8);
+          e (bursty 32);
+          e reuse_trace;
+        ])
+      ablation_apps (Lazy.force contexts)
+  in
+  Tabulate.render ppf
+    ~header:
+      [
+        "App (DRPM energy)"; "burstiness base"; "burstiness d=32"; "prefetch d=8";
+        "prefetch d=32"; "reuse";
+      ]
+    ~rows;
+  Format.printf
+    "bursts lengthen gaps on every disk a little; clustering lengthens one disk's gap a lot@."
+
+let two_speed () =
+  section "Ablation — two-speed disks (Carrera et al.) vs full multi-speed DRPM";
+  let rows =
+    List.map2
+      (fun name ctx ->
+        let trace, _ = restructured_trace ctx in
+        [
+          name;
+          Tabulate.fmt_norm (normalized ctx (Policy.drpm ~min_rpm:9000 ()) trace);
+          Tabulate.fmt_norm (normalized ctx Policy.default_drpm trace);
+        ])
+      ablation_apps (Lazy.force contexts)
+  in
+  Tabulate.render ppf
+    ~header:[ "App (T-DRPM-s energy)"; "two-speed (floor 9000)"; "multi-speed (3000)" ]
+    ~rows;
+  Format.printf "@."
+
+let breakdown () =
+  section "Analysis — disk-time decomposition (Base vs T-DRPM-s, 1 CPU)";
+  let rows =
+    List.concat_map
+      (fun ((app : App.t), runs) ->
+        let split (r : Runner.run) =
+          let sum f =
+            Array.fold_left (fun acc d -> acc +. f d) 0.0 r.Runner.result.Engine.per_disk
+          in
+          let busy = sum (fun (d : Engine.disk_stats) -> d.Engine.busy_ms) in
+          let idle = sum (fun (d : Engine.disk_stats) -> d.Engine.idle_ms) in
+          let standby = sum (fun (d : Engine.disk_stats) -> d.Engine.standby_ms) in
+          let trans = sum (fun (d : Engine.disk_stats) -> d.Engine.transition_ms) in
+          let total = busy +. idle +. standby +. trans in
+          List.map
+            (fun v -> Tabulate.fmt_pct (v /. total))
+            [ busy; idle; standby; trans ]
+        in
+        match (List.assoc_opt Version.Base runs, List.assoc_opt Version.T_drpm_s runs) with
+        | Some base, Some reuse ->
+            [
+              (app.App.name ^ " Base") :: split base;
+              (app.App.name ^ " T-DRPM-s") :: split reuse;
+            ]
+        | _ -> [])
+      (Lazy.force matrix_1p)
+  in
+  Tabulate.render ppf ~header:[ "Run"; "busy"; "idle"; "standby"; "transition" ] ~rows;
+  Format.printf
+    "(DRPM idles at reduced speed, so its savings hide inside the idle share; the busy \
+     share is what no disk policy can touch)@."
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the compiler passes. *)
+
+let micro () =
+  section "Microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let app = Option.get (Workloads.by_name "FFT") in
+  let ctx = Runner.context app in
+  let trace = base_trace ctx in
+  let prog = app.App.program in
+  let tests =
+    [
+      Test.make ~name:"dependence-graph build (FFT)"
+        (Staged.stage (fun () -> ignore (Concrete.build prog)));
+      Test.make ~name:"reuse schedule (FFT)"
+        (Staged.stage (fun () ->
+             ignore (Reuse.schedule ctx.Runner.layout prog ctx.Runner.graph)));
+      Test.make ~name:"trace generation (FFT)"
+        (Staged.stage (fun () ->
+             ignore
+               (Generate.trace ctx.Runner.layout prog ctx.Runner.graph
+                  (Generate.single_stream ctx.Runner.graph
+                     ~order:(Concrete.original_order ctx.Runner.graph)))));
+      Test.make ~name:"simulate DRPM (FFT)"
+        (Staged.stage (fun () ->
+             ignore (Engine.simulate ~disks:8 Policy.default_drpm trace)));
+      Test.make ~name:"symbolic per-disk codegen"
+        (Staged.stage (fun () ->
+             let free =
+               Ir.program
+                 [ Ir.array_decl ~elem_size:65536 "u" [ 64; 16 ] ]
+                 [
+                   Ir.nest 0
+                     [
+                       Ir.loop "i" (Dp_affine.Affine.const 0) (Dp_affine.Affine.const 63);
+                       Ir.loop "j" (Dp_affine.Affine.const 0) (Dp_affine.Affine.const 15);
+                     ]
+                     [
+                       Ir.stmt 0
+                         [ Ir.read "u" [ Dp_affine.Affine.var "i"; Dp_affine.Affine.var "j" ] ];
+                     ];
+                 ]
+             in
+             let layout =
+               Layout.make
+                 ~default:(Striping.make ~unit_bytes:(16 * 65536) ~factor:8 ~start_disk:0)
+                 free
+             in
+             ignore (Dp_restructure.Symbolic.restructure layout free)));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let raw = Benchmark.all cfg [ instance ] test in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name result ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Format.printf "%-36s %12.0f ns/run@." name est
+        | _ -> Format.printf "%-36s (no estimate)@." name)
+      results
+  in
+  List.iter (fun t -> benchmark (Test.make_grouped ~name:"" [ t ])) tests
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig9a", fig9a);
+    ("fig10a", fig10a);
+    ("fig9b", fig9b);
+    ("fig10b", fig10b);
+    ("ablate-cluster", ablate_cluster);
+    ("ablate-tpm", ablate_tpm);
+    ("ablate-drpm", ablate_drpm);
+    ("ablate-stripes", ablate_stripes);
+    ("layout-opt", ablate_layout_opt);
+    ("proactive-drpm", ablate_proactive_drpm);
+    ("fusion", fusion_baseline);
+    ("caching", caching_baseline);
+    ("transform", transform_ablation);
+    ("prefetch", prefetch_baseline);
+    ("two-speed", two_speed);
+    ("breakdown", breakdown);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) when not (List.mem "all" args) -> args
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Format.eprintf "unknown section %s (available: %s)@." name
+            (String.concat " " (List.map fst sections));
+          exit 1)
+    requested

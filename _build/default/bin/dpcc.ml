@@ -1,0 +1,341 @@
+(* dpcc — the disk-power compiler driver.
+
+   Loads a program (a [.dpl] source file or a built-in workload via
+   [app:NAME]), and can show the IR and its analyses, print the
+   restructured code, emit an I/O trace, or run the full trace-driven
+   power simulation. *)
+
+module Ir = Dp_ir.Ir
+module Resolver = Dp_lang.Resolver
+module Analysis = Dp_dependence.Analysis
+module Concrete = Dp_dependence.Concrete
+module Striping = Dp_layout.Striping
+module Layout = Dp_layout.Layout
+module Reuse = Dp_restructure.Reuse_scheduler
+module Cluster = Dp_restructure.Cluster
+module Symbolic = Dp_restructure.Symbolic
+module Parallelize = Dp_restructure.Parallelize
+module Generate = Dp_trace.Generate
+module Request = Dp_trace.Request
+module Engine = Dp_disksim.Engine
+module Policy = Dp_disksim.Policy
+module Workloads = Dp_workloads.Workloads
+module App = Dp_workloads.App
+
+let fail fmt = Format.kasprintf (fun s -> raise (Failure s)) fmt
+
+(* A loaded compilation unit: program + layout. *)
+type unit_ = { program : Ir.program; layout : Layout.t; origin : string }
+
+let stripe_of_spec (sp : Dp_lang.Ast.stripe_spec) =
+  Striping.make ~unit_bytes:sp.unit_bytes ~factor:sp.factor ~start_disk:sp.start_disk
+
+let load source =
+  if String.length source > 4 && String.sub source 0 4 = "app:" then begin
+    let name = String.sub source 4 (String.length source - 4) in
+    match Workloads.by_name name with
+    | Some app ->
+        {
+          program = app.App.program;
+          layout =
+            Layout.make ~default:app.App.striping ~overrides:app.App.overrides
+              app.App.program;
+          origin = app.App.name;
+        }
+    | None ->
+        fail "unknown application %s (available: %s)" name
+          (String.concat ", " (Workloads.names ()))
+  end
+  else begin
+    let { Resolver.program; stripes } = Resolver.load_file source in
+    let overrides = List.map (fun (name, sp) -> (name, stripe_of_spec sp)) stripes in
+    { program; layout = Layout.make ~overrides program; origin = source }
+  end
+
+let with_errors f =
+  try f () with
+  | Failure msg | Sys_error msg ->
+      Format.eprintf "dpcc: %s@." msg;
+      exit 1
+  | Dp_lang.Parser.Error (loc, msg) | Dp_lang.Resolver.Error (loc, msg) ->
+      Format.eprintf "dpcc: %a: %s@." Dp_lang.Srcloc.pp loc msg;
+      exit 1
+  | Dp_lang.Lexer.Error (loc, msg) ->
+      Format.eprintf "dpcc: %a: %s@." Dp_lang.Srcloc.pp loc msg;
+      exit 1
+  | Symbolic.Unsupported msg ->
+      Format.eprintf "dpcc: symbolic restructuring unsupported: %s@." msg;
+      exit 1
+
+(* --- show --- *)
+
+let show source deps =
+  with_errors (fun () ->
+      let u = load source in
+      Format.printf "// %s@.%a@." u.origin Ir.pp_program u.program;
+      Format.printf "%a@." Layout.pp u.layout;
+      if deps then
+        List.iter
+          (fun (n : Ir.nest) ->
+            let ds = Analysis.nest_dependences n in
+            Format.printf "nest %d: %d dependence(s)@." n.Ir.nest_id (List.length ds);
+            List.iter (fun d -> Format.printf "  %a@." Analysis.pp_dep d) ds;
+            match Analysis.outermost_parallel_loop n with
+            | Some k -> Format.printf "  outermost parallel loop: depth %d@." k
+            | None -> Format.printf "  no parallelizable loop@.")
+          u.program.Ir.nests)
+
+(* --- restructure --- *)
+
+let restructure source symbolic =
+  with_errors (fun () ->
+      let u = load source in
+      if symbolic then begin
+        let ds = Symbolic.restructure u.layout u.program in
+        Format.printf "%a@." Symbolic.pp ds
+      end
+      else begin
+        let g = Concrete.build u.program in
+        let s = Reuse.schedule u.layout u.program g in
+        let table = Cluster.build_table u.layout u.program g in
+        Format.printf
+          "restructured %d iterations in %d round(s), %d disk visit(s)@."
+          (Array.length s.Reuse.order) s.Reuse.rounds (List.length s.Reuse.visits);
+        Format.printf "disk switches: %d original -> %d restructured@."
+          (Reuse.disk_switches table (Concrete.original_order g))
+          (Reuse.disk_switches table s.Reuse.order);
+        List.iter
+          (fun (d, n) -> Format.printf "  visit disk %d: %d iterations@." d n)
+          s.Reuse.visits
+      end)
+
+(* --- shared pipeline pieces --- *)
+
+let streams u ~procs ~restructured =
+  let g = Concrete.build u.program in
+  let segs =
+    if procs = 1 then
+      if restructured then
+        Generate.single_stream g ~order:(Reuse.schedule u.layout u.program g).Reuse.order
+      else Generate.single_stream g ~order:(Concrete.original_order g)
+    else begin
+      let disks = u.layout.Layout.disk_count in
+      if restructured then begin
+        let a = Parallelize.layout_aware u.layout u.program g ~procs in
+        Generate.reordered_segments a ~order_of_proc:(fun p ->
+            (Reuse.schedule_subset u.layout u.program g
+               ~start_disk:(p * disks / procs)
+               ~member:(fun seq -> a.Parallelize.owner.(seq) = p))
+              .Reuse.order)
+      end
+      else Generate.original_segments u.program g (Parallelize.conventional u.program g ~procs)
+    end
+  in
+  (g, segs)
+
+let trace source output procs restructured gaps =
+  with_errors (fun () ->
+      let u = load source in
+      let g, segs = streams u ~procs ~restructured in
+      let reqs = Generate.trace u.layout u.program g segs in
+      (match output with
+      | Some path -> Request.save path reqs
+      | None when not gaps ->
+          List.iter (fun r -> Format.printf "%a@." Request.pp r) reqs
+      | None -> ());
+      if gaps then begin
+        let h = Dp_trace.Idle_stats.of_requests reqs in
+        Format.printf "%a" Dp_trace.Idle_stats.pp h;
+        Format.printf "TPM-exploitable idle (>= 15.2 s gaps): %.0f s@."
+          (Dp_trace.Idle_stats.exploitable_mass_s h ~threshold_s:15.2)
+      end;
+      let s = Generate.summarize reqs in
+      Format.eprintf "%d requests, %.1f MB, makespan %.1f s, io fraction %.1f%%@."
+        s.Generate.requests
+        (float_of_int s.Generate.bytes /. 1024. /. 1024.)
+        (s.Generate.makespan_ms /. 1000.)
+        (100. *. Generate.io_fraction s))
+
+let policy_of_string = function
+  | "none" | "base" -> Policy.No_pm
+  | "tpm" -> Policy.default_tpm
+  | "tpm-proactive" -> Policy.tpm ~proactive:true ()
+  | "drpm" -> Policy.default_drpm
+  | p -> fail "unknown policy %s (none | tpm | tpm-proactive | drpm)" p
+
+let simulate source procs restructured policy_name per_disk timeline =
+  with_errors (fun () ->
+      let u = load source in
+      let g, segs = streams u ~procs ~restructured in
+      let reqs = Generate.trace u.layout u.program g segs in
+      let policy = policy_of_string policy_name in
+      let r =
+        Engine.simulate ~record_timeline:timeline ~disks:u.layout.Layout.disk_count policy
+          reqs
+      in
+      Format.printf "policy %s: energy %.1f J, disk I/O time %.1f s, makespan %.1f s@."
+        r.Engine.policy r.Engine.energy_j
+        (r.Engine.io_time_ms /. 1000.)
+        (r.Engine.makespan_ms /. 1000.);
+      if per_disk then
+        Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk;
+      (match r.Engine.timeline with
+      | Some t ->
+          print_string
+            (Dp_disksim.Timeline.render ~model:Dp_disksim.Disk_model.ultrastar_36z15
+               ~until_ms:r.Engine.makespan_ms t)
+      | None -> ());
+      (* Also report against the no-PM baseline on the same trace. *)
+      if policy <> Policy.No_pm then begin
+        let base = Engine.simulate ~disks:u.layout.Layout.disk_count Policy.No_pm reqs in
+        Format.printf "normalized energy vs no-PM on this trace: %.3f@."
+          (r.Engine.energy_j /. base.Engine.energy_j)
+      end)
+
+(* --- report: the version matrix for one program --- *)
+
+let report source procs json_path =
+  with_errors (fun () ->
+      let u = load source in
+      let app =
+        (* Wrap the unit as an App so the harness runner drives it. *)
+        {
+          App.name = u.origin;
+          description = u.origin;
+          program = u.program;
+          striping = Striping.default;
+          overrides =
+            List.map
+              (fun (e : Layout.entry) -> (e.Layout.decl.Ir.name, e.Layout.striping))
+              u.layout.Layout.entries;
+          paper_data_gb = 0.0;
+          paper_requests = 0;
+          paper_base_energy_j = 0.0;
+          paper_io_time_ms = 0.0;
+        }
+      in
+      let versions =
+        if procs = 1 then Dp_harness.Version.single_cpu else Dp_harness.Version.multi_cpu
+      in
+      let matrix = Dp_harness.Experiments.build_matrix ~apps:[ app ] ~procs ~versions () in
+      Dp_harness.Experiments.fig_energy matrix Format.std_formatter;
+      Dp_harness.Experiments.fig_perf matrix Format.std_formatter;
+      match json_path with
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_matrix matrix));
+              output_char oc '\n')
+      | None -> ())
+
+(* --- emit --- *)
+
+let emit source output =
+  with_errors (fun () ->
+      let u = load source in
+      let stripes =
+        List.map
+          (fun (e : Layout.entry) ->
+            (e.Layout.decl.Ir.name, Dp_lang.Emit.stripe_spec e.Layout.striping))
+          u.layout.Layout.entries
+      in
+      let text = Dp_lang.Emit.to_string ~stripes u.program in
+      match output with
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+      | None -> print_string text)
+
+(* --- cmdliner wiring --- *)
+
+open Cmdliner
+
+let source_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"PROG" ~doc:"A .dpl source file, or app:NAME for a built-in workload")
+
+let procs_arg =
+  Arg.(value & opt int 1 & info [ "procs"; "p" ] ~docv:"N" ~doc:"Number of processors")
+
+let restructured_arg =
+  Arg.(
+    value & flag
+    & info [ "restructure"; "t" ]
+        ~doc:"Apply disk-reuse restructuring (layout-aware when --procs > 1)")
+
+let show_cmd =
+  let deps = Arg.(value & flag & info [ "deps" ] ~doc:"Also print dependence analysis") in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Parse a program and print its IR, layout and analyses")
+    Term.(const show $ source_arg $ deps)
+
+let restructure_cmd =
+  let symbolic =
+    Arg.(
+      value & flag
+      & info [ "symbolic" ]
+          ~doc:
+            "Emit the omega-lite transformed loop nests (dependence-free programs only) \
+             instead of the concrete schedule summary")
+  in
+  Cmd.v
+    (Cmd.info "restructure" ~doc:"Print the disk-reuse restructuring of a program")
+    Term.(const restructure $ source_arg $ symbolic)
+
+let trace_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file")
+  in
+  let gaps =
+    Arg.(value & flag & info [ "gaps" ] ~doc:"Print the per-disk idle-gap histogram")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Generate the timed I/O request trace of a program")
+    Term.(const trace $ source_arg $ output $ procs_arg $ restructured_arg $ gaps)
+
+let simulate_cmd =
+  let policy =
+    Arg.(
+      value & opt string "none"
+      & info [ "policy" ] ~docv:"P" ~doc:"none | tpm | tpm-proactive | drpm")
+  in
+  let per_disk = Arg.(value & flag & info [ "per-disk" ] ~doc:"Print per-disk statistics") in
+  let timeline =
+    Arg.(value & flag & info [ "timeline" ] ~doc:"Render the per-disk power-state chart")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run the trace-driven disk power simulation")
+    Term.(
+      const simulate $ source_arg $ procs_arg $ restructured_arg $ policy $ per_disk
+      $ timeline)
+
+let report_cmd =
+  let json =
+    Arg.(
+      value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Also write JSON results")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Run the full version matrix for a program and print figures")
+    Term.(const report $ source_arg $ procs_arg $ json)
+
+let emit_cmd =
+  let output =
+    Arg.(
+      value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file")
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Emit a program back as .dpl source (with its striping)")
+    Term.(const emit $ source_arg $ output)
+
+let () =
+  let info =
+    Cmd.info "dpcc" ~version:"1.0.0"
+      ~doc:"Compiler-guided disk power reduction (CGO 2006 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ show_cmd; restructure_cmd; trace_cmd; simulate_cmd; emit_cmd; report_cmd ]))

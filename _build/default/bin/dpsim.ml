@@ -1,0 +1,80 @@
+(* dpsim — trace-driven disk power simulator.
+
+   Replays a trace file (as produced by [dpcc trace -o ...]) against a
+   disk configuration and power-management policy, and reports energy and
+   performance statistics. *)
+
+module Request = Dp_trace.Request
+module Engine = Dp_disksim.Engine
+module Policy = Dp_disksim.Policy
+module Disk_model = Dp_disksim.Disk_model
+
+open Cmdliner
+
+let run trace_file disks policy_name threshold proactive window downshift per_disk =
+  try
+    let reqs = Request.load trace_file in
+    let policy =
+      match policy_name with
+      | "none" | "base" -> Policy.No_pm
+      | "tpm" -> Policy.tpm ?idle_threshold_s:threshold ~proactive ()
+      | "drpm" ->
+          Policy.drpm ?window_size:window ?downshift_idle_ms:downshift ()
+      | p ->
+          Format.eprintf "dpsim: unknown policy %s@." p;
+          exit 1
+    in
+    let r = Engine.simulate ~disks policy reqs in
+    Format.printf "trace: %s (%d requests)@." trace_file (List.length reqs);
+    Format.printf "model: %s@." Disk_model.ultrastar_36z15.Disk_model.name;
+    Format.printf "policy %s: energy %.1f J, disk I/O time %.1f s, makespan %.1f s@."
+      r.Engine.policy r.Engine.energy_j
+      (r.Engine.io_time_ms /. 1000.)
+      (r.Engine.makespan_ms /. 1000.);
+    if per_disk then
+      Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk
+  with
+  | Sys_error msg | Failure msg ->
+      Format.eprintf "dpsim: %s@." msg;
+      exit 1
+  | Invalid_argument msg ->
+      Format.eprintf "dpsim: %s@." msg;
+      exit 1
+
+let () =
+  let trace_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file")
+  in
+  let disks =
+    Arg.(value & opt int 8 & info [ "disks"; "d" ] ~docv:"N" ~doc:"Number of I/O nodes")
+  in
+  let policy =
+    Arg.(value & opt string "none" & info [ "policy" ] ~docv:"P" ~doc:"none | tpm | drpm")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "tpm-threshold" ] ~docv:"SECONDS" ~doc:"TPM idleness threshold")
+  in
+  let proactive =
+    Arg.(value & flag & info [ "proactive" ] ~doc:"Compiler-directed TPM spin-up")
+  in
+  let window =
+    Arg.(value & opt (some int) None & info [ "drpm-window" ] ~docv:"N" ~doc:"DRPM window size")
+  in
+  let downshift =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "drpm-downshift-ms" ] ~docv:"MS" ~doc:"Idle time per DRPM level decrease")
+  in
+  let per_disk = Arg.(value & flag & info [ "per-disk" ] ~doc:"Print per-disk statistics") in
+  let cmd =
+    Cmd.v
+      (Cmd.info "dpsim" ~version:"1.0.0" ~doc:"Trace-driven multi-disk power simulator")
+      Term.(
+        const run $ trace_file $ disks $ policy $ threshold $ proactive $ window $ downshift
+        $ per_disk)
+  in
+  exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/layout_tuning.ml: Dp_dependence Dp_disksim Dp_ir Dp_layout Dp_restructure Dp_trace Dp_workloads Format List Option

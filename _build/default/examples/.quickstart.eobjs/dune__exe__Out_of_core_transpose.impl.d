@@ -1,0 +1,1 @@
+examples/out_of_core_transpose.ml: Dp_ir Dp_lang Dp_layout Dp_polyhedra Dp_restructure Filename Format List String Sys

@@ -1,0 +1,1 @@
+examples/parallel_cholesky.ml: Array Dp_dependence Dp_disksim Dp_harness Dp_ir Dp_layout Dp_restructure Dp_workloads Format List Option

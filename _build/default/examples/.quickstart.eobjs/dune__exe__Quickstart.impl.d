@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dp_affine Dp_dependence Dp_disksim Dp_ir Dp_layout Dp_restructure Dp_trace Format List

@@ -1,0 +1,1 @@
+examples/trace_anatomy.ml: Dp_dependence Dp_harness Dp_restructure Dp_trace Dp_workloads Filename Format List Option Sys

@@ -1,0 +1,1 @@
+lib/affine/affine.ml: Format Hashtbl List Option Stdlib String

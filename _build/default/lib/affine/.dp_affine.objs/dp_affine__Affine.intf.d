@@ -1,0 +1,1 @@
+lib/affine/affine.mli: Format

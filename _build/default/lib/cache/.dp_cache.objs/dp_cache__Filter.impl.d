@@ -1,0 +1,1 @@
+lib/cache/filter.ml: Dp_ir Dp_trace Float Hashtbl List Lru Option

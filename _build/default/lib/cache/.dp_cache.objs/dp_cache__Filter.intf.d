@@ -1,0 +1,1 @@
+lib/cache/filter.mli: Dp_trace Lru

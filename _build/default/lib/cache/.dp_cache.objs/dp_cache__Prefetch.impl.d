@@ -1,0 +1,1 @@
+lib/cache/prefetch.ml: Dp_ir Dp_trace Hashtbl List

@@ -1,0 +1,53 @@
+module Request = Dp_trace.Request
+module Ir = Dp_ir.Ir
+
+type stats = { before : int; after : int; hit_rate : float }
+
+let apply ~cache ?(hit_cost_ms = 0.05) reqs =
+  (* One cache and one pending-think accumulator per processor.  The
+     global order of [reqs] preserves each processor's order, so a
+     single pass suffices. *)
+  let caches = Hashtbl.create 4 in
+  let pending = Hashtbl.create 4 in
+  let cache_of proc =
+    match Hashtbl.find_opt caches proc with
+    | Some c -> c
+    | None ->
+        let c = cache () in
+        Hashtbl.add caches proc c;
+        c
+  in
+  let survivors = ref [] in
+  let before = ref 0 in
+  List.iter
+    (fun (r : Request.t) ->
+      incr before;
+      let c = cache_of r.proc in
+      let carried = Option.value ~default:0.0 (Hashtbl.find_opt pending r.proc) in
+      let hit = Lru.access c r.address in
+      if hit && r.mode = Ir.Read then
+        (* Absorbed: its think time (plus the cheap hit) carries over. *)
+        Hashtbl.replace pending r.proc (carried +. r.think_ms +. hit_cost_ms)
+      else begin
+        Hashtbl.replace pending r.proc 0.0;
+        survivors := { r with think_ms = r.think_ms +. carried } :: !survivors
+      end)
+    reqs;
+  let survivors = List.rev !survivors in
+  let hits, total =
+    Hashtbl.fold (fun _ c (h, t) -> (h + Lru.hits c, t + Lru.hits c + Lru.misses c)) caches (0, 0)
+  in
+  ( survivors,
+    {
+      before = !before;
+      after = List.length survivors;
+      hit_rate = (if total = 0 then 0.0 else float_of_int hits /. float_of_int total);
+    } )
+
+let pa_lru ?tail_window ~capacity ~priority_disk ~disk_activity () =
+  (* Prefer evicting the block on the busier disk: keeping quiet disks'
+     blocks cached extends their idle periods. *)
+  let prefer a b =
+    Float.compare (disk_activity (priority_disk a)) (disk_activity (priority_disk b))
+  in
+  Lru.create ?tail_window ~policy:(Lru.Prefer prefer) ~capacity ()

@@ -1,0 +1,44 @@
+module Request = Dp_trace.Request
+
+(** Storage-cache filtering of an I/O trace: the OS/storage-cache layer
+    the related work operates in (Zhu et al., Papathanasiou & Scott).
+    Hits are absorbed by the cache — the request never reaches a disk —
+    and their think time folds into the next miss of the same processor,
+    preserving the closed-loop timeline.
+
+    Write policy is write-through-allocate: writes always reach the disk
+    (they are never filtered) but install the block, so later reads of a
+    freshly written block hit. *)
+
+type stats = {
+  before : int;  (** requests entering the cache layer *)
+  after : int;  (** requests surviving to the disks *)
+  hit_rate : float;
+}
+
+val apply :
+  cache:(unit -> Lru.t) ->
+  ?hit_cost_ms:float ->
+  Request.t list ->
+  Request.t list * stats
+(** [apply ~cache reqs] runs the trace through one cache instance per
+    processor (client-side caches, as in the paper's storage nodes being
+    exercised by a single application).  [cache] builds a fresh cache;
+    [hit_cost_ms] (default 0.05) is the service time of a hit, folded
+    into the following request's think time.  The result preserves the
+    per-processor order and the segment structure. *)
+
+(** {1 Power-aware victim selection (PA-LRU, after Zhu et al. HPCA'04)} *)
+
+val pa_lru :
+  ?tail_window:int ->
+  capacity:int ->
+  priority_disk:(Lru.key -> int) ->
+  disk_activity:(int -> float) ->
+  unit ->
+  Lru.t
+(** A cache whose eviction prefers blocks living on {e active} disks
+    (high [disk_activity], a rate in accesses/s or any monotone proxy):
+    blocks from mostly-idle disks stay cached, so those disks see even
+    fewer interruptions and can stay in low-power modes longer — the
+    PA-LRU idea.  [priority_disk] maps a block key to its disk. *)

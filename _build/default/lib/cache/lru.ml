@@ -1,0 +1,104 @@
+type key = int
+
+type victim_policy = Lru | Prefer of (key -> key -> int)
+
+(* Doubly-linked list of blocks, most recent at the head, plus a
+   hashtable from key to node. *)
+type node = {
+  key : key;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  cap : int;
+  tail_window : int;
+  policy : victim_policy;
+  table : (key, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+  mutable count : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ?(tail_window = 16) ?(policy = Lru) ~capacity () =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  if tail_window < 1 then invalid_arg "Lru.create: tail_window must be >= 1";
+  {
+    cap = capacity;
+    tail_window;
+    policy;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    count = 0;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let capacity t = t.cap
+let size t = t.count
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let remove t n =
+  unlink t n;
+  Hashtbl.remove t.table n.key;
+  t.count <- t.count - 1
+
+(* The LRU-tail window, least recent first. *)
+let tail_candidates t =
+  let rec walk acc k = function
+    | None -> List.rev acc
+    | Some n -> if k = 0 then List.rev acc else walk (n :: acc) (k - 1) n.prev
+  in
+  walk [] t.tail_window t.tail
+
+let evict t =
+  match t.policy with
+  | Lru -> ( match t.tail with Some n -> remove t n | None -> ())
+  | Prefer cmp -> (
+      match tail_candidates t with
+      | [] -> ()
+      | first :: rest ->
+          (* Maximize cmp; ties keep the least recent (the earlier
+             candidate). *)
+          let victim =
+            List.fold_left (fun best n -> if cmp n.key best.key > 0 then n else best) first rest
+          in
+          remove t victim)
+
+let access t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      t.hit_count <- t.hit_count + 1;
+      unlink t n;
+      push_front t n;
+      true
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      if t.count >= t.cap then evict t;
+      let n = { key = k; prev = None; next = None } in
+      Hashtbl.add t.table k n;
+      push_front t n;
+      t.count <- t.count + 1;
+      false
+
+let mem t k = Hashtbl.mem t.table k
+let hits t = t.hit_count
+let misses t = t.miss_count
+
+let hit_rate t =
+  let total = t.hit_count + t.miss_count in
+  if total = 0 then 0.0 else float_of_int t.hit_count /. float_of_int total

@@ -1,0 +1,37 @@
+(** A block-granularity storage-cache simulator with pluggable victim
+    selection — the substrate for the power-aware caching baselines of
+    the paper's related work (Zhu et al., HPCA'04 / ICS'04).
+
+    Keys are block identifiers (here: page-aligned global addresses).
+    The default victim is the least-recently-used block; a policy may
+    instead pick any block out of the LRU tail window it is offered. *)
+
+type key = int
+
+type victim_policy =
+  | Lru  (** evict the least-recently-used block *)
+  | Prefer of (key -> key -> int)
+      (** offered the LRU tail window (least recent first), evict the
+          block that maximizes the comparison (a [compare]-style
+          function; ties fall back to recency) *)
+
+type t
+
+val create : ?tail_window:int -> ?policy:victim_policy -> capacity:int -> unit -> t
+(** [capacity] is in blocks (>= 1); [tail_window] is how deep into the
+    LRU tail a [Prefer] policy may look (default 16). *)
+
+val capacity : t -> int
+val size : t -> int
+
+val access : t -> key -> bool
+(** Touch a block: [true] on hit (block promoted to most recent),
+    [false] on miss (block inserted, evicting per the policy when
+    full). *)
+
+val mem : t -> key -> bool
+(** Presence without promotion. *)
+
+val hits : t -> int
+val misses : t -> int
+val hit_rate : t -> float

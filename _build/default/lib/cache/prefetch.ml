@@ -1,0 +1,68 @@
+module Request = Dp_trace.Request
+module Ir = Dp_ir.Ir
+
+let apply ~depth reqs =
+  if depth < 1 then invalid_arg "Prefetch.apply: depth must be >= 1";
+  if depth = 1 then reqs
+  else begin
+    (* Process per (processor, segment) runs; the global list preserves
+       per-processor order, so partition and reassemble. *)
+    let module Key = struct
+      type t = int * int
+
+      let equal = ( = )
+      let hash = Hashtbl.hash
+    end in
+    let module H = Hashtbl.Make (Key) in
+    let runs : Request.t list ref H.t = H.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun (r : Request.t) ->
+        let key = (r.proc, r.seg) in
+        match H.find_opt runs key with
+        | Some cell -> cell := r :: !cell
+        | None ->
+            H.add runs key (ref [ r ]);
+            order := key :: !order)
+      reqs;
+    let reshape run =
+      (* Walk the run, batching reads; a write flushes the current
+         batch.  Within a batch the head carries the accumulated think
+         time and the rest issue immediately. *)
+      let out = ref [] in
+      let batch = ref [] (* reversed *) in
+      let flush () =
+        (match List.rev !batch with
+        | [] -> ()
+        | head :: tail ->
+            let think =
+              List.fold_left (fun acc (r : Request.t) -> acc +. r.Request.think_ms) 0.0 !batch
+            in
+            out := { head with Request.think_ms = think } :: !out;
+            List.iter (fun r -> out := { r with Request.think_ms = 0.0 } :: !out) tail);
+        batch := []
+      in
+      List.iter
+        (fun (r : Request.t) ->
+          match r.Request.mode with
+          | Ir.Write ->
+              flush ();
+              out := r :: !out
+          | Ir.Read ->
+              batch := r :: !batch;
+              if List.length !batch >= depth then flush ())
+        run;
+      flush ();
+      List.rev !out
+    in
+    List.concat_map (fun key -> reshape (List.rev !(H.find runs key))) (List.rev !order)
+  end
+
+let burstiness reqs =
+  match reqs with
+  | [] -> 0.0
+  | _ ->
+      let zero =
+        List.length (List.filter (fun (r : Request.t) -> r.Request.think_ms < 1e-3) reqs)
+      in
+      float_of_int zero /. float_of_int (List.length reqs)

@@ -1,0 +1,23 @@
+module Request = Dp_trace.Request
+
+(** Energy-aware prefetching (after Papathanasiou & Scott, USENIX'04):
+    "create burst access patterns, rather than spreading disk accesses
+    over the entire execution time."
+
+    The transformation groups each processor's read requests into bursts
+    of [depth]: the whole burst is issued where its first member was
+    (the members' think times collapse onto the burst head), so the disk
+    serves back-to-back and then sees the combined gap.  Writes are
+    barriers — a burst never moves a read across a write by the same
+    processor (the data might not exist yet). *)
+
+val apply : depth:int -> Request.t list -> Request.t list
+(** Reshape a trace.  [depth >= 1]; [depth = 1] is the identity.
+    Per-processor order of requests is preserved; only think times move
+    (the total per-processor think time is conserved), so the closed-loop
+    timeline stays consistent.
+    @raise Invalid_argument if [depth < 1]. *)
+
+val burstiness : Request.t list -> float
+(** A simple burst measure: the fraction of requests whose think time is
+    (near) zero — higher after prefetching. *)

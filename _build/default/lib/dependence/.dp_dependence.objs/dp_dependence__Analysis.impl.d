@@ -1,0 +1,1 @@
+lib/dependence/analysis.ml: Array Dep_tests Depvec Dp_affine Dp_ir Dp_util Format Linear_solve List Option

@@ -1,0 +1,1 @@
+lib/dependence/analysis.mli: Depvec Dp_ir Format

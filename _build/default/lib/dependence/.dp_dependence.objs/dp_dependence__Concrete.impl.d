@@ -1,0 +1,1 @@
+lib/dependence/concrete.ml: Array Dp_ir Dp_util Format Fun Hashtbl List

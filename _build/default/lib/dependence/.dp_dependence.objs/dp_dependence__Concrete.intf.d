@@ -1,0 +1,1 @@
+lib/dependence/concrete.mli: Dp_ir Dp_util

@@ -1,0 +1,1 @@
+lib/dependence/dep_tests.mli:

@@ -1,0 +1,1 @@
+lib/dependence/depvec.ml: Dp_util Format List

@@ -1,0 +1,1 @@
+lib/dependence/depvec.mli: Format

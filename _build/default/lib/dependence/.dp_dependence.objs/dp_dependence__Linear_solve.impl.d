@@ -1,0 +1,1 @@
+lib/dependence/linear_solve.ml: Array Depvec Dp_util

@@ -1,0 +1,1 @@
+lib/dependence/linear_solve.mli: Depvec

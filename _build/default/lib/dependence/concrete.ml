@@ -1,0 +1,138 @@
+module Ir = Dp_ir.Ir
+
+type instance = { seq : int; nest_id : int; iter : Dp_util.Ivec.t }
+
+type graph = {
+  instances : instance array;
+  preds : int array array;
+  succs : int array array;
+}
+
+(* Dense element keys: arrays get consecutive base offsets, an element's
+   key is base + row-major linear index.  Subscripts may run out of the
+   declared bounds (the IR does not forbid it); such accesses are hashed
+   into the same space modulo the array size, which is conservative. *)
+type elem_space = {
+  base_of_array : (string, int * int array) Hashtbl.t;
+      (* name -> (base offset, dimension extents) *)
+  total : int;
+}
+
+let make_elem_space (prog : Ir.program) =
+  let base_of_array = Hashtbl.create 8 in
+  let next = ref 0 in
+  List.iter
+    (fun (a : Ir.array_decl) ->
+      Hashtbl.add base_of_array a.name (!next, Array.of_list a.dims);
+      next := !next + Ir.array_elems a)
+    prog.arrays;
+  { base_of_array; total = !next }
+
+let elem_key space array coords =
+  let base, dims = Hashtbl.find space.base_of_array array in
+  let n = Array.length dims in
+  let lin = ref 0 in
+  List.iteri
+    (fun k c ->
+      if k < n then begin
+        let extent = dims.(k) in
+        let c = ((c mod extent) + extent) mod extent in
+        lin := (!lin * extent) + c
+      end)
+    coords;
+  base + !lin
+
+let build (prog : Ir.program) =
+  (match Ir.validate prog with
+  | Ok () -> ()
+  | Error (e :: _) ->
+      invalid_arg (Format.asprintf "Concrete.build: invalid program: %a" Ir.pp_error e)
+  | Error [] -> ());
+  let space = make_elem_space prog in
+  (* Pass 1: enumerate instances and count remaining writes per element,
+     so reader lists are only kept while a future write can consume them. *)
+  let instances = ref [] in
+  let count = ref 0 in
+  let writes_left = Array.make space.total 0 in
+  List.iter
+    (fun (n : Ir.nest) ->
+      Ir.iter_nest n (fun iter ->
+          let seq = !count in
+          incr count;
+          instances := { seq; nest_id = n.nest_id; iter } :: !instances;
+          List.iter
+            (fun ((r : Ir.array_ref), coords) ->
+              if r.mode = Ir.Write then
+                let k = elem_key space r.array coords in
+                writes_left.(k) <- writes_left.(k) + 1)
+            (Ir.element_accesses n iter)))
+    prog.nests;
+  let n_inst = !count in
+  let instances = Array.of_list (List.rev !instances) in
+  (* Pass 2: scan accesses in order, recording edges. *)
+  let last_writer = Array.make space.total (-1) in
+  let readers : int list array = Array.make space.total [] in
+  let pred_lists : int list array = Array.make n_inst [] in
+  let add_edge src dst =
+    if src >= 0 && src <> dst then pred_lists.(dst) <- src :: pred_lists.(dst)
+  in
+  let next_seq = ref 0 in
+  List.iter
+    (fun (n : Ir.nest) ->
+      Ir.iter_nest n (fun iter ->
+          let seq = !next_seq in
+          incr next_seq;
+          assert (Dp_util.Ivec.equal instances.(seq).iter iter);
+          List.iter
+            (fun ((r : Ir.array_ref), coords) ->
+              let k = elem_key space r.array coords in
+              match r.mode with
+              | Ir.Read ->
+                  add_edge last_writer.(k) seq;
+                  if writes_left.(k) > 0 then readers.(k) <- seq :: readers.(k)
+              | Ir.Write ->
+                  add_edge last_writer.(k) seq;
+                  List.iter (fun rd -> add_edge rd seq) readers.(k);
+                  readers.(k) <- [];
+                  last_writer.(k) <- seq;
+                  writes_left.(k) <- writes_left.(k) - 1)
+            (Ir.element_accesses n iter)))
+    prog.nests;
+  let preds =
+    Array.map
+      (fun l -> Array.of_list (List.sort_uniq compare l))
+      pred_lists
+  in
+  let succ_lists : int list array = Array.make n_inst [] in
+  Array.iteri
+    (fun dst ps -> Array.iter (fun src -> succ_lists.(src) <- dst :: succ_lists.(src)) ps)
+    preds;
+  let succs = Array.map (fun l -> Array.of_list (List.sort compare l)) succ_lists in
+  { instances; preds; succs }
+
+let instance_count g = Array.length g.instances
+let edge_count g = Array.fold_left (fun acc p -> acc + Array.length p) 0 g.preds
+
+let is_legal_order g order =
+  let n = Array.length g.instances in
+  if Array.length order <> n then false
+  else begin
+    let position = Array.make n (-1) in
+    let ok = ref true in
+    Array.iteri
+      (fun pos seq ->
+        if seq < 0 || seq >= n || position.(seq) >= 0 then ok := false
+        else position.(seq) <- pos)
+      order;
+    !ok
+    && Array.for_all (fun p -> p >= 0) position
+    &&
+    let legal = ref true in
+    Array.iteri
+      (fun dst ps ->
+        Array.iter (fun src -> if position.(src) >= position.(dst) then legal := false) ps)
+      g.preds;
+    !legal
+  end
+
+let original_order g = Array.init (Array.length g.instances) Fun.id

@@ -1,0 +1,37 @@
+module Ir = Dp_ir.Ir
+
+(** Concrete, program-wide dependence graph at iteration-instance
+    granularity.
+
+    The Fig.-3 restructuring algorithm schedules individual loop
+    iterations drawn from {e all} the nests of a program, so it needs
+    dependences between iteration instances, including across nests.
+    This module builds them exactly, by scanning every array-element
+    access in original execution order and recording flow, anti and
+    output edges (reads never depend on reads).
+
+    Instances are identified by their position in original execution
+    order ([seq]); iterating nests in program order and iterations in
+    lexicographic order recovers them. *)
+
+type instance = { seq : int; nest_id : int; iter : Dp_util.Ivec.t }
+
+type graph = {
+  instances : instance array;  (** indexed by [seq] *)
+  preds : int array array;  (** [preds.(s)]: sorted dependence sources of [s] *)
+  succs : int array array;  (** inverse of [preds] *)
+}
+
+val build : Ir.program -> graph
+(** @raise Invalid_argument if the program fails {!Ir.validate}. *)
+
+val instance_count : graph -> int
+val edge_count : graph -> int
+
+val is_legal_order : graph -> int array -> bool
+(** [is_legal_order g order] checks that [order] (a permutation of
+    [0 .. n-1] listing [seq] ids in their new execution order) schedules
+    every instance after all of its dependence predecessors.  Also
+    verifies that [order] is a permutation. *)
+
+val original_order : graph -> int array

@@ -1,0 +1,24 @@
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+let gcd_test ~coeffs ~rhs =
+  let g = List.fold_left gcd 0 coeffs in
+  if g = 0 then rhs = 0 else rhs mod g = 0
+
+let banerjee_test ~bounds ~coeffs ~rhs =
+  if List.length bounds <> List.length coeffs then
+    invalid_arg "banerjee_test: bounds/coeffs length mismatch";
+  let lo, hi =
+    List.fold_left2
+      (fun (lo, hi) c (blo, bhi) ->
+        if c >= 0 then (lo + (c * blo), hi + (c * bhi))
+        else (lo + (c * bhi), hi + (c * blo)))
+      (0, 0) coeffs bounds
+  in
+  rhs >= lo && rhs <= hi
+
+let may_depend ?(bounds = None) ~coeffs ~rhs () =
+  gcd_test ~coeffs ~rhs
+  &&
+  match bounds with
+  | Some b -> banerjee_test ~bounds:b ~coeffs ~rhs
+  | None -> true

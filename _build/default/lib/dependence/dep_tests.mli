@@ -1,0 +1,18 @@
+(** Classic scalar dependence existence tests (Banerjee-style), used as
+    fallbacks when a reference pair is not uniformly generated. *)
+
+val gcd_test : coeffs:int list -> rhs:int -> bool
+(** May the equation [sum coeffs.(i) * x_i = rhs] have an integer
+    solution?  True iff [gcd coeffs] divides [rhs] (with the all-zero
+    coefficient case requiring [rhs = 0]). *)
+
+val banerjee_test :
+  bounds:(int * int) list -> coeffs:int list -> rhs:int -> bool
+(** Range test: may the equation have a solution with each [x_i] inside
+    its inclusive [bounds]?  True iff [rhs] lies between the minimum and
+    maximum of the linear form over the box.  [coeffs] and [bounds] must
+    have equal length. *)
+
+val may_depend :
+  ?bounds:(int * int) list option -> coeffs:int list -> rhs:int -> unit -> bool
+(** GCD test, refined by the Banerjee range test when bounds are known. *)

@@ -1,0 +1,71 @@
+module Rat = Dp_util.Rat
+
+type outcome = No_solution | Classified of Depvec.entry list
+
+let solve ~rows ~rhs =
+  let m = Array.length rows in
+  let n = if m = 0 then 0 else Array.length rows.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> n then invalid_arg "solve: ragged rows")
+    rows;
+  if Array.length rhs <> m then invalid_arg "solve: rhs length mismatch";
+  (* Augmented rational matrix, column n holds the right-hand side. *)
+  let a =
+    Array.init m (fun i ->
+        Array.init (n + 1) (fun j ->
+            Rat.of_int (if j = n then rhs.(i) else rows.(i).(j))))
+  in
+  let pivot_col_of_row = Array.make m (-1) in
+  let row = ref 0 in
+  for col = 0 to n - 1 do
+    if !row < m then begin
+      (* Find a pivot in this column at or below !row. *)
+      let pivot = ref (-1) in
+      for i = !row to m - 1 do
+        if !pivot = -1 && Rat.sign a.(i).(col) <> 0 then pivot := i
+      done;
+      if !pivot >= 0 then begin
+        let p = !pivot in
+        let tmp = a.(p) in
+        a.(p) <- a.(!row);
+        a.(!row) <- tmp;
+        let inv = Rat.inv a.(!row).(col) in
+        for j = col to n do
+          a.(!row).(j) <- Rat.mul a.(!row).(j) inv
+        done;
+        for i = 0 to m - 1 do
+          if i <> !row && Rat.sign a.(i).(col) <> 0 then begin
+            let f = a.(i).(col) in
+            for j = col to n do
+              a.(i).(j) <- Rat.sub a.(i).(j) (Rat.mul f a.(!row).(j))
+            done
+          end
+        done;
+        pivot_col_of_row.(!row) <- col;
+        incr row
+      end
+    end
+  done;
+  (* Inconsistency: a zero row with nonzero rhs. *)
+  let inconsistent = ref false in
+  for i = !row to m - 1 do
+    if Rat.sign a.(i).(n) <> 0 then inconsistent := true
+  done;
+  if !inconsistent then No_solution
+  else begin
+    let entries = Array.make n Depvec.Any in
+    let fractional = ref false in
+    for i = 0 to !row - 1 do
+      let col = pivot_col_of_row.(i) in
+      let alone = ref true in
+      for j = 0 to n - 1 do
+        if j <> col && Rat.sign a.(i).(j) <> 0 then alone := false
+      done;
+      if !alone then begin
+        let v = a.(i).(n) in
+        if Rat.is_int v then entries.(col) <- Depvec.Dist (Rat.num v)
+        else fractional := true
+      end
+    done;
+    if !fractional then No_solution else Classified (Array.to_list entries)
+  end

@@ -1,0 +1,18 @@
+(** Integer linear-system classification used by the distance-vector
+    extraction: given [A d = b], decide whether integer solutions may
+    exist and which unknowns they pin down. *)
+
+type outcome =
+  | No_solution  (** The system has no integer solution. *)
+  | Classified of Depvec.entry list
+      (** One entry per unknown: [Dist v] when every solution assigns [v]
+          to that unknown, [Any] when the unknown is free or entangled
+          with others. *)
+
+val solve : rows:int array array -> rhs:int array -> outcome
+(** [solve ~rows ~rhs] classifies the solutions of [rows . d = rhs].
+    All rows must have equal length (the number of unknowns).
+    Implemented by rational Gauss-Jordan elimination; a pivot row whose
+    only nonzero coefficient is its pivot pins its unknown (rejecting the
+    system when the pinned value is fractional); any other unknown is
+    reported [Any]. *)

@@ -1,0 +1,1 @@
+lib/disksim/disk_model.mli: Format

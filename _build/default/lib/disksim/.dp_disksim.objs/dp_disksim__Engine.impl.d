@@ -1,0 +1,1 @@
+lib/disksim/engine.ml: Array Disk_model Dp_trace Float Format List Policy Printf Timeline

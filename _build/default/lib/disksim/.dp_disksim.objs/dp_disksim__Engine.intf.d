@@ -1,0 +1,1 @@
+lib/disksim/engine.mli: Disk_model Dp_trace Format Policy Timeline

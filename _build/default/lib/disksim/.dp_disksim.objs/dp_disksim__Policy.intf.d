@@ -1,0 +1,1 @@
+lib/disksim/policy.mli:

@@ -1,0 +1,1 @@
+lib/disksim/timeline.ml: Array Buffer Char Disk_model Float List Printf

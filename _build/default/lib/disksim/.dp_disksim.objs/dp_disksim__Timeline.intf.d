@@ -1,0 +1,1 @@
+lib/disksim/timeline.mli: Disk_model

@@ -1,0 +1,480 @@
+module Request = Dp_trace.Request
+
+type disk_stats = {
+  disk : int;
+  requests : int;
+  energy_j : float;
+  busy_ms : float;
+  idle_ms : float;
+  standby_ms : float;
+  transition_ms : float;
+  spin_downs : int;
+  spin_ups : int;
+  speed_changes : int;
+  response_ms_total : float;
+  response_ms_max : float;
+  last_completion_ms : float;
+}
+
+type result = {
+  policy : string;
+  per_disk : disk_stats array;
+  energy_j : float;
+  io_time_ms : float;
+  makespan_ms : float;
+  timeline : Timeline.t option;
+}
+
+(* Mutable per-disk simulation state. *)
+type disk_state = {
+  id : int;
+  mutable now : float;  (* time up to which the timeline is accounted *)
+  mutable rpm : int;  (* current rotation speed (DRPM); rpm_max otherwise *)
+  mutable reqs : int;
+  mutable energy : float;
+  mutable busy : float;
+  mutable idle : float;
+  mutable standby : float;
+  mutable transition : float;
+  mutable downs : int;
+  mutable ups : int;
+  mutable shifts : int;
+  mutable resp_total : float;
+  mutable resp_max : float;
+  (* DRPM window accounting *)
+  mutable win_count : int;
+  mutable win_resp : float;
+  mutable win_nominal : float;
+  mutable last_end : int;  (* address right after the previous request; -1 initially *)
+  record : bool;
+  mutable segs : Timeline.segment list;  (* reversed *)
+}
+
+let make_state ?(record = false) model id =
+  {
+    id;
+    now = 0.0;
+    rpm = model.Disk_model.rpm_max;
+    reqs = 0;
+    energy = 0.0;
+    busy = 0.0;
+    idle = 0.0;
+    standby = 0.0;
+    transition = 0.0;
+    downs = 0;
+    ups = 0;
+    shifts = 0;
+    resp_total = 0.0;
+    resp_max = 0.0;
+    win_count = 0;
+    win_resp = 0.0;
+    win_nominal = 0.0;
+    last_end = -1;
+    record;
+    segs = [];
+  }
+
+let ms_of_s s = s *. 1000.0
+let energy_j_of ~watts ~ms = watts *. ms /. 1000.0
+
+let record_span st ~start ~stop state =
+  if st.record && stop > start then
+    st.segs <- { Timeline.start_ms = start; stop_ms = stop; state } :: st.segs
+
+let spend_idle model st ms =
+  if ms > 0.0 then begin
+    st.idle <- st.idle +. ms;
+    st.energy <- st.energy +. energy_j_of ~watts:(Disk_model.idle_power_w model ~rpm:st.rpm) ~ms;
+    record_span st ~start:st.now ~stop:(st.now +. ms) (Timeline.Idle st.rpm);
+    st.now <- st.now +. ms
+  end
+
+let spend_standby model st ms =
+  if ms > 0.0 then begin
+    st.standby <- st.standby +. ms;
+    st.energy <- st.energy +. energy_j_of ~watts:model.Disk_model.power_standby_w ~ms;
+    record_span st ~start:st.now ~stop:(st.now +. ms) Timeline.Standby;
+    st.now <- st.now +. ms
+  end
+
+(* --- gap handling: advance the state from st.now to [until] --- *)
+
+let gap_no_pm model st ~until = if until > st.now then spend_idle model st (until -. st.now)
+
+(* TPM: idle up to the threshold, then spin down (13 J / 1.5 s), stay in
+   standby.  Returns [true] when the disk ends the gap spun down. *)
+let gap_tpm model (cfg : Policy.tpm_config) st ~until =
+  let gap = until -. st.now in
+  if gap <= 0.0 then false
+  else begin
+    let threshold = ms_of_s cfg.Policy.idle_threshold_s in
+    if gap <= threshold then begin
+      spend_idle model st gap;
+      false
+    end
+    else begin
+      spend_idle model st threshold;
+      (* Spin down. *)
+      let sd_ms = ms_of_s model.Disk_model.spin_down_s in
+      st.transition <- st.transition +. Float.min sd_ms (until -. st.now);
+      st.energy <- st.energy +. model.Disk_model.spin_down_j;
+      st.downs <- st.downs + 1;
+      record_span st ~start:st.now ~stop:(st.now +. sd_ms) Timeline.Transition;
+      st.now <- st.now +. sd_ms;
+      (* If the next arrival lands inside the spin-down, st.now already
+         passed [until]; the standby span is empty. *)
+      if until > st.now then spend_standby model st (until -. st.now);
+      true
+    end
+  end
+
+(* Compiler-directed TPM (proactive): the schedule is known, so when the
+   predicted gap can absorb a full spin-down/spin-up cycle the disk spins
+   down immediately and the spin-up completes exactly at the next
+   arrival; otherwise the disk just idles.  No reactive stall. *)
+let gap_tpm_proactive model (cfg : Policy.tpm_config) st ~until ~terminal =
+  let gap = until -. st.now in
+  if gap <= 0.0 then ()
+  else begin
+    let sd_ms = ms_of_s model.Disk_model.spin_down_s in
+    let su_ms = ms_of_s model.Disk_model.spin_up_s in
+    let threshold =
+      Float.max (ms_of_s cfg.Policy.idle_threshold_s) (sd_ms +. su_ms)
+    in
+    if gap <= threshold then spend_idle model st gap
+    else begin
+      st.transition <- st.transition +. sd_ms;
+      st.energy <- st.energy +. model.Disk_model.spin_down_j;
+      st.downs <- st.downs + 1;
+      record_span st ~start:st.now ~stop:(st.now +. sd_ms) Timeline.Transition;
+      st.now <- st.now +. sd_ms;
+      if terminal then begin
+        (* No next request: stay in standby to the end of the window. *)
+        if until > st.now then spend_standby model st (until -. st.now)
+      end
+      else begin
+        spend_standby model st (until -. su_ms -. st.now);
+        st.transition <- st.transition +. su_ms;
+        st.energy <- st.energy +. model.Disk_model.spin_up_j;
+        st.ups <- st.ups + 1;
+        record_span st ~start:st.now ~stop:until Timeline.Transition;
+        st.now <- until
+      end
+    end
+  end
+
+(* DRPM: step the speed down one level per [downshift_idle_ms] of
+   continuous idleness (plus the transition itself), then idle at the
+   reached speed. *)
+let drpm_shift model st ~rpm_to =
+  let ms = ms_of_s (Disk_model.drpm_level_transition_s model) in
+  st.transition <- st.transition +. ms;
+  st.energy <- st.energy +. Disk_model.drpm_transition_j model ~rpm_from:st.rpm ~rpm_to;
+  record_span st ~start:st.now ~stop:(st.now +. ms) Timeline.Transition;
+  st.now <- st.now +. ms;
+  st.rpm <- rpm_to;
+  st.shifts <- st.shifts + 1
+
+let drpm_floor model (cfg : Policy.drpm_config) =
+  match cfg.Policy.min_rpm with
+  | Some r -> max r model.Disk_model.rpm_min
+  | None -> model.Disk_model.rpm_min
+
+let gap_drpm model (cfg : Policy.drpm_config) st ~until =
+  let continue = ref true in
+  let first = ref true in
+  let floor_rpm = drpm_floor model cfg in
+  while !continue do
+    let remaining = until -. st.now in
+    let next_rpm = st.rpm - model.Disk_model.rpm_step in
+    (* Hysteresis against thrash: the first downshift of a gap waits
+       twice the per-level idle threshold. *)
+    let wait =
+      if !first then 2.0 *. cfg.Policy.downshift_idle_ms else cfg.Policy.downshift_idle_ms
+    in
+    if
+      next_rpm >= floor_rpm
+      && remaining >= wait +. ms_of_s (Disk_model.drpm_level_transition_s model)
+    then begin
+      spend_idle model st wait;
+      drpm_shift model st ~rpm_to:next_rpm;
+      first := false
+    end
+    else continue := false
+  done;
+  if until > st.now then spend_idle model st (until -. st.now)
+
+(* Compiler-directed DRPM (proactive): the gap's speed trajectory is
+   planned — drop straight to the deepest level whose down-and-up round
+   trip (plus a dwell of one downshift threshold) fits the gap, idle
+   there, and be back at full speed exactly at the next arrival. *)
+let gap_drpm_proactive model (cfg : Policy.drpm_config) st ~until ~terminal =
+  let gap = until -. st.now in
+  if gap <= 0.0 then ()
+  else begin
+    let step_ms = ms_of_s (Disk_model.drpm_level_transition_s model) in
+    let max_levels = (st.rpm - drpm_floor model cfg) / model.Disk_model.rpm_step in
+    let fits levels =
+      let ramp = float_of_int levels *. step_ms in
+      gap >= (2.0 *. ramp) +. cfg.Policy.downshift_idle_ms
+    in
+    let rec deepest l = if l > 0 && not (fits l) then deepest (l - 1) else l in
+    let levels = deepest max_levels in
+    if levels = 0 then spend_idle model st gap
+    else begin
+      let top = st.rpm in
+      let low = st.rpm - (levels * model.Disk_model.rpm_step) in
+      (* Ramp down... *)
+      let rec down () =
+        if st.rpm > low then begin
+          drpm_shift model st ~rpm_to:(st.rpm - model.Disk_model.rpm_step);
+          down ()
+        end
+      in
+      down ();
+      if terminal then begin
+        (* No next request: stay low to the end of the window. *)
+        if until > st.now then spend_idle model st (until -. st.now)
+      end
+      else begin
+        (* ...idle at the floor, then ramp up to finish at [until]. *)
+        let ramp_up = float_of_int levels *. step_ms in
+        if until -. ramp_up > st.now then spend_idle model st (until -. ramp_up -. st.now);
+        let rec up () =
+          if st.rpm < top then begin
+            drpm_shift model st ~rpm_to:(st.rpm + model.Disk_model.rpm_step);
+            up ()
+          end
+        in
+        up ();
+        st.now <- Float.max st.now until
+      end
+    end
+  end
+
+(* --- servicing --- *)
+
+let serve model st ~arrival ~lba ~bytes ~rpm =
+  let seek_distance = if st.last_end < 0 then max_int else lba - st.last_end in
+  let start = Float.max arrival st.now in
+  (* The disk is idle between st.now and a later start only when it was
+     left ready before the arrival; gap handlers already advanced st.now
+     to the arrival for gaps, so any remainder here is spin-up overhang
+     (st.now > arrival) or zero. *)
+  if start > st.now then spend_idle model st (start -. st.now);
+  let service = Disk_model.service_ms ~seek_distance model ~rpm ~bytes in
+  st.last_end <- lba + bytes;
+  st.busy <- st.busy +. service;
+  st.energy <- st.energy +. energy_j_of ~watts:(Disk_model.active_power_w model ~rpm) ~ms:service;
+  record_span st ~start:st.now ~stop:(st.now +. service) Timeline.Busy;
+  st.now <- st.now +. service;
+  let response = st.now -. arrival in
+  st.reqs <- st.reqs + 1;
+  st.resp_total <- st.resp_total +. response;
+  if response > st.resp_max then st.resp_max <- response;
+  response
+
+(* DRPM window bookkeeping: after [window_size] requests compare the
+   window's average response with its full-speed service average and
+   shift up one level on degradation beyond the tolerance. *)
+let drpm_window model (cfg : Policy.drpm_config) st ~response ~nominal =
+  st.win_count <- st.win_count + 1;
+  st.win_resp <- st.win_resp +. response;
+  st.win_nominal <- st.win_nominal +. nominal;
+  if st.win_count >= cfg.Policy.window_size then begin
+    let avg = st.win_resp /. float_of_int st.win_count in
+    let nominal = st.win_nominal /. float_of_int st.win_count in
+    (* On degradation beyond the tolerance the controller orders the
+       disk back to full speed (Gurumurthi et al.). *)
+    if avg > cfg.Policy.tolerance *. nominal && st.rpm < model.Disk_model.rpm_max then begin
+      drpm_shift model st ~rpm_to:model.Disk_model.rpm_max;
+      st.ups <- st.ups + 1
+    end;
+    st.win_count <- 0;
+    st.win_resp <- 0.0;
+    st.win_nominal <- 0.0
+  end
+
+(* Serve request [r] issued at [issue] (closed-loop actual time).
+   Returns the response time. *)
+let handle_request model policy st (r : Request.t) ~issue =
+  match policy with
+  | Policy.No_pm ->
+      if issue > st.now then gap_no_pm model st ~until:issue;
+      serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size
+        ~rpm:model.Disk_model.rpm_max
+  | Policy.Tpm cfg when cfg.Policy.proactive ->
+      if issue > st.now then gap_tpm_proactive model cfg st ~until:issue ~terminal:false;
+      serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size
+        ~rpm:model.Disk_model.rpm_max
+  | Policy.Tpm cfg ->
+      let spun_down = if issue > st.now then gap_tpm model cfg st ~until:issue else false in
+      if spun_down then begin
+        (* Reactive spin-up: starts at the arrival (or at the end of an
+           in-flight spin-down), delays the service. *)
+        let su_ms = ms_of_s model.Disk_model.spin_up_s in
+        st.now <- Float.max st.now issue;
+        st.transition <- st.transition +. su_ms;
+        st.energy <- st.energy +. model.Disk_model.spin_up_j;
+        st.ups <- st.ups + 1;
+        record_span st ~start:st.now ~stop:(st.now +. su_ms) Timeline.Transition;
+        st.now <- st.now +. su_ms
+      end;
+      serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size
+        ~rpm:model.Disk_model.rpm_max
+  | Policy.Drpm cfg ->
+      if issue > st.now then begin
+        if cfg.Policy.proactive then
+          gap_drpm_proactive model cfg st ~until:issue ~terminal:false
+        else gap_drpm model cfg st ~until:issue
+      end;
+      let seek_distance = if st.last_end < 0 then max_int else r.lba - st.last_end in
+      let nominal =
+        Disk_model.service_ms ~seek_distance model ~rpm:model.Disk_model.rpm_max
+          ~bytes:r.size
+      in
+      let response =
+        serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size ~rpm:st.rpm
+      in
+      (* Ramp back toward full speed one level per serviced request: RPM
+         transitions overlap servicing (the low-overhead dynamic-RPM
+         design of Gurumurthi et al.), so only the energy is charged. *)
+      if st.rpm < model.Disk_model.rpm_max then begin
+        let rpm_to = st.rpm + model.Disk_model.rpm_step in
+        st.energy <- st.energy +. Disk_model.drpm_transition_j model ~rpm_from:st.rpm ~rpm_to;
+        st.rpm <- rpm_to;
+        st.shifts <- st.shifts + 1;
+        if rpm_to = model.Disk_model.rpm_max then st.ups <- st.ups + 1
+      end;
+      drpm_window model cfg st ~response ~nominal;
+      response
+
+(* Trailing window: account the timeline from the last completion to the
+   global makespan, with no arrival to terminate the gap. *)
+let handle_trailing model policy st ~until =
+  if until > st.now then begin
+    match policy with
+    | Policy.No_pm -> gap_no_pm model st ~until
+    | Policy.Tpm cfg when cfg.Policy.proactive ->
+        gap_tpm_proactive model cfg st ~until ~terminal:true
+    | Policy.Tpm cfg -> ignore (gap_tpm model cfg st ~until)
+    | Policy.Drpm cfg when cfg.Policy.proactive ->
+        gap_drpm_proactive model cfg st ~until ~terminal:true
+    | Policy.Drpm cfg -> gap_drpm model cfg st ~until
+  end;
+  (* A TPM spin-down may overshoot [until]; clamp for reporting. *)
+  if st.now > until then st.now <- until
+
+let stats_of_state st ~last_completion =
+  {
+    disk = st.id;
+    requests = st.reqs;
+    energy_j = st.energy;
+    busy_ms = st.busy;
+    idle_ms = st.idle;
+    standby_ms = st.standby;
+    transition_ms = st.transition;
+    spin_downs = st.downs;
+    spin_ups = st.ups;
+    speed_changes = st.shifts;
+    response_ms_total = st.resp_total;
+    response_ms_max = st.resp_max;
+    last_completion_ms = last_completion;
+  }
+
+(* Closed-loop simulation: each processor replays its request stream in
+   order, issuing a request [think_ms] after its previous completion.
+   Segment barriers synchronize all processors.  Disks are FIFO in issue
+   order; their power trajectory over each inter-arrival gap is decided
+   by the policy. *)
+let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ~disks policy
+    reqs =
+  if disks < 1 then invalid_arg "Engine.simulate: disks must be >= 1";
+  List.iter
+    (fun (r : Request.t) ->
+      if r.disk < 0 || r.disk >= disks then
+        invalid_arg (Printf.sprintf "Engine.simulate: request on disk %d of %d" r.disk disks))
+    reqs;
+  let reqs = List.sort Request.compare_arrival reqs in
+  let n_proc =
+    1 + List.fold_left (fun acc (r : Request.t) -> max acc r.proc) (-1) reqs
+  in
+  let n_seg = 1 + List.fold_left (fun acc (r : Request.t) -> max acc r.seg) 0 reqs in
+  (* Per (segment, proc) queues, preserving per-proc issue order. *)
+  let queues : Request.t list array array =
+    Array.init n_seg (fun _ -> Array.make (max n_proc 1) [])
+  in
+  List.iter (fun (r : Request.t) -> queues.(r.seg).(r.proc) <- r :: queues.(r.seg).(r.proc)) reqs;
+  Array.iter
+    (fun per_proc -> Array.iteri (fun p q -> per_proc.(p) <- List.rev q) per_proc)
+    queues;
+  let states = Array.init disks (make_state ~record:record_timeline model) in
+  let last_completion = Array.make disks 0.0 in
+  let clocks = Array.make (max n_proc 1) 0.0 in
+  for seg = 0 to n_seg - 1 do
+    let pending = Array.copy queues.(seg) in
+    let next_issue p =
+      match pending.(p) with
+      | [] -> infinity
+      | r :: _ -> clocks.(p) +. r.Request.think_ms
+    in
+    let rec step () =
+      (* Pick the processor with the earliest next issue time. *)
+      let best = ref (-1) and best_t = ref infinity in
+      for p = 0 to n_proc - 1 do
+        let t = next_issue p in
+        if t < !best_t then begin
+          best := p;
+          best_t := t
+        end
+      done;
+      if !best >= 0 then begin
+        let p = !best in
+        match pending.(p) with
+        | [] -> assert false
+        | r :: rest ->
+            pending.(p) <- rest;
+            let st = states.(r.Request.disk) in
+            let response = handle_request model policy st r ~issue:!best_t in
+            ignore response;
+            clocks.(p) <- !best_t +. response;
+            last_completion.(r.Request.disk) <- st.now;
+            step ()
+      end
+    in
+    step ();
+    (* Fork-join barrier. *)
+    let latest = Array.fold_left max 0.0 clocks in
+    Array.fill clocks 0 (Array.length clocks) latest
+  done;
+  let makespan = Array.fold_left max 0.0 last_completion in
+  Array.iter (fun st -> handle_trailing model policy st ~until:makespan) states;
+  let per_disk =
+    Array.mapi (fun d st -> stats_of_state st ~last_completion:last_completion.(d)) states
+  in
+  {
+    policy = Policy.name policy;
+    per_disk;
+    energy_j = Array.fold_left (fun acc (s : disk_stats) -> acc +. s.energy_j) 0.0 per_disk;
+    io_time_ms =
+      Array.fold_left (fun acc (s : disk_stats) -> acc +. s.response_ms_total) 0.0 per_disk;
+    makespan_ms = makespan;
+    timeline =
+      (if record_timeline then Some (Array.map (fun st -> List.rev st.segs) states)
+       else None);
+  }
+
+let pp_disk_stats ppf s =
+  Format.fprintf ppf
+    "disk %d: %d reqs, %.1f J, busy %.0f ms, idle %.0f ms, standby %.0f ms, trans %.0f ms, \
+     %d downs, %d ups, %d shifts, resp avg %.2f ms max %.2f ms"
+    s.disk s.requests s.energy_j s.busy_ms s.idle_ms s.standby_ms s.transition_ms
+    s.spin_downs s.spin_ups s.speed_changes
+    (if s.requests = 0 then 0.0 else s.response_ms_total /. float_of_int s.requests)
+    s.response_ms_max
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>policy %s: energy %.1f J, io time %.1f ms, makespan %.1f ms@,%a@]"
+    r.policy r.energy_j r.io_time_ms r.makespan_ms
+    (Format.pp_print_list pp_disk_stats)
+    (Array.to_list r.per_disk)

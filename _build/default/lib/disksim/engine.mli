@@ -1,0 +1,52 @@
+module Request = Dp_trace.Request
+
+(** Trace-driven multi-disk simulation engine.
+
+    Requests are served per I/O node in FIFO arrival order (arrival times
+    are fixed by the trace — open-loop, as in the paper's setup).  For
+    every inter-request gap the active policy decides the node's power
+    trajectory (stay idle, spin down, or shift rotation speed); energy is
+    integrated over the full timeline of every node up to the global
+    makespan, so savings on one node are never hidden by activity on
+    another. *)
+
+type disk_stats = {
+  disk : int;
+  requests : int;
+  energy_j : float;
+  busy_ms : float;  (** time servicing requests *)
+  idle_ms : float;  (** powered-up idle (at whatever speed) *)
+  standby_ms : float;
+  transition_ms : float;  (** spin-up/down / speed-change time *)
+  spin_downs : int;
+  spin_ups : int;
+  speed_changes : int;
+  response_ms_total : float;
+  response_ms_max : float;
+  last_completion_ms : float;
+}
+
+type result = {
+  policy : string;
+  per_disk : disk_stats array;
+  energy_j : float;
+  io_time_ms : float;  (** sum of request response times, the paper's
+                           "disk I/O time" performance metric *)
+  makespan_ms : float;
+  timeline : Timeline.t option;  (** present when requested *)
+}
+
+val simulate :
+  ?model:Disk_model.t ->
+  ?record_timeline:bool ->
+  disks:int ->
+  Policy.t ->
+  Request.t list ->
+  result
+(** Simulate a trace on [disks] I/O nodes under a policy.  Requests whose
+    [disk] is outside [0, disks) raise [Invalid_argument].  The request
+    list need not be sorted.  [record_timeline] (default false) keeps the
+    per-disk power-state segments for {!Timeline.render}. *)
+
+val pp_result : Format.formatter -> result -> unit
+val pp_disk_stats : Format.formatter -> disk_stats -> unit

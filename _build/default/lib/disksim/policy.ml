@@ -1,0 +1,27 @@
+type tpm_config = { idle_threshold_s : float; proactive : bool }
+
+type drpm_config = {
+  window_size : int;
+  downshift_idle_ms : float;
+  tolerance : float;
+  proactive : bool;
+  min_rpm : int option;
+}
+
+type t = No_pm | Tpm of tpm_config | Drpm of drpm_config
+
+let tpm ?(idle_threshold_s = Disk_model.ultrastar_36z15.Disk_model.tpm_breakeven_s)
+    ?(proactive = false) () =
+  Tpm { idle_threshold_s; proactive }
+
+let drpm ?(window_size = 100) ?(downshift_idle_ms = 1_000.0) ?(tolerance = 1.15)
+    ?(proactive = false) ?min_rpm () =
+  Drpm { window_size; downshift_idle_ms; tolerance; proactive; min_rpm }
+
+let default_tpm = tpm ()
+let default_drpm = drpm ()
+
+let name = function
+  | No_pm -> "none"
+  | Tpm _ -> "TPM"
+  | Drpm _ -> "DRPM"

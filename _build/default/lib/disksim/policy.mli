@@ -1,0 +1,50 @@
+(** Disk power-management policies (Section 4): none, traditional
+    spin-down (TPM), and dynamic speed setting (DRPM). *)
+
+type tpm_config = {
+  idle_threshold_s : float;
+      (** continuous idleness before spinning down; defaults to the
+          disk's break-even time (Table 1: 15.2 s) *)
+  proactive : bool;
+      (** compiler-directed mode (Son et al., IPDPS'05 — the machinery
+          the paper's restructured versions run on): the compiler knows
+          the disk access schedule, so it spins a disk down at the start
+          of an idle period it predicts to be long enough, and issues the
+          spin-up early so the disk is back at full speed exactly when
+          the next request arrives — no reactive spin-up stall. *)
+}
+
+type drpm_config = {
+  window_size : int;  (** requests per response-time window (Table 1: 100) *)
+  downshift_idle_ms : float;
+      (** continuous idleness consumed per one-level speed decrease *)
+  tolerance : float;
+      (** upshift one level when a window's average response time exceeds
+          [tolerance] x its full-speed service average *)
+  proactive : bool;
+      (** compiler-directed speed setting: with the schedule known, a
+          gap's speed trajectory is planned so the disk drops straight to
+          the deepest level whose round trip fits and is back at full
+          speed exactly when the next request arrives — every request is
+          then served at full speed. *)
+  min_rpm : int option;
+      (** floor below which the controller never drops; [Some 9000] with
+          the Ultrastar's levels gives the two-speed architecture of
+          Carrera et al. (ICS'03) that the paper cites as a DRPM
+          alternative.  [None]: the drive's minimum. *)
+}
+
+type t = No_pm | Tpm of tpm_config | Drpm of drpm_config
+
+val default_tpm : t
+val default_drpm : t
+val tpm : ?idle_threshold_s:float -> ?proactive:bool -> unit -> t
+val drpm :
+  ?window_size:int ->
+  ?downshift_idle_ms:float ->
+  ?tolerance:float ->
+  ?proactive:bool ->
+  ?min_rpm:int ->
+  unit ->
+  t
+val name : t -> string

@@ -1,0 +1,69 @@
+type state = Busy | Idle of int | Standby | Transition
+type segment = { start_ms : float; stop_ms : float; state : state }
+type t = segment list array
+
+let char_of_state model = function
+  | Busy -> '#'
+  | Transition -> '~'
+  | Standby -> '_'
+  | Idle rpm ->
+      let level =
+        (rpm - model.Disk_model.rpm_min) / model.Disk_model.rpm_step
+      in
+      Char.chr (Char.code '0' + max 0 (min 9 level))
+
+let render ?(width = 96) ~model ~until_ms t =
+  if until_ms <= 0.0 then ""
+  else begin
+    let buf = Buffer.create ((width + 16) * Array.length t) in
+    let slot_ms = until_ms /. float_of_int width in
+    Array.iteri
+      (fun d segs ->
+        Buffer.add_string buf (Printf.sprintf "d%-2d |" d);
+        let segs = Array.of_list segs in
+        let cursor = ref 0 in
+        for w = 0 to width - 1 do
+          let slot_start = float_of_int w *. slot_ms in
+          let slot_stop = slot_start +. slot_ms in
+          (* Accumulate occupancy per state over the slot. *)
+          let best_state = ref None and best_time = ref 0.0 in
+          while
+            !cursor < Array.length segs && segs.(!cursor).stop_ms <= slot_start
+          do
+            incr cursor
+          done;
+          let k = ref !cursor in
+          while !k < Array.length segs && segs.(!k).start_ms < slot_stop do
+            let s = segs.(!k) in
+            let overlap = Float.min s.stop_ms slot_stop -. Float.max s.start_ms slot_start in
+            if overlap > !best_time then begin
+              best_time := overlap;
+              best_state := Some s.state
+            end;
+            incr k
+          done;
+          Buffer.add_char buf
+            (match !best_state with
+            | Some s -> char_of_state model s
+            | None -> ' ')
+        done;
+        Buffer.add_string buf "|\n")
+      t;
+    Buffer.add_string buf
+      (Printf.sprintf
+         "     0%*s  (#busy ~transition _standby digits: idle RPM level)\n"
+         (width - 1)
+         (Printf.sprintf "%.0fs" (until_ms /. 1000.)));
+    Buffer.contents buf
+  end
+
+let state_time_ms t ~disk state =
+  List.fold_left
+    (fun acc (s : segment) ->
+      let matches =
+        match (state, s.state) with
+        | Idle -1, Idle _ -> true
+        | a, b -> a = b
+      in
+      if matches then acc +. (s.stop_ms -. s.start_ms) else acc)
+    0.0 t.(disk)

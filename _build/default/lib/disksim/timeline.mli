@@ -1,0 +1,29 @@
+(** Per-disk power-state timelines recorded during simulation, with an
+    ASCII Gantt renderer — makes the clustering visible: under the
+    restructured schedule each disk's busy segments coalesce and the
+    others' idle/standby runs stretch. *)
+
+type state =
+  | Busy
+  | Idle of int  (** powered-up idle at an RPM *)
+  | Standby
+  | Transition
+
+type segment = { start_ms : float; stop_ms : float; state : state }
+
+type t = segment list array
+(** One (chronologically ordered) segment list per disk. *)
+
+val char_of_state : Disk_model.t -> state -> char
+(** ['#'] busy, ['~'] transition, ['_'] standby, and for idle a digit:
+    the RPM level index (['4'] = full speed for the Ultrastar's five
+    levels, ['0'] = slowest). *)
+
+val render : ?width:int -> model:Disk_model.t -> until_ms:float -> t -> string
+(** An ASCII chart, one row per disk, [width] characters across the
+    [0, until_ms] span (default 96).  Each cell shows the state occupying
+    the largest share of its time slot. *)
+
+val state_time_ms : t -> disk:int -> state -> float
+(** Total time a disk spent in a state (idle states match on any RPM
+    when queried with [Idle (-1)]). *)

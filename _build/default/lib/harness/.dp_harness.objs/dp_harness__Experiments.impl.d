@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Dp_disksim Dp_ir Dp_trace Dp_workloads Format List Printf Runner Tabulate Version

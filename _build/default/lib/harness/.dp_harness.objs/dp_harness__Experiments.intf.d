@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Dp_workloads Format Runner Version

@@ -1,0 +1,1 @@
+lib/harness/json_out.ml: Buffer Char Dp_disksim Dp_workloads Experiments Float Format List Printf Runner String Version

@@ -1,0 +1,1 @@
+lib/harness/json_out.mli: Experiments Format Runner

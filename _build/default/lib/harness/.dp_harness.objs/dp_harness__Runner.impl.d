@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Array Dp_dependence Dp_disksim Dp_ir Dp_layout Dp_restructure Dp_trace Dp_workloads List Version

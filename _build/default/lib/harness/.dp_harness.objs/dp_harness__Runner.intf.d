@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Dp_dependence Dp_disksim Dp_layout Dp_trace Dp_workloads Version

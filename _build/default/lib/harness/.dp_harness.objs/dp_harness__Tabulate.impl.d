@@ -1,0 +1,1 @@
+lib/harness/tabulate.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/harness/version.ml: Dp_disksim List String

@@ -1,0 +1,1 @@
+lib/harness/version.mli: Dp_disksim

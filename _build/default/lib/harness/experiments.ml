@@ -1,0 +1,151 @@
+module App = Dp_workloads.App
+module Workloads = Dp_workloads.Workloads
+module Engine = Dp_disksim.Engine
+module Generate = Dp_trace.Generate
+
+type matrix = (App.t * (Version.t * Runner.run) list) list
+
+let build_matrix ?apps ~procs ~versions () =
+  let apps = match apps with Some a -> a | None -> Workloads.all () in
+  List.map
+    (fun app ->
+      let ctx = Runner.context app in
+      (app, List.map (fun v -> (v, Runner.run ctx ~procs v)) versions))
+    apps
+
+let base_of runs =
+  match List.assoc_opt Version.Base runs with
+  | Some b -> b
+  | None -> invalid_arg "Experiments: matrix lacks a Base run"
+
+let table1 ppf =
+  let model = Dp_disksim.Disk_model.ultrastar_36z15 in
+  Format.fprintf ppf "@[<v>Table 1: default simulation parameters@,%a@,"
+    Dp_disksim.Disk_model.pp model;
+  Format.fprintf ppf
+    "DRPM window size: 100 requests; stripe unit 32 KB, factor 8, start disk 0 (Table 1 \
+     defaults; each workload declares its own row-aligned striping)@,@]"
+
+let table2 ?matrix ppf =
+  let matrix =
+    match matrix with
+    | Some m -> m
+    | None -> build_matrix ~procs:1 ~versions:[ Version.Base ] ()
+  in
+  let rows =
+    List.map
+      (fun ((app : App.t), runs) ->
+        let b = base_of runs in
+        let s = b.Runner.summary in
+        let data_gb =
+          float_of_int (Dp_ir.Ir.total_bytes app.App.program) /. (1024. *. 1024. *. 1024.)
+        in
+        [
+          app.App.name;
+          Printf.sprintf "%.2f" data_gb;
+          Printf.sprintf "%.1f" app.App.paper_data_gb;
+          string_of_int s.Generate.requests;
+          string_of_int app.App.paper_requests;
+          Printf.sprintf "%.1f" b.Runner.result.Engine.energy_j;
+          Printf.sprintf "%.1f" app.App.paper_base_energy_j;
+          Printf.sprintf "%.1f" b.Runner.result.Engine.io_time_ms;
+          Printf.sprintf "%.1f" app.App.paper_io_time_ms;
+          Tabulate.fmt_pct (Generate.io_fraction s);
+        ])
+      matrix
+  in
+  Format.fprintf ppf "@[<v>Table 2: application characteristics (ours vs paper)@,";
+  Tabulate.render ppf
+    ~header:
+      [
+        "Name"; "GB"; "GB(paper)"; "Reqs"; "Reqs(paper)"; "BaseE(J)"; "BaseE(paper)";
+        "IO(ms)"; "IO(paper)"; "IO frac";
+      ]
+    ~rows;
+  Format.fprintf ppf "@]"
+
+let versions_of matrix =
+  match matrix with [] -> [] | (_, runs) :: _ -> List.map fst runs
+
+let non_base matrix = List.filter (fun v -> v <> Version.Base) (versions_of matrix)
+
+let average_energy_saving matrix version =
+  let values =
+    List.map
+      (fun (_, runs) ->
+        let b = base_of runs in
+        1.0 -. Runner.normalized_energy ~base:b (List.assoc version runs))
+      matrix
+  in
+  List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let average_perf_degradation matrix version =
+  let values =
+    List.map
+      (fun (_, runs) ->
+        let b = base_of runs in
+        Runner.perf_degradation ~base:b (List.assoc version runs))
+      matrix
+  in
+  List.fold_left ( +. ) 0.0 values /. float_of_int (List.length values)
+
+let procs_of matrix =
+  match matrix with
+  | (_, (_, r) :: _) :: _ -> r.Runner.procs
+  | _ -> 1
+
+let fig_energy matrix ppf =
+  let versions = non_base matrix in
+  let header = "App" :: List.map Version.name versions in
+  let rows =
+    List.map
+      (fun ((app : App.t), runs) ->
+        let b = base_of runs in
+        app.App.name
+        :: List.map
+             (fun v -> Tabulate.fmt_norm (Runner.normalized_energy ~base:b (List.assoc v runs)))
+             versions)
+      matrix
+  in
+  let avg_row =
+    "AVERAGE"
+    :: List.map
+         (fun v -> Tabulate.fmt_norm (1.0 -. average_energy_saving matrix v))
+         versions
+  in
+  Format.fprintf ppf "@[<v>Figure 9%s: normalized disk energy (%d processor%s; Base = 1.000)@,"
+    (if procs_of matrix = 1 then "(a)" else "(b)")
+    (procs_of matrix)
+    (if procs_of matrix = 1 then "" else "s");
+  Tabulate.render ppf ~header ~rows:(rows @ [ avg_row ]);
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "average saving %s: %s@," (Version.name v)
+        (Tabulate.fmt_pct (average_energy_saving matrix v)))
+    versions;
+  Format.fprintf ppf "@]"
+
+let fig_perf matrix ppf =
+  let versions = non_base matrix in
+  let header = "App" :: List.map Version.name versions in
+  let rows =
+    List.map
+      (fun ((app : App.t), runs) ->
+        let b = base_of runs in
+        app.App.name
+        :: List.map
+             (fun v -> Tabulate.fmt_pct (Runner.perf_degradation ~base:b (List.assoc v runs)))
+             versions)
+      matrix
+  in
+  let avg_row =
+    "AVERAGE"
+    :: List.map (fun v -> Tabulate.fmt_pct (average_perf_degradation matrix v)) versions
+  in
+  Format.fprintf ppf
+    "@[<v>Figure 10%s: performance degradation (increase in disk I/O time, %d processor%s)@,"
+    (if procs_of matrix = 1 then "(a)" else "(b)")
+    (procs_of matrix)
+    (if procs_of matrix = 1 then "" else "s");
+  Tabulate.render ppf ~header ~rows:(rows @ [ avg_row ]);
+  Format.fprintf ppf "@]"

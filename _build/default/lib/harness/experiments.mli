@@ -1,0 +1,35 @@
+module App = Dp_workloads.App
+
+(** The paper's evaluation, end to end: every table and figure of
+    Section 7 as a reproducible report. *)
+
+type matrix = (App.t * (Version.t * Runner.run) list) list
+(** One row per application: the runs of every requested version. *)
+
+val build_matrix :
+  ?apps:App.t list -> procs:int -> versions:Version.t list -> unit -> matrix
+(** Runs the full pipeline for every (app, version) pair.  Defaults to
+    the six Table-2 applications. *)
+
+val table1 : Format.formatter -> unit
+(** Default simulation parameters (the Table 1 reproduction). *)
+
+val table2 : ?matrix:matrix -> Format.formatter -> unit
+(** Application characteristics from the Base runs: modeled data size,
+    request count, Base energy and I/O time, with the paper's values for
+    side-by-side comparison.  Reuses [matrix] when given (it must contain
+    Base runs at 1 processor); otherwise computes one. *)
+
+val fig_energy : matrix -> Format.formatter -> unit
+(** Normalized energy per app and version (Figs. 9a / 9b depending on the
+    matrix's processor count), plus the cross-application average and the
+    implied savings. *)
+
+val fig_perf : matrix -> Format.formatter -> unit
+(** Performance degradation (increase in disk I/O time) per app and
+    version (Figs. 10a / 10b). *)
+
+val average_energy_saving : matrix -> Version.t -> float
+(** 1 - (mean normalized energy) for one version across the matrix. *)
+
+val average_perf_degradation : matrix -> Version.t -> float

@@ -1,0 +1,97 @@
+module App = Dp_workloads.App
+module Engine = Dp_disksim.Engine
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int n -> Format.pp_print_int ppf n
+  | Float f ->
+      if Float.is_finite f then Format.fprintf ppf "%.6g" f
+      else Format.pp_print_string ppf "null"
+  | String s -> Format.fprintf ppf "\"%s\"" (escape s)
+  | List xs ->
+      Format.fprintf ppf "[@[<hv>%a@]]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+        xs
+  | Obj fields ->
+      Format.fprintf ppf "{@[<hv>%a@]}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           (fun ppf (k, v) -> Format.fprintf ppf "\"%s\": %a" (escape k) pp v))
+        fields
+
+let to_string t = Format.asprintf "%a" pp t
+
+let of_run (r : Runner.run) =
+  Obj
+    [
+      ("version", String (Version.name r.Runner.version));
+      ("procs", Int r.Runner.procs);
+      ("energy_j", Float r.Runner.result.Engine.energy_j);
+      ("io_time_ms", Float r.Runner.result.Engine.io_time_ms);
+      ("makespan_ms", Float r.Runner.result.Engine.makespan_ms);
+      ( "scheduler_rounds",
+        match r.Runner.scheduler_rounds with Some n -> Int n | None -> Null );
+    ]
+
+let of_matrix (matrix : Experiments.matrix) =
+  List
+    (List.map
+       (fun ((app : App.t), runs) ->
+         let base = List.assoc Version.Base runs in
+         Obj
+           [
+             ("app", String app.App.name);
+             ("description", String app.App.description);
+             ( "paper",
+               Obj
+                 [
+                   ("data_gb", Float app.App.paper_data_gb);
+                   ("requests", Int app.App.paper_requests);
+                   ("base_energy_j", Float app.App.paper_base_energy_j);
+                   ("io_time_ms", Float app.App.paper_io_time_ms);
+                 ] );
+             ( "runs",
+               List
+                 (List.map
+                    (fun (v, r) ->
+                      match of_run r with
+                      | Obj fields ->
+                          Obj
+                            (fields
+                            @ [
+                                ( "normalized_energy",
+                                  Float (Runner.normalized_energy ~base r) );
+                                ( "perf_degradation",
+                                  Float (Runner.perf_degradation ~base r) );
+                              ])
+                      | other ->
+                          ignore v;
+                          other)
+                    runs) );
+           ])
+       matrix)

@@ -1,0 +1,23 @@
+(** Minimal JSON rendering of experiment results (no external JSON
+    dependency), for scripting against the harness. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+(** Valid JSON: strings escaped, floats finite (NaN/inf become null). *)
+
+val to_string : t -> string
+
+val of_matrix : Experiments.matrix -> t
+(** One object per application: name, paper reference values, and per
+    version the absolute and normalized energy, I/O time, makespan and
+    performance degradation. *)
+
+val of_run : Runner.run -> t

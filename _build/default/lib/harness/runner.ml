@@ -1,0 +1,101 @@
+module App = Dp_workloads.App
+module Layout = Dp_layout.Layout
+module Concrete = Dp_dependence.Concrete
+module Engine = Dp_disksim.Engine
+module Generate = Dp_trace.Generate
+module Reuse = Dp_restructure.Reuse_scheduler
+module Parallelize = Dp_restructure.Parallelize
+
+type ctx = { app : App.t; layout : Layout.t; graph : Concrete.graph }
+
+let context (app : App.t) =
+  let layout =
+    Layout.make ~default:app.App.striping ~overrides:app.App.overrides app.App.program
+  in
+  let graph = Concrete.build app.App.program in
+  { app; layout; graph }
+
+type run = {
+  version : Version.t;
+  procs : int;
+  result : Engine.result;
+  summary : Generate.summary;
+  scheduler_rounds : int option;
+}
+
+(* Per-processor execution streams for a version. *)
+let streams ctx ~procs version =
+  let prog = ctx.app.App.program in
+  if procs = 1 then begin
+    if Version.restructured version then begin
+      if Version.layout_aware version then
+        invalid_arg "Runner.run: layout-aware versions need several processors";
+      let s = Reuse.schedule ctx.layout prog ctx.graph in
+      (Generate.single_stream ctx.graph ~order:s.Reuse.order, Some s.Reuse.rounds)
+    end
+    else
+      (Generate.single_stream ctx.graph ~order:(Concrete.original_order ctx.graph), None)
+  end
+  else begin
+    let conventional () = Parallelize.conventional prog ctx.graph ~procs in
+    if not (Version.restructured version) then
+      (* Unmodified code, conventionally parallelized, fork-join nests. *)
+      (Generate.original_segments prog ctx.graph (conventional ()), None)
+    else begin
+      let assignment =
+        if Version.layout_aware version then
+          Parallelize.layout_aware ctx.layout prog ctx.graph ~procs
+        else conventional ()
+      in
+      let rounds = ref 0 in
+      let disks = ctx.layout.Dp_layout.Layout.disk_count in
+      (* Each processor begins its disk tour on a different disk so the
+         tours do not contend for the same I/O node. *)
+      let reuse p ~member =
+        let s =
+          Reuse.schedule_subset ctx.layout prog ctx.graph
+            ~start_disk:(p * disks / procs)
+            ~member
+        in
+        rounds := max !rounds s.Reuse.rounds;
+        s.Reuse.order
+      in
+      let segs =
+        if Version.layout_aware version then
+          (* Global restructuring: the data-space assignment spans all
+             nests, no synchronization between them (Fig. 6(b)). *)
+          Generate.reordered_segments assignment ~order_of_proc:(fun p ->
+              reuse p ~member:(fun seq -> assignment.Parallelize.owner.(seq) = p))
+        else begin
+          (* The single-CPU algorithm applied to each processor's share
+             of the conventionally parallelized code: the fork-join
+             barriers between nests remain, so disk reuse is exploited
+             within each nest only. *)
+          let nest_ids = List.map (fun (n : Dp_ir.Ir.nest) -> n.Dp_ir.Ir.nest_id) prog.Dp_ir.Ir.nests in
+          Array.init procs (fun p ->
+              List.map
+                (fun nest_id ->
+                  reuse p ~member:(fun seq ->
+                      assignment.Parallelize.owner.(seq) = p
+                      && ctx.graph.Concrete.instances.(seq).Concrete.nest_id = nest_id))
+                nest_ids)
+        end
+      in
+      (segs, Some !rounds)
+    end
+  end
+
+let run ctx ~procs version =
+  let segs, scheduler_rounds = streams ctx ~procs version in
+  let trace = Generate.trace ctx.layout ctx.app.App.program ctx.graph segs in
+  let result =
+    Engine.simulate ~disks:ctx.layout.Layout.disk_count (Version.policy version) trace
+  in
+  { version; procs; result; summary = Generate.summarize trace; scheduler_rounds }
+
+let normalized_energy ~base r =
+  r.result.Engine.energy_j /. base.result.Engine.energy_j
+
+let perf_degradation ~base r =
+  (r.result.Engine.io_time_ms -. base.result.Engine.io_time_ms)
+  /. base.result.Engine.io_time_ms

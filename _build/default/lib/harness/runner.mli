@@ -1,0 +1,38 @@
+module App = Dp_workloads.App
+module Layout = Dp_layout.Layout
+module Concrete = Dp_dependence.Concrete
+module Engine = Dp_disksim.Engine
+module Generate = Dp_trace.Generate
+
+(** Runs one (application, version, processor-count) cell of the
+    evaluation matrix: restructure/parallelize per the version, generate
+    the trace, simulate under the version's policy. *)
+
+type ctx = {
+  app : App.t;
+  layout : Layout.t;
+  graph : Concrete.graph;
+}
+
+val context : App.t -> ctx
+(** Builds the layout (the app's striping for every array) and the
+    concrete dependence graph; reuse it across versions — graph
+    construction dominates the cost of a run. *)
+
+type run = {
+  version : Version.t;
+  procs : int;
+  result : Engine.result;
+  summary : Generate.summary;
+  scheduler_rounds : int option;  (** for restructured versions *)
+}
+
+val run : ctx -> procs:int -> Version.t -> run
+(** @raise Invalid_argument for a [T_*_m] version with [procs = 1] (the
+    layout-aware scheme is only meaningful with several processors). *)
+
+val normalized_energy : base:run -> run -> float
+(** Energy relative to the Base run of the same processor count. *)
+
+val perf_degradation : base:run -> run -> float
+(** Increase in disk I/O time over Base (paper Fig. 10), as a fraction. *)

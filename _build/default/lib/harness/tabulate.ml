@@ -1,0 +1,30 @@
+let is_numeric s =
+  s <> ""
+  && String.for_all (fun ch -> (ch >= '0' && ch <= '9') || ch = '.' || ch = '-' || ch = '%' || ch = ',') s
+
+let render ppf ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> if String.length cell > width.(i) then width.(i) <- String.length cell))
+    all;
+  let print_row r =
+    List.iteri
+      (fun i cell ->
+        let pad = width.(i) - String.length cell in
+        let cell =
+          if is_numeric cell then String.make pad ' ' ^ cell else cell ^ String.make pad ' '
+        in
+        Format.fprintf ppf "%s%s" (if i = 0 then "" else "  ") cell)
+      r;
+    Format.fprintf ppf "@,"
+  in
+  Format.fprintf ppf "@[<v>";
+  print_row header;
+  print_row (List.init (List.length header) (fun i -> String.make width.(i) '-'));
+  List.iter print_row rows;
+  Format.fprintf ppf "@]"
+
+let fmt_pct f = Printf.sprintf "%.2f%%" (f *. 100.0)
+let fmt_norm f = Printf.sprintf "%.3f" f

@@ -1,0 +1,12 @@
+(** Minimal aligned-ASCII table rendering for the experiment reports. *)
+
+val render :
+  Format.formatter -> header:string list -> rows:string list list -> unit
+(** Column widths fit the widest cell; numeric-looking cells are
+    right-aligned, others left-aligned. *)
+
+val fmt_pct : float -> string
+(** [0.1834] renders as ["18.34%"]. *)
+
+val fmt_norm : float -> string
+(** Normalized value, 3 decimals. *)

@@ -1,0 +1,34 @@
+type t = Base | Tpm | Drpm | T_tpm_s | T_drpm_s | T_tpm_m | T_drpm_m
+
+let name = function
+  | Base -> "Base"
+  | Tpm -> "TPM"
+  | Drpm -> "DRPM"
+  | T_tpm_s -> "T-TPM-s"
+  | T_drpm_s -> "T-DRPM-s"
+  | T_tpm_m -> "T-TPM-m"
+  | T_drpm_m -> "T-DRPM-m"
+
+let all = [ Base; Tpm; Drpm; T_tpm_s; T_drpm_s; T_tpm_m; T_drpm_m ]
+
+let of_name s =
+  List.find_opt (fun v -> String.lowercase_ascii (name v) = String.lowercase_ascii s) all
+
+let single_cpu = [ Base; Tpm; Drpm; T_tpm_s; T_drpm_s ]
+let multi_cpu = all
+
+let policy = function
+  | Base -> Dp_disksim.Policy.No_pm
+  | Tpm -> Dp_disksim.Policy.default_tpm
+  (* The restructured versions run on the compiler-directed TPM machinery
+     (proactive spin-up — the compiler knows the access schedule). *)
+  | T_tpm_s | T_tpm_m -> Dp_disksim.Policy.tpm ~proactive:true ()
+  | Drpm | T_drpm_s | T_drpm_m -> Dp_disksim.Policy.default_drpm
+
+let restructured = function
+  | Base | Tpm | Drpm -> false
+  | T_tpm_s | T_drpm_s | T_tpm_m | T_drpm_m -> true
+
+let layout_aware = function
+  | T_tpm_m | T_drpm_m -> true
+  | Base | Tpm | Drpm | T_tpm_s | T_drpm_s -> false

@@ -1,0 +1,23 @@
+(** The seven experimental versions of Section 7.1. *)
+
+type t =
+  | Base  (** no power management *)
+  | Tpm  (** reactive spin-down, unmodified code *)
+  | Drpm  (** dynamic speed setting, unmodified code *)
+  | T_tpm_s  (** disk-reuse restructuring (single-CPU algorithm) + TPM *)
+  | T_drpm_s  (** disk-reuse restructuring (single-CPU algorithm) + DRPM *)
+  | T_tpm_m  (** disk-layout-aware parallelization + per-CPU reuse + TPM *)
+  | T_drpm_m  (** disk-layout-aware parallelization + per-CPU reuse + DRPM *)
+
+val name : t -> string
+val of_name : string -> t option
+
+val single_cpu : t list
+(** The five versions evaluated on one processor (Figs. 9a, 10a). *)
+
+val multi_cpu : t list
+(** All seven versions, for the 4-processor experiments (Figs. 9b, 10b). *)
+
+val policy : t -> Dp_disksim.Policy.t
+val restructured : t -> bool
+val layout_aware : t -> bool

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Dp_affine Dp_util Format Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/ir/ir.mli: Dp_affine Dp_util Format

@@ -1,0 +1,1 @@
+lib/lang/emit.ml: Ast Dp_affine Dp_ir Dp_layout Format List Srcloc String

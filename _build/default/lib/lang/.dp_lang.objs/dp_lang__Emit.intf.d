@@ -1,0 +1,1 @@
+lib/lang/emit.mli: Ast Dp_ir Dp_layout Format

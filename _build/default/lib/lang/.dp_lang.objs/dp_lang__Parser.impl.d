@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Dp_ir Lexer List Printf Srcloc Token

@@ -1,0 +1,1 @@
+lib/lang/resolver.ml: Ast Dp_affine Dp_ir Format Hashtbl List Option Parser Printf Srcloc

@@ -1,0 +1,1 @@
+lib/lang/resolver.mli: Ast Dp_affine Dp_ir Srcloc

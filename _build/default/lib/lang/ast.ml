@@ -1,0 +1,61 @@
+(** Abstract syntax of the [.dpl] mini-language, as produced by
+    {!Parser}.  Every node carries its source location so the resolver
+    can report errors precisely. *)
+module Ir = Dp_ir.Ir
+
+
+type expr = expr_node Srcloc.located
+
+and expr_node =
+  | Int of int
+  | Var of string
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Neg of expr
+
+type stripe_spec = {
+  unit_bytes : int;
+  factor : int;
+  start_disk : int;
+  stripe_loc : Srcloc.t;
+}
+
+type array_item = {
+  array_name : string Srcloc.located;
+  dims : int Srcloc.located list;
+  elem_size : int Srcloc.located option;
+  file : string Srcloc.located option;
+  stripe : stripe_spec option;
+}
+
+type body_item =
+  | For of for_loop
+  | Access of access
+  | Work of int Srcloc.located
+
+and for_loop = {
+  index : string Srcloc.located;
+  lo : expr;
+  hi : expr;
+  body : body_item list;
+  for_loc : Srcloc.t;
+}
+
+and access = {
+  mode : Ir.access_mode;
+  target : string Srcloc.located;
+  subscripts : expr list;
+  cycles : int Srcloc.located option;
+  access_loc : Srcloc.t;
+}
+
+type nest_item = { top : for_loop; nest_loc : Srcloc.t }
+type item = Array_decl of array_item | Nest_decl of nest_item
+type program = item list
+
+(** Iterate over all accesses of a loop body, depth-first. *)
+let rec iter_accesses f = function
+  | For l -> List.iter (iter_accesses f) l.body
+  | Access a -> f a
+  | Work _ -> ()

@@ -1,0 +1,97 @@
+module Ir = Dp_ir.Ir
+module Affine = Dp_affine.Affine
+
+(* Emit an affine expression in .dpl syntax (the parser's expr grammar:
+   sums of [k*v] terms and a constant). *)
+let emit_affine ppf e =
+  let terms = Affine.terms e and const = Affine.constant e in
+  if terms = [] then Format.fprintf ppf "%d" const
+  else begin
+    List.iteri
+      (fun k (v, c) ->
+        if k = 0 then begin
+          if c = 1 then Format.fprintf ppf "%s" v
+          else if c = -1 then Format.fprintf ppf "-%s" v
+          else Format.fprintf ppf "%d*%s" c v
+        end
+        else if c = 1 then Format.fprintf ppf " + %s" v
+        else if c = -1 then Format.fprintf ppf " - %s" v
+        else if c > 0 then Format.fprintf ppf " + %d*%s" c v
+        else Format.fprintf ppf " - %d*%s" (-c) v)
+      terms;
+    if const > 0 then Format.fprintf ppf " + %d" const
+    else if const < 0 then Format.fprintf ppf " - %d" (-const)
+  end
+
+(* Sizes print with binary suffixes when exact, as the lexer reads them. *)
+let emit_size ppf n =
+  if n >= 1 lsl 30 && n mod (1 lsl 30) = 0 then Format.fprintf ppf "%dG" (n lsr 30)
+  else if n >= 1 lsl 20 && n mod (1 lsl 20) = 0 then Format.fprintf ppf "%dM" (n lsr 20)
+  else if n >= 1 lsl 10 && n mod (1 lsl 10) = 0 then Format.fprintf ppf "%dK" (n lsr 10)
+  else Format.fprintf ppf "%d" n
+
+let emit_array ppf (a : Ir.array_decl) stripe =
+  Format.fprintf ppf "array %s" a.Ir.name;
+  List.iter (fun d -> Format.fprintf ppf "[%d]" d) a.Ir.dims;
+  Format.fprintf ppf " elem %a file %S" emit_size a.Ir.elem_size a.Ir.file;
+  (match stripe with
+  | Some (sp : Ast.stripe_spec) ->
+      Format.fprintf ppf " stripe(unit = %a, factor = %d, start = %d)" emit_size
+        sp.Ast.unit_bytes sp.Ast.factor sp.Ast.start_disk
+  | None -> ());
+  Format.fprintf ppf ";@,"
+
+let emit_stmt indent ppf (s : Ir.stmt) =
+  match s.Ir.refs with
+  | [] -> Format.fprintf ppf "%swork %d;@," indent s.Ir.work_cycles
+  | refs ->
+      (* The grammar attaches one access per statement; a resolver-built
+         statement has exactly one reference, but hand-built IR may carry
+         several — emit the cycle cost on the first and zero-cost work
+         statements would be wrong, so split the cost across them is
+         avoided: the first access carries the cycles, the rest carry the
+         resolver's default explicitly. *)
+      List.iteri
+        (fun k (r : Ir.array_ref) ->
+          let verb = match r.Ir.mode with Ir.Read -> "read" | Ir.Write -> "write" in
+          Format.fprintf ppf "%s%s %s" indent verb r.Ir.array;
+          List.iter (fun sub -> Format.fprintf ppf "[%a]" emit_affine sub) r.Ir.subscripts;
+          if k = 0 then Format.fprintf ppf " work %d" s.Ir.work_cycles
+          else Format.fprintf ppf " work 0";
+          Format.fprintf ppf ";@,")
+        refs
+
+let emit_nest ppf (n : Ir.nest) =
+  Format.fprintf ppf "nest {@,";
+  List.iteri
+    (fun depth (l : Ir.loop) ->
+      Format.fprintf ppf "%sfor %s = %a .. %a {@,"
+        (String.make (2 * (depth + 1)) ' ')
+        l.Ir.index emit_affine l.Ir.lo emit_affine l.Ir.hi)
+    n.Ir.loops;
+  let body_indent = String.make (2 * (List.length n.Ir.loops + 1)) ' ' in
+  List.iter (emit_stmt body_indent ppf) n.Ir.body;
+  List.iteri
+    (fun k _ ->
+      Format.fprintf ppf "%s}@," (String.make (2 * (List.length n.Ir.loops - k)) ' '))
+    n.Ir.loops;
+  Format.fprintf ppf "}@,"
+
+let emit_program ?(stripes = []) ppf (p : Ir.program) =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (a : Ir.array_decl) -> emit_array ppf a (List.assoc_opt a.Ir.name stripes))
+    p.Ir.arrays;
+  Format.fprintf ppf "@,";
+  List.iter (fun n -> emit_nest ppf n) p.Ir.nests;
+  Format.fprintf ppf "@]"
+
+let to_string ?stripes p = Format.asprintf "%a" (emit_program ?stripes) p
+
+let stripe_spec (s : Dp_layout.Striping.t) =
+  {
+    Ast.unit_bytes = s.Dp_layout.Striping.unit_bytes;
+    factor = s.Dp_layout.Striping.factor;
+    start_disk = s.Dp_layout.Striping.start_disk;
+    stripe_loc = Srcloc.dummy;
+  }

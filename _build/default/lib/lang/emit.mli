@@ -1,0 +1,21 @@
+module Ir = Dp_ir.Ir
+
+(** Emission of [.dpl] source from the IR — the inverse of {!Resolver}.
+
+    [Resolver.load_string (to_string p)] yields a program structurally
+    equal to [p] up to statement/nest renumbering (ids are assigned in
+    order on both sides, so in practice the round-trip is exact; this is
+    property-tested).  Striping clauses are attached to the arrays they
+    describe. *)
+
+val emit_program :
+  ?stripes:(string * Ast.stripe_spec) list ->
+  Format.formatter ->
+  Ir.program ->
+  unit
+
+val to_string :
+  ?stripes:(string * Ast.stripe_spec) list -> Ir.program -> string
+
+val stripe_spec : Dp_layout.Striping.t -> Ast.stripe_spec
+(** Striping clause for a layout striping (location is dummy). *)

@@ -1,0 +1,187 @@
+exception Error of Srcloc.t * string
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let current_pos st : Srcloc.pos = { line = st.line; col = st.col }
+
+let loc_from st (start_pos : Srcloc.pos) =
+  Srcloc.make ~file:st.file ~start_pos ~end_pos:(current_pos st)
+
+let error st start_pos msg = raise (Error (loc_from st start_pos, msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      let start_pos = current_pos st in
+      advance st;
+      advance st;
+      let rec to_close () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            to_close ()
+        | None, _ -> error st start_pos "unterminated block comment"
+      in
+      to_close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_int st start_pos =
+  let b = Buffer.create 8 in
+  let rec digits () =
+    match peek st with
+    | Some c when is_digit c ->
+        Buffer.add_char b c;
+        advance st;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  let base =
+    match int_of_string_opt (Buffer.contents b) with
+    | Some n -> n
+    | None -> error st start_pos "integer literal out of range"
+  in
+  let multiplier =
+    match peek st with
+    | Some 'K' ->
+        advance st;
+        1024
+    | Some 'M' ->
+        advance st;
+        1024 * 1024
+    | Some 'G' ->
+        advance st;
+        1024 * 1024 * 1024
+    | _ -> 1
+  in
+  Token.INT (base * multiplier)
+
+let lex_ident st =
+  let b = Buffer.create 8 in
+  let rec chars () =
+    match peek st with
+    | Some c when is_ident_char c ->
+        Buffer.add_char b c;
+        advance st;
+        chars ()
+    | _ -> ()
+  in
+  chars ();
+  let word = Buffer.contents b in
+  match List.assoc_opt word Token.keyword_table with
+  | Some kw -> kw
+  | None -> Token.IDENT word
+
+let lex_string st start_pos =
+  advance st (* opening quote *);
+  let b = Buffer.create 16 in
+  let rec chars () =
+    match peek st with
+    | Some '"' ->
+        advance st;
+        Token.STRING (Buffer.contents b)
+    | Some '\n' | None -> error st start_pos "unterminated string literal"
+    | Some '\\' -> begin
+        advance st;
+        match peek st with
+        | Some ('"' as c) | Some ('\\' as c) ->
+            Buffer.add_char b c;
+            advance st;
+            chars ()
+        | Some 'n' ->
+            Buffer.add_char b '\n';
+            advance st;
+            chars ()
+        | _ -> error st start_pos "invalid escape sequence"
+      end
+    | Some c ->
+        Buffer.add_char b c;
+        advance st;
+        chars ()
+  in
+  chars ()
+
+let next_token st =
+  skip_trivia st;
+  let start_pos = current_pos st in
+  let simple tok =
+    advance st;
+    tok
+  in
+  let tok =
+    match peek st with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_int st start_pos
+    | Some c when is_ident_start c -> lex_ident st
+    | Some '"' -> lex_string st start_pos
+    | Some '{' -> simple Token.LBRACE
+    | Some '}' -> simple Token.RBRACE
+    | Some '[' -> simple Token.LBRACKET
+    | Some ']' -> simple Token.RBRACKET
+    | Some '(' -> simple Token.LPAREN
+    | Some ')' -> simple Token.RPAREN
+    | Some ';' -> simple Token.SEMI
+    | Some ',' -> simple Token.COMMA
+    | Some '=' -> simple Token.EQUALS
+    | Some '+' -> simple Token.PLUS
+    | Some '-' -> simple Token.MINUS
+    | Some '*' -> simple Token.STAR
+    | Some '.' ->
+        if peek2 st = Some '.' then begin
+          advance st;
+          advance st;
+          Token.DOTDOT
+        end
+        else error st start_pos "expected '..'"
+    | Some c -> error st start_pos (Printf.sprintf "unexpected character %C" c)
+  in
+  (tok, loc_from st start_pos)
+
+let tokenize ~file src =
+  let st = { src; file; pos = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let ((tok, _) as t) = next_token st in
+    if tok = Token.EOF then List.rev (t :: acc) else loop (t :: acc)
+  in
+  loop []

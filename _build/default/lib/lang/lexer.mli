@@ -1,0 +1,13 @@
+(** Hand-written lexer for the [.dpl] mini-language.
+
+    Supports [//] line comments and [/* ... */] block comments, decimal
+    integers with optional [K]/[M]/[G] binary-unit suffixes (so stripe
+    sizes read naturally: [32K] is 32768), double-quoted strings, and the
+    punctuation of the grammar. *)
+
+exception Error of Srcloc.t * string
+
+val tokenize : file:string -> string -> (Token.t * Srcloc.t) list
+(** Tokenize a whole source buffer; the result ends with [EOF].
+    @raise Error on an invalid character, unterminated string or comment,
+    or integer overflow. *)

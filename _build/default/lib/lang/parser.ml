@@ -1,0 +1,264 @@
+module Ir = Dp_ir.Ir
+exception Error of Srcloc.t * string
+
+type state = { mutable toks : (Token.t * Srcloc.t) list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> assert false (* token stream always ends with EOF *)
+
+let peek_tok st = fst (peek st)
+let peek_loc st = snd (peek st)
+
+let advance st =
+  match st.toks with
+  | _ :: ((_ :: _) as rest) -> st.toks <- rest
+  | _ -> () (* keep EOF *)
+
+let fail st msg = raise (Error (peek_loc st, msg))
+
+let expect st tok =
+  let got, loc = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Error
+         ( loc,
+           Printf.sprintf "expected %s but found %s" (Token.to_string tok)
+             (Token.to_string got) ))
+
+let expect_int st what =
+  match peek st with
+  | Token.INT n, loc ->
+      advance st;
+      Srcloc.at loc n
+  | got, loc ->
+      raise
+        (Error (loc, Printf.sprintf "expected %s but found %s" what (Token.to_string got)))
+
+let expect_ident st what =
+  match peek st with
+  | Token.IDENT s, loc ->
+      advance st;
+      Srcloc.at loc s
+  | got, loc ->
+      raise
+        (Error (loc, Printf.sprintf "expected %s but found %s" what (Token.to_string got)))
+
+let expect_string st what =
+  match peek st with
+  | Token.STRING s, loc ->
+      advance st;
+      Srcloc.at loc s
+  | got, loc ->
+      raise
+        (Error (loc, Printf.sprintf "expected %s but found %s" what (Token.to_string got)))
+
+(* --- expressions --- *)
+
+let rec parse_expr st : Ast.expr =
+  let lhs = parse_term st in
+  parse_expr_rest st lhs
+
+and parse_expr_rest st lhs =
+  match peek_tok st with
+  | Token.PLUS ->
+      advance st;
+      let rhs = parse_term st in
+      parse_expr_rest st (Srcloc.at (Srcloc.merge lhs.Srcloc.loc rhs.Srcloc.loc) (Ast.Add (lhs, rhs)))
+  | Token.MINUS ->
+      advance st;
+      let rhs = parse_term st in
+      parse_expr_rest st (Srcloc.at (Srcloc.merge lhs.Srcloc.loc rhs.Srcloc.loc) (Ast.Sub (lhs, rhs)))
+  | _ -> lhs
+
+and parse_term st =
+  let lhs = parse_factor st in
+  parse_term_rest st lhs
+
+and parse_term_rest st lhs =
+  match peek_tok st with
+  | Token.STAR ->
+      advance st;
+      let rhs = parse_factor st in
+      parse_term_rest st (Srcloc.at (Srcloc.merge lhs.Srcloc.loc rhs.Srcloc.loc) (Ast.Mul (lhs, rhs)))
+  | _ -> lhs
+
+and parse_factor st =
+  match peek st with
+  | Token.INT n, loc ->
+      advance st;
+      Srcloc.at loc (Ast.Int n)
+  | Token.IDENT v, loc ->
+      advance st;
+      Srcloc.at loc (Ast.Var v)
+  | Token.MINUS, loc ->
+      advance st;
+      let e = parse_factor st in
+      Srcloc.at (Srcloc.merge loc e.Srcloc.loc) (Ast.Neg e)
+  | Token.LPAREN, _ ->
+      advance st;
+      let e = parse_expr st in
+      expect st Token.RPAREN;
+      e
+  | got, loc ->
+      raise
+        (Error
+           (loc, Printf.sprintf "expected an expression but found %s" (Token.to_string got)))
+
+(* --- declarations --- *)
+
+let parse_dims st =
+  let rec loop acc =
+    match peek_tok st with
+    | Token.LBRACKET ->
+        advance st;
+        let d = expect_int st "an array extent" in
+        expect st Token.RBRACKET;
+        loop (d :: acc)
+    | _ -> List.rev acc
+  in
+  let dims = loop [] in
+  if dims = [] then fail st "array declaration needs at least one dimension";
+  dims
+
+let parse_stripe st : Ast.stripe_spec =
+  let start_loc = peek_loc st in
+  expect st Token.STRIPE;
+  expect st Token.LPAREN;
+  expect st Token.UNIT;
+  expect st Token.EQUALS;
+  let unit_bytes = (expect_int st "a stripe unit size").Srcloc.value in
+  expect st Token.COMMA;
+  expect st Token.FACTOR;
+  expect st Token.EQUALS;
+  let factor = (expect_int st "a stripe factor").Srcloc.value in
+  expect st Token.COMMA;
+  expect st Token.START;
+  expect st Token.EQUALS;
+  let start_disk = (expect_int st "a start disk").Srcloc.value in
+  let end_loc = peek_loc st in
+  expect st Token.RPAREN;
+  { unit_bytes; factor; start_disk; stripe_loc = Srcloc.merge start_loc end_loc }
+
+let parse_array st : Ast.array_item =
+  expect st Token.ARRAY;
+  let array_name = expect_ident st "an array name" in
+  let dims = parse_dims st in
+  let elem_size = ref None and file = ref None and stripe = ref None in
+  let rec attrs () =
+    match peek_tok st with
+    | Token.ELEM ->
+        advance st;
+        elem_size := Some (expect_int st "an element size");
+        attrs ()
+    | Token.FILE ->
+        advance st;
+        file := Some (expect_string st "a file name");
+        attrs ()
+    | Token.STRIPE ->
+        stripe := Some (parse_stripe st);
+        attrs ()
+    | _ -> ()
+  in
+  attrs ();
+  expect st Token.SEMI;
+  { array_name; dims; elem_size = !elem_size; file = !file; stripe = !stripe }
+
+let rec parse_body_item st : Ast.body_item =
+  match peek_tok st with
+  | Token.FOR -> Ast.For (parse_for st)
+  | Token.WORK ->
+      advance st;
+      let n = expect_int st "a cycle count" in
+      expect st Token.SEMI;
+      Ast.Work n
+  | Token.READ | Token.WRITE -> Ast.Access (parse_access st)
+  | got ->
+      fail st
+        (Printf.sprintf "expected 'for', 'read', 'write' or 'work' but found %s"
+           (Token.to_string got))
+
+and parse_for st : Ast.for_loop =
+  let for_loc = peek_loc st in
+  expect st Token.FOR;
+  let index = expect_ident st "a loop index" in
+  expect st Token.EQUALS;
+  let lo = parse_expr st in
+  expect st Token.DOTDOT;
+  let hi = parse_expr st in
+  expect st Token.LBRACE;
+  let rec items acc =
+    match peek_tok st with
+    | Token.RBRACE -> List.rev acc
+    | _ -> items (parse_body_item st :: acc)
+  in
+  let body = items [] in
+  let end_loc = peek_loc st in
+  expect st Token.RBRACE;
+  { index; lo; hi; body; for_loc = Srcloc.merge for_loc end_loc }
+
+and parse_access st : Ast.access =
+  let access_loc = peek_loc st in
+  let mode =
+    match peek_tok st with
+    | Token.READ ->
+        advance st;
+        Ir.Read
+    | Token.WRITE ->
+        advance st;
+        Ir.Write
+    | _ -> assert false
+  in
+  let target = expect_ident st "an array name" in
+  let rec subs acc =
+    match peek_tok st with
+    | Token.LBRACKET ->
+        advance st;
+        let e = parse_expr st in
+        expect st Token.RBRACKET;
+        subs (e :: acc)
+    | _ -> List.rev acc
+  in
+  let subscripts = subs [] in
+  if subscripts = [] then fail st "array access needs at least one subscript";
+  let cycles =
+    match peek_tok st with
+    | Token.WORK ->
+        advance st;
+        Some (expect_int st "a cycle count")
+    | _ -> None
+  in
+  let end_loc = peek_loc st in
+  expect st Token.SEMI;
+  { mode; target; subscripts; cycles; access_loc = Srcloc.merge access_loc end_loc }
+
+let parse_nest st : Ast.nest_item =
+  let nest_loc = peek_loc st in
+  expect st Token.NEST;
+  expect st Token.LBRACE;
+  let top = parse_for st in
+  let end_loc = peek_loc st in
+  expect st Token.RBRACE;
+  { top; nest_loc = Srcloc.merge nest_loc end_loc }
+
+let parse ~file src =
+  let st = { toks = Lexer.tokenize ~file src } in
+  let rec items acc =
+    match peek_tok st with
+    | Token.EOF -> List.rev acc
+    | Token.ARRAY -> items (Ast.Array_decl (parse_array st) :: acc)
+    | Token.NEST -> items (Ast.Nest_decl (parse_nest st) :: acc)
+    | got ->
+        fail st
+          (Printf.sprintf "expected 'array' or 'nest' but found %s" (Token.to_string got))
+  in
+  items []
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse ~file:path src

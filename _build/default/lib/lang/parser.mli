@@ -1,0 +1,29 @@
+(** Recursive-descent parser for the [.dpl] mini-language.
+
+    Grammar (EBNF; [INT] literals accept [K]/[M]/[G] suffixes):
+    {v
+    program   ::= item* EOF
+    item      ::= array | nest
+    array     ::= "array" IDENT ("[" INT "]")+
+                  ("elem" INT)? ("file" STRING)? stripe? ";"
+    stripe    ::= "stripe" "(" "unit" "=" INT ","
+                               "factor" "=" INT ","
+                               "start" "=" INT ")"
+    nest      ::= "nest" "{" for "}"
+    for       ::= "for" IDENT "=" expr ".." expr "{" body_item* "}"
+    body_item ::= for | access | "work" INT ";"
+    access    ::= ("read" | "write") IDENT ("[" expr "]")+ ("work" INT)? ";"
+    expr      ::= term (("+" | "-") term)*
+    term      ::= factor ("*" factor)*
+    factor    ::= INT | IDENT | "-" factor | "(" expr ")"
+    v} *)
+
+exception Error of Srcloc.t * string
+
+val parse : file:string -> string -> Ast.program
+(** Parse a source buffer.
+    @raise Error on a syntax error (with location and expectation).
+    @raise Lexer.Error on a lexical error. *)
+
+val parse_file : string -> Ast.program
+(** Read and parse a file. @raise Sys_error if unreadable. *)

@@ -1,0 +1,141 @@
+module Ir = Dp_ir.Ir
+module Affine = Dp_affine.Affine
+
+exception Error of Srcloc.t * string
+
+type resolved = {
+  program : Ir.program;
+  stripes : (string * Ast.stripe_spec) list;
+}
+
+let error loc msg = raise (Error (loc, msg))
+
+let rec affine_of_expr (e : Ast.expr) =
+  match e.Srcloc.value with
+  | Ast.Int n -> Affine.const n
+  | Ast.Var v -> Affine.var v
+  | Ast.Add (a, b) -> Affine.add (affine_of_expr a) (affine_of_expr b)
+  | Ast.Sub (a, b) -> Affine.sub (affine_of_expr a) (affine_of_expr b)
+  | Ast.Neg a -> Affine.neg (affine_of_expr a)
+  | Ast.Mul (a, b) ->
+      let fa = affine_of_expr a and fb = affine_of_expr b in
+      if Affine.is_const fa then Affine.scale (Affine.constant fa) fb
+      else if Affine.is_const fb then Affine.scale (Affine.constant fb) fa
+      else error e.Srcloc.loc "nonlinear expression: product of two non-constant terms"
+
+(* Split a loop body into (statement items, nested loop).  A perfect nest
+   has either only statements, or exactly one nested loop and no
+   statements. *)
+let split_body loc items =
+  let stmts, fors =
+    List.partition_map
+      (function
+        | Ast.For f -> Right f
+        | (Ast.Access _ | Ast.Work _) as s -> Left s)
+      items
+  in
+  match (stmts, fors) with
+  | [], [] -> error loc "empty loop body"
+  | _, [] -> `Leaf stmts
+  | [], [ f ] -> `Inner f
+  | _ :: _, _ :: _ ->
+      error loc "imperfect loop nest: statements and a nested loop at the same level"
+  | [], _ :: _ :: _ -> error loc "imperfect loop nest: two loops at the same level"
+
+let resolve_nest ~next_stmt_id nest_id (item : Ast.nest_item) =
+  let rec walk (f : Ast.for_loop) loops_acc =
+    let l =
+      Ir.loop f.index.Srcloc.value (affine_of_expr f.lo) (affine_of_expr f.hi)
+    in
+    let loops_acc = l :: loops_acc in
+    match split_body f.for_loc f.body with
+    | `Inner inner -> walk inner loops_acc
+    | `Leaf stmts ->
+        let body =
+          List.map
+            (fun (s : Ast.body_item) ->
+              let id = !next_stmt_id in
+              incr next_stmt_id;
+              match s with
+              | Ast.Work n -> Ir.stmt ~work_cycles:n.Srcloc.value id []
+              | Ast.Access a ->
+                  let cycles =
+                    match a.cycles with Some c -> c.Srcloc.value | None -> 1000
+                  in
+                  let r =
+                    {
+                      Ir.array = a.target.Srcloc.value;
+                      subscripts = List.map affine_of_expr a.subscripts;
+                      mode = a.mode;
+                    }
+                  in
+                  Ir.stmt ~work_cycles:cycles id [ r ]
+              | Ast.For _ -> assert false)
+            stmts
+        in
+        Ir.nest nest_id (List.rev loops_acc) body
+  in
+  walk item.top []
+
+let resolve (items : Ast.program) =
+  let arrays = ref [] and stripes = ref [] and nests = ref [] in
+  let next_stmt_id = ref 0 and next_nest_id = ref 0 in
+  (* Track declaration locations for good duplicate/unknown messages. *)
+  let decl_locs = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ast.Array_decl a ->
+          let name = a.array_name.Srcloc.value in
+          if Hashtbl.mem decl_locs name then
+            error a.array_name.Srcloc.loc
+              (Printf.sprintf "array %s is declared twice" name);
+          Hashtbl.add decl_locs name a.array_name.Srcloc.loc;
+          List.iter
+            (fun (d : int Srcloc.located) ->
+              if d.Srcloc.value <= 0 then
+                error d.Srcloc.loc "array extent must be positive")
+            a.dims;
+          let elem_size =
+            match a.elem_size with
+            | Some e ->
+                if e.Srcloc.value <= 0 then
+                  error e.Srcloc.loc "element size must be positive";
+                Some e.Srcloc.value
+            | None -> None
+          in
+          let decl =
+            Ir.array_decl
+              ?elem_size
+              ?file:(Option.map (fun (f : string Srcloc.located) -> f.Srcloc.value) a.file)
+              name
+              (List.map (fun (d : int Srcloc.located) -> d.Srcloc.value) a.dims)
+          in
+          arrays := decl :: !arrays;
+          (match a.stripe with
+          | Some sp ->
+              if sp.unit_bytes <= 0 then error sp.stripe_loc "stripe unit must be positive";
+              if sp.factor <= 0 then error sp.stripe_loc "stripe factor must be positive";
+              if sp.start_disk < 0 || sp.start_disk >= sp.factor then
+                error sp.stripe_loc "start disk must be in [0, factor)";
+              stripes := (name, sp) :: !stripes
+          | None -> ())
+      | Ast.Nest_decl n ->
+          let id = !next_nest_id in
+          incr next_nest_id;
+          (* Check array references against declarations seen so far or later:
+             defer to Ir.validate; but catch unknown arrays here with
+             locations for a friendlier message. *)
+          Ast.iter_accesses
+            (fun (a : Ast.access) -> ignore a)
+            (Ast.For n.top);
+          nests := resolve_nest ~next_stmt_id id n :: !nests)
+    items;
+  let program = Ir.program (List.rev !arrays) (List.rev !nests) in
+  (match Ir.validate program with
+  | Ok () -> ()
+  | Error (e :: _) -> error Srcloc.dummy (Format.asprintf "%a" Ir.pp_error e)
+  | Error [] -> ());
+  { program; stripes = List.rev !stripes }
+
+let load_file path = resolve (Parser.parse_file path)
+let load_string ?(file = "<string>") src = resolve (Parser.parse ~file src)

@@ -1,0 +1,33 @@
+module Ir = Dp_ir.Ir
+
+(** Resolution from the parsed AST to the loop-nest IR.
+
+    Responsibilities:
+    - fold AST expressions into affine form, rejecting nonlinear terms
+      (products of two non-constant expressions);
+    - require perfect nesting (statements only in the innermost loop; at
+      most one loop per level), which is the program class every
+      downstream pass assumes;
+    - collect per-array striping clauses for the layout stage;
+    - run {!Ir.validate} on the result and re-report its findings with
+      source locations where possible. *)
+
+exception Error of Srcloc.t * string
+
+type resolved = {
+  program : Ir.program;
+  stripes : (string * Ast.stripe_spec) list;
+      (** Arrays that carried an explicit [stripe(...)] clause. *)
+}
+
+val resolve : Ast.program -> resolved
+(** @raise Error on the first resolution problem. *)
+
+val affine_of_expr : Ast.expr -> Dp_affine.Affine.t
+(** Exposed for tests. @raise Error on nonlinear expressions. *)
+
+val load_file : string -> resolved
+(** [Parser.parse_file] followed by {!resolve}. *)
+
+val load_string : ?file:string -> string -> resolved
+(** Parse and resolve from a string (default [file] is ["<string>"]). *)

@@ -1,0 +1,22 @@
+type pos = { line : int; col : int }
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+let dummy =
+  { file = "<none>"; start_pos = { line = 0; col = 0 }; end_pos = { line = 0; col = 0 } }
+
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+let pos_leq a b = a.line < b.line || (a.line = b.line && a.col <= b.col)
+
+let merge a b =
+  {
+    file = a.file;
+    start_pos = (if pos_leq a.start_pos b.start_pos then a.start_pos else b.start_pos);
+    end_pos = (if pos_leq a.end_pos b.end_pos then b.end_pos else a.end_pos);
+  }
+
+let pp ppf t = Format.fprintf ppf "%s:%d:%d" t.file t.start_pos.line t.start_pos.col
+
+type 'a located = { value : 'a; loc : t }
+
+let at loc value = { value; loc }

@@ -1,0 +1,18 @@
+(** Source locations and located diagnostics for the [.dpl] frontend. *)
+
+type pos = { line : int; col : int }
+(** 1-based line, 1-based column. *)
+
+type t = { file : string; start_pos : pos; end_pos : pos }
+
+val dummy : t
+val make : file:string -> start_pos:pos -> end_pos:pos -> t
+val merge : t -> t -> t
+(** Smallest span covering both locations (assumes same file). *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as [file:line:col]. *)
+
+type 'a located = { value : 'a; loc : t }
+
+val at : t -> 'a -> 'a located

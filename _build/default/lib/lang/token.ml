@@ -1,0 +1,79 @@
+(** Tokens of the [.dpl] mini-language. *)
+
+type t =
+  | ARRAY
+  | NEST
+  | FOR
+  | WORK
+  | READ
+  | WRITE
+  | ELEM
+  | FILE
+  | STRIPE
+  | UNIT
+  | FACTOR
+  | START
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | COMMA
+  | EQUALS
+  | DOTDOT
+  | PLUS
+  | MINUS
+  | STAR
+  | EOF
+
+let keyword_table =
+  [
+    ("array", ARRAY);
+    ("nest", NEST);
+    ("for", FOR);
+    ("work", WORK);
+    ("read", READ);
+    ("write", WRITE);
+    ("elem", ELEM);
+    ("file", FILE);
+    ("stripe", STRIPE);
+    ("unit", UNIT);
+    ("factor", FACTOR);
+    ("start", START);
+  ]
+
+let to_string = function
+  | ARRAY -> "array"
+  | NEST -> "nest"
+  | FOR -> "for"
+  | WORK -> "work"
+  | READ -> "read"
+  | WRITE -> "write"
+  | ELEM -> "elem"
+  | FILE -> "file"
+  | STRIPE -> "stripe"
+  | UNIT -> "unit"
+  | FACTOR -> "factor"
+  | START -> "start"
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | INT n -> Printf.sprintf "integer %d" n
+  | STRING s -> Printf.sprintf "string %S" s
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | EQUALS -> "="
+  | DOTDOT -> ".."
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | EOF -> "end of input"

@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Dp_ir Format List Option Printf Striping

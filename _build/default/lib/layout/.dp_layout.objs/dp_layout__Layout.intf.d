@@ -1,0 +1,1 @@
+lib/layout/layout.mli: Dp_ir Format Striping

@@ -1,0 +1,1 @@
+lib/layout/raid.ml: Format List

@@ -1,0 +1,1 @@
+lib/layout/striping.ml: Format List

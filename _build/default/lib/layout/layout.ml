@@ -1,0 +1,98 @@
+module Ir = Dp_ir.Ir
+
+type entry = { decl : Ir.array_decl; striping : Striping.t; base : int }
+type t = { entries : entry list; disk_count : int }
+
+let make ?(default = Striping.default) ?(overrides = []) (prog : Ir.program) =
+  List.iter
+    (fun (name, _) ->
+      if Ir.find_array prog name = None then
+        invalid_arg (Printf.sprintf "Layout.make: override for unknown array %s" name))
+    overrides;
+  let next = ref 0 in
+  let entries =
+    List.map
+      (fun (decl : Ir.array_decl) ->
+        let striping =
+          Option.value ~default (List.assoc_opt decl.name overrides)
+        in
+        (* Align each file's base so its stripe 0 begins a fresh stripe
+           row; addresses within the file are file offsets plus base. *)
+        let width = striping.Striping.unit_bytes * striping.Striping.factor in
+        let base = (!next + width - 1) / width * width in
+        next := base + Ir.array_bytes decl;
+        { decl; striping; base })
+      prog.arrays
+  in
+  let disk_count =
+    List.fold_left (fun acc e -> max acc e.striping.Striping.factor) 1 entries
+  in
+  { entries; disk_count }
+
+let find t name =
+  match List.find_opt (fun e -> e.decl.Ir.name = name) t.entries with
+  | Some e -> e
+  | None -> raise Not_found
+
+let linear_index entry coords =
+  let dims = entry.decl.Ir.dims in
+  if List.length coords <> List.length dims then
+    invalid_arg "Layout.linear_index: arity mismatch";
+  List.fold_left2
+    (fun acc c extent ->
+      if c < 0 || c >= extent then
+        invalid_arg
+          (Printf.sprintf "Layout.linear_index: coordinate %d out of [0, %d) in %s" c extent
+             entry.decl.Ir.name);
+      (acc * extent) + c)
+    0 coords dims
+
+let element_file_offset t name coords =
+  let e = find t name in
+  linear_index e coords * e.decl.Ir.elem_size
+
+let element_address t name coords =
+  let e = find t name in
+  e.base + (linear_index e coords * e.decl.Ir.elem_size)
+
+let disk_of_element t name coords =
+  let e = find t name in
+  Striping.disk_of_offset e.striping (linear_index e coords * e.decl.Ir.elem_size)
+
+let request_of_element t name coords =
+  let e = find t name in
+  let file_offset = linear_index e coords * e.decl.Ir.elem_size in
+  (Striping.disk_of_offset e.striping file_offset, e.base + file_offset, e.decl.Ir.elem_size)
+
+let lba_of_element t name coords =
+  let e = find t name in
+  let unit = e.striping.Striping.unit_bytes in
+  let file_offset = linear_index e coords * e.decl.Ir.elem_size in
+  let stripe = file_offset / unit in
+  (e.base / e.striping.Striping.factor)
+  + (stripe / e.striping.Striping.factor * unit)
+  + (file_offset mod unit)
+
+let elements_per_stripe t name =
+  let e = find t name in
+  max 1 (e.striping.Striping.unit_bytes / e.decl.Ir.elem_size)
+
+let disk_of_address t addr =
+  let e =
+    match
+      List.find_opt
+        (fun e -> addr >= e.base && addr < e.base + Ir.array_bytes e.decl)
+        t.entries
+    with
+    | Some e -> e
+    | None -> raise Not_found
+  in
+  Striping.disk_of_offset e.striping (addr - e.base)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d I/O node(s)@," t.disk_count;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "%s: base=%d, %a@," e.decl.Ir.name e.base Striping.pp e.striping)
+    t.entries;
+  Format.fprintf ppf "@]"

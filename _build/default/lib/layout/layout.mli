@@ -1,0 +1,60 @@
+module Ir = Dp_ir.Ir
+
+(** Program-level disk layout: the striping of every array's backing file
+    plus a global byte-address space for traces.
+
+    Each array lives in its own file (Section 2's one-to-one mapping) and
+    each file is striped independently over the I/O nodes.  Arrays are
+    laid out row-major; an element access stands for one page-granularity
+    I/O request of the array's [elem_size] bytes. *)
+
+type entry = { decl : Ir.array_decl; striping : Striping.t; base : int }
+
+type t = private {
+  entries : entry list;
+  disk_count : int;  (** number of I/O nodes (max striping factor) *)
+}
+
+val make : ?default:Striping.t -> ?overrides:(string * Striping.t) list -> Ir.program -> t
+(** Build a layout for every array of the program.  [default] (Table 1
+    values unless given) applies to arrays without an override.  Array
+    bases are aligned to the array's full stripe width so stripe 0 of
+    every file starts on its [start_disk].
+    @raise Invalid_argument for an override naming an unknown array. *)
+
+val find : t -> string -> entry
+(** @raise Not_found for an unknown array. *)
+
+val linear_index : entry -> int list -> int
+(** Row-major element index.
+    @raise Invalid_argument on wrong arity or out-of-bounds coordinates. *)
+
+val element_address : t -> string -> int list -> int
+(** Global byte address of an element. *)
+
+val element_file_offset : t -> string -> int list -> int
+(** Byte offset of an element within its own file. *)
+
+val disk_of_element : t -> string -> int list -> int
+(** I/O node that serves accesses to this element. *)
+
+val request_of_element : t -> string -> int list -> int * int * int
+(** [(disk, global_address, size_bytes)] of the element's page request.
+    Element pages never straddle stripe units when [elem_size] divides
+    the stripe unit; otherwise the request is attributed to the node
+    holding its first byte. *)
+
+val lba_of_element : t -> string -> int list -> int
+(** Byte position of the element {e on its I/O node}: the stripes a node
+    stores are contiguous there, so two file locations a full stripe
+    width apart are adjacent on the node.  Seek distances must be
+    computed in this space. *)
+
+val elements_per_stripe : t -> string -> int
+(** How many consecutive elements share a stripe unit (>= 1). *)
+
+val disk_of_address : t -> int -> int
+(** I/O node for a global byte address (resolves the owning array).
+    @raise Not_found when the address belongs to no array. *)
+
+val pp : Format.formatter -> t -> unit

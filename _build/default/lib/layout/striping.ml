@@ -1,0 +1,34 @@
+type t = { unit_bytes : int; factor : int; start_disk : int }
+
+let make ~unit_bytes ~factor ~start_disk =
+  if unit_bytes < 1 then invalid_arg "Striping.make: unit_bytes must be >= 1";
+  if factor < 1 then invalid_arg "Striping.make: factor must be >= 1";
+  if start_disk < 0 || start_disk >= factor then
+    invalid_arg "Striping.make: start_disk must be in [0, factor)";
+  { unit_bytes; factor; start_disk }
+
+let default = make ~unit_bytes:(32 * 1024) ~factor:8 ~start_disk:0
+
+let stripe_of_offset t offset =
+  if offset < 0 then invalid_arg "Striping.stripe_of_offset: negative offset";
+  offset / t.unit_bytes
+
+let disk_of_stripe t stripe = (t.start_disk + stripe) mod t.factor
+let disk_of_offset t offset = disk_of_stripe t (stripe_of_offset t offset)
+
+let span t ~offset ~size =
+  if size < 0 then invalid_arg "Striping.span: negative size";
+  let rec pieces offset remaining acc =
+    if remaining <= 0 then List.rev acc
+    else begin
+      let within = offset mod t.unit_bytes in
+      let chunk = min remaining (t.unit_bytes - within) in
+      pieces (offset + chunk) (remaining - chunk)
+        ((disk_of_offset t offset, offset, chunk) :: acc)
+    end
+  in
+  pieces offset size []
+
+let pp ppf t =
+  Format.fprintf ppf "stripe(unit=%dB, factor=%d, start=%d)" t.unit_bytes t.factor
+    t.start_disk

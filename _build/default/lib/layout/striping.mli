@@ -1,0 +1,29 @@
+(** I/O-node-level striping of a file (Section 2).
+
+    A file is cut into consecutive stripe units of [unit_bytes]; unit [u]
+    is stored on I/O node [(start_disk + u) mod factor].  This is the
+    striping visible to the compiler (the PVFS [pvfs_filestat]
+    equivalent: stripe unit, stripe factor, starting iodevice). *)
+
+type t = { unit_bytes : int; factor : int; start_disk : int }
+
+val make : unit_bytes:int -> factor:int -> start_disk:int -> t
+(** @raise Invalid_argument unless [unit_bytes >= 1], [factor >= 1] and
+    [0 <= start_disk < factor]. *)
+
+val default : t
+(** Table 1 defaults: 32 KB unit, 8 disks, starting at the first disk. *)
+
+val stripe_of_offset : t -> int -> int
+(** Index of the stripe unit containing a byte offset. *)
+
+val disk_of_offset : t -> int -> int
+(** I/O node holding a byte offset. *)
+
+val disk_of_stripe : t -> int -> int
+
+val span : t -> offset:int -> size:int -> (int * int * int) list
+(** Decompose a byte range into per-stripe-unit pieces
+    [(disk, offset, size)]; a range within one unit yields one piece. *)
+
+val pp : Format.formatter -> t -> unit

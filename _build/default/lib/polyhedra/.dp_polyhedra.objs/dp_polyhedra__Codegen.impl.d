@@ -1,0 +1,1 @@
+lib/polyhedra/codegen.ml: Array Dp_affine Dp_ir Dp_util Format Iset Lincons List String

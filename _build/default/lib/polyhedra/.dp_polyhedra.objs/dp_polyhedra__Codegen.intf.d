@@ -1,0 +1,1 @@
+lib/polyhedra/codegen.mli: Dp_affine Dp_ir Format Iset Lincons Union

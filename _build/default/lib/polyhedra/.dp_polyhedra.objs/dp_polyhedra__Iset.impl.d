@@ -1,0 +1,1 @@
+lib/polyhedra/iset.ml: Array Dp_affine Dp_ir Dp_util Format Lincons List Printf Set String

@@ -1,0 +1,1 @@
+lib/polyhedra/iset.mli: Dp_ir Format Lincons

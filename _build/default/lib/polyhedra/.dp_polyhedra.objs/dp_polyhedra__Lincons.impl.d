@@ -1,0 +1,1 @@
+lib/polyhedra/lincons.ml: Dp_affine Format List

@@ -1,0 +1,1 @@
+lib/polyhedra/lincons.mli: Dp_affine Format

@@ -1,0 +1,1 @@
+lib/polyhedra/union.ml: Dp_util Format Iset Lincons List

@@ -1,0 +1,1 @@
+lib/polyhedra/union.mli: Format Iset

@@ -1,0 +1,43 @@
+type t = Iset.t list
+
+let of_iset s = [ s ]
+let empty = []
+
+let prune = List.filter (fun s -> not (Iset.definitely_empty s))
+
+let intersect_iset u s = prune (List.map (Iset.intersect s) u)
+let union a b = a @ b
+
+(* u - s  =  u /\ not s  =  union over constraints c of s of (u /\ not c),
+   refined left-to-right so the disjuncts are pairwise disjoint:
+   not (c1 /\ c2 /\ ...) = not c1  \/  (c1 /\ not c2)  \/  ... *)
+let difference u (s : Iset.t) =
+  let rec split kept = function
+    | [] -> []
+    | c :: rest ->
+        let branches =
+          List.map
+            (fun neg -> List.map (fun d -> Iset.constrain d (neg :: kept)) u)
+            (Lincons.negate c)
+        in
+        List.concat branches @ split (c :: kept) rest
+  in
+  prune (split [] s.Iset.cons)
+
+let definitely_empty u = List.for_all Iset.definitely_empty u
+let is_empty_exact u = List.for_all Iset.is_empty_exact u
+
+let enumerate u =
+  List.concat_map Iset.enumerate u
+  |> List.sort_uniq (fun a b -> Dp_util.Ivec.compare_lex a b)
+
+let cardinal u = List.length (enumerate u)
+let contains u p = List.exists (fun s -> Iset.contains s p) u
+
+let pp ppf u =
+  match u with
+  | [] -> Format.pp_print_string ppf "{}"
+  | _ ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ union ")
+        Iset.pp ppf u

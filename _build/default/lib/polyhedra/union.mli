@@ -1,0 +1,29 @@
+(** Finite unions of conjunctive sets, closed under the operations the
+    restructurer needs (notably difference: the Fig.-3 algorithm's
+    [Q := Q - Q_di] update). *)
+
+type t = Iset.t list
+(** Disjuncts over a common variable list. *)
+
+val of_iset : Iset.t -> t
+val empty : t
+
+val intersect_iset : t -> Iset.t -> t
+val union : t -> t -> t
+
+val difference : t -> Iset.t -> t
+(** [difference u s]: subtract one conjunctive set, distributing the
+    complement of [s] ({!Lincons.negate} per constraint) over the
+    disjuncts and dropping those that become definitely empty. *)
+
+val definitely_empty : t -> bool
+val is_empty_exact : t -> bool
+(** @raise Iset.Unbounded on unbounded disjuncts. *)
+
+val enumerate : t -> int array list
+(** Points of the union, deduplicated, in lexicographic order.
+    @raise Iset.Unbounded on unbounded disjuncts. *)
+
+val cardinal : t -> int
+val contains : t -> int array -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/restructure/cluster.ml: Array Dp_dependence Dp_ir Dp_layout Dp_util Fun Hashtbl List Printf

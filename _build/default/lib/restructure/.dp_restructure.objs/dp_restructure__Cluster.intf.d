@@ -1,0 +1,1 @@
+lib/restructure/cluster.mli: Dp_dependence Dp_ir Dp_layout

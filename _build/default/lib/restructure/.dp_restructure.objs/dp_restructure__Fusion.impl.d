@@ -1,0 +1,1 @@
+lib/restructure/fusion.ml: Array Dp_dependence Dp_ir Dp_util Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/restructure/fusion.mli: Dp_dependence Dp_ir

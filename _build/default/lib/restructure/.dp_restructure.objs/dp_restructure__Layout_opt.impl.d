@@ -1,0 +1,1 @@
+lib/restructure/layout_opt.ml: Array Dp_dependence Dp_ir Dp_layout Dp_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/restructure/layout_opt.mli: Dp_dependence Dp_ir Dp_layout

@@ -1,0 +1,1 @@
+lib/restructure/parallelize.ml: Array Dp_affine Dp_dependence Dp_ir Dp_layout Dp_util Format Hashtbl List Option Printf

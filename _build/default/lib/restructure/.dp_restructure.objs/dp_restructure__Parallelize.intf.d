@@ -1,0 +1,1 @@
+lib/restructure/parallelize.mli: Dp_dependence Dp_ir Dp_layout Format

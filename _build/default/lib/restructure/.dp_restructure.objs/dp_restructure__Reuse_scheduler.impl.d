@@ -1,0 +1,1 @@
+lib/restructure/reuse_scheduler.ml: Array Cluster Dp_dependence Dp_ir Dp_layout Dp_util List

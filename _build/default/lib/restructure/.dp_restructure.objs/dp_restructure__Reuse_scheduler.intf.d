@@ -1,0 +1,1 @@
+lib/restructure/reuse_scheduler.mli: Cluster Dp_dependence Dp_ir Dp_layout

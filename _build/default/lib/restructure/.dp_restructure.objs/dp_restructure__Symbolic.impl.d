@@ -1,0 +1,1 @@
+lib/restructure/symbolic.ml: Array Dp_affine Dp_dependence Dp_ir Dp_layout Dp_polyhedra Dp_util Format List Printf

@@ -1,0 +1,1 @@
+lib/restructure/symbolic.mli: Dp_ir Dp_layout Dp_polyhedra Format

@@ -1,0 +1,1 @@
+lib/restructure/transform.ml: Array Dp_affine Dp_dependence Dp_ir Dp_layout Dp_util List

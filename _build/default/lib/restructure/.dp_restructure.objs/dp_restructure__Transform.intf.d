@@ -1,0 +1,1 @@
+lib/restructure/transform.mli: Dp_ir Dp_layout

@@ -1,0 +1,97 @@
+module Ir = Dp_ir.Ir
+module Concrete = Dp_dependence.Concrete
+module Ivec = Dp_util.Ivec
+
+let headers_match (a : Ir.nest) (b : Ir.nest) = a.Ir.loops = b.Ir.loops
+
+(* seq ranges of each nest in the concrete graph: instances of one nest
+   are contiguous and in program order. *)
+let seq_ranges (prog : Ir.program) (g : Concrete.graph) =
+  let tbl = Hashtbl.create 8 in
+  Array.iter
+    (fun (inst : Concrete.instance) ->
+      let lo, hi =
+        Option.value
+          ~default:(inst.Concrete.seq, inst.Concrete.seq)
+          (Hashtbl.find_opt tbl inst.Concrete.nest_id)
+      in
+      Hashtbl.replace tbl inst.Concrete.nest_id
+        (min lo inst.Concrete.seq, max hi inst.Concrete.seq))
+    g.Concrete.instances;
+  ignore prog;
+  tbl
+
+let fusion_legal (g : Concrete.graph) (a : Ir.nest) (b : Ir.nest) =
+  headers_match a b
+  &&
+  (* Every dependence from an instance of [a] to an instance of [b]
+     must go to the same or a later iteration vector. *)
+  let ok = ref true in
+  Array.iteri
+    (fun dst preds ->
+      let dst_inst = g.Concrete.instances.(dst) in
+      if dst_inst.Concrete.nest_id = b.Ir.nest_id then
+        Array.iter
+          (fun src ->
+            let src_inst = g.Concrete.instances.(src) in
+            if src_inst.Concrete.nest_id = a.Ir.nest_id then
+              if Ivec.compare_lex src_inst.Concrete.iter dst_inst.Concrete.iter > 0 then
+                ok := false)
+          preds)
+    g.Concrete.preds;
+  !ok
+
+let groups (prog : Ir.program) (g : Concrete.graph) =
+  let rec build acc current = function
+    | [] -> List.rev (List.rev current :: acc)
+    | n :: rest -> (
+        match current with
+        | [] -> build acc [ n ] rest
+        | last :: _ ->
+            (* Fusing into a group requires legality against every member
+               (dependences may skip over the immediate neighbor). *)
+            if
+              headers_match last n
+              && List.for_all (fun m -> fusion_legal g m n) current
+            then build acc (n :: current) rest
+            else build (List.rev current :: acc) [ n ] rest)
+  in
+  match prog.Ir.nests with [] -> [] | ns -> build [] [] ns
+
+let order (prog : Ir.program) (g : Concrete.graph) =
+  let ranges = seq_ranges prog g in
+  let out = Array.make (Concrete.instance_count g) (-1) in
+  let pos = ref 0 in
+  let emit seq =
+    out.(!pos) <- seq;
+    incr pos
+  in
+  List.iter
+    (fun group ->
+      match group with
+      | [ (n : Ir.nest) ] ->
+          (match Hashtbl.find_opt ranges n.Ir.nest_id with
+          | Some (lo, hi) ->
+              for seq = lo to hi do
+                emit seq
+              done
+          | None -> ())
+      | nests ->
+          (* All members share the iteration space; walk it once and
+             emit each member's matching instance, in program order of
+             the members. *)
+          let bases =
+            List.filter_map
+              (fun (n : Ir.nest) ->
+                Option.map (fun (lo, _) -> lo) (Hashtbl.find_opt ranges n.Ir.nest_id))
+              nests
+          in
+          let count =
+            match nests with [] -> 0 | n :: _ -> Ir.iteration_count n
+          in
+          for k = 0 to count - 1 do
+            List.iter (fun base -> emit (base + k)) bases
+          done)
+    (groups prog g);
+  assert (!pos = Array.length out);
+  out

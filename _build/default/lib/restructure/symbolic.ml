@@ -1,0 +1,122 @@
+module Ir = Dp_ir.Ir
+module Affine = Dp_affine.Affine
+module Layout = Dp_layout.Layout
+module Striping = Dp_layout.Striping
+module Iset = Dp_polyhedra.Iset
+module Lincons = Dp_polyhedra.Lincons
+module Codegen = Dp_polyhedra.Codegen
+module Analysis = Dp_dependence.Analysis
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+(* The anchor reference of a nest: its textually first array reference. *)
+let anchor_ref (n : Ir.nest) =
+  let refs = List.concat_map (fun (s : Ir.stmt) -> s.refs) n.body in
+  match refs with
+  | r :: _ -> r
+  | [] -> unsupported "nest %d has no array references" n.nest_id
+
+(* Rows of the anchor array per stripe unit. *)
+let rows_per_stripe layout (r : Ir.array_ref) =
+  let entry = Layout.find layout r.array in
+  let decl = entry.Layout.decl in
+  let striping = entry.Layout.striping in
+  let ncols =
+    match decl.Ir.dims with [] -> 1 | _ :: rest -> List.fold_left ( * ) 1 rest
+  in
+  let row_bytes = ncols * decl.Ir.elem_size in
+  if striping.Striping.unit_bytes mod row_bytes <> 0 then
+    unsupported "stripe unit (%d B) does not hold whole rows of %s (%d B each)"
+      striping.Striping.unit_bytes r.array row_bytes;
+  (striping.Striping.unit_bytes / row_bytes, striping)
+
+let stripe_var (n : Ir.nest) =
+  let indices = Ir.nest_indices n in
+  let rec fresh candidate = if List.mem candidate indices then fresh (candidate ^ "'") else candidate in
+  fresh (Printf.sprintf "s%d" n.nest_id)
+
+let per_disk_set layout (n : Ir.nest) ~disk =
+  let r = anchor_ref n in
+  let row_expr =
+    match r.subscripts with
+    | e :: _ -> e
+    | [] -> unsupported "anchor reference of nest %d has no subscripts" n.nest_id
+  in
+  let q, striping = rows_per_stripe layout r in
+  if disk < 0 || disk >= striping.Striping.factor then
+    unsupported "disk %d outside the stripe factor %d" disk striping.Striping.factor;
+  let s = stripe_var n in
+  let domain = Iset.of_nest n in
+  let vars = s :: domain.Iset.vars in
+  let sv = Affine.var s in
+  let cons =
+    domain.Iset.cons
+    @ [
+        (* q*s <= row_expr <= q*s + q - 1 *)
+        Lincons.ge (Affine.sub row_expr (Affine.scale q sv));
+        Lincons.ge
+          (Affine.sub
+             (Affine.add (Affine.scale q sv) (Affine.const (q - 1)))
+             row_expr);
+        (* s is on the residue class of [disk]. *)
+        Lincons.stride
+          (Affine.add sv (Affine.const (striping.Striping.start_disk - disk)))
+          striping.Striping.factor;
+      ]
+  in
+  Iset.make vars cons
+
+type piece = { nest_id : int; code : Codegen.code list }
+type disk_schedule = { disk : int; pieces : piece list }
+
+let restructure layout (prog : Ir.program) =
+  List.iter
+    (fun (n : Ir.nest) ->
+      if Analysis.distance_vectors n <> [] then
+        unsupported
+          "nest %d carries data dependences; use the concrete reuse scheduler"
+          n.nest_id)
+    prog.nests;
+  let disk_count = layout.Layout.disk_count in
+  List.map
+    (fun disk ->
+      let pieces =
+        List.filter_map
+          (fun (n : Ir.nest) ->
+            let set = per_disk_set layout n ~disk in
+            if Iset.definitely_empty set then None
+            else
+              let payload = Printf.sprintf "body of nest %d" n.nest_id in
+              match Codegen.scan set ~payload with
+              | [] -> None
+              | code -> Some { nest_id = n.nest_id; code })
+          prog.nests
+      in
+      { disk; pieces })
+    (Dp_util.Listx.range 0 (disk_count - 1))
+
+let pp_disk_schedule ppf d =
+  Format.fprintf ppf "@[<v>// ---- disk %d ----@," d.disk;
+  List.iter
+    (fun p -> Format.fprintf ppf "// nest %d@,%a" p.nest_id Codegen.pp p.code)
+    d.pieces;
+  Format.fprintf ppf "@]"
+
+let pp ppf ds =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun d -> Format.fprintf ppf "%a@," pp_disk_schedule d) ds;
+  Format.fprintf ppf "@]"
+
+let scheduled_iterations layout prog ~disk ~nest_id =
+  let n =
+    match List.find_opt (fun (n : Ir.nest) -> n.nest_id = nest_id) prog.Ir.nests with
+    | Some n -> n
+    | None -> invalid_arg (Printf.sprintf "Symbolic.scheduled_iterations: unknown nest %d" nest_id)
+  in
+  let set = per_disk_set layout n ~disk in
+  (* Drop the leading stripe variable from each point. *)
+  List.map
+    (fun p -> Array.sub p 1 (Array.length p - 1))
+    (Iset.enumerate set)

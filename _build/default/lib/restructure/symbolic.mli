@@ -1,0 +1,44 @@
+module Ir = Dp_ir.Ir
+module Layout = Dp_layout.Layout
+module Iset = Dp_polyhedra.Iset
+module Codegen = Dp_polyhedra.Codegen
+
+(** Symbolic (compile-time) disk-reuse restructuring — the
+    omega-lite-backed path of Fig. 3 for dependence-free programs,
+    reproducing the shape of the transformed code in Fig. 2(c).
+
+    For every nest, the set of iterations touching I/O node [d] is built
+    as an integer set: an auxiliary stripe variable [s] is related to the
+    anchor reference's row subscript by [q*s <= row < q*(s+1)] (with [q]
+    rows per stripe unit) and constrained to the node's residue class
+    [s + start = d (mod factor)].  Scanning those sets disk-by-disk
+    yields code that finishes all accesses to one node before touching
+    the next. *)
+
+exception Unsupported of string
+(** Raised when a program falls outside the symbolic fast path: a nest
+    carries a data dependence (handled instead by the concrete
+    {!Reuse_scheduler}), a nest's anchor row subscript is not a plain
+    affine expression, or the stripe unit does not hold a whole number
+    of array rows. *)
+
+val per_disk_set : Layout.t -> Ir.nest -> disk:int -> Iset.t
+(** Iterations of the nest whose anchor reference falls on [disk], over
+    the variables [stripe_var :: nest indices].
+    @raise Unsupported (see above). *)
+
+type piece = { nest_id : int; code : Codegen.code list }
+type disk_schedule = { disk : int; pieces : piece list }
+
+val restructure : Layout.t -> Ir.program -> disk_schedule list
+(** The transformed program: disks in increasing order, and for each
+    disk the scan of every nest's per-disk set (nests in program order).
+    @raise Unsupported when some nest has loop-carried dependences or an
+    unsupported anchor/striping combination. *)
+
+val pp_disk_schedule : Format.formatter -> disk_schedule -> unit
+val pp : Format.formatter -> disk_schedule list -> unit
+
+val scheduled_iterations : Layout.t -> Ir.program -> disk:int -> nest_id:int -> int array list
+(** Concrete points of {!per_disk_set} (without the stripe variable) —
+    used to validate the symbolic path against the concrete scheduler. *)

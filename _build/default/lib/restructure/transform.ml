@@ -1,0 +1,206 @@
+module Ir = Dp_ir.Ir
+module Affine = Dp_affine.Affine
+module Layout = Dp_layout.Layout
+module Depvec = Dp_dependence.Depvec
+module Analysis = Dp_dependence.Analysis
+
+let check_perm depth perm =
+  if Array.length perm <> depth then invalid_arg "Transform: permutation length mismatch";
+  let seen = Array.make depth false in
+  Array.iter
+    (fun d ->
+      if d < 0 || d >= depth || seen.(d) then
+        invalid_arg "Transform: not a permutation of the loop depths";
+      seen.(d) <- true)
+    perm
+
+(* Provably lexicographically non-negative after permutation:
+   exact zeros, then either the end (zero vector) or an exact positive
+   entry.  Any [Any] before that point may hide a negative leader. *)
+let lex_nonneg_certain entries =
+  let rec walk = function
+    | [] -> true
+    | Depvec.Dist 0 :: rest -> walk rest
+    | Depvec.Dist d :: _ -> d > 0
+    | Depvec.Any :: _ -> false
+  in
+  walk entries
+
+let permute_vector perm v =
+  let arr = Array.of_list v in
+  Array.to_list (Array.map (fun d -> if d < Array.length arr then arr.(d) else Depvec.Dist 0) perm)
+
+let bounds_respect_order (n : Ir.nest) perm =
+  (* In the new order, a loop's bounds may reference only indices of
+     shallower new positions. *)
+  let loops = Array.of_list n.Ir.loops in
+  let ok = ref true in
+  Array.iteri
+    (fun new_depth old_depth ->
+      let l = loops.(old_depth) in
+      let allowed =
+        Array.to_list (Array.sub perm 0 new_depth)
+        |> List.map (fun d -> loops.(d).Ir.index)
+      in
+      List.iter
+        (fun v -> if not (List.mem v allowed) then ok := false)
+        (Affine.vars l.Ir.lo @ Affine.vars l.Ir.hi))
+    perm;
+  !ok
+
+let permute_legal (n : Ir.nest) perm =
+  let depth = Ir.nest_depth n in
+  check_perm depth perm;
+  bounds_respect_order n perm
+  && List.for_all
+       (fun v -> lex_nonneg_certain (permute_vector perm v))
+       (Analysis.distance_vectors n)
+
+let permute (n : Ir.nest) perm =
+  if not (permute_legal n perm) then invalid_arg "Transform.permute: illegal permutation";
+  let loops = Array.of_list n.Ir.loops in
+  { n with Ir.loops = Array.to_list (Array.map (fun d -> loops.(d)) perm) }
+
+let transposition depth a b =
+  Array.init depth (fun d -> if d = a then b else if d = b then a else d)
+
+let interchange_legal n a b = permute_legal n (transposition (Ir.nest_depth n) a b)
+let interchange n a b = permute n (transposition (Ir.nest_depth n) a b)
+
+let reversal_legal (n : Ir.nest) k =
+  let depth = Ir.nest_depth n in
+  if k < 0 || k >= depth then invalid_arg "Transform.reversal_legal: depth out of range";
+  List.for_all
+    (fun v ->
+      let entries =
+        List.mapi
+          (fun d e ->
+            if d <> k then e
+            else match e with Depvec.Dist x -> Depvec.Dist (-x) | Depvec.Any -> Depvec.Any)
+          v
+      in
+      lex_nonneg_certain entries)
+    (Analysis.distance_vectors n)
+
+let reverse (n : Ir.nest) k =
+  if not (reversal_legal n k) then invalid_arg "Transform.reverse: illegal reversal";
+  let loops = Array.of_list n.Ir.loops in
+  let l = loops.(k) in
+  (* Any deeper loop bound or subscript referencing the index must see
+     lo + hi - index instead. *)
+  let mirrored = Affine.add l.Ir.lo l.Ir.hi in
+  let subst e = Affine.subst l.Ir.index (Affine.sub mirrored (Affine.var l.Ir.index)) e in
+  List.iteri
+    (fun d (other : Ir.loop) ->
+      if d <> k && (Affine.coeff other.Ir.lo l.Ir.index <> 0 || Affine.coeff other.Ir.hi l.Ir.index <> 0)
+      then invalid_arg "Transform.reverse: another loop's bounds depend on the reversed index")
+    n.Ir.loops;
+  let body =
+    List.map
+      (fun (s : Ir.stmt) ->
+        {
+          s with
+          Ir.refs =
+            List.map
+              (fun (r : Ir.array_ref) -> { r with Ir.subscripts = List.map subst r.Ir.subscripts })
+              s.Ir.refs;
+        })
+      n.Ir.body
+  in
+  { n with Ir.body = body }
+
+(* Rotation bringing depth k to the front, preserving the relative order
+   of the others (less disruptive than a transposition). *)
+let rotation depth k =
+  Array.init depth (fun d -> if d = 0 then k else if d <= k then d - 1 else d)
+
+let strip_mine (n : Ir.nest) ~depth ~width =
+  let loops = Array.of_list n.Ir.loops in
+  if depth < 0 || depth >= Array.length loops then
+    invalid_arg "Transform.strip_mine: depth out of range";
+  if width < 1 then invalid_arg "Transform.strip_mine: width must be >= 1";
+  let l = loops.(depth) in
+  if not (Affine.is_const l.Ir.lo && Affine.is_const l.Ir.hi) then
+    invalid_arg "Transform.strip_mine: bounds must be constant";
+  let lo = Affine.constant l.Ir.lo and hi = Affine.constant l.Ir.hi in
+  let trips = hi - lo + 1 in
+  if trips mod width <> 0 then
+    invalid_arg "Transform.strip_mine: width must divide the trip count";
+  let taken = Ir.nest_indices n in
+  let rec fresh candidate =
+    if List.mem candidate taken then fresh (candidate ^ "'") else candidate
+  in
+  let block = fresh (l.Ir.index ^ "b") in
+  (* i = lo + width*block + inner, block in [0, trips/width), inner in
+     [0, width).  The body keeps the original index name by substituting
+     its reconstruction. *)
+  let inner = fresh (l.Ir.index ^ "i") in
+  let reconstruction =
+    Affine.add (Affine.const lo)
+      (Affine.add (Affine.term width block) (Affine.var inner))
+  in
+  let subst e = Affine.subst l.Ir.index reconstruction e in
+  let new_loops =
+    List.concat
+      (List.mapi
+         (fun d (orig : Ir.loop) ->
+           if d <> depth then
+             [ { orig with Ir.lo = subst orig.Ir.lo; hi = subst orig.Ir.hi } ]
+           else
+             [
+               Ir.loop block (Affine.const 0) (Affine.const ((trips / width) - 1));
+               Ir.loop inner (Affine.const 0) (Affine.const (width - 1));
+             ])
+         n.Ir.loops)
+  in
+  let body =
+    List.map
+      (fun (s : Ir.stmt) ->
+        {
+          s with
+          Ir.refs =
+            List.map
+              (fun (r : Ir.array_ref) ->
+                { r with Ir.subscripts = List.map subst r.Ir.subscripts })
+              s.Ir.refs;
+        })
+      n.Ir.body
+  in
+  { n with Ir.loops = new_loops; body }
+
+let tile (n : Ir.nest) ~depth ~width =
+  let stripped = strip_mine n ~depth ~width in
+  (* Hoist the block loop (now at [depth]) to the front. *)
+  let perm = rotation (Ir.nest_depth stripped) depth in
+  permute stripped perm
+
+let row_loop_depth layout (n : Ir.nest) =
+  ignore layout;
+  let refs = List.concat_map (fun (s : Ir.stmt) -> s.Ir.refs) n.Ir.body in
+  match refs with
+  | [] -> None
+  | (r : Ir.array_ref) :: _ -> (
+      match r.Ir.subscripts with
+      | [] -> None
+      | row :: _ -> (
+          match Affine.terms row with
+          | [ (v, _) ] -> Dp_util.Listx.index_of (fun (l : Ir.loop) -> l.Ir.index = v) n.Ir.loops
+          | _ -> None))
+
+let normalize_rows_outermost layout (prog : Ir.program) =
+  let changed = ref 0 in
+  let nests =
+    List.map
+      (fun (n : Ir.nest) ->
+        match row_loop_depth layout n with
+        | Some k when k > 0 ->
+            let perm = rotation (Ir.nest_depth n) k in
+            if permute_legal n perm then begin
+              incr changed;
+              permute n perm
+            end
+            else n
+        | _ -> n)
+      prog.Ir.nests
+  in
+  ({ prog with Ir.nests }, !changed)

@@ -1,0 +1,67 @@
+module Ir = Dp_ir.Ir
+module Layout = Dp_layout.Layout
+
+(** Classic unimodular loop transformations on the IR — interchange and
+    reversal — with distance-vector legality, plus a layout-driven
+    normalization pass that rotates each nest so the loop indexing the
+    anchor array's {e row} dimension (the dimension striping distributes)
+    runs outermost.  Restructuring then clusters along contiguous loop
+    ranges, and the generated per-disk code is simpler (compare the
+    paper's Fig. 2(c), whose outer loops walk stripes).
+
+    Legality is conservative: a transformed dependence vector must be
+    provably lexicographically non-negative; any [Any] entry met before
+    the sign is settled rejects the transformation. *)
+
+val permute_legal : Ir.nest -> int array -> bool
+(** [permute_legal nest perm] — may the loops be reordered so the loop
+    now at depth [d] is the original loop [perm.(d)]?  Checks both the
+    dependence condition and that every loop's bounds only reference
+    loops outside the nest or at shallower (new) depths.
+    @raise Invalid_argument if [perm] is not a permutation of the
+    depths. *)
+
+val permute : Ir.nest -> int array -> Ir.nest
+(** Apply a loop permutation.  Subscripts are untouched (they reference
+    indices by name).  @raise Invalid_argument when not
+    [permute_legal]. *)
+
+val interchange_legal : Ir.nest -> int -> int -> bool
+val interchange : Ir.nest -> int -> int -> Ir.nest
+(** Swap the loops at two depths (a transposition permutation). *)
+
+val reversal_legal : Ir.nest -> int -> bool
+(** May loop [k] run backwards? *)
+
+val reverse : Ir.nest -> int -> Ir.nest
+(** Run loop [k] from its upper to its lower bound.  Implemented by the
+    standard substitution [i := lo + hi - i'], which requires the
+    bounds not to depend on deeper loops (always true) and keeps the
+    iteration set identical.  @raise Invalid_argument when not
+    [reversal_legal] or when another loop's bounds depend on [k]. *)
+
+val strip_mine : Ir.nest -> depth:int -> width:int -> Ir.nest
+(** Split the loop at [depth] into a block loop and an intra-block loop
+    of [width] iterations ([i] becomes [ib*width + i']); always legal —
+    the iteration order is unchanged.  Requires constant bounds whose
+    trip count [width] divides (the affine IR cannot express the
+    remainder loop's [min] bound).  Fresh indices are derived from the
+    original name.
+    @raise Invalid_argument on non-constant bounds, non-dividing widths,
+    or an out-of-range depth. *)
+
+val tile : Ir.nest -> depth:int -> width:int -> Ir.nest
+(** Strip-mine and then hoist the block loop outermost — classic tiling
+    of one dimension, legal when the hoisting permutation is (checked
+    via {!permute_legal} on the strip-mined nest).
+    @raise Invalid_argument when the permutation is illegal or
+    {!strip_mine} rejects the shape. *)
+
+val row_loop_depth : Layout.t -> Ir.nest -> int option
+(** Depth of the loop whose index (alone) drives the first subscript of
+    the nest's first array reference — the striping-relevant loop. *)
+
+val normalize_rows_outermost : Layout.t -> Ir.program -> Ir.program * int
+(** Interchange every nest (when legal) so its {!row_loop_depth} loop is
+    outermost.  Returns the transformed program and how many nests were
+    changed. *)

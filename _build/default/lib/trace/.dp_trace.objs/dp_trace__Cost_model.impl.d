@@ -1,0 +1,1 @@
+lib/trace/cost_model.ml:

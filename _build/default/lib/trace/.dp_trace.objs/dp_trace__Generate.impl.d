@@ -1,0 +1,1 @@
+lib/trace/generate.ml: Array Cost_model Dp_affine Dp_dependence Dp_ir Dp_layout Dp_restructure Float Hashtbl List Option Request

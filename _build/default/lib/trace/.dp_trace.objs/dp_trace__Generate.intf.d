@@ -1,0 +1,1 @@
+lib/trace/generate.mli: Cost_model Dp_dependence Dp_ir Dp_layout Dp_restructure Request

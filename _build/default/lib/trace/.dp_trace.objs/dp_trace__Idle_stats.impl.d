@@ -1,0 +1,1 @@
+lib/trace/idle_stats.ml: Array Cost_model Format Hashtbl List Printf Request

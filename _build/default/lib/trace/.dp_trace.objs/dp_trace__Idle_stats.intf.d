@@ -1,0 +1,1 @@
+lib/trace/idle_stats.mli: Cost_model Format Request

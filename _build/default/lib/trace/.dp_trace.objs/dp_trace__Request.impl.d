@@ -1,0 +1,1 @@
+lib/trace/request.ml: Dp_ir Float Format Fun List Printf String

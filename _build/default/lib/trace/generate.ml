@@ -1,0 +1,155 @@
+module Ir = Dp_ir.Ir
+module Layout = Dp_layout.Layout
+module Concrete = Dp_dependence.Concrete
+module Parallelize = Dp_restructure.Parallelize
+
+type stream = int array
+type segments = stream list
+
+let nest_table (prog : Ir.program) =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (n : Ir.nest) -> Hashtbl.add tbl n.nest_id n) prog.Ir.nests;
+  tbl
+
+let trace ?(cost = Cost_model.default) layout (prog : Ir.program) (g : Concrete.graph)
+    per_proc =
+  let n_proc = Array.length per_proc in
+  if n_proc = 0 then invalid_arg "Generate.trace: no processors";
+  let n_segments = List.length per_proc.(0) in
+  Array.iter
+    (fun segs ->
+      if List.length segs <> n_segments then
+        invalid_arg "Generate.trace: processors disagree on segment count")
+    per_proc;
+  let nests = nest_table prog in
+  let requests = ref [] in
+  let clocks = Array.make n_proc 0.0 in
+  (* Compute time accumulated since the same processor's last request
+     (or segment start): the closed-loop think time. *)
+  let think = Array.make n_proc 0.0 in
+  let seg_index = ref 0 in
+  (* Per-processor stream position on disk: (disk, end address) of the
+     last request, to charge seeks only on discontiguous accesses. *)
+  let last_pos = Array.make n_proc (-1, -1) in
+  let run_instance proc seq =
+    let inst = g.Concrete.instances.(seq) in
+    let nest = Hashtbl.find nests inst.Concrete.nest_id in
+    List.iter
+      (fun (s : Ir.stmt) ->
+        let compute = Cost_model.compute_ms cost ~cycles:s.work_cycles in
+        clocks.(proc) <- clocks.(proc) +. compute;
+        think.(proc) <- think.(proc) +. compute;
+        let env = Ir.env_of_iteration nest inst.Concrete.iter in
+        List.iter
+          (fun (r : Ir.array_ref) ->
+            let coords = List.map (Dp_affine.Affine.eval env) r.subscripts in
+            let disk, address, size = Layout.request_of_element layout r.array coords in
+            let lba = Layout.lba_of_element layout r.array coords in
+            let seek_distance =
+              match last_pos.(proc) with
+              | d, e when d = disk && e >= 0 -> lba - e
+              | _ -> max_int
+            in
+            last_pos.(proc) <- (disk, lba + size);
+            requests :=
+              {
+                Request.arrival_ms = clocks.(proc);
+                think_ms = think.(proc);
+                seg = !seg_index;
+                address;
+                lba;
+                size;
+                mode = r.mode;
+                proc;
+                disk;
+              }
+              :: !requests;
+            think.(proc) <- 0.0;
+            clocks.(proc) <- clocks.(proc) +. Cost_model.service_ms ~seek_distance cost ~bytes:size)
+          s.refs)
+      nest.Ir.body
+  in
+  for seg = 0 to n_segments - 1 do
+    seg_index := seg;
+    for proc = 0 to n_proc - 1 do
+      let stream = List.nth per_proc.(proc) seg in
+      Array.iter (run_instance proc) stream
+    done;
+    (* Fork-join barrier: every processor resumes at the latest clock,
+       and pending think time does not carry across the barrier. *)
+    let latest = Array.fold_left max 0.0 clocks in
+    Array.fill clocks 0 n_proc latest;
+    Array.fill think 0 n_proc 0.0
+  done;
+  List.sort Request.compare_arrival !requests
+
+let single_stream _g ~order = [| [ order ] |]
+
+let original_segments (prog : Ir.program) (g : Concrete.graph)
+    (a : Parallelize.assignment) =
+  let n = Concrete.instance_count g in
+  let nest_ids = List.map (fun (nest : Ir.nest) -> nest.Ir.nest_id) prog.Ir.nests in
+  Array.init a.Parallelize.procs (fun proc ->
+      List.map
+        (fun nest_id ->
+          let buf = ref [] in
+          for seq = n - 1 downto 0 do
+            if
+              a.Parallelize.owner.(seq) = proc
+              && g.Concrete.instances.(seq).Concrete.nest_id = nest_id
+            then buf := seq :: !buf
+          done;
+          Array.of_list !buf)
+        nest_ids)
+
+let reordered_segments (a : Parallelize.assignment) ~order_of_proc =
+  Array.init a.Parallelize.procs (fun proc -> [ order_of_proc proc ])
+
+type summary = {
+  requests : int;
+  bytes : int;
+  makespan_ms : float;
+  compute_ms : float;
+  io_ms : float;
+}
+
+let summarize ?(cost = Cost_model.default) reqs =
+  let requests = List.length reqs in
+  let bytes = List.fold_left (fun acc (r : Request.t) -> acc + r.size) 0 reqs in
+  (* Seek-aware service accounting, mirroring trace generation: track the
+     per-processor position on disk. *)
+  let pos = Hashtbl.create 8 in
+  let service (r : Request.t) =
+    let seek_distance =
+      match Hashtbl.find_opt pos r.proc with
+      | Some (d, e) when d = r.disk -> r.lba - e
+      | _ -> max_int
+    in
+    Hashtbl.replace pos r.proc (r.disk, r.lba + r.size);
+    Cost_model.service_ms ~seek_distance cost ~bytes:r.size
+  in
+  let io_ms = List.fold_left (fun acc r -> acc +. service r) 0.0 reqs in
+  Hashtbl.reset pos;
+  let makespan_ms =
+    List.fold_left
+      (fun acc (r : Request.t) -> Float.max acc (r.arrival_ms +. service r))
+      0.0 reqs
+  in
+  Hashtbl.reset pos;
+  (* Compute time is whatever of the busy timeline is not nominal I/O;
+     with one processor this is exact, with several it is the sum of
+     per-processor busy gaps.  We approximate it from arrival spacing. *)
+  let by_proc = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Request.t) ->
+      let prev = Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt by_proc r.proc) in
+      let last_end, compute = prev in
+      let gap = Float.max 0.0 (r.arrival_ms -. last_end) in
+      Hashtbl.replace by_proc r.proc (r.arrival_ms +. service r, compute +. gap))
+    reqs;
+  let compute_ms = Hashtbl.fold (fun _ (_, c) acc -> acc +. c) by_proc 0.0 in
+  { requests; bytes; makespan_ms; compute_ms; io_ms }
+
+let io_fraction s =
+  let busy = s.compute_ms +. s.io_ms in
+  if busy <= 0.0 then 0.0 else s.io_ms /. busy

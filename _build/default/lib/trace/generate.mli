@@ -1,0 +1,62 @@
+module Ir = Dp_ir.Ir
+module Layout = Dp_layout.Layout
+module Concrete = Dp_dependence.Concrete
+module Parallelize = Dp_restructure.Parallelize
+
+(** Trace generation: turn a (possibly restructured, possibly
+    parallelized) execution order into a timed I/O request stream.
+
+    Each processor runs its instance stream with a private clock:
+    compute cycles advance it, and every array-element access issues one
+    page request at the current time and then waits the nominal service
+    time (synchronous I/O at full disk speed — the open-loop arrival
+    model of trace-driven simulation). *)
+
+type stream = int array
+(** Instance [seq] ids in execution order for one processor. *)
+
+type segments = stream list
+(** Barrier-separated phases of one processor: all processors finish
+    segment [k] before any starts segment [k+1] (fork-join nests). *)
+
+val trace :
+  ?cost:Cost_model.t ->
+  Layout.t ->
+  Ir.program ->
+  Concrete.graph ->
+  segments array ->
+  Request.t list
+(** [trace layout prog g per_proc] with [per_proc.(p)] the segments of
+    processor [p].  The result is sorted by arrival time.
+    @raise Invalid_argument if the processors' segment counts differ. *)
+
+(** {1 Stream builders} *)
+
+val single_stream : Concrete.graph -> order:int array -> segments array
+(** One processor, one segment: the given order. *)
+
+val original_segments :
+  Ir.program -> Concrete.graph -> Parallelize.assignment -> segments array
+(** Per-processor streams in original execution order, one segment per
+    nest (fork-join barriers between nests), under the given
+    assignment. *)
+
+val reordered_segments :
+  Parallelize.assignment -> order_of_proc:(int -> int array) -> segments array
+(** Per-processor single-segment streams from a per-processor order
+    (e.g. a per-processor disk-reuse schedule). *)
+
+(** {1 Summary} *)
+
+type summary = {
+  requests : int;
+  bytes : int;
+  makespan_ms : float;  (** last arrival + nominal service *)
+  compute_ms : float;  (** total compute time across processors *)
+  io_ms : float;  (** total nominal I/O time across processors *)
+}
+
+val summarize : ?cost:Cost_model.t -> Request.t list -> summary
+val io_fraction : summary -> float
+(** Fraction of busy time spent in I/O: the paper reports 75-82% for its
+    applications; the workloads are calibrated against this. *)

@@ -1,0 +1,60 @@
+type histogram = {
+  edges : float array;
+  counts : int array;
+  mass_s : float array;
+}
+
+let default_edges = [| 1.0; 4.0; 15.2; 31.6; 120.0 |]
+
+let of_requests ?(edges = default_edges) ?(cost = Cost_model.default) reqs =
+  let n = Array.length edges + 1 in
+  let counts = Array.make n 0 and mass_s = Array.make n 0.0 in
+  let last = Hashtbl.create 8 in
+  let pos = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Request.t) ->
+      let seek_distance =
+        match Hashtbl.find_opt pos r.Request.disk with
+        | Some e -> r.Request.lba - e
+        | None -> max_int
+      in
+      Hashtbl.replace pos r.Request.disk (r.Request.lba + r.Request.size);
+      let completion =
+        r.Request.arrival_ms +. Cost_model.service_ms ~seek_distance cost ~bytes:r.Request.size
+      in
+      (match Hashtbl.find_opt last r.Request.disk with
+      | Some prev_end when r.Request.arrival_ms > prev_end ->
+          let gap = (r.Request.arrival_ms -. prev_end) /. 1000.0 in
+          let b = ref 0 in
+          while !b < Array.length edges && gap >= edges.(!b) do incr b done;
+          counts.(!b) <- counts.(!b) + 1;
+          mass_s.(!b) <- mass_s.(!b) +. gap
+      | _ -> ());
+      Hashtbl.replace last r.Request.disk completion)
+    reqs;
+  { edges; counts; mass_s }
+
+let total_gaps h = Array.fold_left ( + ) 0 h.counts
+let total_mass_s h = Array.fold_left ( +. ) 0.0 h.mass_s
+
+let exploitable_mass_s h ~threshold_s =
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k m ->
+      let lower = if k = 0 then 0.0 else h.edges.(k - 1) in
+      if lower >= threshold_s then acc := !acc +. m)
+    h.mass_s;
+  !acc
+
+let pp ppf h =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun k count ->
+      let lo = if k = 0 then 0.0 else h.edges.(k - 1) in
+      let hi_label =
+        if k < Array.length h.edges then Printf.sprintf "%g s" h.edges.(k) else "inf"
+      in
+      Format.fprintf ppf "%6g s .. %-8s %7d gaps %10.0f s idle@," lo hi_label count
+        h.mass_s.(k))
+    h.counts;
+  Format.fprintf ppf "@]"

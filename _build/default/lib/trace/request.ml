@@ -1,0 +1,73 @@
+module Ir = Dp_ir.Ir
+
+type t = {
+  arrival_ms : float;
+  think_ms : float;
+  seg : int;
+  address : int;
+  lba : int;
+  size : int;
+  mode : Ir.access_mode;
+  proc : int;
+  disk : int;
+}
+
+let compare_arrival a b =
+  match Float.compare a.arrival_ms b.arrival_ms with
+  | 0 -> compare (a.proc, a.address) (b.proc, b.address)
+  | c -> c
+
+let mode_char = function Ir.Read -> 'R' | Ir.Write -> 'W'
+
+let pp ppf r =
+  Format.fprintf ppf "%.3f %.3f %d %d %d %d %c %d %d" r.arrival_ms r.think_ms r.seg
+    r.address r.lba r.size (mode_char r.mode) r.proc r.disk
+
+let to_channel oc reqs =
+  output_string oc "# arrival_ms think_ms seg address lba size mode proc disk\n";
+  List.iter (fun r -> output_string oc (Format.asprintf "%a\n" pp r)) reqs
+
+let save path reqs =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc reqs)
+
+let parse_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ t; think; seg; addr; lba; size; mode; proc; disk ] ->
+      let mode =
+        match mode with
+        | "R" -> Ir.Read
+        | "W" -> Ir.Write
+        | m -> failwith (Printf.sprintf "Request.load: bad mode %S" m)
+      in
+      {
+        arrival_ms = float_of_string t;
+        think_ms = float_of_string think;
+        seg = int_of_string seg;
+        address = int_of_string addr;
+        lba = int_of_string lba;
+        size = int_of_string size;
+        mode;
+        proc = int_of_string proc;
+        disk = int_of_string disk;
+      }
+  | _ -> failwith (Printf.sprintf "Request.load: malformed line %S" line)
+
+let of_lines lines =
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None else Some (parse_line line))
+    lines
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec loop acc =
+        match input_line ic with
+        | line -> loop (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      of_lines (loop []))

@@ -1,0 +1,41 @@
+module Ir = Dp_ir.Ir
+
+(** Disk I/O requests — the record the paper's simulator consumes
+    (Section 7.1): arrival time, start block, size, read/write, and the
+    issuing processor; plus the I/O node the striping resolves it to. *)
+
+type t = {
+  arrival_ms : float;
+      (** nominal arrival on the full-speed timeline (reference only;
+          the simulator is closed-loop and derives actual issue times
+          from [think_ms]) *)
+  think_ms : float;
+      (** compute time separating this request from the completion of
+          the same processor's previous request (or from the segment
+          barrier) — the closed-loop inter-request gap *)
+  seg : int;  (** fork-join segment index (barriers between segments) *)
+  address : int;  (** global byte address (start block x block size) *)
+  lba : int;  (** on-node byte position (per-disk seek-distance space) *)
+  size : int;  (** bytes *)
+  mode : Ir.access_mode;
+  proc : int;
+  disk : int;  (** I/O node, resolved via the layout *)
+}
+
+val compare_arrival : t -> t -> int
+(** Order by arrival time, ties by (proc, address). *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Trace files}
+
+    Text format, one request per line:
+    [arrival_ms think_ms seg address lba size R|W proc disk], with [#]
+    comments. *)
+
+val save : string -> t list -> unit
+val load : string -> t list
+(** @raise Failure on a malformed line. *)
+
+val to_channel : out_channel -> t list -> unit
+val of_lines : string list -> t list

@@ -1,0 +1,15 @@
+(** Imperative binary min-heap over integer keys, used by the disk-reuse
+    scheduler to pick ready iterations in original execution order. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val is_empty : t -> bool
+val size : t -> int
+val add : t -> int -> unit
+
+val pop_min : t -> int
+(** Remove and return the smallest element. @raise Not_found when empty. *)
+
+val peek_min : t -> int
+(** @raise Not_found when empty. *)

@@ -1,0 +1,1 @@
+lib/workloads/app.ml: Dp_affine Dp_ir Dp_layout List

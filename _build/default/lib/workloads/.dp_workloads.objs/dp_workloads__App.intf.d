@@ -1,0 +1,1 @@
+lib/workloads/app.mli: Dp_affine Dp_ir Dp_layout

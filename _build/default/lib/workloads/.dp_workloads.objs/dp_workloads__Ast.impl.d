@@ -1,0 +1,1 @@
+lib/workloads/ast.ml: App Dp_ir Dp_util List

@@ -1,0 +1,1 @@
+lib/workloads/cholesky.ml: App Dp_ir Dp_util List

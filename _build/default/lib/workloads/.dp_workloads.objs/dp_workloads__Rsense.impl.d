@@ -1,0 +1,1 @@
+lib/workloads/rsense.ml: App Dp_affine Dp_ir

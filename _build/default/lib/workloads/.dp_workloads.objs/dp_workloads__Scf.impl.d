@@ -1,0 +1,1 @@
+lib/workloads/scf.ml: App Dp_affine Dp_ir Dp_util List

@@ -1,0 +1,1 @@
+lib/workloads/visuo.ml: App Dp_ir

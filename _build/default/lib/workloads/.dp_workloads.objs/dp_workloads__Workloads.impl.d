@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: App Ast Cholesky Fft List Rsense Scf String Visuo

@@ -1,0 +1,52 @@
+module Ir = Dp_ir.Ir
+module Affine = Dp_affine.Affine
+module Striping = Dp_layout.Striping
+
+type t = {
+  name : string;
+  description : string;
+  program : Ir.program;
+  striping : Striping.t;
+  overrides : (string * Striping.t) list;
+  paper_data_gb : float;
+  paper_requests : int;
+  paper_base_energy_j : float;
+  paper_io_time_ms : float;
+}
+
+let page_bytes = 64 * 1024
+
+let striping_of_rows ?(start_disk = 0) ~row_pages ~rows_per_stripe () =
+  Striping.make
+    ~unit_bytes:(rows_per_stripe * row_pages * page_bytes)
+    ~factor:8 ~start_disk
+
+let staggered_overrides ?(rows_per_stripe = 1) (prog : Ir.program) =
+  List.mapi
+    (fun i (a : Ir.array_decl) ->
+      let row_pages =
+        match a.Ir.dims with [] -> 1 | _ :: rest -> List.fold_left ( * ) 1 rest
+      in
+      ( a.Ir.name,
+        striping_of_rows ~start_disk:(i * 2 mod 8) ~row_pages ~rows_per_stripe () ))
+    prog.Ir.arrays
+
+let v = Affine.var
+let c = Affine.const
+let ( +! ) e k = Affine.add e (Affine.const k)
+let rd name subs = Ir.read name subs
+let wr name subs = Ir.write name subs
+
+type counter = { mutable next_stmt : int; mutable next_nest : int }
+
+let counter () = { next_stmt = 0; next_nest = 0 }
+
+let stmt t ?(cycles = 500_000) refs =
+  let id = t.next_stmt in
+  t.next_stmt <- t.next_stmt + 1;
+  Ir.stmt ~work_cycles:cycles id refs
+
+let nest t loops body =
+  let id = t.next_nest in
+  t.next_nest <- t.next_nest + 1;
+  Ir.nest id (List.map (fun (i, lo, hi) -> Ir.loop i lo hi) loops) body

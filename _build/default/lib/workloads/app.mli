@@ -1,0 +1,60 @@
+module Ir = Dp_ir.Ir
+module Striping = Dp_layout.Striping
+
+(** A benchmark application: a loop-nest program modeling the disk access
+    pattern of one of the paper's six codes (Table 2), plus the striping
+    its arrays use.
+
+    Scaling note (documented in DESIGN.md): one array element is one
+    64 KB disk page, and array extents are chosen so the {e number of
+    requests} matches Table 2; the byte footprint is correspondingly
+    smaller than the paper's 90-150 GB datasets (the paper's absolute
+    numbers are not reproducible without its proprietary codes), which
+    preserves idle-period structure — the property the experiments
+    measure. *)
+
+type t = {
+  name : string;
+  description : string;  (** Table 2's description column *)
+  program : Ir.program;
+  striping : Striping.t;  (** default striping for the program's arrays *)
+  overrides : (string * Striping.t) list;
+      (** per-array striping (staggered start disks: files created at
+          different times start on different I/O nodes, so co-accessed
+          rows of different arrays live on different disks — the paper's
+          "a given loop iteration can access different array elements
+          that reside in different disks") *)
+  paper_data_gb : float;  (** Table 2: Data Size (GB) *)
+  paper_requests : int;  (** Table 2: Number of Disk Reqs *)
+  paper_base_energy_j : float;  (** Table 2: Base Energy (J) *)
+  paper_io_time_ms : float;  (** Table 2: I/O Time (ms) *)
+}
+
+val page_bytes : int
+(** 64 KB: the element size of every workload array. *)
+
+val striping_of_rows : ?start_disk:int -> row_pages:int -> rows_per_stripe:int -> unit -> Striping.t
+(** Round-robin striping whose unit holds [rows_per_stripe] whole rows of
+    [row_pages] pages each, over 8 disks starting at [start_disk]
+    (default 0). *)
+
+val staggered_overrides : ?rows_per_stripe:int -> Ir.program -> (string * Striping.t) list
+(** One striping per array of the program, with start disks staggered
+    0, 2, 4, ... (mod 8) in declaration order and stripe units holding
+    [rows_per_stripe] array rows (default 1; a row is the product of the
+    trailing dimensions). *)
+
+(** {1 Nest-building helpers} *)
+
+val v : string -> Dp_affine.Affine.t
+val c : int -> Dp_affine.Affine.t
+val ( +! ) : Dp_affine.Affine.t -> int -> Dp_affine.Affine.t
+val rd : string -> Dp_affine.Affine.t list -> Ir.array_ref
+val wr : string -> Dp_affine.Affine.t list -> Ir.array_ref
+
+type counter = { mutable next_stmt : int; mutable next_nest : int }
+
+val counter : unit -> counter
+val stmt : counter -> ?cycles:int -> Ir.array_ref list -> Ir.stmt
+val nest : counter -> (string * Dp_affine.Affine.t * Dp_affine.Affine.t) list -> Ir.stmt list -> Ir.nest
+(** [nest k [ (i, lo, hi); ... ] body] with loops outermost first. *)

@@ -1,0 +1,63 @@
+(** AST — astrophysics (Table 2: 153.3 GB, 148,526 requests).
+
+    Modeled as a time-stepped 1-D-decomposed stencil over two
+    disk-resident state arrays [a] and [b], the classic structure of
+    explicit hydrodynamics codes: each time step sweeps the grid reading
+    the current state (including a neighbor row) and writing the next
+    state into the other array, and every few steps a diagnostic
+    reduction scans the freshly written state.  The inter-step flow
+    dependences serialize the sweeps, so disk-reuse clustering operates
+    within a step — the regime in which the paper reports moderate TPM
+    and good DRPM savings. *)
+
+let steps = 14
+let rows = 56
+let cols = 55
+let reduction_every = 4
+
+let app () =
+  let k = App.counter () in
+  let open App in
+  let arrays =
+    [
+      Dp_ir.Ir.array_decl ~elem_size:page_bytes "a" [ rows; cols ];
+      Dp_ir.Ir.array_decl ~elem_size:page_bytes "b" [ rows; cols ];
+      Dp_ir.Ir.array_decl ~elem_size:page_bytes "s" [ steps ];
+    ]
+  in
+  let sweep step =
+    (* Even steps read [a] and write [b]; odd steps flow back. *)
+    let src, dst = if step mod 2 = 0 then ("a", "b") else ("b", "a") in
+    nest k
+      [ ("i", c 0, c (rows - 2)); ("j", c 0, c (cols - 1)) ]
+      [
+        stmt k ~cycles:2_600_000
+          [ rd src [ v "i"; v "j" ]; rd src [ v "i" +! 1; v "j" ]; wr dst [ v "i"; v "j" ] ];
+      ]
+  in
+  let reduction step =
+    let src = if step mod 2 = 0 then "b" else "a" in
+    nest k
+      [ ("i", c 0, c (rows - 1)); ("j", c 0, c (cols - 1)) ]
+      [ stmt k ~cycles:1_700_000 [ rd src [ v "i"; v "j" ]; wr "s" [ c step ] ] ]
+  in
+  let nests =
+    List.concat_map
+      (fun step ->
+        let sweeps = [ sweep step ] in
+        if (step + 1) mod reduction_every = 0 then sweeps @ [ reduction step ]
+        else sweeps)
+      (Dp_util.Listx.range 0 (steps - 1))
+  in
+  let program = Dp_ir.Ir.program arrays nests in
+  {
+    App.name = "AST";
+    description = "Astrophysics";
+    program;
+    striping = App.striping_of_rows ~row_pages:cols ~rows_per_stripe:1 ();
+    overrides = App.staggered_overrides ~rows_per_stripe:2 program;
+    paper_data_gb = 153.3;
+    paper_requests = 148_526;
+    paper_base_energy_j = 44_581.1;
+    paper_io_time_ms = 476_278.6;
+  }

@@ -1,0 +1,79 @@
+(** SCF 3.0 — quantum chemistry self-consistent field (Table 2:
+    106.1 GB, 119,862 requests).
+
+    Two SCF iterations, each making two passes over the disk-resident
+    two-electron integral file [ints]: a Fock-build pass that streams the
+    integrals row-wise, accumulating four integral pages into one update
+    of the row's entry in the column vector [fock] (an in-row reduction
+    chain), and an exchange pass that re-reads the integrals in the
+    transposed order, accumulating four rows at a time into [exch].  The
+    second SCF iteration's build pass reads the previous [fock],
+    serializing the two iterations — the self-consistency loop that gives
+    SCF its revisit structure. *)
+
+let g = 156
+let h = 152
+let iterations = 2
+
+let app () =
+  let k = App.counter () in
+  let open App in
+  let arrays =
+    [
+      Dp_ir.Ir.array_decl ~elem_size:page_bytes "ints" [ g; h ];
+      Dp_ir.Ir.array_decl ~elem_size:page_bytes "fock" [ g; 1 ];
+      Dp_ir.Ir.array_decl ~elem_size:page_bytes "exch" [ h; 1 ];
+    ]
+  in
+  let scale4 = Dp_affine.Affine.scale 4 in
+  let build_pass it =
+    let extra =
+      (* From the second iteration on, the build consumes the previous
+         Fock vector: flow dependence across SCF iterations. *)
+      if it = 0 then [] else [ rd "fock" [ v "gi"; c 0 ] ]
+    in
+    nest k
+      [ ("gi", c 0, c (g - 1)); ("hb", c 0, c ((h / 4) - 1)) ]
+      [
+        stmt k ~cycles:4_200_000
+          ([
+             rd "ints" [ v "gi"; scale4 (v "hb") ];
+             rd "ints" [ v "gi"; scale4 (v "hb") +! 1 ];
+             rd "ints" [ v "gi"; scale4 (v "hb") +! 2 ];
+             rd "ints" [ v "gi"; scale4 (v "hb") +! 3 ];
+           ]
+          @ extra
+          @ [ wr "fock" [ v "gi"; c 0 ] ]);
+      ]
+  in
+  let exchange_pass () =
+    nest k
+      [ ("hi", c 0, c (h - 1)); ("gb", c 0, c ((g / 4) - 1)) ]
+      [
+        stmt k ~cycles:4_200_000
+          [
+            rd "ints" [ scale4 (v "gb"); v "hi" ];
+            rd "ints" [ scale4 (v "gb") +! 1; v "hi" ];
+            rd "ints" [ scale4 (v "gb") +! 2; v "hi" ];
+            rd "ints" [ scale4 (v "gb") +! 3; v "hi" ];
+            wr "exch" [ v "hi"; c 0 ];
+          ];
+      ]
+  in
+  let nests =
+    List.concat_map
+      (fun it -> [ build_pass it; exchange_pass () ])
+      (Dp_util.Listx.range 0 (iterations - 1))
+  in
+  let program = Dp_ir.Ir.program arrays nests in
+  {
+    App.name = "SCF 3.0";
+    description = "Quantum Chemistry";
+    program;
+    striping = App.striping_of_rows ~row_pages:h ~rows_per_stripe:1 ();
+    overrides = App.staggered_overrides program;
+    paper_data_gb = 106.1;
+    paper_requests = 119_862;
+    paper_base_energy_j = 36_924.7;
+    paper_io_time_ms = 424_118.7;
+  }

@@ -1,0 +1,58 @@
+(** Visuo — 3-D visualization (Table 2: 95.5 GB, 86,309 requests).
+
+    Two independent rendering passes over a disk-resident volume [vol]
+    (slices x positions at page granularity): a slice-order pass writing
+    image [img1], and a ray-order pass — the orthogonal traversal — into
+    [img2], followed by a compositing pass that reads both images and
+    writes the final frame.  The two volume passes have no mutual
+    dependences, so the restructurer can fuse their per-disk work into
+    long visits; Visuo is where TPM profits most from clustering. *)
+
+let slices = 112
+let width = 110
+
+let app () =
+  let k = App.counter () in
+  let open App in
+  let arrays =
+    [
+      Dp_ir.Ir.array_decl ~elem_size:page_bytes "vol" [ slices; width ];
+      Dp_ir.Ir.array_decl ~elem_size:page_bytes "img1" [ slices; width ];
+      Dp_ir.Ir.array_decl ~elem_size:page_bytes "img2" [ width; slices ];
+      Dp_ir.Ir.array_decl ~elem_size:page_bytes "frame" [ slices; width ];
+    ]
+  in
+  let slice_pass =
+    nest k
+      [ ("s", c 0, c (slices - 1)); ("i", c 0, c (width - 1)) ]
+      [ stmt k ~cycles:2_100_000 [ rd "vol" [ v "s"; v "i" ]; wr "img1" [ v "s"; v "i" ] ] ]
+  in
+  let ray_pass =
+    nest k
+      [ ("i", c 0, c (width - 1)); ("s", c 0, c (slices - 1)) ]
+      [ stmt k ~cycles:2_100_000 [ rd "vol" [ v "s"; v "i" ]; wr "img2" [ v "i"; v "s" ] ] ]
+  in
+  let composite =
+    nest k
+      [ ("s", c 0, c (slices - 1)); ("i", c 0, c (width - 1)) ]
+      [
+        stmt k ~cycles:2_100_000
+          [
+            rd "img1" [ v "s"; v "i" ];
+            rd "img2" [ v "i"; v "s" ];
+            wr "frame" [ v "s"; v "i" ];
+          ];
+      ]
+  in
+  let program = Dp_ir.Ir.program arrays [ slice_pass; ray_pass; composite ] in
+  {
+    App.name = "Visuo";
+    description = "3D Visualization";
+    program;
+    striping = App.striping_of_rows ~row_pages:width ~rows_per_stripe:1 ();
+    overrides = App.staggered_overrides ~rows_per_stripe:2 program;
+    paper_data_gb = 95.5;
+    paper_requests = 86_309;
+    paper_base_energy_j = 26_711.4;
+    paper_io_time_ms = 369_649.5;
+  }

@@ -1,0 +1,9 @@
+(** Registry of the six Table-2 applications. *)
+
+let all () =
+  [ Ast.app (); Fft.app (); Cholesky.app (); Visuo.app (); Scf.app (); Rsense.app () ]
+
+let by_name name =
+  List.find_opt (fun (a : App.t) -> String.lowercase_ascii a.App.name = String.lowercase_ascii name) (all ())
+
+let names () = List.map (fun (a : App.t) -> a.App.name) (all ())

@@ -1,0 +1,1 @@
+test/test_affine.ml: Alcotest Array Dp_affine List QCheck2 QCheck_alcotest

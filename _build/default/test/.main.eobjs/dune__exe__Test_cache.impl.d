@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Dp_cache Dp_ir Dp_trace Dp_util List QCheck2 QCheck_alcotest

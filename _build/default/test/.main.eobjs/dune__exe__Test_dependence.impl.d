@@ -1,0 +1,1 @@
+test/test_dependence.ml: Alcotest Array Dp_affine Dp_dependence Dp_ir List QCheck2 QCheck_alcotest

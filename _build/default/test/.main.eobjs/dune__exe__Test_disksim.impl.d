@@ -1,0 +1,1 @@
+test/test_disksim.ml: Alcotest Array Dp_disksim Dp_ir Dp_trace List Option Printf QCheck2 QCheck_alcotest String

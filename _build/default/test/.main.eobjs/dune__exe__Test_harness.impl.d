@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Buffer Dp_affine Dp_harness Dp_ir Dp_workloads Float Format List Printf String

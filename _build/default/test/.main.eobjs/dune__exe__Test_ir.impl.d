@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Dp_affine Dp_ir Dp_util Format List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Dp_affine Dp_ir Dp_lang Dp_layout Dp_workloads List Option String

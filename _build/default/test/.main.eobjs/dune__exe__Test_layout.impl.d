@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Dp_ir Dp_layout List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_polyhedra.ml: Alcotest Array Dp_affine Dp_ir Dp_polyhedra List QCheck2 QCheck_alcotest

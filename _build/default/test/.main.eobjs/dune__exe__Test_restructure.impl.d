@@ -1,0 +1,1 @@
+test/test_restructure.ml: Alcotest Array Dp_affine Dp_dependence Dp_ir Dp_layout Dp_polyhedra Dp_restructure Dp_util Dp_workloads Fun List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Dp_affine Dp_dependence Dp_ir Dp_layout Dp_restructure Dp_trace Dp_workloads Filename Float Fun List Option Sys

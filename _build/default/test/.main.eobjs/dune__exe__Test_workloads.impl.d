@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Dp_dependence Dp_disksim Dp_ir Dp_lang Dp_layout Dp_restructure Dp_trace Dp_workloads Filename Format List Option Printf Sys

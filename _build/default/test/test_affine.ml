@@ -1,0 +1,113 @@
+(* Tests for affine expressions: canonical form, arithmetic, substitution
+   and evaluation. *)
+
+module A = Dp_affine.Affine
+
+let check = Alcotest.check
+let affine = Alcotest.testable A.pp A.equal
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let i = A.var "i"
+let j = A.var "j"
+
+let test_canonical () =
+  check affine "i + i = 2i" (A.term 2 "i") (A.add i i);
+  check affine "i - i = 0" A.zero (A.sub i i);
+  check affine "terms sorted" (A.add (A.var "a") (A.var "b")) (A.add (A.var "b") (A.var "a"));
+  check affine "of_terms merges" (A.term 3 "i") (A.of_terms [ ("i", 1); ("i", 2) ]);
+  check affine "of_terms drops zero" (A.const 4) (A.of_terms ~const:4 [ ("i", 0) ]);
+  check Alcotest.bool "is_const" true (A.is_const (A.const 7));
+  check Alcotest.bool "var not const" false (A.is_const i)
+
+let test_arith () =
+  let e = A.add (A.scale 2 i) (A.add j (A.const 5)) in
+  check Alcotest.int "coeff i" 2 (A.coeff e "i");
+  check Alcotest.int "coeff j" 1 (A.coeff e "j");
+  check Alcotest.int "coeff missing" 0 (A.coeff e "k");
+  check Alcotest.int "constant" 5 (A.constant e);
+  check Alcotest.(list string) "vars" [ "i"; "j" ] (A.vars e);
+  check affine "neg" (A.of_terms ~const:(-5) [ ("i", -2); ("j", -1) ]) (A.neg e);
+  check affine "scale 0" A.zero (A.scale 0 e)
+
+let test_subst () =
+  (* (2i + j + 5)[i := j - 1] = 3j + 3 *)
+  let e = A.add (A.scale 2 i) (A.add j (A.const 5)) in
+  let substituted = A.subst "i" (A.sub j (A.const 1)) e in
+  check affine "subst" (A.of_terms ~const:3 [ ("j", 3) ]) substituted;
+  check affine "subst absent var" e (A.subst "zz" (A.const 9) e);
+  let renamed = A.rename (fun v -> if v = "i" then "x" else v) e in
+  check affine "rename" (A.of_terms ~const:5 [ ("x", 2); ("j", 1) ]) renamed
+
+let test_eval () =
+  let e = A.of_terms ~const:(-1) [ ("i", 3); ("j", -2) ] in
+  let env = function "i" -> 4 | "j" -> 5 | _ -> raise Not_found in
+  check Alcotest.int "eval" 1 (A.eval env e);
+  let partial = A.eval_opt (function "i" -> Some 4 | _ -> None) e in
+  check affine "partial eval" (A.of_terms ~const:11 [ ("j", -2) ]) partial
+
+let test_pp () =
+  check Alcotest.string "pp plain" "2*i + j - 3"
+    (A.to_string (A.of_terms ~const:(-3) [ ("i", 2); ("j", 1) ]));
+  check Alcotest.string "pp const" "42" (A.to_string (A.const 42));
+  check Alcotest.string "pp negative leading" "-i + 1"
+    (A.to_string (A.of_terms ~const:1 [ ("i", -1) ]))
+
+(* Random affine expressions over a fixed small variable pool. *)
+let pool = [| "i"; "j"; "k" |]
+
+let affine_gen =
+  QCheck2.Gen.(
+    map2
+      (fun const coeffs ->
+        A.of_terms ~const (List.mapi (fun k c -> (pool.(k), c)) coeffs))
+      (int_range (-20) 20)
+      (list_size (int_range 0 3) (int_range (-10) 10)))
+
+let env_gen = QCheck2.Gen.(array_size (pure 3) (int_range (-30) 30))
+
+let env_of arr v =
+  match Array.to_list pool |> List.mapi (fun k p -> (p, arr.(k))) |> List.assoc_opt v with
+  | Some x -> x
+  | None -> raise Not_found
+
+let prop_eval_add_hom =
+  qtest "Affine: eval (a+b) = eval a + eval b"
+    QCheck2.Gen.(triple affine_gen affine_gen env_gen)
+    (fun (a, b, env) ->
+      A.eval (env_of env) (A.add a b) = A.eval (env_of env) a + A.eval (env_of env) b)
+
+let prop_eval_scale_hom =
+  qtest "Affine: eval (k*a) = k * eval a"
+    QCheck2.Gen.(triple (int_range (-9) 9) affine_gen env_gen)
+    (fun (k, a, env) -> A.eval (env_of env) (A.scale k a) = k * A.eval (env_of env) a)
+
+let prop_subst_eval =
+  qtest "Affine: eval after subst = eval with bound var"
+    QCheck2.Gen.(triple affine_gen affine_gen env_gen)
+    (fun (a, repl, env) ->
+      (* Substitute i by repl, evaluate; must equal evaluating a with i
+         bound to repl's value. *)
+      let value_of_repl = A.eval (env_of env) repl in
+      let env' v = if v = "i" then value_of_repl else env_of env v in
+      A.eval (env_of env) (A.subst "i" repl a) = A.eval env' a)
+
+let prop_canonical_equal =
+  qtest "Affine: a - b = 0 iff equal" QCheck2.Gen.(pair affine_gen affine_gen)
+    (fun (a, b) -> A.equal a b = A.equal (A.sub a b) A.zero)
+
+let suites =
+  [
+    ( "affine",
+      [
+        Alcotest.test_case "canonical form" `Quick test_canonical;
+        Alcotest.test_case "arithmetic" `Quick test_arith;
+        Alcotest.test_case "substitution" `Quick test_subst;
+        Alcotest.test_case "evaluation" `Quick test_eval;
+        Alcotest.test_case "printing" `Quick test_pp;
+        prop_eval_add_hom;
+        prop_eval_scale_hom;
+        prop_subst_eval;
+        prop_canonical_equal;
+      ] );
+  ]

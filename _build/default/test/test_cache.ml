@@ -1,0 +1,232 @@
+(* Tests for the storage-cache layer: the LRU core, victim policies and
+   the closed-loop trace filter. *)
+
+module Lru = Dp_cache.Lru
+module Filter = Dp_cache.Filter
+module Request = Dp_trace.Request
+module Ir = Dp_ir.Ir
+
+let check = Alcotest.check
+let qtest ?(count = 150) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:2 () in
+  check Alcotest.bool "first access misses" false (Lru.access c 1);
+  check Alcotest.bool "second key misses" false (Lru.access c 2);
+  check Alcotest.bool "re-access hits" true (Lru.access c 1);
+  (* 1 is now most recent; inserting 3 evicts 2. *)
+  check Alcotest.bool "third key misses" false (Lru.access c 3);
+  check Alcotest.bool "2 evicted" false (Lru.mem c 2);
+  check Alcotest.bool "1 kept" true (Lru.mem c 1);
+  check Alcotest.int "size" 2 (Lru.size c);
+  check Alcotest.int "hits" 1 (Lru.hits c);
+  check Alcotest.int "misses" 3 (Lru.misses c);
+  check (Alcotest.float 1e-9) "hit rate" 0.25 (Lru.hit_rate c)
+
+let test_lru_validation () =
+  (match Lru.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 rejected");
+  match Lru.create ~tail_window:0 ~capacity:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "tail_window 0 rejected"
+
+let test_prefer_policy () =
+  (* Prefer evicting even keys. *)
+  let prefer a b = compare (a mod 2 = 0) (b mod 2 = 0) in
+  let c = Lru.create ~capacity:3 ~tail_window:3 ~policy:(Lru.Prefer prefer) () in
+  List.iter (fun k -> ignore (Lru.access c k)) [ 1; 2; 3 ];
+  ignore (Lru.access c 4);
+  (* 2 is the even key in the tail window: evicted instead of 1. *)
+  check Alcotest.bool "even key evicted" false (Lru.mem c 2);
+  check Alcotest.bool "odd LRU key kept" true (Lru.mem c 1)
+
+(* LRU reference model: a list, most recent first. *)
+let prop_lru_matches_model =
+  qtest "Lru: matches a list-based reference model"
+    QCheck2.Gen.(
+      pair (int_range 1 6) (list_size (int_range 0 120) (int_range 0 12)))
+    (fun (cap, keys) ->
+      let c = Lru.create ~capacity:cap () in
+      let model = ref [] in
+      List.for_all
+        (fun k ->
+          let expect_hit = List.mem k !model in
+          let got_hit = Lru.access c k in
+          model := k :: List.filter (( <> ) k) !model;
+          if List.length !model > cap then
+            model := Dp_util.Listx.take cap !model;
+          got_hit = expect_hit)
+        keys)
+
+(* --- trace filter --- *)
+
+let req ?(proc = 0) ?(mode = Ir.Read) ~addr ~think () =
+  {
+    Request.arrival_ms = 0.0;
+    think_ms = think;
+    seg = 0;
+    address = addr;
+    lba = addr;
+    size = 64 * 1024;
+    mode;
+    proc;
+    disk = 0;
+  }
+
+let test_filter_absorbs_hits () =
+  let reqs =
+    [
+      req ~addr:0 ~think:1.0 ();
+      req ~addr:64 ~think:2.0 ();
+      req ~addr:0 ~think:3.0 () (* hit *);
+      req ~addr:128 ~think:4.0 ();
+    ]
+  in
+  let survivors, st =
+    Filter.apply ~cache:(fun () -> Lru.create ~capacity:8 ()) ~hit_cost_ms:0.5 reqs
+  in
+  check Alcotest.int "one absorbed" 3 st.Filter.after;
+  check Alcotest.int "before" 4 st.Filter.before;
+  (* The absorbed request's think (3.0) plus the hit cost folds into the
+     next survivor. *)
+  let last = List.nth survivors 2 in
+  check Alcotest.int "last survivor address" 128 last.Request.address;
+  check (Alcotest.float 1e-9) "think folded" 7.5 last.Request.think_ms
+
+let test_filter_writes_pass_through () =
+  let reqs =
+    [
+      req ~mode:Ir.Write ~addr:0 ~think:1.0 ();
+      req ~mode:Ir.Write ~addr:0 ~think:1.0 () (* write hit still reaches disk *);
+      req ~mode:Ir.Read ~addr:0 ~think:1.0 () (* read of cached block absorbed *);
+    ]
+  in
+  let survivors, st =
+    Filter.apply ~cache:(fun () -> Lru.create ~capacity:8 ()) reqs
+  in
+  check Alcotest.int "writes survive" 2 (List.length survivors);
+  check Alcotest.bool "all survivors are writes" true
+    (List.for_all (fun (r : Request.t) -> r.Request.mode = Ir.Write) survivors);
+  check Alcotest.bool "hit rate counted" true (st.Filter.hit_rate > 0.0)
+
+let test_filter_per_proc_isolation () =
+  (* Two processors touching the same block each miss once: caches are
+     per-processor. *)
+  let reqs =
+    [ req ~proc:0 ~addr:0 ~think:1.0 (); req ~proc:1 ~addr:0 ~think:1.0 () ]
+  in
+  let survivors, _ = Filter.apply ~cache:(fun () -> Lru.create ~capacity:8 ()) reqs in
+  check Alcotest.int "both survive" 2 (List.length survivors)
+
+let prop_filter_conserves_think =
+  (* Total think time (plus hit costs) is conserved: the filtered trace
+     keeps the closed-loop timeline honest. *)
+  qtest ~count:100 "Filter: think time conserved"
+    QCheck2.Gen.(list_size (int_range 1 60) (pair (int_range 0 7) (int_range 1 50)))
+    (fun spec ->
+      let reqs =
+        List.map (fun (block, think) -> req ~addr:(block * 64) ~think:(float_of_int think) ()) spec
+      in
+      let survivors, st =
+        Filter.apply ~cache:(fun () -> Lru.create ~capacity:3 ()) ~hit_cost_ms:0.0 reqs
+      in
+      let total l = List.fold_left (fun a (r : Request.t) -> a +. r.Request.think_ms) 0.0 l in
+      let absorbed_tail =
+        (* Think of trailing absorbed requests (no later survivor) is
+           dropped legitimately; all other think must be conserved. *)
+        total reqs -. total survivors
+      in
+      st.Filter.after <= st.Filter.before && absorbed_tail >= -1e-9)
+
+(* --- prefetch (burst shaping) --- *)
+
+module Prefetch = Dp_cache.Prefetch
+
+let test_prefetch_identity () =
+  let reqs = [ req ~addr:0 ~think:1.0 (); req ~addr:64 ~think:2.0 () ] in
+  check Alcotest.bool "depth 1 is identity" true (Prefetch.apply ~depth:1 reqs = reqs);
+  match Prefetch.apply ~depth:0 reqs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "depth 0 rejected"
+
+let test_prefetch_batches () =
+  let reqs =
+    [
+      req ~addr:0 ~think:1.0 ();
+      req ~addr:64 ~think:2.0 ();
+      req ~addr:128 ~think:3.0 ();
+      req ~addr:192 ~think:4.0 ();
+    ]
+  in
+  let out = Prefetch.apply ~depth:2 reqs in
+  check Alcotest.int "same count" 4 (List.length out);
+  let thinks = List.map (fun (r : Request.t) -> r.Request.think_ms) out in
+  check Alcotest.(list (float 1e-9)) "think collapsed onto heads" [ 3.0; 0.0; 7.0; 0.0 ] thinks;
+  (* Addresses preserved in order. *)
+  check Alcotest.(list int) "order kept" [ 0; 64; 128; 192 ]
+    (List.map (fun (r : Request.t) -> r.Request.address) out);
+  (* Total think conserved. *)
+  let total l = List.fold_left (fun a (r : Request.t) -> a +. r.Request.think_ms) 0.0 l in
+  check (Alcotest.float 1e-9) "think conserved" (total reqs) (total out)
+
+let test_prefetch_write_barrier () =
+  let reqs =
+    [
+      req ~addr:0 ~think:1.0 ();
+      req ~mode:Ir.Write ~addr:64 ~think:2.0 ();
+      req ~addr:128 ~think:3.0 ();
+    ]
+  in
+  let out = Prefetch.apply ~depth:8 reqs in
+  (* The write stays between the reads: no read crosses it. *)
+  check Alcotest.(list int) "order kept across barrier" [ 0; 64; 128 ]
+    (List.map (fun (r : Request.t) -> r.Request.address) out);
+  check Alcotest.bool "write mode preserved" true
+    ((List.nth out 1).Request.mode = Ir.Write)
+
+let prop_prefetch_conserves =
+  qtest ~count:100 "Prefetch: order and think conserved"
+    QCheck2.Gen.(
+      pair (int_range 1 10)
+        (list_size (int_range 0 50)
+           (triple (int_range 0 9) bool (int_range 0 20))))
+    (fun (depth, spec) ->
+      let reqs =
+        List.map
+          (fun (block, w, think) ->
+            req
+              ~mode:(if w then Ir.Write else Ir.Read)
+              ~addr:(block * 64) ~think:(float_of_int think) ())
+          spec
+      in
+      let out = Prefetch.apply ~depth reqs in
+      let addrs l = List.map (fun (r : Request.t) -> r.Request.address) l in
+      let total l = List.fold_left (fun a (r : Request.t) -> a +. r.Request.think_ms) 0.0 l in
+      addrs out = addrs reqs && abs_float (total out -. total reqs) < 1e-6)
+
+let suites =
+  [
+    ( "cache.lru",
+      [
+        Alcotest.test_case "basic" `Quick test_lru_basic;
+        Alcotest.test_case "validation" `Quick test_lru_validation;
+        Alcotest.test_case "prefer policy" `Quick test_prefer_policy;
+        prop_lru_matches_model;
+      ] );
+    ( "cache.filter",
+      [
+        Alcotest.test_case "absorbs hits" `Quick test_filter_absorbs_hits;
+        Alcotest.test_case "writes pass through" `Quick test_filter_writes_pass_through;
+        Alcotest.test_case "per-proc isolation" `Quick test_filter_per_proc_isolation;
+        prop_filter_conserves_think;
+      ] );
+    ( "cache.prefetch",
+      [
+        Alcotest.test_case "identity and validation" `Quick test_prefetch_identity;
+        Alcotest.test_case "batches" `Quick test_prefetch_batches;
+        Alcotest.test_case "write barrier" `Quick test_prefetch_write_barrier;
+        prop_prefetch_conserves;
+      ] );
+  ]

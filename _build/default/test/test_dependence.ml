@@ -1,0 +1,245 @@
+(* Tests for dependence analysis: distance-vector predicates, scalar
+   tests, per-nest symbolic analysis and the concrete iteration-instance
+   dependence graph. *)
+
+module Depvec = Dp_dependence.Depvec
+module Dep_tests = Dp_dependence.Dep_tests
+module Linear_solve = Dp_dependence.Linear_solve
+module Analysis = Dp_dependence.Analysis
+module Concrete = Dp_dependence.Concrete
+module Ir = Dp_ir.Ir
+module A = Dp_affine.Affine
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let i = A.var "i"
+let j = A.var "j"
+let c = A.const
+let d = Depvec.of_dists
+let dv = Alcotest.testable Depvec.pp Depvec.equal
+
+(* --- Depvec --- *)
+
+let test_depvec_predicates () =
+  check Alcotest.bool "(1,-2) lex positive" true (Depvec.is_lex_positive (d [ 1; -2 ]));
+  check Alcotest.bool "(0,*) not lex positive" false
+    (Depvec.is_lex_positive [ Depvec.Dist 0; Depvec.Any ]);
+  check Alcotest.bool "(0,*) may be negative" true
+    (Depvec.may_be_lex_negative [ Depvec.Dist 0; Depvec.Any ]);
+  check Alcotest.bool "zero is zero" true (Depvec.is_zero (d [ 0; 0 ]))
+
+let test_depvec_normalize () =
+  check Alcotest.(option dv) "zero dropped" None (Depvec.normalize (d [ 0; 0 ]));
+  check Alcotest.(option dv) "positive kept" (Some (d [ 1; -3 ]))
+    (Depvec.normalize (d [ 1; -3 ]));
+  check Alcotest.(option dv) "negative flipped" (Some (d [ 1; 3 ]))
+    (Depvec.normalize (d [ -1; -3 ]));
+  (* Unknown-sign: zero prefix preserved, the rest widened. *)
+  check Alcotest.(option dv) "(0,*,5) widened"
+    (Some [ Depvec.Dist 0; Depvec.Any; Depvec.Any ])
+    (Depvec.normalize [ Depvec.Dist 0; Depvec.Any; Depvec.Dist 5 ])
+
+let test_depvec_parallelizable () =
+  (* Vector (1,0): outer loop carries it, inner parallelizable directly
+     and by lex-positive prefix. *)
+  let vs = [ d [ 1; 0 ] ] in
+  check Alcotest.bool "loop 0 sequential" false (Depvec.loop_parallelizable vs 0);
+  check Alcotest.bool "loop 1 parallel" true (Depvec.loop_parallelizable vs 1);
+  (* Vector (1,-1): inner entry nonzero, but the prefix (1) is positive:
+     condition 2 of Section 6.1. *)
+  check Alcotest.bool "carried by outer" true (Depvec.loop_parallelizable [ d [ 1; -1 ] ] 1);
+  (* Vector (0,1): outer parallelizable (entry 0), inner not. *)
+  let vs = [ d [ 0; 1 ] ] in
+  check Alcotest.(option int) "outermost parallel = 0" (Some 0)
+    (Depvec.outermost_parallel vs ~depth:2);
+  (* Any at position 0 with no positive prefix: nothing provable. *)
+  check Alcotest.(option int) "all-Any: none" None
+    (Depvec.outermost_parallel [ [ Depvec.Any; Depvec.Any ] ] ~depth:2)
+
+(* --- scalar tests --- *)
+
+let test_gcd_banerjee () =
+  check Alcotest.bool "2x+4y=7 impossible" false
+    (Dep_tests.gcd_test ~coeffs:[ 2; 4 ] ~rhs:7);
+  check Alcotest.bool "2x+4y=6 possible" true (Dep_tests.gcd_test ~coeffs:[ 2; 4 ] ~rhs:6);
+  check Alcotest.bool "0=0" true (Dep_tests.gcd_test ~coeffs:[ 0; 0 ] ~rhs:0);
+  check Alcotest.bool "0=1 impossible" false (Dep_tests.gcd_test ~coeffs:[ 0 ] ~rhs:1);
+  check Alcotest.bool "banerjee inside" true
+    (Dep_tests.banerjee_test ~bounds:[ (0, 10); (0, 10) ] ~coeffs:[ 1; -1 ] ~rhs:5);
+  check Alcotest.bool "banerjee outside" false
+    (Dep_tests.banerjee_test ~bounds:[ (0, 10); (0, 10) ] ~coeffs:[ 1; -1 ] ~rhs:50)
+
+let prop_gcd_sound =
+  qtest "gcd_test never rejects a solvable equation"
+    QCheck2.Gen.(
+      triple (int_range (-6) 6) (int_range (-6) 6)
+        (pair (int_range (-9) 9) (int_range (-9) 9)))
+    (fun (a, b, (x, y)) ->
+      let rhs = (a * x) + (b * y) in
+      Dep_tests.gcd_test ~coeffs:[ a; b ] ~rhs)
+
+(* --- linear solve --- *)
+
+let test_linear_solve () =
+  (match Linear_solve.solve ~rows:[| [| 1; 0 |]; [| 0; 1 |] |] ~rhs:[| 1; 0 |] with
+  | Linear_solve.Classified [ Depvec.Dist 1; Depvec.Dist 0 ] -> ()
+  | _ -> Alcotest.fail "expected (1,0)");
+  (match Linear_solve.solve ~rows:[| [| 1; 0 |] |] ~rhs:[| 0 |] with
+  | Linear_solve.Classified [ Depvec.Dist 0; Depvec.Any ] -> ()
+  | _ -> Alcotest.fail "expected (0, *)");
+  (match Linear_solve.solve ~rows:[| [| 2 |] |] ~rhs:[| 1 |] with
+  | Linear_solve.No_solution -> ()
+  | _ -> Alcotest.fail "expected no solution");
+  match Linear_solve.solve ~rows:[| [| 1 |]; [| 1 |] |] ~rhs:[| 1; 2 |] with
+  | Linear_solve.No_solution -> ()
+  | _ -> Alcotest.fail "expected inconsistency"
+
+(* --- symbolic analysis --- *)
+
+let nest_of body = Ir.nest 0 [ Ir.loop "i" (c 0) (c 9); Ir.loop "j" (c 0) (c 9) ] body
+
+let test_stencil_vectors () =
+  (* u[i][j] = f(u[i-1][j]): flow dependence (1,0). *)
+  let n =
+    nest_of [ Ir.stmt 0 [ Ir.read "u" [ A.sub i (c 1); j ]; Ir.write "u" [ i; j ] ] ]
+  in
+  let vs = Analysis.distance_vectors n in
+  check Alcotest.bool "(1,0) found" true (List.mem (d [ 1; 0 ]) vs);
+  check Alcotest.(option int) "inner loop parallel" (Some 1)
+    (Analysis.outermost_parallel_loop n)
+
+let test_independent_nest () =
+  let n = nest_of [ Ir.stmt 0 [ Ir.read "u" [ i; j ]; Ir.write "w" [ i; j ] ] ] in
+  check Alcotest.(list dv) "no vectors" [] (Analysis.distance_vectors n);
+  check Alcotest.(option int) "outermost parallel" (Some 0)
+    (Analysis.outermost_parallel_loop n)
+
+let test_transpose_conservative () =
+  (* u[i][j] and u[j][i], one written: not uniformly generated; the
+     GCD/Banerjee fallback keeps a conservative all-Any vector. *)
+  let n = nest_of [ Ir.stmt 0 [ Ir.read "u" [ i; j ]; Ir.write "u" [ j; i ] ] ] in
+  let vs = Analysis.distance_vectors n in
+  check Alcotest.bool "conservative vector present" true
+    (List.exists (fun v -> List.exists (( = ) Depvec.Any) v) vs);
+  check Alcotest.(option int) "no provable parallel loop" None
+    (Analysis.outermost_parallel_loop n)
+
+let test_trip_span_refinement () =
+  (* u[i+20][j] vs u[i][j] in a 10-trip loop: distance 20 exceeds the
+     span, no dependence. *)
+  let n =
+    nest_of [ Ir.stmt 0 [ Ir.read "u" [ A.add i (c 20); j ]; Ir.write "u" [ i; j ] ] ]
+  in
+  check Alcotest.(list dv) "refined away" [] (Analysis.distance_vectors n)
+
+let test_dep_kinds () =
+  let n =
+    nest_of [ Ir.stmt 0 [ Ir.read "u" [ A.sub i (c 1); j ]; Ir.write "u" [ i; j ] ] ]
+  in
+  let deps = Analysis.nest_dependences n in
+  check Alcotest.bool "flow dep present" true
+    (List.exists (fun (dep : Analysis.dep) -> dep.kind = Analysis.Flow) deps);
+  let n2 = nest_of [ Ir.stmt 0 [ Ir.write "u" [ i; c 0 ] ] ] in
+  let deps2 = Analysis.nest_dependences n2 in
+  check Alcotest.bool "output dep on column write" true
+    (List.exists (fun (dep : Analysis.dep) -> dep.kind = Analysis.Output) deps2)
+
+(* --- concrete graph --- *)
+
+let tiny_program =
+  (* nest 0 writes u row-major; nest 1 reads it transposed. *)
+  Ir.program
+    [ Ir.array_decl "u" [ 3; 3 ] ]
+    [
+      Ir.nest 0
+        [ Ir.loop "i" (c 0) (c 2); Ir.loop "j" (c 0) (c 2) ]
+        [ Ir.stmt 0 [ Ir.write "u" [ i; j ] ] ];
+      Ir.nest 1
+        [ Ir.loop "i" (c 0) (c 2); Ir.loop "j" (c 0) (c 2) ]
+        [ Ir.stmt 1 [ Ir.read "u" [ j; i ] ] ];
+    ]
+
+let test_concrete_build () =
+  let g = Concrete.build tiny_program in
+  check Alcotest.int "instances" 18 (Concrete.instance_count g);
+  check Alcotest.int "edges" 9 (Concrete.edge_count g);
+  (* Instance 9 is nest 1 iteration (0,0), reading u[0][0] written by
+     instance 0. *)
+  check Alcotest.(array int) "preds of first read" [| 0 |] g.Concrete.preds.(9);
+  (* Reader of u[2][1] is nest-1 iteration (1,2) = seq 14; writer is
+     nest-0 iteration (2,1) = seq 7. *)
+  check Alcotest.(array int) "transposed pred" [| 7 |] g.Concrete.preds.(14)
+
+let test_concrete_anti_output () =
+  let prog =
+    Ir.program
+      [ Ir.array_decl "u" [ 1 ] ]
+      [
+        Ir.nest 0 [ Ir.loop "i" (c 0) (c 2) ] [ Ir.stmt 0 [ Ir.read "u" [ c 0 ] ] ];
+        Ir.nest 1 [ Ir.loop "i" (c 0) (c 1) ] [ Ir.stmt 1 [ Ir.write "u" [ c 0 ] ] ];
+      ]
+  in
+  let g = Concrete.build prog in
+  (* First write (seq 3) depends on all three reads (anti); second write
+     (seq 4) on the first (output). *)
+  check Alcotest.(array int) "anti edges" [| 0; 1; 2 |] g.Concrete.preds.(3);
+  check Alcotest.(array int) "output edge" [| 3 |] g.Concrete.preds.(4)
+
+let test_legal_order () =
+  let g = Concrete.build tiny_program in
+  check Alcotest.bool "original order legal" true
+    (Concrete.is_legal_order g (Concrete.original_order g));
+  let reversed = Array.init 18 (fun k -> 17 - k) in
+  check Alcotest.bool "reversed order illegal" false (Concrete.is_legal_order g reversed);
+  check Alcotest.bool "non-permutation rejected" false
+    (Concrete.is_legal_order g (Array.make 18 0));
+  check Alcotest.bool "wrong length rejected" false (Concrete.is_legal_order g [| 0 |])
+
+let prop_original_always_legal =
+  qtest ~count:30 "Concrete: original order legal for random small programs"
+    QCheck2.Gen.(pair (int_range 1 4) (int_range 1 4))
+    (fun (n, m) ->
+      let prog =
+        Ir.program
+          [ Ir.array_decl "u" [ n + m ] ]
+          [
+            Ir.nest 0
+              [ Ir.loop "i" (c 0) (c (n - 1)) ]
+              [ Ir.stmt 0 [ Ir.write "u" [ i ] ] ];
+            Ir.nest 1
+              [ Ir.loop "i" (c 0) (c (m - 1)) ]
+              [ Ir.stmt 1 [ Ir.read "u" [ i ]; Ir.write "u" [ A.add i (c 1) ] ] ];
+          ]
+      in
+      let g = Concrete.build prog in
+      Concrete.is_legal_order g (Concrete.original_order g))
+
+let suites =
+  [
+    ( "dependence.depvec",
+      [
+        Alcotest.test_case "predicates" `Quick test_depvec_predicates;
+        Alcotest.test_case "normalize" `Quick test_depvec_normalize;
+        Alcotest.test_case "parallelizable" `Quick test_depvec_parallelizable;
+      ] );
+    ( "dependence.tests",
+      [ Alcotest.test_case "gcd/banerjee" `Quick test_gcd_banerjee; prop_gcd_sound ] );
+    ("dependence.solve", [ Alcotest.test_case "classification" `Quick test_linear_solve ]);
+    ( "dependence.analysis",
+      [
+        Alcotest.test_case "stencil" `Quick test_stencil_vectors;
+        Alcotest.test_case "independent" `Quick test_independent_nest;
+        Alcotest.test_case "transpose conservative" `Quick test_transpose_conservative;
+        Alcotest.test_case "trip-span refinement" `Quick test_trip_span_refinement;
+        Alcotest.test_case "kinds" `Quick test_dep_kinds;
+      ] );
+    ( "dependence.concrete",
+      [
+        Alcotest.test_case "build" `Quick test_concrete_build;
+        Alcotest.test_case "anti/output" `Quick test_concrete_anti_output;
+        Alcotest.test_case "legal order" `Quick test_legal_order;
+        prop_original_always_legal;
+      ] );
+  ]

@@ -1,0 +1,326 @@
+(* Tests for the disk model and the closed-loop power simulator. *)
+
+module Disk_model = Dp_disksim.Disk_model
+module Policy = Dp_disksim.Policy
+module Engine = Dp_disksim.Engine
+module Request = Dp_trace.Request
+module Ir = Dp_ir.Ir
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let m = Disk_model.ultrastar_36z15
+
+(* --- model --- *)
+
+let test_model_levels () =
+  check Alcotest.(list int) "RPM levels"
+    [ 3000; 6000; 9000; 12000; 15000 ]
+    (Disk_model.rpm_levels m);
+  check Alcotest.int "level count" 5 (Disk_model.level_count m);
+  check Alcotest.int "top level rpm" 15000 (Disk_model.rpm_of_level m (Disk_model.top_level m))
+
+let test_model_service () =
+  let at rpm = Disk_model.service_ms ~seek_distance:0 m ~rpm ~bytes:(64 * 1024) in
+  (* Rotation and transfer scale with 15000/rpm. *)
+  check (Alcotest.float 1e-9) "5x slower at 3000" (5.0 *. at 15000) (at 3000);
+  let full = Disk_model.service_ms m ~rpm:15000 ~bytes:0 in
+  check (Alcotest.float 1e-9) "full seek + rotation" (3.4 +. 2.0) full;
+  check (Alcotest.float 1e-9) "short seek" (0.4 *. 3.4) (Disk_model.seek_ms_of_distance m 4096);
+  check (Alcotest.float 1e-9) "long seek" 3.4
+    (Disk_model.seek_ms_of_distance m (1024 * 1024 * 1024))
+
+let test_model_power () =
+  check (Alcotest.float 1e-9) "idle at max = datasheet" 10.2
+    (Disk_model.idle_power_w m ~rpm:15000);
+  check (Alcotest.float 1e-9) "active at max = datasheet" 13.5
+    (Disk_model.active_power_w m ~rpm:15000);
+  (* Quadratic: at min speed the idle power approaches standby. *)
+  let low = Disk_model.idle_power_w m ~rpm:3000 in
+  check Alcotest.bool "low idle close to standby" true (low > 2.5 && low < 3.5);
+  (* Monotonicity over the levels. *)
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+        Disk_model.idle_power_w m ~rpm:a < Disk_model.idle_power_w m ~rpm:b && mono rest
+    | _ -> true
+  in
+  check Alcotest.bool "idle power increases with rpm" true (mono (Disk_model.rpm_levels m))
+
+let test_model_transitions () =
+  check (Alcotest.float 1e-9) "full spin-up time" 10.9
+    (Disk_model.transition_s m ~rpm_from:0 ~rpm_to:15000);
+  check (Alcotest.float 1e-6) "one level up time" (10.9 /. 5.)
+    (Disk_model.transition_s m ~rpm_from:12000 ~rpm_to:15000);
+  check (Alcotest.float 1e-9) "no-op" 0.0 (Disk_model.transition_s m ~rpm_from:9000 ~rpm_to:9000);
+  check Alcotest.bool "drpm level transition is fast" true
+    (Disk_model.drpm_level_transition_s m < 1.0)
+
+(* --- engine helpers --- *)
+
+let req ?(proc = 0) ?(seg = 0) ?(disk = 0) ?(lba = 0) ~think () =
+  {
+    Request.arrival_ms = 0.0 (* reference only *);
+    think_ms = think;
+    seg;
+    address = lba;
+    lba;
+    size = 64 * 1024;
+    mode = Ir.Read;
+    proc;
+    disk;
+  }
+
+let service_full = Disk_model.service_ms m ~rpm:15000 ~bytes:(64 * 1024)
+
+let test_engine_base_two_requests () =
+  (* Two requests separated by 100 ms of think time, one disk. *)
+  let reqs = [ req ~think:10.0 (); req ~think:100.0 ~lba:(1024 * 1024 * 1024) () ] in
+  let r = Engine.simulate ~disks:1 Policy.No_pm reqs in
+  check Alcotest.int "two served" 2 r.Engine.per_disk.(0).Engine.requests;
+  (* io time = two full-seek services (no queueing). *)
+  check (Alcotest.float 1e-6) "io = services" (2.0 *. service_full) r.Engine.io_time_ms;
+  check (Alcotest.float 1e-6) "makespan = thinks + services"
+    (110.0 +. (2.0 *. service_full))
+    r.Engine.makespan_ms;
+  (* Energy: idle while thinking, active while serving. *)
+  let expected =
+    (10.2 *. (110.0 /. 1000.)) +. (13.5 *. (2.0 *. service_full /. 1000.))
+  in
+  check (Alcotest.float 1e-6) "energy by hand" expected r.Engine.energy_j
+
+let test_engine_queueing () =
+  (* Two processors issue at t=1ms to the same disk: the second queues. *)
+  let reqs = [ req ~proc:0 ~think:1.0 (); req ~proc:1 ~think:1.0 ~lba:(1 lsl 30) () ] in
+  let r = Engine.simulate ~disks:1 Policy.No_pm reqs in
+  check (Alcotest.float 1e-6) "io includes queueing"
+    (service_full +. (2.0 *. service_full))
+    r.Engine.io_time_ms
+
+let test_engine_tpm_reactive () =
+  (* Gap of 60 s > threshold: spin down, reactive spin-up stalls. *)
+  let reqs = [ req ~think:10.0 (); req ~think:60_000.0 ~lba:(1 lsl 30) () ] in
+  let r = Engine.simulate ~disks:1 Policy.default_tpm reqs in
+  let d = r.Engine.per_disk.(0) in
+  check Alcotest.int "one spin down" 1 d.Engine.spin_downs;
+  check Alcotest.int "one spin up" 1 d.Engine.spin_ups;
+  check Alcotest.bool "standby time" true (d.Engine.standby_ms > 30_000.0);
+  (* The second response includes the 10.9 s spin-up. *)
+  check Alcotest.bool "stalled response" true (d.Engine.response_ms_max >= 10_900.0);
+  (* Energy accounting by hand: idle threshold + spin down + standby +
+     spin up + services + initial idle. *)
+  let threshold = 15_200.0 and sd = 1_500.0 in
+  let standby = 60_000.0 -. threshold -. sd in
+  let expected =
+    (10.2 *. ((10.0 +. threshold) /. 1000.))
+    +. 13.0 +. 135.0
+    +. (2.5 *. (standby /. 1000.))
+    +. (13.5 *. (2.0 *. service_full /. 1000.))
+  in
+  check (Alcotest.float 0.5) "TPM energy by hand" expected r.Engine.energy_j
+
+let test_engine_tpm_short_gap () =
+  (* Gap below threshold: no transitions at all. *)
+  let reqs = [ req ~think:10.0 (); req ~think:10_000.0 ~lba:(1 lsl 30) () ] in
+  let r = Engine.simulate ~disks:1 Policy.default_tpm reqs in
+  check Alcotest.int "no spin downs" 0 r.Engine.per_disk.(0).Engine.spin_downs;
+  let base = Engine.simulate ~disks:1 Policy.No_pm reqs in
+  check (Alcotest.float 1e-6) "same energy as base" base.Engine.energy_j r.Engine.energy_j
+
+let test_engine_tpm_proactive () =
+  let reqs = [ req ~think:10.0 (); req ~think:60_000.0 ~lba:(1 lsl 30) () ] in
+  let reactive = Engine.simulate ~disks:1 Policy.default_tpm reqs in
+  let proactive = Engine.simulate ~disks:1 (Policy.tpm ~proactive:true ()) reqs in
+  (* No service stall... *)
+  check (Alcotest.float 1e-6) "no stall"
+    (2.0 *. service_full)
+    proactive.Engine.io_time_ms;
+  check Alcotest.bool "reactive stalls" true
+    (reactive.Engine.io_time_ms > 10_000.0);
+  (* ...and at least as much energy saved. *)
+  let base = Engine.simulate ~disks:1 Policy.No_pm reqs in
+  check Alcotest.bool "saves vs base" true
+    (proactive.Engine.energy_j < base.Engine.energy_j);
+  check Alcotest.int "spin down occurred" 1 proactive.Engine.per_disk.(0).Engine.spin_downs
+
+let test_engine_drpm_downshift () =
+  (* A 10 s gap with a 1 s per-level threshold: several levels down, then
+     a serve ramps back up. *)
+  let reqs = [ req ~think:10.0 (); req ~think:10_000.0 ~lba:(1 lsl 30) () ] in
+  let r = Engine.simulate ~disks:1 Policy.default_drpm reqs in
+  let d = r.Engine.per_disk.(0) in
+  check Alcotest.bool "speed changed" true (d.Engine.speed_changes > 0);
+  let base = Engine.simulate ~disks:1 Policy.No_pm reqs in
+  check Alcotest.bool "saves energy" true (r.Engine.energy_j < base.Engine.energy_j);
+  (* The second request is served below full speed: some slowdown. *)
+  check Alcotest.bool "bounded slowdown" true
+    (r.Engine.io_time_ms < 6.0 *. base.Engine.io_time_ms)
+
+let test_engine_drpm_proactive () =
+  let reqs = [ req ~think:10.0 (); req ~think:30_000.0 ~lba:(1 lsl 30) () ] in
+  let reactive = Engine.simulate ~disks:1 Policy.default_drpm reqs in
+  let proactive = Engine.simulate ~disks:1 (Policy.drpm ~proactive:true ()) reqs in
+  (* No slowdown at all: both requests served at full speed. *)
+  check (Alcotest.float 1e-6) "io = services" (2.0 *. service_full)
+    proactive.Engine.io_time_ms;
+  let base = Engine.simulate ~disks:1 Policy.No_pm reqs in
+  check Alcotest.bool "saves vs base" true (proactive.Engine.energy_j < base.Engine.energy_j);
+  check Alcotest.bool "at least as good as reactive" true
+    (proactive.Engine.energy_j <= reactive.Engine.energy_j +. 1.0);
+  check Alcotest.bool "planned shifts happened" true
+    (proactive.Engine.per_disk.(0).Engine.speed_changes >= 2)
+
+let test_engine_validation () =
+  (match Engine.simulate ~disks:0 Policy.No_pm [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "disks=0 must be rejected");
+  match Engine.simulate ~disks:1 Policy.No_pm [ req ~disk:3 ~think:1.0 () ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range disk must be rejected"
+
+(* Random traces: physical sanity invariants under every policy. *)
+let trace_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 25)
+      (map2
+         (fun think disk -> req ~think:(float_of_int think) ~disk ~lba:(disk * 7919 * 4096) ())
+         (int_range 1 30_000) (int_range 0 2)))
+
+let energy_bounds policy =
+  qtest ~count:60
+    (Printf.sprintf "Engine(%s): energy within physical bounds" (Policy.name policy))
+    trace_gen
+    (fun reqs ->
+      let r = Engine.simulate ~disks:3 policy reqs in
+      let span_s = r.Engine.makespan_ms /. 1000.0 in
+      let upper = 3.0 *. 13.5 *. span_s +. 200.0 (* transitions *) in
+      (* standby floor: no disk can consume less than standby power,
+         minus nothing; transitions only add. *)
+      let lower = 3.0 *. 2.5 *. span_s *. 0.99 in
+      r.Engine.energy_j >= lower && r.Engine.energy_j <= upper +. 300.0)
+
+let prop_io_time_consistent =
+  qtest ~count:60 "Engine: io time >= sum of minimal services" trace_gen (fun reqs ->
+      let r = Engine.simulate ~disks:3 Policy.No_pm reqs in
+      let min_total =
+        List.fold_left
+          (fun acc (rq : Request.t) ->
+            acc +. Disk_model.service_ms ~seek_distance:0 m ~rpm:15000 ~bytes:rq.size)
+          0.0 reqs
+      in
+      r.Engine.io_time_ms >= min_total -. 1e-6)
+
+let prop_proactive_never_slower =
+  qtest ~count:60 "Engine: proactive TPM never inflates io time" trace_gen (fun reqs ->
+      let base = Engine.simulate ~disks:3 Policy.No_pm reqs in
+      let pro = Engine.simulate ~disks:3 (Policy.tpm ~proactive:true ()) reqs in
+      pro.Engine.io_time_ms <= base.Engine.io_time_ms +. 1e-6
+      && pro.Engine.energy_j <= base.Engine.energy_j +. 1e-6)
+
+let prop_proactive_drpm_never_slower =
+  qtest ~count:60 "Engine: proactive DRPM never inflates io time" trace_gen (fun reqs ->
+      let base = Engine.simulate ~disks:3 Policy.No_pm reqs in
+      let pro = Engine.simulate ~disks:3 (Policy.drpm ~proactive:true ()) reqs in
+      pro.Engine.io_time_ms <= base.Engine.io_time_ms +. 1e-6)
+
+let test_policy_names () =
+  check Alcotest.string "none" "none" (Policy.name Policy.No_pm);
+  check Alcotest.string "tpm" "TPM" (Policy.name Policy.default_tpm);
+  check Alcotest.string "drpm" "DRPM" (Policy.name Policy.default_drpm)
+
+let test_drpm_two_speed_floor () =
+  (* With a 9000 floor, a long gap never reaches the bottom levels. *)
+  let reqs = [ req ~think:10.0 (); req ~think:60_000.0 ~lba:(1 lsl 30) () ] in
+  let floored = Engine.simulate ~disks:1 (Policy.drpm ~min_rpm:9000 ()) reqs in
+  let full = Engine.simulate ~disks:1 Policy.default_drpm reqs in
+  check Alcotest.bool "floored saves less" true
+    (floored.Engine.energy_j > full.Engine.energy_j);
+  (* Two levels down from 15000 to 9000: exactly 2 gap downshifts. *)
+  check Alcotest.bool "at most 2 downshifts in the gap" true
+    (floored.Engine.per_disk.(0).Engine.speed_changes <= 4)
+
+let test_engine_segments_barrier () =
+  (* Two procs, two segments: proc 1's segment-1 request cannot start
+     before proc 0 finishes segment 0, even though its think is tiny. *)
+  let r0 = req ~proc:0 ~seg:0 ~think:5_000.0 () in
+  let r1 = { (req ~proc:1 ~seg:1 ~think:1.0 ~lba:(1 lsl 30) ()) with Request.disk = 0 } in
+  let res = Engine.simulate ~disks:1 Policy.No_pm [ r0; r1 ] in
+  (* makespan >= 5s + two services. *)
+  check Alcotest.bool "barrier enforced" true
+    (res.Engine.makespan_ms >= 5_000.0 +. (2.0 *. service_full) -. 1e-6)
+
+(* --- timeline recording --- *)
+
+module Timeline = Dp_disksim.Timeline
+
+let test_timeline_recording () =
+  let reqs = [ req ~think:10.0 (); req ~think:60_000.0 ~lba:(1 lsl 30) () ] in
+  let r = Engine.simulate ~record_timeline:true ~disks:1 Policy.default_tpm reqs in
+  let t = Option.get r.Engine.timeline in
+  (* Segments are chronological and contiguous-ish, covering the stats. *)
+  let segs = t.(0) in
+  check Alcotest.bool "nonempty" true (segs <> []);
+  let ordered =
+    let rec ok = function
+      | (a : Timeline.segment) :: (b :: _ as rest) -> a.stop_ms <= b.start_ms +. 1e-6 && ok rest
+      | _ -> true
+    in
+    ok segs
+  in
+  check Alcotest.bool "chronological" true ordered;
+  let d = r.Engine.per_disk.(0) in
+  check (Alcotest.float 1.0) "busy matches stats" d.Engine.busy_ms
+    (Timeline.state_time_ms t ~disk:0 Timeline.Busy);
+  check (Alcotest.float 1.0) "standby matches stats" d.Engine.standby_ms
+    (Timeline.state_time_ms t ~disk:0 Timeline.Standby);
+  check (Alcotest.float 1.0) "idle matches stats" d.Engine.idle_ms
+    (Timeline.state_time_ms t ~disk:0 (Timeline.Idle (-1)));
+  (* The renderer produces one row plus the legend. *)
+  let chart = Timeline.render ~width:40 ~model:m ~until_ms:r.Engine.makespan_ms t in
+  check Alcotest.int "two lines" 2
+    (List.length (String.split_on_char '\n' (String.trim chart)))
+
+let test_timeline_absent_by_default () =
+  let r = Engine.simulate ~disks:1 Policy.No_pm [ req ~think:1.0 () ] in
+  check Alcotest.bool "no timeline" true (r.Engine.timeline = None)
+
+let suites =
+  [
+    ( "disksim.model",
+      [
+        Alcotest.test_case "levels" `Quick test_model_levels;
+        Alcotest.test_case "service" `Quick test_model_service;
+        Alcotest.test_case "power" `Quick test_model_power;
+        Alcotest.test_case "transitions" `Quick test_model_transitions;
+      ] );
+    ( "disksim.engine",
+      [
+        Alcotest.test_case "base two requests" `Quick test_engine_base_two_requests;
+        Alcotest.test_case "queueing" `Quick test_engine_queueing;
+        Alcotest.test_case "TPM reactive" `Quick test_engine_tpm_reactive;
+        Alcotest.test_case "TPM short gap" `Quick test_engine_tpm_short_gap;
+        Alcotest.test_case "TPM proactive" `Quick test_engine_tpm_proactive;
+        Alcotest.test_case "DRPM downshift" `Quick test_engine_drpm_downshift;
+        Alcotest.test_case "DRPM proactive" `Quick test_engine_drpm_proactive;
+        Alcotest.test_case "validation" `Quick test_engine_validation;
+        energy_bounds Policy.No_pm;
+        energy_bounds Policy.default_tpm;
+        energy_bounds Policy.default_drpm;
+        energy_bounds (Policy.tpm ~proactive:true ());
+        energy_bounds (Policy.drpm ~proactive:true ());
+        prop_io_time_consistent;
+        prop_proactive_never_slower;
+        prop_proactive_drpm_never_slower;
+      ] );
+    ( "disksim.policies",
+      [
+        Alcotest.test_case "names" `Quick test_policy_names;
+        Alcotest.test_case "two-speed floor" `Quick test_drpm_two_speed_floor;
+        Alcotest.test_case "segment barrier" `Quick test_engine_segments_barrier;
+      ] );
+    ( "disksim.timeline",
+      [
+        Alcotest.test_case "recording" `Quick test_timeline_recording;
+        Alcotest.test_case "absent by default" `Quick test_timeline_absent_by_default;
+      ] );
+  ]

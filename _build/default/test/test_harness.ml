@@ -1,0 +1,191 @@
+(* End-to-end harness tests: the version matrix on a compact synthetic
+   application, plus a full-suite ordering check (slow). *)
+
+module App = Dp_workloads.App
+module Version = Dp_harness.Version
+module Runner = Dp_harness.Runner
+module Experiments = Dp_harness.Experiments
+module Tabulate = Dp_harness.Tabulate
+module Ir = Dp_ir.Ir
+module A = Dp_affine.Affine
+
+let check = Alcotest.check
+let c = A.const
+
+(* A compact app (a few thousand requests) exercising every version
+   quickly: a ping-pong stencil like AST, scaled down. *)
+let mini_app () =
+  let k = App.counter () in
+  let open App in
+  let rows = 24 and cols = 23 and steps = 4 in
+  let arrays =
+    [
+      Ir.array_decl ~elem_size:page_bytes "a" [ rows; cols ];
+      Ir.array_decl ~elem_size:page_bytes "b" [ rows; cols ];
+    ]
+  in
+  let sweep step =
+    let src, dst = if step mod 2 = 0 then ("a", "b") else ("b", "a") in
+    nest k
+      [ ("i", c 0, c (rows - 2)); ("j", c 0, c (cols - 1)) ]
+      [
+        stmt k ~cycles:2_000_000
+          [ rd src [ v "i"; v "j" ]; rd src [ v "i" +! 1; v "j" ]; wr dst [ v "i"; v "j" ] ];
+      ]
+  in
+  let program = Ir.program arrays (List.init steps sweep) in
+  {
+    App.name = "mini";
+    description = "scaled stencil for tests";
+    program;
+    striping = App.striping_of_rows ~row_pages:cols ~rows_per_stripe:1 ();
+    overrides = App.staggered_overrides program;
+    paper_data_gb = 0.0;
+    paper_requests = 0;
+    paper_base_energy_j = 0.0;
+    paper_io_time_ms = 0.0;
+  }
+
+let test_version_names () =
+  List.iter
+    (fun v ->
+      check Alcotest.bool (Version.name v) true (Version.of_name (Version.name v) = Some v))
+    Version.multi_cpu;
+  check Alcotest.int "five single-CPU versions" 5 (List.length Version.single_cpu);
+  check Alcotest.int "seven versions" 7 (List.length Version.multi_cpu);
+  check Alcotest.bool "base not restructured" false (Version.restructured Version.Base);
+  check Alcotest.bool "-m layout aware" true (Version.layout_aware Version.T_drpm_m)
+
+let test_single_cpu_matrix () =
+  let ctx = Runner.context (mini_app ()) in
+  let base = Runner.run ctx ~procs:1 Version.Base in
+  check (Alcotest.float 1e-9) "base normalizes to 1" 1.0
+    (Runner.normalized_energy ~base base);
+  check (Alcotest.float 1e-9) "base degradation 0" 0.0 (Runner.perf_degradation ~base base);
+  List.iter
+    (fun v ->
+      let r = Runner.run ctx ~procs:1 v in
+      let e = Runner.normalized_energy ~base r in
+      check Alcotest.bool
+        (Printf.sprintf "%s energy sane (%.3f)" (Version.name v) e)
+        true
+        (e > 0.2 && e < 1.5);
+      if Version.restructured v then
+        check Alcotest.bool "restructured reports rounds" true (r.Runner.scheduler_rounds <> None))
+    Version.single_cpu
+
+let test_multi_cpu_matrix () =
+  let ctx = Runner.context (mini_app ()) in
+  let base = Runner.run ctx ~procs:4 Version.Base in
+  List.iter
+    (fun v ->
+      let r = Runner.run ctx ~procs:4 v in
+      check Alcotest.bool
+        (Printf.sprintf "%s runs at 4 procs" (Version.name v))
+        true
+        (Runner.normalized_energy ~base r > 0.2))
+    Version.multi_cpu;
+  (* Layout-aware requires several processors. *)
+  match Runner.run ctx ~procs:1 Version.T_tpm_m with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "T-*-m at 1 proc must be rejected"
+
+let test_matrix_and_renderers () =
+  let apps = [ mini_app () ] in
+  let matrix =
+    Experiments.build_matrix ~apps ~procs:1
+      ~versions:[ Version.Base; Version.Tpm; Version.T_drpm_s ]
+      ()
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Experiments.table1 ppf;
+  Experiments.table2 ~matrix ppf;
+  Experiments.fig_energy matrix ppf;
+  Experiments.fig_perf matrix ppf;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  List.iter
+    (fun frag ->
+      check Alcotest.bool (Printf.sprintf "report mentions %S" frag) true
+        (let n = String.length out and m = String.length frag in
+         let rec go i = i + m <= n && (String.sub out i m = frag || go (i + 1)) in
+         m = 0 || go 0))
+    [ "Ultrastar"; "Table 2"; "Figure 9(a)"; "Figure 10(a)"; "T-DRPM-s"; "mini" ];
+  let saving = Experiments.average_energy_saving matrix Version.T_drpm_s in
+  check Alcotest.bool "saving computed" true (saving > -0.5 && saving < 1.0)
+
+let test_tabulate () =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Tabulate.render ppf ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "x" ]; [ "22"; "yyy" ] ];
+  Format.pp_print_flush ppf ();
+  check Alcotest.bool "nonempty" true (String.length (Buffer.contents buf) > 10);
+  check Alcotest.string "pct" "18.34%" (Tabulate.fmt_pct 0.18335);
+  check Alcotest.string "norm" "0.817" (Tabulate.fmt_norm 0.8166)
+
+(* The headline reproduction claim, on the real suite (slow): on one
+   processor, restructuring amplifies both policies and T-DRPM-s wins. *)
+let test_headline_orderings () =
+  let matrix =
+    Experiments.build_matrix ~procs:1
+      ~versions:[ Version.Base; Version.Tpm; Version.Drpm; Version.T_tpm_s; Version.T_drpm_s ]
+      ()
+  in
+  let saving = Experiments.average_energy_saving matrix in
+  let tpm = saving Version.Tpm
+  and drpm = saving Version.Drpm
+  and t_tpm = saving Version.T_tpm_s
+  and t_drpm = saving Version.T_drpm_s in
+  check Alcotest.bool (Printf.sprintf "TPM alone saves nothing (%.3f)" tpm) true
+    (abs_float tpm < 0.02);
+  check Alcotest.bool (Printf.sprintf "DRPM saves (%.3f)" drpm) true (drpm > 0.02);
+  check Alcotest.bool (Printf.sprintf "T-TPM-s beats TPM (%.3f)" t_tpm) true (t_tpm > tpm +. 0.05);
+  check Alcotest.bool
+    (Printf.sprintf "T-DRPM-s best (%.3f > %.3f, %.3f)" t_drpm drpm t_tpm)
+    true
+    (t_drpm > drpm && t_drpm >= t_tpm -. 0.01);
+  (* Performance stays bounded, as in Fig. 10(a). *)
+  let deg = Experiments.average_perf_degradation matrix in
+  List.iter
+    (fun v ->
+      check Alcotest.bool
+        (Printf.sprintf "%s perf within 15%%" (Version.name v))
+        true
+        (abs_float (deg v) < 0.15))
+    [ Version.Tpm; Version.Drpm; Version.T_tpm_s; Version.T_drpm_s ]
+
+let test_json_out () =
+  let module J = Dp_harness.Json_out in
+  check Alcotest.string "escaping" "{\"a\\\"b\": \"x\\ny\"}"
+    (J.to_string (J.Obj [ ("a\"b", J.String "x\ny") ]));
+  check Alcotest.string "nan becomes null" "null" (J.to_string (J.Float Float.nan));
+  check Alcotest.string "list" "[1, true, null]"
+    (J.to_string (J.List [ J.Int 1; J.Bool true; J.Null ]));
+  (* Matrix serialization is structurally complete. *)
+  let matrix =
+    Experiments.build_matrix ~apps:[ mini_app () ] ~procs:1
+      ~versions:[ Version.Base; Version.Drpm ] ()
+  in
+  let json = J.to_string (J.of_matrix matrix) in
+  List.iter
+    (fun frag ->
+      check Alcotest.bool (Printf.sprintf "json mentions %S" frag) true
+        (let n = String.length json and m = String.length frag in
+         let rec go i = i + m <= n && (String.sub json i m = frag || go (i + 1)) in
+         m = 0 || go 0))
+    [ "\"app\""; "\"mini\""; "normalized_energy"; "DRPM"; "io_time_ms" ]
+
+let suites =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "version names" `Quick test_version_names;
+        Alcotest.test_case "single-CPU matrix" `Quick test_single_cpu_matrix;
+        Alcotest.test_case "multi-CPU matrix" `Quick test_multi_cpu_matrix;
+        Alcotest.test_case "renderers" `Quick test_matrix_and_renderers;
+        Alcotest.test_case "tabulate" `Quick test_tabulate;
+        Alcotest.test_case "json output" `Quick test_json_out;
+        Alcotest.test_case "headline orderings" `Slow test_headline_orderings;
+      ] );
+  ]

@@ -1,0 +1,175 @@
+(* Tests for the loop-nest IR: validation, iteration enumeration
+   (including triangular bounds) and element-access resolution. *)
+
+module Ir = Dp_ir.Ir
+module A = Dp_affine.Affine
+
+let check = Alcotest.check
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let i = A.var "i"
+let j = A.var "j"
+let c = A.const
+
+(* A small well-formed program: one rectangular nest, one triangular. *)
+let square_nest =
+  Ir.nest 0
+    [ Ir.loop "i" (c 0) (c 3); Ir.loop "j" (c 0) (c 2) ]
+    [ Ir.stmt 0 [ Ir.read "u" [ i; j ]; Ir.write "w" [ j; i ] ] ]
+
+let tri_nest =
+  Ir.nest 1
+    [ Ir.loop "i" (c 0) (c 3); Ir.loop "j" i (c 3) ]
+    [ Ir.stmt 1 [ Ir.read "u" [ i; j ] ] ]
+
+let good_program =
+  Ir.program
+    [ Ir.array_decl "u" [ 4; 4 ]; Ir.array_decl "w" [ 4; 4 ] ]
+    [ square_nest; tri_nest ]
+
+let test_validate_ok () =
+  match Ir.validate good_program with
+  | Ok () -> ()
+  | Error es ->
+      Alcotest.failf "expected valid program, got: %a"
+        (Format.pp_print_list Ir.pp_error)
+        es
+
+let expect_invalid name prog pred =
+  match Ir.validate prog with
+  | Ok () -> Alcotest.failf "%s: expected validation failure" name
+  | Error es ->
+      if not (List.exists pred es) then
+        Alcotest.failf "%s: expected a specific error, got: %a" name
+          (Format.pp_print_list Ir.pp_error)
+          es
+
+let test_validate_errors () =
+  expect_invalid "unknown array"
+    (Ir.program [ Ir.array_decl "u" [ 4 ] ]
+       [ Ir.nest 0 [ Ir.loop "i" (c 0) (c 3) ] [ Ir.stmt 0 [ Ir.read "nope" [ i ] ] ] ])
+    (function Ir.Unknown_array { array = "nope"; _ } -> true | _ -> false);
+  expect_invalid "arity mismatch"
+    (Ir.program [ Ir.array_decl "u" [ 4; 4 ] ]
+       [ Ir.nest 0 [ Ir.loop "i" (c 0) (c 3) ] [ Ir.stmt 0 [ Ir.read "u" [ i ] ] ] ])
+    (function Ir.Arity_mismatch { expected = 2; got = 1; _ } -> true | _ -> false);
+  expect_invalid "unbound variable"
+    (Ir.program [ Ir.array_decl "u" [ 4 ] ]
+       [ Ir.nest 0 [ Ir.loop "i" (c 0) (c 3) ] [ Ir.stmt 0 [ Ir.read "u" [ j ] ] ] ])
+    (function Ir.Unbound_variable { var = "j"; _ } -> true | _ -> false);
+  expect_invalid "duplicate index"
+    (Ir.program [ Ir.array_decl "u" [ 4 ] ]
+       [
+         Ir.nest 0
+           [ Ir.loop "i" (c 0) (c 3); Ir.loop "i" (c 0) (c 1) ]
+           [ Ir.stmt 0 [ Ir.read "u" [ i ] ] ];
+       ])
+    (function Ir.Duplicate_index { var = "i"; _ } -> true | _ -> false);
+  expect_invalid "duplicate arrays"
+    (Ir.program [ Ir.array_decl "u" [ 4 ]; Ir.array_decl "u" [ 5 ] ] [])
+    (function Ir.Duplicate_array "u" -> true | _ -> false);
+  expect_invalid "duplicate nest ids"
+    (Ir.program [ Ir.array_decl "u" [ 4 ] ]
+       [
+         Ir.nest 7 [ Ir.loop "i" (c 0) (c 1) ] [ Ir.stmt 0 [ Ir.read "u" [ i ] ] ];
+         Ir.nest 7 [ Ir.loop "j" (c 0) (c 1) ] [ Ir.stmt 1 [ Ir.read "u" [ j ] ] ];
+       ])
+    (function Ir.Duplicate_nest_id 7 -> true | _ -> false);
+  expect_invalid "empty nest"
+    (Ir.program [] [ Ir.nest 0 [] [] ])
+    (function Ir.Empty_nest 0 -> true | _ -> false);
+  (* Bound referencing an inner index is unbound at that point. *)
+  expect_invalid "forward bound reference"
+    (Ir.program [ Ir.array_decl "u" [ 4 ] ]
+       [
+         Ir.nest 0
+           [ Ir.loop "i" (c 0) j; Ir.loop "j" (c 0) (c 3) ]
+           [ Ir.stmt 0 [ Ir.read "u" [ i ] ] ];
+       ])
+    (function Ir.Unbound_variable { var = "j"; _ } -> true | _ -> false)
+
+let test_enumeration_rect () =
+  let iters = Ir.nest_iterations square_nest in
+  check Alcotest.int "count 4x3" 12 (List.length iters);
+  check Alcotest.int "iteration_count agrees" 12 (Ir.iteration_count square_nest);
+  check Alcotest.(array int) "first" [| 0; 0 |] (List.hd iters);
+  check Alcotest.(array int) "last" [| 3; 2 |] (List.nth iters 11);
+  (* Lexicographic order throughout. *)
+  let sorted =
+    List.sort Dp_util.Ivec.compare_lex iters = iters
+  in
+  check Alcotest.bool "lexicographic order" true sorted
+
+let test_enumeration_triangular () =
+  let iters = Ir.nest_iterations tri_nest in
+  (* j from i to 3: 4 + 3 + 2 + 1 = 10 *)
+  check Alcotest.int "triangular count" 10 (List.length iters);
+  List.iter
+    (fun v -> check Alcotest.bool "j >= i" true (v.(1) >= v.(0)))
+    iters
+
+let test_element_accesses () =
+  let accesses = Ir.element_accesses square_nest [| 2; 1 |] in
+  check Alcotest.int "two refs" 2 (List.length accesses);
+  let (r1, e1), (r2, e2) = (List.hd accesses, List.nth accesses 1) in
+  check Alcotest.string "first array" "u" r1.Ir.array;
+  check Alcotest.(list int) "read coords" [ 2; 1 ] e1;
+  check Alcotest.string "second array" "w" r2.Ir.array;
+  check Alcotest.(list int) "transposed write coords" [ 1; 2 ] e2
+
+let test_queries () =
+  check Alcotest.int "array_elems" 16 (Ir.array_elems (Ir.array_decl "u" [ 4; 4 ]));
+  check Alcotest.int "array_bytes" 128 (Ir.array_bytes (Ir.array_decl "u" [ 4; 4 ]));
+  check Alcotest.int "total_bytes" 256 (Ir.total_bytes good_program);
+  check Alcotest.int "depth" 2 (Ir.nest_depth square_nest);
+  check Alcotest.(list string) "indices" [ "i"; "j" ] (Ir.nest_indices square_nest);
+  check Alcotest.(list string) "arrays_referenced" [ "u"; "w" ]
+    (Ir.arrays_referenced square_nest);
+  check Alcotest.int "iteration_work default" 1000 (Ir.iteration_work square_nest)
+
+let test_env_of_iteration () =
+  let env = Ir.env_of_iteration square_nest [| 3; 1 |] in
+  check Alcotest.int "i" 3 (env "i");
+  check Alcotest.int "j" 1 (env "j");
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (env "zz"))
+
+(* Property: enumeration visits exactly the box, each point once. *)
+let prop_enumeration_box =
+  qtest "Ir: rectangular enumeration is exact"
+    QCheck2.Gen.(pair (int_range 0 6) (int_range 0 6))
+    (fun (n, m) ->
+      let nest =
+        Ir.nest 0
+          [ Ir.loop "i" (c 0) (c n); Ir.loop "j" (c 0) (c m) ]
+          [ Ir.stmt 0 [] ]
+      in
+      let iters = Ir.nest_iterations nest in
+      List.length iters = (n + 1) * (m + 1)
+      && List.length (Dp_util.Listx.uniq Dp_util.Ivec.equal iters) = List.length iters)
+
+let prop_triangular_count =
+  qtest "Ir: triangular enumeration count = n(n+1)/2" QCheck2.Gen.(int_range 1 12)
+    (fun n ->
+      let nest =
+        Ir.nest 0
+          [ Ir.loop "i" (c 1) (c n); Ir.loop "j" (c 1) i ]
+          [ Ir.stmt 0 [] ]
+      in
+      Ir.iteration_count nest = n * (n + 1) / 2)
+
+let suites =
+  [
+    ( "ir",
+      [
+        Alcotest.test_case "validate ok" `Quick test_validate_ok;
+        Alcotest.test_case "validate errors" `Quick test_validate_errors;
+        Alcotest.test_case "rectangular enumeration" `Quick test_enumeration_rect;
+        Alcotest.test_case "triangular enumeration" `Quick test_enumeration_triangular;
+        Alcotest.test_case "element accesses" `Quick test_element_accesses;
+        Alcotest.test_case "queries" `Quick test_queries;
+        Alcotest.test_case "env_of_iteration" `Quick test_env_of_iteration;
+        prop_enumeration_box;
+        prop_triangular_count;
+      ] );
+  ]

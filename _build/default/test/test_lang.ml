@@ -1,0 +1,231 @@
+(* Frontend tests: lexer, parser and resolver of the .dpl language. *)
+
+module Lexer = Dp_lang.Lexer
+module Parser = Dp_lang.Parser
+module Resolver = Dp_lang.Resolver
+module Ast = Dp_lang.Ast
+module Token = Dp_lang.Token
+module Srcloc = Dp_lang.Srcloc
+module Ir = Dp_ir.Ir
+module A = Dp_affine.Affine
+
+let check = Alcotest.check
+
+let tokens src =
+  List.map fst (Lexer.tokenize ~file:"<test>" src)
+
+let test_lexer_basics () =
+  check Alcotest.int "token count (incl. EOF)" 9
+    (List.length (tokens "array U[4] elem 8 ;"));
+  (match tokens "32K 2M 1G" with
+  | [ Token.INT a; Token.INT b; Token.INT c; Token.EOF ] ->
+      check Alcotest.int "32K" 32768 a;
+      check Alcotest.int "2M" (2 * 1024 * 1024) b;
+      check Alcotest.int "1G" (1024 * 1024 * 1024) c
+  | _ -> Alcotest.fail "expected three ints");
+  (match tokens "for i = 0 .. 9" with
+  | [ Token.FOR; Token.IDENT "i"; Token.EQUALS; Token.INT 0; Token.DOTDOT; Token.INT 9; Token.EOF ]
+    -> ()
+  | _ -> Alcotest.fail "for-loop tokens")
+
+let test_lexer_comments_strings () =
+  check Alcotest.int "line comment skipped" 2
+    (List.length (tokens "read // everything after is gone\n"));
+  check Alcotest.int "block comment skipped" 3
+    (List.length (tokens "read /* a \n multi-line \n comment */ write"));
+  (match tokens {|"hello \"world\"\n"|} with
+  | [ Token.STRING s; Token.EOF ] -> check Alcotest.string "escapes" "hello \"world\"\n" s
+  | _ -> Alcotest.fail "string literal")
+
+let expect_lex_error src =
+  match Lexer.tokenize ~file:"<t>" src with
+  | exception Lexer.Error (_, _) -> ()
+  | _ -> Alcotest.failf "expected lexical error on %S" src
+
+let test_lexer_errors () =
+  expect_lex_error "@";
+  expect_lex_error "\"unterminated";
+  expect_lex_error "/* unterminated";
+  expect_lex_error ". alone"
+
+let sample =
+  {|
+// two arrays and two nests
+array u[8][8] elem 64K file "u.dat" stripe(unit = 64K, factor = 4, start = 1);
+array w[8][8];
+
+nest {
+  for i = 0 .. 7 {
+    for j = 0 .. i {
+      work 500;
+      read u[i][j];
+      write w[j][2*i - 1] work 700;
+    }
+  }
+}
+
+nest {
+  for t = 1 .. 4 {
+    read u[t][t];
+  }
+}
+|}
+
+let test_parser_structure () =
+  let items = Parser.parse ~file:"<t>" sample in
+  check Alcotest.int "four items" 4 (List.length items);
+  match items with
+  | [ Ast.Array_decl a1; Ast.Array_decl a2; Ast.Nest_decl n1; Ast.Nest_decl n2 ] ->
+      check Alcotest.string "name" "u" a1.array_name.Srcloc.value;
+      check Alcotest.int "dims" 2 (List.length a1.dims);
+      check Alcotest.(option int) "elem" (Some 65536)
+        (Option.map (fun (e : int Srcloc.located) -> e.Srcloc.value) a1.elem_size);
+      (match a1.stripe with
+      | Some sp ->
+          check Alcotest.int "unit" 65536 sp.unit_bytes;
+          check Alcotest.int "factor" 4 sp.factor;
+          check Alcotest.int "start" 1 sp.start_disk
+      | None -> Alcotest.fail "expected stripe spec");
+      check Alcotest.bool "w has no stripe" true (a2.stripe = None);
+      check Alcotest.string "outer index" "i" n1.top.index.Srcloc.value;
+      (match n2.top.body with
+      | [ Ast.Access a ] ->
+          check Alcotest.bool "read" true (a.mode = Ir.Read);
+          check Alcotest.string "target" "u" a.target.Srcloc.value
+      | _ -> Alcotest.fail "single access in second nest")
+  | _ -> Alcotest.fail "unexpected item shapes"
+
+let contains s frag =
+  let n = String.length s and m = String.length frag in
+  let rec go i = i + m <= n && (String.sub s i m = frag || go (i + 1)) in
+  m = 0 || go 0
+
+let expect_parse_error src frag =
+  match Parser.parse ~file:"<t>" src with
+  | exception Parser.Error (_, msg) ->
+      if not (contains msg frag) then
+        Alcotest.failf "error %S does not mention %S" msg frag
+  | _ -> Alcotest.failf "expected parse error on %S" src
+
+let test_parser_errors () =
+  expect_parse_error "array ;" "an array name";
+  expect_parse_error "array u;" "dimension";
+  expect_parse_error "nest { read u[0]; }" "for";
+  expect_parse_error "nest { for i = 0 .. 3 { read u; } }" "subscript";
+  expect_parse_error "bogus" "expected 'array' or 'nest'"
+
+let test_resolver_program () =
+  let { Resolver.program; stripes } = Resolver.load_string sample in
+  (match Ir.validate program with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "resolved program must validate");
+  check Alcotest.int "two arrays" 2 (List.length program.Ir.arrays);
+  check Alcotest.int "two nests" 2 (List.length program.Ir.nests);
+  check Alcotest.int "one stripe" 1 (List.length stripes);
+  let n1 = List.hd program.Ir.nests in
+  check Alcotest.int "three statements" 3 (List.length n1.Ir.body);
+  let cycles = List.map (fun (s : Ir.stmt) -> s.Ir.work_cycles) n1.Ir.body in
+  check Alcotest.(list int) "cycles" [ 500; 1000; 700 ] cycles;
+  (* The write subscript 2*i - 1 resolves to an affine expression. *)
+  let w_stmt = List.nth n1.Ir.body 2 in
+  match (List.hd w_stmt.Ir.refs).Ir.subscripts with
+  | [ _; e ] ->
+      check Alcotest.int "coeff" 2 (A.coeff e "i");
+      check Alcotest.int "const" (-1) (A.constant e)
+  | _ -> Alcotest.fail "two subscripts"
+
+let expect_resolve_error src frag =
+  match Resolver.load_string src with
+  | exception Resolver.Error (_, msg) ->
+      if not (contains msg frag) then
+        Alcotest.failf "error %S does not mention %S" msg frag
+  | exception Parser.Error (_, msg) ->
+      Alcotest.failf "parse error instead of resolve error: %s" msg
+  | _ -> Alcotest.failf "expected resolution error on %S" src
+
+let test_resolver_errors () =
+  expect_resolve_error
+    "array u[4]; nest { for i = 0 .. 3 { read u[i*i]; } }"
+    "nonlinear";
+  expect_resolve_error
+    "array u[4]; nest { for i = 0 .. 3 { read u[i]; for j = 0 .. 1 { read u[j]; } } }"
+    "imperfect";
+  expect_resolve_error "array u[4]; array u[5];" "declared twice";
+  expect_resolve_error "array u[0];" "positive";
+  expect_resolve_error
+    "array u[4] stripe(unit = 4K, factor = 2, start = 5);"
+    "start disk";
+  expect_resolve_error "array u[4]; nest { for i = 0 .. 3 { read v[i]; } }" "undeclared"
+
+let test_emit_roundtrip_exact () =
+  (* For resolver-built programs (one access per statement) the emit /
+     re-resolve round trip is exact. *)
+  let { Resolver.program; stripes } = Resolver.load_string sample in
+  let specs = stripes in
+  let emitted = Dp_lang.Emit.to_string ~stripes:specs program in
+  let { Resolver.program = back; stripes = stripes_back } =
+    Resolver.load_string emitted
+  in
+  check Alcotest.bool "program round-trips" true (program = back);
+  check Alcotest.int "stripes survive" (List.length stripes) (List.length stripes_back)
+
+let test_emit_workload_equivalent () =
+  (* Hand-built IR may carry several references per statement; the round
+     trip preserves the access sequence and per-nest cycle totals. *)
+  let app = Option.get (Dp_workloads.Workloads.by_name "FFT") in
+  let prog = app.Dp_workloads.App.program in
+  let { Resolver.program = back; _ } =
+    Resolver.load_string (Dp_lang.Emit.to_string prog)
+  in
+  check Alcotest.int "same arrays" (List.length prog.Ir.arrays) (List.length back.Ir.arrays);
+  check Alcotest.int "same nests" (List.length prog.Ir.nests) (List.length back.Ir.nests);
+  List.iter2
+    (fun (a : Ir.nest) (b : Ir.nest) ->
+      check Alcotest.bool "same loops" true (a.Ir.loops = b.Ir.loops);
+      let refs (n : Ir.nest) = List.concat_map (fun (s : Ir.stmt) -> s.Ir.refs) n.Ir.body in
+      check Alcotest.bool "same access sequence" true (refs a = refs b);
+      let cycles (n : Ir.nest) = Ir.iteration_work n in
+      check Alcotest.int "same cycles" (cycles a) (cycles b))
+    prog.Ir.nests back.Ir.nests
+
+let test_emit_stripe_spec () =
+  let sp =
+    Dp_lang.Emit.stripe_spec
+      (Dp_layout.Striping.make ~unit_bytes:65536 ~factor:8 ~start_disk:3)
+  in
+  check Alcotest.int "unit" 65536 sp.Ast.unit_bytes;
+  check Alcotest.int "factor" 8 sp.Ast.factor;
+  check Alcotest.int "start" 3 sp.Ast.start_disk
+
+let test_resolver_roundtrip_enumeration () =
+  (* The triangular nest from the sample enumerates 36 iterations. *)
+  let { Resolver.program; _ } = Resolver.load_string sample in
+  let n1 = List.hd program.Ir.nests in
+  check Alcotest.int "triangular count" 36 (Ir.iteration_count n1)
+
+let suites =
+  [
+    ( "lang.lexer",
+      [
+        Alcotest.test_case "basics" `Quick test_lexer_basics;
+        Alcotest.test_case "comments and strings" `Quick test_lexer_comments_strings;
+        Alcotest.test_case "errors" `Quick test_lexer_errors;
+      ] );
+    ( "lang.parser",
+      [
+        Alcotest.test_case "structure" `Quick test_parser_structure;
+        Alcotest.test_case "errors" `Quick test_parser_errors;
+      ] );
+    ( "lang.resolver",
+      [
+        Alcotest.test_case "program" `Quick test_resolver_program;
+        Alcotest.test_case "errors" `Quick test_resolver_errors;
+        Alcotest.test_case "enumeration" `Quick test_resolver_roundtrip_enumeration;
+      ] );
+    ( "lang.emit",
+      [
+        Alcotest.test_case "exact round-trip" `Quick test_emit_roundtrip_exact;
+        Alcotest.test_case "workload equivalence" `Quick test_emit_workload_equivalent;
+        Alcotest.test_case "stripe spec" `Quick test_emit_stripe_spec;
+      ] );
+  ]

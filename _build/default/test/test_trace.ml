@@ -1,0 +1,208 @@
+(* Tests for trace generation: request timing, think times, segments,
+   the text format, and summaries. *)
+
+module Ir = Dp_ir.Ir
+module A = Dp_affine.Affine
+module Striping = Dp_layout.Striping
+module Layout = Dp_layout.Layout
+module Concrete = Dp_dependence.Concrete
+module Request = Dp_trace.Request
+module Cost_model = Dp_trace.Cost_model
+module Generate = Dp_trace.Generate
+module Parallelize = Dp_restructure.Parallelize
+
+let check = Alcotest.check
+let c = A.const
+let i = A.var "i"
+
+let program =
+  Ir.program
+    [ Ir.array_decl ~elem_size:1024 "u" [ 8 ] ]
+    [
+      Ir.nest 0
+        [ Ir.loop "i" (c 0) (c 3) ]
+        [ Ir.stmt 0 ~work_cycles:750_000 [ Ir.read "u" [ i ] ] ];
+      Ir.nest 1
+        [ Ir.loop "i" (c 0) (c 3) ]
+        [ Ir.stmt 1 ~work_cycles:750_000 [ Ir.write "u" [ A.add i (c 4) ] ] ];
+    ]
+
+let layout =
+  Layout.make ~default:(Striping.make ~unit_bytes:1024 ~factor:2 ~start_disk:0) program
+
+let graph = Concrete.build program
+
+let cost = Cost_model.default (* 750 MHz: 750_000 cycles = 1 ms *)
+
+let single_trace () =
+  Generate.trace ~cost layout program graph
+    (Generate.single_stream graph ~order:(Concrete.original_order graph))
+
+let test_cost_model () =
+  check (Alcotest.float 1e-9) "compute 750k cycles = 1ms" 1.0
+    (Cost_model.compute_ms cost ~cycles:750_000);
+  let full = Cost_model.service_ms cost ~bytes:0 in
+  check (Alcotest.float 1e-9) "0-byte full-seek service" (3.4 +. 2.0) full;
+  let seq = Cost_model.service_ms ~seek_distance:0 cost ~bytes:0 in
+  check (Alcotest.float 1e-9) "sequential service skips seek" 2.0 seq;
+  let near = Cost_model.service_ms ~seek_distance:4096 cost ~bytes:0 in
+  check (Alcotest.float 1e-9) "short hop seek is 40%" (0.4 *. 3.4 +. 2.0) near
+
+let test_trace_timing () =
+  let reqs = single_trace () in
+  check Alcotest.int "8 requests" 8 (List.length reqs);
+  let r0 = List.hd reqs in
+  check (Alcotest.float 1e-6) "first arrival after compute" 1.0 r0.Request.arrival_ms;
+  check (Alcotest.float 1e-6) "first think" 1.0 r0.Request.think_ms;
+  check Alcotest.int "element 0 on disk 0" 0 r0.Request.disk;
+  (* Arrivals strictly increase for a single processor. *)
+  let arrivals = List.map (fun r -> r.Request.arrival_ms) reqs in
+  check Alcotest.bool "monotone" true (List.sort compare arrivals = arrivals);
+  (* Disk alternates with the element parity. *)
+  let disks = List.map (fun r -> r.Request.disk) reqs in
+  check Alcotest.(list int) "disks" [ 0; 1; 0; 1; 0; 1; 0; 1 ] disks
+
+let test_trace_roundtrip () =
+  let reqs = single_trace () in
+  let path = Filename.temp_file "dpower" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Request.save path reqs;
+      let back = Request.load path in
+      check Alcotest.int "same count" (List.length reqs) (List.length back);
+      List.iter2
+        (fun (a : Request.t) (b : Request.t) ->
+          check Alcotest.int "address" a.address b.address;
+          check Alcotest.int "lba" a.lba b.lba;
+          check Alcotest.int "disk" a.disk b.disk;
+          check Alcotest.int "seg" a.seg b.seg;
+          check Alcotest.bool "mode" true (a.mode = b.mode);
+          check (Alcotest.float 1e-3) "arrival" a.arrival_ms b.arrival_ms;
+          check (Alcotest.float 1e-3) "think" a.think_ms b.think_ms)
+        reqs back)
+
+let test_trace_malformed () =
+  (match Request.of_lines [ "# comment"; "" ] with
+  | [] -> ()
+  | _ -> Alcotest.fail "comments and blanks ignored");
+  match Request.of_lines [ "1.0 2.0 0 nonsense" ] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on malformed line"
+
+let test_segments_barrier () =
+  (* Two processors, two segments; proc 1's first segment is empty, so
+     its second-segment work must still start after proc 0's first. *)
+  let g = graph in
+  let seg0_p0 = [| 0; 1; 2; 3 |] and seg1_p1 = [| 4; 5; 6; 7 |] in
+  let per_proc = [| [ seg0_p0; [||] ]; [ [||]; seg1_p1 ] |] in
+  let reqs = Generate.trace ~cost layout program g per_proc in
+  let p0_last =
+    List.filter (fun r -> r.Request.proc = 0) reqs
+    |> List.fold_left (fun acc r -> Float.max acc r.Request.arrival_ms) 0.0
+  in
+  let p1_first =
+    List.filter (fun r -> r.Request.proc = 1) reqs
+    |> List.fold_left (fun acc r -> Float.min acc r.Request.arrival_ms) infinity
+  in
+  check Alcotest.bool "barrier respected" true (p1_first > p0_last);
+  check Alcotest.bool "segments tagged" true
+    (List.for_all (fun r -> r.Request.seg = if r.Request.proc = 0 then 0 else 1) reqs)
+
+let test_original_segments () =
+  let a = Parallelize.conventional program graph ~procs:2 in
+  let segs = Generate.original_segments program graph a in
+  check Alcotest.int "two procs" 2 (Array.length segs);
+  Array.iter (fun s -> check Alcotest.int "one segment per nest" 2 (List.length s)) segs;
+  (* Every instance appears exactly once across all segments. *)
+  let all =
+    Array.to_list segs
+    |> List.concat_map (fun segs -> List.concat_map Array.to_list segs)
+    |> List.sort compare
+  in
+  check Alcotest.(list int) "partition of instances" (List.init 8 Fun.id) all
+
+let test_summary () =
+  let reqs = single_trace () in
+  let s = Generate.summarize ~cost reqs in
+  check Alcotest.int "requests" 8 s.Generate.requests;
+  check Alcotest.int "bytes" (8 * 1024) s.Generate.bytes;
+  check Alcotest.bool "positive io" true (s.Generate.io_ms > 0.0);
+  check Alcotest.bool "makespan covers arrivals" true
+    (s.Generate.makespan_ms
+    >= List.fold_left (fun acc r -> Float.max acc r.Request.arrival_ms) 0.0 reqs);
+  let f = Generate.io_fraction s in
+  check Alcotest.bool "fraction in (0,1)" true (f > 0.0 && f < 1.0)
+
+(* --- idle statistics --- *)
+
+module Idle_stats = Dp_trace.Idle_stats
+
+let test_idle_stats () =
+  (* Three requests on one disk with known gaps: ~0.5 s and ~20 s. *)
+  let mk arrival =
+    {
+      Request.arrival_ms = arrival;
+      think_ms = 0.0;
+      seg = 0;
+      address = 0;
+      lba = 0;
+      size = 0;
+      mode = Ir.Read;
+      proc = 0;
+      disk = 0;
+    }
+  in
+  let svc = Cost_model.service_ms cost ~bytes:0 in
+  let reqs = [ mk 0.0; mk (svc +. 500.0); mk (2.0 *. svc +. 500.0 +. 20_000.0) ] in
+  let h = Idle_stats.of_requests ~cost reqs in
+  check Alcotest.int "two gaps" 2 (Idle_stats.total_gaps h);
+  check Alcotest.int "short gap bucket" 1 h.Idle_stats.counts.(0);
+  (* 20 s falls in the (15.2, 31.6] bucket. *)
+  check Alcotest.int "tpm bucket" 1 h.Idle_stats.counts.(3);
+  check (Alcotest.float 0.3) "mass" 20.5 (Idle_stats.total_mass_s h);
+  check (Alcotest.float 0.3) "exploitable" 20.0
+    (Idle_stats.exploitable_mass_s h ~threshold_s:15.2);
+  check (Alcotest.float 1e-9) "nothing beyond 120 s" 0.0
+    (Idle_stats.exploitable_mass_s h ~threshold_s:120.0)
+
+let test_idle_stats_restructuring_helps () =
+  (* On a real workload, restructuring increases the TPM-exploitable idle
+     mass — the mechanism behind every figure. *)
+  let app = Option.get (Dp_workloads.Workloads.by_name "FFT") in
+  let layout' =
+    Dp_layout.Layout.make ~default:app.Dp_workloads.App.striping
+      ~overrides:app.Dp_workloads.App.overrides app.Dp_workloads.App.program
+  in
+  let g = Concrete.build app.Dp_workloads.App.program in
+  let trace order =
+    Generate.trace layout' app.Dp_workloads.App.program g (Generate.single_stream g ~order)
+  in
+  let base = trace (Concrete.original_order g) in
+  let reuse =
+    trace
+      (Dp_restructure.Reuse_scheduler.schedule layout' app.Dp_workloads.App.program g)
+        .Dp_restructure.Reuse_scheduler.order
+  in
+  let exploitable reqs =
+    Idle_stats.exploitable_mass_s (Idle_stats.of_requests reqs) ~threshold_s:15.2
+  in
+  check Alcotest.bool "restructured idle mass larger" true
+    (exploitable reuse > exploitable base)
+
+let suites =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "cost model" `Quick test_cost_model;
+        Alcotest.test_case "timing" `Quick test_trace_timing;
+        Alcotest.test_case "file roundtrip" `Quick test_trace_roundtrip;
+        Alcotest.test_case "malformed input" `Quick test_trace_malformed;
+        Alcotest.test_case "segment barriers" `Quick test_segments_barrier;
+        Alcotest.test_case "original segments" `Quick test_original_segments;
+        Alcotest.test_case "summary" `Quick test_summary;
+        Alcotest.test_case "idle stats" `Quick test_idle_stats;
+        Alcotest.test_case "restructuring lengthens gaps" `Slow
+          test_idle_stats_restructuring_helps;
+      ] );
+  ]

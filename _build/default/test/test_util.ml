@@ -1,0 +1,175 @@
+(* Unit and property tests for Dp_util: rationals, integer vectors, list
+   helpers and the binary min-heap. *)
+
+module Rat = Dp_util.Rat
+module Ivec = Dp_util.Ivec
+module Listx = Dp_util.Listx
+module Minheap = Dp_util.Minheap
+
+let check = Alcotest.check
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* --- Rat --- *)
+
+let rat = Alcotest.testable Rat.pp Rat.equal
+
+let test_rat_normalization () =
+  check rat "6/8 = 3/4" (Rat.make 3 4) (Rat.make 6 8);
+  check rat "-1/-2 = 1/2" (Rat.make 1 2) (Rat.make (-1) (-2));
+  check rat "1/-2 = -1/2" (Rat.make (-1) 2) (Rat.make 1 (-2));
+  check Alcotest.int "den of 0 is 1" 1 (Rat.den (Rat.make 0 17));
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () ->
+      ignore (Rat.make 1 0))
+
+let test_rat_arith () =
+  check rat "1/2 + 1/3" (Rat.make 5 6) (Rat.add (Rat.make 1 2) (Rat.make 1 3));
+  check rat "1/2 - 1/3" (Rat.make 1 6) (Rat.sub (Rat.make 1 2) (Rat.make 1 3));
+  check rat "2/3 * 3/4" (Rat.make 1 2) (Rat.mul (Rat.make 2 3) (Rat.make 3 4));
+  check rat "1/2 / 1/4" (Rat.of_int 2) (Rat.div (Rat.make 1 2) (Rat.make 1 4));
+  Alcotest.check_raises "divide by zero" Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero))
+
+let test_rat_floor_ceil () =
+  check Alcotest.int "floor 7/2" 3 (Rat.floor (Rat.make 7 2));
+  check Alcotest.int "floor -7/2" (-4) (Rat.floor (Rat.make (-7) 2));
+  check Alcotest.int "ceil 7/2" 4 (Rat.ceil (Rat.make 7 2));
+  check Alcotest.int "ceil -7/2" (-3) (Rat.ceil (Rat.make (-7) 2));
+  check Alcotest.int "floor of integer" 5 (Rat.floor (Rat.of_int 5));
+  check Alcotest.int "ceil of integer" 5 (Rat.ceil (Rat.of_int 5))
+
+let small_rat_gen =
+  QCheck2.Gen.(
+    map2
+      (fun n d -> Rat.make n d)
+      (int_range (-1000) 1000)
+      (map (fun d -> if d >= 0 then d + 1 else d) (int_range (-1000) 999)))
+
+let prop_rat_add_commutes =
+  qtest "Rat: a+b = b+a" QCheck2.Gen.(pair small_rat_gen small_rat_gen) (fun (a, b) ->
+      Rat.equal (Rat.add a b) (Rat.add b a))
+
+let prop_rat_mul_inverse =
+  qtest "Rat: a * inv a = 1 (a <> 0)" small_rat_gen (fun a ->
+      Rat.sign a = 0 || Rat.equal (Rat.mul a (Rat.inv a)) Rat.one)
+
+let prop_rat_floor_le =
+  qtest "Rat: floor a <= a <= ceil a" small_rat_gen (fun a ->
+      Rat.compare (Rat.of_int (Rat.floor a)) a <= 0
+      && Rat.compare a (Rat.of_int (Rat.ceil a)) <= 0
+      && Rat.ceil a - Rat.floor a <= 1)
+
+let prop_rat_normal_form =
+  qtest "Rat: results are in normal form" QCheck2.Gen.(pair small_rat_gen small_rat_gen)
+    (fun (a, b) ->
+      let c = Rat.add (Rat.mul a b) (Rat.sub a b) in
+      let rec gcd x y = if y = 0 then abs x else gcd y (x mod y) in
+      Rat.den c > 0 && gcd (Rat.num c) (Rat.den c) = 1)
+
+(* --- Ivec --- *)
+
+let test_ivec_lex () =
+  check Alcotest.bool "(0,1) lex positive" true (Ivec.is_lex_positive [| 0; 1 |]);
+  check Alcotest.bool "(0,-1) lex negative" true (Ivec.is_lex_negative [| 0; -1 |]);
+  check Alcotest.bool "zero not positive" false (Ivec.is_lex_positive [| 0; 0 |]);
+  check Alcotest.bool "zero is zero" true (Ivec.is_zero [| 0; 0 |]);
+  check Alcotest.int "compare (1,0) (0,9)" 1
+    (compare (Ivec.compare_lex [| 1; 0 |] [| 0; 9 |]) 0);
+  check Alcotest.(option int) "first_nonzero" (Some 1) (Ivec.first_nonzero [| 0; 3; 1 |])
+
+let test_ivec_arith () =
+  check Alcotest.(array int) "add" [| 4; 6 |] (Ivec.add [| 1; 2 |] [| 3; 4 |]);
+  check Alcotest.(array int) "sub" [| -2; -2 |] (Ivec.sub [| 1; 2 |] [| 3; 4 |]);
+  check Alcotest.int "dot" 11 (Ivec.dot [| 1; 2 |] [| 3; 4 |]);
+  Alcotest.check_raises "dimension mismatch" (Invalid_argument "Ivec: dimension mismatch")
+    (fun () -> ignore (Ivec.add [| 1 |] [| 1; 2 |]))
+
+let ivec_gen = QCheck2.Gen.(array_size (int_range 1 6) (int_range (-50) 50))
+
+let prop_ivec_neg_antisym =
+  qtest "Ivec: v lex-positive iff -v lex-negative" ivec_gen (fun v ->
+      Ivec.is_zero v || Ivec.is_lex_positive v = Ivec.is_lex_negative (Ivec.neg v))
+
+let prop_ivec_compare_total =
+  qtest "Ivec: compare_lex total and consistent with negation"
+    QCheck2.Gen.(
+      pair ivec_gen ivec_gen |> map (fun (a, b) ->
+          if Array.length a = Array.length b then (a, b) else (a, Array.copy a)))
+    (fun (a, b) ->
+      let c = Ivec.compare_lex a b and c' = Ivec.compare_lex b a in
+      compare c 0 = -compare c' 0)
+
+(* --- Listx --- *)
+
+let test_listx_group_by () =
+  let groups = Listx.group_by (fun x -> x mod 3) [ 1; 2; 3; 4; 5; 6; 7 ] in
+  check
+    Alcotest.(list (pair int (list int)))
+    "groups by residue, first-seen order"
+    [ (1, [ 1; 4; 7 ]); (2, [ 2; 5 ]); (0, [ 3; 6 ]) ]
+    groups
+
+let test_listx_misc () =
+  check Alcotest.(option int) "max_by" (Some (-9)) (Listx.max_by abs [ 3; -9; 7 ]);
+  check Alcotest.int "sum_by" 19 (Listx.sum_by abs [ 3; -9; 7 ]);
+  check Alcotest.(list int) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  check Alcotest.(list int) "take beyond" [ 1 ] (Listx.take 5 [ 1 ]);
+  check Alcotest.(list int) "drop" [ 3 ] (Listx.drop 2 [ 1; 2; 3 ]);
+  check Alcotest.(list int) "range" [ 2; 3; 4 ] (Listx.range 2 4);
+  check Alcotest.(list int) "empty range" [] (Listx.range 4 2);
+  check Alcotest.(option int) "index_of" (Some 1) (Listx.index_of (( = ) 5) [ 4; 5; 6 ]);
+  check Alcotest.(list int) "uniq" [ 1; 2; 3 ] (Listx.uniq ( = ) [ 1; 2; 1; 3; 2 ])
+
+let prop_take_drop =
+  qtest "Listx: take n @ drop n = id"
+    QCheck2.Gen.(pair (int_range 0 20) (list_size (int_range 0 15) small_int))
+    (fun (n, l) -> Listx.take n l @ Listx.drop n l = l)
+
+(* --- Minheap --- *)
+
+let test_minheap_basic () =
+  let h = Minheap.create () in
+  check Alcotest.bool "fresh heap empty" true (Minheap.is_empty h);
+  List.iter (Minheap.add h) [ 5; 1; 4; 1; 3 ];
+  check Alcotest.int "size" 5 (Minheap.size h);
+  check Alcotest.int "peek" 1 (Minheap.peek_min h);
+  let drained = List.init 5 (fun _ -> Minheap.pop_min h) in
+  check Alcotest.(list int) "drains sorted" [ 1; 1; 3; 4; 5 ] drained;
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Minheap.pop_min h))
+
+let prop_minheap_sorts =
+  qtest "Minheap: drain is sorted" QCheck2.Gen.(list_size (int_range 0 200) int)
+    (fun l ->
+      let h = Minheap.create () in
+      List.iter (Minheap.add h) l;
+      let out = List.init (List.length l) (fun _ -> Minheap.pop_min h) in
+      out = List.sort compare l)
+
+let suites =
+  [
+    ( "util.rat",
+      [
+        Alcotest.test_case "normalization" `Quick test_rat_normalization;
+        Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+        Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
+        prop_rat_add_commutes;
+        prop_rat_mul_inverse;
+        prop_rat_floor_le;
+        prop_rat_normal_form;
+      ] );
+    ( "util.ivec",
+      [
+        Alcotest.test_case "lexicographic" `Quick test_ivec_lex;
+        Alcotest.test_case "arithmetic" `Quick test_ivec_arith;
+        prop_ivec_neg_antisym;
+        prop_ivec_compare_total;
+      ] );
+    ( "util.listx",
+      [
+        Alcotest.test_case "group_by" `Quick test_listx_group_by;
+        Alcotest.test_case "misc" `Quick test_listx_misc;
+        prop_take_drop;
+      ] );
+    ( "util.minheap",
+      [ Alcotest.test_case "basic" `Quick test_minheap_basic; prop_minheap_sorts ] );
+  ]
