@@ -17,8 +17,10 @@ module Symbolic = Dp_restructure.Symbolic
 module Parallelize = Dp_restructure.Parallelize
 module Generate = Dp_trace.Generate
 module Request = Dp_trace.Request
+module Hint = Dp_trace.Hint
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
+module Oracle = Dp_oracle.Oracle
 module Workloads = Dp_workloads.Workloads
 module App = Dp_workloads.App
 
@@ -133,15 +135,21 @@ let streams u ~procs ~restructured =
   in
   (g, segs)
 
-let trace source output procs restructured gaps =
+let trace source output procs restructured gaps with_hints =
   with_errors (fun () ->
       let u = load source in
       let g, segs = streams u ~procs ~restructured in
       let reqs = Generate.trace u.layout u.program g segs in
+      let hints =
+        if with_hints then
+          Oracle.hints_of_trace ~disks:u.layout.Layout.disk_count reqs
+        else []
+      in
       (match output with
-      | Some path -> Request.save path reqs
+      | Some path -> Request.save ~hints path reqs
       | None when not gaps ->
-          List.iter (fun r -> Format.printf "%a@." Request.pp r) reqs
+          List.iter (fun r -> Format.printf "%a@." Request.pp r) reqs;
+          List.iter (fun h -> Format.printf "%a@." Hint.pp h) hints
       | None -> ());
       if gaps then begin
         let h = Dp_trace.Idle_stats.of_requests reqs in
@@ -150,8 +158,9 @@ let trace source output procs restructured gaps =
           (Dp_trace.Idle_stats.exploitable_mass_s h ~threshold_s:15.2)
       end;
       let s = Generate.summarize reqs in
-      Format.eprintf "%d requests, %.1f MB, makespan %.1f s, io fraction %.1f%%@."
+      Format.eprintf "%d requests%s, %.1f MB, makespan %.1f s, io fraction %.1f%%@."
         s.Generate.requests
+        (if with_hints then Printf.sprintf ", %d power hints" (List.length hints) else "")
         (float_of_int s.Generate.bytes /. 1024. /. 1024.)
         (s.Generate.makespan_ms /. 1000.)
         (100. *. Generate.io_fraction s))
@@ -161,18 +170,46 @@ let policy_of_string = function
   | "tpm" -> Policy.default_tpm
   | "tpm-proactive" -> Policy.tpm ~proactive:true ()
   | "drpm" -> Policy.default_drpm
-  | p -> fail "unknown policy %s (none | tpm | tpm-proactive | drpm)" p
+  | "drpm-proactive" -> Policy.drpm ~proactive:true ()
+  | p ->
+      fail
+        "unknown policy %s (none | tpm | tpm-proactive | drpm | drpm-proactive | oracle-tpm \
+         | oracle-drpm)"
+        p
+
+(* The oracle "policies" are offline bounds, not simulated controllers. *)
+let oracle_space_of_string = function
+  | "oracle-tpm" -> Some Oracle.Tpm_space
+  | "oracle-drpm" -> Some Oracle.Drpm_space
+  | "oracle" -> Some Oracle.Full_space
+  | _ -> None
+
+(* Compiler hints for the proactive policies: the engine executes the
+   directive stream instead of consulting its omniscient gap planner. *)
+let hints_for policy ~disks reqs =
+  match policy with
+  | Policy.Tpm { Policy.proactive = true; _ } ->
+      Oracle.hints_of_trace ~space:Oracle.Tpm_space ~disks reqs
+  | Policy.Drpm { Policy.proactive = true; _ } ->
+      Oracle.hints_of_trace ~space:Oracle.Drpm_space ~disks reqs
+  | _ -> []
 
 let simulate source procs restructured policy_name per_disk timeline =
   with_errors (fun () ->
       let u = load source in
       let g, segs = streams u ~procs ~restructured in
       let reqs = Generate.trace u.layout u.program g segs in
+      let disks = u.layout.Layout.disk_count in
+      match oracle_space_of_string policy_name with
+      | Some space ->
+          let bound = Oracle.lower_bound ~space ~disks reqs in
+          Format.printf "%a@." Oracle.pp_bound bound;
+          Format.printf "analytic standby floor: %.1f J@."
+            (Oracle.standby_floor_j bound.Oracle.base)
+      | None ->
       let policy = policy_of_string policy_name in
-      let r =
-        Engine.simulate ~record_timeline:timeline ~disks:u.layout.Layout.disk_count policy
-          reqs
-      in
+      let hints = hints_for policy ~disks reqs in
+      let r = Engine.simulate ~record_timeline:timeline ~hints ~disks policy reqs in
       Format.printf "policy %s: energy %.1f J, disk I/O time %.1f s, makespan %.1f s@."
         r.Engine.policy r.Engine.energy_j
         (r.Engine.io_time_ms /. 1000.)
@@ -187,7 +224,7 @@ let simulate source procs restructured policy_name per_disk timeline =
       | None -> ());
       (* Also report against the no-PM baseline on the same trace. *)
       if policy <> Policy.No_pm then begin
-        let base = Engine.simulate ~disks:u.layout.Layout.disk_count Policy.No_pm reqs in
+        let base = Engine.simulate ~disks Policy.No_pm reqs in
         Format.printf "normalized energy vs no-PM on this trace: %.3f@."
           (r.Engine.energy_j /. base.Engine.energy_j)
       end)
@@ -215,7 +252,8 @@ let report source procs json_path =
         }
       in
       let versions =
-        if procs = 1 then Dp_harness.Version.single_cpu else Dp_harness.Version.multi_cpu
+        (if procs = 1 then Dp_harness.Version.single_cpu else Dp_harness.Version.multi_cpu)
+        @ Dp_harness.Version.oracle
       in
       let matrix = Dp_harness.Experiments.build_matrix ~apps:[ app ] ~procs ~versions () in
       Dp_harness.Experiments.fig_energy matrix Format.std_formatter;
@@ -293,15 +331,27 @@ let trace_cmd =
   let gaps =
     Arg.(value & flag & info [ "gaps" ] ~doc:"Print the per-disk idle-gap histogram")
   in
+  let hints =
+    Arg.(
+      value & flag
+      & info [ "hints" ]
+          ~doc:
+            "Also emit the compiler power-hint stream (spin-down, pre-spin-up and \
+             set-RPM directives planned on the nominal timeline) into the trace")
+  in
   Cmd.v
     (Cmd.info "trace" ~doc:"Generate the timed I/O request trace of a program")
-    Term.(const trace $ source_arg $ output $ procs_arg $ restructured_arg $ gaps)
+    Term.(const trace $ source_arg $ output $ procs_arg $ restructured_arg $ gaps $ hints)
 
 let simulate_cmd =
   let policy =
     Arg.(
       value & opt string "none"
-      & info [ "policy" ] ~docv:"P" ~doc:"none | tpm | tpm-proactive | drpm")
+      & info [ "policy" ] ~docv:"P"
+          ~doc:
+            "none | tpm | tpm-proactive | drpm | drpm-proactive | oracle-tpm | oracle-drpm \
+             (proactive policies execute compiler hints; oracle-* print the offline-optimal \
+             bound instead of simulating)")
   in
   let per_disk = Arg.(value & flag & info [ "per-disk" ] ~doc:"Print per-disk statistics") in
   let timeline =

@@ -2,37 +2,58 @@
 
    Replays a trace file (as produced by [dpcc trace -o ...]) against a
    disk configuration and power-management policy, and reports energy and
-   performance statistics. *)
+   performance statistics.  Compiler power hints embedded in the trace
+   ([H ...] lines, from [dpcc trace --hints]) are executed by the
+   proactive policies; the oracle policies print the offline-optimal
+   energy bound instead of simulating. *)
 
 module Request = Dp_trace.Request
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
 module Disk_model = Dp_disksim.Disk_model
+module Oracle = Dp_oracle.Oracle
 
 open Cmdliner
 
 let run trace_file disks policy_name threshold proactive window downshift per_disk =
   try
-    let reqs = Request.load trace_file in
-    let policy =
+    let reqs, hints = Request.load_with_hints trace_file in
+    let oracle_space =
       match policy_name with
-      | "none" | "base" -> Policy.No_pm
-      | "tpm" -> Policy.tpm ?idle_threshold_s:threshold ~proactive ()
-      | "drpm" ->
-          Policy.drpm ?window_size:window ?downshift_idle_ms:downshift ()
-      | p ->
-          Format.eprintf "dpsim: unknown policy %s@." p;
-          exit 1
+      | "oracle-tpm" -> Some Oracle.Tpm_space
+      | "oracle-drpm" -> Some Oracle.Drpm_space
+      | "oracle" -> Some Oracle.Full_space
+      | _ -> None
     in
-    let r = Engine.simulate ~disks policy reqs in
-    Format.printf "trace: %s (%d requests)@." trace_file (List.length reqs);
-    Format.printf "model: %s@." Disk_model.ultrastar_36z15.Disk_model.name;
-    Format.printf "policy %s: energy %.1f J, disk I/O time %.1f s, makespan %.1f s@."
-      r.Engine.policy r.Engine.energy_j
-      (r.Engine.io_time_ms /. 1000.)
-      (r.Engine.makespan_ms /. 1000.);
-    if per_disk then
-      Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk
+    match oracle_space with
+    | Some space ->
+        let bound = Oracle.lower_bound ~space ~disks reqs in
+        Format.printf "trace: %s (%d requests)@." trace_file (List.length reqs);
+        Format.printf "model: %s@." Disk_model.ultrastar_36z15.Disk_model.name;
+        Format.printf "%a@." Oracle.pp_bound bound;
+        Format.printf "analytic standby floor: %.1f J@."
+          (Oracle.standby_floor_j bound.Oracle.base)
+    | None ->
+        let policy =
+          match policy_name with
+          | "none" | "base" -> Policy.No_pm
+          | "tpm" -> Policy.tpm ?idle_threshold_s:threshold ~proactive ()
+          | "drpm" ->
+              Policy.drpm ?window_size:window ?downshift_idle_ms:downshift ~proactive ()
+          | p ->
+              Format.eprintf "dpsim: unknown policy %s@." p;
+              exit 1
+        in
+        let r = Engine.simulate ~hints ~disks policy reqs in
+        Format.printf "trace: %s (%d requests, %d hints)@." trace_file (List.length reqs)
+          (List.length hints);
+        Format.printf "model: %s@." Disk_model.ultrastar_36z15.Disk_model.name;
+        Format.printf "policy %s: energy %.1f J, disk I/O time %.1f s, makespan %.1f s@."
+          r.Engine.policy r.Engine.energy_j
+          (r.Engine.io_time_ms /. 1000.)
+          (r.Engine.makespan_ms /. 1000.);
+        if per_disk then
+          Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk
   with
   | Sys_error msg | Failure msg ->
       Format.eprintf "dpsim: %s@." msg;
@@ -49,7 +70,10 @@ let () =
     Arg.(value & opt int 8 & info [ "disks"; "d" ] ~docv:"N" ~doc:"Number of I/O nodes")
   in
   let policy =
-    Arg.(value & opt string "none" & info [ "policy" ] ~docv:"P" ~doc:"none | tpm | drpm")
+    Arg.(
+      value & opt string "none"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:"none | tpm | drpm | oracle-tpm | oracle-drpm | oracle")
   in
   let threshold =
     Arg.(
@@ -58,7 +82,12 @@ let () =
       & info [ "tpm-threshold" ] ~docv:"SECONDS" ~doc:"TPM idleness threshold")
   in
   let proactive =
-    Arg.(value & flag & info [ "proactive" ] ~doc:"Compiler-directed TPM spin-up")
+    Arg.(
+      value & flag
+      & info [ "proactive" ]
+          ~doc:
+            "Compiler-directed mode for tpm/drpm: execute the trace's hint stream (or, \
+             absent hints, plan gaps from the known schedule)")
   in
   let window =
     Arg.(value & opt (some int) None & info [ "drpm-window" ] ~docv:"N" ~doc:"DRPM window size")

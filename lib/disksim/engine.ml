@@ -1,4 +1,5 @@
 module Request = Dp_trace.Request
+module Hint = Dp_trace.Hint
 
 type disk_stats = {
   disk : int;
@@ -46,6 +47,7 @@ type disk_state = {
   mutable win_resp : float;
   mutable win_nominal : float;
   mutable last_end : int;  (* address right after the previous request; -1 initially *)
+  mutable hints : Hint.t list;  (* pending compiler directives, by nominal time *)
   record : bool;
   mutable segs : Timeline.segment list;  (* reversed *)
 }
@@ -70,6 +72,7 @@ let make_state ?(record = false) model id =
     win_resp = 0.0;
     win_nominal = 0.0;
     last_end = -1;
+    hints = [];
     record;
     segs = [];
   }
@@ -163,6 +166,78 @@ let gap_tpm_proactive model (cfg : Policy.tpm_config) st ~until ~terminal =
     end
   end
 
+(* --- compiler hints: consume the directives addressed to a gap --- *)
+
+(* Hints are timestamped on the nominal (full-speed) timeline and so is
+   every request's [arrival_ms]; matching on nominal time keeps the
+   routing immune to closed-loop drift between nominal and actual
+   clocks. *)
+let take_hints st ~upto =
+  let rec go acc = function
+    | (h : Hint.t) :: rest when h.Hint.at_ms <= upto +. 1e-9 -> go (h :: acc) rest
+    | rest ->
+        st.hints <- rest;
+        List.rev acc
+  in
+  go [] st.hints
+
+let hint_spin_down hs = List.exists (fun (h : Hint.t) -> h.Hint.action = Hint.Spin_down) hs
+
+let hint_lead hs =
+  List.find_map
+    (fun (h : Hint.t) ->
+      match h.Hint.action with Hint.Pre_spin_up l -> Some l | _ -> None)
+    hs
+
+let hint_target_rpm hs =
+  List.find_map
+    (fun (h : Hint.t) ->
+      match h.Hint.action with Hint.Set_rpm r -> Some r | _ -> None)
+    hs
+
+(* Hint-directed TPM: the compiler ordered a spin-down for this gap, and
+   (when the gap is interior) a pre-spin-up [lead] ms before the next
+   access.  Unlike the omniscient proactive handler there is no
+   threshold heuristic: the disk trusts the directive and spins down at
+   the start of the gap.  Without a pre-spin-up directive the spin-up is
+   reactive and stalls — hiding the latency is exactly what the
+   [Pre_spin_up] hint exists for. *)
+let gap_tpm_hinted model st ~until ~terminal ~spin_down ~lead =
+  let gap = until -. st.now in
+  if gap <= 0.0 then ()
+  else begin
+    let sd_ms = ms_of_s model.Disk_model.spin_down_s in
+    let su_ms = ms_of_s model.Disk_model.spin_up_s in
+    (* Closed-loop drift can shrink a hinted gap below what the compiler
+       saw on the nominal timeline; refuse directives that no longer
+       fit. *)
+    let feasible = if terminal then gap >= sd_ms else gap >= sd_ms +. su_ms in
+    if not (spin_down && feasible) then spend_idle model st gap
+    else begin
+      st.transition <- st.transition +. sd_ms;
+      st.energy <- st.energy +. model.Disk_model.spin_down_j;
+      st.downs <- st.downs + 1;
+      record_span st ~start:st.now ~stop:(st.now +. sd_ms) Timeline.Transition;
+      st.now <- st.now +. sd_ms;
+      if terminal then spend_standby model st (until -. st.now)
+      else begin
+        let start_up =
+          match lead with
+          | None -> until (* no pre-activation directive: reactive stall *)
+          | Some l -> Float.max st.now (until -. l)
+        in
+        spend_standby model st (start_up -. st.now);
+        st.transition <- st.transition +. su_ms;
+        st.energy <- st.energy +. model.Disk_model.spin_up_j;
+        st.ups <- st.ups + 1;
+        record_span st ~start:st.now ~stop:(st.now +. su_ms) Timeline.Transition;
+        st.now <- st.now +. su_ms;
+        (* A generous lead brings the platters up early: idle at speed. *)
+        if until > st.now then spend_idle model st (until -. st.now)
+      end
+    end
+  end
+
 (* DRPM: step the speed down one level per [downshift_idle_ms] of
    continuous idleness (plus the transition itself), then idle at the
    reached speed. *)
@@ -207,13 +282,21 @@ let gap_drpm model (cfg : Policy.drpm_config) st ~until =
 (* Compiler-directed DRPM (proactive): the gap's speed trajectory is
    planned — drop straight to the deepest level whose down-and-up round
    trip (plus a dwell of one downshift threshold) fits the gap, idle
-   there, and be back at full speed exactly at the next arrival. *)
-let gap_drpm_proactive model (cfg : Policy.drpm_config) st ~until ~terminal =
+   there, and be back at full speed exactly at the next arrival.  A
+   [Set_rpm] hint caps the dip at the compiler's target speed (computed
+   from the nominal gap); feasibility against the actual gap still
+   rules, so a drifted gap degrades to a shallower dip, never a stall. *)
+let gap_drpm_proactive ?target_rpm model (cfg : Policy.drpm_config) st ~until ~terminal =
   let gap = until -. st.now in
   if gap <= 0.0 then ()
   else begin
     let step_ms = ms_of_s (Disk_model.drpm_level_transition_s model) in
-    let max_levels = (st.rpm - drpm_floor model cfg) / model.Disk_model.rpm_step in
+    let floor_rpm =
+      match target_rpm with
+      | Some r -> max (drpm_floor model cfg) (min r model.Disk_model.rpm_max)
+      | None -> drpm_floor model cfg
+    in
+    let max_levels = (st.rpm - floor_rpm) / model.Disk_model.rpm_step in
     let fits levels =
       let ramp = float_of_int levels *. step_ms in
       gap >= (2.0 *. ramp) +. cfg.Policy.downshift_idle_ms
@@ -296,15 +379,25 @@ let drpm_window model (cfg : Policy.drpm_config) st ~response ~nominal =
   end
 
 (* Serve request [r] issued at [issue] (closed-loop actual time).
-   Returns the response time. *)
-let handle_request model policy st (r : Request.t) ~issue =
+   [hinted] says whether the simulation carries a compiler hint stream:
+   a proactive policy with hints executes the directives, a proactive
+   policy without falls back to the omniscient gap planner.  Returns the
+   response time. *)
+let handle_request model policy st (r : Request.t) ~issue ~hinted =
   match policy with
   | Policy.No_pm ->
       if issue > st.now then gap_no_pm model st ~until:issue;
       serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size
         ~rpm:model.Disk_model.rpm_max
   | Policy.Tpm cfg when cfg.Policy.proactive ->
-      if issue > st.now then gap_tpm_proactive model cfg st ~until:issue ~terminal:false;
+      if hinted then begin
+        let hs = take_hints st ~upto:r.Request.arrival_ms in
+        if issue > st.now then
+          gap_tpm_hinted model st ~until:issue ~terminal:false
+            ~spin_down:(hint_spin_down hs) ~lead:(hint_lead hs)
+      end
+      else if issue > st.now then
+        gap_tpm_proactive model cfg st ~until:issue ~terminal:false;
       serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size
         ~rpm:model.Disk_model.rpm_max
   | Policy.Tpm cfg ->
@@ -323,11 +416,23 @@ let handle_request model policy st (r : Request.t) ~issue =
       serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size
         ~rpm:model.Disk_model.rpm_max
   | Policy.Drpm cfg ->
-      if issue > st.now then begin
-        if cfg.Policy.proactive then
-          gap_drpm_proactive model cfg st ~until:issue ~terminal:false
-        else gap_drpm model cfg st ~until:issue
-      end;
+      (if cfg.Policy.proactive && hinted then begin
+         let hs = take_hints st ~upto:r.Request.arrival_ms in
+         if issue > st.now then begin
+           match hint_target_rpm hs with
+           | Some rpm ->
+               gap_drpm_proactive ~target_rpm:rpm model cfg st ~until:issue
+                 ~terminal:false
+           | None ->
+               (* No directive: the compiler planned no dip for this gap. *)
+               spend_idle model st (issue -. st.now)
+         end
+       end
+       else if issue > st.now then begin
+         if cfg.Policy.proactive then
+           gap_drpm_proactive model cfg st ~until:issue ~terminal:false
+         else gap_drpm model cfg st ~until:issue
+       end);
       let seek_distance = if st.last_end < 0 then max_int else r.lba - st.last_end in
       let nominal =
         Disk_model.service_ms ~seek_distance model ~rpm:model.Disk_model.rpm_max
@@ -351,15 +456,26 @@ let handle_request model policy st (r : Request.t) ~issue =
 
 (* Trailing window: account the timeline from the last completion to the
    global makespan, with no arrival to terminate the gap. *)
-let handle_trailing model policy st ~until =
+let handle_trailing model policy st ~until ~hinted =
   if until > st.now then begin
     match policy with
     | Policy.No_pm -> gap_no_pm model st ~until
     | Policy.Tpm cfg when cfg.Policy.proactive ->
-        gap_tpm_proactive model cfg st ~until ~terminal:true
+        if hinted then
+          let hs = take_hints st ~upto:infinity in
+          gap_tpm_hinted model st ~until ~terminal:true
+            ~spin_down:(hint_spin_down hs) ~lead:None
+        else gap_tpm_proactive model cfg st ~until ~terminal:true
     | Policy.Tpm cfg -> ignore (gap_tpm model cfg st ~until)
     | Policy.Drpm cfg when cfg.Policy.proactive ->
-        gap_drpm_proactive model cfg st ~until ~terminal:true
+        if hinted then begin
+          let hs = take_hints st ~upto:infinity in
+          match hint_target_rpm hs with
+          | Some rpm ->
+              gap_drpm_proactive ~target_rpm:rpm model cfg st ~until ~terminal:true
+          | None -> spend_idle model st (until -. st.now)
+        end
+        else gap_drpm_proactive model cfg st ~until ~terminal:true
     | Policy.Drpm cfg -> gap_drpm model cfg st ~until
   end;
   (* A TPM spin-down may overshoot [until]; clamp for reporting. *)
@@ -387,14 +503,21 @@ let stats_of_state st ~last_completion =
    Segment barriers synchronize all processors.  Disks are FIFO in issue
    order; their power trajectory over each inter-arrival gap is decided
    by the policy. *)
-let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ~disks policy
-    reqs =
+let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ?(hints = [])
+    ~disks policy reqs =
   if disks < 1 then invalid_arg "Engine.simulate: disks must be >= 1";
   List.iter
     (fun (r : Request.t) ->
       if r.disk < 0 || r.disk >= disks then
         invalid_arg (Printf.sprintf "Engine.simulate: request on disk %d of %d" r.disk disks))
     reqs;
+  List.iter
+    (fun (h : Hint.t) ->
+      if h.Hint.disk < 0 || h.Hint.disk >= disks then
+        invalid_arg
+          (Printf.sprintf "Engine.simulate: hint on disk %d of %d" h.Hint.disk disks))
+    hints;
+  let hinted = hints <> [] in
   let reqs = List.sort Request.compare_arrival reqs in
   let n_proc =
     1 + List.fold_left (fun acc (r : Request.t) -> max acc r.proc) (-1) reqs
@@ -409,6 +532,11 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ~d
     (fun per_proc -> Array.iteri (fun p q -> per_proc.(p) <- List.rev q) per_proc)
     queues;
   let states = Array.init disks (make_state ~record:record_timeline model) in
+  List.iter
+    (fun (h : Hint.t) ->
+      let st = states.(h.Hint.disk) in
+      st.hints <- h :: st.hints)
+    (List.rev (List.stable_sort Hint.compare_at hints));
   let last_completion = Array.make disks 0.0 in
   let clocks = Array.make (max n_proc 1) 0.0 in
   for seg = 0 to n_seg - 1 do
@@ -435,7 +563,7 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ~d
         | r :: rest ->
             pending.(p) <- rest;
             let st = states.(r.Request.disk) in
-            let response = handle_request model policy st r ~issue:!best_t in
+            let response = handle_request model policy st r ~issue:!best_t ~hinted in
             ignore response;
             clocks.(p) <- !best_t +. response;
             last_completion.(r.Request.disk) <- st.now;
@@ -448,7 +576,7 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ~d
     Array.fill clocks 0 (Array.length clocks) latest
   done;
   let makespan = Array.fold_left max 0.0 last_completion in
-  Array.iter (fun st -> handle_trailing model policy st ~until:makespan) states;
+  Array.iter (fun st -> handle_trailing model policy st ~until:makespan ~hinted) states;
   let per_disk =
     Array.mapi (fun d st -> stats_of_state st ~last_completion:last_completion.(d)) states
   in

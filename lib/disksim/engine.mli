@@ -39,6 +39,7 @@ type result = {
 val simulate :
   ?model:Disk_model.t ->
   ?record_timeline:bool ->
+  ?hints:Dp_trace.Hint.t list ->
   disks:int ->
   Policy.t ->
   Request.t list ->
@@ -46,7 +47,17 @@ val simulate :
 (** Simulate a trace on [disks] I/O nodes under a policy.  Requests whose
     [disk] is outside [0, disks) raise [Invalid_argument].  The request
     list need not be sorted.  [record_timeline] (default false) keeps the
-    per-disk power-state segments for {!Timeline.render}. *)
+    per-disk power-state segments for {!Timeline.render}.
+
+    [hints] is the compiler's directive stream (see {!Dp_trace.Hint}).
+    With a non-empty stream, a [proactive] TPM policy spins a disk down
+    exactly when a [Spin_down] directive says its cluster ended and hides
+    the spin-up latency per the matching [Pre_spin_up] lead (no directive
+    — reactive stall); a [proactive] DRPM policy dips to each gap's
+    [Set_rpm] target.  Directives that no longer fit their actual gap
+    (closed-loop drift) degrade to plain idling, never to a stall.  With
+    an empty stream, proactive policies keep their omniscient built-in
+    planning; reactive policies ignore hints entirely. *)
 
 val pp_result : Format.formatter -> result -> unit
 val pp_disk_stats : Format.formatter -> disk_stats -> unit

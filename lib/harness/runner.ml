@@ -5,6 +5,8 @@ module Engine = Dp_disksim.Engine
 module Generate = Dp_trace.Generate
 module Reuse = Dp_restructure.Reuse_scheduler
 module Parallelize = Dp_restructure.Parallelize
+module Oracle = Dp_oracle.Oracle
+module Policy = Dp_disksim.Policy
 
 type ctx = { app : App.t; layout : Layout.t; graph : Concrete.graph }
 
@@ -85,13 +87,42 @@ let streams ctx ~procs version =
     end
   end
 
+(* Compiler hints for the proactive (restructured) versions: the hint
+   emitter replays the nominal trace the restructurer produced and plans
+   each predicted gap, so the engine executes directives instead of
+   consulting an omniscient gap planner. *)
+let hints_for policy ~disks trace =
+  match policy with
+  | Policy.Tpm { Policy.proactive = true; _ } ->
+      Oracle.hints_of_trace ~space:Oracle.Tpm_space ~disks trace
+  | Policy.Drpm { Policy.proactive = true; _ } ->
+      Oracle.hints_of_trace ~space:Oracle.Drpm_space ~disks trace
+  | _ -> []
+
 let run ctx ~procs version =
-  let segs, scheduler_rounds = streams ctx ~procs version in
-  let trace = Generate.trace ctx.layout ctx.app.App.program ctx.graph segs in
-  let result =
-    Engine.simulate ~disks:ctx.layout.Layout.disk_count (Version.policy version) trace
-  in
-  { version; procs; result; summary = Generate.summarize trace; scheduler_rounds }
+  match Version.oracle_space version with
+  | Some space ->
+      (* Offline-optimal bound on the unmodified code: same trace as the
+         corresponding reactive row, energy replaced by the oracle DP. *)
+      let segs, _ = streams ctx ~procs Version.Base in
+      let trace = Generate.trace ctx.layout ctx.app.App.program ctx.graph segs in
+      let bound = Oracle.lower_bound ~space ~disks:ctx.layout.Layout.disk_count trace in
+      let result =
+        {
+          bound.Oracle.base with
+          Engine.policy = Version.name version;
+          energy_j = bound.Oracle.energy_j;
+        }
+      in
+      { version; procs; result; summary = Generate.summarize trace; scheduler_rounds = None }
+  | None ->
+      let segs, scheduler_rounds = streams ctx ~procs version in
+      let trace = Generate.trace ctx.layout ctx.app.App.program ctx.graph segs in
+      let policy = Version.policy version in
+      let disks = ctx.layout.Layout.disk_count in
+      let hints = if Version.restructured version then hints_for policy ~disks trace else [] in
+      let result = Engine.simulate ~hints ~disks policy trace in
+      { version; procs; result; summary = Generate.summarize trace; scheduler_rounds }
 
 let normalized_energy ~base r =
   r.result.Engine.energy_j /. base.result.Engine.energy_j

@@ -28,7 +28,15 @@ type run = {
 }
 
 val run : ctx -> procs:int -> Version.t -> run
-(** @raise Invalid_argument for a [T_*_m] version with [procs = 1] (the
+(** For the paper's versions: restructure per the version, generate the
+    trace, and simulate — the proactive (restructured) versions carry a
+    compiler hint stream ({!Dp_trace.Hint}) emitted from the
+    restructured trace, which the engine executes in place of its
+    omniscient gap planner.  For the [Oracle_*] rows: generate the
+    unmodified-code trace and replace the energy of its no-PM reference
+    run with the offline-optimal bound ({!Dp_oracle.Oracle}); the
+    [result]'s per-disk stats remain those of the reference run.
+    @raise Invalid_argument for a [T_*_m] version with [procs = 1] (the
     layout-aware scheme is only meaningful with several processors). *)
 
 val normalized_energy : base:run -> run -> float

@@ -1,4 +1,13 @@
-type t = Base | Tpm | Drpm | T_tpm_s | T_drpm_s | T_tpm_m | T_drpm_m
+type t =
+  | Base
+  | Tpm
+  | Drpm
+  | T_tpm_s
+  | T_drpm_s
+  | T_tpm_m
+  | T_drpm_m
+  | Oracle_tpm
+  | Oracle_drpm
 
 let name = function
   | Base -> "Base"
@@ -8,14 +17,18 @@ let name = function
   | T_drpm_s -> "T-DRPM-s"
   | T_tpm_m -> "T-TPM-m"
   | T_drpm_m -> "T-DRPM-m"
+  | Oracle_tpm -> "Oracle-TPM"
+  | Oracle_drpm -> "Oracle-DRPM"
 
-let all = [ Base; Tpm; Drpm; T_tpm_s; T_drpm_s; T_tpm_m; T_drpm_m ]
+let all =
+  [ Base; Tpm; Drpm; T_tpm_s; T_drpm_s; T_tpm_m; T_drpm_m; Oracle_tpm; Oracle_drpm ]
 
 let of_name s =
   List.find_opt (fun v -> String.lowercase_ascii (name v) = String.lowercase_ascii s) all
 
 let single_cpu = [ Base; Tpm; Drpm; T_tpm_s; T_drpm_s ]
-let multi_cpu = all
+let multi_cpu = [ Base; Tpm; Drpm; T_tpm_s; T_drpm_s; T_tpm_m; T_drpm_m ]
+let oracle = [ Oracle_tpm; Oracle_drpm ]
 
 let policy = function
   | Base -> Dp_disksim.Policy.No_pm
@@ -24,11 +37,19 @@ let policy = function
      (proactive spin-up — the compiler knows the access schedule). *)
   | T_tpm_s | T_tpm_m -> Dp_disksim.Policy.tpm ~proactive:true ()
   | Drpm | T_drpm_s | T_drpm_m -> Dp_disksim.Policy.default_drpm
+  (* Oracle rows are offline bounds, not simulated policies; the runner
+     replaces the energy of this no-PM reference run with the bound. *)
+  | Oracle_tpm | Oracle_drpm -> Dp_disksim.Policy.No_pm
 
 let restructured = function
-  | Base | Tpm | Drpm -> false
+  | Base | Tpm | Drpm | Oracle_tpm | Oracle_drpm -> false
   | T_tpm_s | T_drpm_s | T_tpm_m | T_drpm_m -> true
 
 let layout_aware = function
   | T_tpm_m | T_drpm_m -> true
-  | Base | Tpm | Drpm | T_tpm_s | T_drpm_s -> false
+  | Base | Tpm | Drpm | T_tpm_s | T_drpm_s | Oracle_tpm | Oracle_drpm -> false
+
+let oracle_space = function
+  | Oracle_tpm -> Some Dp_oracle.Oracle.Tpm_space
+  | Oracle_drpm -> Some Dp_oracle.Oracle.Drpm_space
+  | Base | Tpm | Drpm | T_tpm_s | T_drpm_s | T_tpm_m | T_drpm_m -> None

@@ -1,4 +1,5 @@
-(** The seven experimental versions of Section 7.1. *)
+(** The seven experimental versions of Section 7.1, plus the
+    offline-optimal oracle rows this reproduction adds on top. *)
 
 type t =
   | Base  (** no power management *)
@@ -8,6 +9,12 @@ type t =
   | T_drpm_s  (** disk-reuse restructuring (single-CPU algorithm) + DRPM *)
   | T_tpm_m  (** disk-layout-aware parallelization + per-CPU reuse + TPM *)
   | T_drpm_m  (** disk-layout-aware parallelization + per-CPU reuse + DRPM *)
+  | Oracle_tpm
+      (** offline-optimal spin-down scheduling on the unmodified code —
+          the energy floor of every TPM-style policy *)
+  | Oracle_drpm
+      (** offline-optimal speed scheduling on the unmodified code — the
+          energy floor of every DRPM-style policy *)
 
 val name : t -> string
 val of_name : string -> t option
@@ -16,8 +23,16 @@ val single_cpu : t list
 (** The five versions evaluated on one processor (Figs. 9a, 10a). *)
 
 val multi_cpu : t list
-(** All seven versions, for the 4-processor experiments (Figs. 9b, 10b). *)
+(** The paper's seven versions, for the 4-processor experiments
+    (Figs. 9b, 10b). *)
+
+val oracle : t list
+(** The two offline-optimal bound rows; append to either list to get a
+    "% of oracle" yardstick in the figures. *)
 
 val policy : t -> Dp_disksim.Policy.t
 val restructured : t -> bool
 val layout_aware : t -> bool
+
+val oracle_space : t -> Dp_oracle.Oracle.space option
+(** [Some space] exactly for the oracle rows. *)

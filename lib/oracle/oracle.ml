@@ -1,0 +1,396 @@
+module Disk_model = Dp_disksim.Disk_model
+module Engine = Dp_disksim.Engine
+module Timeline = Dp_disksim.Timeline
+module Request = Dp_trace.Request
+module Hint = Dp_trace.Hint
+
+type space = Tpm_space | Drpm_space | Full_space
+
+let space_name = function
+  | Tpm_space -> "Oracle-TPM"
+  | Drpm_space -> "Oracle-DRPM"
+  | Full_space -> "Oracle"
+
+type gap = { start_ms : float; len_ms : float; terminal : bool }
+
+type action = Stay_idle | Spin_cycle | Rpm_dip of int
+
+type step = { gap : gap; action : action; energy_j : float }
+
+type plan = { steps : step list; energy_j : float }
+
+let ms_of_s s = s *. 1000.0
+let j_of ~watts ~ms = watts *. ms /. 1000.0
+
+(* Per-level ramp cost between full speed and [rpm], charged exactly as
+   the engine's [drpm_shift] does: one level-transition time per step, at
+   the active power of the faster of the two speeds.  The set of "faster"
+   speeds is the same going down and coming back up, so one ramp cost
+   serves both directions. *)
+let ramp_cost model ~rpm =
+  let step_ms = ms_of_s (Disk_model.drpm_level_transition_s model) in
+  let rec go r (time_ms, energy_j) =
+    if r <= rpm then (time_ms, energy_j)
+    else
+      go
+        (r - model.Disk_model.rpm_step)
+        ( time_ms +. step_ms,
+          energy_j
+          +. Disk_model.drpm_transition_j model ~rpm_from:r
+               ~rpm_to:(r - model.Disk_model.rpm_step) )
+  in
+  go model.Disk_model.rpm_max (0.0, 0.0)
+
+(* The candidate trajectories for one gap.  The disk enters at full
+   speed and, unless the gap is terminal, must be back at full speed
+   when the gap ends; a candidate is admissible when its transitions fit
+   inside the gap.  This is the (tiny) per-gap dynamic program: the
+   state space is {standby} ∪ RPM levels, and with both endpoints
+   pinned the optimal trajectory is a single excursion, so enumerating
+   the excursion depths solves the DP exactly. *)
+let candidates space model (g : gap) =
+  let m = model in
+  let idle_full = (Stay_idle, j_of ~watts:(Disk_model.idle_power_w m ~rpm:m.Disk_model.rpm_max) ~ms:g.len_ms) in
+  let spin_cycle =
+    let sd_ms = ms_of_s m.Disk_model.spin_down_s in
+    let su_ms = ms_of_s m.Disk_model.spin_up_s in
+    if g.terminal then
+      if g.len_ms >= sd_ms then
+        [
+          ( Spin_cycle,
+            m.Disk_model.spin_down_j
+            +. j_of ~watts:m.Disk_model.power_standby_w ~ms:(g.len_ms -. sd_ms) );
+        ]
+      else []
+    else if g.len_ms >= sd_ms +. su_ms then
+      [
+        ( Spin_cycle,
+          m.Disk_model.spin_down_j +. m.Disk_model.spin_up_j
+          +. j_of ~watts:m.Disk_model.power_standby_w
+               ~ms:(g.len_ms -. sd_ms -. su_ms) );
+      ]
+    else []
+  in
+  let dips =
+    List.filter_map
+      (fun rpm ->
+        if rpm >= m.Disk_model.rpm_max then None
+        else begin
+          let ramp_ms, ramp_j = ramp_cost m ~rpm in
+          let round_trip = if g.terminal then ramp_ms else 2.0 *. ramp_ms in
+          if g.len_ms < round_trip then None
+          else
+            Some
+              ( Rpm_dip rpm,
+                (if g.terminal then ramp_j else 2.0 *. ramp_j)
+                +. j_of ~watts:(Disk_model.idle_power_w m ~rpm)
+                     ~ms:(g.len_ms -. round_trip) )
+        end)
+      (Disk_model.rpm_levels m)
+  in
+  idle_full
+  ::
+  (match space with
+  | Tpm_space -> spin_cycle
+  | Drpm_space -> dips
+  | Full_space -> spin_cycle @ dips)
+
+let best_gap ?(model = Disk_model.ultrastar_36z15) space g =
+  List.fold_left
+    (fun (ba, be) (a, e) -> if e < be then (a, e) else (ba, be))
+    (Stay_idle, infinity) (candidates space model g)
+
+let schedule ?(model = Disk_model.ultrastar_36z15) space gaps =
+  let steps =
+    List.map
+      (fun g ->
+        let action, energy_j = best_gap ~model space g in
+        { gap = g; action; energy_j })
+      gaps
+  in
+  { steps; energy_j = List.fold_left (fun acc (s : step) -> acc +. s.energy_j) 0.0 steps }
+
+let gaps_of_timeline (t : Timeline.t) ~makespan_ms =
+  Array.map
+    (fun segs ->
+      let eps = 1e-6 in
+      let gaps = ref [] and cursor = ref 0.0 in
+      List.iter
+        (fun (s : Timeline.segment) ->
+          match s.Timeline.state with
+          | Timeline.Busy ->
+              if s.Timeline.start_ms > !cursor +. eps then
+                gaps :=
+                  {
+                    start_ms = !cursor;
+                    len_ms = s.Timeline.start_ms -. !cursor;
+                    terminal = false;
+                  }
+                  :: !gaps;
+              cursor := Float.max !cursor s.Timeline.stop_ms
+          | _ -> ())
+        segs;
+      if makespan_ms > !cursor +. eps then
+        gaps :=
+          { start_ms = !cursor; len_ms = makespan_ms -. !cursor; terminal = true }
+          :: !gaps;
+      List.rev !gaps)
+    t
+
+(* --- the servicing floor --- *)
+
+(* Cheapest admissible service energy per request, walking each disk's
+   stream in arrival order with the engine's seek-distance rule.  In
+   [Tpm_space] disks serve at full speed (TPM has no other); with DRPM
+   transitions available the oracle may serve at whichever level costs
+   the least energy — reduced speed stretches the service but can still
+   win, which is exactly the serve-at-reduced-RPM leg of the DP. *)
+let busy_floor_j space model ~disks reqs =
+  let levels =
+    match space with
+    | Tpm_space -> [ model.Disk_model.rpm_max ]
+    | Drpm_space | Full_space -> Disk_model.rpm_levels model
+  in
+  let last_end = Array.make disks (-1) in
+  List.fold_left
+    (fun acc (r : Request.t) ->
+      let seek_distance =
+        if last_end.(r.Request.disk) < 0 then max_int
+        else r.Request.lba - last_end.(r.Request.disk)
+      in
+      last_end.(r.Request.disk) <- r.Request.lba + r.Request.size;
+      let cheapest =
+        List.fold_left
+          (fun best rpm ->
+            let ms =
+              Disk_model.service_ms ~seek_distance model ~rpm ~bytes:r.Request.size
+            in
+            Float.min best (j_of ~watts:(Disk_model.active_power_w model ~rpm) ~ms))
+          infinity levels
+      in
+      acc +. cheapest)
+    0.0
+    (List.sort Request.compare_arrival reqs)
+
+type bound = {
+  space : space;
+  energy_j : float;
+  busy_j : float;
+  gap_j : float;
+  per_disk : plan array;
+  base : Engine.result;
+}
+
+(* Per-gap energy floor for the lower bound.  Unlike the executable
+   planner in [best_gap] — which pins the gap's endpoints at full speed
+   and charges real ramp costs, because that is what the engine can
+   actually run — the floor must also cover closed-loop drift: a policy
+   that serves slowly stretches the timeline, and a multi-speed disk
+   crosses gap boundaries at reduced speed without ever paying a ramp.
+
+   - [Tpm_space] trajectories really are boundary-pinned (a two-mode
+     disk serves only at full speed), and the per-gap optimum is
+     monotone in the gap length, so the executable DP is the floor.
+   - In [Drpm_space] any spinning trajectory draws at least the idle
+     power of the lowest level at every instant, so the floor is that
+     power times the gap — ramp-free, hence immune to boundary effects.
+   - [Full_space] takes the min: every engine policy belongs to one of
+     the two families. *)
+let gap_floor_j space model (g : gap) =
+  let idle_floor =
+    let w =
+      List.fold_left
+        (fun acc rpm -> Float.min acc (Disk_model.idle_power_w model ~rpm))
+        infinity (Disk_model.rpm_levels model)
+    in
+    j_of ~watts:w ~ms:g.len_ms
+  in
+  let tpm_floor () = snd (best_gap ~model Tpm_space g) in
+  match space with
+  | Tpm_space -> tpm_floor ()
+  | Drpm_space -> idle_floor
+  | Full_space -> Float.min (tpm_floor ()) idle_floor
+
+let lower_bound ?(model = Disk_model.ultrastar_36z15) ?(space = Full_space) ~disks reqs =
+  let base = Engine.simulate ~model ~record_timeline:true ~disks Dp_disksim.Policy.No_pm reqs in
+  let timeline =
+    match base.Engine.timeline with
+    | Some t -> t
+    | None -> assert false
+  in
+  let gaps = gaps_of_timeline timeline ~makespan_ms:base.Engine.makespan_ms in
+  let per_disk = Array.map (fun gs -> schedule ~model space gs) gaps in
+  let gap_j =
+    Array.fold_left
+      (fun acc gs -> List.fold_left (fun a g -> a +. gap_floor_j space model g) acc gs)
+      0.0 gaps
+  in
+  let busy_j = busy_floor_j space model ~disks reqs in
+  { space; energy_j = busy_j +. gap_j; busy_j; gap_j; per_disk; base }
+
+let lower_bound_energy_j ?model ?space ~disks reqs =
+  (lower_bound ?model ?space ~disks reqs).energy_j
+
+let standby_floor_j ?(model = Disk_model.ultrastar_36z15) (r : Engine.result) =
+  float_of_int (Array.length r.Engine.per_disk)
+  *. j_of ~watts:model.Disk_model.power_standby_w ~ms:r.Engine.makespan_ms
+
+(* --- nominal arrivals --- *)
+
+(* Rebuild the full-speed reference timeline the closed-loop engine
+   would realize under [No_pm]: per-processor chains issue [think_ms]
+   after the previous completion, fork-join barriers separate segments,
+   disks serve FIFO with the engine's seek rule.  Traces from the
+   generator already carry these arrivals; hand-built traces (tests,
+   external tools) usually carry zeros, which would hide every gap from
+   the hint emitter and defeat the engine's nominal-time hint routing. *)
+let nominalize ?(model = Disk_model.ultrastar_36z15) ~disks reqs =
+  List.iter
+    (fun (r : Request.t) ->
+      if r.Request.disk < 0 || r.Request.disk >= disks then
+        invalid_arg
+          (Printf.sprintf "Oracle.nominalize: request on disk %d of %d" r.Request.disk disks))
+    reqs;
+  let reqs = List.sort Request.compare_arrival reqs in
+  let n_proc = 1 + List.fold_left (fun acc (r : Request.t) -> max acc r.Request.proc) (-1) reqs in
+  let n_seg = 1 + List.fold_left (fun acc (r : Request.t) -> max acc r.Request.seg) 0 reqs in
+  let queues : Request.t list array array =
+    Array.init n_seg (fun _ -> Array.make (max n_proc 1) [])
+  in
+  List.iter
+    (fun (r : Request.t) -> queues.(r.Request.seg).(r.Request.proc) <- r :: queues.(r.Request.seg).(r.Request.proc))
+    reqs;
+  Array.iter (fun per_proc -> Array.iteri (fun p q -> per_proc.(p) <- List.rev q) per_proc) queues;
+  let disk_now = Array.make disks 0.0 in
+  let last_end = Array.make disks (-1) in
+  let clocks = Array.make (max n_proc 1) 0.0 in
+  let out = ref [] in
+  for seg = 0 to n_seg - 1 do
+    let pending = Array.copy queues.(seg) in
+    let next_issue p =
+      match pending.(p) with
+      | [] -> infinity
+      | r :: _ -> clocks.(p) +. r.Request.think_ms
+    in
+    let rec step () =
+      let best = ref (-1) and best_t = ref infinity in
+      for p = 0 to max n_proc 1 - 1 do
+        let t = next_issue p in
+        if t < !best_t then begin
+          best := p;
+          best_t := t
+        end
+      done;
+      if !best >= 0 then begin
+        let p = !best in
+        match pending.(p) with
+        | [] -> assert false
+        | r :: rest ->
+            pending.(p) <- rest;
+            let d = r.Request.disk in
+            let seek_distance =
+              if last_end.(d) < 0 then max_int else r.Request.lba - last_end.(d)
+            in
+            last_end.(d) <- r.Request.lba + r.Request.size;
+            let start = Float.max !best_t disk_now.(d) in
+            let service =
+              Disk_model.service_ms ~seek_distance model ~rpm:model.Disk_model.rpm_max
+                ~bytes:r.Request.size
+            in
+            disk_now.(d) <- start +. service;
+            clocks.(p) <- disk_now.(d);
+            out := { r with Request.arrival_ms = !best_t } :: !out;
+            step ()
+      end
+    in
+    step ();
+    let latest = Array.fold_left Float.max 0.0 clocks in
+    Array.fill clocks 0 (Array.length clocks) latest
+  done;
+  List.rev !out
+
+(* --- compiler-directed hints --- *)
+
+(* Replay the nominal (full-speed) timeline the way the engine will —
+   FIFO per disk, engine seek distances — and run the per-gap planner on
+   every predicted gap.  Where a spin cycle pays off, emit the
+   [Spin_down] / [Pre_spin_up] pair; where a speed dip does, emit the
+   [Set_rpm] target.  The directives carry nominal timestamps, which is
+   also how the engine routes them to gaps. *)
+let hints_of_trace ?(model = Disk_model.ultrastar_36z15) ?(space = Full_space) ~disks reqs
+    =
+  let reqs = List.sort Request.compare_arrival reqs in
+  let completion = Array.make disks 0.0 in
+  let last_end = Array.make disks (-1) in
+  let su_ms = ms_of_s model.Disk_model.spin_up_s in
+  let hints = ref [] in
+  let emit_for_gap ~disk ~start_ms ~len_ms ~next_arrival ~terminal =
+    let g = { start_ms; len_ms; terminal } in
+    (match space with
+    | Tpm_space | Full_space -> (
+        match best_gap ~model Tpm_space g with
+        | Spin_cycle, _ ->
+            hints := { Hint.at_ms = start_ms; disk; action = Hint.Spin_down } :: !hints;
+            if not terminal then
+              hints :=
+                {
+                  Hint.at_ms = next_arrival -. su_ms;
+                  disk;
+                  action = Hint.Pre_spin_up su_ms;
+                }
+                :: !hints
+        | _ -> ())
+    | Drpm_space -> ());
+    match space with
+    | Drpm_space | Full_space -> (
+        match best_gap ~model Drpm_space g with
+        | Rpm_dip rpm, _ ->
+            hints := { Hint.at_ms = start_ms; disk; action = Hint.Set_rpm rpm } :: !hints
+        | _ -> ())
+    | Tpm_space -> ()
+  in
+  List.iter
+    (fun (r : Request.t) ->
+      let d = r.Request.disk in
+      if r.Request.arrival_ms > completion.(d) then
+        emit_for_gap ~disk:d ~start_ms:completion.(d)
+          ~len_ms:(r.Request.arrival_ms -. completion.(d))
+          ~next_arrival:r.Request.arrival_ms ~terminal:false;
+      let seek_distance =
+        if last_end.(d) < 0 then max_int else r.Request.lba - last_end.(d)
+      in
+      last_end.(d) <- r.Request.lba + r.Request.size;
+      let service =
+        Disk_model.service_ms ~seek_distance model ~rpm:model.Disk_model.rpm_max
+          ~bytes:r.Request.size
+      in
+      completion.(d) <- Float.max completion.(d) r.Request.arrival_ms +. service)
+    reqs;
+  let makespan = Array.fold_left Float.max 0.0 completion in
+  Array.iteri
+    (fun d c ->
+      if makespan > c then
+        emit_for_gap ~disk:d ~start_ms:c ~len_ms:(makespan -. c) ~next_arrival:makespan
+          ~terminal:true)
+    completion;
+  List.sort Hint.compare_at !hints
+
+let pp_action ppf = function
+  | Stay_idle -> Format.pp_print_string ppf "idle"
+  | Spin_cycle -> Format.pp_print_string ppf "spin-cycle"
+  | Rpm_dip rpm -> Format.fprintf ppf "dip@%d" rpm
+
+let pp_plan ppf p =
+  Format.fprintf ppf "@[<v>%a@,total %.1f J@]"
+    (Format.pp_print_list (fun ppf s ->
+         Format.fprintf ppf "[%.0f..%.0f ms%s] %a: %.2f J" s.gap.start_ms
+           (s.gap.start_ms +. s.gap.len_ms)
+           (if s.gap.terminal then " terminal" else "")
+           pp_action s.action s.energy_j))
+    p.steps p.energy_j
+
+let pp_bound ppf b =
+  Format.fprintf ppf
+    "%s lower bound: %.1f J (busy floor %.1f J + optimal gaps %.1f J; no-PM reference \
+     %.1f J)"
+    (space_name b.space) b.energy_j b.busy_j b.gap_j b.base.Engine.energy_j

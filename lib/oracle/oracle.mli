@@ -1,0 +1,131 @@
+module Disk_model = Dp_disksim.Disk_model
+module Engine = Dp_disksim.Engine
+module Timeline = Dp_disksim.Timeline
+module Request = Dp_trace.Request
+module Hint = Dp_trace.Hint
+
+(** Offline-optimal disk power scheduling.
+
+    Given the complete per-disk request timeline — which the compiler
+    knows statically after disk-reuse restructuring — compute the
+    energy-optimal sequence of power states over every idle gap, and the
+    resulting energy lower bound.  The bound quantifies how much energy
+    the reactive TPM/DRPM policies leave on the table: every online
+    policy run through {!Engine.simulate} consumes at least this much.
+
+    The optimization is a dynamic program over per-gap power-state
+    trajectories built from three transition families: stay powered-up
+    idle, spin down to standby and back up, or dip to a reduced rotation
+    speed (and, on the busy side, serve at a reduced speed).  Because a
+    disk must be at serving speed at every interior gap boundary, the DP
+    over the gap sequence decouples into independent per-gap
+    subproblems; {!best_gap} solves one exactly over the discrete RPM
+    ladder of the model, and {!schedule} strings the solutions into a
+    plan. *)
+
+type space =
+  | Tpm_space  (** states of a two-mode disk: full-speed idle or standby *)
+  | Drpm_space  (** states of a multi-speed disk: any RPM level *)
+  | Full_space  (** both mechanisms available *)
+
+val space_name : space -> string
+
+type gap = {
+  start_ms : float;
+  len_ms : float;
+  terminal : bool;
+      (** no later request: the disk need not return to full speed *)
+}
+
+type action =
+  | Stay_idle  (** idle at full speed for the whole gap *)
+  | Spin_cycle  (** spin down, standby, spin back up (unless terminal) *)
+  | Rpm_dip of int
+      (** ramp down to this RPM, dwell, ramp back up (unless terminal) *)
+
+type step = { gap : gap; action : action; energy_j : float }
+
+type plan = { steps : step list; energy_j : float }
+
+val best_gap : ?model:Disk_model.t -> space -> gap -> action * float
+(** The optimal trajectory for one gap and its energy in joules:
+    the exact minimum over the space's admissible trajectories.  A gap
+    too short for any transition round trip degrades to [Stay_idle]. *)
+
+val schedule : ?model:Disk_model.t -> space -> gap list -> plan
+(** [Oracle.schedule]: the optimal per-gap plan for one disk. *)
+
+val gaps_of_timeline : Timeline.t -> makespan_ms:float -> gap list array
+(** Per-disk idle gaps: the complement of the busy spans within
+    [0, makespan]; the last gap of a disk is terminal when it runs to the
+    makespan. *)
+
+(** {1 The energy lower bound} *)
+
+type bound = {
+  space : space;
+  energy_j : float;  (** busy_j +. gap_j *)
+  busy_j : float;
+      (** servicing floor: in [Drpm_space]/[Full_space] each request is
+          charged at its cheapest serving speed (energy, not time,
+          minimized); in [Tpm_space] at full speed, as TPM serves *)
+  gap_j : float;
+      (** sum of per-gap energy floors.  In [Tpm_space] this is exactly
+          the plan energy (two-mode trajectories are boundary-pinned, so
+          the executable DP is the floor); with DRPM transitions in play
+          the floor drops the ramp charges and boundary pinning — a
+          multi-speed disk can cross gap boundaries at reduced speed,
+          and closed-loop drift can stretch the realized timeline — so
+          [gap_j <=] the sum of [per_disk] plan energies *)
+  per_disk : plan array;
+      (** the executable per-gap schedules from {!schedule} — what a
+          compiler-directed policy can actually run, with real ramp and
+          spin costs; their energy upper-bounds [gap_j] *)
+  base : Engine.result;
+      (** the no-PM reference run whose timeline defines the gaps *)
+}
+
+val lower_bound :
+  ?model:Disk_model.t -> ?space:space -> disks:int -> Request.t list -> bound
+(** Simulate the trace once without power management to fix the busy/idle
+    structure, then bound every policy from below: optimal gap plans plus
+    the cheapest admissible service energy.  [space] (default
+    [Full_space]) restricts the transitions the oracle may use, giving
+    the [Oracle-TPM] / [Oracle-DRPM] rows of the experiments matrix. *)
+
+val lower_bound_energy_j :
+  ?model:Disk_model.t -> ?space:space -> disks:int -> Request.t list -> float
+
+val standby_floor_j : ?model:Disk_model.t -> Engine.result -> float
+(** The analytic floor no schedule can beat: every disk draws at least
+    standby power over the whole makespan.  Sandwiches the oracle:
+    [standby_floor_j base <= lower_bound_energy_j reqs <= simulate p reqs]. *)
+
+(** {1 Compiler-directed hints}
+
+    The hint emitter is the compile-time half of the pipeline: it runs
+    the same per-gap planner over the {e nominal} (full-speed) timeline
+    that restructuring makes statically predictable, and emits the
+    directive stream ({!Hint.t}) that {!Engine.simulate} executes —
+    [Spin_down] / [Pre_spin_up] pairs where a spin cycle pays off,
+    [Set_rpm] targets where a speed dip does. *)
+
+val hints_of_trace :
+  ?model:Disk_model.t -> ?space:space -> disks:int -> Request.t list -> Hint.t list
+(** Hints sorted by nominal time.  [space] selects the mechanism the
+    hints drive (default [Full_space]: emit for both; the engine's
+    policy consumes the kind it understands and ignores the other).
+    The gap prediction reads [Request.arrival_ms], so the trace must
+    carry nominal arrivals — generator traces do; pass hand-built
+    traces through {!nominalize} first (and feed the nominalized trace
+    to the engine too, since hint routing matches on the same field). *)
+
+val nominalize :
+  ?model:Disk_model.t -> disks:int -> Request.t list -> Request.t list
+(** Fill [Request.arrival_ms] with the full-speed reference timeline:
+    the closed-loop no-PM schedule (per-processor think chains,
+    fork-join segment barriers, FIFO disks with the engine's seek
+    rule).  Returns the requests in issue order. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+val pp_bound : Format.formatter -> bound -> unit

@@ -1,0 +1,35 @@
+type action = Spin_down | Pre_spin_up of float | Set_rpm of int
+
+type t = { at_ms : float; disk : int; action : action }
+
+let compare_at a b =
+  match Float.compare a.at_ms b.at_ms with 0 -> compare a.disk b.disk | c -> c
+
+let pp ppf h =
+  match h.action with
+  | Spin_down -> Format.fprintf ppf "H %.3f %d D" h.at_ms h.disk
+  | Pre_spin_up lead -> Format.fprintf ppf "H %.3f %d U %.3f" h.at_ms h.disk lead
+  | Set_rpm rpm -> Format.fprintf ppf "H %.3f %d S %d" h.at_ms h.disk rpm
+
+let is_hint_line line = String.length line >= 2 && line.[0] = 'H' && line.[1] = ' '
+
+let bad line = failwith (Printf.sprintf "Hint.parse_line: malformed hint %S" line)
+
+let parse_line line =
+  let num name s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> failwith (Printf.sprintf "Hint.parse_line: bad %s %S" name s)
+  in
+  let int name s =
+    match int_of_string_opt s with
+    | Some n -> n
+    | None -> failwith (Printf.sprintf "Hint.parse_line: bad %s %S" name s)
+  in
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "H"; at; disk; "D" ] -> { at_ms = num "time" at; disk = int "disk" disk; action = Spin_down }
+  | [ "H"; at; disk; "U"; lead ] ->
+      { at_ms = num "time" at; disk = int "disk" disk; action = Pre_spin_up (num "lead" lead) }
+  | [ "H"; at; disk; "S"; rpm ] ->
+      { at_ms = num "time" at; disk = int "disk" disk; action = Set_rpm (int "rpm" rpm) }
+  | _ -> bad line

@@ -23,13 +23,19 @@ let pp ppf r =
   Format.fprintf ppf "%.3f %.3f %d %d %d %d %c %d %d" r.arrival_ms r.think_ms r.seg
     r.address r.lba r.size (mode_char r.mode) r.proc r.disk
 
-let to_channel oc reqs =
+let to_channel ?(hints = []) oc reqs =
   output_string oc "# arrival_ms think_ms seg address lba size mode proc disk\n";
-  List.iter (fun r -> output_string oc (Format.asprintf "%a\n" pp r)) reqs
+  List.iter (fun r -> output_string oc (Format.asprintf "%a\n" pp r)) reqs;
+  if hints <> [] then begin
+    output_string oc "# H at_ms disk D | H at_ms disk U lead_ms | H at_ms disk S rpm\n";
+    List.iter
+      (fun h -> output_string oc (Format.asprintf "%a\n" Hint.pp h))
+      (List.sort Hint.compare_at hints)
+  end
 
-let save path reqs =
+let save ?hints path reqs =
   let oc = open_out path in
-  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc reqs)
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel ?hints oc reqs)
 
 let parse_line line =
   match String.split_on_char ' ' (String.trim line) with
@@ -53,14 +59,20 @@ let parse_line line =
       }
   | _ -> failwith (Printf.sprintf "Request.load: malformed line %S" line)
 
-let of_lines lines =
-  List.filter_map
+let of_lines_with_hints lines =
+  let reqs = ref [] and hints = ref [] in
+  List.iter
     (fun line ->
       let line = String.trim line in
-      if line = "" || line.[0] = '#' then None else Some (parse_line line))
-    lines
+      if line = "" || line.[0] = '#' then ()
+      else if Hint.is_hint_line line then hints := Hint.parse_line line :: !hints
+      else reqs := parse_line line :: !reqs)
+    lines;
+  (List.rev !reqs, List.rev !hints)
 
-let load path =
+let of_lines lines = fst (of_lines_with_hints lines)
+
+let load_with_hints path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
@@ -70,4 +82,6 @@ let load path =
         | line -> loop (line :: acc)
         | exception End_of_file -> List.rev acc
       in
-      of_lines (loop []))
+      of_lines_with_hints (loop []))
+
+let load path = fst (load_with_hints path)

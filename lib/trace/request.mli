@@ -31,11 +31,18 @@ val pp : Format.formatter -> t -> unit
 
     Text format, one request per line:
     [arrival_ms think_ms seg address lba size R|W proc disk], with [#]
-    comments. *)
+    comments.  Compiler power hints ({!Hint.t}) travel in the same file
+    as [H ...] lines after the requests. *)
 
-val save : string -> t list -> unit
+val save : ?hints:Hint.t list -> string -> t list -> unit
 val load : string -> t list
-(** @raise Failure on a malformed line. *)
+(** Requests only; hint lines are parsed (and validated) but dropped.
+    @raise Failure on a malformed line, request or hint. *)
 
-val to_channel : out_channel -> t list -> unit
+val load_with_hints : string -> t list * Hint.t list
+(** Requests and the hint stream, both in file order.
+    @raise Failure on a malformed line. *)
+
+val to_channel : ?hints:Hint.t list -> out_channel -> t list -> unit
 val of_lines : string list -> t list
+val of_lines_with_hints : string list -> t list * Hint.t list

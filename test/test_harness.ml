@@ -50,11 +50,21 @@ let test_version_names () =
   List.iter
     (fun v ->
       check Alcotest.bool (Version.name v) true (Version.of_name (Version.name v) = Some v))
-    Version.multi_cpu;
+    (Version.multi_cpu @ Version.oracle);
   check Alcotest.int "five single-CPU versions" 5 (List.length Version.single_cpu);
   check Alcotest.int "seven versions" 7 (List.length Version.multi_cpu);
+  check Alcotest.int "two oracle rows" 2 (List.length Version.oracle);
   check Alcotest.bool "base not restructured" false (Version.restructured Version.Base);
-  check Alcotest.bool "-m layout aware" true (Version.layout_aware Version.T_drpm_m)
+  check Alcotest.bool "-m layout aware" true (Version.layout_aware Version.T_drpm_m);
+  (* The oracle rows are bounds, not policies: not restructured, tagged
+     with their transition space. *)
+  List.iter
+    (fun v ->
+      check Alcotest.bool "oracle not restructured" false (Version.restructured v);
+      check Alcotest.bool "oracle space set" true (Version.oracle_space v <> None))
+    Version.oracle;
+  check Alcotest.bool "paper versions carry no space" true
+    (List.for_all (fun v -> Version.oracle_space v = None) Version.multi_cpu)
 
 let test_single_cpu_matrix () =
   let ctx = Runner.context (mini_app ()) in
@@ -114,6 +124,39 @@ let test_matrix_and_renderers () =
     [ "Ultrastar"; "Table 2"; "Figure 9(a)"; "Figure 10(a)"; "T-DRPM-s"; "mini" ];
   let saving = Experiments.average_energy_saving matrix Version.T_drpm_s in
   check Alcotest.bool "saving computed" true (saving > -0.5 && saving < 1.0)
+
+let test_oracle_rows () =
+  (* The Oracle-* rows floor their reactive counterparts on the same
+     (unmodified-code) trace, and still beat the analytic standby floor. *)
+  let ctx = Runner.context (mini_app ()) in
+  let base = Runner.run ctx ~procs:1 Version.Base in
+  let energy v = (Runner.run ctx ~procs:1 v).Runner.result.Dp_disksim.Engine.energy_j in
+  let o_tpm = energy Version.Oracle_tpm and o_drpm = energy Version.Oracle_drpm in
+  check Alcotest.bool "Oracle-TPM <= TPM" true (o_tpm <= energy Version.Tpm +. 1e-6);
+  check Alcotest.bool "Oracle-TPM <= Base" true
+    (o_tpm <= base.Runner.result.Dp_disksim.Engine.energy_j +. 1e-6);
+  check Alcotest.bool "Oracle-DRPM <= DRPM" true (o_drpm <= energy Version.Drpm +. 1e-6);
+  let floor = Dp_oracle.Oracle.standby_floor_j base.Runner.result in
+  check Alcotest.bool "bounds above the standby floor" true
+    (floor <= o_tpm && floor <= o_drpm);
+  (* Oracle rows slot into the matrix renderers like any other version. *)
+  let matrix =
+    Experiments.build_matrix ~apps:[ mini_app () ] ~procs:1
+      ~versions:([ Version.Base; Version.Tpm; Version.Drpm ] @ Version.oracle)
+      ()
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Experiments.fig_energy matrix ppf;
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  List.iter
+    (fun frag ->
+      check Alcotest.bool (Printf.sprintf "figure mentions %S" frag) true
+        (let n = String.length out and m = String.length frag in
+         let rec go i = i + m <= n && (String.sub out i m = frag || go (i + 1)) in
+         m = 0 || go 0))
+    [ "Oracle-TPM"; "Oracle-DRPM" ]
 
 let test_tabulate () =
   let buf = Buffer.create 64 in
@@ -184,6 +227,7 @@ let suites =
         Alcotest.test_case "single-CPU matrix" `Quick test_single_cpu_matrix;
         Alcotest.test_case "multi-CPU matrix" `Quick test_multi_cpu_matrix;
         Alcotest.test_case "renderers" `Quick test_matrix_and_renderers;
+        Alcotest.test_case "oracle rows" `Quick test_oracle_rows;
         Alcotest.test_case "tabulate" `Quick test_tabulate;
         Alcotest.test_case "json output" `Quick test_json_out;
         Alcotest.test_case "headline orderings" `Slow test_headline_orderings;

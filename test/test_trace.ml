@@ -90,6 +90,60 @@ let test_trace_malformed () =
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "expected Failure on malformed line"
 
+(* --- the hint stream riding in the trace file --- *)
+
+module Hint = Dp_trace.Hint
+
+let some_hints =
+  [
+    { Hint.at_ms = 10.0; disk = 0; action = Hint.Spin_down };
+    { Hint.at_ms = 2_500.25; disk = 1; action = Hint.Pre_spin_up 10_900.0 };
+    { Hint.at_ms = 40_000.0; disk = 0; action = Hint.Set_rpm 9000 };
+  ]
+
+let test_hint_roundtrip () =
+  let reqs = single_trace () in
+  let path = Filename.temp_file "dpower" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Request.save ~hints:some_hints path reqs;
+      let back_reqs, back_hints = Request.load_with_hints path in
+      check Alcotest.int "requests preserved" (List.length reqs) (List.length back_reqs);
+      check Alcotest.int "hints preserved" (List.length some_hints) (List.length back_hints);
+      List.iter2
+        (fun (a : Hint.t) (b : Hint.t) ->
+          check (Alcotest.float 1e-3) "hint time" a.Hint.at_ms b.Hint.at_ms;
+          check Alcotest.int "hint disk" a.Hint.disk b.Hint.disk;
+          match (a.Hint.action, b.Hint.action) with
+          | Hint.Spin_down, Hint.Spin_down -> ()
+          | Hint.Pre_spin_up la, Hint.Pre_spin_up lb ->
+              check (Alcotest.float 1e-3) "lead" la lb
+          | Hint.Set_rpm ra, Hint.Set_rpm rb -> check Alcotest.int "rpm" ra rb
+          | _ -> Alcotest.fail "hint action changed across the roundtrip")
+        (List.sort Hint.compare_at some_hints)
+        back_hints;
+      (* Plain [load] validates but drops the hint lines. *)
+      check Alcotest.int "load drops hints" (List.length reqs)
+        (List.length (Request.load path)))
+
+let test_hint_malformed () =
+  (match Request.of_lines_with_hints [ "H 1.0 0 D" ] with
+  | [], [ h ] -> check Alcotest.bool "spin-down parsed" true (h.Hint.action = Hint.Spin_down)
+  | _ -> Alcotest.fail "expected one hint");
+  List.iter
+    (fun line ->
+      match Request.of_lines_with_hints [ line ] with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "expected Failure on %S" line))
+    [
+      "H nonsense";
+      "H 1.0 0 Z" (* unknown action *);
+      "H 1.0 0 U" (* missing lead *);
+      "H 1.0 0 S notanint";
+      "H 1.0" (* truncated *);
+    ]
+
 let test_segments_barrier () =
   (* Two processors, two segments; proc 1's first segment is empty, so
      its second-segment work must still start after proc 0's first. *)
@@ -198,6 +252,8 @@ let suites =
         Alcotest.test_case "timing" `Quick test_trace_timing;
         Alcotest.test_case "file roundtrip" `Quick test_trace_roundtrip;
         Alcotest.test_case "malformed input" `Quick test_trace_malformed;
+        Alcotest.test_case "hint roundtrip" `Quick test_hint_roundtrip;
+        Alcotest.test_case "malformed hints" `Quick test_hint_malformed;
         Alcotest.test_case "segment barriers" `Quick test_segments_barrier;
         Alcotest.test_case "original segments" `Quick test_original_segments;
         Alcotest.test_case "summary" `Quick test_summary;
