@@ -20,6 +20,7 @@ module Request = Dp_trace.Request
 module Hint = Dp_trace.Hint
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
+module Fault_model = Dp_faults.Fault_model
 module Oracle = Dp_oracle.Oracle
 module Workloads = Dp_workloads.Workloads
 module App = Dp_workloads.App
@@ -54,20 +55,30 @@ let load source =
     { program; layout = Layout.make ~overrides program; origin = source }
   end
 
+(* Malformed input — source programs, trace/hint/fault lines, bad flag
+   values — is a usage-class failure: one-line diagnostic, exit 2, the
+   same code cmdliner uses for CLI errors. *)
 let with_errors f =
   try f () with
   | Failure msg | Sys_error msg ->
       Format.eprintf "dpcc: %s@." msg;
-      exit 1
+      exit 2
   | Dp_lang.Parser.Error (loc, msg) | Dp_lang.Resolver.Error (loc, msg) ->
       Format.eprintf "dpcc: %a: %s@." Dp_lang.Srcloc.pp loc msg;
-      exit 1
+      exit 2
   | Dp_lang.Lexer.Error (loc, msg) ->
       Format.eprintf "dpcc: %a: %s@." Dp_lang.Srcloc.pp loc msg;
-      exit 1
+      exit 2
   | Symbolic.Unsupported msg ->
       Format.eprintf "dpcc: symbolic restructuring unsupported: %s@." msg;
       exit 1
+
+let faults_of_spec = function
+  | None -> None
+  | Some spec -> (
+      match Fault_model.of_spec spec with
+      | Ok f -> Some f
+      | Error msg -> fail "--faults: %s" msg)
 
 (* --- show --- *)
 
@@ -135,7 +146,7 @@ let streams u ~procs ~restructured =
   in
   (g, segs)
 
-let trace source output procs restructured gaps with_hints =
+let trace source output procs restructured gaps with_hints faults_spec =
   with_errors (fun () ->
       let u = load source in
       let g, segs = streams u ~procs ~restructured in
@@ -145,11 +156,13 @@ let trace source output procs restructured gaps with_hints =
           Oracle.hints_of_trace ~disks:u.layout.Layout.disk_count reqs
         else []
       in
+      let faults = faults_of_spec faults_spec in
       (match output with
-      | Some path -> Request.save ~hints path reqs
+      | Some path -> Request.save ~hints ?faults path reqs
       | None when not gaps ->
           List.iter (fun r -> Format.printf "%a@." Request.pp r) reqs;
-          List.iter (fun h -> Format.printf "%a@." Hint.pp h) hints
+          List.iter (fun h -> Format.printf "%a@." Hint.pp h) hints;
+          Option.iter (fun f -> Format.printf "F %s@." (Fault_model.to_spec f)) faults
       | None -> ());
       if gaps then begin
         let h = Dp_trace.Idle_stats.of_requests reqs in
@@ -194,7 +207,7 @@ let hints_for policy ~disks reqs =
       Oracle.hints_of_trace ~space:Oracle.Drpm_space ~disks reqs
   | _ -> []
 
-let simulate source procs restructured policy_name per_disk timeline =
+let simulate source procs restructured policy_name per_disk timeline faults_spec =
   with_errors (fun () ->
       let u = load source in
       let g, segs = streams u ~procs ~restructured in
@@ -208,12 +221,30 @@ let simulate source procs restructured policy_name per_disk timeline =
             (Oracle.standby_floor_j bound.Oracle.base)
       | None ->
       let policy = policy_of_string policy_name in
+      let faults = faults_of_spec faults_spec in
       let hints = hints_for policy ~disks reqs in
-      let r = Engine.simulate ~record_timeline:timeline ~hints ~disks policy reqs in
+      let r = Engine.simulate ~record_timeline:timeline ~hints ?faults ~disks policy reqs in
+      (match faults with
+      | Some f -> Format.printf "%a@." Fault_model.pp f
+      | None -> ());
       Format.printf "policy %s: energy %.1f J, disk I/O time %.1f s, makespan %.1f s@."
         r.Engine.policy r.Engine.energy_j
         (r.Engine.io_time_ms /. 1000.)
         (r.Engine.makespan_ms /. 1000.);
+      (let wear, su, media, spikes, degraded =
+         Array.fold_left
+           (fun (w, s, m, l, d) (ds : Engine.disk_stats) ->
+             ( Float.max w (Engine.wear_fraction Dp_disksim.Disk_model.ultrastar_36z15 ds),
+               s + ds.Engine.spin_up_retries,
+               m + ds.Engine.media_retries,
+               l + ds.Engine.latency_spikes,
+               d +. ds.Engine.degraded_ms ))
+           (0.0, 0, 0, 0, 0.0) r.Engine.per_disk
+       in
+       Format.printf
+         "reliability: wear %.4f%% of start-stop budget (worst disk), %d spin-up retries, \
+          %d media retries, %d latency spikes, degraded %.1f ms@."
+         (100.0 *. wear) su media spikes degraded);
       if per_disk then
         Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk;
       (match r.Engine.timeline with
@@ -224,7 +255,7 @@ let simulate source procs restructured policy_name per_disk timeline =
       | None -> ());
       (* Also report against the no-PM baseline on the same trace. *)
       if policy <> Policy.No_pm then begin
-        let base = Engine.simulate ~disks Policy.No_pm reqs in
+        let base = Engine.simulate ?faults ~disks Policy.No_pm reqs in
         Format.printf "normalized energy vs no-PM on this trace: %.3f@."
           (r.Engine.energy_j /. base.Engine.energy_j)
       end)
@@ -265,6 +296,53 @@ let report source procs json_path =
             ~finally:(fun () -> close_out oc)
             (fun () ->
               output_string oc (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_matrix matrix));
+              output_char oc '\n')
+      | None -> ())
+
+(* --- fault-sweep: degradation under increasing fault rates --- *)
+
+let fault_sweep source procs seed rates classes json_path =
+  with_errors (fun () ->
+      let u = load source in
+      let app =
+        {
+          App.name = u.origin;
+          description = u.origin;
+          program = u.program;
+          striping = Striping.default;
+          overrides =
+            List.map
+              (fun (e : Layout.entry) -> (e.Layout.decl.Ir.name, e.Layout.striping))
+              u.layout.Layout.entries;
+          paper_data_gb = 0.0;
+          paper_requests = 0;
+          paper_base_energy_j = 0.0;
+          paper_io_time_ms = 0.0;
+        }
+      in
+      let classes =
+        match classes with
+        | None -> None
+        | Some s -> (
+            match Dp_faults.Fault_model.of_spec (Printf.sprintf "0:0:%s" s) with
+            | Ok f -> Some f.Dp_faults.Fault_model.classes
+            | Error msg -> fail "--classes: %s" msg)
+      in
+      let versions =
+        if procs = 1 then Dp_harness.Version.single_cpu else Dp_harness.Version.multi_cpu
+      in
+      let sweep =
+        Dp_harness.Experiments.fault_sweep ~seed ?rates ?classes ~procs ~versions app
+      in
+      Dp_harness.Experiments.fig_sweep sweep Format.std_formatter;
+      match json_path with
+      | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc
+                (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_sweep sweep));
               output_char oc '\n')
       | None -> ())
 
@@ -339,9 +417,18 @@ let trace_cmd =
             "Also emit the compiler power-hint stream (spin-down, pre-spin-up and \
              set-RPM directives planned on the nominal timeline) into the trace")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SEED:RATE:CLASSES"
+          ~doc:"Embed a fault-injection window (an F line) into the trace")
+  in
   Cmd.v
     (Cmd.info "trace" ~doc:"Generate the timed I/O request trace of a program")
-    Term.(const trace $ source_arg $ output $ procs_arg $ restructured_arg $ gaps $ hints)
+    Term.(
+      const trace $ source_arg $ output $ procs_arg $ restructured_arg $ gaps $ hints
+      $ faults)
 
 let simulate_cmd =
   let policy =
@@ -357,11 +444,20 @@ let simulate_cmd =
   let timeline =
     Arg.(value & flag & info [ "timeline" ] ~doc:"Render the per-disk power-state chart")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SEED:RATE:CLASSES"
+          ~doc:
+            "Arm the deterministic fault injector, e.g. 42:0.01:all or 7:0.05:sm \
+             (s spin-up, m media, l latency spike, r stuck RPM)")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the trace-driven disk power simulation")
     Term.(
       const simulate $ source_arg $ procs_arg $ restructured_arg $ policy $ per_disk
-      $ timeline)
+      $ timeline $ faults)
 
 let report_cmd =
   let json =
@@ -371,6 +467,37 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Run the full version matrix for a program and print figures")
     Term.(const report $ source_arg $ procs_arg $ json)
+
+let fault_sweep_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Fault injector seed")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (some (list float)) None
+      & info [ "rates" ] ~docv:"R1,R2,..."
+          ~doc:"Fault rates to sweep (default 0,0.001,0.01,0.05,0.1)")
+  in
+  let classes =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "classes" ] ~docv:"CLASSES"
+          ~doc:
+            "Fault classes: letters from smlr (s spin-up, m media, l latency spike, \
+             r stuck RPM) or all")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Also write JSON results")
+  in
+  Cmd.v
+    (Cmd.info "fault-sweep"
+       ~doc:
+         "Re-simulate the version matrix of a program across a fault-rate ramp (same seed \
+          at every point) and report energy and degraded time per version")
+    Term.(const fault_sweep $ source_arg $ procs_arg $ seed $ rates $ classes $ json)
 
 let emit_cmd =
   let output =
@@ -387,5 +514,9 @@ let () =
       ~doc:"Compiler-guided disk power reduction (CGO 2006 reproduction)"
   in
   exit
-    (Cmd.eval
-       (Cmd.group info [ show_cmd; restructure_cmd; trace_cmd; simulate_cmd; emit_cmd; report_cmd ]))
+    (Cmd.eval ~term_err:2
+       (Cmd.group info
+          [
+            show_cmd; restructure_cmd; trace_cmd; simulate_cmd; emit_cmd; report_cmd;
+            fault_sweep_cmd;
+          ]))

@@ -4,20 +4,57 @@
    disk configuration and power-management policy, and reports energy and
    performance statistics.  Compiler power hints embedded in the trace
    ([H ...] lines, from [dpcc trace --hints]) are executed by the
-   proactive policies; the oracle policies print the offline-optimal
-   energy bound instead of simulating. *)
+   proactive policies; an [F seed:rate:classes] line (or the --faults
+   flag, which takes precedence) arms the deterministic fault injector;
+   the oracle policies print the offline-optimal energy bound instead of
+   simulating. *)
 
 module Request = Dp_trace.Request
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
 module Disk_model = Dp_disksim.Disk_model
+module Fault_model = Dp_faults.Fault_model
 module Oracle = Dp_oracle.Oracle
 
 open Cmdliner
 
-let run trace_file disks policy_name threshold proactive window downshift per_disk =
+(* Malformed input (trace, hint or fault lines, bad flag values) is a
+   usage-class failure: one-line diagnostic, exit 2 — same code as
+   cmdliner's own CLI errors. *)
+let usage_error fmt = Format.kasprintf (fun s -> Format.eprintf "dpsim: %s@." s; exit 2) fmt
+
+let reliability_line r =
+  let wear, su, media, spikes, degraded =
+    Array.fold_left
+      (fun (w, s, m, l, d) (ds : Engine.disk_stats) ->
+        ( Float.max w (Engine.wear_fraction Disk_model.ultrastar_36z15 ds),
+          s + ds.Engine.spin_up_retries,
+          m + ds.Engine.media_retries,
+          l + ds.Engine.latency_spikes,
+          d +. ds.Engine.degraded_ms ))
+      (0.0, 0, 0, 0, 0.0) r.Engine.per_disk
+  in
+  Format.printf
+    "reliability: wear %.4f%% of start-stop budget (worst disk), %d spin-up retries, %d \
+     media retries, %d latency spikes, degraded %.1f ms@."
+    (100.0 *. wear) su media spikes degraded
+
+let run trace_file disks policy_name threshold proactive window downshift faults_spec
+    per_disk =
+  let reqs, hints, trace_faults =
+    match Request.load_result trace_file with
+    | Ok parsed -> parsed
+    | Error e -> usage_error "%s" (Request.load_error_to_string e)
+  in
+  let faults =
+    match faults_spec with
+    | None -> trace_faults
+    | Some spec -> (
+        match Fault_model.of_spec spec with
+        | Ok f -> Some f
+        | Error msg -> usage_error "--faults: %s" msg)
+  in
   try
-    let reqs, hints = Request.load_with_hints trace_file in
     let oracle_space =
       match policy_name with
       | "oracle-tpm" -> Some Oracle.Tpm_space
@@ -40,18 +77,20 @@ let run trace_file disks policy_name threshold proactive window downshift per_di
           | "tpm" -> Policy.tpm ?idle_threshold_s:threshold ~proactive ()
           | "drpm" ->
               Policy.drpm ?window_size:window ?downshift_idle_ms:downshift ~proactive ()
-          | p ->
-              Format.eprintf "dpsim: unknown policy %s@." p;
-              exit 1
+          | p -> usage_error "unknown policy %s" p
         in
-        let r = Engine.simulate ~hints ~disks policy reqs in
+        let r = Engine.simulate ~hints ?faults ~disks policy reqs in
         Format.printf "trace: %s (%d requests, %d hints)@." trace_file (List.length reqs)
           (List.length hints);
         Format.printf "model: %s@." Disk_model.ultrastar_36z15.Disk_model.name;
+        (match faults with
+        | Some f -> Format.printf "%a@." Fault_model.pp f
+        | None -> ());
         Format.printf "policy %s: energy %.1f J, disk I/O time %.1f s, makespan %.1f s@."
           r.Engine.policy r.Engine.energy_j
           (r.Engine.io_time_ms /. 1000.)
           (r.Engine.makespan_ms /. 1000.);
+        reliability_line r;
         if per_disk then
           Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk
   with
@@ -98,12 +137,22 @@ let () =
       & opt (some float) None
       & info [ "drpm-downshift-ms" ] ~docv:"MS" ~doc:"Idle time per DRPM level decrease")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SEED:RATE:CLASSES"
+          ~doc:
+            "Arm the deterministic fault injector, e.g. 42:0.01:all or 7:0.05:sm \
+             (s spin-up, m media, l latency spike, r stuck RPM).  Overrides the \
+             trace's F line.")
+  in
   let per_disk = Arg.(value & flag & info [ "per-disk" ] ~doc:"Print per-disk statistics") in
   let cmd =
     Cmd.v
       (Cmd.info "dpsim" ~version:"1.0.0" ~doc:"Trace-driven multi-disk power simulator")
       Term.(
         const run $ trace_file $ disks $ policy $ threshold $ proactive $ window $ downshift
-        $ per_disk)
+        $ faults $ per_disk)
   in
-  exit (Cmd.eval cmd)
+  exit (Cmd.eval ~term_err:2 cmd)

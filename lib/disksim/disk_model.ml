@@ -16,6 +16,7 @@ type t = {
   spin_up_j : float;
   spin_up_s : float;
   tpm_breakeven_s : float;
+  rated_start_stop_cycles : int;
 }
 
 let ultrastar_36z15 =
@@ -37,6 +38,7 @@ let ultrastar_36z15 =
     spin_up_j = 135.0;
     spin_up_s = 10.9;
     tpm_breakeven_s = 15.2;
+    rated_start_stop_cycles = 50_000;
   }
 
 let rpm_levels t =

@@ -22,6 +22,11 @@ type t = {
   spin_up_j : float;
   spin_up_s : float;
   tpm_breakeven_s : float;
+  rated_start_stop_cycles : int;
+      (** the manufacturer's start-stop budget: how many spin-down/up
+          cycles the drive is rated for over its life (Ultrastar class:
+          50,000).  Aggressive TPM cycling spends this budget — the wear
+          column of the experiments matrix charges against it. *)
 }
 
 val ultrastar_36z15 : t

@@ -1,5 +1,7 @@
 module Request = Dp_trace.Request
 module Hint = Dp_trace.Hint
+module Fault_model = Dp_faults.Fault_model
+module Injector = Dp_faults.Injector
 
 type disk_stats = {
   disk : int;
@@ -12,6 +14,10 @@ type disk_stats = {
   spin_downs : int;
   spin_ups : int;
   speed_changes : int;
+  spin_up_retries : int;
+  media_retries : int;
+  latency_spikes : int;
+  degraded_ms : float;
   response_ms_total : float;
   response_ms_max : float;
   last_completion_ms : float;
@@ -25,6 +31,11 @@ type result = {
   makespan_ms : float;
   timeline : Timeline.t option;
 }
+
+(* The fault machinery of one run: the seeded injector deciding *when*
+   operations misbehave, and the controller's bounded retry/backoff
+   discipline deciding *how* they are re-attempted. *)
+type fault_ctx = { inj : Injector.t; retry : Policy.retry_config }
 
 (* Mutable per-disk simulation state. *)
 type disk_state = {
@@ -40,6 +51,10 @@ type disk_state = {
   mutable downs : int;
   mutable ups : int;
   mutable shifts : int;
+  mutable su_retries : int;  (* failed spin-up attempts (fault-injected) *)
+  mutable m_retries : int;  (* media-error request re-services *)
+  mutable spikes : int;  (* servo recalibration stalls *)
+  mutable degraded : float;  (* ms attributable to injected faults *)
   mutable resp_total : float;
   mutable resp_max : float;
   (* DRPM window accounting *)
@@ -66,6 +81,10 @@ let make_state ?(record = false) model id =
     downs = 0;
     ups = 0;
     shifts = 0;
+    su_retries = 0;
+    m_retries = 0;
+    spikes = 0;
+    degraded = 0.0;
     resp_total = 0.0;
     resp_max = 0.0;
     win_count = 0;
@@ -80,25 +99,81 @@ let make_state ?(record = false) model id =
 let ms_of_s s = s *. 1000.0
 let energy_j_of ~watts ~ms = watts *. ms /. 1000.0
 
-let record_span st ~start ~stop state =
-  if st.record && stop > start then
-    st.segs <- { Timeline.start_ms = start; stop_ms = stop; state } :: st.segs
+(* Every joule the simulation accounts lands in exactly one segment (the
+   conservation invariant the tests check); lump charges with no
+   duration are recorded as zero-length segments. *)
+let record_span st ~start ~stop ~energy state =
+  if st.record && (stop > start || energy <> 0.0) then
+    st.segs <- { Timeline.start_ms = start; stop_ms = stop; state; energy_j = energy } :: st.segs
 
 let spend_idle model st ms =
   if ms > 0.0 then begin
+    let e = energy_j_of ~watts:(Disk_model.idle_power_w model ~rpm:st.rpm) ~ms in
     st.idle <- st.idle +. ms;
-    st.energy <- st.energy +. energy_j_of ~watts:(Disk_model.idle_power_w model ~rpm:st.rpm) ~ms;
-    record_span st ~start:st.now ~stop:(st.now +. ms) (Timeline.Idle st.rpm);
+    st.energy <- st.energy +. e;
+    record_span st ~start:st.now ~stop:(st.now +. ms) ~energy:e (Timeline.Idle st.rpm);
     st.now <- st.now +. ms
   end
 
 let spend_standby model st ms =
   if ms > 0.0 then begin
+    let e = energy_j_of ~watts:model.Disk_model.power_standby_w ~ms in
     st.standby <- st.standby +. ms;
-    st.energy <- st.energy +. energy_j_of ~watts:model.Disk_model.power_standby_w ~ms;
-    record_span st ~start:st.now ~stop:(st.now +. ms) Timeline.Standby;
+    st.energy <- st.energy +. e;
+    record_span st ~start:st.now ~stop:(st.now +. ms) ~energy:e Timeline.Standby;
     st.now <- st.now +. ms
   end
+
+(* --- fault-aware primitive transitions --- *)
+
+let spin_down model st ~clip =
+  let sd_ms = ms_of_s model.Disk_model.spin_down_s in
+  st.transition <- st.transition +. Float.min sd_ms clip;
+  st.energy <- st.energy +. model.Disk_model.spin_down_j;
+  st.downs <- st.downs + 1;
+  record_span st ~start:st.now ~stop:(st.now +. sd_ms) ~energy:model.Disk_model.spin_down_j
+    Timeline.Transition;
+  st.now <- st.now +. sd_ms
+
+(* Bring the platters back to speed.  Under injected spin-up faults the
+   motor needs [failures] extra attempts, each costing a full spin-up in
+   both time and energy, before the one that succeeds — the retry budget
+   of the policy bounds them, so the spin-up always completes. *)
+let spin_up model fctx st =
+  let su_ms = ms_of_s model.Disk_model.spin_up_s in
+  let failures =
+    match fctx with
+    | None -> 0
+    | Some { inj; retry } ->
+        Injector.spin_up_failures inj ~disk:st.id
+          ~max_failures:(retry.Policy.max_attempts - 1)
+  in
+  let attempt () =
+    st.transition <- st.transition +. su_ms;
+    st.energy <- st.energy +. model.Disk_model.spin_up_j;
+    record_span st ~start:st.now ~stop:(st.now +. su_ms) ~energy:model.Disk_model.spin_up_j
+      Timeline.Transition;
+    st.now <- st.now +. su_ms
+  in
+  for _ = 1 to failures do
+    attempt ();
+    st.su_retries <- st.su_retries + 1;
+    st.degraded <- st.degraded +. su_ms
+  done;
+  attempt ();
+  st.ups <- st.ups + 1
+
+(* Consult-and-maybe-trigger: a stuck-RPM fault pins the speed for a
+   window, refusing the attempted transition. *)
+let shift_refused fctx st =
+  match fctx with
+  | None -> false
+  | Some { inj; _ } -> Injector.rpm_locked inj ~disk:st.id ~now_ms:st.now
+
+let serving_degraded fctx st =
+  match fctx with
+  | None -> false
+  | Some { inj; _ } -> Injector.is_locked inj ~disk:st.id ~now_ms:st.now
 
 (* --- gap handling: advance the state from st.now to [until] --- *)
 
@@ -117,13 +192,7 @@ let gap_tpm model (cfg : Policy.tpm_config) st ~until =
     end
     else begin
       spend_idle model st threshold;
-      (* Spin down. *)
-      let sd_ms = ms_of_s model.Disk_model.spin_down_s in
-      st.transition <- st.transition +. Float.min sd_ms (until -. st.now);
-      st.energy <- st.energy +. model.Disk_model.spin_down_j;
-      st.downs <- st.downs + 1;
-      record_span st ~start:st.now ~stop:(st.now +. sd_ms) Timeline.Transition;
-      st.now <- st.now +. sd_ms;
+      spin_down model st ~clip:(until -. st.now);
       (* If the next arrival lands inside the spin-down, st.now already
          passed [until]; the standby span is empty. *)
       if until > st.now then spend_standby model st (until -. st.now);
@@ -134,8 +203,10 @@ let gap_tpm model (cfg : Policy.tpm_config) st ~until =
 (* Compiler-directed TPM (proactive): the schedule is known, so when the
    predicted gap can absorb a full spin-down/spin-up cycle the disk spins
    down immediately and the spin-up completes exactly at the next
-   arrival; otherwise the disk just idles.  No reactive stall. *)
-let gap_tpm_proactive model (cfg : Policy.tpm_config) st ~until ~terminal =
+   arrival; otherwise the disk just idles.  No reactive stall — though an
+   injected spin-up failure can still push the completion past the
+   arrival, which the service path absorbs as a (bounded) stall. *)
+let gap_tpm_proactive model (cfg : Policy.tpm_config) fctx st ~until ~terminal =
   let gap = until -. st.now in
   if gap <= 0.0 then ()
   else begin
@@ -146,22 +217,14 @@ let gap_tpm_proactive model (cfg : Policy.tpm_config) st ~until ~terminal =
     in
     if gap <= threshold then spend_idle model st gap
     else begin
-      st.transition <- st.transition +. sd_ms;
-      st.energy <- st.energy +. model.Disk_model.spin_down_j;
-      st.downs <- st.downs + 1;
-      record_span st ~start:st.now ~stop:(st.now +. sd_ms) Timeline.Transition;
-      st.now <- st.now +. sd_ms;
+      spin_down model st ~clip:sd_ms;
       if terminal then begin
         (* No next request: stay in standby to the end of the window. *)
         if until > st.now then spend_standby model st (until -. st.now)
       end
       else begin
         spend_standby model st (until -. su_ms -. st.now);
-        st.transition <- st.transition +. su_ms;
-        st.energy <- st.energy +. model.Disk_model.spin_up_j;
-        st.ups <- st.ups + 1;
-        record_span st ~start:st.now ~stop:until Timeline.Transition;
-        st.now <- until
+        spin_up model fctx st
       end
     end
   end
@@ -202,7 +265,7 @@ let hint_target_rpm hs =
    the start of the gap.  Without a pre-spin-up directive the spin-up is
    reactive and stalls — hiding the latency is exactly what the
    [Pre_spin_up] hint exists for. *)
-let gap_tpm_hinted model st ~until ~terminal ~spin_down ~lead =
+let gap_tpm_hinted model fctx st ~until ~terminal ~spin_down:do_spin_down ~lead =
   let gap = until -. st.now in
   if gap <= 0.0 then ()
   else begin
@@ -212,13 +275,9 @@ let gap_tpm_hinted model st ~until ~terminal ~spin_down ~lead =
        saw on the nominal timeline; refuse directives that no longer
        fit. *)
     let feasible = if terminal then gap >= sd_ms else gap >= sd_ms +. su_ms in
-    if not (spin_down && feasible) then spend_idle model st gap
+    if not (do_spin_down && feasible) then spend_idle model st gap
     else begin
-      st.transition <- st.transition +. sd_ms;
-      st.energy <- st.energy +. model.Disk_model.spin_down_j;
-      st.downs <- st.downs + 1;
-      record_span st ~start:st.now ~stop:(st.now +. sd_ms) Timeline.Transition;
-      st.now <- st.now +. sd_ms;
+      spin_down model st ~clip:sd_ms;
       if terminal then spend_standby model st (until -. st.now)
       else begin
         let start_up =
@@ -227,11 +286,7 @@ let gap_tpm_hinted model st ~until ~terminal ~spin_down ~lead =
           | Some l -> Float.max st.now (until -. l)
         in
         spend_standby model st (start_up -. st.now);
-        st.transition <- st.transition +. su_ms;
-        st.energy <- st.energy +. model.Disk_model.spin_up_j;
-        st.ups <- st.ups + 1;
-        record_span st ~start:st.now ~stop:(st.now +. su_ms) Timeline.Transition;
-        st.now <- st.now +. su_ms;
+        spin_up model fctx st;
         (* A generous lead brings the platters up early: idle at speed. *)
         if until > st.now then spend_idle model st (until -. st.now)
       end
@@ -243,19 +298,29 @@ let gap_tpm_hinted model st ~until ~terminal ~spin_down ~lead =
    reached speed. *)
 let drpm_shift model st ~rpm_to =
   let ms = ms_of_s (Disk_model.drpm_level_transition_s model) in
+  let e = Disk_model.drpm_transition_j model ~rpm_from:st.rpm ~rpm_to in
   st.transition <- st.transition +. ms;
-  st.energy <- st.energy +. Disk_model.drpm_transition_j model ~rpm_from:st.rpm ~rpm_to;
-  record_span st ~start:st.now ~stop:(st.now +. ms) Timeline.Transition;
+  st.energy <- st.energy +. e;
+  record_span st ~start:st.now ~stop:(st.now +. ms) ~energy:e Timeline.Transition;
   st.now <- st.now +. ms;
   st.rpm <- rpm_to;
   st.shifts <- st.shifts + 1
+
+(* A speed change that a stuck-RPM fault may refuse; [true] when the
+   shift happened. *)
+let try_drpm_shift model fctx st ~rpm_to =
+  if shift_refused fctx st then false
+  else begin
+    drpm_shift model st ~rpm_to;
+    true
+  end
 
 let drpm_floor model (cfg : Policy.drpm_config) =
   match cfg.Policy.min_rpm with
   | Some r -> max r model.Disk_model.rpm_min
   | None -> model.Disk_model.rpm_min
 
-let gap_drpm model (cfg : Policy.drpm_config) st ~until =
+let gap_drpm model (cfg : Policy.drpm_config) fctx st ~until =
   let continue = ref true in
   let first = ref true in
   let floor_rpm = drpm_floor model cfg in
@@ -271,9 +336,14 @@ let gap_drpm model (cfg : Policy.drpm_config) st ~until =
       next_rpm >= floor_rpm
       && remaining >= wait +. ms_of_s (Disk_model.drpm_level_transition_s model)
     then begin
-      spend_idle model st wait;
-      drpm_shift model st ~rpm_to:next_rpm;
-      first := false
+      if shift_refused fctx st then
+        (* Stuck: pinned at the current level; idle out the gap. *)
+        continue := false
+      else begin
+        spend_idle model st wait;
+        drpm_shift model st ~rpm_to:next_rpm;
+        first := false
+      end
     end
     else continue := false
   done;
@@ -285,8 +355,11 @@ let gap_drpm model (cfg : Policy.drpm_config) st ~until =
    there, and be back at full speed exactly at the next arrival.  A
    [Set_rpm] hint caps the dip at the compiler's target speed (computed
    from the nominal gap); feasibility against the actual gap still
-   rules, so a drifted gap degrades to a shallower dip, never a stall. *)
-let gap_drpm_proactive ?target_rpm model (cfg : Policy.drpm_config) st ~until ~terminal =
+   rules, so a drifted gap degrades to a shallower dip, never a stall.
+   A stuck-RPM fault interrupting either ramp pins the trajectory at the
+   reached level: the disk idles there and serves degraded — slow, never
+   stalled. *)
+let gap_drpm_proactive ?target_rpm model (cfg : Policy.drpm_config) fctx st ~until ~terminal =
   let gap = until -. st.now in
   if gap <= 0.0 then ()
   else begin
@@ -309,10 +382,8 @@ let gap_drpm_proactive ?target_rpm model (cfg : Policy.drpm_config) st ~until ~t
       let low = st.rpm - (levels * model.Disk_model.rpm_step) in
       (* Ramp down... *)
       let rec down () =
-        if st.rpm > low then begin
-          drpm_shift model st ~rpm_to:(st.rpm - model.Disk_model.rpm_step);
-          down ()
-        end
+        if st.rpm > low && try_drpm_shift model fctx st ~rpm_to:(st.rpm - model.Disk_model.rpm_step)
+        then down ()
       in
       down ();
       if terminal then begin
@@ -320,24 +391,29 @@ let gap_drpm_proactive ?target_rpm model (cfg : Policy.drpm_config) st ~until ~t
         if until > st.now then spend_idle model st (until -. st.now)
       end
       else begin
-        (* ...idle at the floor, then ramp up to finish at [until]. *)
-        let ramp_up = float_of_int levels *. step_ms in
+        (* ...idle at the reached floor, then ramp up to finish at
+           [until]. *)
+        let ramp_up =
+          float_of_int ((top - st.rpm) / model.Disk_model.rpm_step) *. step_ms
+        in
         if until -. ramp_up > st.now then spend_idle model st (until -. ramp_up -. st.now);
         let rec up () =
-          if st.rpm < top then begin
-            drpm_shift model st ~rpm_to:(st.rpm + model.Disk_model.rpm_step);
-            up ()
-          end
+          if st.rpm < top && try_drpm_shift model fctx st ~rpm_to:(st.rpm + model.Disk_model.rpm_step)
+          then up ()
         in
         up ();
-        st.now <- Float.max st.now until
+        (* A refused up-shift leaves the disk below speed and behind
+           plan: idle out the remainder at the pinned level (the next
+           request is then served degraded). *)
+        if until -. st.now > 1e-9 then spend_idle model st (until -. st.now)
+        else st.now <- Float.max st.now until
       end
     end
   end
 
 (* --- servicing --- *)
 
-let serve model st ~arrival ~lba ~bytes ~rpm =
+let serve model fctx st ~arrival ~lba ~bytes ~rpm =
   let seek_distance = if st.last_end < 0 then max_int else lba - st.last_end in
   let start = Float.max arrival st.now in
   (* The disk is idle between st.now and a later start only when it was
@@ -345,12 +421,58 @@ let serve model st ~arrival ~lba ~bytes ~rpm =
      to the arrival for gaps, so any remainder here is spin-up overhang
      (st.now > arrival) or zero. *)
   if start > st.now then spend_idle model st (start -. st.now);
+  let spend_busy ~degraded ms =
+    let e = energy_j_of ~watts:(Disk_model.active_power_w model ~rpm) ~ms in
+    st.busy <- st.busy +. ms;
+    st.energy <- st.energy +. e;
+    if degraded then st.degraded <- st.degraded +. ms;
+    record_span st ~start:st.now ~stop:(st.now +. ms) ~energy:e Timeline.Busy;
+    st.now <- st.now +. ms
+  in
+  (* Servo recalibration: an injected latency spike stalls the head
+     (at active power) before the transfer begins. *)
+  (match fctx with
+  | None -> ()
+  | Some { inj; _ } ->
+      let spike = Injector.latency_spike_ms inj ~disk:st.id in
+      if spike > 0.0 then begin
+        st.spikes <- st.spikes + 1;
+        spend_busy ~degraded:true spike
+      end);
   let service = Disk_model.service_ms ~seek_distance model ~rpm ~bytes in
   st.last_end <- lba + bytes;
-  st.busy <- st.busy +. service;
-  st.energy <- st.energy +. energy_j_of ~watts:(Disk_model.active_power_w model ~rpm) ~ms:service;
-  record_span st ~start:st.now ~stop:(st.now +. service) Timeline.Busy;
-  st.now <- st.now +. service;
+  let stuck_slow = serving_degraded fctx st && rpm < model.Disk_model.rpm_max in
+  spend_busy ~degraded:stuck_slow service;
+  (* Transient media errors: re-service (no seek — the head is already
+     there) after a bounded exponential backoff per retry. *)
+  (match fctx with
+  | None -> ()
+  | Some { inj; retry } ->
+      let retries =
+        Injector.media_retries inj ~disk:st.id ~max_retries:(retry.Policy.max_attempts - 1)
+      in
+      if retries > 0 then begin
+        let reread = Disk_model.service_ms ~seek_distance:0 model ~rpm ~bytes in
+        for attempt = 1 to retries do
+          let backoff = Policy.backoff_ms retry ~attempt in
+          st.m_retries <- st.m_retries + 1;
+          st.degraded <- st.degraded +. backoff +. reread;
+          (* The platters keep spinning while the controller backs off:
+             idle power at the current speed. *)
+          let e = energy_j_of ~watts:(Disk_model.idle_power_w model ~rpm:st.rpm) ~ms:backoff in
+          st.idle <- st.idle +. backoff;
+          st.energy <- st.energy +. e;
+          record_span st ~start:st.now ~stop:(st.now +. backoff) ~energy:e
+            (Timeline.Idle st.rpm);
+          st.now <- st.now +. backoff;
+          let ms = reread in
+          let e = energy_j_of ~watts:(Disk_model.active_power_w model ~rpm) ~ms in
+          st.busy <- st.busy +. ms;
+          st.energy <- st.energy +. e;
+          record_span st ~start:st.now ~stop:(st.now +. ms) ~energy:e Timeline.Busy;
+          st.now <- st.now +. ms
+        done
+      end);
   let response = st.now -. arrival in
   st.reqs <- st.reqs + 1;
   st.resp_total <- st.resp_total +. response;
@@ -360,7 +482,7 @@ let serve model st ~arrival ~lba ~bytes ~rpm =
 (* DRPM window bookkeeping: after [window_size] requests compare the
    window's average response with its full-speed service average and
    shift up one level on degradation beyond the tolerance. *)
-let drpm_window model (cfg : Policy.drpm_config) st ~response ~nominal =
+let drpm_window model (cfg : Policy.drpm_config) fctx st ~response ~nominal =
   st.win_count <- st.win_count + 1;
   st.win_resp <- st.win_resp +. response;
   st.win_nominal <- st.win_nominal +. nominal;
@@ -368,10 +490,11 @@ let drpm_window model (cfg : Policy.drpm_config) st ~response ~nominal =
     let avg = st.win_resp /. float_of_int st.win_count in
     let nominal = st.win_nominal /. float_of_int st.win_count in
     (* On degradation beyond the tolerance the controller orders the
-       disk back to full speed (Gurumurthi et al.). *)
+       disk back to full speed (Gurumurthi et al.) — unless a stuck-RPM
+       fault refuses the command. *)
     if avg > cfg.Policy.tolerance *. nominal && st.rpm < model.Disk_model.rpm_max then begin
-      drpm_shift model st ~rpm_to:model.Disk_model.rpm_max;
-      st.ups <- st.ups + 1
+      if try_drpm_shift model fctx st ~rpm_to:model.Disk_model.rpm_max then
+        st.ups <- st.ups + 1
     end;
     st.win_count <- 0;
     st.win_resp <- 0.0;
@@ -383,45 +506,46 @@ let drpm_window model (cfg : Policy.drpm_config) st ~response ~nominal =
    a proactive policy with hints executes the directives, a proactive
    policy without falls back to the omniscient gap planner.  Returns the
    response time. *)
-let handle_request model policy st (r : Request.t) ~issue ~hinted =
+let rec handle_request model policy fctx st (r : Request.t) ~issue ~hinted =
   match policy with
   | Policy.No_pm ->
       if issue > st.now then gap_no_pm model st ~until:issue;
-      serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size
+      serve model fctx st ~arrival:issue ~lba:r.lba ~bytes:r.size
         ~rpm:model.Disk_model.rpm_max
   | Policy.Tpm cfg when cfg.Policy.proactive ->
       if hinted then begin
         let hs = take_hints st ~upto:r.Request.arrival_ms in
         if issue > st.now then
-          gap_tpm_hinted model st ~until:issue ~terminal:false
+          gap_tpm_hinted model fctx st ~until:issue ~terminal:false
             ~spin_down:(hint_spin_down hs) ~lead:(hint_lead hs)
       end
       else if issue > st.now then
-        gap_tpm_proactive model cfg st ~until:issue ~terminal:false;
-      serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size
+        gap_tpm_proactive model cfg fctx st ~until:issue ~terminal:false;
+      serve model fctx st ~arrival:issue ~lba:r.lba ~bytes:r.size
         ~rpm:model.Disk_model.rpm_max
   | Policy.Tpm cfg ->
       let spun_down = if issue > st.now then gap_tpm model cfg st ~until:issue else false in
       if spun_down then begin
         (* Reactive spin-up: starts at the arrival (or at the end of an
            in-flight spin-down), delays the service. *)
-        let su_ms = ms_of_s model.Disk_model.spin_up_s in
         st.now <- Float.max st.now issue;
-        st.transition <- st.transition +. su_ms;
-        st.energy <- st.energy +. model.Disk_model.spin_up_j;
-        st.ups <- st.ups + 1;
-        record_span st ~start:st.now ~stop:(st.now +. su_ms) Timeline.Transition;
-        st.now <- st.now +. su_ms
+        spin_up model fctx st
       end;
-      serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size
+      serve model fctx st ~arrival:issue ~lba:r.lba ~bytes:r.size
         ~rpm:model.Disk_model.rpm_max
+  | Policy.Drpm cfg when cfg.Policy.proactive && hinted && serving_degraded fctx st ->
+      (* The compiler's directive assumed a disk that obeys speed
+         commands; a stuck-RPM window invalidates it.  Degrade to the
+         reactive twin for this request: idle or serve slow, recover
+         once the window expires — never stall. *)
+      handle_request model (Policy.reactive_fallback policy) fctx st r ~issue ~hinted:false
   | Policy.Drpm cfg ->
       (if cfg.Policy.proactive && hinted then begin
          let hs = take_hints st ~upto:r.Request.arrival_ms in
          if issue > st.now then begin
            match hint_target_rpm hs with
            | Some rpm ->
-               gap_drpm_proactive ~target_rpm:rpm model cfg st ~until:issue
+               gap_drpm_proactive ~target_rpm:rpm model cfg fctx st ~until:issue
                  ~terminal:false
            | None ->
                (* No directive: the compiler planned no dip for this gap. *)
@@ -430,8 +554,8 @@ let handle_request model policy st (r : Request.t) ~issue ~hinted =
        end
        else if issue > st.now then begin
          if cfg.Policy.proactive then
-           gap_drpm_proactive model cfg st ~until:issue ~terminal:false
-         else gap_drpm model cfg st ~until:issue
+           gap_drpm_proactive model cfg fctx st ~until:issue ~terminal:false
+         else gap_drpm model cfg fctx st ~until:issue
        end);
       let seek_distance = if st.last_end < 0 then max_int else r.lba - st.last_end in
       let nominal =
@@ -439,44 +563,47 @@ let handle_request model policy st (r : Request.t) ~issue ~hinted =
           ~bytes:r.size
       in
       let response =
-        serve model st ~arrival:issue ~lba:r.lba ~bytes:r.size ~rpm:st.rpm
+        serve model fctx st ~arrival:issue ~lba:r.lba ~bytes:r.size ~rpm:st.rpm
       in
       (* Ramp back toward full speed one level per serviced request: RPM
          transitions overlap servicing (the low-overhead dynamic-RPM
-         design of Gurumurthi et al.), so only the energy is charged. *)
-      if st.rpm < model.Disk_model.rpm_max then begin
+         design of Gurumurthi et al.), so only the energy is charged —
+         unless a stuck-RPM fault refuses the shift. *)
+      if st.rpm < model.Disk_model.rpm_max && not (shift_refused fctx st) then begin
         let rpm_to = st.rpm + model.Disk_model.rpm_step in
-        st.energy <- st.energy +. Disk_model.drpm_transition_j model ~rpm_from:st.rpm ~rpm_to;
+        let e = Disk_model.drpm_transition_j model ~rpm_from:st.rpm ~rpm_to in
+        st.energy <- st.energy +. e;
+        record_span st ~start:st.now ~stop:st.now ~energy:e Timeline.Transition;
         st.rpm <- rpm_to;
         st.shifts <- st.shifts + 1;
         if rpm_to = model.Disk_model.rpm_max then st.ups <- st.ups + 1
       end;
-      drpm_window model cfg st ~response ~nominal;
+      drpm_window model cfg fctx st ~response ~nominal;
       response
 
 (* Trailing window: account the timeline from the last completion to the
    global makespan, with no arrival to terminate the gap. *)
-let handle_trailing model policy st ~until ~hinted =
+let handle_trailing model policy fctx st ~until ~hinted =
   if until > st.now then begin
     match policy with
     | Policy.No_pm -> gap_no_pm model st ~until
     | Policy.Tpm cfg when cfg.Policy.proactive ->
         if hinted then
           let hs = take_hints st ~upto:infinity in
-          gap_tpm_hinted model st ~until ~terminal:true
+          gap_tpm_hinted model fctx st ~until ~terminal:true
             ~spin_down:(hint_spin_down hs) ~lead:None
-        else gap_tpm_proactive model cfg st ~until ~terminal:true
+        else gap_tpm_proactive model cfg fctx st ~until ~terminal:true
     | Policy.Tpm cfg -> ignore (gap_tpm model cfg st ~until)
     | Policy.Drpm cfg when cfg.Policy.proactive ->
         if hinted then begin
           let hs = take_hints st ~upto:infinity in
           match hint_target_rpm hs with
           | Some rpm ->
-              gap_drpm_proactive ~target_rpm:rpm model cfg st ~until ~terminal:true
+              gap_drpm_proactive ~target_rpm:rpm model cfg fctx st ~until ~terminal:true
           | None -> spend_idle model st (until -. st.now)
         end
-        else gap_drpm_proactive model cfg st ~until ~terminal:true
-    | Policy.Drpm cfg -> gap_drpm model cfg st ~until
+        else gap_drpm_proactive model cfg fctx st ~until ~terminal:true
+    | Policy.Drpm cfg -> gap_drpm model cfg fctx st ~until
   end;
   (* A TPM spin-down may overshoot [until]; clamp for reporting. *)
   if st.now > until then st.now <- until
@@ -493,10 +620,17 @@ let stats_of_state st ~last_completion =
     spin_downs = st.downs;
     spin_ups = st.ups;
     speed_changes = st.shifts;
+    spin_up_retries = st.su_retries;
+    media_retries = st.m_retries;
+    latency_spikes = st.spikes;
+    degraded_ms = st.degraded;
     response_ms_total = st.resp_total;
     response_ms_max = st.resp_max;
     last_completion_ms = last_completion;
   }
+
+let wear_fraction model stats =
+  float_of_int stats.spin_downs /. float_of_int model.Disk_model.rated_start_stop_cycles
 
 (* Closed-loop simulation: each processor replays its request stream in
    order, issuing a request [think_ms] after its previous completion.
@@ -504,7 +638,7 @@ let stats_of_state st ~last_completion =
    order; their power trajectory over each inter-arrival gap is decided
    by the policy. *)
 let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ?(hints = [])
-    ~disks policy reqs =
+    ?faults ?(retry = Policy.default_retry) ~disks policy reqs =
   if disks < 1 then invalid_arg "Engine.simulate: disks must be >= 1";
   List.iter
     (fun (r : Request.t) ->
@@ -518,6 +652,11 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ?(
           (Printf.sprintf "Engine.simulate: hint on disk %d of %d" h.Hint.disk disks))
     hints;
   let hinted = hints <> [] in
+  let fctx =
+    match faults with
+    | None -> None
+    | Some cfg -> Some { inj = Injector.make cfg ~disks; retry }
+  in
   let reqs = List.sort Request.compare_arrival reqs in
   let n_proc =
     1 + List.fold_left (fun acc (r : Request.t) -> max acc r.proc) (-1) reqs
@@ -563,7 +702,7 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ?(
         | r :: rest ->
             pending.(p) <- rest;
             let st = states.(r.Request.disk) in
-            let response = handle_request model policy st r ~issue:!best_t ~hinted in
+            let response = handle_request model policy fctx st r ~issue:!best_t ~hinted in
             ignore response;
             clocks.(p) <- !best_t +. response;
             last_completion.(r.Request.disk) <- st.now;
@@ -576,7 +715,7 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ?(
     Array.fill clocks 0 (Array.length clocks) latest
   done;
   let makespan = Array.fold_left max 0.0 last_completion in
-  Array.iter (fun st -> handle_trailing model policy st ~until:makespan ~hinted) states;
+  Array.iter (fun st -> handle_trailing model policy fctx st ~until:makespan ~hinted) states;
   let per_disk =
     Array.mapi (fun d st -> stats_of_state st ~last_completion:last_completion.(d)) states
   in
@@ -599,7 +738,11 @@ let pp_disk_stats ppf s =
     s.disk s.requests s.energy_j s.busy_ms s.idle_ms s.standby_ms s.transition_ms
     s.spin_downs s.spin_ups s.speed_changes
     (if s.requests = 0 then 0.0 else s.response_ms_total /. float_of_int s.requests)
-    s.response_ms_max
+    s.response_ms_max;
+  if s.spin_up_retries > 0 || s.media_retries > 0 || s.latency_spikes > 0 || s.degraded_ms > 0.0
+  then
+    Format.fprintf ppf ", %d su-retries, %d media-retries, %d spikes, degraded %.0f ms"
+      s.spin_up_retries s.media_retries s.latency_spikes s.degraded_ms
 
 let pp_result ppf r =
   Format.fprintf ppf "@[<v>policy %s: energy %.1f J, io time %.1f ms, makespan %.1f ms@,%a@]"

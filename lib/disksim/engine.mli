@@ -8,7 +8,14 @@ module Request = Dp_trace.Request
     trajectory (stay idle, spin down, or shift rotation speed); energy is
     integrated over the full timeline of every node up to the global
     makespan, so savings on one node are never hidden by activity on
-    another. *)
+    another.
+
+    A run can additionally carry a seeded fault injector (see
+    {!Dp_faults}): spin-up failures, transient media errors, latency
+    spikes and stuck-RPM windows then perturb the timeline, and the
+    policies degrade gracefully — bounded retries with exponential
+    backoff, proactive directives falling back to their reactive twins —
+    while every joule and millisecond stays accounted. *)
 
 type disk_stats = {
   disk : int;
@@ -21,6 +28,13 @@ type disk_stats = {
   spin_downs : int;
   spin_ups : int;
   speed_changes : int;
+  spin_up_retries : int;  (** failed spin-up attempts (injected faults) *)
+  media_retries : int;  (** request re-services after media errors *)
+  latency_spikes : int;  (** servo recalibration stalls *)
+  degraded_ms : float;
+      (** time attributable to injected faults: failed spin-up attempts,
+          media-retry backoff and re-service, spike stalls, and service
+          at a fault-pinned (stuck-RPM) reduced speed *)
   response_ms_total : float;
   response_ms_max : float;
   last_completion_ms : float;
@@ -40,6 +54,8 @@ val simulate :
   ?model:Disk_model.t ->
   ?record_timeline:bool ->
   ?hints:Dp_trace.Hint.t list ->
+  ?faults:Dp_faults.Fault_model.t ->
+  ?retry:Policy.retry_config ->
   disks:int ->
   Policy.t ->
   Request.t list ->
@@ -57,7 +73,18 @@ val simulate :
     [Set_rpm] target.  Directives that no longer fit their actual gap
     (closed-loop drift) degrade to plain idling, never to a stall.  With
     an empty stream, proactive policies keep their omniscient built-in
-    planning; reactive policies ignore hints entirely. *)
+    planning; reactive policies ignore hints entirely.
+
+    [faults] (default none) seeds a deterministic fault injector: the
+    same configuration reproduces the same perturbed run bit for bit,
+    and a configuration with rate [0.0] reproduces the fault-free run
+    byte for byte.  [retry] (default {!Policy.default_retry}) bounds
+    how persistently faulted operations are re-attempted. *)
+
+val wear_fraction : Disk_model.t -> disk_stats -> float
+(** Start-stop wear consumed by a run: [spin_downs] over the drive's
+    {!Disk_model.rated_start_stop_cycles}.  An aggressive spin-down
+    policy trading energy for wear shows up here. *)
 
 val pp_result : Format.formatter -> result -> unit
 val pp_disk_stats : Format.formatter -> disk_stats -> unit

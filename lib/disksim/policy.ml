@@ -25,3 +25,24 @@ let name = function
   | No_pm -> "none"
   | Tpm _ -> "TPM"
   | Drpm _ -> "DRPM"
+
+type retry_config = { max_attempts : int; backoff_base_ms : float; backoff_cap_ms : float }
+
+let default_retry = { max_attempts = 5; backoff_base_ms = 5.0; backoff_cap_ms = 80.0 }
+
+let retry ?(max_attempts = default_retry.max_attempts)
+    ?(backoff_base_ms = default_retry.backoff_base_ms)
+    ?(backoff_cap_ms = default_retry.backoff_cap_ms) () =
+  if max_attempts < 1 then invalid_arg "Policy.retry: max_attempts must be >= 1";
+  { max_attempts; backoff_base_ms; backoff_cap_ms }
+
+let backoff_ms rc ~attempt =
+  if attempt <= 1 then Float.min rc.backoff_base_ms rc.backoff_cap_ms
+  else
+    Float.min rc.backoff_cap_ms
+      (rc.backoff_base_ms *. Float.of_int (1 lsl min 30 (attempt - 1)))
+
+let reactive_fallback = function
+  | No_pm -> No_pm
+  | Tpm c -> Tpm { c with proactive = false }
+  | Drpm c -> Drpm { c with proactive = false }

@@ -48,3 +48,34 @@ val drpm :
   unit ->
   t
 val name : t -> string
+
+(** {1 Degraded-mode behaviour}
+
+    How a controller responds when the fault injector (see
+    {!Dp_faults.Injector}) perturbs an operation: failed operations are
+    retried a bounded number of times with bounded exponential backoff,
+    and a proactive policy whose directive is invalidated by a fault
+    degrades to its reactive twin for the affected gap instead of
+    stalling. *)
+
+type retry_config = {
+  max_attempts : int;
+      (** total tries of a faulted operation (first attempt included);
+          spin-ups and media reads are abandoned to the next attempt
+          after this many, so a simulation always terminates *)
+  backoff_base_ms : float;  (** backoff before the first media retry *)
+  backoff_cap_ms : float;  (** bound on the exponential backoff *)
+}
+
+val default_retry : retry_config
+val retry :
+  ?max_attempts:int -> ?backoff_base_ms:float -> ?backoff_cap_ms:float -> unit -> retry_config
+
+val backoff_ms : retry_config -> attempt:int -> float
+(** Backoff before retry [attempt] (1-based): [backoff_base_ms]
+    doubling per attempt, capped at [backoff_cap_ms]. *)
+
+val reactive_fallback : t -> t
+(** The same policy with [proactive] cleared: what a compiler-directed
+    controller falls back to for a gap whose directive a fault
+    invalidated (idle, or serve slow and recover reactively). *)

@@ -1,5 +1,5 @@
 type state = Busy | Idle of int | Standby | Transition
-type segment = { start_ms : float; stop_ms : float; state : state }
+type segment = { start_ms : float; stop_ms : float; state : state; energy_j : float }
 type t = segment list array
 
 let char_of_state model = function
@@ -57,13 +57,19 @@ let render ?(width = 96) ~model ~until_ms t =
     Buffer.contents buf
   end
 
+let matches_state query actual =
+  match (query, actual) with Idle -1, Idle _ -> true | a, b -> a = b
+
 let state_time_ms t ~disk state =
   List.fold_left
     (fun acc (s : segment) ->
-      let matches =
-        match (state, s.state) with
-        | Idle -1, Idle _ -> true
-        | a, b -> a = b
-      in
-      if matches then acc +. (s.stop_ms -. s.start_ms) else acc)
+      if matches_state state s.state then acc +. (s.stop_ms -. s.start_ms) else acc)
     0.0 t.(disk)
+
+let state_energy_j t ~disk state =
+  List.fold_left
+    (fun acc (s : segment) -> if matches_state state s.state then acc +. s.energy_j else acc)
+    0.0 t.(disk)
+
+let total_energy_j t ~disk =
+  List.fold_left (fun acc (s : segment) -> acc +. s.energy_j) 0.0 t.(disk)

@@ -9,7 +9,18 @@ type state =
   | Standby
   | Transition
 
-type segment = { start_ms : float; stop_ms : float; state : state }
+type segment = {
+  start_ms : float;
+  stop_ms : float;
+  state : state;
+  energy_j : float;
+      (** energy charged to this span.  The engine records every joule
+          it accounts against exactly one segment, so per-disk segment
+          energies sum to the per-disk energy total — the conservation
+          invariant the fault-injection tests lean on.  Lump charges
+          with no duration (a speed change overlapped with servicing)
+          appear as zero-length segments. *)
+}
 
 type t = segment list array
 (** One (chronologically ordered) segment list per disk. *)
@@ -27,3 +38,10 @@ val render : ?width:int -> model:Disk_model.t -> until_ms:float -> t -> string
 val state_time_ms : t -> disk:int -> state -> float
 (** Total time a disk spent in a state (idle states match on any RPM
     when queried with [Idle (-1)]). *)
+
+val state_energy_j : t -> disk:int -> state -> float
+(** Total energy charged to a state, with the same RPM wildcard. *)
+
+val total_energy_j : t -> disk:int -> float
+(** Sum of all segment energies of a disk; equals the disk's
+    [energy_j] statistic when the timeline was recorded. *)

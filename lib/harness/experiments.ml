@@ -5,12 +5,12 @@ module Generate = Dp_trace.Generate
 
 type matrix = (App.t * (Version.t * Runner.run) list) list
 
-let build_matrix ?apps ~procs ~versions () =
+let build_matrix ?apps ?faults ?retry ~procs ~versions () =
   let apps = match apps with Some a -> a | None -> Workloads.all () in
   List.map
     (fun app ->
       let ctx = Runner.context app in
-      (app, List.map (fun v -> (v, Runner.run ctx ~procs v)) versions))
+      (app, List.map (fun v -> (v, Runner.run ctx ?faults ?retry ~procs v)) versions))
     apps
 
 let base_of runs =
@@ -123,6 +123,89 @@ let fig_energy matrix ppf =
       Format.fprintf ppf "average saving %s: %s@," (Version.name v)
         (Tabulate.fmt_pct (average_energy_saving matrix v)))
     versions;
+  Format.fprintf ppf "@]"
+
+(* Reliability columns: what the energy figures hide.  Start-stop wear
+   is charged against the drive's rated budget even in a fault-free run
+   (every spin-down ages the spindle); retries, spikes and degraded time
+   appear once a fault window is active. *)
+let fig_reliability ?faults matrix ppf =
+  let versions = versions_of matrix in
+  let header =
+    [ "App"; "Version"; "Downs"; "Wear"; "SuRetry"; "MediaRetry"; "Spikes"; "Degraded(ms)" ]
+  in
+  let rows =
+    List.concat_map
+      (fun ((app : App.t), runs) ->
+        List.map
+          (fun v ->
+            let rel = Runner.reliability (List.assoc v runs) in
+            [
+              app.App.name;
+              Version.name v;
+              string_of_int rel.Runner.spin_downs;
+              Tabulate.fmt_pct rel.Runner.wear;
+              string_of_int rel.Runner.spin_up_retries;
+              string_of_int rel.Runner.media_retries;
+              string_of_int rel.Runner.latency_spikes;
+              Printf.sprintf "%.1f" rel.Runner.degraded_ms;
+            ])
+          versions)
+      matrix
+  in
+  Format.fprintf ppf
+    "@[<v>Reliability: start-stop wear (of the %d-cycle budget) and fault-recovery effort%a@,"
+    Dp_disksim.Disk_model.ultrastar_36z15.Dp_disksim.Disk_model.rated_start_stop_cycles
+    (Format.pp_print_option (fun ppf f ->
+         Format.fprintf ppf " (%a)" Dp_faults.Fault_model.pp f))
+    faults;
+  Tabulate.render ppf ~header ~rows;
+  Format.fprintf ppf "@]"
+
+(* Fault sweep: the same app and versions re-simulated across a fault
+   rate ramp, every point re-seeded identically — how gracefully each
+   policy's energy savings and response times degrade as the array gets
+   less reliable. *)
+type sweep_point = { rate : float; runs : (Version.t * Runner.run) list }
+type sweep = { app : App.t; procs : int; seed : int; points : sweep_point list }
+
+let fault_sweep ?(seed = 42) ?(rates = [ 0.0; 0.001; 0.01; 0.05; 0.1 ]) ?classes ~procs
+    ~versions app =
+  let ctx = Runner.context app in
+  let points =
+    List.map
+      (fun rate ->
+        let faults = Dp_faults.Fault_model.make ?classes ~seed ~rate () in
+        { rate; runs = List.map (fun v -> (v, Runner.run ctx ~faults ~procs v)) versions })
+      rates
+  in
+  { app; procs; seed; points }
+
+let fig_sweep sweep ppf =
+  let versions = match sweep.points with [] -> [] | p :: _ -> List.map fst p.runs in
+  let header =
+    "Rate" :: List.concat_map (fun v -> [ Version.name v ^ " E(J)"; "degr(ms)" ]) versions
+  in
+  let rows =
+    List.map
+      (fun p ->
+        Printf.sprintf "%g" p.rate
+        :: List.concat_map
+             (fun v ->
+               let r = List.assoc v p.runs in
+               let rel = Runner.reliability r in
+               [
+                 Printf.sprintf "%.1f" r.Runner.result.Engine.energy_j;
+                 Printf.sprintf "%.1f" rel.Runner.degraded_ms;
+               ])
+             versions)
+      sweep.points
+  in
+  Format.fprintf ppf "@[<v>Fault sweep: %s, %d processor%s, seed %d@,"
+    sweep.app.App.name sweep.procs
+    (if sweep.procs = 1 then "" else "s")
+    sweep.seed;
+  Tabulate.render ppf ~header ~rows;
   Format.fprintf ppf "@]"
 
 let fig_perf matrix ppf =

@@ -7,9 +7,17 @@ type matrix = (App.t * (Version.t * Runner.run) list) list
 (** One row per application: the runs of every requested version. *)
 
 val build_matrix :
-  ?apps:App.t list -> procs:int -> versions:Version.t list -> unit -> matrix
+  ?apps:App.t list ->
+  ?faults:Dp_faults.Fault_model.t ->
+  ?retry:Dp_disksim.Policy.retry_config ->
+  procs:int ->
+  versions:Version.t list ->
+  unit ->
+  matrix
 (** Runs the full pipeline for every (app, version) pair.  Defaults to
-    the six Table-2 applications. *)
+    the six Table-2 applications.  [faults]/[retry] perturb every
+    simulated run with the same deterministic injector configuration
+    (oracle rows stay fault-free — see {!Runner.run}). *)
 
 val table1 : Format.formatter -> unit
 (** Default simulation parameters (the Table 1 reproduction). *)
@@ -28,6 +36,34 @@ val fig_energy : matrix -> Format.formatter -> unit
 val fig_perf : matrix -> Format.formatter -> unit
 (** Performance degradation (increase in disk I/O time) per app and
     version (Figs. 10a / 10b). *)
+
+val fig_reliability : ?faults:Dp_faults.Fault_model.t -> matrix -> Format.formatter -> unit
+(** Wear/retry/degraded-time columns per (app, version): spin-down count
+    against the rated start-stop budget, fault-recovery effort, and time
+    attributable to injected faults.  [faults] only labels the header —
+    pass the configuration the matrix was built with. *)
+
+(** {1 Fault sweeps} *)
+
+type sweep_point = { rate : float; runs : (Version.t * Runner.run) list }
+
+type sweep = { app : App.t; procs : int; seed : int; points : sweep_point list }
+(** One application re-simulated across a fault-rate ramp; every point
+    reuses the same seed, so points differ only by rate. *)
+
+val fault_sweep :
+  ?seed:int ->
+  ?rates:float list ->
+  ?classes:Dp_faults.Fault_model.class_ list ->
+  procs:int ->
+  versions:Version.t list ->
+  App.t ->
+  sweep
+(** Defaults: seed 42, rates [0, 0.001, 0.01, 0.05, 0.1], all fault
+    classes. *)
+
+val fig_sweep : sweep -> Format.formatter -> unit
+(** Energy and degraded time per version at each rate of the ramp. *)
 
 val average_energy_saving : matrix -> Version.t -> float
 (** 1 - (mean normalized energy) for one version across the matrix. *)

@@ -47,6 +47,7 @@ let rec pp ppf = function
 let to_string t = Format.asprintf "%a" pp t
 
 let of_run (r : Runner.run) =
+  let rel = Runner.reliability r in
   Obj
     [
       ("version", String (Version.name r.Runner.version));
@@ -56,6 +57,16 @@ let of_run (r : Runner.run) =
       ("makespan_ms", Float r.Runner.result.Engine.makespan_ms);
       ( "scheduler_rounds",
         match r.Runner.scheduler_rounds with Some n -> Int n | None -> Null );
+      ( "reliability",
+        Obj
+          [
+            ("spin_downs", Int rel.Runner.spin_downs);
+            ("wear", Float rel.Runner.wear);
+            ("spin_up_retries", Int rel.Runner.spin_up_retries);
+            ("media_retries", Int rel.Runner.media_retries);
+            ("latency_spikes", Int rel.Runner.latency_spikes);
+            ("degraded_ms", Float rel.Runner.degraded_ms);
+          ] );
     ]
 
 let of_matrix (matrix : Experiments.matrix) =
@@ -95,3 +106,21 @@ let of_matrix (matrix : Experiments.matrix) =
                     runs) );
            ])
        matrix)
+
+let of_sweep (s : Experiments.sweep) =
+  Obj
+    [
+      ("app", String s.Experiments.app.App.name);
+      ("procs", Int s.Experiments.procs);
+      ("seed", Int s.Experiments.seed);
+      ( "points",
+        List
+          (List.map
+             (fun (p : Experiments.sweep_point) ->
+               Obj
+                 [
+                   ("rate", Float p.Experiments.rate);
+                   ("runs", List (List.map (fun (_, r) -> of_run r) p.Experiments.runs));
+                 ])
+             s.Experiments.points) );
+    ]

@@ -21,3 +21,7 @@ val of_matrix : Experiments.matrix -> t
     performance degradation. *)
 
 val of_run : Runner.run -> t
+
+val of_sweep : Experiments.sweep -> t
+(** The fault sweep as one object: app, seed, and per rate the runs
+    (with their reliability aggregates). *)

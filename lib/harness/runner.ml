@@ -99,7 +99,7 @@ let hints_for policy ~disks trace =
       Oracle.hints_of_trace ~space:Oracle.Drpm_space ~disks trace
   | _ -> []
 
-let run ctx ~procs version =
+let run ctx ?faults ?retry ~procs version =
   match Version.oracle_space version with
   | Some space ->
       (* Offline-optimal bound on the unmodified code: same trace as the
@@ -121,8 +121,40 @@ let run ctx ~procs version =
       let policy = Version.policy version in
       let disks = ctx.layout.Layout.disk_count in
       let hints = if Version.restructured version then hints_for policy ~disks trace else [] in
-      let result = Engine.simulate ~hints ~disks policy trace in
+      let result = Engine.simulate ~hints ?faults ?retry ~disks policy trace in
       { version; procs; result; summary = Generate.summarize trace; scheduler_rounds }
+
+(* Reliability aggregates over the disks of one run — the wear/retry
+   columns of the fault figures. *)
+type reliability = {
+  spin_downs : int;
+  wear : float;  (** worst per-disk start-stop budget fraction consumed *)
+  spin_up_retries : int;
+  media_retries : int;
+  latency_spikes : int;
+  degraded_ms : float;
+}
+
+let reliability ?(model = Dp_disksim.Disk_model.ultrastar_36z15) (r : run) =
+  Array.fold_left
+    (fun acc (d : Engine.disk_stats) ->
+      {
+        spin_downs = acc.spin_downs + d.Engine.spin_downs;
+        wear = Float.max acc.wear (Engine.wear_fraction model d);
+        spin_up_retries = acc.spin_up_retries + d.Engine.spin_up_retries;
+        media_retries = acc.media_retries + d.Engine.media_retries;
+        latency_spikes = acc.latency_spikes + d.Engine.latency_spikes;
+        degraded_ms = acc.degraded_ms +. d.Engine.degraded_ms;
+      })
+    {
+      spin_downs = 0;
+      wear = 0.0;
+      spin_up_retries = 0;
+      media_retries = 0;
+      latency_spikes = 0;
+      degraded_ms = 0.0;
+    }
+    r.result.Engine.per_disk
 
 let normalized_energy ~base r =
   r.result.Engine.energy_j /. base.result.Engine.energy_j

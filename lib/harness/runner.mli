@@ -27,7 +27,13 @@ type run = {
   scheduler_rounds : int option;  (** for restructured versions *)
 }
 
-val run : ctx -> procs:int -> Version.t -> run
+val run :
+  ctx ->
+  ?faults:Dp_faults.Fault_model.t ->
+  ?retry:Dp_disksim.Policy.retry_config ->
+  procs:int ->
+  Version.t ->
+  run
 (** For the paper's versions: restructure per the version, generate the
     trace, and simulate — the proactive (restructured) versions carry a
     compiler hint stream ({!Dp_trace.Hint}) emitted from the
@@ -36,8 +42,28 @@ val run : ctx -> procs:int -> Version.t -> run
     unmodified-code trace and replace the energy of its no-PM reference
     run with the offline-optimal bound ({!Dp_oracle.Oracle}); the
     [result]'s per-disk stats remain those of the reference run.
+
+    [faults]/[retry] seed the engine's deterministic fault injector (see
+    {!Dp_disksim.Engine.simulate}).  The oracle rows stay fault-free:
+    they are an idealized offline bound, so perturbing them would
+    conflate the bound with injector noise.
     @raise Invalid_argument for a [T_*_m] version with [procs = 1] (the
     layout-aware scheme is only meaningful with several processors). *)
+
+type reliability = {
+  spin_downs : int;
+  wear : float;
+      (** worst per-disk fraction of the rated start-stop budget
+          ({!Dp_disksim.Disk_model.rated_start_stop_cycles}) consumed *)
+  spin_up_retries : int;
+  media_retries : int;
+  latency_spikes : int;
+  degraded_ms : float;
+}
+
+val reliability : ?model:Dp_disksim.Disk_model.t -> run -> reliability
+(** Wear/retry/degraded-time aggregates across the run's disks (counts
+    summed, wear the worst disk). *)
 
 val normalized_energy : base:run -> run -> float
 (** Energy relative to the Base run of the same processor count. *)

@@ -13,23 +13,39 @@ let pp ppf h =
 
 let is_hint_line line = String.length line >= 2 && line.[0] = 'H' && line.[1] = ' '
 
-let bad line = failwith (Printf.sprintf "Hint.parse_line: malformed hint %S" line)
-
-let parse_line line =
+let parse_line_res line =
+  let ( let* ) = Result.bind in
   let num name s =
     match float_of_string_opt s with
-    | Some f -> f
-    | None -> failwith (Printf.sprintf "Hint.parse_line: bad %s %S" name s)
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "bad hint %s %S (expected a number)" name s)
   in
   let int name s =
     match int_of_string_opt s with
-    | Some n -> n
-    | None -> failwith (Printf.sprintf "Hint.parse_line: bad %s %S" name s)
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "bad hint %s %S (expected an integer)" name s)
   in
   match String.split_on_char ' ' (String.trim line) with
-  | [ "H"; at; disk; "D" ] -> { at_ms = num "time" at; disk = int "disk" disk; action = Spin_down }
+  | [ "H"; at; disk; "D" ] ->
+      let* at_ms = num "time" at in
+      let* disk = int "disk" disk in
+      Ok { at_ms; disk; action = Spin_down }
   | [ "H"; at; disk; "U"; lead ] ->
-      { at_ms = num "time" at; disk = int "disk" disk; action = Pre_spin_up (num "lead" lead) }
+      let* at_ms = num "time" at in
+      let* disk = int "disk" disk in
+      let* lead = num "lead" lead in
+      Ok { at_ms; disk; action = Pre_spin_up lead }
   | [ "H"; at; disk; "S"; rpm ] ->
-      { at_ms = num "time" at; disk = int "disk" disk; action = Set_rpm (int "rpm" rpm) }
-  | _ -> bad line
+      let* at_ms = num "time" at in
+      let* disk = int "disk" disk in
+      let* rpm = int "rpm" rpm in
+      Ok { at_ms; disk; action = Set_rpm rpm }
+  | _ ->
+      Error
+        (Printf.sprintf "malformed hint %S (expected H t disk D | H t disk U lead | H t disk S rpm)"
+           line)
+
+let parse_line line =
+  match parse_line_res line with
+  | Ok h -> h
+  | Error msg -> failwith ("Hint.parse_line: " ^ msg)

@@ -39,3 +39,6 @@ val is_hint_line : string -> bool
 
 val parse_line : string -> t
 (** @raise Failure on a malformed hint line. *)
+
+val parse_line_res : string -> (t, string) result
+(** Parse one hint line; the error names the offending field. *)

@@ -32,17 +32,60 @@ val pp : Format.formatter -> t -> unit
     Text format, one request per line:
     [arrival_ms think_ms seg address lba size R|W proc disk], with [#]
     comments.  Compiler power hints ({!Hint.t}) travel in the same file
-    as [H ...] lines after the requests. *)
+    as [H ...] lines after the requests, and an optional fault-injection
+    window ({!Dp_faults.Fault_model.t}) as a single
+    [F seed:rate:classes] line. *)
 
-val save : ?hints:Hint.t list -> string -> t list -> unit
+type load_error = {
+  file : string;
+  line : int;  (** 1-based; [0] when the file could not be opened *)
+  msg : string;  (** names the offending field and its value *)
+}
+
+val pp_load_error : Format.formatter -> load_error -> unit
+(** Rendered as [file:line: message] — the shape editors jump on. *)
+
+val load_error_to_string : load_error -> string
+
+val save : ?hints:Hint.t list -> ?faults:Dp_faults.Fault_model.t -> string -> t list -> unit
+
+val load_result :
+  string -> (t list * Hint.t list * Dp_faults.Fault_model.t option, load_error) result
+(** Load a trace file without raising: requests and hints in file order,
+    plus the fault window if the file carries an [F] line.  The first
+    malformed line stops the parse and is reported with its file name,
+    line number and offending field; an unreadable file reports the
+    system error at line 0. *)
+
 val load : string -> t list
-(** Requests only; hint lines are parsed (and validated) but dropped.
-    @raise Failure on a malformed line, request or hint. *)
+(** Requests only; hint and fault lines are parsed (and validated) but
+    dropped.  @raise Failure on a malformed line, request or hint. *)
 
 val load_with_hints : string -> t list * Hint.t list
 (** Requests and the hint stream, both in file order.
     @raise Failure on a malformed line. *)
 
-val to_channel : ?hints:Hint.t list -> out_channel -> t list -> unit
+val load_full : string -> t list * Hint.t list * Dp_faults.Fault_model.t option
+(** Raising twin of {!load_result}.  @raise Failure on a malformed
+    line, with the [file:line: message] rendering. *)
+
+val to_channel : ?hints:Hint.t list -> ?faults:Dp_faults.Fault_model.t -> out_channel -> t list -> unit
 val of_lines : string list -> t list
 val of_lines_with_hints : string list -> t list * Hint.t list
+
+val of_lines_res :
+  string list -> (t list * Hint.t list * Dp_faults.Fault_model.t option, string) result
+(** In-memory twin of {!load_result}; the error carries the (1-based)
+    line number and offending field, without a file name. *)
+
+val of_lines_full : string list -> t list * Hint.t list * Dp_faults.Fault_model.t option
+(** @raise Failure on a malformed line. *)
+
+val parse_line : string -> t
+(** @raise Failure on a malformed request line. *)
+
+val parse_line_res : string -> (t, string) result
+(** Parse one request line; the error names the offending field. *)
+
+val is_fault_line : string -> bool
+(** Recognize a (trimmed) trace-file fault line by its [F ] prefix. *)

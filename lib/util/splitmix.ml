@@ -1,0 +1,29 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* The 64-bit finalizer of SplitMix64 (variant 13 of Stafford's mix). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t = { state = next_int64 t }
+
+let float t =
+  (* Top 53 bits scaled into [0, 1). *)
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) *. 0x1p-53
+
+let bool t ~p = if p <= 0.0 then false else if p >= 1.0 then true else float t < p
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Rejection-free modulo is fine here: bounds are tiny relative to 2^62,
+     the bias is < 2^-50. *)
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int bound))

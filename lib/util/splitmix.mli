@@ -1,0 +1,31 @@
+(** A splittable deterministic PRNG (SplitMix64, Steele et al., OOPSLA'14).
+
+    The fault injector needs reproducible, independently consumable
+    random streams — one per disk per fault class — so that drawing from
+    one stream never perturbs another, and the same seed always produces
+    the same fault schedule.  The global [Random] state offers neither
+    property; this generator carries its own state and supports O(1)
+    splitting into statistically independent child streams. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded from an integer.  Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** A child generator whose future output is independent of the
+    parent's.  Splitting advances the parent by one draw, so a fixed
+    split order yields a fixed family of streams. *)
+
+val next_int64 : t -> int64
+(** The next 64 raw bits. *)
+
+val float : t -> float
+(** Uniform in [0, 1) with 53-bit precision. *)
+
+val bool : t -> p:float -> bool
+(** [true] with probability [p] ([p <= 0.] never, [p >= 1.] always). *)
+
+val int : t -> bound:int -> int
+(** Uniform in [0, bound).  [bound] must be positive. *)

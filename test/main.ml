@@ -2,5 +2,6 @@ let () =
   Alcotest.run "dpower"
     (Test_util.suites @ Test_affine.suites @ Test_ir.suites @ Test_lang.suites
    @ Test_dependence.suites @ Test_polyhedra.suites @ Test_layout.suites
-   @ Test_restructure.suites @ Test_trace.suites @ Test_disksim.suites
-   @ Test_oracle.suites @ Test_cache.suites @ Test_workloads.suites @ Test_harness.suites)
+   @ Test_restructure.suites @ Test_trace.suites @ Test_faults.suites
+   @ Test_disksim.suites @ Test_oracle.suites @ Test_cache.suites @ Test_workloads.suites
+   @ Test_harness.suites @ Test_cli.suites)

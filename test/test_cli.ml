@@ -1,0 +1,123 @@
+(* End-to-end checks on the two command-line tools: malformed input and
+   unknown flags exit with status 2 after a one-line diagnostic, and the
+   usage strings advertise the fault-injection flag.  Runs the binaries
+   dune built next to the test. *)
+
+let check = Alcotest.check
+let dpsim = Filename.concat (Filename.concat ".." "bin") "dpsim.exe"
+let dpcc = Filename.concat (Filename.concat ".." "bin") "dpcc.exe"
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let slurp path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Run [argv], returning (exit code, stdout, stderr). *)
+let run argv =
+  let out = Filename.temp_file "dpower" ".out" in
+  let err = Filename.temp_file "dpower" ".err" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out;
+      Sys.remove err)
+    (fun () ->
+      let code = Sys.command (Filename.quote_command (List.hd argv) ~stdout:out ~stderr:err (List.tl argv)) in
+      (code, slurp out, slurp err))
+
+let with_trace_file contents f =
+  let path = Filename.temp_file "dpower" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc contents;
+      close_out oc;
+      f path)
+
+let one_line s =
+  (* A single diagnostic line (allowing the trailing newline). *)
+  match String.split_on_char '\n' (String.trim s) with [ _ ] -> true | _ -> false
+
+let test_dpsim_malformed_trace () =
+  with_trace_file "1.0 2.0 0 0 0 1024 R 0 0\n1.0 2.0 0 0 0 junk R 0 0\n" (fun path ->
+      let code, _, err = run [ dpsim; path ] in
+      check Alcotest.int "exit code" 2 code;
+      check Alcotest.bool "one-line diagnostic" true (one_line err);
+      check Alcotest.bool
+        (Printf.sprintf "names file:line (got %S)" err)
+        true
+        (contains ~needle:(path ^ ":2:") err && contains ~needle:"size" err))
+
+let test_dpsim_unknown_flag () =
+  let code, _, err = run [ dpsim; "--no-such-flag" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "mentions the flag" true (contains ~needle:"no-such-flag" err)
+
+let test_dpsim_bad_faults_spec () =
+  with_trace_file "1.0 2.0 0 0 0 1024 R 0 0\n" (fun path ->
+      let code, _, err = run [ dpsim; "--faults"; "1:nope:all"; path ] in
+      check Alcotest.int "exit code" 2 code;
+      check Alcotest.bool
+        (Printf.sprintf "names the field (got %S)" err)
+        true
+        (contains ~needle:"--faults" err && contains ~needle:"rate" err))
+
+let test_dpsim_usage () =
+  let code, out, _ = run [ dpsim; "--help=plain" ] in
+  check Alcotest.int "help exits 0" 0 code;
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "usage mentions %s" needle) true
+        (contains ~needle out))
+    [ "dpsim"; "--faults"; "SEED:RATE:CLASSES"; "--policy" ]
+
+let test_dpsim_runs () =
+  with_trace_file "1.0 2.0 0 0 0 1024 R 0 0\n" (fun path ->
+      let code, out, _ = run [ dpsim; "--faults"; "7:0.1:all"; path ] in
+      check Alcotest.int "exit code" 0 code;
+      check Alcotest.bool "reports the fault window" true (contains ~needle:"faults seed 7" out);
+      check Alcotest.bool "reports wear" true (contains ~needle:"start-stop budget" out))
+
+let test_dpcc_unknown_flag () =
+  let code, _, err = run [ dpcc; "simulate"; "--no-such-flag"; "app:AST" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "mentions the flag" true (contains ~needle:"no-such-flag" err)
+
+let test_dpcc_malformed_source () =
+  with_trace_file "1.0 2.0 0 0 junk 1024 R 0 0\n" (fun path ->
+      let code, _, err = run [ dpcc; "simulate"; path ] in
+      check Alcotest.int "exit code" 2 code;
+      check Alcotest.bool
+        (Printf.sprintf "names file:line (got %S)" err)
+        true
+        (contains ~needle:(path ^ ":1:") err))
+
+let test_dpcc_usage () =
+  let code, out, _ = run [ dpcc; "fault-sweep"; "--help=plain" ] in
+  check Alcotest.int "help exits 0" 0 code;
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "usage mentions %s" needle) true
+        (contains ~needle out))
+    [ "fault-sweep"; "--rates"; "--seed"; "--json" ]
+
+let suites =
+  [
+    ( "cli",
+      [
+        Alcotest.test_case "dpsim malformed trace" `Quick test_dpsim_malformed_trace;
+        Alcotest.test_case "dpsim unknown flag" `Quick test_dpsim_unknown_flag;
+        Alcotest.test_case "dpsim bad --faults" `Quick test_dpsim_bad_faults_spec;
+        Alcotest.test_case "dpsim usage" `Quick test_dpsim_usage;
+        Alcotest.test_case "dpsim faulted run" `Quick test_dpsim_runs;
+        Alcotest.test_case "dpcc unknown flag" `Quick test_dpcc_unknown_flag;
+        Alcotest.test_case "dpcc malformed source" `Quick test_dpcc_malformed_source;
+        Alcotest.test_case "dpcc fault-sweep usage" `Quick test_dpcc_usage;
+      ] );
+  ]

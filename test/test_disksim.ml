@@ -284,6 +284,197 @@ let test_timeline_absent_by_default () =
   let r = Engine.simulate ~disks:1 Policy.No_pm [ req ~think:1.0 () ] in
   check Alcotest.bool "no timeline" true (r.Engine.timeline = None)
 
+(* --- fault injection and degraded-mode accounting --- *)
+
+module Fault_model = Dp_faults.Fault_model
+module Hint = Dp_trace.Hint
+
+let all_policies =
+  [
+    Policy.No_pm;
+    Policy.default_tpm;
+    Policy.default_drpm;
+    Policy.tpm ~proactive:true ();
+    Policy.drpm ~proactive:true ();
+  ]
+
+(* Random traces paired with a random fault configuration. *)
+let faulted_gen =
+  QCheck2.Gen.(
+    triple trace_gen (int_range 0 10_000)
+      (map (fun r -> float_of_int r /. 100.0) (int_range 0 40)))
+
+let prop_rate_zero_identity =
+  qtest ~count:40 "Engine: rate-0 faults reproduce the fault-free run exactly"
+    (QCheck2.Gen.pair trace_gen (QCheck2.Gen.int_range 0 10_000))
+    (fun (reqs, seed) ->
+      let faults = Fault_model.make ~seed ~rate:0.0 () in
+      List.for_all
+        (fun policy ->
+          Engine.simulate ~record_timeline:true ~disks:3 policy reqs
+          = Engine.simulate ~record_timeline:true ~faults ~disks:3 policy reqs)
+        all_policies)
+
+let prop_fault_determinism =
+  qtest ~count:40 "Engine: same fault seed, same run" faulted_gen (fun (reqs, seed, rate) ->
+      let faults = Fault_model.make ~seed ~rate () in
+      List.for_all
+        (fun policy ->
+          Engine.simulate ~faults ~disks:3 policy reqs
+          = Engine.simulate ~faults ~disks:3 policy reqs)
+        all_policies)
+
+let contiguous segs =
+  let rec ok = function
+    | (a : Timeline.segment) :: (b :: _ as rest) ->
+        Float.abs (b.Timeline.start_ms -. a.Timeline.stop_ms) <= 1e-6
+        && b.Timeline.stop_ms >= b.Timeline.start_ms -. 1e-9
+        && ok rest
+    | _ -> true
+  in
+  ok segs
+
+let prop_timeline_contiguous =
+  qtest ~count:40 "Engine: timeline segments contiguous and non-overlapping under faults"
+    faulted_gen (fun (reqs, seed, rate) ->
+      let faults = Fault_model.make ~seed ~rate () in
+      List.for_all
+        (fun policy ->
+          let r = Engine.simulate ~record_timeline:true ~faults ~disks:3 policy reqs in
+          let t = Option.get r.Engine.timeline in
+          Array.for_all contiguous t)
+        all_policies)
+
+let prop_energy_conserved =
+  qtest ~count:40 "Engine: segment energies sum to the per-disk totals under faults"
+    faulted_gen (fun (reqs, seed, rate) ->
+      let faults = Fault_model.make ~seed ~rate () in
+      List.for_all
+        (fun policy ->
+          let r = Engine.simulate ~record_timeline:true ~faults ~disks:3 policy reqs in
+          let t = Option.get r.Engine.timeline in
+          Array.for_all
+            (fun (d : Engine.disk_stats) ->
+              let tl = Timeline.total_energy_j t ~disk:d.Engine.disk in
+              Float.abs (tl -. d.Engine.energy_j)
+              <= 1e-6 *. Float.max 1.0 d.Engine.energy_j)
+            r.Engine.per_disk)
+        all_policies)
+
+let prop_faults_terminate =
+  (* Even at rate 1 with every class enabled, bounded retries mean the
+     run completes and every request is served. *)
+  qtest ~count:30 "Engine: rate-1 faults still terminate, all requests served" trace_gen
+    (fun reqs ->
+      let faults = Fault_model.make ~seed:1 ~rate:1.0 () in
+      List.for_all
+        (fun policy ->
+          let r = Engine.simulate ~faults ~disks:3 policy reqs in
+          let served =
+            Array.fold_left (fun acc d -> acc + d.Engine.requests) 0 r.Engine.per_disk
+          in
+          served = List.length reqs && Float.is_finite r.Engine.makespan_ms)
+        all_policies)
+
+let test_spin_up_retries_accounted () =
+  (* TPM over a long gap with certain spin-up faults: the reactive
+     spin-up needs max_attempts tries, each a full spin-up. *)
+  let reqs = [ req ~think:10.0 (); req ~think:60_000.0 ~lba:(1 lsl 30) () ] in
+  let faults = Fault_model.make ~classes:[ Fault_model.Spin_up_failure ] ~seed:1 ~rate:1.0 () in
+  let retry = Policy.retry ~max_attempts:3 () in
+  let clean = Engine.simulate ~disks:1 Policy.default_tpm reqs in
+  let r = Engine.simulate ~faults ~retry ~disks:1 Policy.default_tpm reqs in
+  let d = r.Engine.per_disk.(0) in
+  check Alcotest.int "two failed attempts" 2 d.Engine.spin_up_retries;
+  check (Alcotest.float 1e-6) "degraded = failed attempts" (2.0 *. 10_900.0) d.Engine.degraded_ms;
+  check (Alcotest.float 0.5) "energy = clean + 2 spin-ups"
+    (clean.Engine.energy_j +. (2.0 *. 135.0))
+    r.Engine.energy_j;
+  check Alcotest.bool "stall grew by the failed attempts" true
+    (r.Engine.io_time_ms >= clean.Engine.io_time_ms +. (2.0 *. 10_900.0) -. 1e-6)
+
+let test_media_retries_accounted () =
+  let reqs = [ req ~think:10.0 (); req ~think:100.0 ~lba:(1 lsl 30) () ] in
+  let faults = Fault_model.make ~classes:[ Fault_model.Media_error ] ~seed:1 ~rate:1.0 () in
+  let retry = Policy.retry ~max_attempts:2 ~backoff_base_ms:5.0 () in
+  let clean = Engine.simulate ~disks:1 Policy.No_pm reqs in
+  let r = Engine.simulate ~faults ~retry ~disks:1 Policy.No_pm reqs in
+  let d = r.Engine.per_disk.(0) in
+  check Alcotest.int "one retry per request" 2 d.Engine.media_retries;
+  let reread = Disk_model.service_ms ~seek_distance:0 m ~rpm:15000 ~bytes:(64 * 1024) in
+  check (Alcotest.float 1e-6) "degraded = backoff + re-service"
+    (2.0 *. (5.0 +. reread))
+    d.Engine.degraded_ms;
+  check Alcotest.bool "io time grew" true (r.Engine.io_time_ms > clean.Engine.io_time_ms)
+
+let test_latency_spikes_accounted () =
+  let reqs = [ req ~think:10.0 (); req ~think:100.0 ~lba:(1 lsl 30) () ] in
+  let faults =
+    Fault_model.make ~classes:[ Fault_model.Latency_spike ] ~spike_ms:50.0 ~seed:1 ~rate:1.0 ()
+  in
+  let r = Engine.simulate ~faults ~disks:1 Policy.No_pm reqs in
+  let d = r.Engine.per_disk.(0) in
+  check Alcotest.int "every request spikes" 2 d.Engine.latency_spikes;
+  check (Alcotest.float 1e-6) "degraded = spikes" 100.0 d.Engine.degraded_ms
+
+let test_stuck_rpm_hinted_fallback () =
+  (* A hinted proactive DRPM run whose speed commands are all refused:
+     the directives are invalidated, the policy degrades to its reactive
+     twin, and the run still completes with every request served. *)
+  let r2 = { (req ~think:30_000.0 ~lba:(1 lsl 30) ()) with Request.arrival_ms = 30_010.0 } in
+  let reqs = [ req ~think:10.0 (); r2 ] in
+  let hints = [ { Hint.at_ms = 30_000.0; disk = 0; action = Hint.Set_rpm 3000 } ] in
+  let faults =
+    Fault_model.make ~classes:[ Fault_model.Stuck_rpm ] ~stuck_window_ms:1e9 ~seed:1 ~rate:1.0 ()
+  in
+  let policy = Policy.drpm ~proactive:true () in
+  let clean = Engine.simulate ~hints ~disks:1 policy reqs in
+  let r = Engine.simulate ~hints ~faults ~disks:1 policy reqs in
+  let d = r.Engine.per_disk.(0) in
+  check Alcotest.int "both served despite refused shifts" 2 d.Engine.requests;
+  check Alcotest.bool "terminates" true (Float.is_finite r.Engine.makespan_ms);
+  (* The clean run dips and recovers; the stuck run is pinned at full
+     speed (the lock hits before any downshift), so it spends more. *)
+  check Alcotest.int "no speed changes under the lock" 0 d.Engine.speed_changes;
+  check Alcotest.bool "stuck run spends more" true (r.Engine.energy_j > clean.Engine.energy_j)
+
+let test_rate_zero_with_hints () =
+  let r2 = { (req ~think:30_000.0 ~lba:(1 lsl 30) ()) with Request.arrival_ms = 30_010.0 } in
+  let reqs = [ req ~think:10.0 (); r2 ] in
+  let hints = [ { Hint.at_ms = 30_000.0; disk = 0; action = Hint.Set_rpm 3000 } ] in
+  let faults = Fault_model.make ~seed:9 ~rate:0.0 () in
+  List.iter
+    (fun policy ->
+      check Alcotest.bool (Policy.name policy ^ " hinted rate-0 identical") true
+        (Engine.simulate ~record_timeline:true ~hints ~disks:1 policy reqs
+        = Engine.simulate ~record_timeline:true ~hints ~faults ~disks:1 policy reqs))
+    [ Policy.tpm ~proactive:true (); Policy.drpm ~proactive:true () ]
+
+let test_wear_fraction () =
+  let reqs = [ req ~think:10.0 (); req ~think:60_000.0 ~lba:(1 lsl 30) () ] in
+  let r = Engine.simulate ~disks:1 Policy.default_tpm reqs in
+  let d = r.Engine.per_disk.(0) in
+  check Alcotest.int "one start-stop cycle" 1 d.Engine.spin_downs;
+  check (Alcotest.float 1e-12) "wear = downs / rated"
+    (1.0 /. float_of_int m.Disk_model.rated_start_stop_cycles)
+    (Engine.wear_fraction m d);
+  check Alcotest.int "rated budget is 50k" 50_000 m.Disk_model.rated_start_stop_cycles
+
+let test_backoff_bounded () =
+  let rc = Policy.retry ~max_attempts:10 ~backoff_base_ms:5.0 ~backoff_cap_ms:80.0 () in
+  check (Alcotest.float 1e-9) "first" 5.0 (Policy.backoff_ms rc ~attempt:1);
+  check (Alcotest.float 1e-9) "doubles" 10.0 (Policy.backoff_ms rc ~attempt:2);
+  check (Alcotest.float 1e-9) "capped" 80.0 (Policy.backoff_ms rc ~attempt:9);
+  (match Policy.retry ~max_attempts:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_attempts=0 must be rejected");
+  (* reactive_fallback strips proactivity and nothing else. *)
+  match Policy.reactive_fallback (Policy.drpm ~proactive:true ~min_rpm:9000 ()) with
+  | Policy.Drpm c ->
+      check Alcotest.bool "proactive cleared" false c.Policy.proactive;
+      check Alcotest.(option int) "floor kept" (Some 9000) c.Policy.min_rpm
+  | _ -> Alcotest.fail "fallback changed the policy family"
+
 let suites =
   [
     ( "disksim.model",
@@ -322,5 +513,20 @@ let suites =
       [
         Alcotest.test_case "recording" `Quick test_timeline_recording;
         Alcotest.test_case "absent by default" `Quick test_timeline_absent_by_default;
+      ] );
+    ( "disksim.faults",
+      [
+        prop_rate_zero_identity;
+        prop_fault_determinism;
+        prop_timeline_contiguous;
+        prop_energy_conserved;
+        prop_faults_terminate;
+        Alcotest.test_case "spin-up retries accounted" `Quick test_spin_up_retries_accounted;
+        Alcotest.test_case "media retries accounted" `Quick test_media_retries_accounted;
+        Alcotest.test_case "latency spikes accounted" `Quick test_latency_spikes_accounted;
+        Alcotest.test_case "stuck-RPM hinted fallback" `Quick test_stuck_rpm_hinted_fallback;
+        Alcotest.test_case "rate zero with hints" `Quick test_rate_zero_with_hints;
+        Alcotest.test_case "wear fraction" `Quick test_wear_fraction;
+        Alcotest.test_case "retry config" `Quick test_backoff_bounded;
       ] );
   ]

@@ -198,6 +198,111 @@ let test_headline_orderings () =
         (abs_float (deg v) < 0.15))
     [ Version.Tpm; Version.Drpm; Version.T_tpm_s; Version.T_drpm_s ]
 
+(* --- fault injection through the harness --- *)
+
+module Fault_model = Dp_faults.Fault_model
+
+let mentions out frags =
+  List.iter
+    (fun frag ->
+      check Alcotest.bool (Printf.sprintf "output mentions %S" frag) true
+        (let n = String.length out and m = String.length frag in
+         let rec go i = i + m <= n && (String.sub out i m = frag || go (i + 1)) in
+         m = 0 || go 0))
+    frags
+
+let test_rate_zero_matrix_unchanged () =
+  (* A rate-0 injector must leave every row — including the Oracle
+     bounds — bit-identical to the fault-free matrix. *)
+  let apps = [ mini_app () ] in
+  let versions = [ Version.Base; Version.Tpm; Version.T_drpm_s ] @ Version.oracle in
+  let clean = Experiments.build_matrix ~apps ~procs:1 ~versions () in
+  let faults = Fault_model.make ~seed:42 ~rate:0.0 () in
+  let armed = Experiments.build_matrix ~apps ~procs:1 ~faults ~versions () in
+  List.iter2
+    (fun (_, clean_runs) (_, armed_runs) ->
+      List.iter2
+        (fun (v, (a : Runner.run)) (_, (b : Runner.run)) ->
+          check (Alcotest.float 0.0)
+            (Printf.sprintf "%s energy identical" (Version.name v))
+            a.Runner.result.Dp_disksim.Engine.energy_j
+            b.Runner.result.Dp_disksim.Engine.energy_j;
+          check (Alcotest.float 0.0)
+            (Printf.sprintf "%s makespan identical" (Version.name v))
+            a.Runner.result.Dp_disksim.Engine.makespan_ms
+            b.Runner.result.Dp_disksim.Engine.makespan_ms)
+        clean_runs armed_runs)
+    clean armed
+
+let test_reliability_aggregate () =
+  let ctx = Runner.context (mini_app ()) in
+  let faults = Fault_model.make ~seed:11 ~rate:0.2 () in
+  let r = Runner.run ctx ~faults ~procs:1 Version.Tpm in
+  let rel = Runner.reliability r in
+  check Alcotest.bool "wear in [0,1]" true
+    (rel.Runner.wear >= 0.0 && rel.Runner.wear <= 1.0);
+  check Alcotest.bool "some recovery effort at rate 0.2" true
+    (rel.Runner.spin_up_retries + rel.Runner.media_retries + rel.Runner.latency_spikes > 0);
+  check Alcotest.bool "degraded time non-negative" true (rel.Runner.degraded_ms >= 0.0);
+  (* Fault-free runs have a clean reliability block. *)
+  let clean = Runner.reliability (Runner.run ctx ~procs:1 Version.Tpm) in
+  check Alcotest.int "no retries without faults" 0
+    (clean.Runner.spin_up_retries + clean.Runner.media_retries + clean.Runner.latency_spikes);
+  check (Alcotest.float 0.0) "no degraded time without faults" 0.0 clean.Runner.degraded_ms
+
+let test_fault_sweep_deterministic () =
+  let app = mini_app () in
+  let versions = [ Version.Base; Version.Tpm ] in
+  let sweep () =
+    Experiments.fault_sweep ~seed:9 ~rates:[ 0.0; 0.05 ] ~procs:1 ~versions app
+  in
+  let a = sweep () and b = sweep () in
+  let energies (s : Experiments.sweep) =
+    List.map
+      (fun (p : Experiments.sweep_point) ->
+        ( p.Experiments.rate,
+          List.map
+            (fun (_, (r : Runner.run)) -> r.Runner.result.Dp_disksim.Engine.energy_j)
+            p.Experiments.runs ))
+      s.Experiments.points
+  in
+  check Alcotest.bool "same seed, same sweep" true (energies a = energies b);
+  (* The rate-0 point of the sweep equals the fault-free run. *)
+  let ctx = Runner.context app in
+  let clean = Runner.run ctx ~procs:1 Version.Tpm in
+  match a.Experiments.points with
+  | p0 :: _ ->
+      check (Alcotest.float 0.0) "rate-0 point is the clean run"
+        clean.Runner.result.Dp_disksim.Engine.energy_j
+        (List.assoc Version.Tpm p0.Experiments.runs).Runner.result
+          .Dp_disksim.Engine.energy_j
+  | [] -> Alcotest.fail "sweep has no points"
+
+let test_fault_renderers () =
+  let apps = [ mini_app () ] in
+  let faults = Fault_model.make ~seed:3 ~rate:0.1 () in
+  let matrix =
+    Experiments.build_matrix ~apps ~procs:1 ~faults
+      ~versions:[ Version.Base; Version.Tpm ] ()
+  in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Experiments.fig_reliability ~faults matrix ppf;
+  Format.pp_print_flush ppf ();
+  mentions (Buffer.contents buf) [ "Wear"; "Degraded"; "mini"; "faults seed 3" ];
+  let sweep =
+    Experiments.fault_sweep ~seed:3 ~rates:[ 0.0; 0.1 ] ~procs:1
+      ~versions:[ Version.Base; Version.Tpm ] (mini_app ())
+  in
+  Buffer.clear buf;
+  let ppf = Format.formatter_of_buffer buf in
+  Experiments.fig_sweep sweep ppf;
+  Format.pp_print_flush ppf ();
+  mentions (Buffer.contents buf) [ "Rate"; "mini" ];
+  (* And the sweep serializes. *)
+  let json = Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_sweep sweep) in
+  mentions json [ "\"rate\""; "\"reliability\""; "degraded_ms"; "mini" ]
+
 let test_json_out () =
   let module J = Dp_harness.Json_out in
   check Alcotest.string "escaping" "{\"a\\\"b\": \"x\\ny\"}"
@@ -230,6 +335,10 @@ let suites =
         Alcotest.test_case "oracle rows" `Quick test_oracle_rows;
         Alcotest.test_case "tabulate" `Quick test_tabulate;
         Alcotest.test_case "json output" `Quick test_json_out;
+        Alcotest.test_case "rate-0 matrix unchanged" `Quick test_rate_zero_matrix_unchanged;
+        Alcotest.test_case "reliability aggregate" `Quick test_reliability_aggregate;
+        Alcotest.test_case "fault sweep deterministic" `Quick test_fault_sweep_deterministic;
+        Alcotest.test_case "fault renderers" `Quick test_fault_renderers;
         Alcotest.test_case "headline orderings" `Slow test_headline_orderings;
       ] );
   ]

@@ -144,6 +144,82 @@ let test_hint_malformed () =
       "H 1.0" (* truncated *);
     ]
 
+(* --- fault windows riding in the trace file, and result-returning loads --- *)
+
+module Fault_model = Dp_faults.Fault_model
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_fault_line_roundtrip () =
+  let reqs = single_trace () in
+  let faults = Fault_model.make ~seed:42 ~rate:0.05 ~classes:[ Fault_model.Media_error ] () in
+  let path = Filename.temp_file "dpower" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Request.save ~hints:some_hints ~faults path reqs;
+      let back_reqs, back_hints, back_faults = Request.load_full path in
+      check Alcotest.int "requests preserved" (List.length reqs) (List.length back_reqs);
+      check Alcotest.int "hints preserved" (List.length some_hints) (List.length back_hints);
+      (match back_faults with
+      | Some f ->
+          check Alcotest.string "fault spec preserved" (Fault_model.to_spec faults)
+            (Fault_model.to_spec f)
+      | None -> Alcotest.fail "fault line dropped across the roundtrip");
+      (* Plain [load] validates but drops the fault line too. *)
+      check Alcotest.int "load drops faults" (List.length reqs)
+        (List.length (Request.load path)))
+
+let test_load_result_line_numbers () =
+  (* The first malformed line wins and is reported with its number and field. *)
+  let good = "1.0 2.0 0 0 0 1024 R 0 0" in
+  (match Request.of_lines_res [ good; "# fine"; "1.0 2.0 0 0 0 1024 X 0 0" ] with
+  | Error msg ->
+      check Alcotest.bool
+        (Printf.sprintf "line number in %S" msg)
+        true
+        (contains ~needle:"line 3" msg && contains ~needle:"mode" msg)
+  | Ok _ -> Alcotest.fail "bad mode letter must be rejected");
+  (match Request.of_lines_res [ good; "F 1:nope:all" ] with
+  | Error msg ->
+      check Alcotest.bool
+        (Printf.sprintf "fault line error in %S" msg)
+        true
+        (contains ~needle:"line 2" msg && contains ~needle:"rate" msg)
+  | Ok _ -> Alcotest.fail "bad fault line must be rejected");
+  match Request.of_lines_res [ good ] with
+  | Ok ([ _ ], [], None) -> ()
+  | Ok _ -> Alcotest.fail "one request expected"
+  | Error msg -> Alcotest.fail msg
+
+let test_load_result_missing_file () =
+  match Request.load_result "/nonexistent/dpower.trace" with
+  | Error { file; line = 0; msg = _ } ->
+      check Alcotest.string "file recorded" "/nonexistent/dpower.trace" file
+  | Error e -> Alcotest.failf "expected line 0, got %s" (Request.load_error_to_string e)
+  | Ok _ -> Alcotest.fail "missing file must not load"
+
+let test_load_result_reports_file_and_line () =
+  let path = Filename.temp_file "dpower" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "# header\n1.0 2.0 0 0 0 notanint R 0 0\n";
+      close_out oc;
+      match Request.load_result path with
+      | Error e ->
+          check Alcotest.string "file" path e.Request.file;
+          check Alcotest.int "line" 2 e.Request.line;
+          check Alcotest.bool "field named" true (contains ~needle:"size" e.Request.msg);
+          (* The rendering is the editor-friendly file:line: message shape. *)
+          check Alcotest.bool "file:line rendering" true
+            (contains ~needle:(path ^ ":2:") (Request.load_error_to_string e))
+      | Ok _ -> Alcotest.fail "malformed size must be rejected")
+
 let test_segments_barrier () =
   (* Two processors, two segments; proc 1's first segment is empty, so
      its second-segment work must still start after proc 0's first. *)
@@ -254,6 +330,11 @@ let suites =
         Alcotest.test_case "malformed input" `Quick test_trace_malformed;
         Alcotest.test_case "hint roundtrip" `Quick test_hint_roundtrip;
         Alcotest.test_case "malformed hints" `Quick test_hint_malformed;
+        Alcotest.test_case "fault line roundtrip" `Quick test_fault_line_roundtrip;
+        Alcotest.test_case "loader line numbers" `Quick test_load_result_line_numbers;
+        Alcotest.test_case "loader missing file" `Quick test_load_result_missing_file;
+        Alcotest.test_case "loader file:line errors" `Quick
+          test_load_result_reports_file_and_line;
         Alcotest.test_case "segment barriers" `Quick test_segments_barrier;
         Alcotest.test_case "original segments" `Quick test_original_segments;
         Alcotest.test_case "summary" `Quick test_summary;

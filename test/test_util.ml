@@ -145,6 +145,66 @@ let prop_minheap_sorts =
       let out = List.init (List.length l) (fun _ -> Minheap.pop_min h) in
       out = List.sort compare l)
 
+(* --- Splitmix --- *)
+
+module Splitmix = Dp_util.Splitmix
+
+let test_splitmix_deterministic () =
+  let a = Splitmix.create 42 and b = Splitmix.create 42 in
+  let seq t = List.init 100 (fun _ -> Splitmix.next_int64 t) in
+  check Alcotest.bool "same seed, same stream" true (seq a = seq b);
+  let c = Splitmix.create 43 in
+  check Alcotest.bool "different seed, different stream" true (seq (Splitmix.create 42) <> seq c)
+
+let test_splitmix_split_independent () =
+  (* A split stream is independent of further draws on the parent. *)
+  let parent = Splitmix.create 7 in
+  let child = Splitmix.split parent in
+  let expected = List.init 50 (fun _ -> Splitmix.next_int64 child) in
+  let parent2 = Splitmix.create 7 in
+  let child2 = Splitmix.split parent2 in
+  List.iter (fun _ -> ignore (Splitmix.next_int64 parent2)) (List.init 25 Fun.id);
+  let got = List.init 50 (fun _ -> Splitmix.next_int64 child2) in
+  check Alcotest.bool "child stream fixed at split time" true (expected = got)
+
+let prop_splitmix_float_unit =
+  qtest "Splitmix: floats in [0,1)" QCheck2.Gen.int (fun seed ->
+      let t = Splitmix.create seed in
+      List.for_all
+        (fun _ ->
+          let f = Splitmix.float t in
+          f >= 0.0 && f < 1.0)
+        (List.init 100 Fun.id))
+
+let prop_splitmix_bool_edges =
+  qtest "Splitmix: bool degenerate probabilities" QCheck2.Gen.int (fun seed ->
+      let t = Splitmix.create seed in
+      List.for_all
+        (fun _ -> (not (Splitmix.bool t ~p:0.0)) && Splitmix.bool t ~p:1.0)
+        (List.init 50 Fun.id))
+
+let prop_splitmix_int_bound =
+  qtest "Splitmix: int within bound" QCheck2.Gen.(pair int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let t = Splitmix.create seed in
+      List.for_all
+        (fun _ ->
+          let n = Splitmix.int t ~bound in
+          n >= 0 && n < bound)
+        (List.init 50 Fun.id))
+
+let test_splitmix_bool_rate_sanity () =
+  (* ~10% of draws at p = 0.1, within generous bounds. *)
+  let t = Splitmix.create 1234 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Splitmix.bool t ~p:0.1 then incr hits
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "hit rate plausible (%d/10000)" !hits)
+    true
+    (!hits > 800 && !hits < 1200)
+
 let suites =
   [
     ( "util.rat",
@@ -172,4 +232,13 @@ let suites =
       ] );
     ( "util.minheap",
       [ Alcotest.test_case "basic" `Quick test_minheap_basic; prop_minheap_sorts ] );
+    ( "util.splitmix",
+      [
+        Alcotest.test_case "deterministic" `Quick test_splitmix_deterministic;
+        Alcotest.test_case "split independent" `Quick test_splitmix_split_independent;
+        Alcotest.test_case "bool rate sanity" `Quick test_splitmix_bool_rate_sanity;
+        prop_splitmix_float_unit;
+        prop_splitmix_bool_edges;
+        prop_splitmix_int_bound;
+      ] );
   ]
