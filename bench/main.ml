@@ -491,6 +491,69 @@ let breakdown () =
      share is what no disk policy can touch)@."
 
 (* ------------------------------------------------------------------ *)
+(* Observability overhead: the engine takes a sink on every run, so the
+   disabled (null) path must cost nothing.  Compares the default run,
+   an explicit null sink, and a live ring sink; the null-vs-default
+   delta is the number CI gates on (<2%), and the minor-words delta
+   shows the null path adds no per-event allocation. *)
+
+let obs_overhead () =
+  section "Observability — null-sink overhead";
+  let app = Option.get (Workloads.by_name "FFT") in
+  let ctx = Runner.context app in
+  let trace = base_trace ctx in
+  let disks = ctx.Runner.layout.Layout.disk_count in
+  let run ?obs () = ignore (Engine.simulate ?obs ~disks Policy.default_drpm trace) in
+  (* Sys.time is CPU time: immune to wall-clock noise from a loaded CI
+     box.  Best-of-7 over 3 inner reps tames the rest. *)
+  let time_best f =
+    let best = ref infinity in
+    for _ = 1 to 7 do
+      let t0 = Sys.time () in
+      f ();
+      f ();
+      f ();
+      let dt = (Sys.time () -. t0) /. 3.0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let alloc_words f =
+    let w0 = Gc.minor_words () in
+    f ();
+    Gc.minor_words () -. w0
+  in
+  run () (* warm up *);
+  let t_default = time_best (fun () -> run ()) in
+  let t_null = time_best (fun () -> run ~obs:Dp_obs.Sink.null ()) in
+  let ring () = Dp_obs.Sink.ring ~capacity:(1 lsl 20) () in
+  let t_ring = time_best (fun () -> run ~obs:(ring ()) ()) in
+  let a_default = alloc_words (fun () -> run ()) in
+  let a_null = alloc_words (fun () -> run ~obs:Dp_obs.Sink.null ()) in
+  let a_ring = alloc_words (fun () -> run ~obs:(ring ()) ()) in
+  Tabulate.render ppf
+    ~header:[ "sink"; "time (ms/run)"; "minor words/run" ]
+    ~rows:
+      [
+        [ "default (no --obs)"; Printf.sprintf "%.2f" (1e3 *. t_default);
+          Printf.sprintf "%.0f" a_default ];
+        [ "explicit null"; Printf.sprintf "%.2f" (1e3 *. t_null);
+          Printf.sprintf "%.0f" a_null ];
+        [ "ring (1M events)"; Printf.sprintf "%.2f" (1e3 *. t_ring);
+          Printf.sprintf "%.0f" a_ring ];
+      ];
+  let overhead = Float.max 0.0 ((t_null -. t_default) /. t_default) in
+  Format.printf "ring sink costs %+.1f%% and %.0f extra minor words@."
+    (100. *. (t_ring -. t_default) /. t_default)
+    (a_ring -. a_default);
+  if overhead < 0.02 then
+    Format.printf "null-sink overhead check: OK (%.2f%% <= 2%%)@." (100. *. overhead)
+  else begin
+    Format.printf "null-sink overhead check: FAILED (%.2f%% > 2%%)@." (100. *. overhead);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the compiler passes. *)
 
 let micro () =
@@ -580,6 +643,7 @@ let sections =
     ("prefetch", prefetch_baseline);
     ("two-speed", two_speed);
     ("breakdown", breakdown);
+    ("obs-overhead", obs_overhead);
     ("micro", micro);
   ]
 

@@ -80,9 +80,19 @@ let faults_of_spec = function
       | Ok f -> Some f
       | Error msg -> fail "--faults: %s" msg)
 
+(* Pass profiling (--profile): the compiler stages carry Dp_obs.Prof
+   hooks; enabling the collector before the pipeline and printing the
+   table after costs nothing when the flag is off. *)
+let with_profile profile f =
+  if profile then Dp_obs.Prof.enable ();
+  let r = f () in
+  if profile then Format.eprintf "%a" Dp_obs.Prof.pp_table ();
+  r
+
 (* --- show --- *)
 
-let show source deps =
+let show source deps profile =
+  with_profile profile @@ fun () ->
   with_errors (fun () ->
       let u = load source in
       Format.printf "// %s@.%a@." u.origin Ir.pp_program u.program;
@@ -100,7 +110,8 @@ let show source deps =
 
 (* --- restructure --- *)
 
-let restructure source symbolic =
+let restructure source symbolic profile =
+  with_profile profile @@ fun () ->
   with_errors (fun () ->
       let u = load source in
       if symbolic then begin
@@ -146,7 +157,8 @@ let streams u ~procs ~restructured =
   in
   (g, segs)
 
-let trace source output procs restructured gaps with_hints faults_spec =
+let trace source output procs restructured gaps with_hints faults_spec profile =
+  with_profile profile @@ fun () ->
   with_errors (fun () ->
       let u = load source in
       let g, segs = streams u ~procs ~restructured in
@@ -207,7 +219,8 @@ let hints_for policy ~disks reqs =
       Oracle.hints_of_trace ~space:Oracle.Drpm_space ~disks reqs
   | _ -> []
 
-let simulate source procs restructured policy_name per_disk timeline faults_spec =
+let simulate source procs restructured policy_name per_disk timeline faults_spec profile =
+  with_profile profile @@ fun () ->
   with_errors (fun () ->
       let u = load source in
       let g, segs = streams u ~procs ~restructured in
@@ -262,7 +275,8 @@ let simulate source procs restructured policy_name per_disk timeline faults_spec
 
 (* --- report: the version matrix for one program --- *)
 
-let report source procs json_path =
+let report source procs json_path obs profile =
+  with_profile profile @@ fun () ->
   with_errors (fun () ->
       let u = load source in
       let app =
@@ -286,7 +300,7 @@ let report source procs json_path =
         (if procs = 1 then Dp_harness.Version.single_cpu else Dp_harness.Version.multi_cpu)
         @ Dp_harness.Version.oracle
       in
-      let matrix = Dp_harness.Experiments.build_matrix ~apps:[ app ] ~procs ~versions () in
+      let matrix = Dp_harness.Experiments.build_matrix ~apps:[ app ] ~obs ~procs ~versions () in
       Dp_harness.Experiments.fig_energy matrix Format.std_formatter;
       Dp_harness.Experiments.fig_perf matrix Format.std_formatter;
       match json_path with
@@ -301,7 +315,8 @@ let report source procs json_path =
 
 (* --- fault-sweep: degradation under increasing fault rates --- *)
 
-let fault_sweep source procs seed rates classes json_path =
+let fault_sweep source procs seed rates classes json_path profile =
+  with_profile profile @@ fun () ->
   with_errors (fun () ->
       let u = load source in
       let app =
@@ -383,11 +398,20 @@ let restructured_arg =
     & info [ "restructure"; "t" ]
         ~doc:"Apply disk-reuse restructuring (layout-aware when --procs > 1)")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Time the compiler passes (dependence-graph build, reuse scheduling, layout \
+           unification, trace generation, simulation) and print a per-pass table to \
+           stderr")
+
 let show_cmd =
   let deps = Arg.(value & flag & info [ "deps" ] ~doc:"Also print dependence analysis") in
   Cmd.v
     (Cmd.info "show" ~doc:"Parse a program and print its IR, layout and analyses")
-    Term.(const show $ source_arg $ deps)
+    Term.(const show $ source_arg $ deps $ profile_arg)
 
 let restructure_cmd =
   let symbolic =
@@ -400,7 +424,7 @@ let restructure_cmd =
   in
   Cmd.v
     (Cmd.info "restructure" ~doc:"Print the disk-reuse restructuring of a program")
-    Term.(const restructure $ source_arg $ symbolic)
+    Term.(const restructure $ source_arg $ symbolic $ profile_arg)
 
 let trace_cmd =
   let output =
@@ -428,7 +452,7 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Generate the timed I/O request trace of a program")
     Term.(
       const trace $ source_arg $ output $ procs_arg $ restructured_arg $ gaps $ hints
-      $ faults)
+      $ faults $ profile_arg)
 
 let simulate_cmd =
   let policy =
@@ -457,16 +481,24 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the trace-driven disk power simulation")
     Term.(
       const simulate $ source_arg $ procs_arg $ restructured_arg $ policy $ per_disk
-      $ timeline $ faults)
+      $ timeline $ faults $ profile_arg)
 
 let report_cmd =
   let json =
     Arg.(
       value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Also write JSON results")
   in
+  let obs =
+    Arg.(
+      value & flag
+      & info [ "obs" ]
+          ~doc:
+            "Attach per-run observability reports (idle-gap / response-time / \
+             standby-residency histograms); they appear under \"obs\" in the JSON output")
+  in
   Cmd.v
     (Cmd.info "report" ~doc:"Run the full version matrix for a program and print figures")
-    Term.(const report $ source_arg $ procs_arg $ json)
+    Term.(const report $ source_arg $ procs_arg $ json $ obs $ profile_arg)
 
 let fault_sweep_cmd =
   let seed =
@@ -497,7 +529,8 @@ let fault_sweep_cmd =
        ~doc:
          "Re-simulate the version matrix of a program across a fault-rate ramp (same seed \
           at every point) and report energy and degraded time per version")
-    Term.(const fault_sweep $ source_arg $ procs_arg $ seed $ rates $ classes $ json)
+    Term.(const fault_sweep $ source_arg $ procs_arg $ seed $ rates $ classes $ json
+      $ profile_arg)
 
 let emit_cmd =
   let output =
@@ -508,7 +541,41 @@ let emit_cmd =
     (Cmd.info "emit" ~doc:"Emit a program back as .dpl source (with its striping)")
     Term.(const emit $ source_arg $ output)
 
+(* cmdliner's own unknown-command diagnostic is a terse hint; a wrong
+   subcommand deserves the full command list.  Scan argv before handing
+   over: the first non-flag argument must name a known command. *)
+let command_docs =
+  [
+    ("show", "Parse a program and print its IR, layout and analyses");
+    ("restructure", "Print the disk-reuse restructuring of a program");
+    ("trace", "Generate the timed I/O request trace of a program");
+    ("simulate", "Run the trace-driven disk power simulation");
+    ("emit", "Emit a program back as .dpl source (with its striping)");
+    ("report", "Run the full version matrix for a program and print figures");
+    ("fault-sweep", "Re-simulate the version matrix across a fault-rate ramp");
+  ]
+
+let check_subcommand () =
+  if Array.length Sys.argv > 1 then begin
+    let arg = Sys.argv.(1) in
+    let is_prefix_of (name, _) =
+      String.length arg <= String.length name
+      && String.equal arg (String.sub name 0 (String.length arg))
+    in
+    (* cmdliner accepts unambiguous command prefixes; only a name that
+       matches no command at all is truly unknown. *)
+    if String.length arg > 0 && arg.[0] <> '-' && not (List.exists is_prefix_of command_docs)
+    then begin
+      Format.eprintf "dpcc: unknown command %S@.@.Usage: dpcc COMMAND ...@.@.Commands:@."
+        arg;
+      List.iter (fun (n, d) -> Format.eprintf "  %-12s %s@." n d) command_docs;
+      Format.eprintf "@.Run 'dpcc COMMAND --help' for command-specific options.@.";
+      exit 2
+    end
+  end
+
 let () =
+  check_subcommand ();
   let info =
     Cmd.info "dpcc" ~version:"1.0.0"
       ~doc:"Compiler-guided disk power reduction (CGO 2006 reproduction)"

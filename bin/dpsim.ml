@@ -39,8 +39,48 @@ let reliability_line r =
      media retries, %d latency spikes, degraded %.1f ms@."
     (100.0 *. wear) su media spikes degraded
 
-let run trace_file disks policy_name threshold proactive window downshift faults_spec
-    per_disk =
+(* Observability modes: what to do with the engine's event stream. *)
+let obs_sink mode reqs out =
+  match mode with
+  | None -> (Dp_obs.Sink.null, fun _ -> ())
+  | Some "gaps" | Some "trace" ->
+      (* In-memory recorder, distilled after the run. *)
+      (Dp_obs.Sink.ring ~capacity:(max 4096 (64 * (List.length reqs + 64))) (), fun _ -> ())
+  | Some "events" ->
+      let path = Option.value out ~default:"obs-events.jsonl" in
+      let oc = open_out path in
+      ( Dp_obs.Sink.stream (fun e ->
+            output_string oc (Dp_obs.Event.to_json e);
+            output_char oc '\n'),
+        fun () ->
+          close_out oc;
+          Format.printf "observability: event log written to %s@." path )
+  | Some m -> usage_error "unknown --obs mode %s (expected gaps | trace | events)" m
+
+let obs_finish mode sink out disks (r : Engine.result) =
+  (match Dp_obs.Sink.dropped sink with
+  | 0 -> ()
+  | n -> Format.eprintf "dpsim: observability ring dropped %d event(s)@." n);
+  match mode with
+  | Some "gaps" ->
+      let reports = Dp_obs.Report.of_events ~disks (Dp_obs.Sink.events sink) in
+      Format.printf "%a@." Dp_obs.Report.pp reports;
+      (match out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Dp_obs.Report.jsonl reports);
+          close_out oc;
+          Format.printf "observability: gap histograms written to %s@." path)
+  | Some "trace" ->
+      let path = Option.value out ~default:"obs-trace.json" in
+      Dp_obs.Chrome.write ~until_ms:r.Engine.makespan_ms path (Dp_obs.Sink.events sink);
+      Format.printf "observability: Chrome trace written to %s (load in about:tracing)@."
+        path
+  | _ -> ()
+
+let run trace_file out disks policy_name threshold proactive window downshift faults_spec
+    per_disk obs_mode =
   let reqs, hints, trace_faults =
     match Request.load_result trace_file with
     | Ok parsed -> parsed
@@ -64,6 +104,9 @@ let run trace_file disks policy_name threshold proactive window downshift faults
     in
     match oracle_space with
     | Some space ->
+        if obs_mode <> None then
+          usage_error
+            "--obs needs a simulated run; the oracle policies compute an analytic bound";
         let bound = Oracle.lower_bound ~space ~disks reqs in
         Format.printf "trace: %s (%d requests)@." trace_file (List.length reqs);
         Format.printf "model: %s@." Disk_model.ultrastar_36z15.Disk_model.name;
@@ -79,10 +122,14 @@ let run trace_file disks policy_name threshold proactive window downshift faults
               Policy.drpm ?window_size:window ?downshift_idle_ms:downshift ~proactive ()
           | p -> usage_error "unknown policy %s" p
         in
-        let r = Engine.simulate ~hints ?faults ~disks policy reqs in
+        let sink, close_stream = obs_sink obs_mode reqs out in
+        let r = Engine.simulate ~obs:sink ~hints ?faults ~disks policy reqs in
+        close_stream ();
         Format.printf "trace: %s (%d requests, %d hints)@." trace_file (List.length reqs)
           (List.length hints);
         Format.printf "model: %s@." Disk_model.ultrastar_36z15.Disk_model.name;
+        if obs_mode <> None then
+          Format.printf "policy: %s@." (Policy.describe policy);
         (match faults with
         | Some f -> Format.printf "%a@." Fault_model.pp f
         | None -> ());
@@ -92,7 +139,8 @@ let run trace_file disks policy_name threshold proactive window downshift faults
           (r.Engine.makespan_ms /. 1000.);
         reliability_line r;
         if per_disk then
-          Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk
+          Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk;
+        obs_finish obs_mode sink out disks r
   with
   | Sys_error msg | Failure msg ->
       Format.eprintf "dpsim: %s@." msg;
@@ -104,6 +152,16 @@ let run trace_file disks policy_name threshold proactive window downshift faults
 let () =
   let trace_file =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file")
+  in
+  let out_file =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"OUT"
+          ~doc:
+            "Output file for --obs artifacts (default: obs-trace.json for trace, \
+             obs-events.jsonl for events; gaps prints to stdout and writes JSONL here \
+             only when given)")
   in
   let disks =
     Arg.(value & opt int 8 & info [ "disks"; "d" ] ~docv:"N" ~doc:"Number of I/O nodes")
@@ -148,11 +206,21 @@ let () =
              trace's F line.")
   in
   let per_disk = Arg.(value & flag & info [ "per-disk" ] ~doc:"Print per-disk statistics") in
+  let obs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs" ] ~docv:"MODE"
+          ~doc:
+            "Observe the run: gaps (per-disk idle-gap / response-time / standby-residency \
+             histograms, JSONL to OUT when given), trace (Chrome trace_event JSON to OUT, \
+             one track per disk), or events (stream every event as JSONL to OUT)")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "dpsim" ~version:"1.0.0" ~doc:"Trace-driven multi-disk power simulator")
       Term.(
-        const run $ trace_file $ disks $ policy $ threshold $ proactive $ window $ downshift
-        $ faults $ per_disk)
+        const run $ trace_file $ out_file $ disks $ policy $ threshold $ proactive $ window
+        $ downshift $ faults $ per_disk $ obs)
   in
   exit (Cmd.eval ~term_err:2 cmd)

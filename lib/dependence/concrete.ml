@@ -43,6 +43,7 @@ let elem_key space array coords =
   base + !lin
 
 let build (prog : Ir.program) =
+  Dp_obs.Prof.span "dependence.concrete-build" @@ fun () ->
   (match Ir.validate prog with
   | Ok () -> ()
   | Error (e :: _) ->

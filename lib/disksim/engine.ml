@@ -2,6 +2,8 @@ module Request = Dp_trace.Request
 module Hint = Dp_trace.Hint
 module Fault_model = Dp_faults.Fault_model
 module Injector = Dp_faults.Injector
+module Sink = Dp_obs.Sink
+module Obs_event = Dp_obs.Event
 
 type disk_stats = {
   disk : int;
@@ -65,9 +67,10 @@ type disk_state = {
   mutable hints : Hint.t list;  (* pending compiler directives, by nominal time *)
   record : bool;
   mutable segs : Timeline.segment list;  (* reversed *)
+  sink : Sink.t;  (* observability recorder; Sink.null by default *)
 }
 
-let make_state ?(record = false) model id =
+let make_state ?(record = false) ?(sink = Sink.null) model id =
   {
     id;
     now = 0.0;
@@ -94,24 +97,54 @@ let make_state ?(record = false) model id =
     hints = [];
     record;
     segs = [];
+    sink;
   }
 
 let ms_of_s s = s *. 1000.0
 let energy_j_of ~watts ~ms = watts *. ms /. 1000.0
 
+let obs_state = function
+  | Timeline.Busy -> Obs_event.Active
+  | Timeline.Idle rpm -> Obs_event.Idle rpm
+  | Timeline.Standby -> Obs_event.Standby
+  | Timeline.Transition -> Obs_event.Transition
+
 (* Every joule the simulation accounts lands in exactly one segment (the
    conservation invariant the tests check); lump charges with no
-   duration are recorded as zero-length segments. *)
-let record_span st ~start ~stop ~energy state =
+   duration are recorded as zero-length segments.  [charge] is the
+   milliseconds credited to the state's statistic — usually
+   [stop -. start] but clipped for a spin-down truncated by the next
+   arrival — so a sink can reproduce the per-state stats exactly. *)
+let record_span st ~start ~stop ~charge ~energy state =
   if st.record && (stop > start || energy <> 0.0) then
-    st.segs <- { Timeline.start_ms = start; stop_ms = stop; state; energy_j = energy } :: st.segs
+    st.segs <- { Timeline.start_ms = start; stop_ms = stop; state; energy_j = energy } :: st.segs;
+  if Sink.enabled st.sink then
+    Sink.emit st.sink
+      (Obs_event.Power
+         {
+           disk = st.id;
+           state = obs_state state;
+           start_ms = start;
+           stop_ms = stop;
+           charge_ms = charge;
+           energy_j = energy;
+         })
+
+let decision st d =
+  if Sink.enabled st.sink then
+    Sink.emit st.sink (Obs_event.Decision { disk = st.id; at_ms = st.now; decision = d })
+
+let fault_event st ~at ~kind ~cost =
+  if Sink.enabled st.sink then
+    Sink.emit st.sink (Obs_event.Fault { disk = st.id; at_ms = at; kind; cost_ms = cost })
 
 let spend_idle model st ms =
   if ms > 0.0 then begin
     let e = energy_j_of ~watts:(Disk_model.idle_power_w model ~rpm:st.rpm) ~ms in
     st.idle <- st.idle +. ms;
     st.energy <- st.energy +. e;
-    record_span st ~start:st.now ~stop:(st.now +. ms) ~energy:e (Timeline.Idle st.rpm);
+    record_span st ~start:st.now ~stop:(st.now +. ms) ~charge:ms ~energy:e
+      (Timeline.Idle st.rpm);
     st.now <- st.now +. ms
   end
 
@@ -120,7 +153,7 @@ let spend_standby model st ms =
     let e = energy_j_of ~watts:model.Disk_model.power_standby_w ~ms in
     st.standby <- st.standby +. ms;
     st.energy <- st.energy +. e;
-    record_span st ~start:st.now ~stop:(st.now +. ms) ~energy:e Timeline.Standby;
+    record_span st ~start:st.now ~stop:(st.now +. ms) ~charge:ms ~energy:e Timeline.Standby;
     st.now <- st.now +. ms
   end
 
@@ -131,8 +164,8 @@ let spin_down model st ~clip =
   st.transition <- st.transition +. Float.min sd_ms clip;
   st.energy <- st.energy +. model.Disk_model.spin_down_j;
   st.downs <- st.downs + 1;
-  record_span st ~start:st.now ~stop:(st.now +. sd_ms) ~energy:model.Disk_model.spin_down_j
-    Timeline.Transition;
+  record_span st ~start:st.now ~stop:(st.now +. sd_ms) ~charge:(Float.min sd_ms clip)
+    ~energy:model.Disk_model.spin_down_j Timeline.Transition;
   st.now <- st.now +. sd_ms
 
 (* Bring the platters back to speed.  Under injected spin-up faults the
@@ -151,14 +184,16 @@ let spin_up model fctx st =
   let attempt () =
     st.transition <- st.transition +. su_ms;
     st.energy <- st.energy +. model.Disk_model.spin_up_j;
-    record_span st ~start:st.now ~stop:(st.now +. su_ms) ~energy:model.Disk_model.spin_up_j
-      Timeline.Transition;
+    record_span st ~start:st.now ~stop:(st.now +. su_ms) ~charge:su_ms
+      ~energy:model.Disk_model.spin_up_j Timeline.Transition;
     st.now <- st.now +. su_ms
   in
   for _ = 1 to failures do
+    let at = st.now in
     attempt ();
     st.su_retries <- st.su_retries + 1;
-    st.degraded <- st.degraded +. su_ms
+    st.degraded <- st.degraded +. su_ms;
+    fault_event st ~at ~kind:"spin-up-retry" ~cost:su_ms
   done;
   attempt ();
   st.ups <- st.ups + 1
@@ -192,6 +227,7 @@ let gap_tpm model (cfg : Policy.tpm_config) st ~until =
     end
     else begin
       spend_idle model st threshold;
+      decision st "tpm:threshold-spin-down";
       spin_down model st ~clip:(until -. st.now);
       (* If the next arrival lands inside the spin-down, st.now already
          passed [until]; the standby span is empty. *)
@@ -217,6 +253,7 @@ let gap_tpm_proactive model (cfg : Policy.tpm_config) fctx st ~until ~terminal =
     in
     if gap <= threshold then spend_idle model st gap
     else begin
+      decision st "tpm:planned-spin-down";
       spin_down model st ~clip:sd_ms;
       if terminal then begin
         (* No next request: stay in standby to the end of the window. *)
@@ -237,7 +274,12 @@ let gap_tpm_proactive model (cfg : Policy.tpm_config) fctx st ~until ~terminal =
    clocks. *)
 let take_hints st ~upto =
   let rec go acc = function
-    | (h : Hint.t) :: rest when h.Hint.at_ms <= upto +. 1e-9 -> go (h :: acc) rest
+    | (h : Hint.t) :: rest when h.Hint.at_ms <= upto +. 1e-9 ->
+        if Sink.enabled st.sink then
+          Sink.emit st.sink
+            (Obs_event.Hint_exec
+               { disk = st.id; at_ms = h.Hint.at_ms; action = Hint.action_name h.Hint.action });
+        go (h :: acc) rest
     | rest ->
         st.hints <- rest;
         List.rev acc
@@ -275,8 +317,12 @@ let gap_tpm_hinted model fctx st ~until ~terminal ~spin_down:do_spin_down ~lead 
        saw on the nominal timeline; refuse directives that no longer
        fit. *)
     let feasible = if terminal then gap >= sd_ms else gap >= sd_ms +. su_ms in
-    if not (do_spin_down && feasible) then spend_idle model st gap
+    if not (do_spin_down && feasible) then begin
+      if do_spin_down then decision st "tpm:hint-infeasible";
+      spend_idle model st gap
+    end
     else begin
+      decision st "tpm:hint-spin-down";
       spin_down model st ~clip:sd_ms;
       if terminal then spend_standby model st (until -. st.now)
       else begin
@@ -301,7 +347,7 @@ let drpm_shift model st ~rpm_to =
   let e = Disk_model.drpm_transition_j model ~rpm_from:st.rpm ~rpm_to in
   st.transition <- st.transition +. ms;
   st.energy <- st.energy +. e;
-  record_span st ~start:st.now ~stop:(st.now +. ms) ~energy:e Timeline.Transition;
+  record_span st ~start:st.now ~stop:(st.now +. ms) ~charge:ms ~energy:e Timeline.Transition;
   st.now <- st.now +. ms;
   st.rpm <- rpm_to;
   st.shifts <- st.shifts + 1
@@ -309,7 +355,10 @@ let drpm_shift model st ~rpm_to =
 (* A speed change that a stuck-RPM fault may refuse; [true] when the
    shift happened. *)
 let try_drpm_shift model fctx st ~rpm_to =
-  if shift_refused fctx st then false
+  if shift_refused fctx st then begin
+    fault_event st ~at:st.now ~kind:"stuck-rpm" ~cost:0.0;
+    false
+  end
   else begin
     drpm_shift model st ~rpm_to;
     true
@@ -336,11 +385,14 @@ let gap_drpm model (cfg : Policy.drpm_config) fctx st ~until =
       next_rpm >= floor_rpm
       && remaining >= wait +. ms_of_s (Disk_model.drpm_level_transition_s model)
     then begin
-      if shift_refused fctx st then
+      if shift_refused fctx st then begin
         (* Stuck: pinned at the current level; idle out the gap. *)
+        fault_event st ~at:st.now ~kind:"stuck-rpm" ~cost:0.0;
         continue := false
+      end
       else begin
         spend_idle model st wait;
+        decision st "drpm:idle-downshift";
         drpm_shift model st ~rpm_to:next_rpm;
         first := false
       end
@@ -378,6 +430,8 @@ let gap_drpm_proactive ?target_rpm model (cfg : Policy.drpm_config) fctx st ~unt
     let levels = deepest max_levels in
     if levels = 0 then spend_idle model st gap
     else begin
+      decision st
+        (match target_rpm with Some _ -> "drpm:hint-dip" | None -> "drpm:planned-dip");
       let top = st.rpm in
       let low = st.rpm - (levels * model.Disk_model.rpm_step) in
       (* Ramp down... *)
@@ -426,7 +480,7 @@ let serve model fctx st ~arrival ~lba ~bytes ~rpm =
     st.busy <- st.busy +. ms;
     st.energy <- st.energy +. e;
     if degraded then st.degraded <- st.degraded +. ms;
-    record_span st ~start:st.now ~stop:(st.now +. ms) ~energy:e Timeline.Busy;
+    record_span st ~start:st.now ~stop:(st.now +. ms) ~charge:ms ~energy:e Timeline.Busy;
     st.now <- st.now +. ms
   in
   (* Servo recalibration: an injected latency spike stalls the head
@@ -437,6 +491,7 @@ let serve model fctx st ~arrival ~lba ~bytes ~rpm =
       let spike = Injector.latency_spike_ms inj ~disk:st.id in
       if spike > 0.0 then begin
         st.spikes <- st.spikes + 1;
+        fault_event st ~at:st.now ~kind:"latency-spike" ~cost:spike;
         spend_busy ~degraded:true spike
       end);
   let service = Disk_model.service_ms ~seek_distance model ~rpm ~bytes in
@@ -457,19 +512,20 @@ let serve model fctx st ~arrival ~lba ~bytes ~rpm =
           let backoff = Policy.backoff_ms retry ~attempt in
           st.m_retries <- st.m_retries + 1;
           st.degraded <- st.degraded +. backoff +. reread;
+          fault_event st ~at:st.now ~kind:"media-retry" ~cost:(backoff +. reread);
           (* The platters keep spinning while the controller backs off:
              idle power at the current speed. *)
           let e = energy_j_of ~watts:(Disk_model.idle_power_w model ~rpm:st.rpm) ~ms:backoff in
           st.idle <- st.idle +. backoff;
           st.energy <- st.energy +. e;
-          record_span st ~start:st.now ~stop:(st.now +. backoff) ~energy:e
+          record_span st ~start:st.now ~stop:(st.now +. backoff) ~charge:backoff ~energy:e
             (Timeline.Idle st.rpm);
           st.now <- st.now +. backoff;
           let ms = reread in
           let e = energy_j_of ~watts:(Disk_model.active_power_w model ~rpm) ~ms in
           st.busy <- st.busy +. ms;
           st.energy <- st.energy +. e;
-          record_span st ~start:st.now ~stop:(st.now +. ms) ~energy:e Timeline.Busy;
+          record_span st ~start:st.now ~stop:(st.now +. ms) ~charge:ms ~energy:e Timeline.Busy;
           st.now <- st.now +. ms
         done
       end);
@@ -477,6 +533,10 @@ let serve model fctx st ~arrival ~lba ~bytes ~rpm =
   st.reqs <- st.reqs + 1;
   st.resp_total <- st.resp_total +. response;
   if response > st.resp_max then st.resp_max <- response;
+  if Sink.enabled st.sink then
+    Sink.emit st.sink
+      (Obs_event.Service
+         { disk = st.id; arrival_ms = arrival; start_ms = start; stop_ms = st.now; lba; bytes });
   response
 
 (* DRPM window bookkeeping: after [window_size] requests compare the
@@ -493,6 +553,7 @@ let drpm_window model (cfg : Policy.drpm_config) fctx st ~response ~nominal =
        disk back to full speed (Gurumurthi et al.) — unless a stuck-RPM
        fault refuses the command. *)
     if avg > cfg.Policy.tolerance *. nominal && st.rpm < model.Disk_model.rpm_max then begin
+      decision st "drpm:window-upshift";
       if try_drpm_shift model fctx st ~rpm_to:model.Disk_model.rpm_max then
         st.ups <- st.ups + 1
     end;
@@ -569,15 +630,19 @@ let rec handle_request model policy fctx st (r : Request.t) ~issue ~hinted =
          transitions overlap servicing (the low-overhead dynamic-RPM
          design of Gurumurthi et al.), so only the energy is charged —
          unless a stuck-RPM fault refuses the shift. *)
-      if st.rpm < model.Disk_model.rpm_max && not (shift_refused fctx st) then begin
-        let rpm_to = st.rpm + model.Disk_model.rpm_step in
-        let e = Disk_model.drpm_transition_j model ~rpm_from:st.rpm ~rpm_to in
-        st.energy <- st.energy +. e;
-        record_span st ~start:st.now ~stop:st.now ~energy:e Timeline.Transition;
-        st.rpm <- rpm_to;
-        st.shifts <- st.shifts + 1;
-        if rpm_to = model.Disk_model.rpm_max then st.ups <- st.ups + 1
-      end;
+      (if st.rpm < model.Disk_model.rpm_max then begin
+         if shift_refused fctx st then fault_event st ~at:st.now ~kind:"stuck-rpm" ~cost:0.0
+         else begin
+           let rpm_to = st.rpm + model.Disk_model.rpm_step in
+           let e = Disk_model.drpm_transition_j model ~rpm_from:st.rpm ~rpm_to in
+           st.energy <- st.energy +. e;
+           record_span st ~start:st.now ~stop:st.now ~charge:0.0 ~energy:e
+             Timeline.Transition;
+           st.rpm <- rpm_to;
+           st.shifts <- st.shifts + 1;
+           if rpm_to = model.Disk_model.rpm_max then st.ups <- st.ups + 1
+         end
+       end);
       drpm_window model cfg fctx st ~response ~nominal;
       response
 
@@ -637,8 +702,10 @@ let wear_fraction model stats =
    Segment barriers synchronize all processors.  Disks are FIFO in issue
    order; their power trajectory over each inter-arrival gap is decided
    by the policy. *)
-let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ?(hints = [])
-    ?faults ?(retry = Policy.default_retry) ~disks policy reqs =
+let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
+    ?(obs = Sink.null) ?(hints = []) ?faults ?(retry = Policy.default_retry) ~disks policy
+    reqs =
+  Dp_obs.Prof.span "disksim.simulate" @@ fun () ->
   if disks < 1 then invalid_arg "Engine.simulate: disks must be >= 1";
   List.iter
     (fun (r : Request.t) ->
@@ -670,7 +737,7 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false) ?(
   Array.iter
     (fun per_proc -> Array.iteri (fun p q -> per_proc.(p) <- List.rev q) per_proc)
     queues;
-  let states = Array.init disks (make_state ~record:record_timeline model) in
+  let states = Array.init disks (make_state ~record:record_timeline ~sink:obs model) in
   List.iter
     (fun (h : Hint.t) ->
       let st = states.(h.Hint.disk) in

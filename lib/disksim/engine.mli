@@ -53,6 +53,7 @@ type result = {
 val simulate :
   ?model:Disk_model.t ->
   ?record_timeline:bool ->
+  ?obs:Dp_obs.Sink.t ->
   ?hints:Dp_trace.Hint.t list ->
   ?faults:Dp_faults.Fault_model.t ->
   ?retry:Policy.retry_config ->
@@ -64,6 +65,15 @@ val simulate :
     [disk] is outside [0, disks) raise [Invalid_argument].  The request
     list need not be sorted.  [record_timeline] (default false) keeps the
     per-disk power-state segments for {!Timeline.render}.
+
+    [obs] (default {!Dp_obs.Sink.null}) receives typed observability
+    events as the run unfolds: every power-state span (with the exact
+    milliseconds charged to the per-state statistic, so summing spans
+    reproduces {!disk_stats} bit for bit), every request service, every
+    consumed compiler hint, every injected-fault perturbation and every
+    policy decision.  With the null sink no event is ever constructed —
+    the hot loop stays allocation-free and the results are byte-identical
+    to a run without the parameter.
 
     [hints] is the compiler's directive stream (see {!Dp_trace.Hint}).
     With a non-empty stream, a [proactive] TPM policy spins a disk down

@@ -26,6 +26,18 @@ let name = function
   | Tpm _ -> "TPM"
   | Drpm _ -> "DRPM"
 
+let describe = function
+  | No_pm -> "none (always at full speed)"
+  | Tpm c ->
+      Printf.sprintf "TPM%s (idle threshold %.1f s)"
+        (if c.proactive then " proactive" else "")
+        c.idle_threshold_s
+  | Drpm c ->
+      Printf.sprintf "DRPM%s (window %d, downshift %.0f ms, tolerance %.2f%s)"
+        (if c.proactive then " proactive" else "")
+        c.window_size c.downshift_idle_ms c.tolerance
+        (match c.min_rpm with Some r -> Printf.sprintf ", min rpm %d" r | None -> "")
+
 type retry_config = { max_attempts : int; backoff_base_ms : float; backoff_cap_ms : float }
 
 let default_retry = { max_attempts = 5; backoff_base_ms = 5.0; backoff_cap_ms = 80.0 }

@@ -49,6 +49,11 @@ val drpm :
   t
 val name : t -> string
 
+val describe : t -> string
+(** [name] plus the configuration knobs, e.g.
+    ["DRPM proactive (window 100, downshift 1000 ms, tolerance 1.15)"] —
+    used to head observability reports. *)
+
 (** {1 Degraded-mode behaviour}
 
     How a controller responds when the fault injector (see

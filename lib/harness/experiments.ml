@@ -5,12 +5,12 @@ module Generate = Dp_trace.Generate
 
 type matrix = (App.t * (Version.t * Runner.run) list) list
 
-let build_matrix ?apps ?faults ?retry ~procs ~versions () =
+let build_matrix ?apps ?faults ?retry ?obs ~procs ~versions () =
   let apps = match apps with Some a -> a | None -> Workloads.all () in
   List.map
     (fun app ->
       let ctx = Runner.context app in
-      (app, List.map (fun v -> (v, Runner.run ctx ?faults ?retry ~procs v)) versions))
+      (app, List.map (fun v -> (v, Runner.run ctx ?faults ?retry ?obs ~procs v)) versions))
     apps
 
 let base_of runs =
@@ -169,14 +169,14 @@ let fig_reliability ?faults matrix ppf =
 type sweep_point = { rate : float; runs : (Version.t * Runner.run) list }
 type sweep = { app : App.t; procs : int; seed : int; points : sweep_point list }
 
-let fault_sweep ?(seed = 42) ?(rates = [ 0.0; 0.001; 0.01; 0.05; 0.1 ]) ?classes ~procs
+let fault_sweep ?(seed = 42) ?(rates = [ 0.0; 0.001; 0.01; 0.05; 0.1 ]) ?classes ?obs ~procs
     ~versions app =
   let ctx = Runner.context app in
   let points =
     List.map
       (fun rate ->
         let faults = Dp_faults.Fault_model.make ?classes ~seed ~rate () in
-        { rate; runs = List.map (fun v -> (v, Runner.run ctx ~faults ~procs v)) versions })
+        { rate; runs = List.map (fun v -> (v, Runner.run ctx ~faults ?obs ~procs v)) versions })
       rates
   in
   { app; procs; seed; points }

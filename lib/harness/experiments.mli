@@ -10,6 +10,7 @@ val build_matrix :
   ?apps:App.t list ->
   ?faults:Dp_faults.Fault_model.t ->
   ?retry:Dp_disksim.Policy.retry_config ->
+  ?obs:bool ->
   procs:int ->
   versions:Version.t list ->
   unit ->
@@ -17,7 +18,9 @@ val build_matrix :
 (** Runs the full pipeline for every (app, version) pair.  Defaults to
     the six Table-2 applications.  [faults]/[retry] perturb every
     simulated run with the same deterministic injector configuration
-    (oracle rows stay fault-free — see {!Runner.run}). *)
+    (oracle rows stay fault-free — see {!Runner.run}).  [obs] attaches
+    per-run observability reports (see {!Runner.run}); the JSON
+    rendering then carries the histograms. *)
 
 val table1 : Format.formatter -> unit
 (** Default simulation parameters (the Table 1 reproduction). *)
@@ -55,12 +58,13 @@ val fault_sweep :
   ?seed:int ->
   ?rates:float list ->
   ?classes:Dp_faults.Fault_model.class_ list ->
+  ?obs:bool ->
   procs:int ->
   versions:Version.t list ->
   App.t ->
   sweep
 (** Defaults: seed 42, rates [0, 0.001, 0.01, 0.05, 0.1], all fault
-    classes. *)
+    classes.  [obs] as in {!build_matrix}. *)
 
 val fig_sweep : sweep -> Format.formatter -> unit
 (** Energy and degraded time per version at each rate of the ramp. *)

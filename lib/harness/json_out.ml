@@ -46,28 +46,61 @@ let rec pp ppf = function
 
 let to_string t = Format.asprintf "%a" pp t
 
+let of_histogram (h : Dp_obs.Metrics.histogram) =
+  Obj
+    [
+      ("edges", List (Array.to_list (Array.map (fun e -> Float e) h.Dp_obs.Metrics.edges)));
+      ("counts", List (Array.to_list (Array.map (fun c -> Int c) h.Dp_obs.Metrics.counts)));
+      ("count", Int h.Dp_obs.Metrics.n);
+      ("sum", Float h.Dp_obs.Metrics.sum);
+      ("max", Float h.Dp_obs.Metrics.vmax);
+    ]
+
+let of_disk_report (r : Dp_obs.Report.disk_report) =
+  Obj
+    [
+      ("disk", Int r.Dp_obs.Report.disk);
+      ("requests", Int r.Dp_obs.Report.requests);
+      ("busy_ms", Float r.Dp_obs.Report.busy_ms);
+      ("idle_ms", Float r.Dp_obs.Report.idle_ms);
+      ("standby_ms", Float r.Dp_obs.Report.standby_ms);
+      ("transition_ms", Float r.Dp_obs.Report.transition_ms);
+      ("energy_j", Float r.Dp_obs.Report.energy_j);
+      ("hints", Int r.Dp_obs.Report.hints);
+      ("faults", Int r.Dp_obs.Report.faults);
+      ("decisions", Int r.Dp_obs.Report.decisions);
+      ("idle_gaps", of_histogram r.Dp_obs.Report.idle_gap_ms);
+      ("response", of_histogram r.Dp_obs.Report.response_ms);
+      ("standby_residency", of_histogram r.Dp_obs.Report.standby_residency_ms);
+    ]
+
 let of_run (r : Runner.run) =
   let rel = Runner.reliability r in
   Obj
-    [
-      ("version", String (Version.name r.Runner.version));
-      ("procs", Int r.Runner.procs);
-      ("energy_j", Float r.Runner.result.Engine.energy_j);
-      ("io_time_ms", Float r.Runner.result.Engine.io_time_ms);
-      ("makespan_ms", Float r.Runner.result.Engine.makespan_ms);
-      ( "scheduler_rounds",
-        match r.Runner.scheduler_rounds with Some n -> Int n | None -> Null );
-      ( "reliability",
-        Obj
-          [
-            ("spin_downs", Int rel.Runner.spin_downs);
-            ("wear", Float rel.Runner.wear);
-            ("spin_up_retries", Int rel.Runner.spin_up_retries);
-            ("media_retries", Int rel.Runner.media_retries);
-            ("latency_spikes", Int rel.Runner.latency_spikes);
-            ("degraded_ms", Float rel.Runner.degraded_ms);
-          ] );
-    ]
+    ([
+       ("version", String (Version.name r.Runner.version));
+       ("procs", Int r.Runner.procs);
+       ("energy_j", Float r.Runner.result.Engine.energy_j);
+       ("io_time_ms", Float r.Runner.result.Engine.io_time_ms);
+       ("makespan_ms", Float r.Runner.result.Engine.makespan_ms);
+       ( "scheduler_rounds",
+         match r.Runner.scheduler_rounds with Some n -> Int n | None -> Null );
+       ( "reliability",
+         Obj
+           [
+             ("spin_downs", Int rel.Runner.spin_downs);
+             ("wear", Float rel.Runner.wear);
+             ("spin_up_retries", Int rel.Runner.spin_up_retries);
+             ("media_retries", Int rel.Runner.media_retries);
+             ("latency_spikes", Int rel.Runner.latency_spikes);
+             ("degraded_ms", Float rel.Runner.degraded_ms);
+           ] );
+     ]
+    @
+    match r.Runner.obs with
+    | None -> []
+    | Some reports ->
+        [ ("obs", List (List.map of_disk_report (Array.to_list reports))) ])
 
 let of_matrix (matrix : Experiments.matrix) =
   List

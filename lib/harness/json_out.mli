@@ -21,6 +21,12 @@ val of_matrix : Experiments.matrix -> t
     performance degradation. *)
 
 val of_run : Runner.run -> t
+(** Includes an ["obs"] field (per-disk totals and idle-gap /
+    response-time / standby-residency histograms) when the run carries
+    an observability report; the field is absent otherwise. *)
+
+val of_histogram : Dp_obs.Metrics.histogram -> t
+val of_disk_report : Dp_obs.Report.disk_report -> t
 
 val of_sweep : Experiments.sweep -> t
 (** The fault sweep as one object: app, seed, and per rate the runs

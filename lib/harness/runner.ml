@@ -23,6 +23,7 @@ type run = {
   result : Engine.result;
   summary : Generate.summary;
   scheduler_rounds : int option;
+  obs : Dp_obs.Report.disk_report array option;
 }
 
 (* Per-processor execution streams for a version. *)
@@ -99,11 +100,13 @@ let hints_for policy ~disks trace =
       Oracle.hints_of_trace ~space:Oracle.Drpm_space ~disks trace
   | _ -> []
 
-let run ctx ?faults ?retry ~procs version =
+let run ctx ?faults ?retry ?(obs = false) ~procs version =
   match Version.oracle_space version with
   | Some space ->
       (* Offline-optimal bound on the unmodified code: same trace as the
-         corresponding reactive row, energy replaced by the oracle DP. *)
+         corresponding reactive row, energy replaced by the oracle DP.
+         The oracle DP never runs the engine, so there is nothing to
+         observe — [obs] is ignored for these rows. *)
       let segs, _ = streams ctx ~procs Version.Base in
       let trace = Generate.trace ctx.layout ctx.app.App.program ctx.graph segs in
       let bound = Oracle.lower_bound ~space ~disks:ctx.layout.Layout.disk_count trace in
@@ -114,15 +117,34 @@ let run ctx ?faults ?retry ~procs version =
           energy_j = bound.Oracle.energy_j;
         }
       in
-      { version; procs; result; summary = Generate.summarize trace; scheduler_rounds = None }
+      {
+        version;
+        procs;
+        result;
+        summary = Generate.summarize trace;
+        scheduler_rounds = None;
+        obs = None;
+      }
   | None ->
       let segs, scheduler_rounds = streams ctx ~procs version in
       let trace = Generate.trace ctx.layout ctx.app.App.program ctx.graph segs in
       let policy = Version.policy version in
       let disks = ctx.layout.Layout.disk_count in
       let hints = if Version.restructured version then hints_for policy ~disks trace else [] in
-      let result = Engine.simulate ~hints ?faults ?retry ~disks policy trace in
-      { version; procs; result; summary = Generate.summarize trace; scheduler_rounds }
+      let sink =
+        if obs then
+          (* Room for every span/service/decision of the run: the engine
+             emits a handful of events per request plus per-gap decisions,
+             so scale with the trace. *)
+          Dp_obs.Sink.ring ~capacity:(max 4096 (64 * (List.length trace + 64))) ()
+        else Dp_obs.Sink.null
+      in
+      let result = Engine.simulate ~obs:sink ~hints ?faults ?retry ~disks policy trace in
+      let obs =
+        if obs then Some (Dp_obs.Report.of_events ~disks (Dp_obs.Sink.events sink))
+        else None
+      in
+      { version; procs; result; summary = Generate.summarize trace; scheduler_rounds; obs }
 
 (* Reliability aggregates over the disks of one run — the wear/retry
    columns of the fault figures. *)

@@ -25,12 +25,15 @@ type run = {
   result : Engine.result;
   summary : Generate.summary;
   scheduler_rounds : int option;  (** for restructured versions *)
+  obs : Dp_obs.Report.disk_report array option;
+      (** per-disk observability report when the run was observed *)
 }
 
 val run :
   ctx ->
   ?faults:Dp_faults.Fault_model.t ->
   ?retry:Dp_disksim.Policy.retry_config ->
+  ?obs:bool ->
   procs:int ->
   Version.t ->
   run
@@ -47,6 +50,13 @@ val run :
     {!Dp_disksim.Engine.simulate}).  The oracle rows stay fault-free:
     they are an idealized offline bound, so perturbing them would
     conflate the bound with injector noise.
+
+    [obs] (default false) attaches a ring sink sized to the trace and
+    distills the recorded events into the run's per-disk
+    {!Dp_obs.Report.disk_report}s (idle-gap / response-time /
+    standby-residency histograms).  The engine's numeric results are
+    unaffected.  Oracle rows never run the engine, so their [obs] is
+    [None] regardless.
     @raise Invalid_argument for a [T_*_m] version with [procs = 1] (the
     layout-aware scheme is only meaningful with several processors). *)
 

@@ -1,0 +1,89 @@
+let jfloat f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+(* Timestamps need absolute, not relative, precision: %.6g loses hundreds
+   of microseconds on a minutes-long run, which reads as gaps between
+   spans in the viewer.  Nanosecond-fixed notation keeps tracks
+   contiguous at any run length. *)
+let jts f = if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+
+let us_of_ms ms = ms *. 1000.0
+
+let trace_json ?until_ms events =
+  let clip stop = match until_ms with None -> stop | Some u -> Float.min stop u in
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  let add_event s =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b s
+  in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  (* One named track per disk. *)
+  let disks = List.fold_left (fun acc e -> max acc (Event.disk e + 1)) 0 events in
+  for d = 0 to disks - 1 do
+    add_event
+      (Printf.sprintf
+         "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":\"disk %d\"}}"
+         d d);
+    add_event
+      (Printf.sprintf
+         "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_sort_index\",\"args\":{\"sort_index\":%d}}"
+         d d)
+  done;
+  List.iter
+    (fun e ->
+      match e with
+      | Event.Power p ->
+          let stop = clip p.stop_ms in
+          if stop > p.start_ms then
+            add_event
+              (Printf.sprintf
+                 "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"cat\":\"power\",\"name\":\"%s\",\"args\":{\"energy_j\":%s%s}}"
+                 p.disk
+                 (jts (us_of_ms p.start_ms))
+                 (jts (us_of_ms (stop -. p.start_ms)))
+                 (Event.track_name p.state) (jfloat p.energy_j)
+                 (match p.state with
+                 | Event.Idle rpm -> Printf.sprintf ",\"rpm\":%d" rpm
+                 | _ -> ""))
+      | Event.Service s ->
+          (* Nested under the ACTIVE span on the same track, keeping the
+             request's identity (lba, size, response) inspectable. *)
+          if s.stop_ms > s.start_ms then
+            add_event
+              (Printf.sprintf
+                 "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"dur\":%s,\"cat\":\"io\",\"name\":\"request\",\"args\":{\"lba\":%d,\"bytes\":%d,\"response_ms\":%s}}"
+                 s.disk
+                 (jts (us_of_ms s.start_ms))
+                 (jts (us_of_ms (clip s.stop_ms -. s.start_ms)))
+                 s.lba s.bytes
+                 (jfloat (s.stop_ms -. s.arrival_ms)))
+      | Event.Hint_exec h ->
+          add_event
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"cat\":\"hint\",\"name\":\"hint:%s\"}"
+               h.disk
+               (jts (us_of_ms h.at_ms))
+               h.action)
+      | Event.Fault f ->
+          add_event
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"cat\":\"fault\",\"name\":\"fault:%s\",\"args\":{\"cost_ms\":%s}}"
+               f.disk
+               (jts (us_of_ms f.at_ms))
+               f.kind (jfloat f.cost_ms))
+      | Event.Decision d ->
+          add_event
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"cat\":\"decision\",\"name\":\"%s\"}"
+               d.disk
+               (jts (us_of_ms d.at_ms))
+               d.decision))
+    events;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write ?until_ms path events =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (trace_json ?until_ms events))

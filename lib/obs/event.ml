@@ -1,0 +1,88 @@
+type power_state = Active | Idle of int | Standby | Transition
+
+type t =
+  | Power of {
+      disk : int;
+      state : power_state;
+      start_ms : float;
+      stop_ms : float;
+      charge_ms : float;
+      energy_j : float;
+    }
+  | Service of {
+      disk : int;
+      arrival_ms : float;
+      start_ms : float;
+      stop_ms : float;
+      lba : int;
+      bytes : int;
+    }
+  | Hint_exec of { disk : int; at_ms : float; action : string }
+  | Fault of { disk : int; at_ms : float; kind : string; cost_ms : float }
+  | Decision of { disk : int; at_ms : float; decision : string }
+
+let disk = function
+  | Power { disk; _ } | Service { disk; _ } | Hint_exec { disk; _ } | Fault { disk; _ }
+  | Decision { disk; _ } ->
+      disk
+
+let time_ms = function
+  | Power { start_ms; _ } | Service { start_ms; _ } -> start_ms
+  | Hint_exec { at_ms; _ } | Fault { at_ms; _ } | Decision { at_ms; _ } -> at_ms
+
+let state_name = function
+  | Active -> "active"
+  | Idle _ -> "idle"
+  | Standby -> "standby"
+  | Transition -> "transition"
+
+let track_name = function
+  | Active -> "ACTIVE"
+  | Idle rpm -> Printf.sprintf "IDLE@%d" rpm
+  | Standby -> "STANDBY"
+  | Transition -> "TRANSITION"
+
+(* Self-contained JSON rendering (the library must not depend on the
+   harness): escaped strings, non-finite floats as null. *)
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let jfloat f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let to_json = function
+  | Power { disk; state; start_ms; stop_ms; charge_ms; energy_j } ->
+      let rpm = match state with Idle r -> Printf.sprintf ",\"rpm\":%d" r | _ -> "" in
+      Printf.sprintf
+        "{\"type\":\"power\",\"disk\":%d,\"state\":\"%s\"%s,\"start_ms\":%s,\"stop_ms\":%s,\"charge_ms\":%s,\"energy_j\":%s}"
+        disk (state_name state) rpm (jfloat start_ms) (jfloat stop_ms) (jfloat charge_ms)
+        (jfloat energy_j)
+  | Service { disk; arrival_ms; start_ms; stop_ms; lba; bytes } ->
+      Printf.sprintf
+        "{\"type\":\"service\",\"disk\":%d,\"arrival_ms\":%s,\"start_ms\":%s,\"stop_ms\":%s,\"response_ms\":%s,\"lba\":%d,\"bytes\":%d}"
+        disk (jfloat arrival_ms) (jfloat start_ms) (jfloat stop_ms)
+        (jfloat (stop_ms -. arrival_ms))
+        lba bytes
+  | Hint_exec { disk; at_ms; action } ->
+      Printf.sprintf "{\"type\":\"hint\",\"disk\":%d,\"at_ms\":%s,\"action\":\"%s\"}" disk
+        (jfloat at_ms) (escape action)
+  | Fault { disk; at_ms; kind; cost_ms } ->
+      Printf.sprintf
+        "{\"type\":\"fault\",\"disk\":%d,\"at_ms\":%s,\"kind\":\"%s\",\"cost_ms\":%s}" disk
+        (jfloat at_ms) (escape kind) (jfloat cost_ms)
+  | Decision { disk; at_ms; decision } ->
+      Printf.sprintf "{\"type\":\"decision\",\"disk\":%d,\"at_ms\":%s,\"decision\":\"%s\"}" disk
+        (jfloat at_ms) (escape decision)
+
+let pp ppf e = Format.pp_print_string ppf (to_json e)

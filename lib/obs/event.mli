@@ -1,0 +1,60 @@
+(** Typed observability events.
+
+    Everything the simulator can report about a run flows through this
+    one variant: power-state spans (the timeline), request service
+    spans, compiler-hint executions, injected-fault perturbations, and
+    policy decisions.  Events are cheap immutable records; whether any
+    are constructed at all is the {!Sink}'s business — the engine guards
+    every emission on {!Sink.enabled}, so a run with the null sink
+    allocates nothing here. *)
+
+type power_state =
+  | Active  (** servicing a request *)
+  | Idle of int  (** powered-up idle at an RPM *)
+  | Standby
+  | Transition  (** spin-up/down or speed change *)
+
+type t =
+  | Power of {
+      disk : int;
+      state : power_state;
+      start_ms : float;
+      stop_ms : float;  (** wall-clock span on the disk's timeline *)
+      charge_ms : float;
+          (** milliseconds charged to the state's statistic.  Equals
+              [stop_ms -. start_ms] except for a spin-down clipped by
+              the end of its gap (the engine charges only the clipped
+              share) and zero-length lump charges; summing [charge_ms]
+              per state reproduces the engine's per-disk stats exactly. *)
+      energy_j : float;  (** energy charged to this span *)
+    }
+  | Service of {
+      disk : int;
+      arrival_ms : float;
+      start_ms : float;  (** when the head started working (spikes included) *)
+      stop_ms : float;  (** completion; [stop_ms -. arrival_ms] is the response *)
+      lba : int;
+      bytes : int;
+    }
+  | Hint_exec of { disk : int; at_ms : float; action : string }
+      (** a compiler directive consumed by the engine *)
+  | Fault of { disk : int; at_ms : float; kind : string; cost_ms : float }
+      (** an injected perturbation and the time it cost *)
+  | Decision of { disk : int; at_ms : float; decision : string }
+      (** a policy choice (spin down, plan a dip, window upshift, ...) *)
+
+val disk : t -> int
+val time_ms : t -> float
+(** The event's primary timestamp (span start for spans). *)
+
+val state_name : power_state -> string
+(** "active" | "idle" | "standby" | "transition". *)
+
+val track_name : power_state -> string
+(** Display label: "ACTIVE", "IDLE@<rpm>", "STANDBY", "TRANSITION". *)
+
+val to_json : t -> string
+(** One self-contained JSON object (no trailing newline) — the JSONL
+    wire format.  Strings are escaped; non-finite floats become null. *)
+
+val pp : Format.formatter -> t -> unit

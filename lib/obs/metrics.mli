@@ -1,0 +1,65 @@
+(** A small metrics registry: counters, gauges, and histograms with
+    fixed log-spaced buckets.
+
+    Histograms are the workhorse — the per-disk idle-gap,
+    response-time and standby-residency distributions are all
+    instances.  Buckets are fixed at construction (no rebinning), so
+    [observe] is O(#buckets) worst case and allocation-free. *)
+
+type histogram = {
+  h_name : string;
+  edges : float array;
+      (** ascending upper bucket edges; one extra final bucket catches
+          values beyond the last edge *)
+  counts : int array;  (** length [Array.length edges + 1] *)
+  mutable sum : float;
+  mutable n : int;
+  mutable vmax : float;
+}
+
+val log_edges : ?per_decade:int -> lo:float -> hi:float -> unit -> float array
+(** Log-spaced edges from [lo] to [hi] inclusive, [per_decade] (default
+    1) edges per factor of 10.  [log_edges ~lo:1.0 ~hi:1e3 ()] is
+    [| 1.; 10.; 100.; 1000. |]. *)
+
+val histogram : ?edges:float array -> string -> histogram
+(** Default edges: [log_edges ~lo:1.0 ~hi:1e7 ~per_decade:1 ()] —
+    milliseconds from 1 ms to ~3 h. *)
+
+val observe : histogram -> float -> unit
+val mean : histogram -> float
+(** 0 when empty. *)
+
+val quantile : histogram -> float -> float
+(** Upper edge of the bucket holding quantile [q] (0..1) — a
+    bucket-resolution approximation; [vmax] for the overflow bucket.
+    0 when empty. *)
+
+val merge_into : dst:histogram -> histogram -> unit
+(** Accumulate [src] counts into [dst]; the edge arrays must be equal. *)
+
+val pp_histogram : Format.formatter -> histogram -> unit
+(** One line per non-empty bucket: range, count, share. *)
+
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable value : float }
+
+type registry
+(** A name-keyed collection of the three metric kinds.  Lookups create
+    on first use, so instrumentation sites need no setup order. *)
+
+val registry : unit -> registry
+val counter : registry -> string -> counter
+val incr : ?by:int -> counter -> unit
+val gauge : registry -> string -> gauge
+val set : gauge -> float -> unit
+val hist : ?edges:float array -> registry -> string -> histogram
+(** @raise Invalid_argument when the name is already registered as a
+    different metric kind. *)
+
+val counters : registry -> counter list
+val gauges : registry -> gauge list
+val histograms : registry -> histogram list
+(** Sorted by name. *)
+
+val pp : Format.formatter -> registry -> unit

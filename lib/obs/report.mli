@@ -1,0 +1,41 @@
+(** Per-disk analytics derived from a recorded event stream — the
+    paper's idle-time-distribution analysis as a first-class report.
+
+    Built from {!Sink.events} of a ring sink after a simulation:
+
+    - {b idle gaps}: contiguous non-servicing stretches (idle + standby
+      + transition time between two services) — the quantity every
+      power-management policy in the paper feeds on;
+    - {b response times}: per-request [completion - arrival];
+    - {b standby residencies}: lengths of contiguous standby stays —
+      how much of the spun-down time actually amortizes a spin-down.
+
+    All three are log-bucket {!Metrics.histogram}s, so the report is
+    bounded regardless of trace size. *)
+
+type disk_report = {
+  disk : int;
+  idle_gap_ms : Metrics.histogram;
+  response_ms : Metrics.histogram;
+  standby_residency_ms : Metrics.histogram;
+  mutable busy_ms : float;
+  mutable idle_ms : float;
+  mutable standby_ms : float;
+  mutable transition_ms : float;
+  mutable energy_j : float;
+  mutable requests : int;
+  mutable hints : int;
+  mutable faults : int;
+  mutable decisions : int;
+}
+
+val of_events : disks:int -> Event.t list -> disk_report array
+(** Events must be per-disk chronological (as emitted by the engine). *)
+
+val pp : Format.formatter -> disk_report array -> unit
+(** The [dpsim --obs gaps] report: per-disk totals and the three
+    histograms. *)
+
+val jsonl : disk_report array -> string
+(** One JSON object per disk per line (the gap-histogram JSONL
+    artifact). *)

@@ -1,0 +1,42 @@
+type ring = {
+  buf : Event.t array;
+  mutable len : int;  (* events held, <= capacity *)
+  mutable next : int;  (* write cursor *)
+  mutable dropped : int;
+}
+
+type t = Null | Ring of ring | Stream of (Event.t -> unit)
+
+let null = Null
+
+(* A throwaway event to initialize the circular buffer. *)
+let dummy =
+  Event.Power
+    { disk = 0; state = Event.Standby; start_ms = 0.0; stop_ms = 0.0; charge_ms = 0.0; energy_j = 0.0 }
+
+let ring ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Sink.ring: capacity must be >= 1";
+  Ring { buf = Array.make capacity dummy; len = 0; next = 0; dropped = 0 }
+
+let stream f = Stream f
+let enabled = function Null -> false | Ring _ | Stream _ -> true
+
+let emit t e =
+  match t with
+  | Null -> ()
+  | Stream f -> f e
+  | Ring r ->
+      let cap = Array.length r.buf in
+      r.buf.(r.next) <- e;
+      r.next <- (r.next + 1) mod cap;
+      if r.len < cap then r.len <- r.len + 1 else r.dropped <- r.dropped + 1
+
+let events = function
+  | Null | Stream _ -> []
+  | Ring r ->
+      let cap = Array.length r.buf in
+      let first = if r.len < cap then 0 else r.next in
+      List.init r.len (fun i -> r.buf.((first + i) mod cap))
+
+let length = function Null | Stream _ -> 0 | Ring r -> r.len
+let dropped = function Null | Stream _ -> 0 | Ring r -> r.dropped

@@ -1,0 +1,41 @@
+(** Event recorders.
+
+    The sink contract:
+
+    - {!null} is the default everywhere.  [enabled null = false], and
+      every producer must guard event {e construction} (not just
+      emission) on {!enabled} — with the null sink installed the
+      engine's hot loop allocates nothing for observability (the
+      [obs-overhead] bench section enforces this).
+    - {!ring} keeps the last [capacity] events in a fixed circular
+      buffer; older events are overwritten and counted in {!dropped}.
+      This is the in-memory recorder reports are built from.
+    - {!stream} hands every event to a callback as it happens — the
+      streaming JSONL writer is [stream (fun e -> output_string oc
+      (Event.to_json e ^ "\n"))].
+
+    Sinks are single-threaded, like the simulator. *)
+
+type t
+
+val null : t
+val ring : ?capacity:int -> unit -> t
+(** A bounded circular recorder (default capacity 65536 events). *)
+
+val stream : (Event.t -> unit) -> t
+
+val enabled : t -> bool
+(** [false] only for {!null}.  Producers must not construct an event
+    when this is [false]. *)
+
+val emit : t -> Event.t -> unit
+(** No-op on {!null}. *)
+
+val events : t -> Event.t list
+(** Recorded events, oldest first.  Empty for {!null} and {!stream}. *)
+
+val length : t -> int
+(** Events currently held (ring) — 0 for null/stream. *)
+
+val dropped : t -> int
+(** Events overwritten because the ring was full. *)

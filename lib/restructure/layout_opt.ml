@@ -65,6 +65,7 @@ let cost ?(sample = 20_000) (prog : Ir.program) (g : Concrete.graph) ~stripings 
 
 let optimize ?(rows_options = [ 1; 2; 4 ]) ?(sample = 20_000) ?(sweeps = 2) ~factor
     ~initial (prog : Ir.program) (g : Concrete.graph) =
+  Dp_obs.Prof.span "restructure.layout-unification" @@ fun () ->
   List.iter
     (fun (a : Ir.array_decl) ->
       if not (List.mem_assoc a.Ir.name initial) then

@@ -17,6 +17,7 @@ type schedule = { order : int array; rounds : int; visits : (int * int) list }
    second round even though its predecessor 6 ran in the first). *)
 
 let schedule_subset ?policy ?(start_disk = 0) layout prog (g : Concrete.graph) ~member =
+  Dp_obs.Prof.span "restructure.reuse-schedule" @@ fun () ->
   let n = Concrete.instance_count g in
   let table = Cluster.build_table ?policy layout prog g in
   let disk_count =
@@ -106,6 +107,7 @@ let schedule_subset ?policy ?(start_disk = 0) layout prog (g : Concrete.graph) ~
       if !in_visit > 0 then visits := (d, !in_visit) :: !visits
     done
   done;
+  Dp_obs.Prof.count "restructure.reuse-schedule" !rounds;
   { order; rounds = !rounds; visits = List.rev !visits }
 
 let schedule ?policy ?start_disk layout prog g =

@@ -13,6 +13,7 @@ let nest_table (prog : Ir.program) =
 
 let trace ?(cost = Cost_model.default) layout (prog : Ir.program) (g : Concrete.graph)
     per_proc =
+  Dp_obs.Prof.span "trace.generate" @@ fun () ->
   let n_proc = Array.length per_proc in
   if n_proc = 0 then invalid_arg "Generate.trace: no processors";
   let n_segments = List.length per_proc.(0) in

@@ -5,6 +5,11 @@ type t = { at_ms : float; disk : int; action : action }
 let compare_at a b =
   match Float.compare a.at_ms b.at_ms with 0 -> compare a.disk b.disk | c -> c
 
+let action_name = function
+  | Spin_down -> "spin-down"
+  | Pre_spin_up lead -> Printf.sprintf "pre-spin-up(%g ms)" lead
+  | Set_rpm rpm -> Printf.sprintf "set-rpm(%d)" rpm
+
 let pp ppf h =
   match h.action with
   | Spin_down -> Format.fprintf ppf "H %.3f %d D" h.at_ms h.disk

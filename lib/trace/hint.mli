@@ -30,6 +30,10 @@ type t = {
 val compare_at : t -> t -> int
 (** Order by nominal time, ties by disk. *)
 
+val action_name : action -> string
+(** Short human label: ["spin-down"], ["pre-spin-up(<lead> ms)"],
+    ["set-rpm(<rpm>)"] — used by observability events. *)
+
 val pp : Format.formatter -> t -> unit
 (** One trace-file line: [H at_ms disk D], [H at_ms disk U lead_ms] or
     [H at_ms disk S rpm]. *)

@@ -84,6 +84,91 @@ let test_dpsim_runs () =
       check Alcotest.bool "reports the fault window" true (contains ~needle:"faults seed 7" out);
       check Alcotest.bool "reports wear" true (contains ~needle:"start-stop budget" out))
 
+let test_version_flags () =
+  List.iter
+    (fun bin ->
+      let code, out, _ = run [ bin; "--version" ] in
+      check Alcotest.int (bin ^ " --version exits 0") 0 code;
+      check Alcotest.string (bin ^ " version string") "1.0.0" (String.trim out))
+    [ dpsim; dpcc ]
+
+let test_dpcc_unknown_command () =
+  let code, _, err = run [ dpcc; "frobnicate" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "names the offender" true (contains ~needle:"frobnicate" err);
+  (* The full command list, not just a one-liner. *)
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "usage lists %s" needle) true
+        (contains ~needle err))
+    [ "Commands:"; "show"; "restructure"; "trace"; "simulate"; "report"; "fault-sweep" ]
+
+let test_dpsim_obs_gaps () =
+  with_trace_file "1.0 2.0 0 0 0 65536 R 0 0\n70000.0 60000.0 0 0 1073741824 65536 R 0 0\n"
+    (fun path ->
+      let out_path = Filename.temp_file "dpower" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove out_path)
+        (fun () ->
+          let code, out, _ =
+            run [ dpsim; path; out_path; "--policy"; "tpm"; "--disks"; "1"; "--obs"; "gaps" ]
+          in
+          check Alcotest.int "exit code" 0 code;
+          check Alcotest.bool "prints the policy" true (contains ~needle:"policy: TPM" out);
+          check Alcotest.bool "per-disk report" true (contains ~needle:"disk 0:" out);
+          check Alcotest.bool "gap histogram" true (contains ~needle:"idle gaps (ms)" out);
+          check Alcotest.bool "standby residency" true
+            (contains ~needle:"standby residencies" out);
+          let jsonl = slurp out_path in
+          check Alcotest.bool "JSONL artifact written" true
+            (contains ~needle:"\"idle_gaps\":{\"edges\":" jsonl)))
+
+let test_dpsim_obs_trace () =
+  with_trace_file "1.0 2.0 0 0 0 65536 R 0 0\n70000.0 60000.0 0 0 1073741824 65536 R 0 0\n"
+    (fun path ->
+      let out_path = Filename.temp_file "dpower" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove out_path)
+        (fun () ->
+          let code, out, _ =
+            run [ dpsim; path; out_path; "--policy"; "tpm"; "--disks"; "1"; "--obs"; "trace" ]
+          in
+          check Alcotest.int "exit code" 0 code;
+          check Alcotest.bool "announces the artifact" true
+            (contains ~needle:"Chrome trace written" out);
+          let json = slurp out_path in
+          List.iter
+            (fun needle ->
+              check Alcotest.bool (Printf.sprintf "trace has %s" needle) true
+                (contains ~needle json))
+            [
+              "\"displayTimeUnit\":\"ms\"";
+              "{\"name\":\"disk 0\"}";
+              "\"name\":\"STANDBY\"";
+              "\"cat\":\"io\"";
+            ]))
+
+let test_dpsim_obs_bad_mode () =
+  with_trace_file "1.0 2.0 0 0 0 65536 R 0 0\n" (fun path ->
+      let code, _, err = run [ dpsim; path; "--obs"; "nope" ] in
+      check Alcotest.int "exit code" 2 code;
+      check Alcotest.bool "names the mode" true (contains ~needle:"nope" err))
+
+let test_dpsim_obs_oracle_rejected () =
+  with_trace_file "1.0 2.0 0 0 0 65536 R 0 0\n" (fun path ->
+      let code, _, err = run [ dpsim; path; "--policy"; "oracle"; "--obs"; "gaps" ] in
+      check Alcotest.int "exit code" 2 code;
+      check Alcotest.bool "explains why" true (contains ~needle:"analytic bound" err))
+
+let test_dpcc_profile () =
+  let code, _, err = run [ dpcc; "restructure"; "app:Cholesky"; "--profile" ] in
+  check Alcotest.int "exit code" 0 code;
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "profile table has %s" needle) true
+        (contains ~needle err))
+    [ "pass"; "total (ms)"; "dependence.concrete-build"; "restructure.reuse-schedule" ]
+
 let test_dpcc_unknown_flag () =
   let code, _, err = run [ dpcc; "simulate"; "--no-such-flag"; "app:AST" ] in
   check Alcotest.int "exit code" 2 code;
@@ -116,6 +201,13 @@ let suites =
         Alcotest.test_case "dpsim bad --faults" `Quick test_dpsim_bad_faults_spec;
         Alcotest.test_case "dpsim usage" `Quick test_dpsim_usage;
         Alcotest.test_case "dpsim faulted run" `Quick test_dpsim_runs;
+        Alcotest.test_case "version flags" `Quick test_version_flags;
+        Alcotest.test_case "dpcc unknown command" `Quick test_dpcc_unknown_command;
+        Alcotest.test_case "dpsim --obs gaps" `Quick test_dpsim_obs_gaps;
+        Alcotest.test_case "dpsim --obs trace" `Quick test_dpsim_obs_trace;
+        Alcotest.test_case "dpsim bad --obs mode" `Quick test_dpsim_obs_bad_mode;
+        Alcotest.test_case "dpsim --obs with oracle" `Quick test_dpsim_obs_oracle_rejected;
+        Alcotest.test_case "dpcc --profile" `Quick test_dpcc_profile;
         Alcotest.test_case "dpcc unknown flag" `Quick test_dpcc_unknown_flag;
         Alcotest.test_case "dpcc malformed source" `Quick test_dpcc_malformed_source;
         Alcotest.test_case "dpcc fault-sweep usage" `Quick test_dpcc_usage;

@@ -450,6 +450,49 @@ let test_rate_zero_with_hints () =
         = Engine.simulate ~record_timeline:true ~hints ~faults ~disks:1 policy reqs))
     [ Policy.tpm ~proactive:true (); Policy.drpm ~proactive:true () ]
 
+(* --- observability: the event stream is exact --- *)
+
+module Obs_event = Dp_obs.Event
+module Sink = Dp_obs.Sink
+
+let prop_events_reproduce_stats =
+  (* Summing the Power events' charges per state reproduces the engine's
+     per-disk accounting with exact float equality: emission follows the
+     stat updates operation for operation, so the same additions happen
+     in the same order.  Service/energy events agree likewise. *)
+  qtest ~count:40 "Engine: obs event charges sum to the per-disk stats exactly" faulted_gen
+    (fun (reqs, seed, rate) ->
+      let faults = Fault_model.make ~seed ~rate () in
+      List.for_all
+        (fun policy ->
+          let sink = Sink.ring ~capacity:(1 lsl 20) () in
+          let r = Engine.simulate ~obs:sink ~faults ~disks:3 policy reqs in
+          let events = Sink.events sink in
+          Sink.dropped sink = 0
+          && Array.for_all
+               (fun (d : Engine.disk_stats) ->
+                 let busy = ref 0.0 and idle = ref 0.0 and standby = ref 0.0 in
+                 let trans = ref 0.0 and energy = ref 0.0 and served = ref 0 in
+                 List.iter
+                   (function
+                     | Obs_event.Power p when p.disk = d.Engine.disk -> (
+                         energy := !energy +. p.energy_j;
+                         match p.state with
+                         | Obs_event.Active -> busy := !busy +. p.charge_ms
+                         | Obs_event.Idle _ -> idle := !idle +. p.charge_ms
+                         | Obs_event.Standby -> standby := !standby +. p.charge_ms
+                         | Obs_event.Transition -> trans := !trans +. p.charge_ms)
+                     | Obs_event.Service s when s.disk = d.Engine.disk -> incr served
+                     | _ -> ())
+                   events;
+                 !busy = d.Engine.busy_ms && !idle = d.Engine.idle_ms
+                 && !standby = d.Engine.standby_ms
+                 && !trans = d.Engine.transition_ms
+                 && !energy = d.Engine.energy_j
+                 && !served = d.Engine.requests)
+               r.Engine.per_disk)
+        all_policies)
+
 let test_wear_fraction () =
   let reqs = [ req ~think:10.0 (); req ~think:60_000.0 ~lba:(1 lsl 30) () ] in
   let r = Engine.simulate ~disks:1 Policy.default_tpm reqs in
@@ -529,4 +572,5 @@ let suites =
         Alcotest.test_case "wear fraction" `Quick test_wear_fraction;
         Alcotest.test_case "retry config" `Quick test_backoff_bounded;
       ] );
+    ("disksim.obs", [ prop_events_reproduce_stats ]);
   ]

@@ -324,6 +324,222 @@ let test_json_out () =
          m = 0 || go 0))
     [ "\"app\""; "\"mini\""; "normalized_energy"; "DRPM"; "io_time_ms" ]
 
+(* A tiny JSON reader — just enough grammar for Json_out's own output,
+   so the serializer can be checked by parsing what it prints. *)
+let parse_json s =
+  let module J = Dp_harness.Json_out in
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = Alcotest.fail (Printf.sprintf "json parse: %s at %d" msg !pos) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else fail lit
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' ->
+          incr pos;
+          Buffer.contents b
+      | '\\' ->
+          incr pos;
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              Buffer.add_char b (Char.chr (int_of_string ("0x" ^ String.sub s (!pos + 1) 4)));
+              pos := !pos + 4
+          | c -> fail (Printf.sprintf "escape \\%c" c));
+          incr pos;
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      && match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      incr pos
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match int_of_string_opt tok with
+    | Some i -> J.Int i
+    | None -> J.Float (float_of_string tok)
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          J.Obj []
+        end
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                J.Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "object"
+          in
+          fields []
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          J.List []
+        end
+        else
+          let rec elems acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                elems (v :: acc)
+            | Some ']' ->
+                incr pos;
+                J.List (List.rev (v :: acc))
+            | _ -> fail "array"
+          in
+          elems []
+    | Some '"' -> J.String (string_lit ())
+    | Some 'n' -> literal "null" J.Null
+    | Some 't' -> literal "true" (J.Bool true)
+    | Some 'f' -> literal "false" (J.Bool false)
+    | Some _ -> number ()
+    | None -> fail "eof"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing input";
+  v
+
+let test_json_escaping_roundtrip () =
+  let module J = Dp_harness.Json_out in
+  let tricky =
+    J.Obj
+      [
+        ("we\"ird\nkey", J.String "tab\there, quote\", slash\\, bell\007");
+        ("nan", J.Float Float.nan);
+        ("inf", J.Float Float.infinity);
+        ("empty", J.List []);
+      ]
+  in
+  match parse_json (J.to_string tricky) with
+  | J.Obj [ (k, J.String v); ("nan", J.Null); ("inf", J.Null); ("empty", J.List []) ] ->
+      check Alcotest.string "key unescaped" "we\"ird\nkey" k;
+      check Alcotest.string "value unescaped" "tab\there, quote\", slash\\, bell\007" v
+  | _ -> Alcotest.fail "tricky object did not round-trip"
+
+let test_json_obs_roundtrip () =
+  let module J = Dp_harness.Json_out in
+  let matrix =
+    Experiments.build_matrix ~apps:[ mini_app () ] ~procs:1 ~obs:true
+      ~versions:[ Version.Base; Version.Tpm ] ()
+  in
+  let json = J.to_string (J.of_matrix matrix) in
+  let parsed = parse_json json in
+  (* The printer is stable over its own parse: nothing is lost. *)
+  check Alcotest.string "print/parse/print fixed point" json (J.to_string parsed);
+  let field k = function
+    | J.Obj fields -> (
+        match List.assoc_opt k fields with
+        | Some v -> v
+        | None -> Alcotest.fail (Printf.sprintf "missing field %S" k))
+    | _ -> Alcotest.fail (Printf.sprintf "expected object around %S" k)
+  in
+  let runs =
+    match parsed with
+    | J.List (app :: _) -> ( match field "runs" app with J.List rs -> rs | _ -> [])
+    | _ -> Alcotest.fail "expected app list"
+  in
+  check Alcotest.int "both runs serialized" 2 (List.length runs);
+  (* Parsed obs blocks agree with the in-memory reports. *)
+  let in_memory =
+    match matrix with
+    | [ (_, runs) ] -> List.map (fun (_, (r : Runner.run)) -> Option.get r.Runner.obs) runs
+    | _ -> Alcotest.fail "one-app matrix expected"
+  in
+  List.iter2
+    (fun run reports ->
+      match field "obs" run with
+      | J.List parsed_reports ->
+          check Alcotest.int "one entry per disk" (Array.length reports)
+            (List.length parsed_reports);
+          List.iteri
+            (fun d rep ->
+              check Alcotest.bool "disk index" true (field "disk" rep = J.Int d);
+              check Alcotest.bool "request count survives" true
+                (field "requests" rep = J.Int reports.(d).Dp_obs.Report.requests);
+              match field "idle_gaps" rep with
+              | J.Obj _ as h ->
+                  let counts =
+                    match field "counts" h with
+                    | J.List cs ->
+                        List.fold_left
+                          (fun acc c -> match c with J.Int i -> acc + i | _ -> acc)
+                          0 cs
+                    | _ -> -1
+                  in
+                  check Alcotest.bool "histogram counts sum to n" true
+                    (field "count" h = J.Int counts)
+              | _ -> Alcotest.fail "idle_gaps histogram missing")
+            parsed_reports
+      | _ -> Alcotest.fail "run lacks an obs block")
+    runs in_memory;
+  (* Without obs the field is absent, keeping old consumers untouched. *)
+  let plain =
+    Experiments.build_matrix ~apps:[ mini_app () ] ~procs:1 ~versions:[ Version.Base ] ()
+  in
+  match parse_json (J.to_string (J.of_matrix plain)) with
+  | J.List [ app ] -> (
+      match field "runs" app with
+      | J.List [ J.Obj fields ] ->
+          check Alcotest.bool "no obs field by default" true
+            (List.assoc_opt "obs" fields = None)
+      | _ -> Alcotest.fail "expected one run")
+  | _ -> Alcotest.fail "expected one app"
+
 let suites =
   [
     ( "harness",
@@ -335,6 +551,8 @@ let suites =
         Alcotest.test_case "oracle rows" `Quick test_oracle_rows;
         Alcotest.test_case "tabulate" `Quick test_tabulate;
         Alcotest.test_case "json output" `Quick test_json_out;
+        Alcotest.test_case "json escaping round-trip" `Quick test_json_escaping_roundtrip;
+        Alcotest.test_case "json obs round-trip" `Quick test_json_obs_roundtrip;
         Alcotest.test_case "rate-0 matrix unchanged" `Quick test_rate_zero_matrix_unchanged;
         Alcotest.test_case "reliability aggregate" `Quick test_reliability_aggregate;
         Alcotest.test_case "fault sweep deterministic" `Quick test_fault_sweep_deterministic;

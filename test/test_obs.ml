@@ -1,0 +1,340 @@
+(* Tests for the observability subsystem: sinks, metrics, reports,
+   exporters, and the pass profiler. *)
+
+module Sink = Dp_obs.Sink
+module Event = Dp_obs.Event
+module Metrics = Dp_obs.Metrics
+module Report = Dp_obs.Report
+module Chrome = Dp_obs.Chrome
+module Prof = Dp_obs.Prof
+module Engine = Dp_disksim.Engine
+module Policy = Dp_disksim.Policy
+module Request = Dp_trace.Request
+module Ir = Dp_ir.Ir
+
+let check = Alcotest.check
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let decision d at s = Event.Decision { disk = d; at_ms = at; decision = s }
+
+let power ?(disk = 0) ?(energy = 0.0) state start stop =
+  Event.Power
+    { disk; state; start_ms = start; stop_ms = stop; charge_ms = stop -. start; energy_j = energy }
+
+let service ?(disk = 0) ?(lba = 0) ~arrival ~start ~stop () =
+  Event.Service { disk; arrival_ms = arrival; start_ms = start; stop_ms = stop; lba; bytes = 65536 }
+
+(* --- sinks --- *)
+
+let test_null_sink () =
+  check Alcotest.bool "disabled" false (Sink.enabled Sink.null);
+  Sink.emit Sink.null (decision 0 0.0 "x");
+  check Alcotest.int "no events" 0 (List.length (Sink.events Sink.null));
+  check Alcotest.int "no length" 0 (Sink.length Sink.null);
+  check Alcotest.int "no drops" 0 (Sink.dropped Sink.null)
+
+let test_ring_sink () =
+  let s = Sink.ring ~capacity:4 () in
+  check Alcotest.bool "enabled" true (Sink.enabled s);
+  for i = 1 to 3 do
+    Sink.emit s (decision 0 (float_of_int i) "d")
+  done;
+  check Alcotest.int "holds three" 3 (Sink.length s);
+  check Alcotest.int "nothing dropped" 0 (Sink.dropped s);
+  check
+    Alcotest.(list (float 0.0))
+    "oldest first" [ 1.0; 2.0; 3.0 ]
+    (List.map Event.time_ms (Sink.events s));
+  for i = 4 to 7 do
+    Sink.emit s (decision 0 (float_of_int i) "d")
+  done;
+  check Alcotest.int "capped at capacity" 4 (Sink.length s);
+  check Alcotest.int "three dropped" 3 (Sink.dropped s);
+  check
+    Alcotest.(list (float 0.0))
+    "window slid" [ 4.0; 5.0; 6.0; 7.0 ]
+    (List.map Event.time_ms (Sink.events s));
+  match Sink.ring ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected"
+
+let test_stream_sink () =
+  let seen = ref [] in
+  let s = Sink.stream (fun e -> seen := Event.time_ms e :: !seen) in
+  check Alcotest.bool "enabled" true (Sink.enabled s);
+  Sink.emit s (decision 0 1.0 "a");
+  Sink.emit s (decision 0 2.0 "b");
+  check Alcotest.(list (float 0.0)) "callback saw both" [ 2.0; 1.0 ] !seen;
+  check Alcotest.int "retains nothing" 0 (List.length (Sink.events s))
+
+(* --- metrics --- *)
+
+let test_log_edges () =
+  let e = Metrics.log_edges ~lo:1.0 ~hi:1e3 () in
+  check Alcotest.int "4 edges" 4 (Array.length e);
+  Array.iteri
+    (fun i v -> check (Alcotest.float 1e-9) "decade edge" (10.0 ** float_of_int i) v)
+    e;
+  check Alcotest.int "per_decade 2 doubles them"
+    7
+    (Array.length (Metrics.log_edges ~per_decade:2 ~lo:1.0 ~hi:1e3 ()))
+
+let test_histogram_observe () =
+  let h = Metrics.histogram ~edges:[| 1.0; 10.0; 100.0 |] "t" in
+  List.iter (Metrics.observe h) [ 0.5; 5.0; 5.0; 50.0; 5000.0 ];
+  check Alcotest.(list int) "bucketed" [ 1; 2; 1; 1 ] (Array.to_list h.Metrics.counts);
+  check Alcotest.int "n" 5 h.Metrics.n;
+  check (Alcotest.float 1e-9) "sum" 5060.5 h.Metrics.sum;
+  check (Alcotest.float 1e-9) "max" 5000.0 h.Metrics.vmax;
+  check (Alcotest.float 1e-9) "mean" (5060.5 /. 5.0) (Metrics.mean h);
+  (* Quantiles resolve to bucket upper edges (vmax for overflow). *)
+  check (Alcotest.float 1e-9) "median" 10.0 (Metrics.quantile h 0.5);
+  check (Alcotest.float 1e-9) "q=1" 5000.0 (Metrics.quantile h 1.0);
+  let h2 = Metrics.histogram ~edges:[| 1.0; 10.0; 100.0 |] "t2" in
+  Metrics.observe h2 5.0;
+  Metrics.merge_into ~dst:h2 h;
+  check Alcotest.int "merged n" 6 h2.Metrics.n;
+  check Alcotest.(list int) "merged counts" [ 1; 3; 1; 1 ] (Array.to_list h2.Metrics.counts)
+
+let test_registry () =
+  let r = Metrics.registry () in
+  let c = Metrics.counter r "events" in
+  Metrics.incr c;
+  Metrics.incr ~by:4 c;
+  check Alcotest.int "counted" 5 c.Metrics.count;
+  check Alcotest.bool "create-on-first-use returns same" true
+    (Metrics.counter r "events" == c);
+  let g = Metrics.gauge r "depth" in
+  Metrics.set g 3.5;
+  check (Alcotest.float 0.0) "gauge set" 3.5 g.Metrics.value;
+  ignore (Metrics.hist r "gaps");
+  check Alcotest.int "one of each" 1 (List.length (Metrics.counters r));
+  check Alcotest.int "one gauge" 1 (List.length (Metrics.gauges r));
+  check Alcotest.int "one hist" 1 (List.length (Metrics.histograms r));
+  match Metrics.gauge r "events" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash must be rejected"
+
+(* --- events: JSON wire format --- *)
+
+let test_event_json_escaping () =
+  let j = Event.to_json (decision 2 1.5 "a\"b\\c\nd") in
+  check Alcotest.bool "quote escaped" true
+    (contains ~needle:{|a\"b\\c\nd|} j);
+  check Alcotest.bool "no raw newline" false (String.contains j '\n');
+  let j2 = Event.to_json (Event.Fault { disk = 0; at_ms = 1.0; kind = "x"; cost_ms = Float.nan }) in
+  check Alcotest.bool "NaN becomes null" true
+    (contains ~needle:"\"cost_ms\":null" j2)
+
+let test_event_accessors () =
+  check Alcotest.int "disk" 3 (Event.disk (service ~disk:3 ~arrival:1.0 ~start:2.0 ~stop:3.0 ()));
+  check (Alcotest.float 0.0) "span start is the timestamp" 2.0
+    (Event.time_ms (power Event.Standby 2.0 9.0));
+  check Alcotest.string "track label" "IDLE@6000" (Event.track_name (Event.Idle 6000));
+  check Alcotest.string "state name" "standby" (Event.state_name Event.Standby)
+
+(* --- report --- *)
+
+let test_report_of_events () =
+  (* Hand-built disk-0 story: serve 10 ms, idle 1000 ms, standby 500 ms
+     (entered via a 10 ms transition), spin up 20 ms, serve again. *)
+  let events =
+    [
+      power Event.Active ~energy:0.135 0.0 10.0;
+      service ~arrival:0.0 ~start:0.0 ~stop:10.0 ();
+      power (Event.Idle 15000) ~energy:10.2 10.0 1010.0;
+      power Event.Transition 1010.0 1020.0;
+      power Event.Standby 1020.0 1520.0;
+      power Event.Transition 1520.0 1540.0;
+      power Event.Active ~energy:0.135 1540.0 1550.0;
+      service ~arrival:1535.0 ~start:1540.0 ~stop:1550.0 ();
+      Event.Hint_exec { disk = 0; at_ms = 1520.0; action = "pre-spin-up" };
+      Event.Fault { disk = 0; at_ms = 1540.0; kind = "latency-spike"; cost_ms = 1.0 };
+      decision 0 1010.0 "tpm:threshold-spin-down";
+    ]
+  in
+  let r = (Report.of_events ~disks:1 events).(0) in
+  check Alcotest.int "requests" 2 r.Report.requests;
+  check (Alcotest.float 1e-9) "busy" 20.0 r.Report.busy_ms;
+  check (Alcotest.float 1e-9) "idle" 1000.0 r.Report.idle_ms;
+  check (Alcotest.float 1e-9) "standby" 500.0 r.Report.standby_ms;
+  check (Alcotest.float 1e-9) "transition" 30.0 r.Report.transition_ms;
+  check (Alcotest.float 1e-9) "energy" (10.2 +. 0.27) r.Report.energy_j;
+  check Alcotest.int "hints" 1 r.Report.hints;
+  check Alcotest.int "faults" 1 r.Report.faults;
+  check Alcotest.int "decisions" 1 r.Report.decisions;
+  (* One gap: idle at 10 through the spin-up's end at 1540. *)
+  check Alcotest.int "one idle gap" 1 r.Report.idle_gap_ms.Metrics.n;
+  check (Alcotest.float 1e-9) "gap length" 1530.0 r.Report.idle_gap_ms.Metrics.sum;
+  check Alcotest.int "one standby stay" 1 r.Report.standby_residency_ms.Metrics.n;
+  check (Alcotest.float 1e-9) "residency" 500.0 r.Report.standby_residency_ms.Metrics.sum;
+  (* Responses: 10 and 15 ms (second waited 5 ms for the spin-up). *)
+  check Alcotest.int "responses" 2 r.Report.response_ms.Metrics.n;
+  check (Alcotest.float 1e-9) "response sum" 25.0 r.Report.response_ms.Metrics.sum
+
+let test_report_jsonl () =
+  let events = [ power Event.Active 0.0 10.0; service ~arrival:0.0 ~start:0.0 ~stop:10.0 () ] in
+  let lines =
+    String.split_on_char '\n' (String.trim (Report.jsonl (Report.of_events ~disks:2 events)))
+  in
+  check Alcotest.int "one line per disk" 2 (List.length lines);
+  check Alcotest.bool "has histograms" true
+    (contains ~needle:"\"idle_gaps\":{\"edges\":" (List.hd lines))
+
+(* --- engine integration and the Chrome exporter --- *)
+
+let req ?(proc = 0) ?(disk = 0) ?(lba = 0) ~think () =
+  {
+    Request.arrival_ms = 0.0;
+    think_ms = think;
+    seg = 0;
+    address = lba;
+    lba;
+    size = 64 * 1024;
+    mode = Ir.Read;
+    proc;
+    disk;
+  }
+
+let sim_events policy reqs =
+  let sink = Sink.ring ~capacity:65536 () in
+  let r = Engine.simulate ~obs:sink ~disks:2 policy reqs in
+  (r, Sink.events sink)
+
+let test_engine_emits () =
+  let reqs =
+    [ req ~think:10.0 (); req ~think:60_000.0 ~lba:(1 lsl 30) (); req ~disk:1 ~think:20.0 () ]
+  in
+  let r, events = sim_events Policy.default_tpm reqs in
+  let reports = Report.of_events ~disks:2 events in
+  check Alcotest.int "disk 0 served" 2 reports.(0).Report.requests;
+  check Alcotest.int "disk 1 served" 1 reports.(1).Report.requests;
+  check Alcotest.bool "spin-down decision recorded" true
+    (List.exists
+       (function Event.Decision d -> d.decision = "tpm:threshold-spin-down" | _ -> false)
+       events);
+  (* The report's totals agree with the engine's stats. *)
+  Array.iter
+    (fun (d : Engine.disk_stats) ->
+      let rep = reports.(d.Engine.disk) in
+      check (Alcotest.float 1e-6) "busy agrees" d.Engine.busy_ms rep.Report.busy_ms;
+      check (Alcotest.float 1e-6) "standby agrees" d.Engine.standby_ms rep.Report.standby_ms;
+      check (Alcotest.float 1e-6) "energy agrees" d.Engine.energy_j rep.Report.energy_j)
+    r.Engine.per_disk
+
+let test_chrome_contiguous () =
+  let reqs = [ req ~think:10.0 (); req ~think:60_000.0 ~lba:(1 lsl 30) (); req ~disk:1 ~think:20.0 () ] in
+  let r, events = sim_events Policy.default_tpm reqs in
+  let make = r.Engine.makespan_ms in
+  (* Per-track power spans, clipped as the exporter clips them, must
+     tile [0, makespan] exactly. *)
+  for d = 0 to 1 do
+    let spans =
+      List.filter_map
+        (function
+          | Event.Power p when p.disk = d && Float.min p.stop_ms make > p.start_ms ->
+              Some (p.start_ms, Float.min p.stop_ms make)
+          | _ -> None)
+        events
+    in
+    check Alcotest.bool "has spans" true (spans <> []);
+    let rec walk at = function
+      | [] -> check (Alcotest.float 1e-6) "covers makespan" make at
+      | (start, stop) :: rest ->
+          check (Alcotest.float 1e-6) "contiguous" at start;
+          walk stop rest
+    in
+    walk 0.0 spans
+  done;
+  let json = Chrome.trace_json ~until_ms:make events in
+  check Alcotest.bool "metadata track 0" true
+    (contains ~needle:"{\"name\":\"disk 0\"}" json);
+  check Alcotest.bool "metadata track 1" true
+    (contains ~needle:"{\"name\":\"disk 1\"}" json);
+  check Alcotest.bool "standby span present" true
+    (contains ~needle:"\"name\":\"STANDBY\"" json);
+  check Alcotest.bool "io spans present" true
+    (contains ~needle:"\"cat\":\"io\"" json);
+  check Alcotest.bool "no NaN leaks" false (contains ~needle:"nan" json)
+
+let test_no_obs_identical () =
+  (* The default sink is null: passing it explicitly is the same run. *)
+  let reqs = [ req ~think:10.0 (); req ~think:60_000.0 ~lba:(1 lsl 30) () ] in
+  List.iter
+    (fun policy ->
+      check Alcotest.bool (Policy.name policy ^ " unchanged by explicit null") true
+        (Engine.simulate ~disks:2 policy reqs
+        = Engine.simulate ~obs:Sink.null ~disks:2 policy reqs))
+    [ Policy.No_pm; Policy.default_tpm; Policy.default_drpm ]
+
+(* --- profiler --- *)
+
+let test_prof_disabled () =
+  Prof.reset ();
+  Prof.disable ();
+  check Alcotest.int "span still returns" 7 (Prof.span "x" (fun () -> 7));
+  Prof.count "x" 3;
+  check Alcotest.int "nothing recorded" 0 (List.length (Prof.entries ()))
+
+let test_prof_enabled () =
+  Prof.reset ();
+  Prof.enable ();
+  Fun.protect ~finally:Prof.disable @@ fun () ->
+  check Alcotest.int "result threaded" 42 (Prof.span "pass-a" (fun () -> 42));
+  ignore (Prof.span "pass-a" (fun () -> Sys.opaque_identity (List.init 100 Fun.id)));
+  Prof.count "pass-a" 5;
+  (match Prof.span "pass-b" (fun () -> raise Exit) with
+  | exception Exit -> ()
+  | _ -> Alcotest.fail "exception must propagate");
+  let entries = Prof.entries () in
+  check Alcotest.int "two entries" 2 (List.length entries);
+  let a = List.find (fun e -> e.Prof.p_name = "pass-a") entries in
+  check Alcotest.int "calls" 2 a.Prof.calls;
+  check Alcotest.int "items" 5 a.Prof.items;
+  check Alcotest.bool "time accumulates" true (a.Prof.total_s >= 0.0);
+  let b = List.find (fun e -> e.Prof.p_name = "pass-b") entries in
+  check Alcotest.int "raising span still counted" 1 b.Prof.calls;
+  let table = Format.asprintf "%a" Prof.pp_table () in
+  check Alcotest.bool "table lists the pass" true
+    (contains ~needle:"pass-a" table)
+
+let suites =
+  [
+    ( "obs.sink",
+      [
+        Alcotest.test_case "null" `Quick test_null_sink;
+        Alcotest.test_case "ring" `Quick test_ring_sink;
+        Alcotest.test_case "stream" `Quick test_stream_sink;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "log edges" `Quick test_log_edges;
+        Alcotest.test_case "observe" `Quick test_histogram_observe;
+        Alcotest.test_case "registry" `Quick test_registry;
+      ] );
+    ( "obs.event",
+      [
+        Alcotest.test_case "json escaping" `Quick test_event_json_escaping;
+        Alcotest.test_case "accessors" `Quick test_event_accessors;
+      ] );
+    ( "obs.report",
+      [
+        Alcotest.test_case "of_events" `Quick test_report_of_events;
+        Alcotest.test_case "jsonl" `Quick test_report_jsonl;
+      ] );
+    ( "obs.engine",
+      [
+        Alcotest.test_case "events emitted" `Quick test_engine_emits;
+        Alcotest.test_case "chrome spans tile the makespan" `Quick test_chrome_contiguous;
+        Alcotest.test_case "explicit null identical" `Quick test_no_obs_identical;
+      ] );
+    ( "obs.prof",
+      [
+        Alcotest.test_case "disabled" `Quick test_prof_disabled;
+        Alcotest.test_case "enabled" `Quick test_prof_enabled;
+      ] );
+  ]
