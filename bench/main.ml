@@ -8,7 +8,7 @@
    Usage: dune exec bench/main.exe [-- SECTION...]
    Sections: table1 table2 fig9a fig9b fig10a fig10b ablate-cluster
              ablate-tpm ablate-drpm ablate-stripes layout-opt
-             proactive-drpm fusion micro all
+             proactive-drpm fusion pipeline micro all
    (default: all). *)
 
 module App = Dp_workloads.App
@@ -26,6 +26,7 @@ module Version = Dp_harness.Version
 module Runner = Dp_harness.Runner
 module Experiments = Dp_harness.Experiments
 module Tabulate = Dp_harness.Tabulate
+module Pipeline = Dp_pipeline.Pipeline
 
 let ppf = Format.std_formatter
 let section title = Format.printf "@.==================== %s ====================@." title
@@ -89,19 +90,17 @@ let contexts =
   lazy
     (List.map (fun name -> Runner.context (Option.get (Workloads.by_name name))) ablation_apps)
 
+(* The T-*-s trace of a context (a memoized pipeline stage), plus the
+   scheduler round count. *)
 let restructured_trace ?policy (ctx : Runner.ctx) =
-  let s = Reuse.schedule ?policy ctx.Runner.layout ctx.Runner.app.App.program ctx.Runner.graph in
-  ( Generate.trace ctx.Runner.layout ctx.Runner.app.App.program ctx.Runner.graph
-      (Generate.single_stream ctx.Runner.graph ~order:s.Reuse.order),
-    s )
+  ( Pipeline.trace ?cluster:policy ctx ~procs:1 Pipeline.Reuse_single,
+    Option.value ~default:0 (Pipeline.rounds ?cluster:policy ctx ~procs:1 Pipeline.Reuse_single)
+  )
 
-let base_trace (ctx : Runner.ctx) =
-  Generate.trace ctx.Runner.layout ctx.Runner.app.App.program ctx.Runner.graph
-    (Generate.single_stream ctx.Runner.graph
-       ~order:(Concrete.original_order ctx.Runner.graph))
+let base_trace (ctx : Runner.ctx) = Pipeline.trace ctx ~procs:1 Pipeline.Original
 
 let normalized (ctx : Runner.ctx) policy trace =
-  let disks = ctx.Runner.layout.Layout.disk_count in
+  let disks = Pipeline.disks ctx in
   let base = Engine.simulate ~disks Policy.No_pm (base_trace ctx) in
   let r = Engine.simulate ~disks policy trace in
   r.Engine.energy_j /. base.Engine.energy_j
@@ -168,8 +167,9 @@ let ablate_drpm () =
     ~rows;
   Format.printf "@."
 
-(* Rebuild an application's layout with a different stripe factor. *)
-let ctx_with_factor (app : App.t) factor =
+(* Rebuild an application's layout with a different stripe factor; the
+   derived context shares the parent's dependence graph. *)
+let ctx_with_factor (app : App.t) parent factor =
   let overrides =
     List.mapi
       (fun k (a : Ir.array_decl) ->
@@ -186,7 +186,7 @@ let ctx_with_factor (app : App.t) factor =
       app.App.program.Ir.arrays
   in
   let layout = Layout.make ~default:app.App.striping ~overrides app.App.program in
-  { Runner.app; layout; graph = Concrete.build app.App.program }
+  Pipeline.derive ~layout parent
 
 let ablate_stripes () =
   section "Ablation — stripe factor (number of I/O nodes)";
@@ -195,10 +195,11 @@ let ablate_stripes () =
     List.map
       (fun name ->
         let app = Option.get (Workloads.by_name name) in
+        let parent = Pipeline.of_app app in
         name
         :: List.map
              (fun f ->
-               let ctx = ctx_with_factor app f in
+               let ctx = ctx_with_factor app parent f in
                let trace, _ = restructured_trace ctx in
                Tabulate.fmt_norm (normalized ctx Policy.default_drpm trace))
              factors)
@@ -215,14 +216,14 @@ let ablate_layout_opt () =
     List.map
       (fun name ->
         let app = Option.get (Workloads.by_name name) in
-        let g = Concrete.build app.App.program in
+        let parent = Pipeline.of_app app in
         let res =
           Dp_restructure.Layout_opt.optimize ~factor:8 ~initial:app.App.overrides
-            app.App.program g
+            app.App.program (Pipeline.graph parent)
         in
         let energy overrides =
           let layout = Layout.make ~default:app.App.striping ~overrides app.App.program in
-          let ctx = { Runner.app; layout; graph = g } in
+          let ctx = Pipeline.derive ~layout parent in
           let trace, _ = restructured_trace ctx in
           normalized ctx Policy.default_drpm trace
         in
@@ -247,7 +248,7 @@ let ablate_proactive_drpm () =
       (fun name ctx ->
         let trace, _ = restructured_trace ctx in
         let cell policy =
-          let disks = ctx.Runner.layout.Layout.disk_count in
+          let disks = Pipeline.disks ctx in
           let base = Engine.simulate ~disks Policy.No_pm (base_trace ctx) in
           let r = Engine.simulate ~disks policy trace in
           Printf.sprintf "%s / %+.1f%%"
@@ -267,17 +268,14 @@ let fusion_baseline () =
   let rows =
     List.map2
       (fun name ctx ->
-        let g = ctx.Runner.graph and prog = ctx.Runner.app.App.program in
-        let table =
-          Cluster.build_table ctx.Runner.layout prog g
-        in
+        let g = Pipeline.graph ctx and prog = Pipeline.program ctx in
+        let layout = Pipeline.layout ctx in
+        let table = Cluster.build_table layout prog g in
         let switch order = Reuse.disk_switches table order in
         let fused = Dp_restructure.Fusion.order prog g in
-        let reuse, _ = ((Reuse.schedule ctx.Runner.layout prog g).Reuse.order, ()) in
+        let reuse, _ = ((Reuse.schedule layout prog g).Reuse.order, ()) in
         let energy order =
-          let trace =
-            Generate.trace ctx.Runner.layout prog g (Generate.single_stream g ~order)
-          in
+          let trace = Generate.trace layout prog g (Generate.single_stream g ~order) in
           Tabulate.fmt_norm (normalized ctx Policy.default_drpm trace)
         in
         [
@@ -303,7 +301,7 @@ let caching_baseline () =
     List.map2
       (fun name ctx ->
         let base = base_trace ctx in
-        let layout = ctx.Runner.layout in
+        let layout = Pipeline.layout ctx in
         let disks = layout.Layout.disk_count in
         let base_r = Engine.simulate ~disks Policy.No_pm base in
         let capacity = 2048 (* blocks: a 128 MB storage cache *) in
@@ -364,22 +362,18 @@ let transform_ablation () =
       (fun name ->
         let app = Option.get (Workloads.by_name name) in
         let ctx = Runner.context app in
-        let trace, sched = restructured_trace ctx in
+        let trace, rounds = restructured_trace ctx in
         let prog', changed =
-          Dp_restructure.Transform.normalize_rows_outermost ctx.Runner.layout
+          Dp_restructure.Transform.normalize_rows_outermost (Pipeline.layout ctx)
             app.App.program
         in
         let ctx' =
-          {
-            Runner.app = { app with App.program = prog' };
-            layout =
-              Layout.make ~default:app.App.striping ~overrides:app.App.overrides prog';
-            graph = Concrete.build prog';
-          }
+          Pipeline.create ~origin:app.App.name ~default:app.App.striping
+            ~overrides:app.App.overrides prog'
         in
-        let trace', sched' = restructured_trace ctx' in
+        let trace', rounds' = restructured_trace ctx' in
         (* Both normalized against the ORIGINAL base. *)
-        let disks = ctx.Runner.layout.Layout.disk_count in
+        let disks = Pipeline.disks ctx in
         let base = Engine.simulate ~disks Policy.No_pm (base_trace ctx) in
         let e trace =
           Tabulate.fmt_norm
@@ -389,9 +383,9 @@ let transform_ablation () =
         [
           name;
           string_of_int changed;
-          Printf.sprintf "%d" sched.Dp_restructure.Reuse_scheduler.rounds;
+          Printf.sprintf "%d" rounds;
           e trace;
-          Printf.sprintf "%d" sched'.Dp_restructure.Reuse_scheduler.rounds;
+          Printf.sprintf "%d" rounds';
           e trace';
         ])
       [ "Visuo"; "SCF 3.0" ]
@@ -411,7 +405,7 @@ let prefetch_baseline () =
     List.map2
       (fun name ctx ->
         let base = base_trace ctx in
-        let disks = ctx.Runner.layout.Layout.disk_count in
+        let disks = Pipeline.disks ctx in
         let base_r = Engine.simulate ~disks Policy.No_pm base in
         let e trace =
           Tabulate.fmt_norm
@@ -502,7 +496,7 @@ let obs_overhead () =
   let app = Option.get (Workloads.by_name "FFT") in
   let ctx = Runner.context app in
   let trace = base_trace ctx in
-  let disks = ctx.Runner.layout.Layout.disk_count in
+  let disks = Pipeline.disks ctx in
   let run ?obs () = ignore (Engine.simulate ?obs ~disks Policy.default_drpm trace) in
   (* Sys.time is CPU time: immune to wall-clock noise from a loaded CI
      box.  Best-of-7 over 3 inner reps tames the rest. *)
@@ -554,6 +548,67 @@ let obs_overhead () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline: the memoization win of the shared staged context, and the
+   wall-clock effect of fanning the experiment matrix out over domains.
+   Wall clock (Unix.gettimeofday, not Sys.time): domain parallelism is
+   invisible to CPU time. *)
+
+let pipeline_bench () =
+  section "Pipeline — stage memoization and domain-parallel matrix";
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Stage memoization: one context serving a full 4-CPU matrix builds
+     the dependence graph once and shares traces between rows. *)
+  let app = Option.get (Workloads.by_name "AST") in
+  let versions = Version.multi_cpu @ Version.oracle in
+  let ctx = Runner.context app in
+  let (), t_first = wall (fun () -> ignore (Runner.run ctx ~procs:4 Version.T_drpm_m)) in
+  let (), t_rest =
+    wall (fun () -> List.iter (fun v -> ignore (Runner.run ctx ~procs:4 v)) versions)
+  in
+  let st = Pipeline.stats ctx in
+  Format.printf
+    "one context, %d versions at 4 CPUs: first T-DRPM-m row %.0f ms, the other %d rows \
+     %.0f ms total@."
+    (List.length versions) (1e3 *. t_first) (List.length versions) (1e3 *. t_rest);
+  Format.printf
+    "stage builds: graph %d, streams %d, traces %d, hints %d; memo hits %d@."
+    st.Pipeline.graph_builds st.Pipeline.stream_builds st.Pipeline.trace_builds
+    st.Pipeline.hint_builds st.Pipeline.memo_hits;
+  let (), t_cold =
+    wall (fun () ->
+        ignore (Pipeline.trace (Pipeline.of_app app) ~procs:4 Pipeline.Reuse_multi))
+  in
+  let (), t_warm = wall (fun () -> ignore (Pipeline.trace ctx ~procs:4 Pipeline.Reuse_multi)) in
+  Format.printf "T-*-m trace stage: cold %.1f ms, memoized %.3f ms@." (1e3 *. t_cold)
+    (1e3 *. t_warm);
+  (* Domain-parallel matrix: same rows, jobs=1 vs jobs=4; the JSON must
+     be byte-identical (the determinism contract CI enforces).  The
+     speedup only materializes with real cores — on a single-core host
+     extra domains just add GC pressure, so only the mismatch is fatal. *)
+  let apps = List.filter_map Workloads.by_name [ "AST"; "RSense 2.0" ] in
+  let build jobs =
+    Experiments.build_matrix ~apps ~jobs ~procs:4 ~versions:Version.multi_cpu ()
+  in
+  let m1, t1 = wall (fun () -> build 1) in
+  let m4, t4 = wall (fun () -> build 4) in
+  let j1 = Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_matrix m1) in
+  let j4 = Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_matrix m4) in
+  Format.printf "%d-app x %d-version matrix: jobs=1 %.2f s, jobs=4 %.2f s (%.2fx speedup)@."
+    (List.length apps) (List.length Version.multi_cpu) t1 t4 (t1 /. t4);
+  (let cores = Domain.recommended_domain_count () in
+   if cores < 2 then
+     Format.printf "(host reports %d core(s); no parallel speedup is possible here)@." cores);
+  if String.equal j1 j4 then Format.printf "jobs=4 JSON identical to jobs=1: OK@."
+  else begin
+    Format.printf "jobs=4 JSON differs from jobs=1: FAILED@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the compiler passes. *)
 
 let micro () =
@@ -569,13 +624,13 @@ let micro () =
         (Staged.stage (fun () -> ignore (Concrete.build prog)));
       Test.make ~name:"reuse schedule (FFT)"
         (Staged.stage (fun () ->
-             ignore (Reuse.schedule ctx.Runner.layout prog ctx.Runner.graph)));
+             ignore (Reuse.schedule (Pipeline.layout ctx) prog (Pipeline.graph ctx))));
       Test.make ~name:"trace generation (FFT)"
         (Staged.stage (fun () ->
+             let g = Pipeline.graph ctx in
              ignore
-               (Generate.trace ctx.Runner.layout prog ctx.Runner.graph
-                  (Generate.single_stream ctx.Runner.graph
-                     ~order:(Concrete.original_order ctx.Runner.graph)))));
+               (Generate.trace (Pipeline.layout ctx) prog g
+                  (Generate.single_stream g ~order:(Concrete.original_order g)))));
       Test.make ~name:"simulate DRPM (FFT)"
         (Staged.stage (fun () ->
              ignore (Engine.simulate ~disks:8 Policy.default_drpm trace)));
@@ -644,6 +699,7 @@ let sections =
     ("two-speed", two_speed);
     ("breakdown", breakdown);
     ("obs-overhead", obs_overhead);
+    ("pipeline", pipeline_bench);
     ("micro", micro);
   ]
 

@@ -3,18 +3,16 @@
    Loads a program (a [.dpl] source file or a built-in workload via
    [app:NAME]), and can show the IR and its analyses, print the
    restructured code, emit an I/O trace, or run the full trace-driven
-   power simulation. *)
+   power simulation.  Every data-producing command drives the one
+   staged pipeline ({!Dp_pipeline.Pipeline}) — the same stages the
+   harness matrix and the examples use. *)
 
 module Ir = Dp_ir.Ir
-module Resolver = Dp_lang.Resolver
 module Analysis = Dp_dependence.Analysis
-module Concrete = Dp_dependence.Concrete
-module Striping = Dp_layout.Striping
 module Layout = Dp_layout.Layout
 module Reuse = Dp_restructure.Reuse_scheduler
 module Cluster = Dp_restructure.Cluster
 module Symbolic = Dp_restructure.Symbolic
-module Parallelize = Dp_restructure.Parallelize
 module Generate = Dp_trace.Generate
 module Request = Dp_trace.Request
 module Hint = Dp_trace.Hint
@@ -22,38 +20,9 @@ module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
 module Fault_model = Dp_faults.Fault_model
 module Oracle = Dp_oracle.Oracle
-module Workloads = Dp_workloads.Workloads
-module App = Dp_workloads.App
+module Pipeline = Dp_pipeline.Pipeline
 
 let fail fmt = Format.kasprintf (fun s -> raise (Failure s)) fmt
-
-(* A loaded compilation unit: program + layout. *)
-type unit_ = { program : Ir.program; layout : Layout.t; origin : string }
-
-let stripe_of_spec (sp : Dp_lang.Ast.stripe_spec) =
-  Striping.make ~unit_bytes:sp.unit_bytes ~factor:sp.factor ~start_disk:sp.start_disk
-
-let load source =
-  if String.length source > 4 && String.sub source 0 4 = "app:" then begin
-    let name = String.sub source 4 (String.length source - 4) in
-    match Workloads.by_name name with
-    | Some app ->
-        {
-          program = app.App.program;
-          layout =
-            Layout.make ~default:app.App.striping ~overrides:app.App.overrides
-              app.App.program;
-          origin = app.App.name;
-        }
-    | None ->
-        fail "unknown application %s (available: %s)" name
-          (String.concat ", " (Workloads.names ()))
-  end
-  else begin
-    let { Resolver.program; stripes } = Resolver.load_file source in
-    let overrides = List.map (fun (name, sp) -> (name, stripe_of_spec sp)) stripes in
-    { program; layout = Layout.make ~overrides program; origin = source }
-  end
 
 (* Malformed input — source programs, trace/hint/fault lines, bad flag
    values — is a usage-class failure: one-line diagnostic, exit 2, the
@@ -80,6 +49,30 @@ let faults_of_spec = function
       | Ok f -> Some f
       | Error msg -> fail "--faults: %s" msg)
 
+(* --mode names the restructured stream family explicitly; without it
+   the historical default applies (the single-CPU algorithm at one
+   processor, the layout-aware scheme otherwise).  Contradictory
+   combinations are usage errors (exit 2). *)
+let resolve_mode ~procs ~restructured = function
+  | None ->
+      if not restructured then Pipeline.Original
+      else if procs = 1 then Pipeline.Reuse_single
+      else Pipeline.Reuse_multi
+  | Some name -> (
+      if not restructured then
+        fail "--mode %s requires --restructure (unmodified code has no stream family)" name;
+      match Pipeline.mode_of_name name with
+      | Some Pipeline.Reuse_single -> Pipeline.Reuse_single
+      | Some Pipeline.Reuse_multi ->
+          if procs = 1 then
+            fail
+              "--mode multi needs --procs > 1 (the layout-aware scheme tours per-processor \
+               disk shares)"
+          else Pipeline.Reuse_multi
+      | Some Pipeline.Original | None -> fail "unknown --mode %s (expected single | multi)" name)
+
+let check_jobs jobs = if jobs < 1 then fail "--jobs must be at least 1 (got %d)" jobs
+
 (* Pass profiling (--profile): the compiler stages carry Dp_obs.Prof
    hooks; enabling the collector before the pipeline and printing the
    table after costs nothing when the flag is off. *)
@@ -94,9 +87,9 @@ let with_profile profile f =
 let show source deps profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
-      let u = load source in
-      Format.printf "// %s@.%a@." u.origin Ir.pp_program u.program;
-      Format.printf "%a@." Layout.pp u.layout;
+      let ctx = Pipeline.load source in
+      Format.printf "// %s@.%a@." (Pipeline.origin ctx) Ir.pp_program (Pipeline.program ctx);
+      Format.printf "%a@." Layout.pp (Pipeline.layout ctx);
       if deps then
         List.iter
           (fun (n : Ir.nest) ->
@@ -106,67 +99,44 @@ let show source deps profile =
             match Analysis.outermost_parallel_loop n with
             | Some k -> Format.printf "  outermost parallel loop: depth %d@." k
             | None -> Format.printf "  no parallelizable loop@.")
-          u.program.Ir.nests)
+          (Pipeline.program ctx).Ir.nests)
 
 (* --- restructure --- *)
 
 let restructure source symbolic profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
-      let u = load source in
+      let ctx = Pipeline.load source in
+      let layout = Pipeline.layout ctx and program = Pipeline.program ctx in
       if symbolic then begin
-        let ds = Symbolic.restructure u.layout u.program in
+        let ds = Symbolic.restructure layout program in
         Format.printf "%a@." Symbolic.pp ds
       end
       else begin
-        let g = Concrete.build u.program in
-        let s = Reuse.schedule u.layout u.program g in
-        let table = Cluster.build_table u.layout u.program g in
+        let g = Pipeline.graph ctx in
+        let s = Reuse.schedule layout program g in
+        let table = Cluster.build_table layout program g in
         Format.printf
           "restructured %d iterations in %d round(s), %d disk visit(s)@."
           (Array.length s.Reuse.order) s.Reuse.rounds (List.length s.Reuse.visits);
         Format.printf "disk switches: %d original -> %d restructured@."
-          (Reuse.disk_switches table (Concrete.original_order g))
+          (Reuse.disk_switches table (Dp_dependence.Concrete.original_order g))
           (Reuse.disk_switches table s.Reuse.order);
         List.iter
           (fun (d, n) -> Format.printf "  visit disk %d: %d iterations@." d n)
           s.Reuse.visits
       end)
 
-(* --- shared pipeline pieces --- *)
+(* --- trace --- *)
 
-let streams u ~procs ~restructured =
-  let g = Concrete.build u.program in
-  let segs =
-    if procs = 1 then
-      if restructured then
-        Generate.single_stream g ~order:(Reuse.schedule u.layout u.program g).Reuse.order
-      else Generate.single_stream g ~order:(Concrete.original_order g)
-    else begin
-      let disks = u.layout.Layout.disk_count in
-      if restructured then begin
-        let a = Parallelize.layout_aware u.layout u.program g ~procs in
-        Generate.reordered_segments a ~order_of_proc:(fun p ->
-            (Reuse.schedule_subset u.layout u.program g
-               ~start_disk:(p * disks / procs)
-               ~member:(fun seq -> a.Parallelize.owner.(seq) = p))
-              .Reuse.order)
-      end
-      else Generate.original_segments u.program g (Parallelize.conventional u.program g ~procs)
-    end
-  in
-  (g, segs)
-
-let trace source output procs restructured gaps with_hints faults_spec profile =
+let trace source output procs restructured mode_name gaps with_hints faults_spec profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
-      let u = load source in
-      let g, segs = streams u ~procs ~restructured in
-      let reqs = Generate.trace u.layout u.program g segs in
+      let ctx = Pipeline.load source in
+      let mode = resolve_mode ~procs ~restructured mode_name in
+      let reqs = Pipeline.trace ctx ~procs mode in
       let hints =
-        if with_hints then
-          Oracle.hints_of_trace ~disks:u.layout.Layout.disk_count reqs
-        else []
+        if with_hints then Oracle.hints_of_trace ~disks:(Pipeline.disks ctx) reqs else []
       in
       let faults = faults_of_spec faults_spec in
       (match output with
@@ -202,105 +172,71 @@ let policy_of_string = function
          | oracle-drpm)"
         p
 
-(* The oracle "policies" are offline bounds, not simulated controllers. *)
-let oracle_space_of_string = function
-  | "oracle-tpm" -> Some Oracle.Tpm_space
-  | "oracle-drpm" -> Some Oracle.Drpm_space
-  | "oracle" -> Some Oracle.Full_space
-  | _ -> None
+(* --- simulate --- *)
 
-(* Compiler hints for the proactive policies: the engine executes the
-   directive stream instead of consulting its omniscient gap planner. *)
-let hints_for policy ~disks reqs =
-  match policy with
-  | Policy.Tpm { Policy.proactive = true; _ } ->
-      Oracle.hints_of_trace ~space:Oracle.Tpm_space ~disks reqs
-  | Policy.Drpm { Policy.proactive = true; _ } ->
-      Oracle.hints_of_trace ~space:Oracle.Drpm_space ~disks reqs
-  | _ -> []
-
-let simulate source procs restructured policy_name per_disk timeline faults_spec profile =
+let simulate source procs restructured mode_name policy_name per_disk timeline faults_spec
+    profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
-      let u = load source in
-      let g, segs = streams u ~procs ~restructured in
-      let reqs = Generate.trace u.layout u.program g segs in
-      let disks = u.layout.Layout.disk_count in
-      match oracle_space_of_string policy_name with
+      let ctx = Pipeline.load source in
+      let mode = resolve_mode ~procs ~restructured mode_name in
+      let disks = Pipeline.disks ctx in
+      (* The oracle "policies" are offline bounds, not simulated
+         controllers. *)
+      match Oracle.space_of_name policy_name with
       | Some space ->
+          let reqs = Pipeline.trace ctx ~procs mode in
           let bound = Oracle.lower_bound ~space ~disks reqs in
           Format.printf "%a@." Oracle.pp_bound bound;
           Format.printf "analytic standby floor: %.1f J@."
             (Oracle.standby_floor_j bound.Oracle.base)
       | None ->
-      let policy = policy_of_string policy_name in
-      let faults = faults_of_spec faults_spec in
-      let hints = hints_for policy ~disks reqs in
-      let r = Engine.simulate ~record_timeline:timeline ~hints ?faults ~disks policy reqs in
-      (match faults with
-      | Some f -> Format.printf "%a@." Fault_model.pp f
-      | None -> ());
-      Format.printf "policy %s: energy %.1f J, disk I/O time %.1f s, makespan %.1f s@."
-        r.Engine.policy r.Engine.energy_j
-        (r.Engine.io_time_ms /. 1000.)
-        (r.Engine.makespan_ms /. 1000.);
-      (let wear, su, media, spikes, degraded =
-         Array.fold_left
-           (fun (w, s, m, l, d) (ds : Engine.disk_stats) ->
-             ( Float.max w (Engine.wear_fraction Dp_disksim.Disk_model.ultrastar_36z15 ds),
-               s + ds.Engine.spin_up_retries,
-               m + ds.Engine.media_retries,
-               l + ds.Engine.latency_spikes,
-               d +. ds.Engine.degraded_ms ))
-           (0.0, 0, 0, 0, 0.0) r.Engine.per_disk
-       in
-       Format.printf
-         "reliability: wear %.4f%% of start-stop budget (worst disk), %d spin-up retries, \
-          %d media retries, %d latency spikes, degraded %.1f ms@."
-         (100.0 *. wear) su media spikes degraded);
-      if per_disk then
-        Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk;
-      (match r.Engine.timeline with
-      | Some t ->
-          print_string
-            (Dp_disksim.Timeline.render ~model:Dp_disksim.Disk_model.ultrastar_36z15
-               ~until_ms:r.Engine.makespan_ms t)
-      | None -> ());
-      (* Also report against the no-PM baseline on the same trace. *)
-      if policy <> Policy.No_pm then begin
-        let base = Engine.simulate ?faults ~disks Policy.No_pm reqs in
-        Format.printf "normalized energy vs no-PM on this trace: %.3f@."
-          (r.Engine.energy_j /. base.Engine.energy_j)
-      end)
+          let policy = policy_of_string policy_name in
+          let faults = faults_of_spec faults_spec in
+          let r =
+            Pipeline.simulate ?faults ~record_timeline:timeline ctx ~procs ~policy mode
+          in
+          (match faults with
+          | Some f -> Format.printf "%a@." Fault_model.pp f
+          | None -> ());
+          Format.printf "policy %s: energy %.1f J, disk I/O time %.1f s, makespan %.1f s@."
+            r.Engine.policy r.Engine.energy_j
+            (r.Engine.io_time_ms /. 1000.)
+            (r.Engine.makespan_ms /. 1000.);
+          Format.printf "%a@." (fun ppf r -> Engine.pp_reliability ppf r) r;
+          if per_disk then
+            Array.iter
+              (fun d -> Format.printf "%a@." Engine.pp_disk_stats d)
+              r.Engine.per_disk;
+          (match r.Engine.timeline with
+          | Some t ->
+              print_string
+                (Dp_disksim.Timeline.render ~model:Dp_disksim.Disk_model.ultrastar_36z15
+                   ~until_ms:r.Engine.makespan_ms t)
+          | None -> ());
+          (* Also report against the no-PM baseline on the same trace. *)
+          if policy <> Policy.No_pm then begin
+            let base =
+              Pipeline.simulate ?faults ctx ~procs ~policy:Policy.No_pm mode
+            in
+            Format.printf "normalized energy vs no-PM on this trace: %.3f@."
+              (r.Engine.energy_j /. base.Engine.energy_j)
+          end)
 
 (* --- report: the version matrix for one program --- *)
 
-let report source procs json_path obs profile =
+let report source procs jobs json_path obs profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
-      let u = load source in
-      let app =
-        (* Wrap the unit as an App so the harness runner drives it. *)
-        {
-          App.name = u.origin;
-          description = u.origin;
-          program = u.program;
-          striping = Striping.default;
-          overrides =
-            List.map
-              (fun (e : Layout.entry) -> (e.Layout.decl.Ir.name, e.Layout.striping))
-              u.layout.Layout.entries;
-          paper_data_gb = 0.0;
-          paper_requests = 0;
-          paper_base_energy_j = 0.0;
-          paper_io_time_ms = 0.0;
-        }
-      in
+      check_jobs jobs;
+      let app = Pipeline.app (Pipeline.load source) in
       let versions =
         (if procs = 1 then Dp_harness.Version.single_cpu else Dp_harness.Version.multi_cpu)
         @ Dp_harness.Version.oracle
       in
-      let matrix = Dp_harness.Experiments.build_matrix ~apps:[ app ] ~obs ~procs ~versions () in
+      let matrix =
+        Dp_harness.Experiments.build_matrix ~apps:[ app ] ~obs ~jobs ~procs ~versions ()
+      in
       Dp_harness.Experiments.fig_energy matrix Format.std_formatter;
       Dp_harness.Experiments.fig_perf matrix Format.std_formatter;
       match json_path with
@@ -309,32 +245,18 @@ let report source procs json_path obs profile =
           Fun.protect
             ~finally:(fun () -> close_out oc)
             (fun () ->
-              output_string oc (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_matrix matrix));
+              output_string oc
+                (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_matrix matrix));
               output_char oc '\n')
       | None -> ())
 
 (* --- fault-sweep: degradation under increasing fault rates --- *)
 
-let fault_sweep source procs seed rates classes json_path profile =
+let fault_sweep source procs jobs seed rates classes json_path profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
-      let u = load source in
-      let app =
-        {
-          App.name = u.origin;
-          description = u.origin;
-          program = u.program;
-          striping = Striping.default;
-          overrides =
-            List.map
-              (fun (e : Layout.entry) -> (e.Layout.decl.Ir.name, e.Layout.striping))
-              u.layout.Layout.entries;
-          paper_data_gb = 0.0;
-          paper_requests = 0;
-          paper_base_energy_j = 0.0;
-          paper_io_time_ms = 0.0;
-        }
-      in
+      check_jobs jobs;
+      let app = Pipeline.app (Pipeline.load source) in
       let classes =
         match classes with
         | None -> None
@@ -347,7 +269,7 @@ let fault_sweep source procs seed rates classes json_path profile =
         if procs = 1 then Dp_harness.Version.single_cpu else Dp_harness.Version.multi_cpu
       in
       let sweep =
-        Dp_harness.Experiments.fault_sweep ~seed ?rates ?classes ~procs ~versions app
+        Dp_harness.Experiments.fault_sweep ~seed ?rates ?classes ~jobs ~procs ~versions app
       in
       Dp_harness.Experiments.fig_sweep sweep Format.std_formatter;
       match json_path with
@@ -365,14 +287,14 @@ let fault_sweep source procs seed rates classes json_path profile =
 
 let emit source output =
   with_errors (fun () ->
-      let u = load source in
+      let ctx = Pipeline.load source in
       let stripes =
         List.map
           (fun (e : Layout.entry) ->
             (e.Layout.decl.Ir.name, Dp_lang.Emit.stripe_spec e.Layout.striping))
-          u.layout.Layout.entries
+          (Pipeline.layout ctx).Layout.entries
       in
-      let text = Dp_lang.Emit.to_string ~stripes u.program in
+      let text = Dp_lang.Emit.to_string ~stripes (Pipeline.program ctx) in
       match output with
       | Some path ->
           let oc = open_out path in
@@ -396,7 +318,28 @@ let restructured_arg =
   Arg.(
     value & flag
     & info [ "restructure"; "t" ]
-        ~doc:"Apply disk-reuse restructuring (layout-aware when --procs > 1)")
+        ~doc:
+          "Apply disk-reuse restructuring (defaults to the single-CPU algorithm at one \
+           processor and the layout-aware scheme when --procs > 1; override with --mode)")
+
+let mode_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "mode" ] ~docv:"single|multi"
+        ~doc:
+          "Which restructured stream family to produce (requires --restructure): single \
+           (the single-CPU reuse algorithm applied per processor, fork-join barriers \
+           kept — the T-*-s rows) or multi (the layout-aware parallelization, per-CPU \
+           disk tours, needs --procs > 1 — the T-*-m rows)")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run matrix rows on N domains in parallel; results are deterministic — output \
+           is byte-identical to --jobs 1")
 
 let profile_arg =
   Arg.(
@@ -404,8 +347,8 @@ let profile_arg =
     & info [ "profile" ]
         ~doc:
           "Time the compiler passes (dependence-graph build, reuse scheduling, layout \
-           unification, trace generation, simulation) and print a per-pass table to \
-           stderr")
+           unification, pipeline stages, trace generation, simulation) and print a \
+           per-pass table to stderr")
 
 let show_cmd =
   let deps = Arg.(value & flag & info [ "deps" ] ~doc:"Also print dependence analysis") in
@@ -451,8 +394,8 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Generate the timed I/O request trace of a program")
     Term.(
-      const trace $ source_arg $ output $ procs_arg $ restructured_arg $ gaps $ hints
-      $ faults $ profile_arg)
+      const trace $ source_arg $ output $ procs_arg $ restructured_arg $ mode_arg $ gaps
+      $ hints $ faults $ profile_arg)
 
 let simulate_cmd =
   let policy =
@@ -480,8 +423,8 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the trace-driven disk power simulation")
     Term.(
-      const simulate $ source_arg $ procs_arg $ restructured_arg $ policy $ per_disk
-      $ timeline $ faults $ profile_arg)
+      const simulate $ source_arg $ procs_arg $ restructured_arg $ mode_arg $ policy
+      $ per_disk $ timeline $ faults $ profile_arg)
 
 let report_cmd =
   let json =
@@ -498,7 +441,7 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Run the full version matrix for a program and print figures")
-    Term.(const report $ source_arg $ procs_arg $ json $ obs $ profile_arg)
+    Term.(const report $ source_arg $ procs_arg $ jobs_arg $ json $ obs $ profile_arg)
 
 let fault_sweep_cmd =
   let seed =
@@ -529,8 +472,9 @@ let fault_sweep_cmd =
        ~doc:
          "Re-simulate the version matrix of a program across a fault-rate ramp (same seed \
           at every point) and report energy and degraded time per version")
-    Term.(const fault_sweep $ source_arg $ procs_arg $ seed $ rates $ classes $ json
-      $ profile_arg)
+    Term.(
+      const fault_sweep $ source_arg $ procs_arg $ jobs_arg $ seed $ rates $ classes
+      $ json $ profile_arg)
 
 let emit_cmd =
   let output =

@@ -23,22 +23,6 @@ open Cmdliner
    cmdliner's own CLI errors. *)
 let usage_error fmt = Format.kasprintf (fun s -> Format.eprintf "dpsim: %s@." s; exit 2) fmt
 
-let reliability_line r =
-  let wear, su, media, spikes, degraded =
-    Array.fold_left
-      (fun (w, s, m, l, d) (ds : Engine.disk_stats) ->
-        ( Float.max w (Engine.wear_fraction Disk_model.ultrastar_36z15 ds),
-          s + ds.Engine.spin_up_retries,
-          m + ds.Engine.media_retries,
-          l + ds.Engine.latency_spikes,
-          d +. ds.Engine.degraded_ms ))
-      (0.0, 0, 0, 0, 0.0) r.Engine.per_disk
-  in
-  Format.printf
-    "reliability: wear %.4f%% of start-stop budget (worst disk), %d spin-up retries, %d \
-     media retries, %d latency spikes, degraded %.1f ms@."
-    (100.0 *. wear) su media spikes degraded
-
 (* Observability modes: what to do with the engine's event stream. *)
 let obs_sink mode reqs out =
   match mode with
@@ -95,14 +79,7 @@ let run trace_file out disks policy_name threshold proactive window downshift fa
         | Error msg -> usage_error "--faults: %s" msg)
   in
   try
-    let oracle_space =
-      match policy_name with
-      | "oracle-tpm" -> Some Oracle.Tpm_space
-      | "oracle-drpm" -> Some Oracle.Drpm_space
-      | "oracle" -> Some Oracle.Full_space
-      | _ -> None
-    in
-    match oracle_space with
+    match Oracle.space_of_name policy_name with
     | Some space ->
         if obs_mode <> None then
           usage_error
@@ -137,7 +114,7 @@ let run trace_file out disks policy_name threshold proactive window downshift fa
           r.Engine.policy r.Engine.energy_j
           (r.Engine.io_time_ms /. 1000.)
           (r.Engine.makespan_ms /. 1000.);
-        reliability_line r;
+        Format.printf "%a@." (fun ppf r -> Engine.pp_reliability ppf r) r;
         if per_disk then
           Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk;
         obs_finish obs_mode sink out disks r

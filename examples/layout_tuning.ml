@@ -7,24 +7,25 @@
    This example runs that optimizer on the AST workload: it searches
    per-array start disks and stripe heights to minimize a sampled
    co-location + balance objective, then shows what the better layout
-   buys the restructured code under DRPM.
+   buys the restructured code under DRPM.  Each candidate layout is a
+   {!Dp_pipeline.Pipeline.derive}d context: the dependence graph is
+   built once and shared; only the layout-dependent stages re-run.
 
    Run with: dune exec examples/layout_tuning.exe *)
 
 module App = Dp_workloads.App
 module Layout = Dp_layout.Layout
 module Striping = Dp_layout.Striping
-module Concrete = Dp_dependence.Concrete
 module Opt = Dp_restructure.Layout_opt
-module Reuse = Dp_restructure.Reuse_scheduler
-module Generate = Dp_trace.Generate
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
+module Pipeline = Dp_pipeline.Pipeline
 
 let () =
   let app = Option.get (Dp_workloads.Workloads.by_name "AST") in
   let prog = app.App.program in
-  let g = Concrete.build prog in
+  let ctx = Pipeline.of_app app in
+  let g = Pipeline.graph ctx in
 
   Format.printf "optimizing the layout of %s (%d arrays, 8 I/O nodes)...@." app.App.name
     (List.length prog.Dp_ir.Ir.arrays);
@@ -42,10 +43,9 @@ let () =
      normalized against the original layout's unmanaged base. *)
   let energy overrides =
     let layout = Layout.make ~default:app.App.striping ~overrides prog in
-    let order = (Reuse.schedule layout prog g).Reuse.order in
-    let trace t_order = Generate.trace layout prog g (Generate.single_stream g ~order:t_order) in
-    let base = Engine.simulate ~disks:8 Policy.No_pm (trace (Concrete.original_order g)) in
-    let r = Engine.simulate ~disks:8 Policy.default_drpm (trace order) in
+    let dctx = Pipeline.derive ~layout ctx in
+    let base = Pipeline.simulate dctx ~procs:1 ~policy:Policy.No_pm Pipeline.Original in
+    let r = Pipeline.simulate dctx ~procs:1 ~policy:Policy.default_drpm Pipeline.Reuse_single in
     r.Engine.energy_j /. base.Engine.energy_j
   in
   Format.printf "@.T-DRPM-s normalized energy:@.";

@@ -14,11 +14,12 @@ module Concrete = Dp_dependence.Concrete
 module Parallelize = Dp_restructure.Parallelize
 module Version = Dp_harness.Version
 module Runner = Dp_harness.Runner
+module Pipeline = Dp_pipeline.Pipeline
 
 let procs = 4
 
 let localization (ctx : Runner.ctx) (a : Parallelize.assignment) =
-  let layout = ctx.Runner.layout and prog = ctx.Runner.app.App.program in
+  let layout = Pipeline.layout ctx and prog = Pipeline.program ctx in
   let disks = layout.Layout.disk_count in
   let hits = ref 0 and total = ref 0 in
   Array.iter
@@ -35,18 +36,19 @@ let localization (ctx : Runner.ctx) (a : Parallelize.assignment) =
             = a.Parallelize.owner.(inst.Concrete.seq)
           then incr hits)
         (Ir.element_accesses nest inst.Concrete.iter))
-    ctx.Runner.graph.Concrete.instances;
+    (Pipeline.graph ctx).Concrete.instances;
   float_of_int !hits /. float_of_int !total
 
 let () =
   let app = Option.get (Dp_workloads.Workloads.by_name "Cholesky") in
   let ctx = Runner.context app in
   Format.printf "%s on %d processors, %d I/O nodes@." app.App.name procs
-    ctx.Runner.layout.Layout.disk_count;
+    (Pipeline.disks ctx);
 
-  let conv = Parallelize.conventional app.App.program ctx.Runner.graph ~procs in
+  let conv = Parallelize.conventional app.App.program (Pipeline.graph ctx) ~procs in
   let aware =
-    Parallelize.layout_aware ctx.Runner.layout app.App.program ctx.Runner.graph ~procs
+    Parallelize.layout_aware (Pipeline.layout ctx) app.App.program (Pipeline.graph ctx)
+      ~procs
   in
   Format.printf "access localization: conventional %.1f%%, layout-aware %.1f%%@."
     (100. *. localization ctx conv)

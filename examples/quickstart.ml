@@ -2,19 +2,18 @@
 
    Build a small out-of-core program, restructure it for disk reuse
    (Section 5 of the paper), and compare disk energy under TPM and DRPM
-   with and without the restructuring.
+   with and without the restructuring — all through the staged
+   {!Dp_pipeline.Pipeline}, the same stages `dpcc` and the harness use.
 
    Run with: dune exec examples/quickstart.exe *)
 
 module Ir = Dp_ir.Ir
 module A = Dp_affine.Affine
 module Striping = Dp_layout.Striping
-module Layout = Dp_layout.Layout
-module Concrete = Dp_dependence.Concrete
 module Reuse = Dp_restructure.Reuse_scheduler
-module Generate = Dp_trace.Generate
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
+module Pipeline = Dp_pipeline.Pipeline
 
 let () =
   (* 1. A program: two sweeps over a disk-resident matrix of 64 KB pages
@@ -35,28 +34,23 @@ let () =
       ]
   in
 
-  (* 2. A disk layout: one row per stripe, round-robin over 8 I/O nodes
-     (the paper's Table-1 system). *)
+  (* 2. A pipeline context over a disk layout: one row per stripe,
+     round-robin over 8 I/O nodes (the paper's Table-1 system). *)
   let striping = Striping.make ~unit_bytes:(cols * page) ~factor:8 ~start_disk:0 in
-  let layout = Layout.make ~default:striping program in
+  let ctx = Pipeline.create ~origin:"quickstart" ~default:striping program in
 
-  (* 3. Restructure: cluster iterations disk by disk (Fig. 3). *)
-  let graph = Concrete.build program in
-  let schedule = Reuse.schedule layout program graph in
+  (* 3. Restructure: cluster iterations disk by disk (Fig. 3).  The
+     scheduler itself runs on the pipeline's shared dependence graph. *)
+  let schedule = Reuse.schedule (Pipeline.layout ctx) program (Pipeline.graph ctx) in
   Format.printf "restructured in %d round(s); visits:" schedule.Reuse.rounds;
   List.iter (fun (d, n) -> Format.printf " d%d:%d" d n) schedule.Reuse.visits;
   Format.printf "@.";
 
-  (* 4. Traces for the original and restructured orders. *)
-  let trace order = Generate.trace layout program graph (Generate.single_stream graph ~order) in
-  let base_trace = trace (Concrete.original_order graph) in
-  let reuse_trace = trace schedule.Reuse.order in
-
-  (* 5. Simulate under each policy and report. *)
-  let disks = layout.Layout.disk_count in
-  let base = Engine.simulate ~disks Policy.No_pm base_trace in
-  let report name trace policy =
-    let r = Engine.simulate ~disks policy trace in
+  (* 4+5. Traces for the original and restructured orders are memoized
+     stages; simulate each policy on its mode and report. *)
+  let base = Pipeline.simulate ctx ~procs:1 ~policy:Policy.No_pm Pipeline.Original in
+  let report name policy mode =
+    let r = Pipeline.simulate ctx ~procs:1 ~policy mode in
     Format.printf "%-22s energy %8.1f J  (%.3f of base)  io %.1f s@." name
       r.Engine.energy_j
       (r.Engine.energy_j /. base.Engine.energy_j)
@@ -64,7 +58,7 @@ let () =
   in
   Format.printf "base (no PM)           energy %8.1f J  io %.1f s@." base.Engine.energy_j
     (base.Engine.io_time_ms /. 1000.);
-  report "TPM on original" base_trace Policy.default_tpm;
-  report "DRPM on original" base_trace Policy.default_drpm;
-  report "TPM on restructured" reuse_trace (Policy.tpm ~proactive:true ());
-  report "DRPM on restructured" reuse_trace Policy.default_drpm
+  report "TPM on original" Policy.default_tpm Pipeline.Original;
+  report "DRPM on original" Policy.default_drpm Pipeline.Original;
+  report "TPM on restructured" (Policy.tpm ~proactive:true ()) Pipeline.Reuse_single;
+  report "DRPM on restructured" Policy.default_drpm Pipeline.Reuse_single

@@ -1,19 +1,18 @@
 (* Trace anatomy: what restructuring does to per-disk idle periods.
 
-   Generates the AST workload's trace in original and restructured order,
-   saves/reloads the restructured one through the text format, and prints
-   a per-disk idle-gap histogram for both — the quantity every power
-   policy feeds on ("most prior techniques become more effective with
-   long disk idle periods", Section 1).
+   Generates the AST workload's trace in original and restructured order
+   (two modes of the same pipeline context — the dependence graph is
+   built once), saves/reloads the restructured one through the text
+   format, and prints a per-disk idle-gap histogram for both — the
+   quantity every power policy feeds on ("most prior techniques become
+   more effective with long disk idle periods", Section 1).
 
    Run with: dune exec examples/trace_anatomy.exe *)
 
 module App = Dp_workloads.App
-module Concrete = Dp_dependence.Concrete
-module Reuse = Dp_restructure.Reuse_scheduler
-module Generate = Dp_trace.Generate
 module Request = Dp_trace.Request
 module Runner = Dp_harness.Runner
+module Pipeline = Dp_pipeline.Pipeline
 
 let print_histogram label reqs =
   let h = Dp_trace.Idle_stats.of_requests reqs in
@@ -27,17 +26,9 @@ let print_histogram label reqs =
 let () =
   let app = Option.get (Dp_workloads.Workloads.by_name "AST") in
   let ctx = Runner.context app in
-  let layout = ctx.Runner.layout and g = ctx.Runner.graph in
 
-  let base_trace =
-    Generate.trace layout app.App.program g
-      (Generate.single_stream g ~order:(Concrete.original_order g))
-  in
-  let schedule = Reuse.schedule layout app.App.program g in
-  let reuse_trace =
-    Generate.trace layout app.App.program g
-      (Generate.single_stream g ~order:schedule.Reuse.order)
-  in
+  let base_trace = Pipeline.trace ctx ~procs:1 Pipeline.Original in
+  let reuse_trace = Pipeline.trace ctx ~procs:1 Pipeline.Reuse_single in
 
   (* Round-trip the restructured trace through the text format. *)
   let path = Filename.temp_file "dpower_ast" ".trace" in
@@ -54,4 +45,4 @@ let () =
   print_histogram "restructured" reloaded;
   Format.printf
     "@.scheduler: %d rounds (the stencil's inter-step dependences bound each disk visit)@."
-    schedule.Reuse.rounds
+    (Option.value ~default:0 (Pipeline.rounds ctx ~procs:1 Pipeline.Reuse_single))

@@ -811,6 +811,24 @@ let pp_disk_stats ppf s =
     Format.fprintf ppf ", %d su-retries, %d media-retries, %d spikes, degraded %.0f ms"
       s.spin_up_retries s.media_retries s.latency_spikes s.degraded_ms
 
+(* The one-line wear/retry summary both CLIs print after a simulated
+   run (formerly duplicated between dpcc and dpsim). *)
+let pp_reliability ?(model = Disk_model.ultrastar_36z15) ppf r =
+  let wear, su, media, spikes, degraded =
+    Array.fold_left
+      (fun (w, s, m, l, d) ds ->
+        ( Float.max w (wear_fraction model ds),
+          s + ds.spin_up_retries,
+          m + ds.media_retries,
+          l + ds.latency_spikes,
+          d +. ds.degraded_ms ))
+      (0.0, 0, 0, 0, 0.0) r.per_disk
+  in
+  Format.fprintf ppf
+    "reliability: wear %.4f%% of start-stop budget (worst disk), %d spin-up retries, %d \
+     media retries, %d latency spikes, degraded %.1f ms"
+    (100.0 *. wear) su media spikes degraded
+
 let pp_result ppf r =
   Format.fprintf ppf "@[<v>policy %s: energy %.1f J, io time %.1f ms, makespan %.1f ms@,%a@]"
     r.policy r.energy_j r.io_time_ms r.makespan_ms

@@ -98,3 +98,8 @@ val wear_fraction : Disk_model.t -> disk_stats -> float
 
 val pp_result : Format.formatter -> result -> unit
 val pp_disk_stats : Format.formatter -> disk_stats -> unit
+
+val pp_reliability : ?model:Disk_model.t -> Format.formatter -> result -> unit
+(** The one-line wear/retry/degraded-time summary of a run: worst-disk
+    {!wear_fraction} plus retry/spike counts and degraded time summed
+    across disks (the line both CLIs print after a simulation). *)

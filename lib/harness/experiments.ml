@@ -3,15 +3,40 @@ module Workloads = Dp_workloads.Workloads
 module Engine = Dp_disksim.Engine
 module Generate = Dp_trace.Generate
 
+module Domain_pool = Dp_pipeline.Domain_pool
+
 type matrix = (App.t * (Version.t * Runner.run) list) list
 
-let build_matrix ?apps ?faults ?retry ?obs ~procs ~versions () =
+(* Split [xs] into consecutive chunks of [size]. *)
+let rec chunks size = function
+  | [] -> []
+  | xs ->
+      let rec take k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (k - 1) (x :: acc) rest
+      in
+      let chunk, rest = take size [] xs in
+      chunk :: chunks size rest
+
+let build_matrix ?apps ?faults ?retry ?obs ?(jobs = 1) ~procs ~versions () =
   let apps = match apps with Some a -> a | None -> Workloads.all () in
-  List.map
-    (fun app ->
-      let ctx = Runner.context app in
-      (app, List.map (fun v -> (v, Runner.run ctx ?faults ?retry ?obs ~procs v)) versions))
-    apps
+  (* One shared context per app: rows fan out over the domain pool and
+     meet again in the context's stage memo tables, so the dependence
+     graph and each distinct trace are still built once per app. *)
+  let ctxs = List.map (fun app -> (app, Runner.context app)) apps in
+  let cells =
+    List.concat_map (fun (_, ctx) -> List.map (fun v -> (ctx, v)) versions) ctxs
+  in
+  let runs =
+    Domain_pool.map ~jobs
+      (fun (ctx, v) -> (v, Runner.run ctx ?faults ?retry ?obs ~procs v))
+      cells
+  in
+  List.map2
+    (fun (app, _) runs -> (app, runs))
+    ctxs
+    (chunks (List.length versions) runs)
 
 let base_of runs =
   match List.assoc_opt Version.Base runs with
@@ -169,15 +194,23 @@ let fig_reliability ?faults matrix ppf =
 type sweep_point = { rate : float; runs : (Version.t * Runner.run) list }
 type sweep = { app : App.t; procs : int; seed : int; points : sweep_point list }
 
-let fault_sweep ?(seed = 42) ?(rates = [ 0.0; 0.001; 0.01; 0.05; 0.1 ]) ?classes ?obs ~procs
-    ~versions app =
+let fault_sweep ?(seed = 42) ?(rates = [ 0.0; 0.001; 0.01; 0.05; 0.1 ]) ?classes ?obs
+    ?(jobs = 1) ~procs ~versions app =
   let ctx = Runner.context app in
-  let points =
-    List.map
-      (fun rate ->
+  (* rate x version cells share one context: the injector perturbs only
+     the simulation, so every point reuses the same memoized traces. *)
+  let cells =
+    List.concat_map (fun rate -> List.map (fun v -> (rate, v)) versions) rates
+  in
+  let runs =
+    Domain_pool.map ~jobs
+      (fun (rate, v) ->
         let faults = Dp_faults.Fault_model.make ?classes ~seed ~rate () in
-        { rate; runs = List.map (fun v -> (v, Runner.run ctx ~faults ?obs ~procs v)) versions })
-      rates
+        (v, Runner.run ctx ~faults ?obs ~procs v))
+      cells
+  in
+  let points =
+    List.map2 (fun rate runs -> { rate; runs }) rates (chunks (List.length versions) runs)
   in
   { app; procs; seed; points }
 

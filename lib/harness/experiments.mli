@@ -11,6 +11,7 @@ val build_matrix :
   ?faults:Dp_faults.Fault_model.t ->
   ?retry:Dp_disksim.Policy.retry_config ->
   ?obs:bool ->
+  ?jobs:int ->
   procs:int ->
   versions:Version.t list ->
   unit ->
@@ -20,7 +21,11 @@ val build_matrix :
     simulated run with the same deterministic injector configuration
     (oracle rows stay fault-free — see {!Runner.run}).  [obs] attaches
     per-run observability reports (see {!Runner.run}); the JSON
-    rendering then carries the histograms. *)
+    rendering then carries the histograms.  [jobs] (default 1) fans the
+    (app, version) rows out over that many domains
+    ({!Dp_pipeline.Domain_pool}); results are returned in the same
+    deterministic order regardless of [jobs] — the matrix is
+    byte-identical to a serial build. *)
 
 val table1 : Format.formatter -> unit
 (** Default simulation parameters (the Table 1 reproduction). *)
@@ -59,12 +64,15 @@ val fault_sweep :
   ?rates:float list ->
   ?classes:Dp_faults.Fault_model.class_ list ->
   ?obs:bool ->
+  ?jobs:int ->
   procs:int ->
   versions:Version.t list ->
   App.t ->
   sweep
 (** Defaults: seed 42, rates [0, 0.001, 0.01, 0.05, 0.1], all fault
-    classes.  [obs] as in {!build_matrix}. *)
+    classes.  [obs] and [jobs] as in {!build_matrix} — the
+    (rate, version) points fan out over the domain pool with
+    deterministic ordering. *)
 
 val fig_sweep : sweep -> Format.formatter -> unit
 (** Energy and degraded time per version at each rate of the ramp. *)

@@ -1,21 +1,12 @@
 module App = Dp_workloads.App
-module Layout = Dp_layout.Layout
-module Concrete = Dp_dependence.Concrete
 module Engine = Dp_disksim.Engine
 module Generate = Dp_trace.Generate
-module Reuse = Dp_restructure.Reuse_scheduler
-module Parallelize = Dp_restructure.Parallelize
 module Oracle = Dp_oracle.Oracle
-module Policy = Dp_disksim.Policy
+module Pipeline = Dp_pipeline.Pipeline
 
-type ctx = { app : App.t; layout : Layout.t; graph : Concrete.graph }
+type ctx = Pipeline.t
 
-let context (app : App.t) =
-  let layout =
-    Layout.make ~default:app.App.striping ~overrides:app.App.overrides app.App.program
-  in
-  let graph = Concrete.build app.App.program in
-  { app; layout; graph }
+let context = Pipeline.of_app
 
 type run = {
   version : Version.t;
@@ -26,80 +17,6 @@ type run = {
   obs : Dp_obs.Report.disk_report array option;
 }
 
-(* Per-processor execution streams for a version. *)
-let streams ctx ~procs version =
-  let prog = ctx.app.App.program in
-  if procs = 1 then begin
-    if Version.restructured version then begin
-      if Version.layout_aware version then
-        invalid_arg "Runner.run: layout-aware versions need several processors";
-      let s = Reuse.schedule ctx.layout prog ctx.graph in
-      (Generate.single_stream ctx.graph ~order:s.Reuse.order, Some s.Reuse.rounds)
-    end
-    else
-      (Generate.single_stream ctx.graph ~order:(Concrete.original_order ctx.graph), None)
-  end
-  else begin
-    let conventional () = Parallelize.conventional prog ctx.graph ~procs in
-    if not (Version.restructured version) then
-      (* Unmodified code, conventionally parallelized, fork-join nests. *)
-      (Generate.original_segments prog ctx.graph (conventional ()), None)
-    else begin
-      let assignment =
-        if Version.layout_aware version then
-          Parallelize.layout_aware ctx.layout prog ctx.graph ~procs
-        else conventional ()
-      in
-      let rounds = ref 0 in
-      let disks = ctx.layout.Dp_layout.Layout.disk_count in
-      (* Each processor begins its disk tour on a different disk so the
-         tours do not contend for the same I/O node. *)
-      let reuse p ~member =
-        let s =
-          Reuse.schedule_subset ctx.layout prog ctx.graph
-            ~start_disk:(p * disks / procs)
-            ~member
-        in
-        rounds := max !rounds s.Reuse.rounds;
-        s.Reuse.order
-      in
-      let segs =
-        if Version.layout_aware version then
-          (* Global restructuring: the data-space assignment spans all
-             nests, no synchronization between them (Fig. 6(b)). *)
-          Generate.reordered_segments assignment ~order_of_proc:(fun p ->
-              reuse p ~member:(fun seq -> assignment.Parallelize.owner.(seq) = p))
-        else begin
-          (* The single-CPU algorithm applied to each processor's share
-             of the conventionally parallelized code: the fork-join
-             barriers between nests remain, so disk reuse is exploited
-             within each nest only. *)
-          let nest_ids = List.map (fun (n : Dp_ir.Ir.nest) -> n.Dp_ir.Ir.nest_id) prog.Dp_ir.Ir.nests in
-          Array.init procs (fun p ->
-              List.map
-                (fun nest_id ->
-                  reuse p ~member:(fun seq ->
-                      assignment.Parallelize.owner.(seq) = p
-                      && ctx.graph.Concrete.instances.(seq).Concrete.nest_id = nest_id))
-                nest_ids)
-        end
-      in
-      (segs, Some !rounds)
-    end
-  end
-
-(* Compiler hints for the proactive (restructured) versions: the hint
-   emitter replays the nominal trace the restructurer produced and plans
-   each predicted gap, so the engine executes directives instead of
-   consulting an omniscient gap planner. *)
-let hints_for policy ~disks trace =
-  match policy with
-  | Policy.Tpm { Policy.proactive = true; _ } ->
-      Oracle.hints_of_trace ~space:Oracle.Tpm_space ~disks trace
-  | Policy.Drpm { Policy.proactive = true; _ } ->
-      Oracle.hints_of_trace ~space:Oracle.Drpm_space ~disks trace
-  | _ -> []
-
 let run ctx ?faults ?retry ?(obs = false) ~procs version =
   match Version.oracle_space version with
   | Some space ->
@@ -107,9 +24,8 @@ let run ctx ?faults ?retry ?(obs = false) ~procs version =
          corresponding reactive row, energy replaced by the oracle DP.
          The oracle DP never runs the engine, so there is nothing to
          observe — [obs] is ignored for these rows. *)
-      let segs, _ = streams ctx ~procs Version.Base in
-      let trace = Generate.trace ctx.layout ctx.app.App.program ctx.graph segs in
-      let bound = Oracle.lower_bound ~space ~disks:ctx.layout.Layout.disk_count trace in
+      let trace = Pipeline.trace ctx ~procs Pipeline.Original in
+      let bound = Oracle.lower_bound ~space ~disks:(Pipeline.disks ctx) trace in
       let result =
         {
           bound.Oracle.base with
@@ -126,11 +42,14 @@ let run ctx ?faults ?retry ?(obs = false) ~procs version =
         obs = None;
       }
   | None ->
-      let segs, scheduler_rounds = streams ctx ~procs version in
-      let trace = Generate.trace ctx.layout ctx.app.App.program ctx.graph segs in
+      let mode = Version.mode version in
+      let scheduler_rounds = Pipeline.rounds ctx ~procs mode in
+      let trace = Pipeline.trace ctx ~procs mode in
       let policy = Version.policy version in
-      let disks = ctx.layout.Layout.disk_count in
-      let hints = if Version.restructured version then hints_for policy ~disks trace else [] in
+      let hints =
+        if Version.restructured version then Pipeline.hints_for ctx ~procs ~policy mode
+        else []
+      in
       let sink =
         if obs then
           (* Room for every span/service/decision of the run: the engine
@@ -139,9 +58,13 @@ let run ctx ?faults ?retry ?(obs = false) ~procs version =
           Dp_obs.Sink.ring ~capacity:(max 4096 (64 * (List.length trace + 64))) ()
         else Dp_obs.Sink.null
       in
-      let result = Engine.simulate ~obs:sink ~hints ?faults ?retry ~disks policy trace in
+      let result =
+        Engine.simulate ~obs:sink ~hints ?faults ?retry ~disks:(Pipeline.disks ctx) policy
+          trace
+      in
       let obs =
-        if obs then Some (Dp_obs.Report.of_events ~disks (Dp_obs.Sink.events sink))
+        if obs then
+          Some (Dp_obs.Report.of_events ~disks:(Pipeline.disks ctx) (Dp_obs.Sink.events sink))
         else None
       in
       { version; procs; result; summary = Generate.summarize trace; scheduler_rounds; obs }

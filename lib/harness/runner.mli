@@ -1,23 +1,25 @@
 module App = Dp_workloads.App
-module Layout = Dp_layout.Layout
-module Concrete = Dp_dependence.Concrete
 module Engine = Dp_disksim.Engine
 module Generate = Dp_trace.Generate
+module Pipeline = Dp_pipeline.Pipeline
 
 (** Runs one (application, version, processor-count) cell of the
     evaluation matrix: restructure/parallelize per the version, generate
-    the trace, simulate under the version's policy. *)
+    the trace, simulate under the version's policy.
 
-type ctx = {
-  app : App.t;
-  layout : Layout.t;
-  graph : Concrete.graph;
-}
+    All compilation stages live in {!Dp_pipeline.Pipeline}; the runner
+    only maps version semantics ({!Version.mode}, policy, hints) onto
+    pipeline stages and drives the engine.  A context is safe to share
+    across domains — matrix rows of the same application reuse its
+    memoized dependence graph, streams and traces. *)
+
+type ctx = Pipeline.t
 
 val context : App.t -> ctx
-(** Builds the layout (the app's striping for every array) and the
-    concrete dependence graph; reuse it across versions — graph
-    construction dominates the cost of a run. *)
+(** Builds the pipeline context of an application (its layout, and the
+    memoized stages on demand); reuse it across versions — graph
+    construction and trace generation dominate the cost of a run and
+    are shared between rows. *)
 
 type run = {
   version : Version.t;

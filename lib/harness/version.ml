@@ -53,3 +53,10 @@ let oracle_space = function
   | Oracle_tpm -> Some Dp_oracle.Oracle.Tpm_space
   | Oracle_drpm -> Some Dp_oracle.Oracle.Drpm_space
   | Base | Tpm | Drpm | T_tpm_s | T_drpm_s | T_tpm_m | T_drpm_m -> None
+
+(* The version rows map onto the pipeline's three execution-order
+   families; the oracle bounds replay the unmodified-code trace. *)
+let mode v =
+  if not (restructured v) then Dp_pipeline.Pipeline.Original
+  else if layout_aware v then Dp_pipeline.Pipeline.Reuse_multi
+  else Dp_pipeline.Pipeline.Reuse_single

@@ -36,3 +36,8 @@ val layout_aware : t -> bool
 
 val oracle_space : t -> Dp_oracle.Oracle.space option
 (** [Some space] exactly for the oracle rows. *)
+
+val mode : t -> Dp_pipeline.Pipeline.mode
+(** The pipeline execution-order family of the version: [Original] for
+    the unmodified-code rows (including the oracle bounds),
+    [Reuse_single] for T-*-s, [Reuse_multi] for T-*-m. *)

@@ -8,10 +8,15 @@ type entry = {
 let on = ref false
 let table : (string, entry) Hashtbl.t = Hashtbl.create 16
 
+(* The table is global and spans may close from any domain (the
+   harness fans experiment rows out over a domain pool), so updates are
+   serialized.  The disabled fast path stays a single branch. *)
+let lock = Mutex.create ()
+
 let enable () = on := true
 let disable () = on := false
 let enabled () = !on
-let reset () = Hashtbl.reset table
+let reset () = Mutex.protect lock (fun () -> Hashtbl.reset table)
 
 let entry name =
   match Hashtbl.find_opt table name with
@@ -27,20 +32,22 @@ let span name f =
     let t0 = Sys.time () in
     Fun.protect
       ~finally:(fun () ->
-        let e = entry name in
-        e.total_s <- e.total_s +. (Sys.time () -. t0);
-        e.calls <- e.calls + 1)
+        let dt = Sys.time () -. t0 in
+        Mutex.protect lock (fun () ->
+            let e = entry name in
+            e.total_s <- e.total_s +. dt;
+            e.calls <- e.calls + 1))
       f
   end
 
 let count name n =
-  if !on then begin
-    let e = entry name in
-    e.items <- e.items + n
-  end
+  if !on then
+    Mutex.protect lock (fun () ->
+        let e = entry name in
+        e.items <- e.items + n)
 
 let entries () =
-  let all = Hashtbl.fold (fun _ e acc -> e :: acc) table [] in
+  let all = Mutex.protect lock (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) table []) in
   List.sort (fun a b -> compare b.total_s a.total_s) all
 
 let pp_table ppf () =

@@ -11,6 +11,12 @@ let space_name = function
   | Drpm_space -> "Oracle-DRPM"
   | Full_space -> "Oracle"
 
+let space_of_name = function
+  | "oracle-tpm" -> Some Tpm_space
+  | "oracle-drpm" -> Some Drpm_space
+  | "oracle" -> Some Full_space
+  | _ -> None
+
 type gap = { start_ms : float; len_ms : float; terminal : bool }
 
 type action = Stay_idle | Spin_cycle | Rpm_dip of int

@@ -30,6 +30,10 @@ type space =
 
 val space_name : space -> string
 
+val space_of_name : string -> space option
+(** CLI policy-name spellings: ["oracle-tpm"], ["oracle-drpm"],
+    ["oracle"] (both mechanisms); anything else is [None]. *)
+
 type gap = {
   start_ms : float;
   len_ms : float;

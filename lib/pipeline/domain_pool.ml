@@ -1,0 +1,50 @@
+(* Work-stealing-free pool: tasks are claimed off a shared atomic
+   counter and results land in a slot array indexed by input position,
+   so the output order is the input order whatever the interleaving. *)
+
+exception Task_error of int * exn
+
+let map ~jobs f xs =
+  if jobs < 1 then invalid_arg "Domain_pool.map: jobs must be >= 1";
+  let n = List.length xs in
+  let jobs = min jobs n in
+  if jobs <= 1 then List.map f xs
+  else begin
+    let input = Array.of_list xs in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    (* First failure in task order; later failures are dropped (the
+       serial path would never have reached them). *)
+    let error = Atomic.make None in
+    let record_error i exn =
+      let rec retry () =
+        match Atomic.get error with
+        | Some (Task_error (j, _)) when j <= i -> ()
+        | old ->
+            if not (Atomic.compare_and_set error old (Some (Task_error (i, exn)))) then
+              retry ()
+      in
+      retry ()
+    in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get error = None then begin
+          (match f input.(i) with
+          | v -> out.(i) <- Some v
+          | exception exn -> record_error i exn);
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    match Atomic.get error with
+    | Some (Task_error (_, exn)) -> raise exn
+    | Some exn -> raise exn
+    | None -> Array.to_list (Array.map Option.get out)
+  end
+
+let default_jobs () = min 8 (max 1 (Domain.recommended_domain_count () - 1))

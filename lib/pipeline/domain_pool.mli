@@ -1,0 +1,26 @@
+(** A small fixed-size pool of OCaml 5 domains for fanning out
+    independent experiment rows.
+
+    Results are returned in input order regardless of which domain ran
+    which task, so a parallel map over deterministic functions is itself
+    deterministic: [map ~jobs:n f xs = map ~jobs:1 f xs] byte for byte.
+
+    [jobs = 1] (and singleton/empty inputs) run inline on the calling
+    domain — no domain is spawned, making the serial path the identity
+    baseline the parallel one is diffed against. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] on a pool of
+    [min jobs (length xs)] domains (the calling domain counts as one)
+    and returns the results in input order.
+
+    Tasks are claimed from a shared atomic counter, so an imbalanced
+    workload still keeps every domain busy.  If any [f x] raises, the
+    first exception (in task order) is re-raised on the calling domain
+    after all domains have drained; remaining unclaimed tasks are
+    skipped.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** A conservative pool size for experiment fan-out:
+    [max 1 (recommended_domain_count () - 1)], capped at 8. *)

@@ -1,0 +1,303 @@
+module Ir = Dp_ir.Ir
+module App = Dp_workloads.App
+module Workloads = Dp_workloads.Workloads
+module Resolver = Dp_lang.Resolver
+module Layout = Dp_layout.Layout
+module Striping = Dp_layout.Striping
+module Concrete = Dp_dependence.Concrete
+module Cluster = Dp_restructure.Cluster
+module Reuse = Dp_restructure.Reuse_scheduler
+module Parallelize = Dp_restructure.Parallelize
+module Generate = Dp_trace.Generate
+module Request = Dp_trace.Request
+module Hint = Dp_trace.Hint
+module Engine = Dp_disksim.Engine
+module Policy = Dp_disksim.Policy
+module Oracle = Dp_oracle.Oracle
+module Prof = Dp_obs.Prof
+
+type mode = Original | Reuse_single | Reuse_multi
+
+let mode_name = function
+  | Original -> "original"
+  | Reuse_single -> "single"
+  | Reuse_multi -> "multi"
+
+let mode_of_name = function
+  | "original" -> Some Original
+  | "single" -> Some Reuse_single
+  | "multi" -> Some Reuse_multi
+  | _ -> None
+
+(* Memo keys carry exactly the knobs a stage's output depends on.  The
+   clustering policy defaults are resolved here so [?cluster:None] and
+   [?cluster:(Some First_ref)] share an entry. *)
+type key = { k_procs : int; k_mode : mode; k_cluster : Cluster.policy }
+
+type stats = {
+  graph_builds : int;
+  stream_builds : int;
+  trace_builds : int;
+  hint_builds : int;
+  memo_hits : int;
+}
+
+type t = {
+  app : App.t;
+  layout : Layout.t;
+  origin : string;
+  lock : Mutex.t;
+  (* A ref cell (not a mutable field) so [derive] can share the built
+     graph between contexts that differ only in layout. *)
+  graph_cell : Concrete.graph option ref;
+  streams_tbl : (key, Generate.segments array * int option) Hashtbl.t;
+  trace_tbl : (key, Request.t list) Hashtbl.t;
+  hint_tbl : (key * Oracle.space, Hint.t list) Hashtbl.t;
+  mutable graph_builds : int;
+  mutable stream_builds : int;
+  mutable trace_builds : int;
+  mutable hint_builds : int;
+  mutable memo_hits : int;
+}
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        graph_builds = t.graph_builds;
+        stream_builds = t.stream_builds;
+        trace_builds = t.trace_builds;
+        hint_builds = t.hint_builds;
+        memo_hits = t.memo_hits;
+      })
+
+(* --- construction --- *)
+
+let synth_app ~origin ~layout program =
+  {
+    App.name = origin;
+    description = origin;
+    program;
+    striping = Striping.default;
+    overrides =
+      List.map
+        (fun (e : Layout.entry) -> (e.Layout.decl.Ir.name, e.Layout.striping))
+        layout.Layout.entries;
+    paper_data_gb = 0.0;
+    paper_requests = 0;
+    paper_base_energy_j = 0.0;
+    paper_io_time_ms = 0.0;
+  }
+
+let make ~app ~layout ~origin =
+  {
+    app;
+    layout;
+    origin;
+    lock = Mutex.create ();
+    graph_cell = ref None;
+    streams_tbl = Hashtbl.create 8;
+    trace_tbl = Hashtbl.create 8;
+    hint_tbl = Hashtbl.create 8;
+    graph_builds = 0;
+    stream_builds = 0;
+    trace_builds = 0;
+    hint_builds = 0;
+    memo_hits = 0;
+  }
+
+let create ?(origin = "<program>") ?default ?(overrides = []) program =
+  let layout = Layout.make ?default ~overrides program in
+  make ~app:(synth_app ~origin ~layout program) ~layout ~origin
+
+let of_app (app : App.t) =
+  let layout =
+    Layout.make ~default:app.App.striping ~overrides:app.App.overrides app.App.program
+  in
+  make ~app ~layout ~origin:app.App.name
+
+let stripe_of_spec (sp : Dp_lang.Ast.stripe_spec) =
+  Striping.make ~unit_bytes:sp.unit_bytes ~factor:sp.factor ~start_disk:sp.start_disk
+
+let load source =
+  if String.length source > 4 && String.sub source 0 4 = "app:" then begin
+    let name = String.sub source 4 (String.length source - 4) in
+    match Workloads.by_name name with
+    | Some app -> of_app app
+    | None ->
+        Format.kasprintf failwith "unknown application %s (available: %s)" name
+          (String.concat ", " (Workloads.names ()))
+  end
+  else begin
+    let { Resolver.program; stripes } = Resolver.load_file source in
+    let overrides = List.map (fun (name, sp) -> (name, stripe_of_spec sp)) stripes in
+    create ~origin:source ~overrides program
+  end
+
+let derive ~layout t =
+  let d = make ~app:t.app ~layout ~origin:t.origin in
+  { d with graph_cell = t.graph_cell; lock = t.lock }
+
+let program t = t.app.App.program
+let layout t = t.layout
+let origin t = t.origin
+let disks t = t.layout.Layout.disk_count
+let app t = t.app
+
+(* --- stages --- *)
+
+(* Each stage takes the lock only around its own table: builds are
+   serialized per context, and stages acquire their inputs (upstream
+   stages) before locking, so locks never nest. *)
+
+let graph t =
+  Mutex.protect t.lock (fun () ->
+      match !(t.graph_cell) with
+      | Some g ->
+          t.memo_hits <- t.memo_hits + 1;
+          g
+      | None ->
+          let g = Prof.span "pipeline.graph" (fun () -> Concrete.build (program t)) in
+          t.graph_cell := Some g;
+          t.graph_builds <- t.graph_builds + 1;
+          g)
+
+let key ?(cluster = Cluster.First_ref) ~procs mode =
+  { k_procs = procs; k_mode = mode; k_cluster = cluster }
+
+let check_streams_args ~procs mode =
+  if procs < 1 then
+    invalid_arg (Printf.sprintf "Pipeline.streams: procs must be >= 1 (got %d)" procs);
+  if mode = Reuse_multi && procs = 1 then
+    invalid_arg "Pipeline.streams: the layout-aware mode needs several processors"
+
+(* The one definition of the per-processor execution streams of every
+   matrix version (formerly duplicated between bin/dpcc.ml and
+   lib/harness/runner.ml, with dpcc unable to produce the
+   conventional-partition restructured streams at procs > 1). *)
+let build_streams t g ~cluster ~procs mode =
+  let prog = program t in
+  match (mode, procs) with
+  | Original, 1 ->
+      (Generate.single_stream g ~order:(Concrete.original_order g), None)
+  | Original, _ ->
+      (* Unmodified code, conventionally parallelized, fork-join nests. *)
+      (Generate.original_segments prog g (Parallelize.conventional prog g ~procs), None)
+  | Reuse_single, 1 ->
+      let s = Reuse.schedule ~policy:cluster t.layout prog g in
+      (Generate.single_stream g ~order:s.Reuse.order, Some s.Reuse.rounds)
+  | Reuse_multi, 1 -> assert false (* rejected by check_streams_args *)
+  | (Reuse_single | Reuse_multi), _ ->
+      let rounds = ref 0 in
+      let disks = t.layout.Layout.disk_count in
+      (* Each processor begins its disk tour on a different disk so the
+         tours do not contend for the same I/O node. *)
+      let reuse p ~member =
+        let s =
+          Reuse.schedule_subset ~policy:cluster t.layout prog g
+            ~start_disk:(p * disks / procs)
+            ~member
+        in
+        rounds := max !rounds s.Reuse.rounds;
+        s.Reuse.order
+      in
+      let segs =
+        if mode = Reuse_multi then begin
+          (* Global restructuring: the data-space assignment spans all
+             nests, no synchronization between them (Fig. 6(b)). *)
+          let assignment = Parallelize.layout_aware t.layout prog g ~procs in
+          Generate.reordered_segments assignment ~order_of_proc:(fun p ->
+              reuse p ~member:(fun seq -> assignment.Parallelize.owner.(seq) = p))
+        end
+        else begin
+          (* The single-CPU algorithm applied to each processor's share
+             of the conventionally parallelized code: the fork-join
+             barriers between nests remain, so disk reuse is exploited
+             within each nest only. *)
+          let assignment = Parallelize.conventional prog g ~procs in
+          let nest_ids =
+            List.map (fun (n : Ir.nest) -> n.Ir.nest_id) prog.Ir.nests
+          in
+          Array.init procs (fun p ->
+              List.map
+                (fun nest_id ->
+                  reuse p ~member:(fun seq ->
+                      assignment.Parallelize.owner.(seq) = p
+                      && g.Concrete.instances.(seq).Concrete.nest_id = nest_id))
+                nest_ids)
+        end
+      in
+      (segs, Some !rounds)
+
+let streams ?cluster t ~procs mode =
+  check_streams_args ~procs mode;
+  let g = graph t in
+  let k = key ?cluster ~procs mode in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.streams_tbl k with
+      | Some v ->
+          t.memo_hits <- t.memo_hits + 1;
+          v
+      | None ->
+          let v =
+            Prof.span "pipeline.streams" (fun () ->
+                build_streams t g ~cluster:k.k_cluster ~procs mode)
+          in
+          Hashtbl.add t.streams_tbl k v;
+          t.stream_builds <- t.stream_builds + 1;
+          v)
+
+let rounds ?cluster t ~procs mode = snd (streams ?cluster t ~procs mode)
+
+let trace ?cluster t ~procs mode =
+  let segs, _ = streams ?cluster t ~procs mode in
+  let g = graph t in
+  let k = key ?cluster ~procs mode in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.trace_tbl k with
+      | Some v ->
+          t.memo_hits <- t.memo_hits + 1;
+          v
+      | None ->
+          let v =
+            Prof.span "pipeline.trace" (fun () -> Generate.trace t.layout (program t) g segs)
+          in
+          Hashtbl.add t.trace_tbl k v;
+          t.trace_builds <- t.trace_builds + 1;
+          v)
+
+let hints ?cluster t ~procs ~space mode =
+  let reqs = trace ?cluster t ~procs mode in
+  let k = (key ?cluster ~procs mode, space) in
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.hint_tbl k with
+      | Some v ->
+          t.memo_hits <- t.memo_hits + 1;
+          v
+      | None ->
+          let v =
+            Prof.span "pipeline.hints" (fun () ->
+                Oracle.hints_of_trace ~space ~disks:(disks t) reqs)
+          in
+          Hashtbl.add t.hint_tbl k v;
+          t.hint_builds <- t.hint_builds + 1;
+          v)
+
+(* Compiler hints for the proactive policies: the hint emitter replays
+   the nominal trace and plans each predicted gap, so the engine
+   executes directives instead of consulting its omniscient planner. *)
+let space_of_policy = function
+  | Policy.Tpm { Policy.proactive = true; _ } -> Some Oracle.Tpm_space
+  | Policy.Drpm { Policy.proactive = true; _ } -> Some Oracle.Drpm_space
+  | _ -> None
+
+let hints_for ?cluster t ~procs ~policy mode =
+  match space_of_policy policy with
+  | None -> []
+  | Some space -> hints ?cluster t ~procs ~space mode
+
+let simulate ?cluster ?faults ?retry ?obs ?record_timeline t ~procs ~policy mode =
+  let reqs = trace ?cluster t ~procs mode in
+  let hints = hints_for ?cluster t ~procs ~policy mode in
+  Prof.span "pipeline.simulate" (fun () ->
+      Engine.simulate ?record_timeline ?obs ?faults ?retry ~hints ~disks:(disks t) policy
+        reqs)

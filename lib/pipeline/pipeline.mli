@@ -1,0 +1,164 @@
+module Ir = Dp_ir.Ir
+module App = Dp_workloads.App
+module Layout = Dp_layout.Layout
+module Striping = Dp_layout.Striping
+module Concrete = Dp_dependence.Concrete
+module Cluster = Dp_restructure.Cluster
+module Generate = Dp_trace.Generate
+module Request = Dp_trace.Request
+module Hint = Dp_trace.Hint
+module Engine = Dp_disksim.Engine
+module Policy = Dp_disksim.Policy
+module Oracle = Dp_oracle.Oracle
+
+(** The one compile→trace→simulate pipeline.
+
+    The paper's workflow is a fixed sequence — parse, dependence
+    analysis, disk-reuse restructuring (Fig. 3 / Sec 6.2), trace
+    generation, trace-driven simulation.  A {!t} is the shared
+    compilation context of one program: each stage is a named, memoized
+    step keyed by the knobs that actually change its output (processor
+    count, restructuring {!mode}, clustering policy), so the dependence
+    graph and the Base trace are computed once and shared across every
+    version of the evaluation matrix instead of rebuilt per row.  Every
+    stage build runs under a [pipeline.*] {!Dp_obs.Prof} span.
+
+    Stage memo tables are protected by a per-context mutex: a context
+    may be shared by several domains ({!Domain_pool}), each looking up
+    or building stages concurrently; builds are serialized, everything
+    downstream (the simulations — the dominant cost) runs in
+    parallel. *)
+
+type t
+
+(** {1 Restructuring modes}
+
+    The three execution-order families of the evaluation matrix.  The
+    version rows map onto them as: Base/TPM/DRPM and the Oracle bounds
+    replay {!Original}; T-*-s is {!Reuse_single}; T-*-m is
+    {!Reuse_multi}. *)
+
+type mode =
+  | Original
+      (** unmodified code: original order at 1 processor, conventional
+          loop parallelization with fork-join nests otherwise *)
+  | Reuse_single
+      (** the single-CPU disk-reuse algorithm (Fig. 3): the whole
+          program at 1 processor; applied to each processor's share of
+          the conventionally parallelized code (barriers kept) at
+          several *)
+  | Reuse_multi
+      (** the disk-layout-aware parallelization of Sec 6.2: the data
+          space assignment spans all nests, each processor tours its
+          disk share, no inter-nest synchronization; needs [procs > 1] *)
+
+val mode_name : mode -> string
+val mode_of_name : string -> mode option
+
+(** {1 Building a context} *)
+
+val create :
+  ?origin:string ->
+  ?default:Striping.t ->
+  ?overrides:(string * Striping.t) list ->
+  Ir.program ->
+  t
+(** A context over an in-memory program; the layout is
+    [Layout.make ?default ~overrides program]. *)
+
+val of_app : App.t -> t
+(** A context over a built-in workload (its striping and overrides). *)
+
+val load : string -> t
+(** [load source] accepts a [.dpl] file path or [app:NAME] for a
+    built-in workload — the one loader behind every CLI entry point.
+    @raise Failure on an unknown [app:] name; parse errors propagate
+    from {!Dp_lang.Resolver.load_file}. *)
+
+val derive : layout:Layout.t -> t -> t
+(** A context over the same program with a different disk layout.  The
+    dependence graph depends only on the program, so it is shared with
+    the parent (already-built graphs are not rebuilt); every
+    layout-dependent stage starts cold. *)
+
+val program : t -> Ir.program
+val layout : t -> Layout.t
+val origin : t -> string
+val disks : t -> int
+
+val app : t -> App.t
+(** The context as a workload App (paper columns zeroed for loaded
+    sources) — the adapter the harness matrix builders consume. *)
+
+(** {1 Stages}
+
+    Each accessor returns the memoized stage result, building it on
+    first use.  [cluster] selects the clustering key policy of the
+    reuse scheduler (default {!Cluster.First_ref}); it is part of the
+    memo key. *)
+
+val graph : t -> Concrete.graph
+(** Stage 1: the concrete iteration-instance dependence graph. *)
+
+val streams :
+  ?cluster:Cluster.policy -> t -> procs:int -> mode -> Generate.segments array * int option
+(** Stage 2: per-processor execution streams for a mode, plus the
+    scheduler round count for the restructured modes ([None] for
+    {!Original}).
+    @raise Invalid_argument for {!Reuse_multi} with [procs = 1] (the
+    layout-aware scheme needs several processors) or [procs < 1]. *)
+
+val rounds : ?cluster:Cluster.policy -> t -> procs:int -> mode -> int option
+(** The round count of {!streams} alone. *)
+
+val trace : ?cluster:Cluster.policy -> t -> procs:int -> mode -> Request.t list
+(** Stage 3: the timed I/O request trace of the mode's streams. *)
+
+val hints :
+  ?cluster:Cluster.policy ->
+  t ->
+  procs:int ->
+  space:Oracle.space ->
+  mode ->
+  Hint.t list
+(** Stage 4: the compiler power-hint stream planned on the mode's
+    nominal trace, for one transition space. *)
+
+val hints_for :
+  ?cluster:Cluster.policy -> t -> procs:int -> policy:Policy.t -> mode -> Hint.t list
+(** The hint stream the given policy executes: proactive TPM gets
+    {!Oracle.Tpm_space} hints, proactive DRPM {!Oracle.Drpm_space},
+    reactive policies get none.  This is the single definition of the
+    policy→hint-space mapping (formerly duplicated between [dpcc] and
+    the harness runner). *)
+
+val simulate :
+  ?cluster:Cluster.policy ->
+  ?faults:Dp_faults.Fault_model.t ->
+  ?retry:Policy.retry_config ->
+  ?obs:Dp_obs.Sink.t ->
+  ?record_timeline:bool ->
+  t ->
+  procs:int ->
+  policy:Policy.t ->
+  mode ->
+  Engine.result
+(** Stage 5: trace-driven simulation of the mode under a policy, with
+    the policy's hint stream ({!hints_for}) attached.  Simulation
+    results are not memoized — faults, sinks and timelines make runs
+    observationally distinct; the expensive upstream stages are. *)
+
+(** {1 Stage accounting} *)
+
+type stats = {
+  graph_builds : int;
+  stream_builds : int;
+  trace_builds : int;
+  hint_builds : int;
+  memo_hits : int;  (** stage lookups answered from the memo tables *)
+}
+
+val stats : t -> stats
+(** Cumulative build/hit counters — the observable half of the
+    memoization contract ([graph_builds] stays 1 however many matrix
+    rows a context serves). *)

@@ -4,4 +4,4 @@ let () =
    @ Test_dependence.suites @ Test_polyhedra.suites @ Test_layout.suites
    @ Test_restructure.suites @ Test_trace.suites @ Test_faults.suites
    @ Test_disksim.suites @ Test_oracle.suites @ Test_cache.suites @ Test_workloads.suites
-   @ Test_harness.suites @ Test_obs.suites @ Test_cli.suites)
+   @ Test_harness.suites @ Test_obs.suites @ Test_pipeline.suites @ Test_cli.suites)

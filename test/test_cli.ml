@@ -190,7 +190,38 @@ let test_dpcc_usage () =
     (fun needle ->
       check Alcotest.bool (Printf.sprintf "usage mentions %s" needle) true
         (contains ~needle out))
-    [ "fault-sweep"; "--rates"; "--seed"; "--json" ]
+    [ "fault-sweep"; "--rates"; "--seed"; "--json"; "--jobs" ]
+
+(* --mode: contradictory flag combinations are usage errors (exit 2). *)
+
+let test_dpcc_mode_without_restructure () =
+  let code, _, err = run [ dpcc; "trace"; "app:AST"; "--mode"; "single" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool
+    (Printf.sprintf "points at --restructure (got %S)" err)
+    true
+    (contains ~needle:"--restructure" err)
+
+let test_dpcc_mode_multi_one_proc () =
+  let code, _, err = run [ dpcc; "simulate"; "app:AST"; "--restructure"; "--mode"; "multi" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool
+    (Printf.sprintf "points at --procs (got %S)" err)
+    true
+    (contains ~needle:"--procs" err)
+
+let test_dpcc_mode_unknown () =
+  let code, _, err =
+    run [ dpcc; "trace"; "app:AST"; "--restructure"; "--mode"; "sideways" ]
+  in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "names the value and the choices" true
+    (contains ~needle:"sideways" err && contains ~needle:"single | multi" err)
+
+let test_dpcc_bad_jobs () =
+  let code, _, err = run [ dpcc; "report"; "app:AST"; "--jobs"; "0" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "names --jobs" true (contains ~needle:"--jobs" err)
 
 let suites =
   [
@@ -211,5 +242,10 @@ let suites =
         Alcotest.test_case "dpcc unknown flag" `Quick test_dpcc_unknown_flag;
         Alcotest.test_case "dpcc malformed source" `Quick test_dpcc_malformed_source;
         Alcotest.test_case "dpcc fault-sweep usage" `Quick test_dpcc_usage;
+        Alcotest.test_case "dpcc --mode without --restructure" `Quick
+          test_dpcc_mode_without_restructure;
+        Alcotest.test_case "dpcc --mode multi at 1 proc" `Quick test_dpcc_mode_multi_one_proc;
+        Alcotest.test_case "dpcc unknown --mode" `Quick test_dpcc_mode_unknown;
+        Alcotest.test_case "dpcc --jobs 0" `Quick test_dpcc_bad_jobs;
       ] );
   ]

@@ -1,0 +1,194 @@
+(* The staged pipeline: the domain pool's determinism, the stage
+   memoization contract, and golden equivalence between the CLI path
+   (dpcc trace) and the Runner path (Pipeline stages) for every matrix
+   version at 1, 4 and 8 processors. *)
+
+module Pipeline = Dp_pipeline.Pipeline
+module Domain_pool = Dp_pipeline.Domain_pool
+module Version = Dp_harness.Version
+module Experiments = Dp_harness.Experiments
+module Json_out = Dp_harness.Json_out
+module Request = Dp_trace.Request
+module Policy = Dp_disksim.Policy
+
+let check = Alcotest.check
+
+let programs_dir =
+  let dir = "examples/programs" in
+  if Sys.file_exists dir then dir else Filename.concat ".." dir
+
+let transpose = Filename.concat programs_dir "transpose.dpl"
+
+(* --- Domain_pool --- *)
+
+let test_pool_order () =
+  let xs = List.init 100 Fun.id in
+  let expect = List.map (fun x -> x * x) xs in
+  List.iter
+    (fun jobs ->
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "jobs=%d preserves input order" jobs)
+        expect
+        (Domain_pool.map ~jobs (fun x -> x * x) xs))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_edges () =
+  check Alcotest.(list int) "empty input" [] (Domain_pool.map ~jobs:4 Fun.id []);
+  check Alcotest.(list int) "singleton input" [ 7 ] (Domain_pool.map ~jobs:4 Fun.id [ 7 ]);
+  check Alcotest.bool "jobs < 1 rejected" true
+    (match Domain_pool.map ~jobs:0 Fun.id [ 1 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  check Alcotest.bool "default_jobs >= 1" true (Domain_pool.default_jobs () >= 1)
+
+exception Boom of int
+
+let test_pool_first_error_wins () =
+  (* Claims are monotonic in input order, so the lowest failing index is
+     always reached before any later one — the parallel map re-raises
+     the same exception the serial map would. *)
+  let xs = List.init 20 (fun i -> i + 1) in
+  let f x = if x mod 3 = 0 then raise (Boom x) else x in
+  check Alcotest.int "first failure in input order" 3
+    (match Domain_pool.map ~jobs:4 f xs with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom n -> n)
+
+(* --- stage memoization --- *)
+
+let test_memo_sharing () =
+  let ctx = Pipeline.load transpose in
+  let versions = Version.multi_cpu @ Version.oracle in
+  List.iter (fun v -> ignore (Dp_harness.Runner.run ctx ~procs:4 v)) versions;
+  let st = Pipeline.stats ctx in
+  check Alcotest.int "graph built once for 9 rows" 1 st.Pipeline.graph_builds;
+  (* Three execution-order families -> three stream/trace builds. *)
+  check Alcotest.int "one streams build per mode" 3 st.Pipeline.stream_builds;
+  check Alcotest.int "one trace build per mode" 3 st.Pipeline.trace_builds;
+  (* Only the proactive-TPM rows carry hints: (single, Tpm) and
+     (multi, Tpm). *)
+  check Alcotest.int "hint streams built per (mode, space)" 2 st.Pipeline.hint_builds;
+  check Alcotest.bool "repeat lookups hit the memo" true (st.Pipeline.memo_hits > 0)
+
+let test_memo_same_result () =
+  let ctx = Pipeline.load transpose in
+  let t1 = Pipeline.trace ctx ~procs:4 Pipeline.Reuse_multi in
+  let t2 = Pipeline.trace ctx ~procs:4 Pipeline.Reuse_multi in
+  check Alcotest.bool "memoized stage returns the same trace" true (t1 == t2)
+
+let test_derive_shares_graph () =
+  let ctx = Pipeline.load transpose in
+  let g = Pipeline.graph ctx in
+  let layout =
+    Dp_layout.Layout.make
+      ~default:(Dp_layout.Striping.make ~unit_bytes:65536 ~factor:4 ~start_disk:1)
+      (Pipeline.program ctx)
+  in
+  let dctx = Pipeline.derive ~layout ctx in
+  check Alcotest.bool "derived context reuses the built graph" true (Pipeline.graph dctx == g);
+  check Alcotest.int "no second graph build" 0 (Pipeline.stats dctx).Pipeline.graph_builds;
+  check Alcotest.bool "derived traces differ (layout-dependent)" true
+    (Pipeline.trace dctx ~procs:1 Pipeline.Original
+    <> Pipeline.trace ctx ~procs:1 Pipeline.Original)
+
+let test_mode_names () =
+  List.iter
+    (fun m ->
+      check Alcotest.bool
+        (Printf.sprintf "mode %s round-trips" (Pipeline.mode_name m))
+        true
+        (Pipeline.mode_of_name (Pipeline.mode_name m) = Some m))
+    [ Pipeline.Original; Pipeline.Reuse_single; Pipeline.Reuse_multi ];
+  check Alcotest.bool "unknown mode name" true (Pipeline.mode_of_name "bogus" = None)
+
+let test_multi_needs_procs () =
+  let ctx = Pipeline.load transpose in
+  check Alcotest.bool "Reuse_multi at 1 processor rejected" true
+    (match Pipeline.trace ctx ~procs:1 Pipeline.Reuse_multi with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* --- golden: CLI trace = Runner-path trace, per version and procs --- *)
+
+let cli_flags version =
+  match Version.mode version with
+  | Pipeline.Original -> []
+  | Pipeline.Reuse_single -> [ "--restructure"; "--mode"; "single" ]
+  | Pipeline.Reuse_multi -> [ "--restructure"; "--mode"; "multi" ]
+
+let test_cli_matches_runner () =
+  let ctx = Pipeline.load transpose in
+  List.iter
+    (fun procs ->
+      List.iter
+        (fun version ->
+          let mode = Version.mode version in
+          if not (mode = Pipeline.Reuse_multi && procs = 1) then begin
+            let cli_file = Filename.temp_file "dpower_cli" ".trace" in
+            let lib_file = Filename.temp_file "dpower_lib" ".trace" in
+            Fun.protect
+              ~finally:(fun () ->
+                Sys.remove cli_file;
+                Sys.remove lib_file)
+              (fun () ->
+                let code, _, err =
+                  Test_cli.run
+                    ([ Test_cli.dpcc; "trace"; transpose; "--procs"; string_of_int procs ]
+                    @ cli_flags version
+                    @ [ "-o"; cli_file ])
+                in
+                check Alcotest.int
+                  (Printf.sprintf "dpcc trace %s/%dp exits 0 (stderr %S)"
+                     (Version.name version) procs err)
+                  0 code;
+                Request.save lib_file (Pipeline.trace ctx ~procs mode);
+                check Alcotest.string
+                  (Printf.sprintf "trace bytes %s at %d proc(s)" (Version.name version)
+                     procs)
+                  (Test_cli.slurp lib_file) (Test_cli.slurp cli_file))
+          end)
+        (Version.multi_cpu @ Version.oracle))
+    [ 1; 4; 8 ]
+
+(* --- property: --jobs N output is byte-identical to --jobs 1 --- *)
+
+let sweep_json ~jobs ~seed ~rate app =
+  Json_out.to_string
+    (Json_out.of_sweep
+       (Experiments.fault_sweep ~seed ~rates:[ 0.0; rate ] ~jobs ~procs:4
+          ~versions:Version.multi_cpu app))
+
+let matrix_json ~jobs ~faults app =
+  Json_out.to_string
+    (Json_out.of_matrix
+       (Experiments.build_matrix ~apps:[ app ] ~faults ~jobs ~procs:4
+          ~versions:(Version.multi_cpu @ Version.oracle) ()))
+
+let test_jobs_deterministic =
+  QCheck.Test.make ~count:5 ~name:"matrix and sweep JSON independent of --jobs"
+    QCheck.(pair (int_bound 10_000) (int_bound 200))
+    (fun (seed, rate_millis) ->
+      let rate = float_of_int rate_millis /. 1000.0 in
+      let app = Pipeline.app (Pipeline.load transpose) in
+      let faults = Dp_faults.Fault_model.make ~seed ~rate () in
+      String.equal (matrix_json ~jobs:1 ~faults app) (matrix_json ~jobs:4 ~faults app)
+      && String.equal (sweep_json ~jobs:1 ~seed ~rate app)
+           (sweep_json ~jobs:4 ~seed ~rate app))
+
+let suites =
+  [
+    ( "pipeline",
+      [
+        Alcotest.test_case "pool preserves order" `Quick test_pool_order;
+        Alcotest.test_case "pool edge cases" `Quick test_pool_edges;
+        Alcotest.test_case "pool first error wins" `Quick test_pool_first_error_wins;
+        Alcotest.test_case "stage memo sharing" `Quick test_memo_sharing;
+        Alcotest.test_case "memoized trace is shared" `Quick test_memo_same_result;
+        Alcotest.test_case "derive shares the graph" `Quick test_derive_shares_graph;
+        Alcotest.test_case "mode names round-trip" `Quick test_mode_names;
+        Alcotest.test_case "multi mode needs procs > 1" `Quick test_multi_needs_procs;
+        Alcotest.test_case "golden: CLI trace = Runner trace" `Slow test_cli_matches_runner;
+        QCheck_alcotest.to_alcotest test_jobs_deterministic;
+      ] );
+  ]
