@@ -609,6 +609,57 @@ let pipeline_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Persistent stage cache: the wall-clock effect of serving the compile
+   stages of a full report from the on-disk store.  Three builds of the
+   same report matrix: cold (empty store — pays the writes), warm (a new
+   process image would see exactly this: fresh contexts, populated
+   store), and uncached.  The JSON must be byte-identical across all
+   three — the cache is a pure memoization layer. *)
+
+let cache_bench () =
+  section "Persistent cache — cold vs warm report matrix";
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let module Cachefs = Dp_cachefs.Cachefs in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dpower-bench-cache-%d" (Unix.getpid ()))
+  in
+  ignore (Cachefs.clear ~dir);
+  let build ?cache () =
+    Dp_harness.Json_out.to_string
+      (Dp_harness.Json_out.of_matrix
+         (Experiments.build_matrix ?cache ~procs:4 ~versions:Version.multi_cpu ()))
+  in
+  let with_cache () =
+    match Cachefs.open_store ~dir () with
+    | Error msg -> Format.printf "cache store unavailable (%s)@." msg; exit 1
+    | Ok cache -> build ~cache ()
+  in
+  let j_none, t_none = wall (fun () -> build ()) in
+  let j_cold, t_cold = wall with_cache in
+  let u = Cachefs.usage ~dir in
+  (* A fresh store handle and fresh contexts: the next process. *)
+  let j_warm, t_warm = wall with_cache in
+  Format.printf
+    "full report matrix (6 apps x %d versions, 4 CPUs): uncached %.2f s, cold cache \
+     %.2f s, warm cache %.2f s (%.1fx)@."
+    (List.length Version.multi_cpu) t_none t_cold t_warm (t_none /. t_warm);
+  Format.printf "store after cold run: %d entries, %d bytes@." u.Cachefs.entries
+    u.Cachefs.bytes;
+  ignore (Cachefs.clear ~dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  if String.equal j_none j_cold && String.equal j_cold j_warm then
+    Format.printf "uncached / cold / warm JSON identical: OK@."
+  else begin
+    Format.printf "cached JSON differs from uncached: FAILED@.";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the compiler passes. *)
 
 let micro () =
@@ -700,6 +751,7 @@ let sections =
     ("breakdown", breakdown);
     ("obs-overhead", obs_overhead);
     ("pipeline", pipeline_bench);
+    ("cache", cache_bench);
     ("micro", micro);
   ]
 

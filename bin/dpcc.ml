@@ -21,6 +21,8 @@ module Policy = Dp_disksim.Policy
 module Fault_model = Dp_faults.Fault_model
 module Oracle = Dp_oracle.Oracle
 module Pipeline = Dp_pipeline.Pipeline
+module Cachefs = Dp_cachefs.Cachefs
+module Fsx = Dp_util.Fsx
 
 let fail fmt = Format.kasprintf (fun s -> raise (Failure s)) fmt
 
@@ -82,6 +84,41 @@ let with_profile profile f =
   if profile then Format.eprintf "%a" Dp_obs.Prof.pp_table ();
   r
 
+(* --- the persistent stage cache ---
+
+   On by default for every pipeline-driving command; --no-cache
+   bypasses it, --cache-dir relocates it.  An unusable store (read-only
+   directory, ENOSPC, ...) silently degrades to an uncached run — the
+   cache must never turn a working invocation into a failing one. *)
+
+let open_cache ~no_cache ~dir () =
+  if no_cache then None
+  else
+    let dir = match dir with Some d -> d | None -> Cachefs.default_dir () in
+    match Cachefs.open_store ~dir () with Ok c -> Some c | Error _ -> None
+
+let finish_cache cache = Option.iter Cachefs.save_run_counters cache
+
+(* Under --profile, split stage hits between memory and disk so a warm
+   cache is visible in the numbers, not just the wall clock. *)
+let profile_stats profile ctx =
+  if profile then begin
+    let s = Pipeline.stats ctx in
+    Format.eprintf
+      "pipeline: %d memo hit(s), %d disk hit(s), %d disk miss(es), %d corrupt eviction(s)@."
+      s.Pipeline.memo_hits s.Pipeline.disk_hits s.Pipeline.disk_misses
+      s.Pipeline.corrupt_evictions
+  end
+
+let profile_cache profile cache =
+  if profile then
+    Option.iter
+      (fun c ->
+        let k = Cachefs.counters c in
+        Format.eprintf "cache: %d disk hit(s), %d miss(es), %d corrupt, %d dropped write(s)@."
+          k.Cachefs.hits k.Cachefs.misses k.Cachefs.corrupt k.Cachefs.write_failures)
+      cache
+
 (* --- show --- *)
 
 let show source deps profile =
@@ -129,10 +166,12 @@ let restructure source symbolic profile =
 
 (* --- trace --- *)
 
-let trace source output procs restructured mode_name gaps with_hints faults_spec profile =
+let trace source output procs restructured mode_name gaps with_hints faults_spec cache_dir
+    no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
-      let ctx = Pipeline.load source in
+      let cache = open_cache ~no_cache ~dir:cache_dir () in
+      let ctx = Pipeline.load ?cache source in
       let mode = resolve_mode ~procs ~restructured mode_name in
       let reqs = Pipeline.trace ctx ~procs mode in
       let hints =
@@ -158,7 +197,9 @@ let trace source output procs restructured mode_name gaps with_hints faults_spec
         (if with_hints then Printf.sprintf ", %d power hints" (List.length hints) else "")
         (float_of_int s.Generate.bytes /. 1024. /. 1024.)
         (s.Generate.makespan_ms /. 1000.)
-        (100. *. Generate.io_fraction s))
+        (100. *. Generate.io_fraction s);
+      profile_stats profile ctx;
+      finish_cache cache)
 
 let policy_of_string = function
   | "none" | "base" -> Policy.No_pm
@@ -175,15 +216,16 @@ let policy_of_string = function
 (* --- simulate --- *)
 
 let simulate source procs restructured mode_name policy_name per_disk timeline faults_spec
-    profile =
+    cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
-      let ctx = Pipeline.load source in
+      let cache = open_cache ~no_cache ~dir:cache_dir () in
+      let ctx = Pipeline.load ?cache source in
       let mode = resolve_mode ~procs ~restructured mode_name in
       let disks = Pipeline.disks ctx in
       (* The oracle "policies" are offline bounds, not simulated
          controllers. *)
-      match Oracle.space_of_name policy_name with
+      (match Oracle.space_of_name policy_name with
       | Some space ->
           let reqs = Pipeline.trace ctx ~procs mode in
           let bound = Oracle.lower_bound ~space ~disks reqs in
@@ -221,41 +263,43 @@ let simulate source procs restructured mode_name policy_name per_disk timeline f
             in
             Format.printf "normalized energy vs no-PM on this trace: %.3f@."
               (r.Engine.energy_j /. base.Engine.energy_j)
-          end)
+          end);
+      profile_stats profile ctx;
+      finish_cache cache)
 
 (* --- report: the version matrix for one program --- *)
 
-let report source procs jobs json_path obs profile =
+let report source procs jobs json_path obs cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_jobs jobs;
+      let cache = open_cache ~no_cache ~dir:cache_dir () in
       let app = Pipeline.app (Pipeline.load source) in
       let versions =
         (if procs = 1 then Dp_harness.Version.single_cpu else Dp_harness.Version.multi_cpu)
         @ Dp_harness.Version.oracle
       in
       let matrix =
-        Dp_harness.Experiments.build_matrix ~apps:[ app ] ~obs ~jobs ~procs ~versions ()
+        Dp_harness.Experiments.build_matrix ~apps:[ app ] ?cache ~obs ~jobs ~procs
+          ~versions ()
       in
       Dp_harness.Experiments.fig_energy matrix Format.std_formatter;
       Dp_harness.Experiments.fig_perf matrix Format.std_formatter;
-      match json_path with
+      (match json_path with
       | Some path ->
-          let oc = open_out path in
-          Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () ->
-              output_string oc
-                (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_matrix matrix));
-              output_char oc '\n')
-      | None -> ())
+          Fsx.atomic_write path
+            (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_matrix matrix) ^ "\n")
+      | None -> ());
+      profile_cache profile cache;
+      finish_cache cache)
 
 (* --- fault-sweep: degradation under increasing fault rates --- *)
 
-let fault_sweep source procs jobs seed rates classes json_path profile =
+let fault_sweep source procs jobs seed rates classes json_path cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_jobs jobs;
+      let cache = open_cache ~no_cache ~dir:cache_dir () in
       let app = Pipeline.app (Pipeline.load source) in
       let classes =
         match classes with
@@ -269,19 +313,41 @@ let fault_sweep source procs jobs seed rates classes json_path profile =
         if procs = 1 then Dp_harness.Version.single_cpu else Dp_harness.Version.multi_cpu
       in
       let sweep =
-        Dp_harness.Experiments.fault_sweep ~seed ?rates ?classes ~jobs ~procs ~versions app
+        Dp_harness.Experiments.fault_sweep ~seed ?rates ?cache ?classes ~jobs ~procs
+          ~versions app
       in
       Dp_harness.Experiments.fig_sweep sweep Format.std_formatter;
-      match json_path with
+      (match json_path with
       | Some path ->
-          let oc = open_out path in
-          Fun.protect
-            ~finally:(fun () -> close_out oc)
-            (fun () ->
-              output_string oc
-                (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_sweep sweep));
-              output_char oc '\n')
-      | None -> ())
+          Fsx.atomic_write path
+            (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_sweep sweep) ^ "\n")
+      | None -> ());
+      profile_cache profile cache;
+      finish_cache cache)
+
+(* --- cache: inspect / clear the persistent stage store --- *)
+
+let resolved_cache_dir = function Some d -> d | None -> Cachefs.default_dir ()
+
+let cache_stat dir_opt =
+  with_errors (fun () ->
+      let dir = resolved_cache_dir dir_opt in
+      let u = Cachefs.usage ~dir in
+      Format.printf "cache directory: %s@." dir;
+      Format.printf "entries: %d (%d bytes)@." u.Cachefs.entries u.Cachefs.bytes;
+      Format.printf "quarantined: %d, leftover temp files: %d@." u.Cachefs.quarantined
+        u.Cachefs.temp;
+      match Cachefs.load_run_counters ~dir with
+      | None -> Format.printf "last run: no statistics recorded@."
+      | Some k ->
+          Format.printf "last run: %d hit(s), %d miss(es), %d corrupt, %d dropped write(s)@."
+            k.Cachefs.hits k.Cachefs.misses k.Cachefs.corrupt k.Cachefs.write_failures)
+
+let cache_clear dir_opt =
+  with_errors (fun () ->
+      let dir = resolved_cache_dir dir_opt in
+      let removed = Cachefs.clear ~dir in
+      Format.printf "removed %d cache entrie(s) from %s@." removed dir)
 
 (* --- emit --- *)
 
@@ -350,6 +416,23 @@ let profile_arg =
            unification, pipeline stages, trace generation, simulation) and print a \
            per-pass table to stderr")
 
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent stage-cache directory (default: \\$DPOWER_CACHE_DIR, else \
+           \\$XDG_CACHE_HOME/dpower, else ~/.cache/dpower)")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Bypass the persistent stage cache entirely (compute every stage in memory; \
+           output is identical either way)")
+
 let show_cmd =
   let deps = Arg.(value & flag & info [ "deps" ] ~doc:"Also print dependence analysis") in
   Cmd.v
@@ -395,7 +478,7 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Generate the timed I/O request trace of a program")
     Term.(
       const trace $ source_arg $ output $ procs_arg $ restructured_arg $ mode_arg $ gaps
-      $ hints $ faults $ profile_arg)
+      $ hints $ faults $ cache_dir_arg $ no_cache_arg $ profile_arg)
 
 let simulate_cmd =
   let policy =
@@ -424,7 +507,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the trace-driven disk power simulation")
     Term.(
       const simulate $ source_arg $ procs_arg $ restructured_arg $ mode_arg $ policy
-      $ per_disk $ timeline $ faults $ profile_arg)
+      $ per_disk $ timeline $ faults $ cache_dir_arg $ no_cache_arg $ profile_arg)
 
 let report_cmd =
   let json =
@@ -441,7 +524,9 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Run the full version matrix for a program and print figures")
-    Term.(const report $ source_arg $ procs_arg $ jobs_arg $ json $ obs $ profile_arg)
+    Term.(
+      const report $ source_arg $ procs_arg $ jobs_arg $ json $ obs $ cache_dir_arg
+      $ no_cache_arg $ profile_arg)
 
 let fault_sweep_cmd =
   let seed =
@@ -474,7 +559,7 @@ let fault_sweep_cmd =
           at every point) and report energy and degraded time per version")
     Term.(
       const fault_sweep $ source_arg $ procs_arg $ jobs_arg $ seed $ rates $ classes
-      $ json $ profile_arg)
+      $ json $ cache_dir_arg $ no_cache_arg $ profile_arg)
 
 let emit_cmd =
   let output =
@@ -484,6 +569,27 @@ let emit_cmd =
   Cmd.v
     (Cmd.info "emit" ~doc:"Emit a program back as .dpl source (with its striping)")
     Term.(const emit $ source_arg $ output)
+
+let cache_subcommand_docs =
+  [
+    ("stat", "Entry count, size and the previous run's hit statistics");
+    ("clear", "Remove every entry, quarantined file and temp file");
+  ]
+
+let cache_cmd =
+  let stat_cmd =
+    Cmd.v
+      (Cmd.info "stat" ~doc:(List.assoc "stat" cache_subcommand_docs))
+      Term.(const cache_stat $ cache_dir_arg)
+  in
+  let clear_cmd =
+    Cmd.v
+      (Cmd.info "clear" ~doc:(List.assoc "clear" cache_subcommand_docs))
+      Term.(const cache_clear $ cache_dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or clear the persistent stage cache")
+    [ stat_cmd; clear_cmd ]
 
 (* cmdliner's own unknown-command diagnostic is a terse hint; a wrong
    subcommand deserves the full command list.  Scan argv before handing
@@ -497,25 +603,43 @@ let command_docs =
     ("emit", "Emit a program back as .dpl source (with its striping)");
     ("report", "Run the full version matrix for a program and print figures");
     ("fault-sweep", "Re-simulate the version matrix across a fault-rate ramp");
+    ("cache", "Inspect or clear the persistent stage cache");
   ]
+
+(* cmdliner accepts unambiguous command prefixes; only a name that
+   matches no command at all is truly unknown. *)
+let prefix_of arg (name, _) =
+  String.length arg <= String.length name
+  && String.equal arg (String.sub name 0 (String.length arg))
+
+let unknown_command ~usage ~docs arg =
+  Format.eprintf "dpcc: unknown command %S@.@.Usage: %s@.@.Commands:@." arg usage;
+  List.iter (fun (n, d) -> Format.eprintf "  %-12s %s@." n d) docs;
+  Format.eprintf "@.Run 'dpcc COMMAND --help' for command-specific options.@.";
+  exit 2
 
 let check_subcommand () =
   if Array.length Sys.argv > 1 then begin
     let arg = Sys.argv.(1) in
-    let is_prefix_of (name, _) =
-      String.length arg <= String.length name
-      && String.equal arg (String.sub name 0 (String.length arg))
-    in
-    (* cmdliner accepts unambiguous command prefixes; only a name that
-       matches no command at all is truly unknown. *)
-    if String.length arg > 0 && arg.[0] <> '-' && not (List.exists is_prefix_of command_docs)
-    then begin
-      Format.eprintf "dpcc: unknown command %S@.@.Usage: dpcc COMMAND ...@.@.Commands:@."
-        arg;
-      List.iter (fun (n, d) -> Format.eprintf "  %-12s %s@." n d) command_docs;
-      Format.eprintf "@.Run 'dpcc COMMAND --help' for command-specific options.@.";
-      exit 2
-    end
+    if String.length arg > 0 && arg.[0] <> '-' then
+      if not (List.exists (prefix_of arg) command_docs) then
+        unknown_command ~usage:"dpcc COMMAND ..." ~docs:command_docs arg
+      else if
+        (* [cache] is itself a command group: vet its subcommand too so
+           [dpcc cache bogus] is a usage error (exit 2), not cmdliner's
+           generic CLI failure. *)
+        (* any prefix of "cache" is unambiguous: no other command
+           starts with a 'c' *)
+        prefix_of arg ("cache", "")
+        && Array.length Sys.argv > 2
+      then begin
+        let sub = Sys.argv.(2) in
+        if
+          String.length sub > 0
+          && sub.[0] <> '-'
+          && not (List.exists (prefix_of sub) cache_subcommand_docs)
+        then unknown_command ~usage:"dpcc cache COMMAND ..." ~docs:cache_subcommand_docs sub
+      end
   end
 
 let () =
@@ -529,5 +653,5 @@ let () =
        (Cmd.group info
           [
             show_cmd; restructure_cmd; trace_cmd; simulate_cmd; emit_cmd; report_cmd;
-            fault_sweep_cmd;
+            fault_sweep_cmd; cache_cmd;
           ]))

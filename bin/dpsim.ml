@@ -31,13 +31,18 @@ let obs_sink mode reqs out =
       (* In-memory recorder, distilled after the run. *)
       (Dp_obs.Sink.ring ~capacity:(max 4096 (64 * (List.length reqs + 64))) (), fun _ -> ())
   | Some "events" ->
+      (* Streamed to a temp file and renamed into place on close, so an
+         interrupted run never leaves a half-written event log under the
+         published name. *)
       let path = Option.value out ~default:"obs-events.jsonl" in
-      let oc = open_out path in
+      let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+      let oc = open_out tmp in
       ( Dp_obs.Sink.stream (fun e ->
             output_string oc (Dp_obs.Event.to_json e);
             output_char oc '\n'),
         fun () ->
           close_out oc;
+          Sys.rename tmp path;
           Format.printf "observability: event log written to %s@." path )
   | Some m -> usage_error "unknown --obs mode %s (expected gaps | trace | events)" m
 
@@ -52,9 +57,7 @@ let obs_finish mode sink out disks (r : Engine.result) =
       (match out with
       | None -> ()
       | Some path ->
-          let oc = open_out path in
-          output_string oc (Dp_obs.Report.jsonl reports);
-          close_out oc;
+          Dp_util.Fsx.atomic_write path (Dp_obs.Report.jsonl reports);
           Format.printf "observability: gap histograms written to %s@." path)
   | Some "trace" ->
       let path = Option.value out ~default:"obs-trace.json" in

@@ -19,12 +19,12 @@ let rec chunks size = function
       let chunk, rest = take size [] xs in
       chunk :: chunks size rest
 
-let build_matrix ?apps ?faults ?retry ?obs ?(jobs = 1) ~procs ~versions () =
+let build_matrix ?apps ?cache ?faults ?retry ?obs ?(jobs = 1) ~procs ~versions () =
   let apps = match apps with Some a -> a | None -> Workloads.all () in
   (* One shared context per app: rows fan out over the domain pool and
      meet again in the context's stage memo tables, so the dependence
      graph and each distinct trace are still built once per app. *)
-  let ctxs = List.map (fun app -> (app, Runner.context app)) apps in
+  let ctxs = List.map (fun app -> (app, Runner.context ?cache app)) apps in
   let cells =
     List.concat_map (fun (_, ctx) -> List.map (fun v -> (ctx, v)) versions) ctxs
   in
@@ -194,9 +194,9 @@ let fig_reliability ?faults matrix ppf =
 type sweep_point = { rate : float; runs : (Version.t * Runner.run) list }
 type sweep = { app : App.t; procs : int; seed : int; points : sweep_point list }
 
-let fault_sweep ?(seed = 42) ?(rates = [ 0.0; 0.001; 0.01; 0.05; 0.1 ]) ?classes ?obs
-    ?(jobs = 1) ~procs ~versions app =
-  let ctx = Runner.context app in
+let fault_sweep ?(seed = 42) ?(rates = [ 0.0; 0.001; 0.01; 0.05; 0.1 ]) ?cache ?classes
+    ?obs ?(jobs = 1) ~procs ~versions app =
+  let ctx = Runner.context ?cache app in
   (* rate x version cells share one context: the injector perturbs only
      the simulation, so every point reuses the same memoized traces. *)
   let cells =

@@ -8,6 +8,7 @@ type matrix = (App.t * (Version.t * Runner.run) list) list
 
 val build_matrix :
   ?apps:App.t list ->
+  ?cache:Dp_cachefs.Cachefs.t ->
   ?faults:Dp_faults.Fault_model.t ->
   ?retry:Dp_disksim.Policy.retry_config ->
   ?obs:bool ->
@@ -17,12 +18,14 @@ val build_matrix :
   unit ->
   matrix
 (** Runs the full pipeline for every (app, version) pair.  Defaults to
-    the six Table-2 applications.  [faults]/[retry] perturb every
-    simulated run with the same deterministic injector configuration
-    (oracle rows stay fault-free — see {!Runner.run}).  [obs] attaches
-    per-run observability reports (see {!Runner.run}); the JSON
-    rendering then carries the histograms.  [jobs] (default 1) fans the
-    (app, version) rows out over that many domains
+    the six Table-2 applications.  [cache] backs every per-app context
+    with a persistent stage store ({!Runner.context}) so a warm
+    invocation skips straight to the simulations.  [faults]/[retry]
+    perturb every simulated run with the same deterministic injector
+    configuration (oracle rows stay fault-free — see {!Runner.run}).
+    [obs] attaches per-run observability reports (see {!Runner.run});
+    the JSON rendering then carries the histograms.  [jobs] (default 1)
+    fans the (app, version) rows out over that many domains
     ({!Dp_pipeline.Domain_pool}); results are returned in the same
     deterministic order regardless of [jobs] — the matrix is
     byte-identical to a serial build. *)
@@ -62,6 +65,7 @@ type sweep = { app : App.t; procs : int; seed : int; points : sweep_point list }
 val fault_sweep :
   ?seed:int ->
   ?rates:float list ->
+  ?cache:Dp_cachefs.Cachefs.t ->
   ?classes:Dp_faults.Fault_model.class_ list ->
   ?obs:bool ->
   ?jobs:int ->
@@ -70,7 +74,7 @@ val fault_sweep :
   App.t ->
   sweep
 (** Defaults: seed 42, rates [0, 0.001, 0.01, 0.05, 0.1], all fault
-    classes.  [obs] and [jobs] as in {!build_matrix} — the
+    classes.  [cache], [obs] and [jobs] as in {!build_matrix} — the
     (rate, version) points fan out over the domain pool with
     deterministic ordering. *)
 

@@ -15,11 +15,13 @@ module Pipeline = Dp_pipeline.Pipeline
 
 type ctx = Pipeline.t
 
-val context : App.t -> ctx
+val context : ?cache:Dp_cachefs.Cachefs.t -> App.t -> ctx
 (** Builds the pipeline context of an application (its layout, and the
     memoized stages on demand); reuse it across versions — graph
     construction and trace generation dominate the cost of a run and
-    are shared between rows. *)
+    are shared between rows.  [cache] attaches a persistent stage store
+    (see {!Dp_pipeline.Pipeline.create}), sharing traces and hint
+    streams across processes as well. *)
 
 type run = {
   version : Version.t;

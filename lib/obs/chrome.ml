@@ -77,7 +77,10 @@ let trace_json ?until_ms events =
                "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"cat\":\"decision\",\"name\":\"%s\"}"
                d.disk
                (jts (us_of_ms d.at_ms))
-               d.decision))
+               d.decision)
+      (* Stage-cache events happen at compile time, off the simulated
+         disk timeline — they have no track here. *)
+      | Event.Cache _ -> ())
     events;
   Buffer.add_string b "\n]}\n";
   Buffer.contents b

@@ -20,15 +20,19 @@ type t =
   | Hint_exec of { disk : int; at_ms : float; action : string }
   | Fault of { disk : int; at_ms : float; kind : string; cost_ms : float }
   | Decision of { disk : int; at_ms : float; decision : string }
+  | Cache of { at_ms : float; op : string; key : string; bytes : int }
 
 let disk = function
   | Power { disk; _ } | Service { disk; _ } | Hint_exec { disk; _ } | Fault { disk; _ }
   | Decision { disk; _ } ->
       disk
+  | Cache _ -> -1
 
 let time_ms = function
   | Power { start_ms; _ } | Service { start_ms; _ } -> start_ms
-  | Hint_exec { at_ms; _ } | Fault { at_ms; _ } | Decision { at_ms; _ } -> at_ms
+  | Hint_exec { at_ms; _ } | Fault { at_ms; _ } | Decision { at_ms; _ } | Cache { at_ms; _ }
+    ->
+      at_ms
 
 let state_name = function
   | Active -> "active"
@@ -84,5 +88,8 @@ let to_json = function
   | Decision { disk; at_ms; decision } ->
       Printf.sprintf "{\"type\":\"decision\",\"disk\":%d,\"at_ms\":%s,\"decision\":\"%s\"}" disk
         (jfloat at_ms) (escape decision)
+  | Cache { at_ms; op; key; bytes } ->
+      Printf.sprintf "{\"type\":\"cache\",\"at_ms\":%s,\"op\":\"%s\",\"key\":\"%s\",\"bytes\":%d}"
+        (jfloat at_ms) (escape op) (escape key) bytes
 
 let pp ppf e = Format.pp_print_string ppf (to_json e)

@@ -42,8 +42,15 @@ type t =
       (** an injected perturbation and the time it cost *)
   | Decision of { disk : int; at_ms : float; decision : string }
       (** a policy choice (spin down, plan a dip, window upshift, ...) *)
+  | Cache of { at_ms : float; op : string; key : string; bytes : int }
+      (** a persistent stage-cache operation ([op] is one of ["hit"],
+          ["miss"], ["corrupt"], ["write-failure"]).  [at_ms] is wall
+          clock, not simulation time; [bytes] the payload size (0 when
+          unknown). *)
 
 val disk : t -> int
+(** The event's disk; [-1] for events not bound to one ({!Cache}). *)
+
 val time_ms : t -> float
 (** The event's primary timestamp (span start for spans). *)
 

@@ -87,7 +87,9 @@ let of_events ~disks events =
           Metrics.observe r.response_ms (s.stop_ms -. s.arrival_ms)
       | Event.Hint_exec h -> reports.(h.disk).hints <- reports.(h.disk).hints + 1
       | Event.Fault f -> reports.(f.disk).faults <- reports.(f.disk).faults + 1
-      | Event.Decision d -> reports.(d.disk).decisions <- reports.(d.disk).decisions + 1)
+      | Event.Decision d -> reports.(d.disk).decisions <- reports.(d.disk).decisions + 1
+      (* Stage-cache events are process-level, not per-disk. *)
+      | Event.Cache _ -> ())
     events;
   (* The trailing window never ends in a service: close open runs at the
      disk's last accounted instant. *)

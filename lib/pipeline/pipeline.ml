@@ -15,6 +15,7 @@ module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
 module Oracle = Dp_oracle.Oracle
 module Prof = Dp_obs.Prof
+module Cachefs = Dp_cachefs.Cachefs
 
 type mode = Original | Reuse_single | Reuse_multi
 
@@ -40,18 +41,30 @@ type stats = {
   trace_builds : int;
   hint_builds : int;
   memo_hits : int;
+  disk_hits : int;
+  disk_misses : int;
+  corrupt_evictions : int;
 }
 
 type t = {
   app : App.t;
   layout : Layout.t;
   origin : string;
+  (* Content address of everything the cached stages depend on: the
+     program and its disk layout, structurally serialized (No_sharing
+     keeps the bytes independent of physical sharing, so equal values
+     digest equally whatever path constructed them). *)
+  digest : string;
+  cache : Cachefs.t option;
   lock : Mutex.t;
   (* A ref cell (not a mutable field) so [derive] can share the built
      graph between contexts that differ only in layout. *)
   graph_cell : Concrete.graph option ref;
   streams_tbl : (key, Generate.segments array * int option) Hashtbl.t;
   trace_tbl : (key, Request.t list) Hashtbl.t;
+  (* Filled alongside trace_tbl (from a build or a disk hit) so the
+     round count is available without rebuilding the streams stage. *)
+  rounds_tbl : (key, int option) Hashtbl.t;
   hint_tbl : (key * Oracle.space, Hint.t list) Hashtbl.t;
   mutable graph_builds : int;
   mutable stream_builds : int;
@@ -62,12 +75,22 @@ type t = {
 
 let stats t =
   Mutex.protect t.lock (fun () ->
+      let disk_hits, disk_misses, corrupt_evictions =
+        match t.cache with
+        | None -> (0, 0, 0)
+        | Some c ->
+            let k = Cachefs.counters c in
+            (k.Cachefs.hits, k.Cachefs.misses, k.Cachefs.corrupt)
+      in
       {
         graph_builds = t.graph_builds;
         stream_builds = t.stream_builds;
         trace_builds = t.trace_builds;
         hint_builds = t.hint_builds;
         memo_hits = t.memo_hits;
+        disk_hits;
+        disk_misses;
+        corrupt_evictions;
       })
 
 (* --- construction --- *)
@@ -88,15 +111,20 @@ let synth_app ~origin ~layout program =
     paper_io_time_ms = 0.0;
   }
 
-let make ~app ~layout ~origin =
+let make ?cache ~app ~layout ~origin () =
   {
     app;
     layout;
     origin;
+    digest =
+      Digest.to_hex
+        (Digest.string (Marshal.to_string (app.App.program, layout) [ Marshal.No_sharing ]));
+    cache;
     lock = Mutex.create ();
     graph_cell = ref None;
     streams_tbl = Hashtbl.create 8;
     trace_tbl = Hashtbl.create 8;
+    rounds_tbl = Hashtbl.create 8;
     hint_tbl = Hashtbl.create 8;
     graph_builds = 0;
     stream_builds = 0;
@@ -105,24 +133,24 @@ let make ~app ~layout ~origin =
     memo_hits = 0;
   }
 
-let create ?(origin = "<program>") ?default ?(overrides = []) program =
+let create ?cache ?(origin = "<program>") ?default ?(overrides = []) program =
   let layout = Layout.make ?default ~overrides program in
-  make ~app:(synth_app ~origin ~layout program) ~layout ~origin
+  make ?cache ~app:(synth_app ~origin ~layout program) ~layout ~origin ()
 
-let of_app (app : App.t) =
+let of_app ?cache (app : App.t) =
   let layout =
     Layout.make ~default:app.App.striping ~overrides:app.App.overrides app.App.program
   in
-  make ~app ~layout ~origin:app.App.name
+  make ?cache ~app ~layout ~origin:app.App.name ()
 
 let stripe_of_spec (sp : Dp_lang.Ast.stripe_spec) =
   Striping.make ~unit_bytes:sp.unit_bytes ~factor:sp.factor ~start_disk:sp.start_disk
 
-let load source =
+let load ?cache source =
   if String.length source > 4 && String.sub source 0 4 = "app:" then begin
     let name = String.sub source 4 (String.length source - 4) in
     match Workloads.by_name name with
-    | Some app -> of_app app
+    | Some app -> of_app ?cache app
     | None ->
         Format.kasprintf failwith "unknown application %s (available: %s)" name
           (String.concat ", " (Workloads.names ()))
@@ -130,11 +158,11 @@ let load source =
   else begin
     let { Resolver.program; stripes } = Resolver.load_file source in
     let overrides = List.map (fun (name, sp) -> (name, stripe_of_spec sp)) stripes in
-    create ~origin:source ~overrides program
+    create ?cache ~origin:source ~overrides program
   end
 
 let derive ~layout t =
-  let d = make ~app:t.app ~layout ~origin:t.origin in
+  let d = make ?cache:t.cache ~app:t.app ~layout ~origin:t.origin () in
   { d with graph_cell = t.graph_cell; lock = t.lock }
 
 let program t = t.app.App.program
@@ -142,6 +170,8 @@ let layout t = t.layout
 let origin t = t.origin
 let disks t = t.layout.Layout.disk_count
 let app t = t.app
+let digest t = t.digest
+let cache t = t.cache
 
 (* --- stages --- *)
 
@@ -243,44 +273,131 @@ let streams ?cluster t ~procs mode =
                 build_streams t g ~cluster:k.k_cluster ~procs mode)
           in
           Hashtbl.add t.streams_tbl k v;
+          if not (Hashtbl.mem t.rounds_tbl k) then Hashtbl.add t.rounds_tbl k (snd v);
           t.stream_builds <- t.stream_builds + 1;
           v)
 
-let rounds ?cluster t ~procs mode = snd (streams ?cluster t ~procs mode)
+(* --- the persistent stage cache ---
+
+   Only the trace and hint stages spill to disk: they subsume their
+   upstream stages, so a warm run never touches the dependence graph or
+   the reuse scheduler at all.  Payloads are Marshal-framed by
+   Cachefs (versioned header + checksum trailer); a decode failure
+   after the frame verified means a format drift — the entry is
+   quarantined and recomputed.  All disk traffic happens under the
+   context mutex: stage lookups are already serialized, so the cache
+   needs no locking of its own beyond its writer lock. *)
+
+let stage_key t (k : key) stage extra =
+  Cachefs.key
+    ~parts:
+      ([ t.digest; stage; mode_name k.k_mode; string_of_int k.k_procs;
+         Cluster.policy_name k.k_cluster ]
+      @ extra)
+
+let cache_fetch : type a. t -> key:string -> a option =
+ fun t ~key ->
+  match t.cache with
+  | None -> None
+  | Some c -> (
+      match Cachefs.get c ~key with
+      | None -> None
+      | Some payload -> (
+          match (Marshal.from_string payload 0 : a) with
+          | v -> Some v
+          | exception (Failure _ | Invalid_argument _) ->
+              Cachefs.report_undecodable c ~key;
+              None))
+
+let cache_store t ~key v =
+  match t.cache with
+  | None -> ()
+  | Some c -> Cachefs.put c ~key (Marshal.to_string v [])
+
+(* The trace entry carries the scheduler round count too, so a warm
+   run can answer [rounds] without rebuilding the streams stage. *)
+let trace_lookup t k =
+  match Hashtbl.find_opt t.trace_tbl k with
+  | Some reqs ->
+      t.memo_hits <- t.memo_hits + 1;
+      Some (reqs, try Hashtbl.find t.rounds_tbl k with Not_found -> None)
+  | None -> (
+      match
+        (cache_fetch t ~key:(stage_key t k "trace" []) : (Request.t list * int option) option)
+      with
+      | Some ((reqs, rounds) as v) ->
+          Hashtbl.add t.trace_tbl k reqs;
+          Hashtbl.replace t.rounds_tbl k rounds;
+          Some v
+      | None -> None)
 
 let trace ?cluster t ~procs mode =
-  let segs, _ = streams ?cluster t ~procs mode in
-  let g = graph t in
+  check_streams_args ~procs mode;
   let k = key ?cluster ~procs mode in
-  Mutex.protect t.lock (fun () ->
-      match Hashtbl.find_opt t.trace_tbl k with
-      | Some v ->
-          t.memo_hits <- t.memo_hits + 1;
-          v
-      | None ->
-          let v =
-            Prof.span "pipeline.trace" (fun () -> Generate.trace t.layout (program t) g segs)
-          in
-          Hashtbl.add t.trace_tbl k v;
-          t.trace_builds <- t.trace_builds + 1;
-          v)
+  match Mutex.protect t.lock (fun () -> trace_lookup t k) with
+  | Some (reqs, _) -> reqs
+  | None ->
+      let segs, rounds = streams ?cluster t ~procs mode in
+      let g = graph t in
+      Mutex.protect t.lock (fun () ->
+          (* Another domain may have built or fetched it meanwhile. *)
+          match Hashtbl.find_opt t.trace_tbl k with
+          | Some v ->
+              t.memo_hits <- t.memo_hits + 1;
+              v
+          | None ->
+              let v =
+                Prof.span "pipeline.trace" (fun () ->
+                    Generate.trace t.layout (program t) g segs)
+              in
+              Hashtbl.add t.trace_tbl k v;
+              Hashtbl.replace t.rounds_tbl k rounds;
+              t.trace_builds <- t.trace_builds + 1;
+              cache_store t ~key:(stage_key t k "trace" []) (v, rounds);
+              v)
+
+let rounds ?cluster t ~procs mode =
+  check_streams_args ~procs mode;
+  let k = key ?cluster ~procs mode in
+  match Mutex.protect t.lock (fun () -> trace_lookup t k) with
+  | Some (_, rounds) -> rounds
+  | None -> snd (streams ?cluster t ~procs mode)
 
 let hints ?cluster t ~procs ~space mode =
-  let reqs = trace ?cluster t ~procs mode in
-  let k = (key ?cluster ~procs mode, space) in
-  Mutex.protect t.lock (fun () ->
-      match Hashtbl.find_opt t.hint_tbl k with
-      | Some v ->
-          t.memo_hits <- t.memo_hits + 1;
-          v
-      | None ->
-          let v =
-            Prof.span "pipeline.hints" (fun () ->
-                Oracle.hints_of_trace ~space ~disks:(disks t) reqs)
-          in
-          Hashtbl.add t.hint_tbl k v;
-          t.hint_builds <- t.hint_builds + 1;
-          v)
+  check_streams_args ~procs mode;
+  let k = key ?cluster ~procs mode in
+  let hk = (k, space) in
+  let dk = stage_key t k "hints" [ Oracle.space_name space ] in
+  let lookup () =
+    match Hashtbl.find_opt t.hint_tbl hk with
+    | Some v ->
+        t.memo_hits <- t.memo_hits + 1;
+        Some v
+    | None -> (
+        match (cache_fetch t ~key:dk : Hint.t list option) with
+        | Some v ->
+            Hashtbl.add t.hint_tbl hk v;
+            Some v
+        | None -> None)
+  in
+  match Mutex.protect t.lock lookup with
+  | Some v -> v
+  | None ->
+      let reqs = trace ?cluster t ~procs mode in
+      Mutex.protect t.lock (fun () ->
+          match Hashtbl.find_opt t.hint_tbl hk with
+          | Some v ->
+              t.memo_hits <- t.memo_hits + 1;
+              v
+          | None ->
+              let v =
+                Prof.span "pipeline.hints" (fun () ->
+                    Oracle.hints_of_trace ~space ~disks:(disks t) reqs)
+              in
+              Hashtbl.add t.hint_tbl hk v;
+              t.hint_builds <- t.hint_builds + 1;
+              cache_store t ~key:dk v;
+              v)
 
 (* Compiler hints for the proactive policies: the hint emitter replays
    the nominal trace and plans each predicted gap, so the engine

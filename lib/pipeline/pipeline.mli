@@ -10,6 +10,7 @@ module Hint = Dp_trace.Hint
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
 module Oracle = Dp_oracle.Oracle
+module Cachefs = Dp_cachefs.Cachefs
 
 (** The one compile→trace→simulate pipeline.
 
@@ -27,7 +28,14 @@ module Oracle = Dp_oracle.Oracle
     may be shared by several domains ({!Domain_pool}), each looking up
     or building stages concurrently; builds are serialized, everything
     downstream (the simulations — the dominant cost) runs in
-    parallel. *)
+    parallel.
+
+    A context may additionally be backed by a persistent {!Cachefs}
+    store: the trace and hint stages then consult the store before
+    building (keyed by the context {!digest}, so results are shared
+    across processes and invocations) and write through after.  The
+    store's failure contract keeps the pipeline oblivious — any disk
+    problem is just a miss. *)
 
 type t
 
@@ -58,18 +66,21 @@ val mode_of_name : string -> mode option
 (** {1 Building a context} *)
 
 val create :
+  ?cache:Cachefs.t ->
   ?origin:string ->
   ?default:Striping.t ->
   ?overrides:(string * Striping.t) list ->
   Ir.program ->
   t
 (** A context over an in-memory program; the layout is
-    [Layout.make ?default ~overrides program]. *)
+    [Layout.make ?default ~overrides program].  [cache] (default none:
+    purely in-memory) attaches a persistent store the trace and hint
+    stages read through. *)
 
-val of_app : App.t -> t
+val of_app : ?cache:Cachefs.t -> App.t -> t
 (** A context over a built-in workload (its striping and overrides). *)
 
-val load : string -> t
+val load : ?cache:Cachefs.t -> string -> t
 (** [load source] accepts a [.dpl] file path or [app:NAME] for a
     built-in workload — the one loader behind every CLI entry point.
     @raise Failure on an unknown [app:] name; parse errors propagate
@@ -89,6 +100,16 @@ val disks : t -> int
 val app : t -> App.t
 (** The context as a workload App (paper columns zeroed for loaded
     sources) — the adapter the harness matrix builders consume. *)
+
+val digest : t -> string
+(** The content address of the context: a hex digest over the program
+    and its layout, serialized structurally.  Two contexts with equal
+    digests produce byte-identical traces and hints, so it keys the
+    persistent cache across processes. *)
+
+val cache : t -> Cachefs.t option
+(** The persistent store backing this context, if any.  [derive]d
+    contexts inherit it. *)
 
 (** {1 Stages}
 
@@ -156,9 +177,14 @@ type stats = {
   trace_builds : int;
   hint_builds : int;
   memo_hits : int;  (** stage lookups answered from the memo tables *)
+  disk_hits : int;  (** stage lookups answered from the persistent cache *)
+  disk_misses : int;  (** persistent-cache probes that fell through to a build *)
+  corrupt_evictions : int;  (** persistent entries quarantined as corrupt *)
 }
 
 val stats : t -> stats
 (** Cumulative build/hit counters — the observable half of the
     memoization contract ([graph_builds] stays 1 however many matrix
-    rows a context serves). *)
+    rows a context serves).  The [disk_*] fields mirror the attached
+    store's {!Cachefs.counters} (all zero without one), so profiling
+    output can distinguish memory hits from disk hits. *)

@@ -223,6 +223,134 @@ let test_dpcc_bad_jobs () =
   check Alcotest.int "exit code" 2 code;
   check Alcotest.bool "names --jobs" true (contains ~needle:"--jobs" err)
 
+(* --- the persistent stage cache, end to end --- *)
+
+let cache_dir_counter = ref 0
+
+let fresh_cache_dir () =
+  incr cache_dir_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dpower-cli-cache-%d-%d" (Unix.getpid ()) !cache_dir_counter)
+
+(* Flip one byte in the middle of every cache entry. *)
+let corrupt_entries dir =
+  let n = ref 0 in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".bin" then begin
+        incr n;
+        let path = Filename.concat dir name in
+        let data = Bytes.of_string (slurp path) in
+        let i = Bytes.length data / 2 in
+        Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor 0x40));
+        let oc = open_out_bin path in
+        output_bytes oc data;
+        close_out oc
+      end)
+    (Sys.readdir dir);
+  !n
+
+let assert_no_residue dir =
+  Array.iter
+    (fun name ->
+      check Alcotest.bool (Printf.sprintf "no temp residue (%s)" name) false
+        (contains ~needle:".tmp." name);
+      check Alcotest.bool "no lock residue" false (String.equal name "lock"))
+    (Sys.readdir dir)
+
+let test_dpcc_cache_stat_clear () =
+  let dir = fresh_cache_dir () in
+  let code, out, _ = run [ dpcc; "cache"; "stat"; "--cache-dir"; dir ] in
+  check Alcotest.int "stat on a missing store exits 0" 0 code;
+  check Alcotest.bool "reports zero entries" true (contains ~needle:"entries: 0" out);
+  let code, _, _ = run [ dpcc; "report"; "app:AST"; "--cache-dir"; dir ] in
+  check Alcotest.int "report exits 0" 0 code;
+  let code, out, _ = run [ dpcc; "cache"; "stat"; "--cache-dir"; dir ] in
+  check Alcotest.int "stat exits 0" 0 code;
+  check Alcotest.bool
+    (Printf.sprintf "entries present (got %S)" out)
+    false
+    (contains ~needle:"entries: 0" out);
+  check Alcotest.bool "last-run counters recorded" true (contains ~needle:"last run:" out);
+  check Alcotest.bool "misses counted on the cold run" true (contains ~needle:"miss" out);
+  let code, out, _ = run [ dpcc; "cache"; "clear"; "--cache-dir"; dir ] in
+  check Alcotest.int "clear exits 0" 0 code;
+  check Alcotest.bool "clear reports removals" true (contains ~needle:"removed" out);
+  let _, out, _ = run [ dpcc; "cache"; "stat"; "--cache-dir"; dir ] in
+  check Alcotest.bool "store empty after clear" true (contains ~needle:"entries: 0" out)
+
+let test_dpcc_cache_unknown_sub () =
+  let code, _, err = run [ dpcc; "cache"; "bogus" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "names the offender" true (contains ~needle:"bogus" err);
+  check Alcotest.bool "lists the cache commands" true
+    (contains ~needle:"stat" err && contains ~needle:"clear" err)
+
+(* The acceptance property: corrupt every entry between two runs — the
+   second run must recover (exit 0) and print byte-identical figures,
+   matching a --no-cache run exactly. *)
+let test_dpcc_cache_corruption_recovery () =
+  let dir = fresh_cache_dir () in
+  let argv = [ dpcc; "report"; "app:AST"; "--cache-dir"; dir ] in
+  let code, cold, err = run argv in
+  check Alcotest.int (Printf.sprintf "cold report exits 0 (stderr %S)" err) 0 code;
+  check Alcotest.bool "cold run populated the store" true (corrupt_entries dir > 0);
+  let code, corrupted, err = run argv in
+  check Alcotest.int (Printf.sprintf "corrupted-store report exits 0 (stderr %S)" err) 0 code;
+  check Alcotest.string "output identical after corruption" cold corrupted;
+  let code, uncached, _ = run [ dpcc; "report"; "app:AST"; "--no-cache" ] in
+  check Alcotest.int "--no-cache report exits 0" 0 code;
+  check Alcotest.string "output identical to --no-cache" cold uncached;
+  let _, stat, _ = run [ dpcc; "cache"; "stat"; "--cache-dir"; dir ] in
+  check Alcotest.bool
+    (Printf.sprintf "stat shows quarantined corpses (got %S)" stat)
+    false
+    (contains ~needle:"quarantined: 0," stat);
+  (* The recovery rewrote the entries: a third run hits. *)
+  let code, warm, _ = run argv in
+  check Alcotest.int "recovered report exits 0" 0 code;
+  check Alcotest.string "output identical after recovery" cold warm;
+  let _, stat, _ = run [ dpcc; "cache"; "stat"; "--cache-dir"; dir ] in
+  check Alcotest.bool
+    (Printf.sprintf "warm run hit the rewritten entries (got %S)" stat)
+    false
+    (contains ~needle:"0 hit(s)" stat);
+  assert_no_residue dir
+
+(* Two invocations racing on the same empty store: the advisory lock
+   serializes publication; both must succeed with identical output and
+   leave no temp or lock files behind.  (fcntl locks are per-process,
+   so this needs real concurrent processes, not domains.) *)
+let test_dpcc_cache_concurrent () =
+  let dir = fresh_cache_dir () in
+  let spawn out_path =
+    let fd = Unix.openfile out_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process dpcc
+        [| dpcc; "report"; "app:AST"; "--cache-dir"; dir |]
+        Unix.stdin fd null
+    in
+    Unix.close fd;
+    Unix.close null;
+    pid
+  in
+  let out1 = Filename.temp_file "dpower" ".out" and out2 = Filename.temp_file "dpower" ".out" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove out1;
+      Sys.remove out2)
+    (fun () ->
+      let p1 = spawn out1 in
+      let p2 = spawn out2 in
+      let wait pid =
+        match snd (Unix.waitpid [] pid) with Unix.WEXITED c -> c | _ -> -1
+      in
+      check Alcotest.int "first racer exits 0" 0 (wait p1);
+      check Alcotest.int "second racer exits 0" 0 (wait p2);
+      check Alcotest.string "racing runs print identical output" (slurp out1) (slurp out2);
+      assert_no_residue dir)
+
 let suites =
   [
     ( "cli",
@@ -247,5 +375,10 @@ let suites =
         Alcotest.test_case "dpcc --mode multi at 1 proc" `Quick test_dpcc_mode_multi_one_proc;
         Alcotest.test_case "dpcc unknown --mode" `Quick test_dpcc_mode_unknown;
         Alcotest.test_case "dpcc --jobs 0" `Quick test_dpcc_bad_jobs;
+        Alcotest.test_case "dpcc cache stat/clear" `Quick test_dpcc_cache_stat_clear;
+        Alcotest.test_case "dpcc cache unknown subcommand" `Quick test_dpcc_cache_unknown_sub;
+        Alcotest.test_case "dpcc cache corruption recovery" `Slow
+          test_dpcc_cache_corruption_recovery;
+        Alcotest.test_case "dpcc cache concurrent runs" `Slow test_dpcc_cache_concurrent;
       ] );
   ]

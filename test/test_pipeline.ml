@@ -45,15 +45,76 @@ let test_pool_edges () =
 exception Boom of int
 
 let test_pool_first_error_wins () =
-  (* Claims are monotonic in input order, so the lowest failing index is
-     always reached before any later one — the parallel map re-raises
-     the same exception the serial map would. *)
   let xs = List.init 20 (fun i -> i + 1) in
   let f x = if x mod 3 = 0 then raise (Boom x) else x in
   check Alcotest.int "first failure in input order" 3
     (match Domain_pool.map ~jobs:4 f xs with
     | _ -> Alcotest.fail "expected Boom"
     | exception Boom n -> n)
+
+(* Supervision property: with any subset of tasks failing, the pool
+   still fills every non-failing slot (no poisoning, no abandoned
+   work), and the exception that escapes is the first in input order —
+   however many failed, and whichever failed first in wall time. *)
+let test_pool_multi_failure =
+  let module Splitmix = Dp_util.Splitmix in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:100 ~name:"pool: multi-failure ordering and sibling isolation"
+       QCheck2.Gen.(pair (int_range 1 40) (int_bound 100_000))
+       (fun (n, seed) ->
+         let rng = Splitmix.create seed in
+         let fails = Array.init n (fun _ -> Splitmix.bool rng ~p:0.3) in
+         if not (Array.exists Fun.id fails) then fails.(seed mod n) <- true;
+         let first =
+           let rec go i = if fails.(i) then i else go (i + 1) in
+           go 0
+         in
+         let filled = Array.make n false in
+         let f i =
+           if fails.(i) then raise (Boom i)
+           else begin
+             filled.(i) <- true;
+             i
+           end
+         in
+         match Domain_pool.map ~jobs:4 f (List.init n Fun.id) with
+         | _ -> QCheck2.Test.fail_reportf "no exception escaped"
+         | exception Boom k ->
+             if k <> first then
+               QCheck2.Test.fail_reportf "raised Boom %d, first failing input is %d" k first;
+             Array.iteri
+               (fun i ok ->
+                 if ok = fails.(i) then
+                   QCheck2.Test.fail_reportf "slot %d %s" i
+                     (if fails.(i) then "filled but should have failed"
+                      else "abandoned by the pool"))
+               filled;
+             true))
+
+let test_pool_transient_retry () =
+  (* Two transient failures per task are absorbed by the default retry
+     budget... *)
+  let attempts = Array.make 5 0 in
+  let f i =
+    attempts.(i) <- attempts.(i) + 1;
+    if attempts.(i) <= 2 then raise (Domain_pool.Transient (Boom i)) else i
+  in
+  check
+    Alcotest.(list int)
+    "transient failures retried to success" [ 0; 1; 2; 3; 4 ]
+    (Domain_pool.map ~jobs:2 f (List.init 5 Fun.id));
+  (* ...but an exhausted budget surfaces the inner exception, not the
+     Transient wrapper. *)
+  check Alcotest.int "exhausted retries re-raise the inner exception" 42
+    (match
+       Domain_pool.map ~retries:1 ~jobs:2 (fun _ -> raise (Domain_pool.Transient (Boom 42))) [ 0 ]
+     with
+    | _ -> Alcotest.fail "expected Boom"
+    | exception Boom n -> n);
+  check Alcotest.bool "negative retries rejected" true
+    (match Domain_pool.map ~retries:(-1) ~jobs:1 Fun.id [ 1 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
 
 (* --- stage memoization --- *)
 
@@ -91,6 +152,112 @@ let test_derive_shares_graph () =
   check Alcotest.bool "derived traces differ (layout-dependent)" true
     (Pipeline.trace dctx ~procs:1 Pipeline.Original
     <> Pipeline.trace ctx ~procs:1 Pipeline.Original)
+
+(* --- the persistent stage cache, through the pipeline --- *)
+
+module Cachefs = Dp_cachefs.Cachefs
+
+let cache_dir_counter = ref 0
+
+let fresh_cache_dir () =
+  incr cache_dir_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dpower-pipeline-cache-%d-%d" (Unix.getpid ()) !cache_dir_counter)
+
+let store dir =
+  match Cachefs.open_store ~dir () with
+  | Ok c -> c
+  | Error msg -> Alcotest.failf "open_store: %s" msg
+
+(* Replays what Runner.run asks of a context, in Runner's order (rounds
+   before trace), for one restructured cell plus its hint stream. *)
+let drive ctx =
+  let rounds = Pipeline.rounds ctx ~procs:4 Pipeline.Reuse_multi in
+  let trace = Pipeline.trace ctx ~procs:4 Pipeline.Reuse_multi in
+  let hints =
+    Pipeline.hints ctx ~procs:4 ~space:Dp_oracle.Oracle.Tpm_space Pipeline.Reuse_multi
+  in
+  (rounds, trace, hints)
+
+let test_disk_cache_warm () =
+  let dir = fresh_cache_dir () in
+  let ctx1 = Pipeline.load ~cache:(store dir) transpose in
+  let r1, t1, h1 = drive ctx1 in
+  let st1 = Pipeline.stats ctx1 in
+  check Alcotest.bool "cold context probes the disk" true (st1.Pipeline.disk_misses > 0);
+  check Alcotest.int "cold context builds the trace" 1 st1.Pipeline.trace_builds;
+  (* A fresh handle and context — a later process with a warm cache. *)
+  let ctx2 = Pipeline.load ~cache:(store dir) transpose in
+  let r2, t2, h2 = drive ctx2 in
+  let st2 = Pipeline.stats ctx2 in
+  check Alcotest.bool "warm context hits the disk" true (st2.Pipeline.disk_hits > 0);
+  check Alcotest.int "no graph build on the warm path" 0 st2.Pipeline.graph_builds;
+  check Alcotest.int "no streams build on the warm path" 0 st2.Pipeline.stream_builds;
+  check Alcotest.int "no trace build on the warm path" 0 st2.Pipeline.trace_builds;
+  check Alcotest.int "no hint build on the warm path" 0 st2.Pipeline.hint_builds;
+  check Alcotest.bool "identical rounds" true (r1 = r2);
+  check Alcotest.bool "identical trace" true (t1 = t2);
+  check Alcotest.bool "identical hints" true (h1 = h2);
+  (* Different knobs must never share an entry. *)
+  check Alcotest.bool "other cells are not answered by this entry" true
+    (Pipeline.trace ctx2 ~procs:1 Pipeline.Original <> t2)
+
+let test_disk_cache_corruption_recovery () =
+  let dir = fresh_cache_dir () in
+  let ctx1 = Pipeline.load ~cache:(store dir) transpose in
+  let _, t1, h1 = drive ctx1 in
+  (* Flip one byte in the middle of every cached entry. *)
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".bin" then begin
+        let path = Filename.concat dir name in
+        let data = Bytes.of_string (Dp_util.Fsx.read_file path) in
+        let i = Bytes.length data / 2 in
+        Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor 0x10));
+        let oc = open_out_bin path in
+        output_bytes oc data;
+        close_out oc
+      end)
+    (Sys.readdir dir);
+  let ctx2 = Pipeline.load ~cache:(store dir) transpose in
+  let _, t2, h2 = drive ctx2 in
+  let st2 = Pipeline.stats ctx2 in
+  check Alcotest.bool "corrupt entries evicted" true (st2.Pipeline.corrupt_evictions > 0);
+  check Alcotest.int "trace rebuilt from scratch" 1 st2.Pipeline.trace_builds;
+  check Alcotest.bool "identical trace after corruption" true (t1 = t2);
+  check Alcotest.bool "identical hints after corruption" true (h1 = h2);
+  (* The rebuild wrote fresh entries: a third context runs warm again. *)
+  let ctx3 = Pipeline.load ~cache:(store dir) transpose in
+  let _, t3, _ = drive ctx3 in
+  let st3 = Pipeline.stats ctx3 in
+  check Alcotest.bool "store recovered after rewrite" true (st3.Pipeline.disk_hits > 0);
+  check Alcotest.int "no rebuild after recovery" 0 st3.Pipeline.trace_builds;
+  check Alcotest.bool "identical trace after recovery" true (t1 = t3)
+
+let test_no_cache_matches_cached () =
+  let dir = fresh_cache_dir () in
+  let cached = Pipeline.load ~cache:(store dir) transpose in
+  let plain = Pipeline.load transpose in
+  let rc, tc, hc = drive cached in
+  let rp, tp, hp = drive plain in
+  check Alcotest.bool "rounds unchanged by the cache" true (rc = rp);
+  check Alcotest.bool "trace unchanged by the cache" true (tc = tp);
+  check Alcotest.bool "hints unchanged by the cache" true (hc = hp);
+  check Alcotest.bool "uncached context reports no disk traffic" true
+    ((Pipeline.stats plain).Pipeline.disk_misses = 0
+    && (Pipeline.stats plain).Pipeline.disk_hits = 0)
+
+let test_digest_stability () =
+  let a = Pipeline.load transpose and b = Pipeline.load transpose in
+  check Alcotest.string "equal programs digest equally" (Pipeline.digest a)
+    (Pipeline.digest b);
+  let layout =
+    Dp_layout.Layout.make
+      ~default:(Dp_layout.Striping.make ~unit_bytes:65536 ~factor:4 ~start_disk:1)
+      (Pipeline.program a)
+  in
+  check Alcotest.bool "different layouts digest differently" true
+    (Pipeline.digest (Pipeline.derive ~layout a) <> Pipeline.digest a)
 
 let test_mode_names () =
   List.iter
@@ -183,9 +350,17 @@ let suites =
         Alcotest.test_case "pool preserves order" `Quick test_pool_order;
         Alcotest.test_case "pool edge cases" `Quick test_pool_edges;
         Alcotest.test_case "pool first error wins" `Quick test_pool_first_error_wins;
+        test_pool_multi_failure;
+        Alcotest.test_case "pool transient retry" `Quick test_pool_transient_retry;
         Alcotest.test_case "stage memo sharing" `Quick test_memo_sharing;
         Alcotest.test_case "memoized trace is shared" `Quick test_memo_same_result;
         Alcotest.test_case "derive shares the graph" `Quick test_derive_shares_graph;
+        Alcotest.test_case "disk cache: warm context" `Quick test_disk_cache_warm;
+        Alcotest.test_case "disk cache: corruption recovery" `Quick
+          test_disk_cache_corruption_recovery;
+        Alcotest.test_case "disk cache: --no-cache path identical" `Quick
+          test_no_cache_matches_cached;
+        Alcotest.test_case "digest stability" `Quick test_digest_stability;
         Alcotest.test_case "mode names round-trip" `Quick test_mode_names;
         Alcotest.test_case "multi mode needs procs > 1" `Quick test_multi_needs_procs;
         Alcotest.test_case "golden: CLI trace = Runner trace" `Slow test_cli_matches_runner;
