@@ -8,7 +8,7 @@
    Usage: dune exec bench/main.exe [-- SECTION...]
    Sections: table1 table2 fig9a fig9b fig10a fig10b ablate-cluster
              ablate-tpm ablate-drpm ablate-stripes layout-opt
-             proactive-drpm fusion pipeline micro all
+             proactive-drpm fusion pipeline serve micro all
    (default: all). *)
 
 module App = Dp_workloads.App
@@ -660,6 +660,50 @@ let cache_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Served array: simulation throughput as the tenant population grows.
+   Each run simulates the merged trace once per policy row, so the
+   events/sec figure is merged-requests x simulated-rows over the wall
+   clock of the whole report (population build, merge, rows, oracle
+   bound and accounting included).  Jitter scales the array's busy
+   window, not the work, so throughput should hold roughly flat while
+   wall time grows with the population. *)
+
+let serve_bench () =
+  section "Served array — tenant scaling";
+  let module Serve = Dp_serve.Serve in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let jobs = min 4 (Domain.recommended_domain_count ()) in
+  let rows =
+    List.map
+      (fun tenants ->
+        let cfg = Serve.config ~jobs ~tenants ~seed:42 () in
+        let report, t = wall (fun () -> Serve.run cfg) in
+        let simulated_rows =
+          List.length
+            (List.filter (fun (r : Serve.row) -> Option.is_some r.Serve.summary)
+               report.Serve.rows)
+        in
+        let events = report.Serve.requests * simulated_rows in
+        [
+          string_of_int tenants;
+          string_of_int report.Serve.requests;
+          Printf.sprintf "%.2f" t;
+          Printf.sprintf "%.0f" (float_of_int events /. t);
+        ])
+      [ 10; 100; 1000 ]
+  in
+  Tabulate.render ppf
+    ~header:
+      [ "tenants"; "merged requests"; Printf.sprintf "wall (s, jobs=%d)" jobs;
+        "simulated events/s" ]
+    ~rows;
+  Format.printf "@."
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the compiler passes. *)
 
 let micro () =
@@ -752,6 +796,7 @@ let sections =
     ("obs-overhead", obs_overhead);
     ("pipeline", pipeline_bench);
     ("cache", cache_bench);
+    ("serve", serve_bench);
     ("micro", micro);
   ]
 

@@ -74,6 +74,7 @@ let resolve_mode ~procs ~restructured = function
       | Some Pipeline.Original | None -> fail "unknown --mode %s (expected single | multi)" name)
 
 let check_jobs jobs = if jobs < 1 then fail "--jobs must be at least 1 (got %d)" jobs
+let check_procs procs = if procs < 1 then fail "--procs must be at least 1 (got %d)" procs
 
 (* Pass profiling (--profile): the compiler stages carry Dp_obs.Prof
    hooks; enabling the collector before the pipeline and printing the
@@ -170,6 +171,7 @@ let trace source output procs restructured mode_name gaps with_hints faults_spec
     no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
+      check_procs procs;
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let ctx = Pipeline.load ?cache source in
       let mode = resolve_mode ~procs ~restructured mode_name in
@@ -207,10 +209,11 @@ let policy_of_string = function
   | "tpm-proactive" -> Policy.tpm ~proactive:true ()
   | "drpm" -> Policy.default_drpm
   | "drpm-proactive" -> Policy.drpm ~proactive:true ()
+  | "online" -> Policy.default_adaptive
   | p ->
       fail
-        "unknown policy %s (none | tpm | tpm-proactive | drpm | drpm-proactive | oracle-tpm \
-         | oracle-drpm)"
+        "unknown policy %s (none | tpm | tpm-proactive | drpm | drpm-proactive | online | \
+         oracle-tpm | oracle-drpm)"
         p
 
 (* --- simulate --- *)
@@ -219,6 +222,7 @@ let simulate source procs restructured mode_name policy_name per_disk timeline f
     cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
+      check_procs procs;
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let ctx = Pipeline.load ?cache source in
       let mode = resolve_mode ~procs ~restructured mode_name in
@@ -273,6 +277,7 @@ let report source procs jobs json_path obs cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_jobs jobs;
+      check_procs procs;
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let app = Pipeline.app (Pipeline.load source) in
       let versions =
@@ -299,6 +304,7 @@ let fault_sweep source procs jobs seed rates classes json_path cache_dir no_cach
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_jobs jobs;
+      check_procs procs;
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let app = Pipeline.app (Pipeline.load source) in
       let classes =
@@ -325,23 +331,84 @@ let fault_sweep source procs jobs seed rates classes json_path cache_dir no_cach
       profile_cache profile cache;
       finish_cache cache)
 
+(* --- serve: the multi-tenant server-array experiment --- *)
+
+let serve tenants seed disks jitter_ms policy_name jobs json cache_dir no_cache profile =
+  with_profile profile @@ fun () ->
+  with_errors (fun () ->
+      check_jobs jobs;
+      if tenants < 1 then fail "--tenants must be at least 1 (got %d)" tenants;
+      if disks < 1 then fail "--disks must be at least 1 (got %d)" disks;
+      if jitter_ms < 0.0 then fail "--jitter-ms must be non-negative (got %g)" jitter_ms;
+      let selection =
+        match Dp_serve.Serve.selection_of_name policy_name with
+        | Some s -> s
+        | None -> fail "unknown --policy %s (expected all | offline | online | oracle)" policy_name
+      in
+      let cache = open_cache ~no_cache ~dir:cache_dir () in
+      let cfg =
+        Dp_serve.Serve.config ~disks ~jitter_ms ~jobs ~selection ~tenants ~seed ()
+      in
+      let report = Dp_serve.Serve.run ?cache cfg in
+      (match json with
+      | Some "-" ->
+          print_string (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_serve report));
+          print_newline ()
+      | Some path ->
+          Fsx.atomic_write path
+            (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_serve report) ^ "\n");
+          Format.printf "%a@." Dp_serve.Serve.pp_report report
+      | None -> Format.printf "%a@." Dp_serve.Serve.pp_report report);
+      profile_cache profile cache;
+      finish_cache cache)
+
 (* --- cache: inspect / clear the persistent stage store --- *)
 
 let resolved_cache_dir = function Some d -> d | None -> Cachefs.default_dir ()
 
-let cache_stat dir_opt =
+let cache_stat dir_opt json =
   with_errors (fun () ->
       let dir = resolved_cache_dir dir_opt in
       let u = Cachefs.usage ~dir in
-      Format.printf "cache directory: %s@." dir;
-      Format.printf "entries: %d (%d bytes)@." u.Cachefs.entries u.Cachefs.bytes;
-      Format.printf "quarantined: %d, leftover temp files: %d@." u.Cachefs.quarantined
-        u.Cachefs.temp;
-      match Cachefs.load_run_counters ~dir with
-      | None -> Format.printf "last run: no statistics recorded@."
-      | Some k ->
-          Format.printf "last run: %d hit(s), %d miss(es), %d corrupt, %d dropped write(s)@."
-            k.Cachefs.hits k.Cachefs.misses k.Cachefs.corrupt k.Cachefs.write_failures)
+      let counters = Cachefs.load_run_counters ~dir in
+      if json then begin
+        let module J = Dp_harness.Json_out in
+        let last_run =
+          match counters with
+          | None -> J.Null
+          | Some k ->
+              J.Obj
+                [
+                  ("hits", J.Int k.Cachefs.hits);
+                  ("misses", J.Int k.Cachefs.misses);
+                  ("corrupt", J.Int k.Cachefs.corrupt);
+                  ("dropped_writes", J.Int k.Cachefs.write_failures);
+                ]
+        in
+        print_string
+          (J.to_string
+             (J.Obj
+                [
+                  ("dir", J.String dir);
+                  ("entries", J.Int u.Cachefs.entries);
+                  ("bytes", J.Int u.Cachefs.bytes);
+                  ("quarantined", J.Int u.Cachefs.quarantined);
+                  ("temp", J.Int u.Cachefs.temp);
+                  ("last_run", last_run);
+                ]));
+        print_newline ()
+      end
+      else begin
+        Format.printf "cache directory: %s@." dir;
+        Format.printf "entries: %d (%d bytes)@." u.Cachefs.entries u.Cachefs.bytes;
+        Format.printf "quarantined: %d, leftover temp files: %d@." u.Cachefs.quarantined
+          u.Cachefs.temp;
+        match counters with
+        | None -> Format.printf "last run: no statistics recorded@."
+        | Some k ->
+            Format.printf "last run: %d hit(s), %d miss(es), %d corrupt, %d dropped write(s)@."
+              k.Cachefs.hits k.Cachefs.misses k.Cachefs.corrupt k.Cachefs.write_failures
+      end)
 
 let cache_clear dir_opt =
   with_errors (fun () ->
@@ -570,6 +637,60 @@ let emit_cmd =
     (Cmd.info "emit" ~doc:"Emit a program back as .dpl source (with its striping)")
     Term.(const emit $ source_arg $ output)
 
+let serve_cmd =
+  let tenants =
+    Arg.(
+      value & opt int 10
+      & info [ "tenants"; "n" ] ~docv:"N"
+          ~doc:
+            "Number of tenants multiplexed onto the array: every fourth replays a window \
+             of one of the six paper applications, the rest are seeded synthetic OLTP \
+             streams")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Master seed: tenant parameters and arrival jitter derive from it, so equal \
+             seeds give byte-identical reports")
+  in
+  let disks =
+    Arg.(value & opt int 8 & info [ "disks"; "d" ] ~docv:"N" ~doc:"Array size (I/O nodes)")
+  in
+  let jitter =
+    Arg.(
+      value & opt float 30_000.0
+      & info [ "jitter-ms" ] ~docv:"MS"
+          ~doc:"Tenant start offsets are uniform in [0, MS) — the arrival-time spread")
+  in
+  let policy =
+    Arg.(
+      value & opt string "all"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:
+            "Which rows to compute: offline (per-tenant compiler hints executed on the \
+             merged stream), online (the epoch-based adaptive policy), oracle (the \
+             offline-optimal bound alone), or all")
+  in
+  let json =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the report as JSON to FILE ('-' or no value: stdout, replacing the \
+             human table)")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Multiplex N tenant workloads onto one disk array and compare offline compiler \
+          hints, online adaptation and the oracle bound")
+    Term.(
+      const serve $ tenants $ seed $ disks $ jitter $ policy $ jobs_arg $ json
+      $ cache_dir_arg $ no_cache_arg $ profile_arg)
+
 let cache_subcommand_docs =
   [
     ("stat", "Entry count, size and the previous run's hit statistics");
@@ -577,10 +698,19 @@ let cache_subcommand_docs =
   ]
 
 let cache_cmd =
+  let stat_json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the statistics as one JSON object (entries, bytes, quarantined, temp, \
+             and the previous run's hit/miss/corrupt/dropped-write counters) instead of \
+             the human table")
+  in
   let stat_cmd =
     Cmd.v
       (Cmd.info "stat" ~doc:(List.assoc "stat" cache_subcommand_docs))
-      Term.(const cache_stat $ cache_dir_arg)
+      Term.(const cache_stat $ cache_dir_arg $ stat_json)
   in
   let clear_cmd =
     Cmd.v
@@ -603,6 +733,7 @@ let command_docs =
     ("emit", "Emit a program back as .dpl source (with its striping)");
     ("report", "Run the full version matrix for a program and print figures");
     ("fault-sweep", "Re-simulate the version matrix across a fault-rate ramp");
+    ("serve", "Multiplex N tenants onto one array: offline hints vs online adaptation");
     ("cache", "Inspect or clear the persistent stage cache");
   ]
 
@@ -653,5 +784,5 @@ let () =
        (Cmd.group info
           [
             show_cmd; restructure_cmd; trace_cmd; simulate_cmd; emit_cmd; report_cmd;
-            fault_sweep_cmd; cache_cmd;
+            fault_sweep_cmd; serve_cmd; cache_cmd;
           ]))

@@ -100,6 +100,7 @@ let run trace_file out disks policy_name threshold proactive window downshift fa
           | "tpm" -> Policy.tpm ?idle_threshold_s:threshold ~proactive ()
           | "drpm" ->
               Policy.drpm ?window_size:window ?downshift_idle_ms:downshift ~proactive ()
+          | "online" -> Policy.default_adaptive
           | p -> usage_error "unknown policy %s" p
         in
         let sink, close_stream = obs_sink obs_mode reqs out in
@@ -150,7 +151,7 @@ let () =
     Arg.(
       value & opt string "none"
       & info [ "policy" ] ~docv:"P"
-          ~doc:"none | tpm | drpm | oracle-tpm | oracle-drpm | oracle")
+          ~doc:"none | tpm | drpm | online | oracle-tpm | oracle-drpm | oracle")
   in
   let threshold =
     Arg.(

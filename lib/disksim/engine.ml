@@ -4,6 +4,7 @@ module Fault_model = Dp_faults.Fault_model
 module Injector = Dp_faults.Injector
 module Sink = Dp_obs.Sink
 module Obs_event = Dp_obs.Event
+module Online = Dp_online.Online
 
 type disk_stats = {
   disk : int;
@@ -465,9 +466,60 @@ let gap_drpm_proactive ?target_rpm model (cfg : Policy.drpm_config) fctx st ~unt
     end
   end
 
+(* Online adaptive gap (Policy.Adaptive): execute the mechanism the
+   controller froze at the last epoch boundary.  [Spin] behaves like
+   reactive TPM with a learned threshold — the spin-up stalls the next
+   arrival, there is no schedule to hide it behind.  [Dip] ramps down
+   level by level after the learned threshold and dwells; the next
+   request is served slow and the ramp back up overlaps servicing (the
+   DRPM recovery path).  Returns [true] when the disk ends the gap spun
+   down and needs a reactive spin-up. *)
+let gap_adaptive model ctrl fctx st ~until ~terminal =
+  let gap = until -. st.now in
+  if gap <= 0.0 then false
+  else
+    match Online.decide ctrl ~disk:st.id with
+    | Online.Stay ->
+        spend_idle model st gap;
+        false
+    | Online.Spin threshold_ms ->
+        if gap <= threshold_ms then begin
+          spend_idle model st gap;
+          false
+        end
+        else begin
+          spend_idle model st threshold_ms;
+          decision st "online:spin-down";
+          spin_down model st ~clip:(until -. st.now);
+          if until > st.now then spend_standby model st (until -. st.now);
+          not terminal
+        end
+    | Online.Dip (target_rpm, threshold_ms) ->
+        let step_ms = ms_of_s (Disk_model.drpm_level_transition_s model) in
+        let floor_rpm = max target_rpm model.Disk_model.rpm_min in
+        if gap <= threshold_ms then spend_idle model st gap
+        else begin
+          spend_idle model st threshold_ms;
+          decision st "online:dip";
+          (* Ramp down as deep as the remaining gap (and the stuck-RPM
+             injector) allows; the predicted gap may overshoot the real
+             one, so feasibility is re-checked per level. *)
+          let rec down () =
+            let next = st.rpm - model.Disk_model.rpm_step in
+            if
+              next >= floor_rpm
+              && until -. st.now >= step_ms
+              && try_drpm_shift model fctx st ~rpm_to:next
+            then down ()
+          in
+          down ();
+          if until > st.now then spend_idle model st (until -. st.now)
+        end;
+        false
+
 (* --- servicing --- *)
 
-let serve model fctx st ~arrival ~lba ~bytes ~rpm =
+let serve model fctx st ~proc ~arrival ~lba ~bytes ~rpm =
   let seek_distance = if st.last_end < 0 then max_int else lba - st.last_end in
   let start = Float.max arrival st.now in
   (* The disk is idle between st.now and a later start only when it was
@@ -536,7 +588,15 @@ let serve model fctx st ~arrival ~lba ~bytes ~rpm =
   if Sink.enabled st.sink then
     Sink.emit st.sink
       (Obs_event.Service
-         { disk = st.id; arrival_ms = arrival; start_ms = start; stop_ms = st.now; lba; bytes });
+         {
+           disk = st.id;
+           proc;
+           arrival_ms = arrival;
+           start_ms = start;
+           stop_ms = st.now;
+           lba;
+           bytes;
+         });
   response
 
 (* DRPM window bookkeeping: after [window_size] requests compare the
@@ -567,11 +627,11 @@ let drpm_window model (cfg : Policy.drpm_config) fctx st ~response ~nominal =
    a proactive policy with hints executes the directives, a proactive
    policy without falls back to the omniscient gap planner.  Returns the
    response time. *)
-let rec handle_request model policy fctx st (r : Request.t) ~issue ~hinted =
+let rec handle_request model policy ctrl fctx st (r : Request.t) ~issue ~hinted =
   match policy with
   | Policy.No_pm ->
       if issue > st.now then gap_no_pm model st ~until:issue;
-      serve model fctx st ~arrival:issue ~lba:r.lba ~bytes:r.size
+      serve model fctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
         ~rpm:model.Disk_model.rpm_max
   | Policy.Tpm cfg when cfg.Policy.proactive ->
       if hinted then begin
@@ -582,7 +642,7 @@ let rec handle_request model policy fctx st (r : Request.t) ~issue ~hinted =
       end
       else if issue > st.now then
         gap_tpm_proactive model cfg fctx st ~until:issue ~terminal:false;
-      serve model fctx st ~arrival:issue ~lba:r.lba ~bytes:r.size
+      serve model fctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
         ~rpm:model.Disk_model.rpm_max
   | Policy.Tpm cfg ->
       let spun_down = if issue > st.now then gap_tpm model cfg st ~until:issue else false in
@@ -592,14 +652,49 @@ let rec handle_request model policy fctx st (r : Request.t) ~issue ~hinted =
         st.now <- Float.max st.now issue;
         spin_up model fctx st
       end;
-      serve model fctx st ~arrival:issue ~lba:r.lba ~bytes:r.size
+      serve model fctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
         ~rpm:model.Disk_model.rpm_max
+  | Policy.Adaptive _ ->
+      let ctrl = match ctrl with Some c -> c | None -> assert false in
+      let spun_down =
+        if issue > st.now then gap_adaptive model ctrl fctx st ~until:issue ~terminal:false
+        else false
+      in
+      if spun_down then begin
+        st.now <- Float.max st.now issue;
+        spin_up model fctx st
+      end;
+      (* Feed the controller the arrival it just witnessed; the decision
+         it derives (at an epoch boundary) governs *future* gaps. *)
+      Online.observe ctrl ~disk:st.id ~now_ms:issue;
+      let response =
+        serve model fctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
+          ~rpm:st.rpm
+      in
+      (* After a dip the request was served slow; recover one level per
+         request with the transition overlapping servicing, as in the
+         reactive DRPM path. *)
+      (if st.rpm < model.Disk_model.rpm_max then begin
+         if shift_refused fctx st then fault_event st ~at:st.now ~kind:"stuck-rpm" ~cost:0.0
+         else begin
+           let rpm_to = st.rpm + model.Disk_model.rpm_step in
+           let e = Disk_model.drpm_transition_j model ~rpm_from:st.rpm ~rpm_to in
+           st.energy <- st.energy +. e;
+           record_span st ~start:st.now ~stop:st.now ~charge:0.0 ~energy:e
+             Timeline.Transition;
+           st.rpm <- rpm_to;
+           st.shifts <- st.shifts + 1;
+           if rpm_to = model.Disk_model.rpm_max then st.ups <- st.ups + 1
+         end
+       end);
+      response
   | Policy.Drpm cfg when cfg.Policy.proactive && hinted && serving_degraded fctx st ->
       (* The compiler's directive assumed a disk that obeys speed
          commands; a stuck-RPM window invalidates it.  Degrade to the
          reactive twin for this request: idle or serve slow, recover
          once the window expires — never stall. *)
-      handle_request model (Policy.reactive_fallback policy) fctx st r ~issue ~hinted:false
+      handle_request model (Policy.reactive_fallback policy) ctrl fctx st r ~issue
+        ~hinted:false
   | Policy.Drpm cfg ->
       (if cfg.Policy.proactive && hinted then begin
          let hs = take_hints st ~upto:r.Request.arrival_ms in
@@ -624,7 +719,8 @@ let rec handle_request model policy fctx st (r : Request.t) ~issue ~hinted =
           ~bytes:r.size
       in
       let response =
-        serve model fctx st ~arrival:issue ~lba:r.lba ~bytes:r.size ~rpm:st.rpm
+        serve model fctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
+          ~rpm:st.rpm
       in
       (* Ramp back toward full speed one level per serviced request: RPM
          transitions overlap servicing (the low-overhead dynamic-RPM
@@ -648,10 +744,13 @@ let rec handle_request model policy fctx st (r : Request.t) ~issue ~hinted =
 
 (* Trailing window: account the timeline from the last completion to the
    global makespan, with no arrival to terminate the gap. *)
-let handle_trailing model policy fctx st ~until ~hinted =
+let handle_trailing model policy ctrl fctx st ~until ~hinted =
   if until > st.now then begin
     match policy with
     | Policy.No_pm -> gap_no_pm model st ~until
+    | Policy.Adaptive _ ->
+        let ctrl = match ctrl with Some c -> c | None -> assert false in
+        ignore (gap_adaptive model ctrl fctx st ~until ~terminal:true)
     | Policy.Tpm cfg when cfg.Policy.proactive ->
         if hinted then
           let hs = take_hints st ~upto:infinity in
@@ -724,6 +823,24 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
     | None -> None
     | Some cfg -> Some { inj = Injector.make cfg ~disks; retry }
   in
+  let ctrl =
+    match policy with
+    | Policy.Adaptive cfg ->
+        Some
+          (Online.make cfg
+             ~hardware:
+               {
+                 Online.breakeven_ms = ms_of_s model.Disk_model.tpm_breakeven_s;
+                 spin_down_ms = ms_of_s model.Disk_model.spin_down_s;
+                 spin_up_ms = ms_of_s model.Disk_model.spin_up_s;
+                 rpm_max = model.Disk_model.rpm_max;
+                 rpm_min = model.Disk_model.rpm_min;
+                 rpm_step = model.Disk_model.rpm_step;
+                 level_ms = ms_of_s (Disk_model.drpm_level_transition_s model);
+               }
+             ~disks)
+    | _ -> None
+  in
   let reqs = List.sort Request.compare_arrival reqs in
   let n_proc =
     1 + List.fold_left (fun acc (r : Request.t) -> max acc r.proc) (-1) reqs
@@ -769,7 +886,9 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
         | r :: rest ->
             pending.(p) <- rest;
             let st = states.(r.Request.disk) in
-            let response = handle_request model policy fctx st r ~issue:!best_t ~hinted in
+            let response =
+              handle_request model policy ctrl fctx st r ~issue:!best_t ~hinted
+            in
             ignore response;
             clocks.(p) <- !best_t +. response;
             last_completion.(r.Request.disk) <- st.now;
@@ -782,7 +901,9 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
     Array.fill clocks 0 (Array.length clocks) latest
   done;
   let makespan = Array.fold_left max 0.0 last_completion in
-  Array.iter (fun st -> handle_trailing model policy fctx st ~until:makespan ~hinted) states;
+  Array.iter
+    (fun st -> handle_trailing model policy ctrl fctx st ~until:makespan ~hinted)
+    states;
   let per_disk =
     Array.mapi (fun d st -> stats_of_state st ~last_completion:last_completion.(d)) states
   in

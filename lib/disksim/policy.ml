@@ -8,7 +8,11 @@ type drpm_config = {
   min_rpm : int option;
 }
 
-type t = No_pm | Tpm of tpm_config | Drpm of drpm_config
+type t =
+  | No_pm
+  | Tpm of tpm_config
+  | Drpm of drpm_config
+  | Adaptive of Dp_online.Online.config
 
 let tpm ?(idle_threshold_s = Disk_model.ultrastar_36z15.Disk_model.tpm_breakeven_s)
     ?(proactive = false) () =
@@ -18,16 +22,20 @@ let drpm ?(window_size = 100) ?(downshift_idle_ms = 1_000.0) ?(tolerance = 1.15)
     ?(proactive = false) ?min_rpm () =
   Drpm { window_size; downshift_idle_ms; tolerance; proactive; min_rpm }
 
+let adaptive ?(config = Dp_online.Online.default) () = Adaptive config
 let default_tpm = tpm ()
 let default_drpm = drpm ()
+let default_adaptive = adaptive ()
 
 let name = function
   | No_pm -> "none"
   | Tpm _ -> "TPM"
   | Drpm _ -> "DRPM"
+  | Adaptive _ -> "Online"
 
 let describe = function
   | No_pm -> "none (always at full speed)"
+  | Adaptive c -> Dp_online.Online.describe c
   | Tpm c ->
       Printf.sprintf "TPM%s (idle threshold %.1f s)"
         (if c.proactive then " proactive" else "")
@@ -58,3 +66,6 @@ let reactive_fallback = function
   | No_pm -> No_pm
   | Tpm c -> Tpm { c with proactive = false }
   | Drpm c -> Drpm { c with proactive = false }
+  (* The online controller is already reactive: it only ever acts on
+     observed arrivals, so it is its own fallback. *)
+  | Adaptive _ as p -> p

@@ -34,11 +34,23 @@ type drpm_config = {
           alternative.  [None]: the drive's minimum. *)
 }
 
-type t = No_pm | Tpm of tpm_config | Drpm of drpm_config
+type t =
+  | No_pm
+  | Tpm of tpm_config
+  | Drpm of drpm_config
+  | Adaptive of Dp_online.Online.config
+      (** epoch-based online adaptation (see {!Dp_online.Online}): the
+          engine learns per-disk inter-arrival statistics as the run
+          unfolds and picks spin-down thresholds / RPM dips from the
+          estimate — no compiler schedule, no hints.  The policy for
+          merged multi-tenant streams whose interleaving nobody
+          planned. *)
 
 val default_tpm : t
 val default_drpm : t
+val default_adaptive : t
 val tpm : ?idle_threshold_s:float -> ?proactive:bool -> unit -> t
+val adaptive : ?config:Dp_online.Online.config -> unit -> t
 val drpm :
   ?window_size:int ->
   ?downshift_idle_ms:float ->

@@ -140,6 +140,70 @@ let of_matrix (matrix : Experiments.matrix) =
            ])
        matrix)
 
+let of_serve_tenant ~kind (s : Dp_serve.Account.tenant_stats) =
+  Obj
+    [
+      ("tenant", Int s.Dp_serve.Account.tenant);
+      ("kind", String kind);
+      ("requests", Int s.Dp_serve.Account.requests);
+      ("energy_j", Float s.Dp_serve.Account.energy_j);
+      ("response_mean_ms", Float s.Dp_serve.Account.response_mean_ms);
+      ("response_p50_ms", Float s.Dp_serve.Account.response_p50_ms);
+      ("response_p95_ms", Float s.Dp_serve.Account.response_p95_ms);
+      ("response_p99_ms", Float s.Dp_serve.Account.response_p99_ms);
+      ("response_max_ms", Float s.Dp_serve.Account.response_max_ms);
+    ]
+
+let of_serve_summary ~kinds (s : Dp_serve.Account.summary) =
+  Obj
+    [
+      ("attributed_j", Float s.Dp_serve.Account.attributed_j);
+      ("unattributed_j", Float s.Dp_serve.Account.unattributed_j);
+      ("energy_j", Float s.Dp_serve.Account.energy_j);
+      ("fairness", Float s.Dp_serve.Account.fairness);
+      ("requests", Int s.Dp_serve.Account.requests);
+      ("response_mean_ms", Float s.Dp_serve.Account.response_mean_ms);
+      ("response_p50_ms", Float s.Dp_serve.Account.response_p50_ms);
+      ("response_p95_ms", Float s.Dp_serve.Account.response_p95_ms);
+      ("response_p99_ms", Float s.Dp_serve.Account.response_p99_ms);
+      ("response_max_ms", Float s.Dp_serve.Account.response_max_ms);
+      ( "tenants",
+        List
+          (List.map
+             (fun (t : Dp_serve.Account.tenant_stats) ->
+               of_serve_tenant ~kind:kinds.(t.Dp_serve.Account.tenant) t)
+             (Array.to_list s.Dp_serve.Account.tenants)) );
+    ]
+
+let of_serve (r : Dp_serve.Serve.report) =
+  let cfg = r.Dp_serve.Serve.config in
+  Obj
+    [
+      ("tenants", Int cfg.Dp_serve.Serve.tenants);
+      ("seed", Int cfg.Dp_serve.Serve.seed);
+      ("disks", Int cfg.Dp_serve.Serve.disks);
+      ("jitter_ms", Float cfg.Dp_serve.Serve.jitter_ms);
+      ("selection", String (Dp_serve.Serve.selection_name cfg.Dp_serve.Serve.selection));
+      ("requests", Int r.Dp_serve.Serve.requests);
+      ( "rows",
+        List
+          (List.map
+             (fun (row : Dp_serve.Serve.row) ->
+               Obj
+                 ([
+                    ("label", String row.Dp_serve.Serve.label);
+                    ("detail", String row.Dp_serve.Serve.detail);
+                    ("energy_j", Float row.Dp_serve.Serve.energy_j);
+                    ("makespan_ms", Float row.Dp_serve.Serve.makespan_ms);
+                  ]
+                 @
+                 match row.Dp_serve.Serve.summary with
+                 | None -> []
+                 | Some s ->
+                     [ ("summary", of_serve_summary ~kinds:r.Dp_serve.Serve.kinds s) ]))
+             r.Dp_serve.Serve.rows) );
+    ]
+
 let of_sweep (s : Experiments.sweep) =
   Obj
     [

@@ -28,6 +28,13 @@ val of_run : Runner.run -> t
 val of_histogram : Dp_obs.Metrics.histogram -> t
 val of_disk_report : Dp_obs.Report.disk_report -> t
 
+val of_serve : Dp_serve.Serve.report -> t
+(** The served-array report: config echo (without [jobs] — the output
+    must be byte-identical across [--jobs] settings), merged request
+    count, and per row the energy/makespan plus, for simulated rows, the
+    attribution summary with every tenant's share and response
+    percentiles. *)
+
 val of_sweep : Experiments.sweep -> t
 (** The fault sweep as one object: app, seed, and per rate the runs
     (with their reliability aggregates). *)

@@ -11,6 +11,7 @@ type t =
     }
   | Service of {
       disk : int;
+      proc : int;
       arrival_ms : float;
       start_ms : float;
       stop_ms : float;
@@ -72,10 +73,10 @@ let to_json = function
         "{\"type\":\"power\",\"disk\":%d,\"state\":\"%s\"%s,\"start_ms\":%s,\"stop_ms\":%s,\"charge_ms\":%s,\"energy_j\":%s}"
         disk (state_name state) rpm (jfloat start_ms) (jfloat stop_ms) (jfloat charge_ms)
         (jfloat energy_j)
-  | Service { disk; arrival_ms; start_ms; stop_ms; lba; bytes } ->
+  | Service { disk; proc; arrival_ms; start_ms; stop_ms; lba; bytes } ->
       Printf.sprintf
-        "{\"type\":\"service\",\"disk\":%d,\"arrival_ms\":%s,\"start_ms\":%s,\"stop_ms\":%s,\"response_ms\":%s,\"lba\":%d,\"bytes\":%d}"
-        disk (jfloat arrival_ms) (jfloat start_ms) (jfloat stop_ms)
+        "{\"type\":\"service\",\"disk\":%d,\"proc\":%d,\"arrival_ms\":%s,\"start_ms\":%s,\"stop_ms\":%s,\"response_ms\":%s,\"lba\":%d,\"bytes\":%d}"
+        disk proc (jfloat arrival_ms) (jfloat start_ms) (jfloat stop_ms)
         (jfloat (stop_ms -. arrival_ms))
         lba bytes
   | Hint_exec { disk; at_ms; action } ->

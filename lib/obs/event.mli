@@ -30,6 +30,9 @@ type t =
     }
   | Service of {
       disk : int;
+      proc : int;
+          (** issuing processor — under {!Dp_serve} multiplexing, the
+              tenant index, which is what per-tenant attribution keys on *)
       arrival_ms : float;
       start_ms : float;  (** when the head started working (spikes included) *)
       stop_ms : float;  (** completion; [stop_ms -. arrival_ms] is the response *)

@@ -1,0 +1,152 @@
+module Sink = Dp_obs.Sink
+module Event = Dp_obs.Event
+
+type tenant_stats = {
+  tenant : int;
+  requests : int;
+  energy_j : float;
+  response_mean_ms : float;
+  response_p50_ms : float;
+  response_p95_ms : float;
+  response_p99_ms : float;
+  response_max_ms : float;
+}
+
+type summary = {
+  tenants : tenant_stats array;
+  attributed_j : float;
+  unattributed_j : float;
+  energy_j : float;
+  fairness : float;
+  requests : int;
+  response_mean_ms : float;
+  response_p50_ms : float;
+  response_p95_ms : float;
+  response_p99_ms : float;
+  response_max_ms : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(min (n - 1) (max 0 (rank - 1)))
+  end
+
+(* A growable float sample buffer: tenant streams are short (tens to a
+   few hundred responses), so keeping every sample for exact
+   percentiles is cheap. *)
+type samples = { mutable buf : float array; mutable len : int }
+
+let sample_add s v =
+  if s.len = Array.length s.buf then begin
+    let bigger = Array.make (max 16 (2 * s.len)) 0.0 in
+    Array.blit s.buf 0 bigger 0 s.len;
+    s.buf <- bigger
+  end;
+  s.buf.(s.len) <- v;
+  s.len <- s.len + 1
+
+let sample_sorted s =
+  let a = Array.init s.len (Array.get s.buf) in
+  Array.sort Float.compare a;
+  a
+
+let jain means =
+  let n = Array.length means in
+  if n = 0 then 1.0
+  else begin
+    let sum = Array.fold_left ( +. ) 0.0 means in
+    let sq = Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 means in
+    if sq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sq)
+  end
+
+let recorder ~tenants ~disks =
+  if tenants < 1 then invalid_arg "Account.recorder: tenants must be >= 1";
+  if disks < 1 then invalid_arg "Account.recorder: disks must be >= 1";
+  let tenant_j = Array.make tenants 0.0 in
+  let responses = Array.init tenants (fun _ -> { buf = [||]; len = 0 }) in
+  (* Energy per disk awaiting a service to claim it, the claimant of a
+     disk's trailing spans, and the engine-shaped per-disk totals. *)
+  let pending = Array.make disks 0.0 in
+  let last_tenant = Array.make disks (-1) in
+  let disk_j = Array.make disks 0.0 in
+  let sink =
+    Sink.stream (fun ev ->
+        match ev with
+        | Event.Power { disk; energy_j; _ } ->
+            pending.(disk) <- pending.(disk) +. energy_j;
+            disk_j.(disk) <- disk_j.(disk) +. energy_j
+        | Event.Service { disk; proc; arrival_ms; stop_ms; _ } ->
+            tenant_j.(proc) <- tenant_j.(proc) +. pending.(disk);
+            pending.(disk) <- 0.0;
+            last_tenant.(disk) <- proc;
+            sample_add responses.(proc) (stop_ms -. arrival_ms)
+        | Event.Hint_exec _ | Event.Fault _ | Event.Decision _ | Event.Cache _ -> ())
+  in
+  let finish () =
+    let unattributed = ref 0.0 in
+    Array.iteri
+      (fun d e ->
+        if e <> 0.0 then
+          if last_tenant.(d) >= 0 then
+            tenant_j.(last_tenant.(d)) <- tenant_j.(last_tenant.(d)) +. e
+          else unattributed := !unattributed +. e;
+        pending.(d) <- 0.0)
+      pending;
+    let stats =
+      Array.init tenants (fun t ->
+          let sorted = sample_sorted responses.(t) in
+          let n = Array.length sorted in
+          {
+            tenant = t;
+            requests = n;
+            energy_j = tenant_j.(t);
+            response_mean_ms =
+              (if n = 0 then 0.0
+               else Array.fold_left ( +. ) 0.0 sorted /. float_of_int n);
+            response_p50_ms = percentile sorted 0.50;
+            response_p95_ms = percentile sorted 0.95;
+            response_p99_ms = percentile sorted 0.99;
+            response_max_ms = (if n = 0 then 0.0 else sorted.(n - 1));
+          })
+    in
+    let means =
+      Array.of_list
+        (List.filter_map
+           (fun (s : tenant_stats) ->
+             if s.requests > 0 then Some s.response_mean_ms else None)
+           (Array.to_list stats))
+    in
+    let pooled =
+      let total = Array.fold_left (fun acc s -> acc + s.len) 0 responses in
+      let a = Array.make (max total 1) 0.0 in
+      let at = ref 0 in
+      Array.iter
+        (fun s ->
+          Array.blit s.buf 0 a !at s.len;
+          at := !at + s.len)
+        responses;
+      let a = Array.sub a 0 total in
+      Array.sort Float.compare a;
+      a
+    in
+    let pooled_n = Array.length pooled in
+    {
+      tenants = stats;
+      attributed_j = Array.fold_left ( +. ) 0.0 tenant_j;
+      unattributed_j = !unattributed;
+      energy_j = Array.fold_left ( +. ) 0.0 disk_j;
+      fairness = jain means;
+      requests = pooled_n;
+      response_mean_ms =
+        (if pooled_n = 0 then 0.0
+         else Array.fold_left ( +. ) 0.0 pooled /. float_of_int pooled_n);
+      response_p50_ms = percentile pooled 0.50;
+      response_p95_ms = percentile pooled 0.95;
+      response_p99_ms = percentile pooled 0.99;
+      response_max_ms = (if pooled_n = 0 then 0.0 else pooled.(pooled_n - 1));
+    }
+  in
+  (sink, finish)

@@ -1,0 +1,61 @@
+(** Per-tenant accounting over the observability event stream.
+
+    A {!recorder} is a {!Dp_obs.Sink.t} the engine streams into plus a
+    finisher that folds what it saw into a {!summary}:
+
+    - {b energy attribution} is demand-based: every power span's energy
+      accrues to its disk's pending pot, and a service event drains the
+      pot (gap energy plus the busy span) to the issuing tenant — the
+      tenant whose arrival terminated the gap pays for it.  Spans after
+      a disk's last service go to the tenant it last served; disks never
+      serviced at all are reported as [unattributed_j].  Every joule the
+      engine emits lands in exactly one tenant pot or the unattributed
+      pot, so attribution sums back to the array total (up to float
+      regrouping — the engine folds per disk, attribution per tenant).
+    - {b response percentiles} are exact nearest-rank over the tenant's
+      recorded responses, not histogram-bucket approximations: tenant
+      streams are short enough to keep every sample.
+    - {b fairness} is Jain's index over per-tenant mean response times.
+
+    Single-threaded, like every sink. *)
+
+type tenant_stats = {
+  tenant : int;
+  requests : int;
+  energy_j : float;  (** demand-attributed share of the array energy *)
+  response_mean_ms : float;
+  response_p50_ms : float;
+  response_p95_ms : float;
+  response_p99_ms : float;
+  response_max_ms : float;
+}
+
+type summary = {
+  tenants : tenant_stats array;  (** indexed by tenant id *)
+  attributed_j : float;  (** sum of the tenant shares *)
+  unattributed_j : float;  (** energy of disks that never served anyone *)
+  energy_j : float;
+      (** array total as the engine computes it: per-disk span sums
+          folded across disks in disk order — bit-identical to
+          [Engine.result.energy_j] for the same run *)
+  fairness : float;
+      (** Jain's index over per-tenant mean responses, in (0, 1]; 1.0
+          when no tenant completed a request *)
+  requests : int;  (** services seen across all tenants *)
+  response_mean_ms : float;  (** pooled over every response in the run *)
+  response_p50_ms : float;
+  response_p95_ms : float;
+  response_p99_ms : float;
+  response_max_ms : float;
+}
+
+val recorder : tenants:int -> disks:int -> Dp_obs.Sink.t * (unit -> summary)
+(** The sink to pass as [Engine.simulate ~obs] and the finisher to call
+    once the run returns.  The finisher is not idempotent — call it
+    exactly once.
+    @raise Invalid_argument when [tenants < 1] or [disks < 1]. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted q]: exact nearest-rank percentile of an
+    ascending-sorted sample ([q] in [0, 1]; 0 on an empty sample).
+    Exposed for the report path and the tests. *)

@@ -1,0 +1,25 @@
+(** The arrival-time multiplexer: N tenant streams onto one array.
+
+    Each tenant gets a seed-driven start offset (uniform in
+    [\[0, jitter_ms)]) and its stream is shifted wholesale; the shifted
+    streams are then merged into one trace ordered by
+    {!Dp_trace.Request.compare_arrival}.  A tenant's requests keep their
+    relative spacing — the offset lands in the first request's
+    [think_ms], subsequent think times are untouched — and its id lands
+    in [Request.proc], which is what the closed-loop engine issues on
+    and what per-tenant accounting keys on.
+
+    Because normalized tenant streams have strictly increasing arrivals
+    ({!Tenant.population}) and the shift is constant per tenant, the
+    merge preserves every tenant's request order (the QCheck property in
+    the test suite).  The merge is serial and a pure function of its
+    inputs: the same generator and streams give a byte-identical merged
+    trace whatever [--jobs] later fans out over it. *)
+
+val merge :
+  rng:Dp_util.Splitmix.t ->
+  jitter_ms:float ->
+  Tenant.t list ->
+  Dp_trace.Request.t list
+(** One child generator is split off [rng] per tenant in list order.
+    @raise Invalid_argument when [jitter_ms] is negative. *)

@@ -1,0 +1,154 @@
+module Splitmix = Dp_util.Splitmix
+module Request = Dp_trace.Request
+module Hint = Dp_trace.Hint
+module Engine = Dp_disksim.Engine
+module Policy = Dp_disksim.Policy
+module Oracle = Dp_oracle.Oracle
+module Domain_pool = Dp_pipeline.Domain_pool
+
+type selection = All | Offline | Online | Oracle_only
+
+let selection_of_name = function
+  | "all" -> Some All
+  | "offline" -> Some Offline
+  | "online" -> Some Online
+  | "oracle" -> Some Oracle_only
+  | _ -> None
+
+let selection_name = function
+  | All -> "all"
+  | Offline -> "offline"
+  | Online -> "online"
+  | Oracle_only -> "oracle"
+
+type config = {
+  tenants : int;
+  seed : int;
+  disks : int;
+  jitter_ms : float;
+  jobs : int;
+  selection : selection;
+}
+
+let config ?(disks = 8) ?(jitter_ms = 30_000.0) ?(jobs = 1) ?(selection = All) ~tenants
+    ~seed () =
+  if tenants < 1 then invalid_arg "Serve.config: tenants must be >= 1";
+  if disks < 1 then invalid_arg "Serve.config: disks must be >= 1";
+  if jobs < 1 then invalid_arg "Serve.config: jobs must be >= 1";
+  if jitter_ms < 0.0 then invalid_arg "Serve.config: jitter_ms must be >= 0";
+  { tenants; seed; disks; jitter_ms; jobs; selection }
+
+type row = {
+  label : string;
+  detail : string;
+  energy_j : float;
+  makespan_ms : float;
+  summary : Account.summary option;
+}
+
+type report = {
+  config : config;
+  requests : int;
+  kinds : string array;
+  rows : row list;
+}
+
+(* One report row to compute: a policy simulation (with the hint space
+   its offline variant plans in), or the analytic oracle bound. *)
+type spec = Sim of string * Policy.t * Oracle.space option | Bound
+
+let specs = function
+  | All ->
+      [
+        Sim ("base", Policy.No_pm, None);
+        Sim ("offline-tpm", Policy.tpm ~proactive:true (), Some Oracle.Tpm_space);
+        Sim ("offline-drpm", Policy.drpm ~proactive:true (), Some Oracle.Drpm_space);
+        Sim ("online", Policy.default_adaptive, None);
+        Bound;
+      ]
+  | Offline ->
+      [
+        Sim ("base", Policy.No_pm, None);
+        Sim ("offline-tpm", Policy.tpm ~proactive:true (), Some Oracle.Tpm_space);
+        Sim ("offline-drpm", Policy.drpm ~proactive:true (), Some Oracle.Drpm_space);
+      ]
+  | Online ->
+      [ Sim ("base", Policy.No_pm, None); Sim ("online", Policy.default_adaptive, None) ]
+  | Oracle_only -> [ Bound ]
+
+let run ?cache cfg =
+  Dp_obs.Prof.span "serve.run" @@ fun () ->
+  let root = Splitmix.create cfg.seed in
+  let pop_rng = Splitmix.split root in
+  let mux_rng = Splitmix.split root in
+  let tenants =
+    Tenant.population ?cache ~rng:pop_rng ~tenants:cfg.tenants ~disks:cfg.disks ()
+  in
+  let merged = Mux.merge ~rng:mux_rng ~jitter_ms:cfg.jitter_ms tenants in
+  (* The per-tenant shifted streams, recovered from the merged trace:
+     what each tenant's compiler would have planned hints on. *)
+  let by_tenant = Array.make cfg.tenants [] in
+  List.iter (fun (r : Request.t) -> by_tenant.(r.proc) <- r :: by_tenant.(r.proc)) merged;
+  Array.iteri (fun i l -> by_tenant.(i) <- List.rev l) by_tenant;
+  let offline_hints space =
+    List.stable_sort Hint.compare_at
+      (List.concat_map
+         (fun stream -> Oracle.hints_of_trace ~space ~disks:cfg.disks stream)
+         (Array.to_list by_tenant))
+  in
+  let run_spec = function
+    | Sim (label, policy, hint_space) ->
+        let hints =
+          match hint_space with None -> [] | Some space -> offline_hints space
+        in
+        let sink, finish = Account.recorder ~tenants:cfg.tenants ~disks:cfg.disks in
+        let res = Engine.simulate ~obs:sink ~hints ~disks:cfg.disks policy merged in
+        {
+          label;
+          detail = Policy.describe policy;
+          energy_j = res.Engine.energy_j;
+          makespan_ms = res.Engine.makespan_ms;
+          summary = Some (finish ());
+        }
+    | Bound ->
+        let b = Oracle.lower_bound ~space:Oracle.Full_space ~disks:cfg.disks merged in
+        {
+          label = "oracle";
+          detail = "offline-optimal lower bound (full space)";
+          energy_j = b.Oracle.energy_j;
+          makespan_ms = b.Oracle.base.Engine.makespan_ms;
+          summary = None;
+        }
+  in
+  let rows = Domain_pool.map ~jobs:cfg.jobs run_spec (specs cfg.selection) in
+  {
+    config = cfg;
+    requests = List.length merged;
+    kinds = Array.of_list (List.map (fun (t : Tenant.t) -> Tenant.kind_name t.kind) tenants);
+    rows;
+  }
+
+let pp_row ppf r =
+  match r.summary with
+  | None ->
+      Format.fprintf ppf "%-12s  %10.1f J  %10.1f ms  %s" r.label r.energy_j
+        r.makespan_ms r.detail
+  | Some s ->
+      Format.fprintf ppf
+        "%-12s  %10.1f J  %10.1f ms  resp mean %.2f p99 %.2f max %.2f ms  fairness \
+         %.3f  attributed %.1f J (+%.1f unattributed)"
+        r.label r.energy_j r.makespan_ms s.Account.response_mean_ms
+        s.Account.response_p99_ms s.Account.response_max_ms s.Account.fairness
+        s.Account.attributed_j s.Account.unattributed_j
+
+let pp_report ppf t =
+  let oltp =
+    Array.fold_left (fun n k -> if k = "oltp" then n + 1 else n) 0 t.kinds
+  in
+  Format.fprintf ppf
+    "@[<v>serve: %d tenants (%d oltp, %d app), seed %d, %d disks, %d requests, jitter \
+     %.0f ms@,%a@]"
+    t.config.tenants oltp
+    (t.config.tenants - oltp)
+    t.config.seed t.config.disks t.requests t.config.jitter_ms
+    (Format.pp_print_list pp_row) t.rows

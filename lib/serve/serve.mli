@@ -1,0 +1,84 @@
+(** The served-array experiment: N tenants, one disk array, offline
+    hints vs online adaptation vs the oracle bound.
+
+    One {!run} builds the tenant population and the merged trace once
+    (serially — the trace is a pure function of the seed) and then fans
+    the report rows out over a {!Dp_pipeline.Domain_pool}:
+
+    - [base]: no power management — the energy reference.
+    - [offline-tpm] / [offline-drpm]: the paper's compiler-directed
+      proactive policies, driven by hints each tenant's compiler planned
+      on its {e own} stream ({!Dp_oracle.Oracle.hints_of_trace} per
+      tenant, merged by nominal time).  Under multiplexing the planned
+      gaps are sliced up by other tenants' arrivals, so directives
+      degrade gracefully ([tpm:hint-infeasible] and shallow dips) — this
+      row measures exactly how much of the offline plan survives
+      interleaving.
+    - [online]: the epoch-based adaptive policy
+      ({!Dp_disksim.Policy.Adaptive}) learning per-disk thresholds from
+      the merged stream it actually observes.
+    - [oracle]: {!Dp_oracle.Oracle.lower_bound} over the merged trace —
+      the offline-optimal energy floor, unchanged by who generated the
+      requests.  An analytic bound, not a run: it carries no per-tenant
+      accounting.
+
+    Rows are independent simulations of the same immutable trace, so
+    [jobs = 1] and [jobs = 4] produce byte-identical reports. *)
+
+type selection =
+  | All
+  | Offline  (** base + the two offline-hint rows *)
+  | Online  (** base + the online row *)
+  | Oracle_only
+
+val selection_of_name : string -> selection option
+(** ["all"], ["offline"], ["online"], ["oracle"]. *)
+
+val selection_name : selection -> string
+
+type config = {
+  tenants : int;
+  seed : int;
+  disks : int;  (** array size (default 8) *)
+  jitter_ms : float;
+      (** tenant start offsets are uniform in [\[0, jitter_ms)]
+          (default 30 000) *)
+  jobs : int;  (** domain-pool width for the row fan-out *)
+  selection : selection;
+}
+
+val config :
+  ?disks:int ->
+  ?jitter_ms:float ->
+  ?jobs:int ->
+  ?selection:selection ->
+  tenants:int ->
+  seed:int ->
+  unit ->
+  config
+(** @raise Invalid_argument when [tenants < 1], [disks < 1], [jobs < 1]
+    or [jitter_ms < 0]. *)
+
+type row = {
+  label : string;  (** [base] | [offline-tpm] | [offline-drpm] | [online] | [oracle] *)
+  detail : string;  (** policy description, or the bound's *)
+  energy_j : float;
+  makespan_ms : float;
+  summary : Account.summary option;  (** [None] for the oracle bound *)
+}
+
+type report = {
+  config : config;
+  requests : int;  (** merged trace length *)
+  kinds : string array;  (** per-tenant workload kind ({!Tenant.kind_name}) *)
+  rows : row list;
+}
+
+val run : ?cache:Dp_cachefs.Cachefs.t -> config -> report
+(** [cache] backs the app-tenant pipeline stages (trace windows are
+    shared across runs and processes); the synthetic tenants and the
+    simulations are cheap enough to rebuild. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** The human table: one line per row (energy, makespan, pooled
+    response percentiles, fairness, attribution check). *)

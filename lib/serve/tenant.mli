@@ -1,0 +1,45 @@
+(** Tenant specs and the deterministic tenant population.
+
+    A tenant is one request stream destined for the shared array: either
+    a synthetic OLTP stream ({!Oltp}) or a bounded window of one of the
+    six paper applications replayed through {!Dp_pipeline.Pipeline}.
+    Streams are normalized to a common shape the multiplexer relies on:
+    [proc = 0], [seg = 0], arrivals strictly increasing from 0,
+    [think_ms] equal to the arrival delta (closed-loop), disks folded
+    into the array ([disk mod disks]). *)
+
+type kind =
+  | Oltp of Oltp.params
+  | App of string  (** a built-in workload name, e.g. ["AST"] *)
+
+type t = {
+  index : int;  (** tenant id — becomes [Request.proc] after multiplexing *)
+  kind : kind;
+  stream : Dp_trace.Request.t list;  (** normalized, see above *)
+}
+
+val kind_name : kind -> string
+(** ["oltp"] or ["app:<name>"]. *)
+
+val app_window : int
+(** Requests kept of an application trace (256): app traces run to
+    ~150k requests, far beyond what one tenant contributes to a served
+    array, so each app tenant replays this prefix of the 1-processor
+    Original trace. *)
+
+val population :
+  ?cache:Dp_cachefs.Cachefs.t ->
+  rng:Dp_util.Splitmix.t ->
+  tenants:int ->
+  disks:int ->
+  unit ->
+  t list
+(** The deterministic population for a served-array run: every fourth
+    tenant (index [3 mod 4]) replays an application window, cycling
+    through the six paper workloads; the rest are OLTP tenants with
+    per-tenant parameters drawn from [rng]'s children.  One child is
+    split off [rng] per tenant in index order, so the population is a
+    pure function of the generator.  App windows are built once per
+    application and shared ([cache] forwards to the pipeline's
+    persistent store).
+    @raise Invalid_argument when [tenants < 1] or [disks < 1]. *)

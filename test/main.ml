@@ -5,4 +5,5 @@ let () =
    @ Test_restructure.suites @ Test_trace.suites @ Test_faults.suites
    @ Test_disksim.suites @ Test_oracle.suites @ Test_cache.suites @ Test_cachefs.suites
    @ Test_workloads.suites
-   @ Test_harness.suites @ Test_obs.suites @ Test_pipeline.suites @ Test_cli.suites)
+   @ Test_harness.suites @ Test_obs.suites @ Test_pipeline.suites @ Test_serve.suites
+   @ Test_cli.suites)

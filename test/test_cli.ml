@@ -223,6 +223,69 @@ let test_dpcc_bad_jobs () =
   check Alcotest.int "exit code" 2 code;
   check Alcotest.bool "names --jobs" true (contains ~needle:"--jobs" err)
 
+let test_dpcc_bad_procs () =
+  List.iter
+    (fun sub ->
+      let code, _, err = run [ dpcc; sub; "app:AST"; "--procs"; "0" ] in
+      check Alcotest.int (sub ^ " exit code") 2 code;
+      check Alcotest.bool
+        (Printf.sprintf "%s names --procs (got %S)" sub err)
+        true (contains ~needle:"--procs" err);
+      check Alcotest.bool (sub ^ " one-line diagnostic") true (one_line err))
+    [ "trace"; "simulate"; "report"; "fault-sweep" ]
+
+(* --- the served-array command --- *)
+
+let test_dpcc_serve_json_deterministic () =
+  (* 3 tenants: all-OLTP, so no pipeline stages and no cache needed. *)
+  let serve jobs =
+    run
+      [ dpcc; "serve"; "--tenants"; "3"; "--seed"; "42"; "--jobs"; jobs; "--json"; "--no-cache" ]
+  in
+  let code1, out1, err1 = serve "1" in
+  check Alcotest.int (Printf.sprintf "jobs-1 exits 0 (stderr %S)" err1) 0 code1;
+  let code4, out4, _ = serve "4" in
+  check Alcotest.int "jobs-4 exits 0" 0 code4;
+  check Alcotest.string "byte-identical across --jobs" out1 out4;
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "JSON has %s" needle) true
+        (contains ~needle out1))
+    [
+      "\"selection\": \"all\"";
+      "\"label\": \"base\"";
+      "\"label\": \"offline-tpm\"";
+      "\"label\": \"offline-drpm\"";
+      "\"label\": \"online\"";
+      "\"label\": \"oracle\"";
+      "\"attributed_j\"";
+      "\"fairness\"";
+    ];
+  check Alcotest.bool "jobs never leaks into the report" false
+    (contains ~needle:"jobs" out1)
+
+let test_dpcc_serve_human_table () =
+  let code, out, _ =
+    run [ dpcc; "serve"; "--tenants"; "2"; "--seed"; "7"; "--policy"; "online"; "--no-cache" ]
+  in
+  check Alcotest.int "exit code" 0 code;
+  check Alcotest.bool "header names the population" true
+    (contains ~needle:"serve: 2 tenants" out);
+  check Alcotest.bool "online row present" true (contains ~needle:"online" out)
+
+let test_dpcc_serve_bad_policy () =
+  let code, _, err = run [ dpcc; "serve"; "--tenants"; "2"; "--policy"; "psychic" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool
+    (Printf.sprintf "names the value and the choices (got %S)" err)
+    true
+    (contains ~needle:"psychic" err && contains ~needle:"oracle" err)
+
+let test_dpcc_serve_bad_tenants () =
+  let code, _, err = run [ dpcc; "serve"; "--tenants"; "0" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "names --tenants" true (contains ~needle:"--tenants" err)
+
 (* --- the persistent stage cache, end to end --- *)
 
 let cache_dir_counter = ref 0
@@ -278,6 +341,29 @@ let test_dpcc_cache_stat_clear () =
   check Alcotest.bool "clear reports removals" true (contains ~needle:"removed" out);
   let _, out, _ = run [ dpcc; "cache"; "stat"; "--cache-dir"; dir ] in
   check Alcotest.bool "store empty after clear" true (contains ~needle:"entries: 0" out)
+
+let test_dpcc_cache_stat_json () =
+  let dir = fresh_cache_dir () in
+  let code, out, _ = run [ dpcc; "cache"; "stat"; "--json"; "--cache-dir"; dir ] in
+  check Alcotest.int "stat --json on a missing store exits 0" 0 code;
+  check Alcotest.bool "zero entries" true (contains ~needle:"\"entries\": 0" out);
+  check Alcotest.bool "no last-run counters yet" true
+    (contains ~needle:"\"last_run\": null" out);
+  let code, _, _ = run [ dpcc; "report"; "app:AST"; "--cache-dir"; dir ] in
+  check Alcotest.int "report exits 0" 0 code;
+  let code, out, _ = run [ dpcc; "cache"; "stat"; "--json"; "--cache-dir"; dir ] in
+  check Alcotest.int "stat --json exits 0" 0 code;
+  check Alcotest.bool
+    (Printf.sprintf "entries counted (got %S)" out)
+    false
+    (contains ~needle:"\"entries\": 0" out);
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "counters have %s" needle) true
+        (contains ~needle out))
+    [ "\"hits\""; "\"misses\""; "\"corrupt\""; "\"dropped_writes\""; "\"quarantined\": 0" ];
+  let code, _, _ = run [ dpcc; "cache"; "clear"; "--cache-dir"; dir ] in
+  check Alcotest.int "clear exits 0" 0 code
 
 let test_dpcc_cache_unknown_sub () =
   let code, _, err = run [ dpcc; "cache"; "bogus" ] in
@@ -375,7 +461,14 @@ let suites =
         Alcotest.test_case "dpcc --mode multi at 1 proc" `Quick test_dpcc_mode_multi_one_proc;
         Alcotest.test_case "dpcc unknown --mode" `Quick test_dpcc_mode_unknown;
         Alcotest.test_case "dpcc --jobs 0" `Quick test_dpcc_bad_jobs;
+        Alcotest.test_case "dpcc --procs 0" `Quick test_dpcc_bad_procs;
+        Alcotest.test_case "dpcc serve --json deterministic" `Quick
+          test_dpcc_serve_json_deterministic;
+        Alcotest.test_case "dpcc serve human table" `Quick test_dpcc_serve_human_table;
+        Alcotest.test_case "dpcc serve unknown --policy" `Quick test_dpcc_serve_bad_policy;
+        Alcotest.test_case "dpcc serve --tenants 0" `Quick test_dpcc_serve_bad_tenants;
         Alcotest.test_case "dpcc cache stat/clear" `Quick test_dpcc_cache_stat_clear;
+        Alcotest.test_case "dpcc cache stat --json" `Slow test_dpcc_cache_stat_json;
         Alcotest.test_case "dpcc cache unknown subcommand" `Quick test_dpcc_cache_unknown_sub;
         Alcotest.test_case "dpcc cache corruption recovery" `Slow
           test_dpcc_cache_corruption_recovery;

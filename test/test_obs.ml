@@ -26,7 +26,8 @@ let power ?(disk = 0) ?(energy = 0.0) state start stop =
     { disk; state; start_ms = start; stop_ms = stop; charge_ms = stop -. start; energy_j = energy }
 
 let service ?(disk = 0) ?(lba = 0) ~arrival ~start ~stop () =
-  Event.Service { disk; arrival_ms = arrival; start_ms = start; stop_ms = stop; lba; bytes = 65536 }
+  Event.Service
+    { disk; proc = 0; arrival_ms = arrival; start_ms = start; stop_ms = stop; lba; bytes = 65536 }
 
 (* --- sinks --- *)
 
