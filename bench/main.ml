@@ -772,6 +772,56 @@ let micro () =
   List.iter (fun t -> benchmark (Test.make_grouped ~name:"" [ t ])) tests
 
 (* ------------------------------------------------------------------ *)
+(* Persistent-failure domain: serve wall time with media decay, a scrub
+   budget and the default deadline armed, against the clean closed loop
+   on the same population — what the repair machinery (bad-sector maps,
+   remap charges, scrubbing, SLO accounting) costs per request. *)
+
+let repair_bench () =
+  section "Repair domain — decay + scrub overhead";
+  let module Serve = Dp_serve.Serve in
+  let module Fault_model = Dp_faults.Fault_model in
+  let module Repair = Dp_repair.Repair in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let row label mk =
+    let report, t = wall (fun () -> Serve.run (mk ())) in
+    let rows =
+      List.length
+        (List.filter (fun (r : Serve.row) -> Option.is_some r.Serve.summary)
+           report.Serve.rows)
+    in
+    let events = report.Serve.requests * rows in
+    [
+      label;
+      string_of_int report.Serve.requests;
+      Printf.sprintf "%.2f" t;
+      Printf.sprintf "%.0f" (float_of_int events /. t);
+    ]
+  in
+  let decay rate =
+    Fault_model.make ~seed:11 ~rate ~classes:[ Fault_model.Media_decay ] ()
+  in
+  let rows =
+    [
+      row "clean" (fun () -> Serve.config ~jobs:1 ~tenants:20 ~seed:42 ());
+      row "decay 0.05" (fun () ->
+          Serve.config ~jobs:1 ~tenants:20 ~seed:42 ~faults:(decay 0.05)
+            ~deadline_ms:500.0 ());
+      row "decay 0.05 + scrub 40ms" (fun () ->
+          Serve.config ~jobs:1 ~tenants:20 ~seed:42 ~faults:(decay 0.05)
+            ~repair:(Repair.config ~scrub_budget_ms:40.0 ())
+            ~deadline_ms:500.0 ());
+    ]
+  in
+  Tabulate.render ppf
+    ~header:[ "config"; "requests"; "wall s"; "req-rows/s" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -797,6 +847,7 @@ let sections =
     ("pipeline", pipeline_bench);
     ("cache", cache_bench);
     ("serve", serve_bench);
+    ("repair", repair_bench);
     ("micro", micro);
   ]
 

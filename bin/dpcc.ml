@@ -19,6 +19,7 @@ module Hint = Dp_trace.Hint
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
 module Fault_model = Dp_faults.Fault_model
+module Repair = Dp_repair.Repair
 module Oracle = Dp_oracle.Oracle
 module Pipeline = Dp_pipeline.Pipeline
 module Cachefs = Dp_cachefs.Cachefs
@@ -333,7 +334,8 @@ let fault_sweep source procs jobs seed rates classes json_path cache_dir no_cach
 
 (* --- serve: the multi-tenant server-array experiment --- *)
 
-let serve tenants seed disks jitter_ms policy_name jobs json cache_dir no_cache profile =
+let serve tenants seed disks jitter_ms policy_name jobs faults_spec decay_spec scrub_ms
+    spare deadline json cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_jobs jobs;
@@ -345,9 +347,54 @@ let serve tenants seed disks jitter_ms policy_name jobs json cache_dir no_cache 
         | Some s -> s
         | None -> fail "unknown --policy %s (expected all | offline | online | oracle)" policy_name
       in
+      if faults_spec <> None && decay_spec <> None then
+        fail "--decay cannot be combined with --faults (--decay SEED:RATE is shorthand \
+              for --faults SEED:RATE:d)";
+      let faults =
+        match decay_spec with
+        | None -> faults_of_spec faults_spec
+        | Some spec -> (
+            (* SEED:RATE, reusing the fault-spec field validation; the
+               shape check runs first so the diagnostic never leaks the
+               internal ":d" class suffix. *)
+            (match String.split_on_char ':' spec with
+            | [ _; _ ] -> ()
+            | _ -> fail "--decay: bad decay spec %S (expected SEED:RATE)" spec);
+            match Fault_model.of_spec (spec ^ ":d") with
+            | Ok f -> Some f
+            | Error msg -> fail "--decay: %s" msg)
+      in
+      if scrub_ms < 0.0 then fail "--scrub-ms must be non-negative (got %g)" scrub_ms;
+      (match spare with
+      | Some n when n < 1 -> fail "--spare must be at least 1 block (got %d)" n
+      | _ -> ());
+      (match deadline with
+      | Some d when d <= 0.0 -> fail "--deadline must be positive (got %g)" d
+      | _ -> ());
+      let repair =
+        if scrub_ms > 0.0 then Some (Repair.config ~scrub_budget_ms:scrub_ms ())
+        else None
+      in
+      (* Decay without an explicit deadline serves under the default SLO,
+         so `dpcc serve --decay SEED:RATE` reports availability next to
+         energy out of the box. *)
+      let deadline_ms =
+        match deadline with
+        | Some d -> Some d
+        | None ->
+            if
+              match faults with
+              | Some f ->
+                  f.Fault_model.rate > 0.0
+                  && List.mem Fault_model.Media_decay f.Fault_model.classes
+              | None -> false
+            then Some 500.0
+            else None
+      in
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let cfg =
-        Dp_serve.Serve.config ~disks ~jitter_ms ~jobs ~selection ~tenants ~seed ()
+        Dp_serve.Serve.config ~disks ~jitter_ms ~jobs ~selection ?faults ?repair
+          ?deadline_ms ?spare_blocks:spare ~tenants ~seed ()
       in
       let report = Dp_serve.Serve.run ?cache cfg in
       (match json with
@@ -568,7 +615,7 @@ let simulate_cmd =
       & info [ "faults" ] ~docv:"SEED:RATE:CLASSES"
           ~doc:
             "Arm the deterministic fault injector, e.g. 42:0.01:all or 7:0.05:sm \
-             (s spin-up, m media, l latency spike, r stuck RPM)")
+             (s spin-up, m media, l latency spike, r stuck RPM, d media decay)")
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run the trace-driven disk power simulation")
@@ -613,7 +660,7 @@ let fault_sweep_cmd =
       & info [ "classes" ] ~docv:"CLASSES"
           ~doc:
             "Fault classes: letters from smlr (s spin-up, m media, l latency spike, \
-             r stuck RPM) or all")
+             r stuck RPM, d media decay) or all")
   in
   let json =
     Arg.(
@@ -673,6 +720,51 @@ let serve_cmd =
              merged stream), online (the epoch-based adaptive policy), oracle (the \
              offline-optimal bound alone), or all")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SEED:RATE:CLASSES"
+          ~doc:
+            "Arm the deterministic fault injector for the simulated rows, e.g. \
+             42:0.01:all or 7:0.05:smd (s spin-up, m media, l latency spike, r stuck \
+             RPM, d media decay).  The oracle bound stays fault-free.")
+  in
+  let decay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "decay" ] ~docv:"SEED:RATE"
+          ~doc:
+            "Shorthand for --faults SEED:RATE:d — persistent media decay only.  Grown \
+             bad sectors are remapped to each disk's spare pool; past the failure \
+             threshold the slot is served degraded from its mirror and rebuilt onto a \
+             hot spare.  Arms a default 500 ms deadline unless --deadline is given.")
+  in
+  let scrub =
+    Arg.(
+      value & opt float 0.0
+      & info [ "scrub-ms" ] ~docv:"MS"
+          ~doc:
+            "Background-scrub budget per idle gap (milliseconds of verification reads, \
+             preempted by foreground arrivals); 0 disables scrubbing")
+  in
+  let spare =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spare" ] ~docv:"BLOCKS" ~doc:"Per-disk spare-pool size override")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Per-request SLO deadline: responses past it count as violations, past four \
+             deadlines as abandoned; media-error retry storms that blow it fail over to \
+             the mirror")
+  in
   let json =
     Arg.(
       value
@@ -688,8 +780,8 @@ let serve_cmd =
          "Multiplex N tenant workloads onto one disk array and compare offline compiler \
           hints, online adaptation and the oracle bound")
     Term.(
-      const serve $ tenants $ seed $ disks $ jitter $ policy $ jobs_arg $ json
-      $ cache_dir_arg $ no_cache_arg $ profile_arg)
+      const serve $ tenants $ seed $ disks $ jitter $ policy $ jobs_arg $ faults $ decay
+      $ scrub $ spare $ deadline $ json $ cache_dir_arg $ no_cache_arg $ profile_arg)
 
 let cache_subcommand_docs =
   [

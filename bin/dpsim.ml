@@ -14,6 +14,7 @@ module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
 module Disk_model = Dp_disksim.Disk_model
 module Fault_model = Dp_faults.Fault_model
+module Repair = Dp_repair.Repair
 module Oracle = Dp_oracle.Oracle
 
 open Cmdliner
@@ -67,7 +68,7 @@ let obs_finish mode sink out disks (r : Engine.result) =
   | _ -> ()
 
 let run trace_file out disks policy_name threshold proactive window downshift faults_spec
-    per_disk obs_mode =
+    scrub_ms spare deadline per_disk obs_mode =
   let reqs, hints, trace_faults =
     match Request.load_result trace_file with
     | Ok parsed -> parsed
@@ -80,6 +81,21 @@ let run trace_file out disks policy_name threshold proactive window downshift fa
         match Fault_model.of_spec spec with
         | Ok f -> Some f
         | Error msg -> usage_error "--faults: %s" msg)
+  in
+  if scrub_ms < 0.0 then usage_error "--scrub-ms must be non-negative (got %g)" scrub_ms;
+  (match spare with
+  | Some n when n < 1 -> usage_error "--spare must be at least 1 block (got %d)" n
+  | _ -> ());
+  (match deadline with
+  | Some d when d <= 0.0 -> usage_error "--deadline must be positive (got %g)" d
+  | _ -> ());
+  let repair =
+    if scrub_ms > 0.0 then Some (Repair.config ~scrub_budget_ms:scrub_ms ()) else None
+  in
+  let model =
+    match spare with
+    | None -> Disk_model.ultrastar_36z15
+    | Some n -> { Disk_model.ultrastar_36z15 with Disk_model.spare_blocks = n }
   in
   try
     match Oracle.space_of_name policy_name with
@@ -104,7 +120,10 @@ let run trace_file out disks policy_name threshold proactive window downshift fa
           | p -> usage_error "unknown policy %s" p
         in
         let sink, close_stream = obs_sink obs_mode reqs out in
-        let r = Engine.simulate ~obs:sink ~hints ?faults ~disks policy reqs in
+        let r =
+          Engine.simulate ~model ~obs:sink ~hints ?faults ?repair ?deadline_ms:deadline
+            ~disks policy reqs
+        in
         close_stream ();
         Format.printf "trace: %s (%d requests, %d hints)@." trace_file (List.length reqs)
           (List.length hints);
@@ -183,8 +202,31 @@ let () =
       & info [ "faults" ] ~docv:"SEED:RATE:CLASSES"
           ~doc:
             "Arm the deterministic fault injector, e.g. 42:0.01:all or 7:0.05:sm \
-             (s spin-up, m media, l latency spike, r stuck RPM).  Overrides the \
+             (s spin-up, m media, l latency spike, r stuck RPM, d media decay).  Overrides the \
              trace's F line.")
+  in
+  let scrub =
+    Arg.(
+      value & opt float 0.0
+      & info [ "scrub-ms" ] ~docv:"MS"
+          ~doc:
+            "Background-scrub budget per idle gap (verification reads, preempted by \
+             foreground arrivals); 0 disables scrubbing")
+  in
+  let spare =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "spare" ] ~docv:"BLOCKS" ~doc:"Per-disk spare-pool size override")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline: media-error retry storms that blow it fail over to \
+             the disk's mirror; misses are reported as deadline events")
   in
   let per_disk = Arg.(value & flag & info [ "per-disk" ] ~doc:"Print per-disk statistics") in
   let obs =
@@ -202,6 +244,6 @@ let () =
       (Cmd.info "dpsim" ~version:"1.0.0" ~doc:"Trace-driven multi-disk power simulator")
       Term.(
         const run $ trace_file $ out_file $ disks $ policy $ threshold $ proactive $ window
-        $ downshift $ faults $ per_disk $ obs)
+        $ downshift $ faults $ scrub $ spare $ deadline $ per_disk $ obs)
   in
   exit (Cmd.eval ~term_err:2 cmd)

@@ -17,6 +17,8 @@ type t = {
   spin_up_s : float;
   tpm_breakeven_s : float;
   rated_start_stop_cycles : int;
+  spare_blocks : int;
+  remap_penalty_ms : float;
 }
 
 let ultrastar_36z15 =
@@ -39,6 +41,12 @@ let ultrastar_36z15 =
     spin_up_s = 10.9;
     tpm_breakeven_s = 15.2;
     rated_start_stop_cycles = 50_000;
+    (* Spare-pool remapping (arXiv 1908.01167): enterprise drives
+       reserve a spare area per zone; the detour to it costs about one
+       average seek plus one rotational latency on every access to a
+       remapped block. *)
+    spare_blocks = 256;
+    remap_penalty_ms = 5.4;
   }
 
 let rpm_levels t =
@@ -81,6 +89,11 @@ let service_ms ?seek_distance t ~rpm ~bytes =
   seek
   +. (t.rotation_ms *. slowdown)
   +. (float_of_int bytes /. (t.transfer_mb_s *. 1024.0 *. 1024.0) *. 1000.0 *. slowdown)
+
+(* First touch of a grown bad sector: seek to the spare area, wait the
+   rotation, write the relocated block, seek back. *)
+let remap_ms t ~rpm ~block_bytes =
+  t.seek_ms +. service_ms ~seek_distance:max_int t ~rpm ~bytes:block_bytes
 
 let quad_frac t rpm =
   let f = float_of_int rpm /. float_of_int t.rpm_max in

@@ -27,6 +27,14 @@ type t = {
           cycles the drive is rated for over its life (Ultrastar class:
           50,000).  Aggressive TPM cycling spends this budget — the wear
           column of the experiments matrix charges against it. *)
+  spare_blocks : int;
+      (** spare-pool size: how many grown bad sectors the drive can
+          remap before the pool is exhausted and the slot must be
+          retired (see {!Dp_repair.Repair}) *)
+  remap_penalty_ms : float;
+      (** detour cost of accessing an already-remapped block: the head
+          diverts to the spare area and back (about one average seek
+          plus one rotational latency — the arXiv 1908.01167 shape) *)
 }
 
 val ultrastar_36z15 : t
@@ -54,6 +62,11 @@ val service_ms : ?seek_distance:int -> t -> rpm:int -> bytes:int -> float
     and transfer time scale inversely with RPM, plus
     [seek_ms_of_distance] for the given distance (default: a full
     average seek). *)
+
+val remap_ms : t -> rpm:int -> block_bytes:int -> float
+(** Cost of remapping one grown bad sector on first touch: a full seek
+    to the spare area, the rotational wait and the relocated block's
+    write (scaled by the current RPM), plus the seek back. *)
 
 val idle_power_w : t -> rpm:int -> float
 (** Quadratic interpolation between standby power (RPM -> 0) and the

@@ -2,6 +2,7 @@ module Request = Dp_trace.Request
 module Hint = Dp_trace.Hint
 module Fault_model = Dp_faults.Fault_model
 module Injector = Dp_faults.Injector
+module Repair = Dp_repair.Repair
 module Sink = Dp_obs.Sink
 module Obs_event = Dp_obs.Event
 module Online = Dp_online.Online
@@ -21,6 +22,15 @@ type disk_stats = {
   media_retries : int;
   latency_spikes : int;
   degraded_ms : float;
+  remaps : int;
+  remap_penalty_hits : int;
+  scrub_chunks : int;
+  scrub_found : int;
+  reconstructions : int;
+  rebuild_chunks : int;
+  failovers : int;
+  disk_failures : int;
+  rebuilds_completed : int;
   response_ms_total : float;
   response_ms_max : float;
   last_completion_ms : float;
@@ -39,6 +49,7 @@ type result = {
    operations misbehave, and the controller's bounded retry/backoff
    discipline deciding *how* they are re-attempted. *)
 type fault_ctx = { inj : Injector.t; retry : Policy.retry_config }
+
 
 (* Mutable per-disk simulation state. *)
 type disk_state = {
@@ -101,6 +112,17 @@ let make_state ?(record = false) ?(sink = Sink.null) model id =
     sink;
   }
 
+(* The persistent-failure machinery of one run: the repair state machine
+   (bad-sector maps, spare pools, scrub cursors, rebuild progress), the
+   per-request deadline (when serving under one), and — once the states
+   exist — the per-disk states themselves, so a deadline failover can
+   charge the mirror read on the mirror's own timeline. *)
+type repair_run = {
+  rc : Repair.t;
+  deadline_ms : float option;
+  mutable peers : disk_state array;
+}
+
 let ms_of_s s = s *. 1000.0
 let energy_j_of ~watts ~ms = watts *. ms /. 1000.0
 
@@ -139,6 +161,11 @@ let fault_event st ~at ~kind ~cost =
   if Sink.enabled st.sink then
     Sink.emit st.sink (Obs_event.Fault { disk = st.id; at_ms = at; kind; cost_ms = cost })
 
+let repair_event st ~at ~op ~blocks ~cost =
+  if Sink.enabled st.sink then
+    Sink.emit st.sink
+      (Obs_event.Repair { disk = st.id; at_ms = at; op; blocks; cost_ms = cost })
+
 let spend_idle model st ms =
   if ms > 0.0 then begin
     let e = energy_j_of ~watts:(Disk_model.idle_power_w model ~rpm:st.rpm) ~ms in
@@ -155,6 +182,19 @@ let spend_standby model st ms =
     st.standby <- st.standby +. ms;
     st.energy <- st.energy +. e;
     record_span st ~start:st.now ~stop:(st.now +. ms) ~charge:ms ~energy:e Timeline.Standby;
+    st.now <- st.now +. ms
+  end
+
+(* Busy charge at an explicit speed, outside [serve]'s local closure:
+   scrub reads, rebuild writes and mirror failover reads all run at the
+   owning disk's current speed and land at its timeline frontier. *)
+let charge_busy model st ~rpm ~degraded ms =
+  if ms > 0.0 then begin
+    let e = energy_j_of ~watts:(Disk_model.active_power_w model ~rpm) ~ms in
+    st.busy <- st.busy +. ms;
+    st.energy <- st.energy +. e;
+    if degraded then st.degraded <- st.degraded +. ms;
+    record_span st ~start:st.now ~stop:(st.now +. ms) ~charge:ms ~energy:e Timeline.Busy;
     st.now <- st.now +. ms
   end
 
@@ -210,6 +250,107 @@ let serving_degraded fctx st =
   match fctx with
   | None -> false
   | Some { inj; _ } -> Injector.is_locked inj ~disk:st.id ~now_ms:st.now
+
+(* --- persistent-failure machinery (scrub / failover / rebuild) --- *)
+
+(* Background scrubber: verification reads over the idle window ending
+   at [until], bounded by the per-gap budget and preempted by the next
+   foreground arrival — a chunk is committed only when its full cost
+   (sequential read + any remap writes it triggers) fits both limits, so
+   scrubbing never delays an arrival.  Runs before the policy's gap
+   handler, which then manages whatever window remains. *)
+let scrub_gap model rx st ~until =
+  let cfg = Repair.cfg rx.rc in
+  let budget = cfg.Repair.scrub_budget_ms in
+  if budget > 0.0 && not (Repair.is_failed rx.rc st.id) then begin
+    let spent = ref 0.0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let chunk, found = Repair.scrub_peek rx.rc ~disk:st.id ~spare:model.Disk_model.spare_blocks in
+      let read_ms =
+        Disk_model.service_ms ~seek_distance:max_int model ~rpm:st.rpm
+          ~bytes:(chunk * cfg.Repair.block_bytes)
+      in
+      let cost =
+        read_ms
+        +. float_of_int found
+           *. Disk_model.remap_ms model ~rpm:st.rpm ~block_bytes:cfg.Repair.block_bytes
+      in
+      if !spent +. cost <= budget && st.now +. cost <= until then begin
+        let _found, pass_done = Repair.scrub_commit rx.rc ~disk:st.id ~spare:model.Disk_model.spare_blocks in
+        repair_event st ~at:st.now ~op:"scrub" ~blocks:chunk ~cost;
+        charge_busy model st ~rpm:st.rpm ~degraded:false cost;
+        if pass_done then
+          repair_event st ~at:st.now ~op:"scrub-pass" ~blocks:cfg.Repair.surface_blocks
+            ~cost:0.0;
+        spent := !spent +. cost
+      end
+      else continue_ := false
+    done
+  end
+
+(* One rebuild slice copies [rebuild_chunk_blocks] from the mirror onto
+   the hot spare occupying the failed slot; the factor 2 folds the
+   mirror's read half into the slot's own timeline so the copy is
+   charged exactly once. *)
+let rebuild_slice_ms model rx st =
+  let cfg = Repair.cfg rx.rc in
+  let bytes = cfg.Repair.rebuild_chunk_blocks * cfg.Repair.block_bytes in
+  2.0 *. Disk_model.service_ms ~seek_distance:max_int model ~rpm:st.rpm ~bytes
+
+(* Advance the rebuild stream on a failed slot up to [until]: whole
+   slices only, so the slot's timeline never overruns the foreground
+   clock that called us. *)
+let advance_rebuild model rx st ~until =
+  let cfg = Repair.cfg rx.rc in
+  let continue_ = ref true in
+  while !continue_ && Repair.is_failed rx.rc st.id do
+    let slice = rebuild_slice_ms model rx st in
+    if st.now +. slice <= until then begin
+      repair_event st ~at:st.now ~op:"rebuild" ~blocks:cfg.Repair.rebuild_chunk_blocks
+        ~cost:slice;
+      charge_busy model st ~rpm:st.rpm ~degraded:true slice;
+      if Repair.rebuild_step rx.rc ~disk:st.id ~blocks:cfg.Repair.rebuild_chunk_blocks
+      then begin
+        repair_event st ~at:st.now ~op:"rebuild-complete" ~blocks:cfg.Repair.rebuild_blocks
+          ~cost:0.0;
+        decision st "repair:rebuild-complete"
+      end
+    end
+    else continue_ := false
+  done
+
+(* Retire a slot onto its hot spare: the spare spins up from rest (a
+   full spin-up charge over-covers any DRPM level difference) and takes
+   over at full speed with an unknown head position. *)
+let fail_disk model rx st =
+  Repair.mark_failed rx.rc ~disk:st.id;
+  let su_ms = ms_of_s model.Disk_model.spin_up_s in
+  repair_event st ~at:st.now ~op:"disk-failed" ~blocks:0 ~cost:su_ms;
+  decision st "repair:hot-spare-activate";
+  st.transition <- st.transition +. su_ms;
+  st.energy <- st.energy +. model.Disk_model.spin_up_j;
+  record_span st ~start:st.now ~stop:(st.now +. su_ms) ~charge:su_ms
+    ~energy:model.Disk_model.spin_up_j Timeline.Transition;
+  st.now <- st.now +. su_ms;
+  st.ups <- st.ups + 1;
+  st.rpm <- model.Disk_model.rpm_max;
+  st.last_end <- -1
+
+(* Deadline failover: the origin disk abandons its retry storm and the
+   mirror serves a clean re-read on its {e own} timeline (wherever its
+   clock stands — always its frontier, so contiguity holds).  Returns
+   the extra response milliseconds the client observes. *)
+let failover_read model rx origin ~bytes =
+  match Repair.mirror_of rx.rc origin.id with
+  | Some m when not (Repair.is_failed rx.rc m) ->
+      let peer = rx.peers.(m) in
+      let ms = Disk_model.service_ms ~seek_distance:max_int model ~rpm:peer.rpm ~bytes in
+      repair_event origin ~at:origin.now ~op:"failover" ~blocks:0 ~cost:ms;
+      charge_busy model peer ~rpm:peer.rpm ~degraded:true ms;
+      Repair.note_failover rx.rc ~disk:origin.id;
+      Some ms
+  | _ -> None
 
 (* --- gap handling: advance the state from st.now to [until] --- *)
 
@@ -519,7 +660,7 @@ let gap_adaptive model ctrl fctx st ~until ~terminal =
 
 (* --- servicing --- *)
 
-let serve model fctx st ~proc ~arrival ~lba ~bytes ~rpm =
+let serve model fctx rctx st ~proc ~arrival ~lba ~bytes ~rpm ~recon =
   let seek_distance = if st.last_end < 0 then max_int else lba - st.last_end in
   let start = Float.max arrival st.now in
   (* The disk is idle between st.now and a later start only when it was
@@ -550,8 +691,49 @@ let serve model fctx st ~proc ~arrival ~lba ~bytes ~rpm =
   st.last_end <- lba + bytes;
   let stuck_slow = serving_degraded fctx st && rpm < model.Disk_model.rpm_max in
   spend_busy ~degraded:stuck_slow service;
+  (* Persistent media decay: one seed-driven draw per service may grow a
+     new bad sector somewhere on the surface; the first foreground touch
+     of a bad block pays the remap (extra seek + spare write), later
+     touches the shorter redirect penalty — the arXiv 1908.01167 cost
+     shape. *)
+  (match rctx with
+  | None -> ()
+  | Some rx ->
+      let cfg = Repair.cfg rx.rc in
+      (match fctx with
+      | Some { inj; _ } -> (
+          match Injector.decay_defect inj ~disk:st.id ~surface:cfg.Repair.surface_blocks with
+          | Some block -> Repair.grow rx.rc ~disk:st.id ~block
+          | None -> ())
+      | None -> ());
+      let touch =
+        Repair.touch rx.rc ~disk:st.id ~spare:model.Disk_model.spare_blocks ~lba ~bytes
+      in
+      if touch.Repair.remapped > 0 then begin
+        let ms =
+          float_of_int touch.Repair.remapped
+          *. Disk_model.remap_ms model ~rpm ~block_bytes:cfg.Repair.block_bytes
+        in
+        repair_event st ~at:st.now ~op:"remap" ~blocks:touch.Repair.remapped ~cost:ms;
+        spend_busy ~degraded:true ms
+      end;
+      if touch.Repair.penalty_hits > 0 then
+        spend_busy ~degraded:true
+          (float_of_int touch.Repair.penalty_hits *. model.Disk_model.remap_penalty_ms);
+      if recon then begin
+        (* Degraded read: routed here because the home disk failed; the
+           mirrored copy costs an extra head detour. *)
+        Repair.note_reconstruction rx.rc ~disk:st.id;
+        repair_event st ~at:st.now ~op:"reconstruct"
+          ~blocks:((bytes + cfg.Repair.block_bytes - 1) / cfg.Repair.block_bytes)
+          ~cost:model.Disk_model.remap_penalty_ms;
+        spend_busy ~degraded:true model.Disk_model.remap_penalty_ms
+      end);
   (* Transient media errors: re-service (no seek — the head is already
-     there) after a bounded exponential backoff per retry. *)
+     there) after a bounded exponential backoff per retry.  Under a
+     deadline, a retry storm that has already blown it is abandoned and
+     the request fails over to the mirror (when one is healthy). *)
+  let extra = ref 0.0 in
   (match fctx with
   | None -> ()
   | Some { inj; retry } ->
@@ -560,7 +742,16 @@ let serve model fctx st ~proc ~arrival ~lba ~bytes ~rpm =
       in
       if retries > 0 then begin
         let reread = Disk_model.service_ms ~seek_distance:0 model ~rpm ~bytes in
+        (try
         for attempt = 1 to retries do
+          (match rctx with
+          | Some ({ deadline_ms = Some d; _ } as rx) when st.now -. arrival > d -> (
+              match failover_read model rx st ~bytes with
+              | Some ms ->
+                  extra := ms;
+                  raise_notrace Exit
+              | None -> ())
+          | _ -> ());
           let backoff = Policy.backoff_ms retry ~attempt in
           st.m_retries <- st.m_retries + 1;
           st.degraded <- st.degraded +. backoff +. reread;
@@ -580,8 +771,11 @@ let serve model fctx st ~proc ~arrival ~lba ~bytes ~rpm =
           record_span st ~start:st.now ~stop:(st.now +. ms) ~charge:ms ~energy:e Timeline.Busy;
           st.now <- st.now +. ms
         done
+        with Exit -> ())
       end);
-  let response = st.now -. arrival in
+  (* [extra] is 0.0 on every non-failover path, so [x +. 0.0] keeps the
+     response and completion stamps bit-identical to the clean engine. *)
+  let response = st.now -. arrival +. !extra in
   st.reqs <- st.reqs + 1;
   st.resp_total <- st.resp_total +. response;
   if response > st.resp_max then st.resp_max <- response;
@@ -593,10 +787,23 @@ let serve model fctx st ~proc ~arrival ~lba ~bytes ~rpm =
            proc;
            arrival_ms = arrival;
            start_ms = start;
-           stop_ms = st.now;
+           stop_ms = st.now +. !extra;
            lba;
            bytes;
          });
+  (match rctx with
+  | Some { deadline_ms = Some d; _ } when response > d ->
+      if Sink.enabled st.sink then
+        Sink.emit st.sink
+          (Obs_event.Deadline
+             {
+               disk = st.id;
+               proc;
+               at_ms = st.now +. !extra;
+               response_ms = response;
+               deadline_ms = d;
+             })
+  | _ -> ());
   response
 
 (* DRPM window bookkeeping: after [window_size] requests compare the
@@ -627,12 +834,12 @@ let drpm_window model (cfg : Policy.drpm_config) fctx st ~response ~nominal =
    a proactive policy with hints executes the directives, a proactive
    policy without falls back to the omniscient gap planner.  Returns the
    response time. *)
-let rec handle_request model policy ctrl fctx st (r : Request.t) ~issue ~hinted =
+let rec handle_request model policy ctrl fctx rctx st (r : Request.t) ~issue ~hinted ~recon =
   match policy with
   | Policy.No_pm ->
       if issue > st.now then gap_no_pm model st ~until:issue;
-      serve model fctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
-        ~rpm:model.Disk_model.rpm_max
+      serve model fctx rctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
+        ~rpm:model.Disk_model.rpm_max ~recon
   | Policy.Tpm cfg when cfg.Policy.proactive ->
       if hinted then begin
         let hs = take_hints st ~upto:r.Request.arrival_ms in
@@ -642,8 +849,8 @@ let rec handle_request model policy ctrl fctx st (r : Request.t) ~issue ~hinted 
       end
       else if issue > st.now then
         gap_tpm_proactive model cfg fctx st ~until:issue ~terminal:false;
-      serve model fctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
-        ~rpm:model.Disk_model.rpm_max
+      serve model fctx rctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
+        ~rpm:model.Disk_model.rpm_max ~recon
   | Policy.Tpm cfg ->
       let spun_down = if issue > st.now then gap_tpm model cfg st ~until:issue else false in
       if spun_down then begin
@@ -652,8 +859,8 @@ let rec handle_request model policy ctrl fctx st (r : Request.t) ~issue ~hinted 
         st.now <- Float.max st.now issue;
         spin_up model fctx st
       end;
-      serve model fctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
-        ~rpm:model.Disk_model.rpm_max
+      serve model fctx rctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
+        ~rpm:model.Disk_model.rpm_max ~recon
   | Policy.Adaptive _ ->
       let ctrl = match ctrl with Some c -> c | None -> assert false in
       let spun_down =
@@ -668,8 +875,8 @@ let rec handle_request model policy ctrl fctx st (r : Request.t) ~issue ~hinted 
          it derives (at an epoch boundary) governs *future* gaps. *)
       Online.observe ctrl ~disk:st.id ~now_ms:issue;
       let response =
-        serve model fctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
-          ~rpm:st.rpm
+        serve model fctx rctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
+          ~rpm:st.rpm ~recon
       in
       (* After a dip the request was served slow; recover one level per
          request with the transition overlapping servicing, as in the
@@ -693,8 +900,8 @@ let rec handle_request model policy ctrl fctx st (r : Request.t) ~issue ~hinted 
          commands; a stuck-RPM window invalidates it.  Degrade to the
          reactive twin for this request: idle or serve slow, recover
          once the window expires — never stall. *)
-      handle_request model (Policy.reactive_fallback policy) ctrl fctx st r ~issue
-        ~hinted:false
+      handle_request model (Policy.reactive_fallback policy) ctrl fctx rctx st r ~issue
+        ~hinted:false ~recon
   | Policy.Drpm cfg ->
       (if cfg.Policy.proactive && hinted then begin
          let hs = take_hints st ~upto:r.Request.arrival_ms in
@@ -719,8 +926,8 @@ let rec handle_request model policy ctrl fctx st (r : Request.t) ~issue ~hinted 
           ~bytes:r.size
       in
       let response =
-        serve model fctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
-          ~rpm:st.rpm
+        serve model fctx rctx st ~proc:r.Request.proc ~arrival:issue ~lba:r.lba ~bytes:r.size
+          ~rpm:st.rpm ~recon
       in
       (* Ramp back toward full speed one level per serviced request: RPM
          transitions overlap servicing (the low-overhead dynamic-RPM
@@ -772,7 +979,12 @@ let handle_trailing model policy ctrl fctx st ~until ~hinted =
   (* A TPM spin-down may overshoot [until]; clamp for reporting. *)
   if st.now > until then st.now <- until
 
-let stats_of_state st ~last_completion =
+let stats_of_state rctx st ~last_completion =
+  let c =
+    match rctx with
+    | Some rx -> Repair.counters rx.rc st.id
+    | None -> Repair.zero_counters
+  in
   {
     disk = st.id;
     requests = st.reqs;
@@ -788,6 +1000,15 @@ let stats_of_state st ~last_completion =
     media_retries = st.m_retries;
     latency_spikes = st.spikes;
     degraded_ms = st.degraded;
+    remaps = c.Repair.remaps;
+    remap_penalty_hits = c.Repair.penalty_hits;
+    scrub_chunks = c.Repair.scrub_chunks;
+    scrub_found = c.Repair.scrub_found;
+    reconstructions = c.Repair.reconstructions;
+    rebuild_chunks = c.Repair.rebuild_chunks;
+    failovers = c.Repair.failovers;
+    disk_failures = c.Repair.failures;
+    rebuilds_completed = c.Repair.rebuilds;
     response_ms_total = st.resp_total;
     response_ms_max = st.resp_max;
     last_completion_ms = last_completion;
@@ -802,8 +1023,8 @@ let wear_fraction model stats =
    order; their power trajectory over each inter-arrival gap is decided
    by the policy. *)
 let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
-    ?(obs = Sink.null) ?(hints = []) ?faults ?(retry = Policy.default_retry) ~disks policy
-    reqs =
+    ?(obs = Sink.null) ?(hints = []) ?faults ?(retry = Policy.default_retry) ?repair
+    ?deadline_ms ~disks policy reqs =
   Dp_obs.Prof.span "disksim.simulate" @@ fun () ->
   if disks < 1 then invalid_arg "Engine.simulate: disks must be >= 1";
   List.iter
@@ -822,6 +1043,22 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
     match faults with
     | None -> None
     | Some cfg -> Some { inj = Injector.make cfg ~disks; retry }
+  in
+  (* The repair domain is armed by an explicit [?repair] config, by a
+     fault spec whose classes include media decay, or by a deadline —
+     with [Repair.default] (scrub off) in the implicit cases, so a
+     rate-0 decay run stays byte-identical to a clean one. *)
+  let decay_armed =
+    match faults with
+    | Some f -> List.mem Fault_model.Media_decay f.Fault_model.classes
+    | None -> false
+  in
+  let rctx =
+    match repair with
+    | Some cfg -> Some { rc = Repair.make cfg ~disks; deadline_ms; peers = [||] }
+    | None when decay_armed || deadline_ms <> None ->
+        Some { rc = Repair.make Repair.default ~disks; deadline_ms; peers = [||] }
+    | None -> None
   in
   let ctrl =
     match policy with
@@ -855,6 +1092,7 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
     (fun per_proc -> Array.iteri (fun p q -> per_proc.(p) <- List.rev q) per_proc)
     queues;
   let states = Array.init disks (make_state ~record:record_timeline ~sink:obs model) in
+  (match rctx with Some rx -> rx.peers <- states | None -> ());
   List.iter
     (fun (h : Hint.t) ->
       let st = states.(h.Hint.disk) in
@@ -885,13 +1123,44 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
         | [] -> assert false
         | r :: rest ->
             pending.(p) <- rest;
-            let st = states.(r.Request.disk) in
+            (* Degraded mode: rebuild streams advance on failed slots up
+               to the issue instant, and the request is routed to the
+               mirror while its home slot is down. *)
+            (match rctx with
+            | Some rx ->
+                Array.iter
+                  (fun st ->
+                    if Repair.is_failed rx.rc st.id then
+                      advance_rebuild model rx st ~until:!best_t)
+                  states
+            | None -> ());
+            let target =
+              match rctx with
+              | Some rx when Repair.is_failed rx.rc r.Request.disk -> (
+                  match Repair.mirror_of rx.rc r.Request.disk with
+                  | Some m when not (Repair.is_failed rx.rc m) -> m
+                  | _ -> r.Request.disk)
+              | _ -> r.Request.disk
+            in
+            let st = states.(target) in
+            (* Scrub runs first, out of the same idle window the policy
+               is about to manage (and outside [handle_request], so the
+               stuck-RPM fallback recursion cannot double-spend the
+               budget); the policy then sees the shrunken remainder. *)
+            (match rctx with
+            | Some rx when !best_t > st.now -> scrub_gap model rx st ~until:!best_t
+            | _ -> ());
             let response =
-              handle_request model policy ctrl fctx st r ~issue:!best_t ~hinted
+              handle_request model policy ctrl fctx rctx st r ~issue:!best_t ~hinted
+                ~recon:(target <> r.Request.disk)
             in
             ignore response;
             clocks.(p) <- !best_t +. response;
-            last_completion.(r.Request.disk) <- st.now;
+            last_completion.(target) <- st.now;
+            (match rctx with
+            | Some rx when Repair.should_fail rx.rc ~disk:target ->
+                fail_disk model rx states.(target)
+            | _ -> ());
             step ()
       end
     in
@@ -902,10 +1171,24 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
   done;
   let makespan = Array.fold_left max 0.0 last_completion in
   Array.iter
-    (fun st -> handle_trailing model policy ctrl fctx st ~until:makespan ~hinted)
+    (fun st ->
+      (match rctx with
+      | Some rx ->
+          if Repair.is_failed rx.rc st.id then begin
+            (* A slot still failed at the end of the run rebuilds as far
+               as the makespan allows, then idles out the remainder at
+               full power (no PM on a rebuilding spare). *)
+            advance_rebuild model rx st ~until:makespan;
+            if Repair.is_failed rx.rc st.id then gap_no_pm model st ~until:makespan
+          end
+          else if makespan > st.now then scrub_gap model rx st ~until:makespan
+      | None -> ());
+      handle_trailing model policy ctrl fctx st ~until:makespan ~hinted)
     states;
   let per_disk =
-    Array.mapi (fun d st -> stats_of_state st ~last_completion:last_completion.(d)) states
+    Array.mapi
+      (fun d st -> stats_of_state rctx st ~last_completion:last_completion.(d))
+      states
   in
   {
     policy = Policy.name policy;
@@ -930,7 +1213,18 @@ let pp_disk_stats ppf s =
   if s.spin_up_retries > 0 || s.media_retries > 0 || s.latency_spikes > 0 || s.degraded_ms > 0.0
   then
     Format.fprintf ppf ", %d su-retries, %d media-retries, %d spikes, degraded %.0f ms"
-      s.spin_up_retries s.media_retries s.latency_spikes s.degraded_ms
+      s.spin_up_retries s.media_retries s.latency_spikes s.degraded_ms;
+  (* Repair-domain suffix only when the run actually exercised it, so
+     clean output stays byte-identical. *)
+  if
+    s.remaps > 0 || s.remap_penalty_hits > 0 || s.scrub_chunks > 0 || s.reconstructions > 0
+    || s.failovers > 0 || s.disk_failures > 0
+  then
+    Format.fprintf ppf
+      ", %d remaps, %d remap hits, scrub %d/%d, %d recon, %d failovers, %d failures (%d \
+       rebuilt)"
+      s.remaps s.remap_penalty_hits s.scrub_found s.scrub_chunks s.reconstructions
+      s.failovers s.disk_failures s.rebuilds_completed
 
 (* The one-line wear/retry summary both CLIs print after a simulated
    run (formerly duplicated between dpcc and dpsim). *)
@@ -948,7 +1242,25 @@ let pp_reliability ?(model = Disk_model.ultrastar_36z15) ppf r =
   Format.fprintf ppf
     "reliability: wear %.4f%% of start-stop budget (worst disk), %d spin-up retries, %d \
      media retries, %d latency spikes, degraded %.1f ms"
-    (100.0 *. wear) su media spikes degraded
+    (100.0 *. wear) su media spikes degraded;
+  let remaps, hits, found, chunks, recon, fo, fails, rebuilt =
+    Array.fold_left
+      (fun (a, b, c, d, e, f, g, h) ds ->
+        ( a + ds.remaps,
+          b + ds.remap_penalty_hits,
+          c + ds.scrub_found,
+          d + ds.scrub_chunks,
+          e + ds.reconstructions,
+          f + ds.failovers,
+          g + ds.disk_failures,
+          h + ds.rebuilds_completed ))
+      (0, 0, 0, 0, 0, 0, 0, 0) r.per_disk
+  in
+  if remaps > 0 || hits > 0 || chunks > 0 || recon > 0 || fo > 0 || fails > 0 then
+    Format.fprintf ppf
+      "@\nrepair: %d remaps, %d remap hits, scrub found %d in %d chunks, %d \
+       reconstructions, %d failovers, %d disk failures (%d rebuilt)"
+      remaps hits found chunks recon fo fails rebuilt
 
 let pp_result ppf r =
   Format.fprintf ppf "@[<v>policy %s: energy %.1f J, io time %.1f ms, makespan %.1f ms@,%a@]"

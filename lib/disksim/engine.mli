@@ -33,8 +33,20 @@ type disk_stats = {
   latency_spikes : int;  (** servo recalibration stalls *)
   degraded_ms : float;
       (** time attributable to injected faults: failed spin-up attempts,
-          media-retry backoff and re-service, spike stalls, and service
-          at a fault-pinned (stuck-RPM) reduced speed *)
+          media-retry backoff and re-service, spike stalls, service at a
+          fault-pinned (stuck-RPM) reduced speed, and every
+          repair-domain charge (remap writes, detour penalties,
+          reconstruction reads, failover reads, rebuild slices) *)
+  remaps : int;  (** bad blocks remapped to spares (foreground + scrub) *)
+  remap_penalty_hits : int;  (** accesses that paid the remapped-block detour *)
+  scrub_chunks : int;  (** background verification chunks read *)
+  scrub_found : int;  (** bad blocks found (and remapped) by the scrubber *)
+  reconstructions : int;
+      (** reads this disk served on behalf of its failed mirror *)
+  rebuild_chunks : int;  (** rebuild slices copied onto the hot spare *)
+  failovers : int;  (** deadline-abandoned requests failed over to the mirror *)
+  disk_failures : int;  (** times this slot was retired onto a hot spare *)
+  rebuilds_completed : int;
   response_ms_total : float;
   response_ms_max : float;
   last_completion_ms : float;
@@ -57,6 +69,8 @@ val simulate :
   ?hints:Dp_trace.Hint.t list ->
   ?faults:Dp_faults.Fault_model.t ->
   ?retry:Policy.retry_config ->
+  ?repair:Dp_repair.Repair.config ->
+  ?deadline_ms:float ->
   disks:int ->
   Policy.t ->
   Request.t list ->
@@ -89,7 +103,20 @@ val simulate :
     same configuration reproduces the same perturbed run bit for bit,
     and a configuration with rate [0.0] reproduces the fault-free run
     byte for byte.  [retry] (default {!Policy.default_retry}) bounds
-    how persistently faulted operations are re-attempted. *)
+    how persistently faulted operations are re-attempted.
+
+    [repair] configures the persistent-failure domain (see
+    {!Dp_repair.Repair}): grown bad sectors remapped to a per-disk spare
+    pool, an idle-window scrubber, whole-disk failure past a defect
+    threshold with mirror reconstruction and hot-spare rebuild.  It is
+    armed implicitly (with {!Dp_repair.Repair.default} — scrub off) when
+    [faults] enables the media-decay class or when [deadline_ms] is set;
+    a rate-0 decay run stays byte-identical to a clean one.
+
+    [deadline_ms] serves every request under a deadline: a media-error
+    retry storm that has blown it is abandoned and the read fails over
+    to the disk's mirror, and responses past the deadline are reported
+    as {!Dp_obs.Event.Deadline} misses. *)
 
 val wear_fraction : Disk_model.t -> disk_stats -> float
 (** Start-stop wear consumed by a run: [spin_downs] over the drive's

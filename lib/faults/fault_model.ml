@@ -1,18 +1,20 @@
-type class_ = Spin_up_failure | Media_error | Latency_spike | Stuck_rpm
+type class_ = Spin_up_failure | Media_error | Latency_spike | Stuck_rpm | Media_decay
 
-let all_classes = [ Spin_up_failure; Media_error; Latency_spike; Stuck_rpm ]
+let all_classes = [ Spin_up_failure; Media_error; Latency_spike; Stuck_rpm; Media_decay ]
 
 let class_name = function
   | Spin_up_failure -> "spin-up"
   | Media_error -> "media"
   | Latency_spike -> "spike"
   | Stuck_rpm -> "stuck-rpm"
+  | Media_decay -> "media-decay"
 
 let class_letter = function
   | Spin_up_failure -> 's'
   | Media_error -> 'm'
   | Latency_spike -> 'l'
   | Stuck_rpm -> 'r'
+  | Media_decay -> 'd'
 
 type t = {
   seed : int;
@@ -33,10 +35,16 @@ let classes_of_string s =
       if i >= String.length s then Ok (List.rev acc)
       else
         match List.find_opt (fun c -> class_letter c = s.[i]) all_classes with
-        | Some c -> go (i + 1) (if List.mem c acc then acc else c :: acc)
+        | Some c ->
+            if List.mem c acc then
+              Error
+                (Printf.sprintf "duplicate fault class %C in %S (each letter at most once)"
+                   s.[i] s)
+            else go (i + 1) (c :: acc)
         | None ->
             Error
-              (Printf.sprintf "bad fault class %C in %S (expected letters from \"smlr\" or \"all\")"
+              (Printf.sprintf
+                 "bad fault class %C in %S (expected letters from \"smlrd\" or \"all\")"
                  s.[i] s)
     in
     go 0 []
@@ -47,6 +55,8 @@ let of_spec spec =
   | [ seed; rate; classes ] -> begin
       match int_of_string_opt seed with
       | None -> Error (Printf.sprintf "bad fault seed %S (expected an integer)" seed)
+      | Some s when s < 0 ->
+          Error (Printf.sprintf "bad fault seed %S (expected a non-negative integer)" seed)
       | Some seed -> begin
           match float_of_string_opt rate with
           | None -> Error (Printf.sprintf "bad fault rate %S (expected a float)" rate)

@@ -4,7 +4,7 @@
     succeeds, every RPM transition completes, every request is served on
     the first attempt.  Real disks misbehave in exactly the places the
     power policies stress — start-stop cycling and speed transitions —
-    so the simulator can perturb a run with four fault classes, each
+    so the simulator can perturb a run with five fault classes, each
     driven by its own seeded random stream (see {!Injector}):
 
     - {b spin-up failures}: a standby disk needs extra attempts, each
@@ -14,9 +14,13 @@
     - {b latency spikes}: a servo recalibration stalls the head before
       the transfer;
     - {b stuck RPM}: a multi-speed disk refuses speed transitions for a
-      window and serves degraded at its current level. *)
+      window and serves degraded at its current level;
+    - {b media decay}: {e persistent} damage — each service can grow a
+      bad sector on the disk's surface that stays bad until remapped to
+      a spare (see {!Dp_repair.Repair}); unlike the transient classes,
+      decay accumulates state across requests. *)
 
-type class_ = Spin_up_failure | Media_error | Latency_spike | Stuck_rpm
+type class_ = Spin_up_failure | Media_error | Latency_spike | Stuck_rpm | Media_decay
 
 val all_classes : class_ list
 val class_name : class_ -> string
@@ -43,8 +47,9 @@ val make :
 val of_spec : string -> (t, string) result
 (** Parse a [seed:rate:classes] CLI spec, e.g. ["42:0.01:all"] or
     ["7:0.05:sm"].  Classes are a subset of the letters [s] (spin-up),
-    [m] (media), [l] (latency spike), [r] (stuck RPM), or the word
-    [all].  The error names the offending field. *)
+    [m] (media), [l] (latency spike), [r] (stuck RPM), [d] (media
+    decay), or the word [all].  A duplicated class letter or a negative
+    seed is rejected; the error names the offending field. *)
 
 val to_spec : t -> string
 (** Round-trips through {!of_spec} (spike/window lengths keep their

@@ -6,6 +6,7 @@ type t = {
   media : Splitmix.t array;
   spike : Splitmix.t array;
   stuck : Splitmix.t array;
+  decay : Splitmix.t array;
   stuck_until : float array;  (* per-disk lock expiry, -inf when unlocked *)
 }
 
@@ -26,7 +27,11 @@ let make cfg ~disks =
   let media = per_class () in
   let spike = per_class () in
   let stuck = per_class () in
-  { cfg; spin; media; spike; stuck; stuck_until = Array.make disks neg_infinity }
+  (* The decay stream was added after the first four: splitting it last
+     keeps every pre-existing stream family byte-identical for a given
+     seed. *)
+  let decay = per_class () in
+  { cfg; spin; media; spike; stuck; decay; stuck_until = Array.make disks neg_infinity }
 
 let config t = t.cfg
 
@@ -50,6 +55,14 @@ let latency_spike_ms t ~disk =
   if enabled t Fault_model.Latency_spike && Splitmix.bool t.spike.(disk) ~p:t.cfg.Fault_model.rate
   then t.cfg.Fault_model.spike_ms
   else 0.0
+
+let decay_defect t ~disk ~surface =
+  if surface < 1 then invalid_arg "Injector.decay_defect: surface must be >= 1";
+  if
+    enabled t Fault_model.Media_decay
+    && Splitmix.bool t.decay.(disk) ~p:t.cfg.Fault_model.rate
+  then Some (Splitmix.int t.decay.(disk) ~bound:surface)
+  else None
 
 let is_locked t ~disk ~now_ms =
   enabled t Fault_model.Stuck_rpm && now_ms < t.stuck_until.(disk)

@@ -26,6 +26,15 @@ val latency_spike_ms : t -> disk:int -> float
 (** A servo-recalibration stall for the request being served: the
     configured spike length with probability [rate], else 0. *)
 
+val decay_defect : t -> disk:int -> surface:int -> int option
+(** One media-decay draw for a service on [disk]: with probability
+    [rate], the block index (uniform in [0, surface)) where a new bad
+    sector grows; [None] otherwise, or when the class is disabled.  The
+    draw comes from the decay class's own stream, so arming decay never
+    shifts another class's schedule — and at rate 0 no draw is consumed
+    at all, keeping the run byte-identical to a clean one.
+    @raise Invalid_argument when [surface < 1]. *)
+
 val rpm_locked : t -> disk:int -> now_ms:float -> bool
 (** Consult-and-maybe-trigger, called when a policy {e attempts} a speed
     transition: [true] when the disk is inside a stuck window, or when a

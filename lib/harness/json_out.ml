@@ -58,7 +58,7 @@ let of_histogram (h : Dp_obs.Metrics.histogram) =
 
 let of_disk_report (r : Dp_obs.Report.disk_report) =
   Obj
-    [
+    ([
       ("disk", Int r.Dp_obs.Report.disk);
       ("requests", Int r.Dp_obs.Report.requests);
       ("busy_ms", Float r.Dp_obs.Report.busy_ms);
@@ -69,9 +69,51 @@ let of_disk_report (r : Dp_obs.Report.disk_report) =
       ("hints", Int r.Dp_obs.Report.hints);
       ("faults", Int r.Dp_obs.Report.faults);
       ("decisions", Int r.Dp_obs.Report.decisions);
+    ]
+    @ (if r.Dp_obs.Report.repairs > 0 then [ ("repairs", Int r.Dp_obs.Report.repairs) ]
+       else [])
+    @ (if r.Dp_obs.Report.deadline_misses > 0 then
+         [ ("deadline_misses", Int r.Dp_obs.Report.deadline_misses) ]
+       else [])
+    @ [
       ("idle_gaps", of_histogram r.Dp_obs.Report.idle_gap_ms);
       ("response", of_histogram r.Dp_obs.Report.response_ms);
       ("standby_residency", of_histogram r.Dp_obs.Report.standby_residency_ms);
+    ])
+
+let repair_of_result (res : Engine.result) =
+  let remaps, hits, chunks, found, recon, rebuild, fo, fails, rebuilt =
+    Array.fold_left
+      (fun (a, b, c, d, e, f, g, h, i) (s : Engine.disk_stats) ->
+        ( a + s.Engine.remaps,
+          b + s.Engine.remap_penalty_hits,
+          c + s.Engine.scrub_chunks,
+          d + s.Engine.scrub_found,
+          e + s.Engine.reconstructions,
+          f + s.Engine.rebuild_chunks,
+          g + s.Engine.failovers,
+          h + s.Engine.disk_failures,
+          i + s.Engine.rebuilds_completed ))
+      (0, 0, 0, 0, 0, 0, 0, 0, 0) res.Engine.per_disk
+  in
+  if
+    remaps = 0 && hits = 0 && chunks = 0 && recon = 0 && rebuild = 0 && fo = 0 && fails = 0
+  then []
+  else
+    [
+      ( "repair",
+        Obj
+          [
+            ("remaps", Int remaps);
+            ("remap_penalty_hits", Int hits);
+            ("scrub_chunks", Int chunks);
+            ("scrub_found", Int found);
+            ("reconstructions", Int recon);
+            ("rebuild_chunks", Int rebuild);
+            ("failovers", Int fo);
+            ("disk_failures", Int fails);
+            ("rebuilds_completed", Int rebuilt);
+          ] );
     ]
 
 let of_run (r : Runner.run) =
@@ -96,6 +138,7 @@ let of_run (r : Runner.run) =
              ("degraded_ms", Float rel.Runner.degraded_ms);
            ] );
      ]
+    @ repair_of_result r.Runner.result
     @
     match r.Runner.obs with
     | None -> []
@@ -140,23 +183,30 @@ let of_matrix (matrix : Experiments.matrix) =
            ])
        matrix)
 
-let of_serve_tenant ~kind (s : Dp_serve.Account.tenant_stats) =
+let of_serve_tenant ~kind ~slo (s : Dp_serve.Account.tenant_stats) =
   Obj
-    [
-      ("tenant", Int s.Dp_serve.Account.tenant);
-      ("kind", String kind);
-      ("requests", Int s.Dp_serve.Account.requests);
-      ("energy_j", Float s.Dp_serve.Account.energy_j);
-      ("response_mean_ms", Float s.Dp_serve.Account.response_mean_ms);
-      ("response_p50_ms", Float s.Dp_serve.Account.response_p50_ms);
-      ("response_p95_ms", Float s.Dp_serve.Account.response_p95_ms);
-      ("response_p99_ms", Float s.Dp_serve.Account.response_p99_ms);
-      ("response_max_ms", Float s.Dp_serve.Account.response_max_ms);
-    ]
+    ([
+       ("tenant", Int s.Dp_serve.Account.tenant);
+       ("kind", String kind);
+       ("requests", Int s.Dp_serve.Account.requests);
+       ("energy_j", Float s.Dp_serve.Account.energy_j);
+       ("response_mean_ms", Float s.Dp_serve.Account.response_mean_ms);
+       ("response_p50_ms", Float s.Dp_serve.Account.response_p50_ms);
+       ("response_p95_ms", Float s.Dp_serve.Account.response_p95_ms);
+       ("response_p99_ms", Float s.Dp_serve.Account.response_p99_ms);
+       ("response_max_ms", Float s.Dp_serve.Account.response_max_ms);
+     ]
+    @
+    if slo then
+      [
+        ("slo_violations", Int s.Dp_serve.Account.slo_violations);
+        ("abandoned", Int s.Dp_serve.Account.abandoned);
+      ]
+    else [])
 
 let of_serve_summary ~kinds (s : Dp_serve.Account.summary) =
   Obj
-    [
+    ([
       ("attributed_j", Float s.Dp_serve.Account.attributed_j);
       ("unattributed_j", Float s.Dp_serve.Account.unattributed_j);
       ("energy_j", Float s.Dp_serve.Account.energy_j);
@@ -167,24 +217,60 @@ let of_serve_summary ~kinds (s : Dp_serve.Account.summary) =
       ("response_p95_ms", Float s.Dp_serve.Account.response_p95_ms);
       ("response_p99_ms", Float s.Dp_serve.Account.response_p99_ms);
       ("response_max_ms", Float s.Dp_serve.Account.response_max_ms);
-      ( "tenants",
-        List
-          (List.map
-             (fun (t : Dp_serve.Account.tenant_stats) ->
-               of_serve_tenant ~kind:kinds.(t.Dp_serve.Account.tenant) t)
-             (Array.to_list s.Dp_serve.Account.tenants)) );
     ]
+    @ (match s.Dp_serve.Account.slo with
+      | None -> []
+      | Some slo ->
+          [
+            ( "slo",
+              Obj
+                [
+                  ("deadline_ms", Float slo.Dp_serve.Account.deadline_ms);
+                  ("violations", Int slo.Dp_serve.Account.violations);
+                  ("abandoned", Int slo.Dp_serve.Account.abandoned);
+                  ("availability", Float slo.Dp_serve.Account.availability);
+                ] );
+          ])
+    @ [
+        ( "tenants",
+          List
+            (List.map
+               (fun (t : Dp_serve.Account.tenant_stats) ->
+                 of_serve_tenant
+                   ~kind:kinds.(t.Dp_serve.Account.tenant)
+                   ~slo:(s.Dp_serve.Account.slo <> None)
+                   t)
+               (Array.to_list s.Dp_serve.Account.tenants)) );
+      ])
 
 let of_serve (r : Dp_serve.Serve.report) =
   let cfg = r.Dp_serve.Serve.config in
   Obj
-    [
+    ([
       ("tenants", Int cfg.Dp_serve.Serve.tenants);
       ("seed", Int cfg.Dp_serve.Serve.seed);
       ("disks", Int cfg.Dp_serve.Serve.disks);
       ("jitter_ms", Float cfg.Dp_serve.Serve.jitter_ms);
       ("selection", String (Dp_serve.Serve.selection_name cfg.Dp_serve.Serve.selection));
       ("requests", Int r.Dp_serve.Serve.requests);
+     ]
+    (* Reliability config extras only when armed: a clean (or rate-0,
+       no-deadline) serve JSON stays byte-identical to main. *)
+    @ (match cfg.Dp_serve.Serve.faults with
+      | Some f when f.Dp_faults.Fault_model.rate > 0.0 ->
+          [ ("faults", String (Dp_faults.Fault_model.to_spec f)) ]
+      | _ -> [])
+    @ (match cfg.Dp_serve.Serve.deadline_ms with
+      | Some d -> [ ("deadline_ms", Float d) ]
+      | None -> [])
+    @ (match cfg.Dp_serve.Serve.repair with
+      | Some rc ->
+          [ ("scrub_budget_ms", Float rc.Dp_repair.Repair.scrub_budget_ms) ]
+      | None -> [])
+    @ (match cfg.Dp_serve.Serve.spare_blocks with
+      | Some n -> [ ("spare_blocks", Int n) ]
+      | None -> [])
+    @ [
       ( "rows",
         List
           (List.map
@@ -202,7 +288,7 @@ let of_serve (r : Dp_serve.Serve.report) =
                  | Some s ->
                      [ ("summary", of_serve_summary ~kinds:r.Dp_serve.Serve.kinds s) ]))
              r.Dp_serve.Serve.rows) );
-    ]
+      ])
 
 let of_sweep (s : Experiments.sweep) =
   Obj

@@ -78,6 +78,20 @@ let trace_json ?until_ms events =
                d.disk
                (jts (us_of_ms d.at_ms))
                d.decision)
+      | Event.Repair r ->
+          add_event
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"cat\":\"repair\",\"name\":\"repair:%s\",\"args\":{\"blocks\":%d,\"cost_ms\":%s}}"
+               r.disk
+               (jts (us_of_ms r.at_ms))
+               r.op r.blocks (jfloat r.cost_ms))
+      | Event.Deadline d ->
+          add_event
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":%d,\"ts\":%s,\"cat\":\"deadline\",\"name\":\"deadline-miss\",\"args\":{\"proc\":%d,\"response_ms\":%s,\"deadline_ms\":%s}}"
+               d.disk
+               (jts (us_of_ms d.at_ms))
+               d.proc (jfloat d.response_ms) (jfloat d.deadline_ms))
       (* Stage-cache events happen at compile time, off the simulated
          disk timeline — they have no track here. *)
       | Event.Cache _ -> ())

@@ -22,17 +22,25 @@ type t =
   | Fault of { disk : int; at_ms : float; kind : string; cost_ms : float }
   | Decision of { disk : int; at_ms : float; decision : string }
   | Cache of { at_ms : float; op : string; key : string; bytes : int }
+  | Repair of { disk : int; at_ms : float; op : string; blocks : int; cost_ms : float }
+  | Deadline of {
+      disk : int;
+      proc : int;
+      at_ms : float;
+      response_ms : float;
+      deadline_ms : float;
+    }
 
 let disk = function
   | Power { disk; _ } | Service { disk; _ } | Hint_exec { disk; _ } | Fault { disk; _ }
-  | Decision { disk; _ } ->
+  | Decision { disk; _ } | Repair { disk; _ } | Deadline { disk; _ } ->
       disk
   | Cache _ -> -1
 
 let time_ms = function
   | Power { start_ms; _ } | Service { start_ms; _ } -> start_ms
   | Hint_exec { at_ms; _ } | Fault { at_ms; _ } | Decision { at_ms; _ } | Cache { at_ms; _ }
-    ->
+  | Repair { at_ms; _ } | Deadline { at_ms; _ } ->
       at_ms
 
 let state_name = function
@@ -92,5 +100,13 @@ let to_json = function
   | Cache { at_ms; op; key; bytes } ->
       Printf.sprintf "{\"type\":\"cache\",\"at_ms\":%s,\"op\":\"%s\",\"key\":\"%s\",\"bytes\":%d}"
         (jfloat at_ms) (escape op) (escape key) bytes
+  | Repair { disk; at_ms; op; blocks; cost_ms } ->
+      Printf.sprintf
+        "{\"type\":\"repair\",\"disk\":%d,\"at_ms\":%s,\"op\":\"%s\",\"blocks\":%d,\"cost_ms\":%s}"
+        disk (jfloat at_ms) (escape op) blocks (jfloat cost_ms)
+  | Deadline { disk; proc; at_ms; response_ms; deadline_ms } ->
+      Printf.sprintf
+        "{\"type\":\"deadline\",\"disk\":%d,\"proc\":%d,\"at_ms\":%s,\"response_ms\":%s,\"deadline_ms\":%s}"
+        disk proc (jfloat at_ms) (jfloat response_ms) (jfloat deadline_ms)
 
 let pp ppf e = Format.pp_print_string ppf (to_json e)

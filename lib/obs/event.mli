@@ -50,6 +50,21 @@ type t =
           ["miss"], ["corrupt"], ["write-failure"]).  [at_ms] is wall
           clock, not simulation time; [bytes] the payload size (0 when
           unknown). *)
+  | Repair of { disk : int; at_ms : float; op : string; blocks : int; cost_ms : float }
+      (** a persistent-failure recovery action ([op] is one of
+          ["remap"], ["scrub"], ["scrub-pass"], ["reconstruct"],
+          ["failover"], ["disk-failed"], ["rebuild"],
+          ["rebuild-complete"]); [blocks] the blocks involved and
+          [cost_ms] the time charged on the disk's timeline *)
+  | Deadline of {
+      disk : int;
+      proc : int;
+      at_ms : float;
+      response_ms : float;
+      deadline_ms : float;
+    }
+      (** a request completed past its deadline ([proc] is the issuing
+          tenant under {!Dp_serve} multiplexing) *)
 
 val disk : t -> int
 (** The event's disk; [-1] for events not bound to one ({!Cache}). *)

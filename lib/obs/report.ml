@@ -12,6 +12,8 @@ type disk_report = {
   mutable hints : int;
   mutable faults : int;
   mutable decisions : int;
+  mutable repairs : int;
+  mutable deadline_misses : int;
 }
 
 let gap_edges = Metrics.log_edges ~lo:1.0 ~hi:1e7 ()
@@ -34,6 +36,8 @@ let fresh disk =
     hints = 0;
     faults = 0;
     decisions = 0;
+    repairs = 0;
+    deadline_misses = 0;
   }
 
 let of_events ~disks events =
@@ -88,6 +92,9 @@ let of_events ~disks events =
       | Event.Hint_exec h -> reports.(h.disk).hints <- reports.(h.disk).hints + 1
       | Event.Fault f -> reports.(f.disk).faults <- reports.(f.disk).faults + 1
       | Event.Decision d -> reports.(d.disk).decisions <- reports.(d.disk).decisions + 1
+      | Event.Repair r -> reports.(r.disk).repairs <- reports.(r.disk).repairs + 1
+      | Event.Deadline d ->
+          reports.(d.disk).deadline_misses <- reports.(d.disk).deadline_misses + 1
       (* Stage-cache events are process-level, not per-disk. *)
       | Event.Cache _ -> ())
     events;
@@ -105,8 +112,9 @@ let pp_one ppf r =
     "@[<v>disk %d: %d request(s), %.1f J — busy %.0f ms, idle %.0f ms, standby %.0f ms, \
      transition %.0f ms%s@,%a%a%a@]"
     r.disk r.requests r.energy_j r.busy_ms r.idle_ms r.standby_ms r.transition_ms
-    (if r.hints > 0 || r.faults > 0 then
-       Printf.sprintf " (%d hint(s), %d fault(s))" r.hints r.faults
+    (if r.hints > 0 || r.faults > 0 || r.repairs > 0 || r.deadline_misses > 0 then
+       Printf.sprintf " (%d hint(s), %d fault(s), %d repair(s), %d deadline miss(es))"
+         r.hints r.faults r.repairs r.deadline_misses
      else "")
     Metrics.pp_histogram r.idle_gap_ms Metrics.pp_histogram r.response_ms Metrics.pp_histogram
     r.standby_residency_ms
@@ -129,12 +137,21 @@ let jsonl reports =
   let b = Buffer.create 1024 in
   Array.iter
     (fun r ->
+      (* Repair/deadline counters appear only when nonzero: a run
+         without the persistent-failure domain keeps the exact JSONL
+         bytes it produced before the domain existed. *)
+      let repair_fields =
+        if r.repairs > 0 || r.deadline_misses > 0 then
+          Printf.sprintf ",\"repairs\":%d,\"deadline_misses\":%d" r.repairs
+            r.deadline_misses
+        else ""
+      in
       Buffer.add_string b
         (Printf.sprintf
-           "{\"disk\":%d,\"requests\":%d,\"busy_ms\":%s,\"idle_ms\":%s,\"standby_ms\":%s,\"transition_ms\":%s,\"energy_j\":%s,\"hints\":%d,\"faults\":%d,\"decisions\":%d,\"idle_gaps\":%s,\"response\":%s,\"standby_residency\":%s}\n"
+           "{\"disk\":%d,\"requests\":%d,\"busy_ms\":%s,\"idle_ms\":%s,\"standby_ms\":%s,\"transition_ms\":%s,\"energy_j\":%s,\"hints\":%d,\"faults\":%d,\"decisions\":%d%s,\"idle_gaps\":%s,\"response\":%s,\"standby_residency\":%s}\n"
            r.disk r.requests (jfloat r.busy_ms) (jfloat r.idle_ms) (jfloat r.standby_ms)
            (jfloat r.transition_ms) (jfloat r.energy_j) r.hints r.faults r.decisions
-           (hist_json r.idle_gap_ms) (hist_json r.response_ms)
+           repair_fields (hist_json r.idle_gap_ms) (hist_json r.response_ms)
            (hist_json r.standby_residency_ms)))
     reports;
   Buffer.contents b

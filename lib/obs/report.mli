@@ -27,6 +27,8 @@ type disk_report = {
   mutable hints : int;
   mutable faults : int;
   mutable decisions : int;
+  mutable repairs : int;  (** recovery actions (remap/scrub/rebuild/...) *)
+  mutable deadline_misses : int;
 }
 
 val of_events : disks:int -> Event.t list -> disk_report array

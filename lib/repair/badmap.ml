@@ -1,0 +1,55 @@
+type status = Good | Bad | Remapped
+
+(* One byte per surface block: the default surface is 64 Ki blocks, so a
+   per-disk map costs 64 KB — cheap enough to keep exact. *)
+type t = { cells : Bytes.t; mutable bad : int; mutable remapped : int }
+
+let good_c = '\000'
+let bad_c = '\001'
+let remapped_c = '\002'
+
+let make ~blocks =
+  if blocks < 1 then invalid_arg "Badmap.make: blocks must be >= 1";
+  { cells = Bytes.make blocks good_c; bad = 0; remapped = 0 }
+
+let blocks t = Bytes.length t.cells
+
+let status t i =
+  match Bytes.get t.cells i with
+  | c when c = good_c -> Good
+  | c when c = bad_c -> Bad
+  | _ -> Remapped
+
+let set_bad t i =
+  if Bytes.get t.cells i = good_c then begin
+    Bytes.set t.cells i bad_c;
+    t.bad <- t.bad + 1;
+    true
+  end
+  else false
+
+let set_remapped t i =
+  match Bytes.get t.cells i with
+  | c when c = bad_c ->
+      Bytes.set t.cells i remapped_c;
+      t.bad <- t.bad - 1;
+      t.remapped <- t.remapped + 1
+  | _ -> invalid_arg "Badmap.set_remapped: block is not bad"
+
+let bad_count t = t.bad
+let remapped_count t = t.remapped
+
+let clear t =
+  Bytes.fill t.cells 0 (Bytes.length t.cells) good_c;
+  t.bad <- 0;
+  t.remapped <- 0
+
+(* Fingerprint of the full map (FNV-1a over the cells): what the
+   cross-domain determinism property compares. *)
+let digest t =
+  let h = ref 0xcbf29ce484222325L in
+  Bytes.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    t.cells;
+  !h

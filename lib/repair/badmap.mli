@@ -1,0 +1,39 @@
+(** The per-disk bad-sector map: one exact status cell per surface
+    block.
+
+    Media decay (see {!Dp_faults.Fault_model.Media_decay}) grows [Bad]
+    cells; the first foreground or scrub touch of a bad block remaps it
+    to the disk's spare pool ([Remapped]), after which every access pays
+    the remap detour penalty but the data is safe.  The map is the
+    persistent state the transient fault classes never had. *)
+
+type status = Good | Bad | Remapped
+type t
+
+val make : blocks:int -> t
+(** All-[Good] map over a surface of [blocks] blocks.
+    @raise Invalid_argument when [blocks < 1]. *)
+
+val blocks : t -> int
+val status : t -> int -> status
+
+val set_bad : t -> int -> bool
+(** Grow a defect: [Good] becomes [Bad] (returns [true]); a block
+    already [Bad] or [Remapped] is left alone (returns [false]). *)
+
+val set_remapped : t -> int -> unit
+(** Remap a [Bad] block to a spare.
+    @raise Invalid_argument when the block is not [Bad]. *)
+
+val bad_count : t -> int
+(** Currently-bad (grown, not yet remapped) blocks. *)
+
+val remapped_count : t -> int
+
+val clear : t -> unit
+(** Reset every cell to [Good] — the platter swap of a hot-spare
+    replacement. *)
+
+val digest : t -> int64
+(** Order-sensitive fingerprint of the whole map (FNV-1a), for
+    determinism checks. *)

@@ -1,0 +1,243 @@
+module Fault_model = Dp_faults.Fault_model
+
+type config = {
+  surface_blocks : int;
+  block_bytes : int;
+  scrub_budget_ms : float;
+  scrub_chunk_blocks : int;
+  rebuild_chunk_blocks : int;
+  rebuild_blocks : int;
+  fail_threshold : int;
+}
+
+let config ?(surface_blocks = 65_536) ?(block_bytes = 4096) ?(scrub_budget_ms = 0.0)
+    ?(scrub_chunk_blocks = 64) ?(rebuild_chunk_blocks = 256) ?rebuild_blocks
+    ?(fail_threshold = 64) () =
+  if surface_blocks < 1 then invalid_arg "Repair.config: surface_blocks must be >= 1";
+  if block_bytes < 1 then invalid_arg "Repair.config: block_bytes must be >= 1";
+  if scrub_budget_ms < 0.0 then invalid_arg "Repair.config: scrub_budget_ms must be >= 0";
+  if scrub_chunk_blocks < 1 then invalid_arg "Repair.config: scrub_chunk_blocks must be >= 1";
+  if rebuild_chunk_blocks < 1 then
+    invalid_arg "Repair.config: rebuild_chunk_blocks must be >= 1";
+  let rebuild_blocks = Option.value rebuild_blocks ~default:surface_blocks in
+  if rebuild_blocks < 1 then invalid_arg "Repair.config: rebuild_blocks must be >= 1";
+  if fail_threshold < 1 then invalid_arg "Repair.config: fail_threshold must be >= 1";
+  {
+    surface_blocks;
+    block_bytes;
+    scrub_budget_ms;
+    scrub_chunk_blocks;
+    rebuild_chunk_blocks;
+    rebuild_blocks;
+    fail_threshold;
+  }
+
+let default = config ()
+
+type counters = {
+  remaps : int;
+  penalty_hits : int;
+  scrub_chunks : int;
+  scrub_found : int;
+  scrub_passes : int;
+  reconstructions : int;
+  rebuild_chunks : int;
+  failovers : int;
+  failures : int;
+  rebuilds : int;
+}
+
+let zero_counters =
+  {
+    remaps = 0;
+    penalty_hits = 0;
+    scrub_chunks = 0;
+    scrub_found = 0;
+    scrub_passes = 0;
+    reconstructions = 0;
+    rebuild_chunks = 0;
+    failovers = 0;
+    failures = 0;
+    rebuilds = 0;
+  }
+
+(* The mutable per-disk repair state: the bad-sector map of the current
+   platters, spare-pool consumption, the scrub cursor, and — once the
+   slot has failed — rebuild progress onto the hot spare. *)
+type media = {
+  map : Badmap.t;
+  mutable grown : int;  (* defects ever grown on the current platters *)
+  mutable spare_used : int;
+  mutable exhausted : bool;  (* a bad block could not be remapped: no spare left *)
+  mutable failed : bool;
+  mutable rebuilt : int;  (* blocks copied onto the hot spare so far *)
+  mutable cursor : int;  (* next scrub position *)
+  mutable c : counters;
+}
+
+type t = { cfg : config; disks : int; media : media array }
+
+let make cfg ~disks =
+  if disks < 1 then invalid_arg "Repair.make: disks must be >= 1";
+  {
+    cfg;
+    disks;
+    media =
+      Array.init disks (fun _ ->
+          {
+            map = Badmap.make ~blocks:cfg.surface_blocks;
+            grown = 0;
+            spare_used = 0;
+            exhausted = false;
+            failed = false;
+            rebuilt = 0;
+            cursor = 0;
+            c = zero_counters;
+          });
+  }
+
+let cfg t = t.cfg
+let counters t d = t.media.(d).c
+let is_failed t d = t.media.(d).failed
+let grown t d = t.media.(d).grown
+let spare_used t d = t.media.(d).spare_used
+let map_digest t d = Badmap.digest t.media.(d).map
+
+(* Mirror pairing: even disks pair with their odd neighbor (0-1, 2-3,
+   ...); an unpaired trailing disk mirrors onto its predecessor.  A
+   single-disk array has no mirror, so its disks can never fail — they
+   keep serving with remap penalties instead. *)
+let mirror_of t d =
+  if t.disks < 2 then None
+  else begin
+    let m = d lxor 1 in
+    Some (if m >= t.disks then d - 1 else m)
+  end
+
+let grow t ~disk ~block =
+  let m = t.media.(disk) in
+  if (not m.failed) && Badmap.set_bad m.map block then m.grown <- m.grown + 1
+
+let remap m =
+  m.spare_used <- m.spare_used + 1;
+  m.c <- { m.c with remaps = m.c.remaps + 1 }
+
+type touch = { remapped : int; penalty_hits : int }
+
+(* Foreground access over [lba, lba + bytes): remap every bad block on
+   first touch (while spares last), count the detour penalty for every
+   already-remapped block. *)
+let touch t ~disk ~spare ~lba ~bytes =
+  let m = t.media.(disk) in
+  let bb = t.cfg.block_bytes in
+  let lo = lba / bb and hi = (lba + max bytes 1 - 1) / bb in
+  let count = min (hi - lo + 1) t.cfg.surface_blocks in
+  let remapped = ref 0 and hits = ref 0 in
+  for k = 0 to count - 1 do
+    let i = (lo + k) mod t.cfg.surface_blocks in
+    match Badmap.status m.map i with
+    | Badmap.Good -> ()
+    | Badmap.Remapped -> incr hits
+    | Badmap.Bad ->
+        if m.spare_used < spare then begin
+          Badmap.set_remapped m.map i;
+          remap m;
+          incr remapped
+        end
+        else m.exhausted <- true
+  done;
+  m.c <- { m.c with penalty_hits = m.c.penalty_hits + !hits };
+  { remapped = !remapped; penalty_hits = !hits }
+
+(* Failure policy: a slot is retired when its platters have grown past
+   the defect threshold or a bad block could not be remapped any more —
+   but only while its mirror is healthy (degraded reads need somewhere
+   to go), so two paired disks can never be down at once. *)
+let should_fail t ~disk =
+  let m = t.media.(disk) in
+  (not m.failed)
+  && (m.grown >= t.cfg.fail_threshold || m.exhausted)
+  && (match mirror_of t disk with Some p -> not t.media.(p).failed | None -> false)
+
+let mark_failed t ~disk =
+  let m = t.media.(disk) in
+  m.failed <- true;
+  m.rebuilt <- 0;
+  (* The hot spare brings fresh platters: the old map (and its grown
+     defects) leaves with the failed drive. *)
+  Badmap.clear m.map;
+  m.grown <- 0;
+  m.spare_used <- 0;
+  m.exhausted <- false;
+  m.cursor <- 0;
+  m.c <- { m.c with failures = m.c.failures + 1 }
+
+(* One scrub chunk, split into a pure peek (so the engine can price the
+   verification read plus any remaps before committing) and the commit
+   that performs them.  A chunk never spans the surface wrap, so pass
+   accounting stays exact. *)
+let scrub_peek t ~disk ~spare =
+  let m = t.media.(disk) in
+  let chunk = min t.cfg.scrub_chunk_blocks (t.cfg.surface_blocks - m.cursor) in
+  let found = ref 0 in
+  let left = ref (max 0 (spare - m.spare_used)) in
+  for k = 0 to chunk - 1 do
+    if Badmap.status m.map (m.cursor + k) = Badmap.Bad && !left > 0 then begin
+      incr found;
+      decr left
+    end
+  done;
+  (chunk, !found)
+
+let scrub_commit t ~disk ~spare =
+  let m = t.media.(disk) in
+  let chunk = min t.cfg.scrub_chunk_blocks (t.cfg.surface_blocks - m.cursor) in
+  let found = ref 0 in
+  for k = 0 to chunk - 1 do
+    let i = m.cursor + k in
+    if Badmap.status m.map i = Badmap.Bad && m.spare_used < spare then begin
+      Badmap.set_remapped m.map i;
+      remap m;
+      incr found
+    end
+  done;
+  m.cursor <- m.cursor + chunk;
+  let pass_done = m.cursor >= t.cfg.surface_blocks in
+  if pass_done then m.cursor <- 0;
+  m.c <-
+    {
+      m.c with
+      scrub_chunks = m.c.scrub_chunks + 1;
+      scrub_found = m.c.scrub_found + !found;
+      scrub_passes = (m.c.scrub_passes + if pass_done then 1 else 0);
+    };
+  (!found, pass_done)
+
+let note_reconstruction t ~disk =
+  let m = t.media.(disk) in
+  m.c <- { m.c with reconstructions = m.c.reconstructions + 1 }
+
+let note_failover t ~disk =
+  let m = t.media.(disk) in
+  m.c <- { m.c with failovers = m.c.failovers + 1 }
+
+(* One rebuild slice: [blocks] more blocks copied mirror -> hot spare.
+   Completing the copy restores the slot to healthy service. *)
+let rebuild_step t ~disk ~blocks =
+  let m = t.media.(disk) in
+  if not m.failed then invalid_arg "Repair.rebuild_step: disk is not failed";
+  m.rebuilt <- m.rebuilt + blocks;
+  m.c <- { m.c with rebuild_chunks = m.c.rebuild_chunks + 1 };
+  let done_ = m.rebuilt >= t.cfg.rebuild_blocks in
+  if done_ then begin
+    m.failed <- false;
+    m.c <- { m.c with rebuilds = m.c.rebuilds + 1 }
+  end;
+  done_
+
+let pp_config ppf c =
+  Format.fprintf ppf
+    "repair: surface %d x %d B blocks, scrub %g ms/gap (%d-block chunks), rebuild %d \
+     blocks (%d-block slices), fail threshold %d defects"
+    c.surface_blocks c.block_bytes c.scrub_budget_ms c.scrub_chunk_blocks c.rebuild_blocks
+    c.rebuild_chunk_blocks c.fail_threshold

@@ -10,6 +10,15 @@ type tenant_stats = {
   response_p95_ms : float;
   response_p99_ms : float;
   response_max_ms : float;
+  slo_violations : int;
+  abandoned : int;
+}
+
+type slo = {
+  deadline_ms : float;
+  violations : int;
+  abandoned : int;
+  availability : float;
 }
 
 type summary = {
@@ -24,6 +33,7 @@ type summary = {
   response_p95_ms : float;
   response_p99_ms : float;
   response_max_ms : float;
+  slo : slo option;
 }
 
 let percentile sorted q =
@@ -53,6 +63,8 @@ let sample_sorted s =
   Array.sort Float.compare a;
   a
 
+let abandon_factor = 4.0
+
 let jain means =
   let n = Array.length means in
   if n = 0 then 1.0
@@ -62,11 +74,20 @@ let jain means =
     if sq = 0.0 then 1.0 else sum *. sum /. (float_of_int n *. sq)
   end
 
-let recorder ~tenants ~disks =
+let recorder ?deadline_ms ~tenants ~disks () =
   if tenants < 1 then invalid_arg "Account.recorder: tenants must be >= 1";
   if disks < 1 then invalid_arg "Account.recorder: disks must be >= 1";
+  (match deadline_ms with
+  | Some d when d <= 0.0 -> invalid_arg "Account.recorder: deadline_ms must be > 0"
+  | _ -> ());
   let tenant_j = Array.make tenants 0.0 in
   let responses = Array.init tenants (fun _ -> { buf = [||]; len = 0 }) in
+  (* SLO accounting: a response past the deadline is a violation; one
+     past [abandon_factor] deadlines counts as abandoned — the client
+     gave up, so availability is the fraction it actually got served in
+     usable time. *)
+  let violations = Array.make tenants 0 in
+  let abandoned = Array.make tenants 0 in
   (* Energy per disk awaiting a service to claim it, the claimant of a
      disk's trailing spans, and the engine-shaped per-disk totals. *)
   let pending = Array.make disks 0.0 in
@@ -82,8 +103,17 @@ let recorder ~tenants ~disks =
             tenant_j.(proc) <- tenant_j.(proc) +. pending.(disk);
             pending.(disk) <- 0.0;
             last_tenant.(disk) <- proc;
-            sample_add responses.(proc) (stop_ms -. arrival_ms)
-        | Event.Hint_exec _ | Event.Fault _ | Event.Decision _ | Event.Cache _ -> ())
+            let resp = stop_ms -. arrival_ms in
+            (match deadline_ms with
+            | Some d ->
+                if resp > d then violations.(proc) <- violations.(proc) + 1;
+                if resp > abandon_factor *. d then
+                  abandoned.(proc) <- abandoned.(proc) + 1
+            | None -> ());
+            sample_add responses.(proc) resp
+        | Event.Hint_exec _ | Event.Fault _ | Event.Decision _ | Event.Cache _
+        | Event.Repair _ | Event.Deadline _ ->
+            ())
   in
   let finish () =
     let unattributed = ref 0.0 in
@@ -110,6 +140,8 @@ let recorder ~tenants ~disks =
             response_p95_ms = percentile sorted 0.95;
             response_p99_ms = percentile sorted 0.99;
             response_max_ms = (if n = 0 then 0.0 else sorted.(n - 1));
+            slo_violations = violations.(t);
+            abandoned = abandoned.(t);
           })
     in
     let means =
@@ -147,6 +179,21 @@ let recorder ~tenants ~disks =
       response_p95_ms = percentile pooled 0.95;
       response_p99_ms = percentile pooled 0.99;
       response_max_ms = (if pooled_n = 0 then 0.0 else pooled.(pooled_n - 1));
+      slo =
+        (match deadline_ms with
+        | None -> None
+        | Some d ->
+            let v = Array.fold_left ( + ) 0 violations in
+            let a = Array.fold_left ( + ) 0 abandoned in
+            Some
+              {
+                deadline_ms = d;
+                violations = v;
+                abandoned = a;
+                availability =
+                  (if pooled_n = 0 then 1.0
+                   else 1.0 -. (float_of_int a /. float_of_int pooled_n));
+              })
     }
   in
   (sink, finish)

@@ -16,6 +16,10 @@
       recorded responses, not histogram-bucket approximations: tenant
       streams are short enough to keep every sample.
     - {b fairness} is Jain's index over per-tenant mean response times.
+    - {b SLO accounting} (only under a deadline): a response past the
+      deadline is a violation, one past four deadlines is counted
+      abandoned — the client gave up — and availability is the fraction
+      of requests served within the abandonment horizon.
 
     Single-threaded, like every sink. *)
 
@@ -28,6 +32,17 @@ type tenant_stats = {
   response_p95_ms : float;
   response_p99_ms : float;
   response_max_ms : float;
+  slo_violations : int;  (** responses past the deadline (0 without one) *)
+  abandoned : int;  (** responses past four deadlines (0 without one) *)
+}
+
+(** Deadline bookkeeping across the run, present only when the recorder
+    was given a deadline. *)
+type slo = {
+  deadline_ms : float;
+  violations : int;
+  abandoned : int;
+  availability : float;  (** 1 - abandoned/requests; 1.0 on an empty run *)
 }
 
 type summary = {
@@ -47,13 +62,16 @@ type summary = {
   response_p95_ms : float;
   response_p99_ms : float;
   response_max_ms : float;
+  slo : slo option;
 }
 
-val recorder : tenants:int -> disks:int -> Dp_obs.Sink.t * (unit -> summary)
+val recorder :
+  ?deadline_ms:float -> tenants:int -> disks:int -> unit -> Dp_obs.Sink.t * (unit -> summary)
 (** The sink to pass as [Engine.simulate ~obs] and the finisher to call
     once the run returns.  The finisher is not idempotent — call it
-    exactly once.
-    @raise Invalid_argument when [tenants < 1] or [disks < 1]. *)
+    exactly once.  [deadline_ms] arms SLO accounting.
+    @raise Invalid_argument when [tenants < 1], [disks < 1], or
+    [deadline_ms <= 0]. *)
 
 val percentile : float array -> float -> float
 (** [percentile sorted q]: exact nearest-rank percentile of an

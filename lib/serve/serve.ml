@@ -3,6 +3,9 @@ module Request = Dp_trace.Request
 module Hint = Dp_trace.Hint
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
+module Disk_model = Dp_disksim.Disk_model
+module Fault_model = Dp_faults.Fault_model
+module Repair = Dp_repair.Repair
 module Oracle = Dp_oracle.Oracle
 module Domain_pool = Dp_pipeline.Domain_pool
 
@@ -28,15 +31,33 @@ type config = {
   jitter_ms : float;
   jobs : int;
   selection : selection;
+  faults : Fault_model.t option;
+  repair : Repair.config option;
+  deadline_ms : float option;
+  spare_blocks : int option;
 }
 
-let config ?(disks = 8) ?(jitter_ms = 30_000.0) ?(jobs = 1) ?(selection = All) ~tenants
-    ~seed () =
+let config ?(disks = 8) ?(jitter_ms = 30_000.0) ?(jobs = 1) ?(selection = All) ?faults
+    ?repair ?deadline_ms ?spare_blocks ~tenants ~seed () =
   if tenants < 1 then invalid_arg "Serve.config: tenants must be >= 1";
   if disks < 1 then invalid_arg "Serve.config: disks must be >= 1";
   if jobs < 1 then invalid_arg "Serve.config: jobs must be >= 1";
   if jitter_ms < 0.0 then invalid_arg "Serve.config: jitter_ms must be >= 0";
-  { tenants; seed; disks; jitter_ms; jobs; selection }
+  (match deadline_ms with
+  | Some d when d <= 0.0 -> invalid_arg "Serve.config: deadline_ms must be > 0"
+  | _ -> ());
+  (match spare_blocks with
+  | Some n when n < 1 -> invalid_arg "Serve.config: spare_blocks must be >= 1"
+  | _ -> ());
+  { tenants; seed; disks; jitter_ms; jobs; selection; faults; repair; deadline_ms; spare_blocks }
+
+(* The reliability extras show up in output only when something is
+   actually armed, so a clean (or rate-0, scrub-off, no-deadline) serve
+   stays byte-identical to what it printed before the failure domain
+   existed. *)
+let armed cfg =
+  (match cfg.faults with Some f -> f.Fault_model.rate > 0.0 | None -> false)
+  || cfg.repair <> None || cfg.deadline_ms <> None || cfg.spare_blocks <> None
 
 type row = {
   label : string;
@@ -101,8 +122,19 @@ let run ?cache cfg =
         let hints =
           match hint_space with None -> [] | Some space -> offline_hints space
         in
-        let sink, finish = Account.recorder ~tenants:cfg.tenants ~disks:cfg.disks in
-        let res = Engine.simulate ~obs:sink ~hints ~disks:cfg.disks policy merged in
+        let sink, finish =
+          Account.recorder ?deadline_ms:cfg.deadline_ms ~tenants:cfg.tenants
+            ~disks:cfg.disks ()
+        in
+        let model =
+          match cfg.spare_blocks with
+          | None -> Disk_model.ultrastar_36z15
+          | Some n -> { Disk_model.ultrastar_36z15 with Disk_model.spare_blocks = n }
+        in
+        let res =
+          Engine.simulate ~model ~obs:sink ~hints ?faults:cfg.faults ?repair:cfg.repair
+            ?deadline_ms:cfg.deadline_ms ~disks:cfg.disks policy merged
+        in
         {
           label;
           detail = Policy.describe policy;
@@ -139,7 +171,12 @@ let pp_row ppf r =
          %.3f  attributed %.1f J (+%.1f unattributed)"
         r.label r.energy_j r.makespan_ms s.Account.response_mean_ms
         s.Account.response_p99_ms s.Account.response_max_ms s.Account.fairness
-        s.Account.attributed_j s.Account.unattributed_j
+        s.Account.attributed_j s.Account.unattributed_j;
+      (match s.Account.slo with
+      | Some slo ->
+          Format.fprintf ppf "  slo %d violations %d abandoned  availability %.4f"
+            slo.Account.violations slo.Account.abandoned slo.Account.availability
+      | None -> ())
 
 let pp_report ppf t =
   let oltp =
@@ -147,8 +184,24 @@ let pp_report ppf t =
   in
   Format.fprintf ppf
     "@[<v>serve: %d tenants (%d oltp, %d app), seed %d, %d disks, %d requests, jitter \
-     %.0f ms@,%a@]"
+     %.0f ms"
     t.config.tenants oltp
     (t.config.tenants - oltp)
-    t.config.seed t.config.disks t.requests t.config.jitter_ms
-    (Format.pp_print_list pp_row) t.rows
+    t.config.seed t.config.disks t.requests t.config.jitter_ms;
+  if armed t.config then begin
+    Format.fprintf ppf "@,reliability:";
+    (match t.config.faults with
+    | Some f when f.Fault_model.rate > 0.0 ->
+        Format.fprintf ppf " faults %s" (Fault_model.to_spec f)
+    | _ -> ());
+    (match t.config.deadline_ms with
+    | Some d -> Format.fprintf ppf " deadline %.0f ms" d
+    | None -> ());
+    (match t.config.repair with
+    | Some r -> Format.fprintf ppf " scrub %.0f ms/gap" r.Repair.scrub_budget_ms
+    | None -> ());
+    (match t.config.spare_blocks with
+    | Some n -> Format.fprintf ppf " spare %d blocks" n
+    | None -> ())
+  end;
+  Format.fprintf ppf "@,%a@]" (Format.pp_print_list pp_row) t.rows

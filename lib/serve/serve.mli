@@ -45,6 +45,14 @@ type config = {
           (default 30 000) *)
   jobs : int;  (** domain-pool width for the row fan-out *)
   selection : selection;
+  faults : Dp_faults.Fault_model.t option;
+      (** seeded fault injection for the simulated rows (the oracle
+          bound stays fault-free — it is an analytic floor) *)
+  repair : Dp_repair.Repair.config option;
+      (** persistent-failure domain override (scrub budget etc.); decay
+          faults arm {!Dp_repair.Repair.default} implicitly *)
+  deadline_ms : float option;  (** per-request SLO deadline *)
+  spare_blocks : int option;  (** per-disk spare-pool override *)
 }
 
 val config :
@@ -52,12 +60,16 @@ val config :
   ?jitter_ms:float ->
   ?jobs:int ->
   ?selection:selection ->
+  ?faults:Dp_faults.Fault_model.t ->
+  ?repair:Dp_repair.Repair.config ->
+  ?deadline_ms:float ->
+  ?spare_blocks:int ->
   tenants:int ->
   seed:int ->
   unit ->
   config
-(** @raise Invalid_argument when [tenants < 1], [disks < 1], [jobs < 1]
-    or [jitter_ms < 0]. *)
+(** @raise Invalid_argument when [tenants < 1], [disks < 1], [jobs < 1],
+    [jitter_ms < 0], [deadline_ms <= 0] or [spare_blocks < 1]. *)
 
 type row = {
   label : string;  (** [base] | [offline-tpm] | [offline-drpm] | [online] | [oracle] *)

@@ -281,6 +281,76 @@ let test_dpcc_serve_bad_policy () =
     true
     (contains ~needle:"psychic" err && contains ~needle:"oracle" err)
 
+let test_dpcc_serve_bad_faults () =
+  (* Malformed --faults on serve: exit 2 with a one-line diagnostic
+     naming the offending field. *)
+  let code, _, err =
+    run [ dpcc; "serve"; "--tenants"; "2"; "--faults"; "1:nope:all" ]
+  in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "one-line diagnostic" true (one_line err);
+  check Alcotest.bool
+    (Printf.sprintf "names the flag and the field (got %S)" err)
+    true
+    (contains ~needle:"--faults" err && contains ~needle:"rate" err);
+  let code, _, err =
+    run [ dpcc; "serve"; "--tenants"; "2"; "--faults"; "1:0.1:ss" ]
+  in
+  check Alcotest.int "duplicate class exits 2" 2 code;
+  check Alcotest.bool
+    (Printf.sprintf "names the duplicate (got %S)" err)
+    true
+    (contains ~needle:"duplicate" err)
+
+let test_dpcc_serve_bad_decay () =
+  let code, _, err = run [ dpcc; "serve"; "--tenants"; "2"; "--decay"; "1:nope" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool
+    (Printf.sprintf "names --decay and the field (got %S)" err)
+    true
+    (contains ~needle:"--decay" err && contains ~needle:"rate" err);
+  let code, _, err =
+    run
+      [ dpcc; "serve"; "--tenants"; "2"; "--decay"; "1:0.1"; "--faults"; "2:0.1:m" ]
+  in
+  check Alcotest.int "--decay with --faults exits 2" 2 code;
+  check Alcotest.bool "explains the exclusion" true
+    (contains ~needle:"--decay" err && contains ~needle:"--faults" err)
+
+let test_dpcc_serve_decay_reports_availability () =
+  let code, out, err =
+    run
+      [
+        dpcc; "serve"; "--tenants"; "2"; "--seed"; "7"; "--policy"; "online";
+        "--decay"; "11:0.2"; "--scrub-ms"; "40"; "--json"; "--no-cache";
+      ]
+  in
+  check Alcotest.int (Printf.sprintf "exit code (stderr %S)" err) 0 code;
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "JSON has %s" needle) true
+        (contains ~needle out))
+    [
+      "\"faults\": \"11:0.2:d\"";
+      "\"deadline_ms\": 500";
+      "\"scrub_budget_ms\": 40";
+      "\"availability\"";
+      "\"slo\"";
+    ]
+
+let test_dpcc_serve_decay_rate_zero_identical () =
+  (* Rate-0 decay with scrub off is byte-identical to the clean serve
+     report — the acceptance gate for the failure domain's default-off
+     discipline. *)
+  let base =
+    [ dpcc; "serve"; "--tenants"; "2"; "--seed"; "7"; "--policy"; "online"; "--json"; "--no-cache" ]
+  in
+  let code0, clean, _ = run base in
+  check Alcotest.int "clean exits 0" 0 code0;
+  let code1, armed, _ = run (base @ [ "--decay"; "11:0" ]) in
+  check Alcotest.int "rate-0 decay exits 0" 0 code1;
+  check Alcotest.string "byte-identical to the clean report" clean armed
+
 let test_dpcc_serve_bad_tenants () =
   let code, _, err = run [ dpcc; "serve"; "--tenants"; "0" ] in
   check Alcotest.int "exit code" 2 code;
@@ -467,6 +537,12 @@ let suites =
         Alcotest.test_case "dpcc serve human table" `Quick test_dpcc_serve_human_table;
         Alcotest.test_case "dpcc serve unknown --policy" `Quick test_dpcc_serve_bad_policy;
         Alcotest.test_case "dpcc serve --tenants 0" `Quick test_dpcc_serve_bad_tenants;
+        Alcotest.test_case "dpcc serve bad --faults" `Quick test_dpcc_serve_bad_faults;
+        Alcotest.test_case "dpcc serve bad --decay" `Quick test_dpcc_serve_bad_decay;
+        Alcotest.test_case "dpcc serve --decay availability" `Slow
+          test_dpcc_serve_decay_reports_availability;
+        Alcotest.test_case "dpcc serve --decay rate 0 identity" `Slow
+          test_dpcc_serve_decay_rate_zero_identical;
         Alcotest.test_case "dpcc cache stat/clear" `Quick test_dpcc_cache_stat_clear;
         Alcotest.test_case "dpcc cache stat --json" `Slow test_dpcc_cache_stat_json;
         Alcotest.test_case "dpcc cache unknown subcommand" `Quick test_dpcc_cache_unknown_sub;

@@ -28,21 +28,29 @@ let test_spec_errors () =
           true (contains ~needle:part msg)
   in
   rejects "x:0.1:all" "seed";
+  rejects "-1:0.1:all" "seed";
   rejects "1:nope:all" "rate";
   rejects "1:2.5:all" "rate";
   rejects "1:0.1:qz" "class";
+  rejects "1:0.1:ssm" "duplicate";
+  rejects "1:0.1:dd" "duplicate";
   rejects "justonefield" "spec"
 
 let test_classes () =
-  (match Fault_model.of_spec "1:0.5:ssm" with
+  (match Fault_model.of_spec "1:0.5:smd" with
   | Ok f ->
-      check Alcotest.int "duplicate letters collapse" 2
-        (List.length f.Fault_model.classes)
+      check Alcotest.int "three classes" 3 (List.length f.Fault_model.classes);
+      check Alcotest.bool "decay enabled" true
+        (List.mem Fault_model.Media_decay f.Fault_model.classes)
+  | Error e -> Alcotest.fail e);
+  (match Fault_model.of_spec "7:0.1:d" with
+  | Ok f -> check Alcotest.string "decay roundtrip" "7:0.1:d" (Fault_model.to_spec f)
   | Error e -> Alcotest.fail e);
   match Fault_model.of_spec "1:0.5:all" with
   | Ok f ->
-      check Alcotest.bool "all classes" true
-        (f.Fault_model.classes = Fault_model.all_classes)
+      check Alcotest.bool "all classes (including decay)" true
+        (f.Fault_model.classes = Fault_model.all_classes
+        && List.length f.Fault_model.classes = 5)
   | Error e -> Alcotest.fail e
 
 let test_rate_clamped () =
@@ -116,6 +124,47 @@ let test_injector_streams_independent () =
   in
   check Alcotest.bool "per-class streams independent" true (seq_a = seq_b)
 
+let test_decay_stream () =
+  (* Decay draws are deterministic, gated on the class, silent at rate
+     0, and independent of the other streams. *)
+  let cfg = Fault_model.make ~seed:21 ~rate:0.4 () in
+  let drain inj =
+    List.init 200 (fun i -> Injector.decay_defect inj ~disk:(i mod 2) ~surface:4096)
+  in
+  let a = drain (Injector.make cfg ~disks:2) in
+  let b = drain (Injector.make cfg ~disks:2) in
+  check Alcotest.bool "same seed, same defects" true (a = b);
+  check Alcotest.bool "some defects at rate 0.4" true (List.exists Option.is_some a);
+  check Alcotest.bool "defects within the surface" true
+    (List.for_all (function Some b -> b >= 0 && b < 4096 | None -> true) a);
+  (* Interleaving other classes' draws leaves the decay schedule alone. *)
+  let noisy = Injector.make cfg ~disks:2 in
+  let c =
+    List.init 200 (fun i ->
+        ignore (Injector.media_retries noisy ~disk:0 ~max_retries:4);
+        ignore (Injector.latency_spike_ms noisy ~disk:1);
+        Injector.decay_defect noisy ~disk:(i mod 2) ~surface:4096)
+  in
+  check Alcotest.bool "decay stream independent" true (a = c);
+  (* Rate 0: never a defect, and no draw consumed. *)
+  let z = Injector.make (Fault_model.make ~seed:21 ~rate:0.0 ()) ~disks:2 in
+  check Alcotest.bool "rate 0 silent" true
+    (List.for_all Option.is_none
+       (List.init 100 (fun i -> Injector.decay_defect z ~disk:(i mod 2) ~surface:64)));
+  (* Class gating: media-only config never decays even at rate 1. *)
+  let m =
+    Injector.make
+      (Fault_model.make ~classes:[ Fault_model.Media_error ] ~seed:21 ~rate:1.0 ())
+      ~disks:1
+  in
+  check Alcotest.bool "decay disabled" true
+    (Option.is_none (Injector.decay_defect m ~disk:0 ~surface:64));
+  check Alcotest.bool "surface must be positive" true
+    (try
+       ignore (Injector.decay_defect (Injector.make cfg ~disks:1) ~disk:0 ~surface:0);
+       false
+     with Invalid_argument _ -> true)
+
 let test_stuck_window () =
   let cfg = Fault_model.make ~seed:3 ~rate:1.0 ~stuck_window_ms:1_000.0 () in
   let inj = Injector.make cfg ~disks:1 in
@@ -142,6 +191,7 @@ let suites =
         Alcotest.test_case "rate one bounded" `Quick test_injector_rate_one_bounded;
         Alcotest.test_case "class gating" `Quick test_injector_class_gating;
         Alcotest.test_case "streams independent" `Quick test_injector_streams_independent;
+        Alcotest.test_case "decay stream" `Quick test_decay_stream;
         Alcotest.test_case "stuck window" `Quick test_stuck_window;
       ] );
   ]

@@ -1,0 +1,413 @@
+(* Tests for the persistent-failure domain: the bad-sector map, the
+   spare-pool/scrub/rebuild state machine, the engine's degraded serving
+   paths (remap charges, deadline failover, whole-disk failure and
+   rebuild), and the cross-domain determinism of the decay stream. *)
+
+module Badmap = Dp_repair.Badmap
+module Repair = Dp_repair.Repair
+module Fault_model = Dp_faults.Fault_model
+module Injector = Dp_faults.Injector
+module Disk_model = Dp_disksim.Disk_model
+module Policy = Dp_disksim.Policy
+module Engine = Dp_disksim.Engine
+module Timeline = Dp_disksim.Timeline
+module Request = Dp_trace.Request
+module Domain_pool = Dp_pipeline.Domain_pool
+module Ir = Dp_ir.Ir
+
+let check = Alcotest.check
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let m = Disk_model.ultrastar_36z15
+
+let req ?(proc = 0) ?(seg = 0) ?(disk = 0) ?(lba = 0) ~think () =
+  {
+    Request.arrival_ms = 0.0 (* reference only *);
+    think_ms = think;
+    seg;
+    address = lba;
+    lba;
+    size = 64 * 1024;
+    mode = Ir.Read;
+    proc;
+    disk;
+  }
+
+let rejects name f =
+  check Alcotest.bool name true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --- the bad-sector map --- *)
+
+let test_badmap_statuses () =
+  let map = Badmap.make ~blocks:8 in
+  check Alcotest.int "surface size" 8 (Badmap.blocks map);
+  check Alcotest.bool "all good initially" true
+    (List.for_all (fun b -> Badmap.status map b = Badmap.Good) [ 0; 3; 7 ]);
+  check Alcotest.bool "grow succeeds" true (Badmap.set_bad map 3);
+  check Alcotest.bool "grow is idempotent" false (Badmap.set_bad map 3);
+  check Alcotest.int "one bad" 1 (Badmap.bad_count map);
+  Badmap.set_remapped map 3;
+  check Alcotest.bool "remapped" true (Badmap.status map 3 = Badmap.Remapped);
+  check Alcotest.int "no longer bad" 0 (Badmap.bad_count map);
+  check Alcotest.int "one remapped" 1 (Badmap.remapped_count map);
+  check Alcotest.bool "cannot re-grow a remapped block" false (Badmap.set_bad map 3);
+  rejects "remap of a good block" (fun () -> Badmap.set_remapped map 0);
+  rejects "empty surface" (fun () -> Badmap.make ~blocks:0)
+
+let test_badmap_digest () =
+  let a = Badmap.make ~blocks:16 and b = Badmap.make ~blocks:16 in
+  check Alcotest.bool "fresh maps agree" true (Badmap.digest a = Badmap.digest b);
+  ignore (Badmap.set_bad a 5);
+  check Alcotest.bool "a defect changes the digest" false (Badmap.digest a = Badmap.digest b);
+  ignore (Badmap.set_bad b 5);
+  check Alcotest.bool "same history, same digest" true (Badmap.digest a = Badmap.digest b);
+  Badmap.set_remapped a 5;
+  check Alcotest.bool "remap changes the digest" false (Badmap.digest a = Badmap.digest b);
+  Badmap.clear a;
+  let fresh = Badmap.make ~blocks:16 in
+  check Alcotest.bool "clear restores the fresh digest" true
+    (Badmap.digest a = Badmap.digest fresh)
+
+(* --- the repair state machine --- *)
+
+let test_repair_config_validation () =
+  rejects "surface < 1" (fun () -> Repair.config ~surface_blocks:0 ());
+  rejects "block bytes < 1" (fun () -> Repair.config ~block_bytes:0 ());
+  rejects "negative scrub budget" (fun () -> Repair.config ~scrub_budget_ms:(-1.0) ());
+  rejects "scrub chunk < 1" (fun () -> Repair.config ~scrub_chunk_blocks:0 ());
+  rejects "rebuild chunk < 1" (fun () -> Repair.config ~rebuild_chunk_blocks:0 ());
+  rejects "fail threshold < 1" (fun () -> Repair.config ~fail_threshold:0 ());
+  rejects "no disks" (fun () -> Repair.make Repair.default ~disks:0);
+  check Alcotest.bool "default scrub is off" true
+    (Repair.default.Repair.scrub_budget_ms = 0.0)
+
+let test_repair_touch_remap_then_penalty () =
+  (* One 4 KiB block grown bad: the first touch remaps it, later touches
+     pay the detour. *)
+  let t = Repair.make (Repair.config ~surface_blocks:16 ()) ~disks:1 in
+  Repair.grow t ~disk:0 ~block:2;
+  check Alcotest.int "defect counted" 1 (Repair.grown t 0);
+  let first = Repair.touch t ~disk:0 ~spare:8 ~lba:0 ~bytes:(4 * 4096) in
+  check Alcotest.int "first touch remaps" 1 first.Repair.remapped;
+  check Alcotest.int "no penalty yet" 0 first.Repair.penalty_hits;
+  check Alcotest.int "spare consumed" 1 (Repair.spare_used t 0);
+  let again = Repair.touch t ~disk:0 ~spare:8 ~lba:0 ~bytes:(4 * 4096) in
+  check Alcotest.int "no second remap" 0 again.Repair.remapped;
+  check Alcotest.int "detour paid" 1 again.Repair.penalty_hits;
+  (* A touch outside the remapped range costs nothing. *)
+  let far = Repair.touch t ~disk:0 ~spare:8 ~lba:(8 * 4096) ~bytes:4096 in
+  check Alcotest.bool "clean range is free" true
+    (far.Repair.remapped = 0 && far.Repair.penalty_hits = 0);
+  check Alcotest.int "remap counter" 1 (Repair.counters t 0).Repair.remaps;
+  check Alcotest.int "penalty counter" 1 (Repair.counters t 0).Repair.penalty_hits
+
+let test_repair_spare_exhaustion_fails_with_mirror () =
+  let cfg = Repair.config ~surface_blocks:8 ~fail_threshold:100 () in
+  let two = Repair.make cfg ~disks:2 in
+  Repair.grow two ~disk:0 ~block:1;
+  Repair.grow two ~disk:0 ~block:2;
+  let touched = Repair.touch two ~disk:0 ~spare:1 ~lba:0 ~bytes:(8 * 4096) in
+  check Alcotest.int "only one spare to give" 1 touched.Repair.remapped;
+  check Alcotest.bool "exhausted pool retires the slot" true (Repair.should_fail two ~disk:0);
+  (* The same history on a single-disk array never fails: no mirror. *)
+  let one = Repair.make cfg ~disks:1 in
+  Repair.grow one ~disk:0 ~block:1;
+  Repair.grow one ~disk:0 ~block:2;
+  ignore (Repair.touch one ~disk:0 ~spare:1 ~lba:0 ~bytes:(8 * 4096));
+  check Alcotest.bool "mirror-less array keeps serving" false (Repair.should_fail one ~disk:0)
+
+let test_repair_threshold_and_mirror_pairs () =
+  let t = Repair.make (Repair.config ~surface_blocks:64 ~fail_threshold:2 ()) ~disks:5 in
+  check Alcotest.(option int) "0 pairs 1" (Some 1) (Repair.mirror_of t 0);
+  check Alcotest.(option int) "1 pairs 0" (Some 0) (Repair.mirror_of t 1);
+  check Alcotest.(option int) "2 pairs 3" (Some 3) (Repair.mirror_of t 2);
+  check Alcotest.(option int) "trailing odd disk uses its predecessor" (Some 3)
+    (Repair.mirror_of t 4);
+  let solo = Repair.make Repair.default ~disks:1 in
+  check Alcotest.(option int) "single disk has no mirror" None (Repair.mirror_of solo 0);
+  Repair.grow t ~disk:2 ~block:0;
+  check Alcotest.bool "below threshold" false (Repair.should_fail t ~disk:2);
+  Repair.grow t ~disk:2 ~block:1;
+  check Alcotest.bool "at threshold" true (Repair.should_fail t ~disk:2);
+  Repair.mark_failed t ~disk:2;
+  check Alcotest.bool "marked failed" true (Repair.is_failed t 2);
+  check Alcotest.bool "failed slot never re-fails" false (Repair.should_fail t ~disk:2);
+  (* The hot spare starts with a clean map and pool. *)
+  check Alcotest.int "fresh map" 0 (Repair.grown t 2);
+  check Alcotest.int "fresh pool" 0 (Repair.spare_used t 2);
+  (* With 2 down, 3's mirror is unhealthy: 3 must keep serving. *)
+  Repair.grow t ~disk:3 ~block:0;
+  Repair.grow t ~disk:3 ~block:1;
+  check Alcotest.bool "no failure while the mirror is down" false
+    (Repair.should_fail t ~disk:3)
+
+let test_repair_rebuild_cycle () =
+  let t =
+    Repair.make
+      (Repair.config ~surface_blocks:16 ~rebuild_blocks:8 ~rebuild_chunk_blocks:4
+         ~fail_threshold:2 ())
+      ~disks:2
+  in
+  rejects "rebuild of a healthy slot" (fun () -> Repair.rebuild_step t ~disk:0 ~blocks:4);
+  Repair.grow t ~disk:0 ~block:0;
+  Repair.grow t ~disk:0 ~block:1;
+  Repair.mark_failed t ~disk:0;
+  check Alcotest.bool "first slice incomplete" false (Repair.rebuild_step t ~disk:0 ~blocks:4);
+  check Alcotest.bool "second slice restores" true (Repair.rebuild_step t ~disk:0 ~blocks:4);
+  check Alcotest.bool "healthy again" false (Repair.is_failed t 0);
+  let c = Repair.counters t 0 in
+  check Alcotest.int "failure counted" 1 c.Repair.failures;
+  check Alcotest.int "rebuild counted" 1 c.Repair.rebuilds;
+  check Alcotest.int "two slices" 2 c.Repair.rebuild_chunks
+
+let test_repair_scrub_cursor () =
+  (* An 8-block surface scrubbed in 4-block chunks: two commits complete
+     one pass; a bad block under the cursor is found and remapped. *)
+  let t =
+    Repair.make (Repair.config ~surface_blocks:8 ~scrub_chunk_blocks:4 ()) ~disks:1
+  in
+  Repair.grow t ~disk:0 ~block:2;
+  Repair.grow t ~disk:0 ~block:6;
+  let blocks, found = Repair.scrub_peek t ~disk:0 ~spare:8 in
+  check Alcotest.int "chunk spans 4 blocks" 4 blocks;
+  check Alcotest.int "peek sees the first defect" 1 found;
+  (* Peek is pure: nothing moved. *)
+  let blocks', found' = Repair.scrub_peek t ~disk:0 ~spare:8 in
+  check Alcotest.bool "peek is repeatable" true (blocks = blocks' && found = found');
+  let done1, pass1 = Repair.scrub_commit t ~disk:0 ~spare:8 in
+  check Alcotest.int "first chunk remaps one" 1 done1;
+  check Alcotest.bool "pass not complete" false pass1;
+  let done2, pass2 = Repair.scrub_commit t ~disk:0 ~spare:8 in
+  check Alcotest.int "second chunk remaps the other" 1 done2;
+  check Alcotest.bool "pass completes at the wrap" true pass2;
+  let c = Repair.counters t 0 in
+  check Alcotest.int "chunks counted" 2 c.Repair.scrub_chunks;
+  check Alcotest.int "found counted" 2 c.Repair.scrub_found;
+  check Alcotest.int "one pass" 1 c.Repair.scrub_passes;
+  check Alcotest.int "scrub remaps count as remaps" 2 c.Repair.remaps;
+  (* With no spares left, peek finds nothing to remap. *)
+  Repair.grow t ~disk:0 ~block:0;
+  let _, found_dry = Repair.scrub_peek t ~disk:0 ~spare:2 in
+  check Alcotest.int "found capped by the spare pool" 0 found_dry
+
+(* --- the engine's degraded serving paths --- *)
+
+(* Decay at rate 1 over a single-block surface: every request grows (and
+   immediately touches) block 0, so the first service pays exactly one
+   remap write and each later service exactly one detour penalty. *)
+let test_engine_remap_accounting () =
+  let reqs =
+    [ req ~think:10.0 (); req ~think:100.0 (); req ~think:100.0 () ]
+  in
+  let faults = Fault_model.make ~classes:[ Fault_model.Media_decay ] ~seed:3 ~rate:1.0 () in
+  let repair = Repair.config ~surface_blocks:1 () in
+  let clean = Engine.simulate ~disks:1 Policy.No_pm reqs in
+  let r = Engine.simulate ~faults ~repair ~disks:1 Policy.No_pm reqs in
+  let d = r.Engine.per_disk.(0) in
+  check Alcotest.int "one remap" 1 d.Engine.remaps;
+  check Alcotest.int "two detours" 2 d.Engine.remap_penalty_hits;
+  let remap = Disk_model.remap_ms m ~rpm:15000 ~block_bytes:4096 in
+  let extra = remap +. (2.0 *. m.Disk_model.remap_penalty_ms) in
+  check (Alcotest.float 1e-6) "degraded time = remap + detours" extra d.Engine.degraded_ms;
+  check (Alcotest.float 1e-6) "busy grew by exactly the repair work"
+    (clean.Engine.per_disk.(0).Engine.busy_ms +. extra)
+    d.Engine.busy_ms;
+  (* Every repair millisecond is charged at active power. *)
+  check (Alcotest.float 1e-6) "energy = clean + repair at active power"
+    (clean.Engine.energy_j +. (13.5 *. extra /. 1000.0))
+    r.Engine.energy_j;
+  check (Alcotest.float 1e-6) "responses carry the repair time"
+    (clean.Engine.io_time_ms +. extra)
+    r.Engine.io_time_ms
+
+let test_engine_scrub_in_gaps () =
+  (* Grown defects left outside the touched range are cleaned up by the
+     background scrubber during think-time gaps. *)
+  let reqs =
+    List.init 6 (fun i -> req ~think:(if i = 0 then 10.0 else 400.0) ~lba:0 ())
+  in
+  let faults = Fault_model.make ~classes:[ Fault_model.Media_decay ] ~seed:11 ~rate:1.0 () in
+  let repair =
+    Repair.config ~surface_blocks:4096 ~scrub_budget_ms:60.0 ~scrub_chunk_blocks:512 ()
+  in
+  let r =
+    Engine.simulate ~record_timeline:true ~faults ~repair ~disks:1 Policy.No_pm reqs
+  in
+  let d = r.Engine.per_disk.(0) in
+  check Alcotest.bool "scrub chunks read" true (d.Engine.scrub_chunks > 0);
+  check Alcotest.int "all served" 6 d.Engine.requests;
+  (* Conservation and contiguity hold on the scrubbed timeline. *)
+  let t = Option.get r.Engine.timeline in
+  let segs = t.(0) in
+  let rec contiguous = function
+    | (a : Timeline.segment) :: (b :: _ as rest) ->
+        Float.abs (b.Timeline.start_ms -. a.Timeline.stop_ms) <= 1e-6 && contiguous rest
+    | _ -> true
+  in
+  check Alcotest.bool "timeline contiguous" true (contiguous segs);
+  check Alcotest.bool "energy conserved" true
+    (Float.abs (Timeline.total_energy_j t ~disk:0 -. d.Engine.energy_j)
+    <= 1e-6 *. Float.max 1.0 d.Engine.energy_j);
+  (* Scrub keeps the foreground schedule: arrivals are never delayed, so
+     io time matches a run without scrubbing. *)
+  let no_scrub =
+    Engine.simulate ~faults ~repair:(Repair.config ~surface_blocks:4096 ()) ~disks:1
+      Policy.No_pm reqs
+  in
+  check (Alcotest.float 1e-6) "scrub never delays the foreground"
+    no_scrub.Engine.io_time_ms r.Engine.io_time_ms
+
+let test_engine_deadline_failover () =
+  (* Certain media errors with a generous retry ladder blow a tight
+     deadline: the engine abandons the retries and reads the mirror. *)
+  let reqs = List.init 4 (fun _ -> req ~disk:0 ~think:50.0 ()) in
+  let faults = Fault_model.make ~classes:[ Fault_model.Media_error ] ~seed:5 ~rate:1.0 () in
+  let retry = Policy.retry ~max_attempts:5 ~backoff_base_ms:20.0 () in
+  let r =
+    Engine.simulate ~record_timeline:true ~faults ~retry ~deadline_ms:10.0 ~disks:2
+      Policy.No_pm reqs
+  in
+  let d0 = r.Engine.per_disk.(0) and d1 = r.Engine.per_disk.(1) in
+  check Alcotest.int "every request fails over" 4 d0.Engine.failovers;
+  check Alcotest.int "origin still owns the services" 4 d0.Engine.requests;
+  check Alcotest.bool "mirror did real work" true (d1.Engine.busy_ms > 0.0);
+  check Alcotest.bool "terminates" true (Float.is_finite r.Engine.makespan_ms);
+  let t = Option.get r.Engine.timeline in
+  let rec contiguous = function
+    | (a : Timeline.segment) :: (b :: _ as rest) ->
+        Float.abs (b.Timeline.start_ms -. a.Timeline.stop_ms) <= 1e-6 && contiguous rest
+    | _ -> true
+  in
+  Array.iteri
+    (fun i segs ->
+      check Alcotest.bool (Printf.sprintf "disk %d timeline contiguous" i) true
+        (contiguous segs))
+    t;
+  Array.iter
+    (fun (d : Engine.disk_stats) ->
+      check Alcotest.bool
+        (Printf.sprintf "disk %d energy conserved" d.Engine.disk)
+        true
+        (Float.abs (Timeline.total_energy_j t ~disk:d.Engine.disk -. d.Engine.energy_j)
+        <= 1e-6 *. Float.max 1.0 d.Engine.energy_j))
+    r.Engine.per_disk
+
+let test_engine_degraded_rebuild_restored () =
+  (* A tiny surface and threshold: disk 0 retires after two defects, its
+     reads are reconstructed from disk 1, the rebuild stream fills the
+     hot spare during think gaps, and the slot returns to service —
+     with conservation and contiguity holding through the whole cycle. *)
+  (* Think gaps must outlast the hot-spare activation (a full 10.9 s
+     spin-up) before rebuild slices can fit, so the cycle completes
+     inside the trace. *)
+  let reqs = List.init 12 (fun _ -> req ~disk:0 ~think:4_000.0 ()) in
+  let faults = Fault_model.make ~classes:[ Fault_model.Media_decay ] ~seed:2 ~rate:1.0 () in
+  let repair =
+    Repair.config ~surface_blocks:4 ~fail_threshold:2 ~rebuild_blocks:8
+      ~rebuild_chunk_blocks:4 ()
+  in
+  let r =
+    Engine.simulate ~record_timeline:true ~faults ~repair ~disks:2 Policy.No_pm reqs
+  in
+  let d0 = r.Engine.per_disk.(0) and d1 = r.Engine.per_disk.(1) in
+  check Alcotest.bool "disk 0 retired" true (d0.Engine.disk_failures >= 1);
+  check Alcotest.bool "a full rebuild completed" true (d0.Engine.rebuilds_completed >= 1);
+  check Alcotest.bool "at most the final failure still rebuilding" true
+    (d0.Engine.disk_failures - d0.Engine.rebuilds_completed <= 1);
+  check Alcotest.bool "rebuild slices copied" true (d0.Engine.rebuild_chunks >= 2);
+  check Alcotest.bool "mirror served degraded reads" true (d1.Engine.reconstructions >= 1);
+  check Alcotest.int "every request served" 12 (d0.Engine.requests + d1.Engine.requests);
+  check Alcotest.bool "disk 0 resumed service after the rebuild" true (d0.Engine.requests > 0);
+  let t = Option.get r.Engine.timeline in
+  let rec contiguous = function
+    | (a : Timeline.segment) :: (b :: _ as rest) ->
+        Float.abs (b.Timeline.start_ms -. a.Timeline.stop_ms) <= 1e-6 && contiguous rest
+    | _ -> true
+  in
+  Array.iter (fun segs -> check Alcotest.bool "contiguous" true (contiguous segs)) t;
+  Array.iter
+    (fun (d : Engine.disk_stats) ->
+      check Alcotest.bool
+        (Printf.sprintf "disk %d energy conserved through the cycle" d.Engine.disk)
+        true
+        (Float.abs (Timeline.total_energy_j t ~disk:d.Engine.disk -. d.Engine.energy_j)
+        <= 1e-6 *. Float.max 1.0 d.Engine.energy_j))
+    r.Engine.per_disk
+
+(* --- cross-domain determinism (satellite S3) --- *)
+
+let decay_spec_gen =
+  QCheck2.Gen.(pair (int_range 0 100_000) (map (fun r -> float_of_int r /. 100.0) (int_range 0 40)))
+
+(* The decay stream and the maps it grows are a pure function of the
+   fault spec: driving the injector+repair state machine on worker
+   domains must reproduce the jobs-1 digests exactly. *)
+let prop_decay_maps_domain_independent =
+  qtest ~count:10 "Repair: decay maps byte-identical under jobs 1 vs 8" decay_spec_gen
+    (fun (seed, rate) ->
+      let drive copy =
+        let faults =
+          Fault_model.make ~classes:[ Fault_model.Media_decay ] ~seed:(seed + copy) ~rate ()
+        in
+        let inj = Injector.make faults ~disks:4 in
+        let t = Repair.make (Repair.config ~surface_blocks:128 ()) ~disks:4 in
+        for i = 0 to 399 do
+          let d = i mod 4 in
+          (match Injector.decay_defect inj ~disk:d ~surface:128 with
+          | Some b -> Repair.grow t ~disk:d ~block:b
+          | None -> ());
+          ignore (Repair.touch t ~disk:d ~spare:16 ~lba:(i * 37 mod 128 * 4096) ~bytes:8192)
+        done;
+        List.init 4 (fun d -> (Repair.map_digest t d, Repair.counters t d))
+      in
+      let copies = [ 0; 1; 2; 3 ] in
+      Domain_pool.map ~jobs:1 drive copies = Domain_pool.map ~jobs:8 drive copies)
+
+let prop_simulate_domain_independent =
+  qtest ~count:8 "Engine: decay/repair runs byte-identical under jobs 1 vs 8" decay_spec_gen
+    (fun (seed, rate) ->
+      let reqs =
+        List.init 30 (fun i ->
+            req ~disk:(i mod 3) ~lba:(i * 65536) ~think:(float_of_int (20 + (i * 13 mod 400))) ())
+      in
+      let run copy =
+        let faults = Fault_model.make ~seed:(seed + copy) ~rate () in
+        let repair = Repair.config ~surface_blocks:64 ~fail_threshold:8 () in
+        Engine.simulate ~faults ~repair ~deadline_ms:1000.0 ~disks:3 Policy.default_tpm reqs
+      in
+      let copies = [ 0; 1; 2; 3 ] in
+      Domain_pool.map ~jobs:1 run copies = Domain_pool.map ~jobs:8 run copies)
+
+let suites =
+  [
+    ( "repair.badmap",
+      [
+        Alcotest.test_case "status transitions" `Quick test_badmap_statuses;
+        Alcotest.test_case "digest" `Quick test_badmap_digest;
+      ] );
+    ( "repair.state",
+      [
+        Alcotest.test_case "config validation" `Quick test_repair_config_validation;
+        Alcotest.test_case "remap then penalty" `Quick test_repair_touch_remap_then_penalty;
+        Alcotest.test_case "spare exhaustion" `Quick test_repair_spare_exhaustion_fails_with_mirror;
+        Alcotest.test_case "threshold and mirrors" `Quick test_repair_threshold_and_mirror_pairs;
+        Alcotest.test_case "rebuild cycle" `Quick test_repair_rebuild_cycle;
+        Alcotest.test_case "scrub cursor" `Quick test_repair_scrub_cursor;
+      ] );
+    ( "repair.engine",
+      [
+        Alcotest.test_case "exact remap accounting" `Quick test_engine_remap_accounting;
+        Alcotest.test_case "scrub in idle gaps" `Quick test_engine_scrub_in_gaps;
+        Alcotest.test_case "deadline failover" `Quick test_engine_deadline_failover;
+        Alcotest.test_case "degraded, rebuild, restored" `Quick
+          test_engine_degraded_rebuild_restored;
+      ] );
+    ( "repair.domains",
+      [ prop_decay_maps_domain_independent; prop_simulate_domain_independent ] );
+  ]

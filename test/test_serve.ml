@@ -146,6 +146,78 @@ let test_online_saves_energy () =
   check Alcotest.bool "online adaptation beats no power management" true
     (energy "online" < energy "base")
 
+(* --- the persistent-failure domain through the serve report --- *)
+
+module Fault_model = Dp_faults.Fault_model
+
+let decay_faults ~seed ~rate =
+  Fault_model.make ~classes:[ Fault_model.Media_decay ] ~seed ~rate ()
+
+let run_decay ?(rate = 0.3) ?repair ~jobs () =
+  Serve.run
+    (Serve.config ~disks:4 ~jobs ~selection:Serve.Online ~tenants:4 ~seed:42
+       ~faults:(decay_faults ~seed:11 ~rate) ?repair ~deadline_ms:500.0 ())
+
+let test_serve_decay_reports_slo () =
+  let r = run_decay ~jobs:1 () in
+  List.iter
+    (fun (row : Serve.row) ->
+      match row.Serve.summary with
+      | None -> ()
+      | Some s -> (
+          match s.Account.slo with
+          | None -> Alcotest.failf "%s: deadline armed but no SLO summary" row.Serve.label
+          | Some slo ->
+              check (Alcotest.float 1e-9)
+                (row.Serve.label ^ ": deadline echoed")
+                500.0 slo.Account.deadline_ms;
+              check Alcotest.bool
+                (row.Serve.label ^ ": availability in [0, 1]")
+                true
+                (slo.Account.availability >= 0.0 && slo.Account.availability <= 1.0);
+              check Alcotest.bool
+                (row.Serve.label ^ ": abandoned never exceeds violations")
+                true
+                (slo.Account.abandoned <= slo.Account.violations);
+              (* Attribution still sums to the engine total under decay. *)
+              check (Alcotest.float 1e-6)
+                (row.Serve.label ^ ": attribution conserved under decay")
+                s.Account.energy_j
+                (s.Account.attributed_j +. s.Account.unattributed_j)))
+    r.Serve.rows
+
+let test_serve_decay_jobs_identical () =
+  let a = run_decay ~jobs:1 () and b = run_decay ~jobs:4 () in
+  check Alcotest.string "decay report jobs 1 = jobs 4" (report_string a) (report_string b)
+
+let test_serve_decay_rate_zero_identity () =
+  (* Rate-0 decay with scrub off leaves every row's figures exactly
+     where the clean run put them. *)
+  let clean =
+    Serve.run (Serve.config ~disks:4 ~jobs:1 ~selection:Serve.Online ~tenants:4 ~seed:42 ())
+  in
+  let armed =
+    Serve.run
+      (Serve.config ~disks:4 ~jobs:1 ~selection:Serve.Online ~tenants:4 ~seed:42
+         ~faults:(decay_faults ~seed:11 ~rate:0.0) ())
+  in
+  List.iter2
+    (fun (a : Serve.row) (b : Serve.row) ->
+      check Alcotest.string "labels align" a.Serve.label b.Serve.label;
+      check (Alcotest.float 0.0) (a.Serve.label ^ ": energy identical") a.Serve.energy_j
+        b.Serve.energy_j;
+      check (Alcotest.float 0.0) (a.Serve.label ^ ": makespan identical") a.Serve.makespan_ms
+        b.Serve.makespan_ms)
+    clean.Serve.rows armed.Serve.rows
+
+let test_serve_reliability_config_validation () =
+  let rejects name f = check Alcotest.bool name true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  rejects "deadline <= 0" (fun () ->
+      Serve.config ~deadline_ms:0.0 ~tenants:1 ~seed:1 ());
+  rejects "spare < 1" (fun () -> Serve.config ~spare_blocks:0 ~tenants:1 ~seed:1 ());
+  rejects "recorder deadline <= 0" (fun () ->
+      Account.recorder ~deadline_ms:(-1.0) ~tenants:1 ~disks:1 ())
+
 let test_percentile () =
   let s = [| 1.0; 2.0; 3.0; 4.0 |] in
   check (Alcotest.float 1e-9) "p0 is the minimum" 1.0 (Account.percentile s 0.0);
@@ -175,5 +247,16 @@ let suites =
         Alcotest.test_case "report: deterministic" `Quick test_report_deterministic;
         Alcotest.test_case "attribution sums to the total" `Quick test_attribution_sums;
         Alcotest.test_case "online saves energy" `Quick test_online_saves_energy;
+      ] );
+    ( "serve.reliability",
+      [
+        Alcotest.test_case "decay reports SLO and availability" `Quick
+          test_serve_decay_reports_slo;
+        Alcotest.test_case "decay report: jobs-independent" `Quick
+          test_serve_decay_jobs_identical;
+        Alcotest.test_case "rate-0 decay identical to clean" `Quick
+          test_serve_decay_rate_zero_identity;
+        Alcotest.test_case "reliability config validation" `Quick
+          test_serve_reliability_config_validation;
       ] );
   ]
