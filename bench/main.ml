@@ -522,9 +522,15 @@ let obs_overhead () =
   let t_null = time_best (fun () -> run ~obs:Dp_obs.Sink.null ()) in
   let ring () = Dp_obs.Sink.ring ~capacity:(1 lsl 20) () in
   let t_ring = time_best (fun () -> run ~obs:(ring ()) ()) in
+  let live () =
+    let lv = Dp_obs.Live.create ~disks () in
+    Dp_obs.Sink.stream (fun e -> Dp_obs.Live.feed lv e)
+  in
+  let t_live = time_best (fun () -> run ~obs:(live ()) ()) in
   let a_default = alloc_words (fun () -> run ()) in
   let a_null = alloc_words (fun () -> run ~obs:Dp_obs.Sink.null ()) in
   let a_ring = alloc_words (fun () -> run ~obs:(ring ()) ()) in
+  let a_live = alloc_words (fun () -> run ~obs:(live ()) ()) in
   Tabulate.render ppf
     ~header:[ "sink"; "time (ms/run)"; "minor words/run" ]
     ~rows:
@@ -535,11 +541,16 @@ let obs_overhead () =
           Printf.sprintf "%.0f" a_null ];
         [ "ring (1M events)"; Printf.sprintf "%.2f" (1e3 *. t_ring);
           Printf.sprintf "%.0f" a_ring ];
+        [ "live aggregator"; Printf.sprintf "%.2f" (1e3 *. t_live);
+          Printf.sprintf "%.0f" a_live ];
       ];
   let overhead = Float.max 0.0 ((t_null -. t_default) /. t_default) in
   Format.printf "ring sink costs %+.1f%% and %.0f extra minor words@."
     (100. *. (t_ring -. t_default) /. t_default)
     (a_ring -. a_default);
+  Format.printf "live aggregator costs %+.1f%% and %.0f extra minor words@."
+    (100. *. (t_live -. t_default) /. t_default)
+    (a_live -. a_default);
   if overhead < 0.02 then
     Format.printf "null-sink overhead check: OK (%.2f%% <= 2%%)@." (100. *. overhead)
   else begin

@@ -301,7 +301,8 @@ let report source procs jobs json_path obs cache_dir no_cache profile =
 
 (* --- fault-sweep: degradation under increasing fault rates --- *)
 
-let fault_sweep source procs jobs seed rates classes json_path cache_dir no_cache profile =
+let fault_sweep source procs jobs seed rates classes json_path obs_jsonl cache_dir no_cache
+    profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_jobs jobs;
@@ -320,8 +321,8 @@ let fault_sweep source procs jobs seed rates classes json_path cache_dir no_cach
         if procs = 1 then Dp_harness.Version.single_cpu else Dp_harness.Version.multi_cpu
       in
       let sweep =
-        Dp_harness.Experiments.fault_sweep ~seed ?rates ?cache ?classes ~jobs ~procs
-          ~versions app
+        Dp_harness.Experiments.fault_sweep ~seed ?rates ?cache ?classes
+          ~obs:(obs_jsonl <> None) ~jobs ~procs ~versions app
       in
       Dp_harness.Experiments.fig_sweep sweep Format.std_formatter;
       (match json_path with
@@ -329,13 +330,31 @@ let fault_sweep source procs jobs seed rates classes json_path cache_dir no_cach
           Fsx.atomic_write path
             (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_sweep sweep) ^ "\n")
       | None -> ());
+      (match obs_jsonl with
+      | Some path ->
+          (* One artifact for the whole ramp: every observed run's
+             per-disk lines, concatenated in (rate, version) order —
+             diff-ready input for [dpcc obs diff]. *)
+          let b = Buffer.create 4096 in
+          List.iter
+            (fun (pt : Dp_harness.Experiments.sweep_point) ->
+              List.iter
+                (fun ((_ : Dp_harness.Version.t), (run : Dp_harness.Runner.run)) ->
+                  match run.Dp_harness.Runner.obs with
+                  | Some reports -> Buffer.add_string b (Dp_obs.Report.jsonl reports)
+                  | None -> ())
+                pt.Dp_harness.Experiments.runs)
+            sweep.Dp_harness.Experiments.points;
+          Fsx.atomic_write path (Buffer.contents b);
+          Format.eprintf "observability: gap-histogram artifact written to %s@." path
+      | None -> ());
       profile_cache profile cache;
       finish_cache cache)
 
 (* --- serve: the multi-tenant server-array experiment --- *)
 
 let serve tenants seed disks jitter_ms policy_name jobs faults_spec decay_spec scrub_ms
-    spare deadline json cache_dir no_cache profile =
+    spare deadline json obs_jsonl live cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_jobs jobs;
@@ -394,9 +413,34 @@ let serve tenants seed disks jitter_ms policy_name jobs faults_spec decay_spec s
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let cfg =
         Dp_serve.Serve.config ~disks ~jitter_ms ~jobs ~selection ?faults ?repair
-          ?deadline_ms ?spare_blocks:spare ~tenants ~seed ()
+          ?deadline_ms ?spare_blocks:spare ~obs:(obs_jsonl <> None) ~live ~tenants ~seed
+          ()
       in
       let report = Dp_serve.Serve.run ?cache cfg in
+      (* Rows render their live frames into their own buffers during the
+         fan-out; printing them here in row order keeps the byte stream
+         identical across --jobs settings. *)
+      if live then
+        List.iter
+          (fun (row : Dp_serve.Serve.row) ->
+            match row.Dp_serve.Serve.frames with
+            | Some frames ->
+                Format.printf "== live: %s ==@." row.Dp_serve.Serve.label;
+                print_string frames
+            | None -> ())
+          report.Dp_serve.Serve.rows;
+      (match obs_jsonl with
+      | Some path ->
+          let b = Buffer.create 4096 in
+          List.iter
+            (fun (row : Dp_serve.Serve.row) ->
+              match row.Dp_serve.Serve.obs with
+              | Some reports -> Buffer.add_string b (Dp_obs.Report.jsonl reports)
+              | None -> ())
+            report.Dp_serve.Serve.rows;
+          Fsx.atomic_write path (Buffer.contents b);
+          Format.eprintf "observability: gap-histogram artifact written to %s@." path
+      | None -> ());
       (match json with
       | Some "-" ->
           print_string (Dp_harness.Json_out.to_string (Dp_harness.Json_out.of_serve report));
@@ -462,6 +506,36 @@ let cache_clear dir_opt =
       let dir = resolved_cache_dir dir_opt in
       let removed = Cachefs.clear ~dir in
       Format.printf "removed %d cache entrie(s) from %s@." removed dir)
+
+(* --- obs: analyze observability artifacts --- *)
+
+let obs_diff file_a file_b json threshold =
+  (match threshold with
+  | Some t when t < 0.0 ->
+      Format.eprintf "dpcc: --threshold must be non-negative (got %g)@." t;
+      exit 2
+  | _ -> ());
+  let load path =
+    match Dp_obs.Diff.load path with
+    | Ok sides -> sides
+    | Error msg ->
+        Format.eprintf "dpcc: %s@." msg;
+        exit 2
+  in
+  let a = load file_a and b = load file_b in
+  match Dp_obs.Diff.diff ~a ~b with
+  | Error msg ->
+      Format.eprintf "dpcc: %s@." msg;
+      exit 2
+  | Ok r -> (
+      if json then print_string (Dp_obs.Diff.to_json r)
+      else Format.printf "%a@." Dp_obs.Diff.pp r;
+      match threshold with
+      | Some t when Dp_obs.Diff.exceeds ~threshold:t r ->
+          Format.eprintf "dpcc: distribution shift: max KS %.6f exceeds --threshold %g@."
+            r.Dp_obs.Diff.max_ks t;
+          exit 1
+      | _ -> ())
 
 (* --- emit --- *)
 
@@ -666,6 +740,16 @@ let fault_sweep_cmd =
     Arg.(
       value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Also write JSON results")
   in
+  let obs_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Write the ramp's gap-histogram artifact (one JSON object per disk per \
+             observed run, concatenated in rate then version order) — the input format \
+             of 'dpcc obs diff'")
+  in
   Cmd.v
     (Cmd.info "fault-sweep"
        ~doc:
@@ -673,7 +757,7 @@ let fault_sweep_cmd =
           at every point) and report energy and degraded time per version")
     Term.(
       const fault_sweep $ source_arg $ procs_arg $ jobs_arg $ seed $ rates $ classes
-      $ json $ cache_dir_arg $ no_cache_arg $ profile_arg)
+      $ json $ obs_jsonl $ cache_dir_arg $ no_cache_arg $ profile_arg)
 
 let emit_cmd =
   let output =
@@ -774,6 +858,25 @@ let serve_cmd =
             "Write the report as JSON to FILE ('-' or no value: stdout, replacing the \
              human table)")
   in
+  let obs_jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obs-jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-row gap-histogram artifact (one JSON object per disk per \
+             simulated row, concatenated in row order) — the input format of 'dpcc obs \
+             diff'")
+  in
+  let live =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Render each simulated row's live per-disk console (plain periodic frames, \
+             keyed on simulated time; printed in row order before the report, so output \
+             is byte-identical across --jobs)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -781,7 +884,8 @@ let serve_cmd =
           hints, online adaptation and the oracle bound")
     Term.(
       const serve $ tenants $ seed $ disks $ jitter $ policy $ jobs_arg $ faults $ decay
-      $ scrub $ spare $ deadline $ json $ cache_dir_arg $ no_cache_arg $ profile_arg)
+      $ scrub $ spare $ deadline $ json $ obs_jsonl $ live $ cache_dir_arg $ no_cache_arg
+      $ profile_arg)
 
 let cache_subcommand_docs =
   [
@@ -813,6 +917,49 @@ let cache_cmd =
     (Cmd.info "cache" ~doc:"Inspect or clear the persistent stage cache")
     [ stat_cmd; clear_cmd ]
 
+let obs_subcommand_docs =
+  [
+    ( "diff",
+      "Compare two gap-histogram JSONL artifacts: KS / earth-mover distance per disk \
+       and distribution, with energy / response / residency deltas" );
+  ]
+
+let obs_cmd =
+  (* Plain strings, not Arg.file: cmdliner's existence check exits with
+     its own CLI-error status, while a missing artifact should get the
+     same one-line exit-2 diagnostic as any other malformed input. *)
+  let file_a =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc:"Baseline artifact")
+  in
+  let file_b =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc:"Candidate artifact")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON object (per-line shift statistics plus max_ks / max_emd) \
+             instead of the human table")
+  in
+  let threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"KS"
+          ~doc:
+            "Exit 1 when the worst KS statistic across every line and distribution \
+             exceeds KS (the diff is still printed)")
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff" ~doc:(List.assoc "diff" obs_subcommand_docs))
+      Term.(const obs_diff $ file_a $ file_b $ json $ threshold)
+  in
+  Cmd.group
+    (Cmd.info "obs" ~doc:"Analyze observability artifacts")
+    [ diff_cmd ]
+
 (* cmdliner's own unknown-command diagnostic is a terse hint; a wrong
    subcommand deserves the full command list.  Scan argv before handing
    over: the first non-flag argument must name a known command. *)
@@ -827,6 +974,7 @@ let command_docs =
     ("fault-sweep", "Re-simulate the version matrix across a fault-rate ramp");
     ("serve", "Multiplex N tenants onto one array: offline hints vs online adaptation");
     ("cache", "Inspect or clear the persistent stage cache");
+    ("obs", "Analyze observability artifacts (diff gap-histogram JSONL files)");
   ]
 
 (* cmdliner accepts unambiguous command prefixes; only a name that
@@ -847,21 +995,25 @@ let check_subcommand () =
     if String.length arg > 0 && arg.[0] <> '-' then
       if not (List.exists (prefix_of arg) command_docs) then
         unknown_command ~usage:"dpcc COMMAND ..." ~docs:command_docs arg
-      else if
-        (* [cache] is itself a command group: vet its subcommand too so
-           [dpcc cache bogus] is a usage error (exit 2), not cmdliner's
-           generic CLI failure. *)
-        (* any prefix of "cache" is unambiguous: no other command
-           starts with a 'c' *)
-        prefix_of arg ("cache", "")
-        && Array.length Sys.argv > 2
-      then begin
-        let sub = Sys.argv.(2) in
-        if
-          String.length sub > 0
-          && sub.[0] <> '-'
-          && not (List.exists (prefix_of sub) cache_subcommand_docs)
-        then unknown_command ~usage:"dpcc cache COMMAND ..." ~docs:cache_subcommand_docs sub
+      else begin
+        (* [cache] and [obs] are themselves command groups: vet their
+           subcommand too so [dpcc cache bogus] / [dpcc obs bogus] are
+           usage errors (exit 2), not cmdliner's generic CLI failure.
+           Any prefix of either name is unambiguous — no other command
+           shares its first letter. *)
+        let groups = [ ("cache", cache_subcommand_docs); ("obs", obs_subcommand_docs) ] in
+        match
+          List.find_opt (fun (name, _) -> prefix_of arg (name, "")) groups
+        with
+        | Some (name, docs) when Array.length Sys.argv > 2 ->
+            let sub = Sys.argv.(2) in
+            if
+              String.length sub > 0
+              && sub.[0] <> '-'
+              && not (List.exists (prefix_of sub) docs)
+            then
+              unknown_command ~usage:(Printf.sprintf "dpcc %s COMMAND ..." name) ~docs sub
+        | _ -> ()
       end
   end
 
@@ -876,5 +1028,5 @@ let () =
        (Cmd.group info
           [
             show_cmd; restructure_cmd; trace_cmd; simulate_cmd; emit_cmd; report_cmd;
-            fault_sweep_cmd; serve_cmd; cache_cmd;
+            fault_sweep_cmd; serve_cmd; cache_cmd; obs_cmd;
           ]))

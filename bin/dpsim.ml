@@ -68,7 +68,7 @@ let obs_finish mode sink out disks (r : Engine.result) =
   | _ -> ()
 
 let run trace_file out disks policy_name threshold proactive window downshift faults_spec
-    scrub_ms spare deadline per_disk obs_mode =
+    scrub_ms spare deadline per_disk obs_mode live =
   let reqs, hints, trace_faults =
     match Request.load_result trace_file with
     | Ok parsed -> parsed
@@ -100,9 +100,10 @@ let run trace_file out disks policy_name threshold proactive window downshift fa
   try
     match Oracle.space_of_name policy_name with
     | Some space ->
-        if obs_mode <> None then
+        if obs_mode <> None || live then
           usage_error
-            "--obs needs a simulated run; the oracle policies compute an analytic bound";
+            "%s needs a simulated run; the oracle policies compute an analytic bound"
+            (if live then "--live" else "--obs");
         let bound = Oracle.lower_bound ~space ~disks reqs in
         Format.printf "trace: %s (%d requests)@." trace_file (List.length reqs);
         Format.printf "model: %s@." Disk_model.ultrastar_36z15.Disk_model.name;
@@ -119,11 +120,28 @@ let run trace_file out disks policy_name threshold proactive window downshift fa
           | "online" -> Policy.default_adaptive
           | p -> usage_error "unknown policy %s" p
         in
-        let sink, close_stream = obs_sink obs_mode reqs out in
+        let base_sink, close_stream = obs_sink obs_mode reqs out in
+        (* The live console composes with any --obs sink at the callback
+           level: one stream wrapper forwards each event to both. *)
+        let sink, live_finish =
+          if not live then (base_sink, fun () -> ())
+          else begin
+            let lv = Dp_obs.Live.create ~disks () in
+            let mode =
+              if Unix.isatty Unix.stdout then Dp_obs.Tty.Ansi else Dp_obs.Tty.Plain
+            in
+            let feed, finish = Dp_obs.Tty.driver ~mode ~out:print_string lv in
+            ( Dp_obs.Sink.stream (fun e ->
+                  Dp_obs.Sink.emit base_sink e;
+                  feed e),
+              finish )
+          end
+        in
         let r =
           Engine.simulate ~model ~obs:sink ~hints ?faults ?repair ?deadline_ms:deadline
             ~disks policy reqs
         in
+        live_finish ();
         close_stream ();
         Format.printf "trace: %s (%d requests, %d hints)@." trace_file (List.length reqs)
           (List.length hints);
@@ -140,7 +158,7 @@ let run trace_file out disks policy_name threshold proactive window downshift fa
         Format.printf "%a@." (fun ppf r -> Engine.pp_reliability ppf r) r;
         if per_disk then
           Array.iter (fun d -> Format.printf "%a@." Engine.pp_disk_stats d) r.Engine.per_disk;
-        obs_finish obs_mode sink out disks r
+        obs_finish obs_mode base_sink out disks r
   with
   | Sys_error msg | Failure msg ->
       Format.eprintf "dpsim: %s@." msg;
@@ -239,11 +257,21 @@ let () =
              histograms, JSONL to OUT when given), trace (Chrome trace_event JSON to OUT, \
              one track per disk), or events (stream every event as JSONL to OUT)")
   in
+  let live =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:
+            "Render a live per-disk console while simulating (power state, residency, \
+             arrival rate, response percentiles, energy, fault counters, power-state \
+             track).  ANSI repaint on a tty, plain periodic text otherwise.  Composes \
+             with --obs; refuses the oracle policies.")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "dpsim" ~version:"1.0.0" ~doc:"Trace-driven multi-disk power simulator")
       Term.(
         const run $ trace_file $ out_file $ disks $ policy $ threshold $ proactive $ window
-        $ downshift $ faults $ scrub $ spare $ deadline $ per_disk $ obs)
+        $ downshift $ faults $ scrub $ spare $ deadline $ per_disk $ obs $ live)
   in
   exit (Cmd.eval ~term_err:2 cmd)

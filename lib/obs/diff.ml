@@ -1,0 +1,365 @@
+(* Distribution-shift statistics between two gap-histogram JSONL
+   artifacts.  The artifacts are produced by Report.jsonl, so a tiny
+   self-contained JSON reader keeps lib/obs dependency-free. *)
+
+type hist = {
+  edges : float array;
+  counts : int array;
+  count : int;
+  sum : float;
+  vmax : float;
+}
+
+type side = {
+  disk : int;
+  requests : int;
+  busy_ms : float;
+  idle_ms : float;
+  standby_ms : float;
+  transition_ms : float;
+  energy_j : float;
+  hints : int;
+  faults : int;
+  idle_gaps : hist;
+  response : hist;
+  standby_residency : hist;
+}
+
+type shift = { ks : float; emd : float }
+
+type line_diff = {
+  index : int;
+  disk : int;
+  gaps : shift;
+  resp : shift;
+  residency : shift;
+  d_energy_j : float;
+  d_requests : int;
+  d_mean_response_ms : float;
+  d_standby_share : float;
+}
+
+type report = { lines : line_diff list; max_ks : float; max_emd : float }
+
+(* --- a minimal JSON reader, sufficient for Report.jsonl lines --- *)
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of float
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then s.[!pos] else '\x00' in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (if !pos >= n then fail "unterminated escape";
+           match s.[!pos] with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | '/' -> Buffer.add_char b '/'
+           | 'b' -> Buffer.add_char b '\b'
+           | 'f' -> Buffer.add_char b '\012'
+           | 'n' -> Buffer.add_char b '\n'
+           | 'r' -> Buffer.add_char b '\r'
+           | 't' -> Buffer.add_char b '\t'
+           | 'u' ->
+               if !pos + 4 >= n then fail "bad \\u escape";
+               let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+               pos := !pos + 4;
+               if code < 128 then Buffer.add_char b (Char.chr code)
+               else Buffer.add_char b '?'
+           | c -> fail (Printf.sprintf "bad escape \\%c" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          J_obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                J_obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          J_arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elems (v :: acc)
+            | ']' ->
+                advance ();
+                J_arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elems []
+        end
+    | '"' -> J_str (parse_string ())
+    | 't' -> literal "true" (J_bool true)
+    | 'f' -> literal "false" (J_bool false)
+    | 'n' -> literal "null" J_null
+    | _ -> parse_number () |> fun f -> J_num f
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* --- field extraction --- *)
+
+let field obj name =
+  match obj with
+  | J_obj kvs -> (
+      match List.assoc_opt name kvs with
+      | Some v -> v
+      | None -> raise (Bad (Printf.sprintf "missing field %S" name)))
+  | _ -> raise (Bad "expected an object")
+
+let jnum = function
+  | J_num f -> f
+  | J_null -> Float.nan  (* Report.jsonl writes non-finite floats as null *)
+  | _ -> raise (Bad "expected a number")
+
+let jint j = int_of_float (jnum j)
+
+let jfloats = function
+  | J_arr vs -> Array.of_list (List.map jnum vs)
+  | _ -> raise (Bad "expected an array")
+
+let jints = function
+  | J_arr vs -> Array.of_list (List.map jint vs)
+  | _ -> raise (Bad "expected an array")
+
+let hist_of_json j =
+  {
+    edges = jfloats (field j "edges");
+    counts = jints (field j "counts");
+    count = jint (field j "count");
+    sum = jnum (field j "sum");
+    vmax = jnum (field j "max");
+  }
+
+let side_of_json j =
+  {
+    disk = jint (field j "disk");
+    requests = jint (field j "requests");
+    busy_ms = jnum (field j "busy_ms");
+    idle_ms = jnum (field j "idle_ms");
+    standby_ms = jnum (field j "standby_ms");
+    transition_ms = jnum (field j "transition_ms");
+    energy_j = jnum (field j "energy_j");
+    hints = jint (field j "hints");
+    faults = jint (field j "faults");
+    idle_gaps = hist_of_json (field j "idle_gaps");
+    response = hist_of_json (field j "response");
+    standby_residency = hist_of_json (field j "standby_residency");
+  }
+
+let parse contents =
+  let lines = String.split_on_char '\n' contents in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else begin
+          match side_of_json (parse_json line) with
+          | side -> go (lineno + 1) (side :: acc) rest
+          | exception Bad msg ->
+              Error (Printf.sprintf "line %d: %s" lineno msg)
+        end
+  in
+  go 1 [] lines
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> (
+      match parse contents with
+      | Ok sides -> Ok sides
+      | Error e -> Error (Printf.sprintf "%s: %s" path e))
+  | exception Sys_error msg -> Error msg
+
+(* --- the statistics --- *)
+
+let shift_of a b =
+  if a.edges <> b.edges then raise (Bad "histograms bucketed on different edges");
+  let nb = Array.length a.counts in
+  if a.count = 0 && b.count = 0 then { ks = 0.0; emd = 0.0 }
+  else if a.count = 0 || b.count = 0 then { ks = 1.0; emd = float_of_int nb }
+  else begin
+    let na = float_of_int a.count and nbt = float_of_int b.count in
+    let ca = ref 0.0 and cb = ref 0.0 in
+    let ks = ref 0.0 and emd = ref 0.0 in
+    for k = 0 to nb - 1 do
+      ca := !ca +. (float_of_int a.counts.(k) /. na);
+      cb := !cb +. (float_of_int b.counts.(k) /. nbt);
+      let d = Float.abs (!ca -. !cb) in
+      if d > !ks then ks := d;
+      (* Wasserstein-1 with unit distance between adjacent buckets is
+         the sum of absolute CDF differences. *)
+      emd := !emd +. d
+    done;
+    { ks = !ks; emd = !emd }
+  end
+
+let mean_of h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+
+let standby_share s =
+  let total = s.busy_ms +. s.idle_ms +. s.standby_ms +. s.transition_ms in
+  if total <= 0.0 then 0.0 else s.standby_ms /. total
+
+let diff ~a ~b =
+  let la = List.length a and lb = List.length b in
+  if la <> lb then
+    Error (Printf.sprintf "artifacts have different line counts (%d vs %d)" la lb)
+  else begin
+    match
+      List.mapi
+        (fun index ((sa : side), (sb : side)) ->
+          if sa.disk <> sb.disk then
+            raise
+              (Bad
+                 (Printf.sprintf "line %d pairs disk %d with disk %d" index sa.disk
+                    sb.disk));
+          {
+            index;
+            disk = sa.disk;
+            gaps = shift_of sa.idle_gaps sb.idle_gaps;
+            resp = shift_of sa.response sb.response;
+            residency = shift_of sa.standby_residency sb.standby_residency;
+            d_energy_j = sb.energy_j -. sa.energy_j;
+            d_requests = sb.requests - sa.requests;
+            d_mean_response_ms = mean_of sb.response -. mean_of sa.response;
+            d_standby_share = standby_share sb -. standby_share sa;
+          })
+        (List.combine a b)
+    with
+    | lines ->
+        let max_over f =
+          List.fold_left
+            (fun m l -> Float.max m (Float.max (f l.gaps) (Float.max (f l.resp) (f l.residency))))
+            0.0 lines
+        in
+        Ok { lines; max_ks = max_over (fun s -> s.ks); max_emd = max_over (fun s -> s.emd) }
+    | exception Bad msg -> Error msg
+  end
+
+let exceeds ~threshold r = r.max_ks > threshold
+
+let pp_line ppf l =
+  Format.fprintf ppf
+    "line %d disk %d: gaps KS %.4f EMD %.3f | resp KS %.4f EMD %.3f | standby KS %.4f \
+     EMD %.3f | energy %+.1f J  resp-mean %+.3f ms  standby-share %+.4f  requests %+d"
+    l.index l.disk l.gaps.ks l.gaps.emd l.resp.ks l.resp.emd l.residency.ks
+    l.residency.emd l.d_energy_j l.d_mean_response_ms l.d_standby_share l.d_requests
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>%a@,max KS %.6f, max EMD %.6f over %d line(s)@]"
+    (Format.pp_print_list pp_line) r.lines r.max_ks r.max_emd
+    (List.length r.lines)
+
+let jfloat f = if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+
+let to_json r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"lines\":[";
+  List.iteri
+    (fun i l ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"index\":%d,\"disk\":%d,\"idle_gaps\":{\"ks\":%s,\"emd\":%s},\"response\":{\"ks\":%s,\"emd\":%s},\"standby_residency\":{\"ks\":%s,\"emd\":%s},\"d_energy_j\":%s,\"d_requests\":%d,\"d_mean_response_ms\":%s,\"d_standby_share\":%s}"
+           l.index l.disk (jfloat l.gaps.ks) (jfloat l.gaps.emd) (jfloat l.resp.ks)
+           (jfloat l.resp.emd) (jfloat l.residency.ks) (jfloat l.residency.emd)
+           (jfloat l.d_energy_j) l.d_requests (jfloat l.d_mean_response_ms)
+           (jfloat l.d_standby_share)))
+    r.lines;
+  Buffer.add_string b
+    (Printf.sprintf "],\"max_ks\":%s,\"max_emd\":%s}\n" (jfloat r.max_ks)
+       (jfloat r.max_emd));
+  Buffer.contents b

@@ -40,7 +40,7 @@ let fresh disk =
     deadline_misses = 0;
   }
 
-let of_events ~disks events =
+let builder ~disks =
   if disks < 1 then invalid_arg "Report.of_events: disks must be >= 1";
   let reports = Array.init disks fresh in
   (* Per-disk open runs: start of the current non-active stretch and of
@@ -58,9 +58,8 @@ let of_events ~disks events =
       Metrics.observe reports.(d).standby_residency_ms (upto -. standby_start.(d));
     standby_start.(d) <- Float.nan
   in
-  List.iter
-    (fun e ->
-      match e with
+  let feed e =
+    match e with
       | Event.Power p ->
           let d = p.disk in
           if d < 0 || d >= disks then invalid_arg "Report.of_events: event disk out of range";
@@ -96,16 +95,24 @@ let of_events ~disks events =
       | Event.Deadline d ->
           reports.(d.disk).deadline_misses <- reports.(d.disk).deadline_misses + 1
       (* Stage-cache events are process-level, not per-disk. *)
-      | Event.Cache _ -> ())
-    events;
-  (* The trailing window never ends in a service: close open runs at the
-     disk's last accounted instant. *)
-  Array.iteri
-    (fun d _ ->
-      close_standby d last_stop.(d);
-      close_gap d last_stop.(d))
-    reports;
-  reports
+      | Event.Cache _ -> ()
+  in
+  let finish () =
+    (* The trailing window never ends in a service: close open runs at
+       the disk's last accounted instant. *)
+    Array.iteri
+      (fun d _ ->
+        close_standby d last_stop.(d);
+        close_gap d last_stop.(d))
+      reports;
+    reports
+  in
+  (feed, finish)
+
+let of_events ~disks events =
+  let feed, finish = builder ~disks in
+  List.iter feed events;
+  finish ()
 
 let pp_one ppf r =
   Format.fprintf ppf

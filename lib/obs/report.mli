@@ -31,8 +31,28 @@ type disk_report = {
   mutable deadline_misses : int;
 }
 
+val gap_edges : float array
+(** The log-bucket edges of the idle-gap and standby-residency
+    histograms (1 ms .. 10⁷ ms, one edge per decade) — shared with
+    {!Live} so rolling and post-hoc distributions are comparable
+    bucket for bucket. *)
+
+val response_edges : float array
+(** The response-time edges (0.1 ms .. 10⁵ ms, two per decade). *)
+
 val of_events : disks:int -> Event.t list -> disk_report array
 (** Events must be per-disk chronological (as emitted by the engine). *)
+
+val builder : disks:int -> (Event.t -> unit) * (unit -> disk_report array)
+(** The incremental form of {!of_events}: a feed function to call on
+    every event (in emission order) and a finisher that closes the
+    trailing idle/standby runs and returns the reports.  Feeding after
+    the finisher has run is undefined; call the finisher once.
+    [of_events ~disks es] is [let feed, fin = builder ~disks in
+    List.iter feed es; fin ()].  This is what lets a {!Sink.Stream}
+    consumer (the served-array rows, the live console) produce the
+    same gap-histogram artifact a ring sink would, without retaining
+    the events. *)
 
 val pp : Format.formatter -> disk_report array -> unit
 (** The [dpsim --obs gaps] report: per-disk totals and the three

@@ -5,9 +5,11 @@ type ring = {
   mutable dropped : int;
 }
 
-type t = Null | Ring of ring | Stream of (Event.t -> unit)
+type kind = Null | Ring | Stream
 
-let null = Null
+type t = K_null | K_ring of ring | K_stream of (Event.t -> unit)
+
+let null = K_null
 
 (* A throwaway event to initialize the circular buffer. *)
 let dummy =
@@ -16,27 +18,29 @@ let dummy =
 
 let ring ?(capacity = 65536) () =
   if capacity < 1 then invalid_arg "Sink.ring: capacity must be >= 1";
-  Ring { buf = Array.make capacity dummy; len = 0; next = 0; dropped = 0 }
+  K_ring { buf = Array.make capacity dummy; len = 0; next = 0; dropped = 0 }
 
-let stream f = Stream f
-let enabled = function Null -> false | Ring _ | Stream _ -> true
+let stream f = K_stream f
+
+let kind = function K_null -> Null | K_ring _ -> Ring | K_stream _ -> Stream
+let enabled = function K_null -> false | K_ring _ | K_stream _ -> true
 
 let emit t e =
   match t with
-  | Null -> ()
-  | Stream f -> f e
-  | Ring r ->
+  | K_null -> ()
+  | K_stream f -> f e
+  | K_ring r ->
       let cap = Array.length r.buf in
       r.buf.(r.next) <- e;
       r.next <- (r.next + 1) mod cap;
       if r.len < cap then r.len <- r.len + 1 else r.dropped <- r.dropped + 1
 
 let events = function
-  | Null | Stream _ -> []
-  | Ring r ->
+  | K_null | K_stream _ -> []
+  | K_ring r ->
       let cap = Array.length r.buf in
       let first = if r.len < cap then 0 else r.next in
       List.init r.len (fun i -> r.buf.((first + i) mod cap))
 
-let length = function Null | Stream _ -> 0 | Ring r -> r.len
-let dropped = function Null | Stream _ -> 0 | Ring r -> r.dropped
+let length = function K_null | K_stream _ -> 0 | K_ring r -> r.len
+let dropped = function K_null | K_stream _ -> 0 | K_ring r -> r.dropped

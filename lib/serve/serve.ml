@@ -35,10 +35,12 @@ type config = {
   repair : Repair.config option;
   deadline_ms : float option;
   spare_blocks : int option;
+  obs : bool;
+  live : bool;
 }
 
 let config ?(disks = 8) ?(jitter_ms = 30_000.0) ?(jobs = 1) ?(selection = All) ?faults
-    ?repair ?deadline_ms ?spare_blocks ~tenants ~seed () =
+    ?repair ?deadline_ms ?spare_blocks ?(obs = false) ?(live = false) ~tenants ~seed () =
   if tenants < 1 then invalid_arg "Serve.config: tenants must be >= 1";
   if disks < 1 then invalid_arg "Serve.config: disks must be >= 1";
   if jobs < 1 then invalid_arg "Serve.config: jobs must be >= 1";
@@ -49,7 +51,20 @@ let config ?(disks = 8) ?(jitter_ms = 30_000.0) ?(jobs = 1) ?(selection = All) ?
   (match spare_blocks with
   | Some n when n < 1 -> invalid_arg "Serve.config: spare_blocks must be >= 1"
   | _ -> ());
-  { tenants; seed; disks; jitter_ms; jobs; selection; faults; repair; deadline_ms; spare_blocks }
+  {
+    tenants;
+    seed;
+    disks;
+    jitter_ms;
+    jobs;
+    selection;
+    faults;
+    repair;
+    deadline_ms;
+    spare_blocks;
+    obs;
+    live;
+  }
 
 (* The reliability extras show up in output only when something is
    actually armed, so a clean (or rate-0, scrub-off, no-deadline) serve
@@ -65,6 +80,8 @@ type row = {
   energy_j : float;
   makespan_ms : float;
   summary : Account.summary option;
+  obs : Dp_obs.Report.disk_report array option;
+  frames : string option;
 }
 
 type report = {
@@ -122,9 +139,37 @@ let run ?cache cfg =
         let hints =
           match hint_space with None -> [] | Some space -> offline_hints space
         in
-        let sink, finish =
+        let acct_sink, finish =
           Account.recorder ?deadline_ms:cfg.deadline_ms ~tenants:cfg.tenants
             ~disks:cfg.disks ()
+        in
+        (* Observability riders compose with the accounting sink at the
+           callback level — one stream wrapper forwards each event to
+           every consumer.  The report builder and the live renderer are
+           both keyed on simulated time and buffered per row, so rows
+           stay independent and the fan-out stays deterministic. *)
+        let report_finish =
+          if not cfg.obs then None
+          else Some (Dp_obs.Report.builder ~disks:cfg.disks)
+        in
+        let frame_buf = Buffer.create (if cfg.live then 4096 else 0) in
+        let live_finish =
+          if not cfg.live then None
+          else begin
+            let lv = Dp_obs.Live.create ~disks:cfg.disks () in
+            Some
+              (Dp_obs.Tty.driver ~mode:Dp_obs.Tty.Plain
+                 ~out:(Buffer.add_string frame_buf) lv)
+          end
+        in
+        let sink =
+          match (report_finish, live_finish) with
+          | None, None -> acct_sink
+          | _ ->
+              Dp_obs.Sink.stream (fun e ->
+                  Dp_obs.Sink.emit acct_sink e;
+                  (match report_finish with Some (feed, _) -> feed e | None -> ());
+                  match live_finish with Some (feed, _) -> feed e | None -> ())
         in
         let model =
           match cfg.spare_blocks with
@@ -141,6 +186,13 @@ let run ?cache cfg =
           energy_j = res.Engine.energy_j;
           makespan_ms = res.Engine.makespan_ms;
           summary = Some (finish ());
+          obs = Option.map (fun (_, fin) -> fin ()) report_finish;
+          frames =
+            Option.map
+              (fun (_, fin) ->
+                fin ();
+                Buffer.contents frame_buf)
+              live_finish;
         }
     | Bound ->
         let b = Oracle.lower_bound ~space:Oracle.Full_space ~disks:cfg.disks merged in
@@ -150,6 +202,8 @@ let run ?cache cfg =
           energy_j = b.Oracle.energy_j;
           makespan_ms = b.Oracle.base.Engine.makespan_ms;
           summary = None;
+          obs = None;
+          frames = None;
         }
   in
   let rows = Domain_pool.map ~jobs:cfg.jobs run_spec (specs cfg.selection) in

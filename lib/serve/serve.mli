@@ -53,6 +53,14 @@ type config = {
           faults arm {!Dp_repair.Repair.default} implicitly *)
   deadline_ms : float option;  (** per-request SLO deadline *)
   spare_blocks : int option;  (** per-disk spare-pool override *)
+  obs : bool;
+      (** build a per-disk {!Dp_obs.Report} for every simulated row
+          (incrementally — nothing is retained beyond the report) *)
+  live : bool;
+      (** render {!Dp_obs.Tty.Plain} live frames per simulated row into
+          {!row.frames}.  Frames are keyed on simulated time, and rows
+          carry their own buffers, so output is byte-identical across
+          [jobs] settings. *)
 }
 
 val config :
@@ -64,6 +72,8 @@ val config :
   ?repair:Dp_repair.Repair.config ->
   ?deadline_ms:float ->
   ?spare_blocks:int ->
+  ?obs:bool ->
+  ?live:bool ->
   tenants:int ->
   seed:int ->
   unit ->
@@ -77,6 +87,11 @@ type row = {
   energy_j : float;
   makespan_ms : float;
   summary : Account.summary option;  (** [None] for the oracle bound *)
+  obs : Dp_obs.Report.disk_report array option;
+      (** per-disk report when {!config.obs}; [None] for the bound *)
+  frames : string option;
+      (** the row's rendered live frames when {!config.live}; [None]
+          for the bound *)
 }
 
 type report = {

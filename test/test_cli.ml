@@ -356,6 +356,124 @@ let test_dpcc_serve_bad_tenants () =
   check Alcotest.int "exit code" 2 code;
   check Alcotest.bool "names --tenants" true (contains ~needle:"--tenants" err)
 
+let test_dpcc_serve_bad_deadline () =
+  let code, _, err =
+    run [ dpcc; "serve"; "--tenants"; "2"; "--deadline"; "0"; "--no-cache" ]
+  in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "one-line diagnostic" true (one_line err);
+  check Alcotest.bool
+    (Printf.sprintf "names --deadline and the constraint (got %S)" err)
+    true
+    (contains ~needle:"--deadline" err && contains ~needle:"positive" err)
+
+let test_dpcc_serve_bad_scrub () =
+  let code, _, err =
+    run [ dpcc; "serve"; "--tenants"; "2"; "--scrub-ms=-5"; "--no-cache" ]
+  in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "one-line diagnostic" true (one_line err);
+  check Alcotest.bool
+    (Printf.sprintf "names --scrub-ms and the constraint (got %S)" err)
+    true
+    (contains ~needle:"--scrub-ms" err && contains ~needle:"non-negative" err)
+
+(* --- the live console and the artifact differ --- *)
+
+let live_trace =
+  "1.0 2.0 0 0 0 65536 R 0 0\n70000.0 60000.0 0 0 1073741824 65536 R 0 0\n"
+
+(* A same-shape trace with a very different gap structure, for shift
+   detection: closely spaced small reads instead of one 70 s hole. *)
+let busy_trace =
+  "1.0 2.0 0 0 0 65536 R 0 0\n500.0 2.0 0 0 4194304 65536 R 0 0\n\
+   1000.0 2.0 0 0 8388608 65536 R 0 0\n1500.0 2.0 0 0 12582912 65536 R 0 0\n"
+
+let test_dpsim_live_piped () =
+  with_trace_file live_trace (fun path ->
+      let code, out, err = run [ dpsim; path; "--disks"; "1"; "--live" ] in
+      check Alcotest.int (Printf.sprintf "exit code (stderr %S)" err) 0 code;
+      check Alcotest.bool "frames present" true (contains ~needle:"dpower live" out);
+      check Alcotest.bool "plain separator blocks" true (contains ~needle:"----\n" out);
+      check Alcotest.bool "no ANSI escapes when piped" false (contains ~needle:"\x1b[" out);
+      check Alcotest.bool "summary still printed" true (contains ~needle:"energy" out))
+
+let test_dpsim_live_oracle_rejected () =
+  with_trace_file live_trace (fun path ->
+      let code, _, err = run [ dpsim; path; "--policy"; "oracle"; "--live" ] in
+      check Alcotest.int "exit code" 2 code;
+      check Alcotest.bool "names --live" true (contains ~needle:"--live" err))
+
+let test_dpcc_serve_live_frames () =
+  let code, out, err =
+    run
+      [
+        dpcc; "serve"; "--tenants"; "2"; "--seed"; "7"; "--policy"; "online";
+        "--no-cache"; "--live";
+      ]
+  in
+  check Alcotest.int (Printf.sprintf "exit code (stderr %S)" err) 0 code;
+  check Alcotest.bool "labels each row's console" true
+    (contains ~needle:"== live: online ==" out);
+  check Alcotest.bool "frames present" true (contains ~needle:"dpower live" out);
+  check Alcotest.bool "table still printed" true (contains ~needle:"serve: 2 tenants" out)
+
+(* Run dpsim --obs gaps on [trace] and hand [f] the JSONL artifact. *)
+let with_obs_artifact trace f =
+  with_trace_file trace (fun path ->
+      let out_path = Filename.temp_file "dpower" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove out_path)
+        (fun () ->
+          let code, _, err =
+            run [ dpsim; path; out_path; "--policy"; "tpm"; "--disks"; "1"; "--obs"; "gaps" ]
+          in
+          check Alcotest.int (Printf.sprintf "artifact run exits 0 (stderr %S)" err) 0 code;
+          f out_path))
+
+let test_dpcc_obs_diff_self_zero () =
+  with_obs_artifact live_trace (fun a ->
+      let code, out, err = run [ dpcc; "obs"; "diff"; a; a; "--json" ] in
+      check Alcotest.int (Printf.sprintf "self-diff exits 0 (stderr %S)" err) 0 code;
+      check Alcotest.bool "max KS exactly zero" true (contains ~needle:"\"max_ks\":0" out);
+      check Alcotest.bool "max EMD exactly zero" true (contains ~needle:"\"max_emd\":0" out);
+      check Alcotest.bool "per-line stats present" true (contains ~needle:"\"idle_gaps\"" out))
+
+let test_dpcc_obs_diff_threshold () =
+  with_obs_artifact live_trace (fun a ->
+      with_obs_artifact busy_trace (fun b ->
+          let code, out, _ = run [ dpcc; "obs"; "diff"; a; b ] in
+          check Alcotest.int "diff without a gate exits 0" 0 code;
+          check Alcotest.bool "summary line present" true (contains ~needle:"max KS" out);
+          let code, out, err =
+            run [ dpcc; "obs"; "diff"; a; b; "--threshold"; "0.000001" ]
+          in
+          check Alcotest.int "exceeded gate exits 1" 1 code;
+          check Alcotest.bool "diff still printed" true (contains ~needle:"max KS" out);
+          check Alcotest.bool
+            (Printf.sprintf "gate message names --threshold (got %S)" err)
+            true
+            (contains ~needle:"--threshold" err)))
+
+let test_dpcc_obs_unknown_sub () =
+  let code, _, err = run [ dpcc; "obs"; "bogus" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool "names the offender" true (contains ~needle:"bogus" err);
+  check Alcotest.bool "lists the obs commands" true (contains ~needle:"diff" err)
+
+let test_dpcc_obs_diff_bad_input () =
+  let code, _, err =
+    run [ dpcc; "obs"; "diff"; "/nonexistent-a.jsonl"; "/nonexistent-b.jsonl" ]
+  in
+  check Alcotest.int "missing file exits 2" 2 code;
+  check Alcotest.bool "names the file" true (contains ~needle:"nonexistent-a" err);
+  with_obs_artifact live_trace (fun a ->
+      let code, _, err =
+        run [ dpcc; "obs"; "diff"; a; a; "--threshold=-1" ]
+      in
+      check Alcotest.int "negative threshold exits 2" 2 code;
+      check Alcotest.bool "names --threshold" true (contains ~needle:"--threshold" err))
+
 (* --- the persistent stage cache, end to end --- *)
 
 let cache_dir_counter = ref 0
@@ -537,6 +655,15 @@ let suites =
         Alcotest.test_case "dpcc serve human table" `Quick test_dpcc_serve_human_table;
         Alcotest.test_case "dpcc serve unknown --policy" `Quick test_dpcc_serve_bad_policy;
         Alcotest.test_case "dpcc serve --tenants 0" `Quick test_dpcc_serve_bad_tenants;
+        Alcotest.test_case "dpcc serve --deadline 0" `Quick test_dpcc_serve_bad_deadline;
+        Alcotest.test_case "dpcc serve negative --scrub-ms" `Quick test_dpcc_serve_bad_scrub;
+        Alcotest.test_case "dpsim --live piped" `Quick test_dpsim_live_piped;
+        Alcotest.test_case "dpsim --live with oracle" `Quick test_dpsim_live_oracle_rejected;
+        Alcotest.test_case "dpcc serve --live" `Slow test_dpcc_serve_live_frames;
+        Alcotest.test_case "dpcc obs diff self zero" `Quick test_dpcc_obs_diff_self_zero;
+        Alcotest.test_case "dpcc obs diff --threshold" `Quick test_dpcc_obs_diff_threshold;
+        Alcotest.test_case "dpcc obs unknown subcommand" `Quick test_dpcc_obs_unknown_sub;
+        Alcotest.test_case "dpcc obs diff bad input" `Quick test_dpcc_obs_diff_bad_input;
         Alcotest.test_case "dpcc serve bad --faults" `Quick test_dpcc_serve_bad_faults;
         Alcotest.test_case "dpcc serve bad --decay" `Quick test_dpcc_serve_bad_decay;
         Alcotest.test_case "dpcc serve --decay availability" `Slow

@@ -5,8 +5,12 @@ module Sink = Dp_obs.Sink
 module Event = Dp_obs.Event
 module Metrics = Dp_obs.Metrics
 module Report = Dp_obs.Report
+module Live = Dp_obs.Live
+module Tty = Dp_obs.Tty
+module Diff = Dp_obs.Diff
 module Chrome = Dp_obs.Chrome
 module Prof = Dp_obs.Prof
+module Fault_model = Dp_faults.Fault_model
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
 module Request = Dp_trace.Request
@@ -28,6 +32,19 @@ let power ?(disk = 0) ?(energy = 0.0) state start stop =
 let service ?(disk = 0) ?(lba = 0) ~arrival ~start ~stop () =
   Event.Service
     { disk; proc = 0; arrival_ms = arrival; start_ms = start; stop_ms = stop; lba; bytes = 65536 }
+
+let req ?(proc = 0) ?(disk = 0) ?(lba = 0) ~think () =
+  {
+    Request.arrival_ms = 0.0;
+    think_ms = think;
+    seg = 0;
+    address = lba;
+    lba;
+    size = 64 * 1024;
+    mode = Ir.Read;
+    proc;
+    disk;
+  }
 
 (* --- sinks --- *)
 
@@ -71,6 +88,17 @@ let test_stream_sink () =
   Sink.emit s (decision 0 2.0 "b");
   check Alcotest.(list (float 0.0)) "callback saw both" [ 2.0; 1.0 ] !seen;
   check Alcotest.int "retains nothing" 0 (List.length (Sink.events s))
+
+let test_sink_kind () =
+  (* events/length report retention, not traffic: kind is how a caller
+     tells "nothing recorded" from "nothing emitted". *)
+  check Alcotest.bool "null" true (Sink.kind Sink.null = Sink.Null);
+  check Alcotest.bool "ring" true (Sink.kind (Sink.ring ~capacity:4 ()) = Sink.Ring);
+  let s = Sink.stream ignore in
+  check Alcotest.bool "stream" true (Sink.kind s = Sink.Stream);
+  Sink.emit s (decision 0 1.0 "x");
+  check Alcotest.int "stream retains nothing after traffic" 0 (Sink.length s);
+  check Alcotest.bool "still enabled" true (Sink.enabled s)
 
 (* --- metrics --- *)
 
@@ -186,20 +214,341 @@ let test_report_jsonl () =
   check Alcotest.bool "has histograms" true
     (contains ~needle:"\"idle_gaps\":{\"edges\":" (List.hd lines))
 
-(* --- engine integration and the Chrome exporter --- *)
+let test_report_percentile_edges () =
+  (* A disk that served nothing has an all-zero quantile function... *)
+  let r0 = (Report.of_events ~disks:1 []).(0) in
+  List.iter
+    (fun q ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "empty q=%g" q)
+        0.0
+        (Metrics.quantile r0.Report.response_ms q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  (* ...and a single response answers every quantile with its bucket. *)
+  let r1 =
+    (Report.of_events ~disks:1 [ service ~arrival:0.0 ~start:0.0 ~stop:7.0 () ]).(0)
+  in
+  let bucket = Metrics.quantile r1.Report.response_ms 0.5 in
+  check Alcotest.bool "single-event bucket covers the response" true (bucket >= 7.0);
+  List.iter
+    (fun q ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "one-event q=%g" q)
+        bucket
+        (Metrics.quantile r1.Report.response_ms q))
+    [ 0.01; 0.5; 0.99; 1.0 ]
 
-let req ?(proc = 0) ?(disk = 0) ?(lba = 0) ~think () =
-  {
-    Request.arrival_ms = 0.0;
-    think_ms = think;
-    seg = 0;
-    address = lba;
-    lba;
-    size = 64 * 1024;
-    mode = Ir.Read;
-    proc;
-    disk;
-  }
+let test_report_builder_incremental () =
+  (* builder is of_events, one event at a time. *)
+  let events =
+    [
+      power Event.Active ~energy:0.1 0.0 10.0;
+      service ~arrival:0.0 ~start:0.0 ~stop:10.0 ();
+      power (Event.Idle 15000) ~energy:5.0 10.0 1010.0;
+      power Event.Standby 1010.0 2010.0;
+      Event.Hint_exec { disk = 0; at_ms = 1000.0; action = "spin-down" };
+    ]
+  in
+  let feed, finish = Report.builder ~disks:1 in
+  List.iter feed events;
+  let inc = (finish ()).(0) in
+  let batch = (Report.of_events ~disks:1 events).(0) in
+  check Alcotest.int "requests agree" batch.Report.requests inc.Report.requests;
+  check (Alcotest.float 0.0) "energy agrees" batch.Report.energy_j inc.Report.energy_j;
+  check (Alcotest.float 0.0) "standby agrees" batch.Report.standby_ms inc.Report.standby_ms;
+  check Alcotest.int "gaps agree" batch.Report.idle_gap_ms.Metrics.n
+    inc.Report.idle_gap_ms.Metrics.n;
+  check (Alcotest.float 0.0) "gap mass agrees" batch.Report.idle_gap_ms.Metrics.sum
+    inc.Report.idle_gap_ms.Metrics.sum;
+  check Alcotest.string "jsonl agrees" (Report.jsonl [| batch |]) (Report.jsonl [| inc |])
+
+(* --- live --- *)
+
+(* The hand-built disk-0 story of test_report_of_events, reused. *)
+let live_story =
+  [
+    power Event.Active ~energy:0.135 0.0 10.0;
+    service ~arrival:0.0 ~start:0.0 ~stop:10.0 ();
+    power (Event.Idle 15000) ~energy:10.2 10.0 1010.0;
+    power Event.Transition 1010.0 1020.0;
+    power Event.Standby 1020.0 1520.0;
+    power Event.Transition 1520.0 1540.0;
+    power Event.Active ~energy:0.135 1540.0 1550.0;
+    service ~arrival:1535.0 ~start:1540.0 ~stop:1550.0 ();
+    Event.Hint_exec { disk = 0; at_ms = 1520.0; action = "pre-spin-up" };
+    Event.Fault { disk = 0; at_ms = 1540.0; kind = "latency-spike"; cost_ms = 1.0 };
+    Event.Repair { disk = 0; at_ms = 1541.0; op = "remap"; blocks = 1; cost_ms = 2.0 };
+    decision 0 1010.0 "tpm:threshold-spin-down";
+  ]
+
+let test_live_fold () =
+  let t = Live.create ~epoch_ms:100.0 ~disks:1 () in
+  List.iter (Live.feed t) live_story;
+  let d = (Live.disks t).(0) in
+  check Alcotest.bool "ends active" true (d.Live.state = Event.Active);
+  check (Alcotest.float 1e-9) "busy" 20.0 d.Live.busy_ms;
+  check (Alcotest.float 1e-9) "idle" 1000.0 d.Live.idle_ms;
+  check (Alcotest.float 1e-9) "standby" 500.0 d.Live.standby_ms;
+  check (Alcotest.float 1e-9) "transition" 30.0 d.Live.transition_ms;
+  check (Alcotest.float 1e-9) "energy" (10.2 +. 0.27) d.Live.energy_j;
+  check Alcotest.int "requests" 2 d.Live.requests;
+  check Alcotest.int "hints" 1 d.Live.hints;
+  check Alcotest.int "faults" 1 d.Live.faults;
+  check Alcotest.int "repairs" 1 d.Live.repairs;
+  check (Alcotest.float 1e-9) "now" 1550.0 (Live.now_ms t);
+  check Alcotest.int "events folded" (List.length live_story) (Live.events_seen t);
+  (* Residency clock: the active span began at 1540. *)
+  check (Alcotest.float 1e-9) "residency" 10.0 (Live.residency_ms t ~disk:0);
+  check Alcotest.int "epochs" 15 (Live.epochs_completed t)
+
+let test_live_track () =
+  let t = Live.create ~epoch_ms:100.0 ~disks:1 () in
+  List.iter (Live.feed t) live_story;
+  let track = Bytes.to_string (Live.track_chars t ~disk:0) in
+  check Alcotest.int "one char per completed epoch" 15 (String.length track);
+  (* Epoch 0 is 10 ms active + 90 ms idle; epochs 1..9 pure idle;
+     epoch 10 is 10 idle + 10 transition + 80 standby; 11..14 standby. *)
+  check Alcotest.string "dominant states" "iiiiiiiiii....." track;
+  (* The ring keeps only the newest [track] epochs. *)
+  let small = Live.create ~epoch_ms:100.0 ~track:4 ~disks:1 () in
+  List.iter (Live.feed small) live_story;
+  check Alcotest.string "ring keeps the tail" "...."
+    (Bytes.to_string (Live.track_chars small ~disk:0))
+
+let test_live_window () =
+  let t = Live.create ~window:4 ~disks:1 () in
+  (* Responses 1..6 ms; the window holds the last four: 3,4,5,6. *)
+  for i = 1 to 6 do
+    let stop = (float_of_int i *. 1000.0) +. float_of_int i in
+    Live.feed t (service ~arrival:(float_of_int i *. 1000.0) ~start:(float_of_int i *. 1000.0) ~stop ())
+  done;
+  check (Alcotest.float 1e-9) "p50 over window" 4.0 (Live.recent_percentile t ~disk:0 0.5);
+  check (Alcotest.float 1e-9) "p100 over window" 6.0 (Live.recent_percentile t ~disk:0 1.0);
+  check (Alcotest.float 1e-9) "p1 over window" 3.0 (Live.recent_percentile t ~disk:0 0.01);
+  (* EWMA of a constant 1000 ms inter-arrival is 1000 ms -> 1 Hz. *)
+  check (Alcotest.float 1e-9) "arrival rate" 1.0 (Live.arrival_rate_hz t ~disk:0);
+  check (Alcotest.float 0.0) "no responses yet elsewhere" 0.0
+    (Live.recent_percentile (Live.create ~disks:1 ()) ~disk:0 0.5)
+
+let test_live_rejects () =
+  (match Live.create ~disks:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "disks 0 must be rejected");
+  (match Live.create ~epoch_ms:0.0 ~disks:1 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "epoch 0 must be rejected");
+  let t = Live.create ~disks:1 () in
+  match Live.feed t (decision 5 0.0 "x") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range disk must be rejected"
+
+(* --- tty --- *)
+
+let test_tty_frame () =
+  let t = Live.create ~epoch_ms:100.0 ~disks:1 () in
+  List.iter (Live.feed t) live_story;
+  let plain = Tty.frame ~mode:Tty.Plain t in
+  check Alcotest.string "frames are pure" plain (Tty.frame ~mode:Tty.Plain t);
+  check Alcotest.bool "header carries simulated time" true
+    (contains ~needle:"t=1.6s" plain);
+  check Alcotest.bool "row shows the state" true (contains ~needle:"ACTIVE" plain);
+  check Alcotest.bool "row shows the track" true (contains ~needle:"iiiiiiiiii....." plain);
+  check Alcotest.bool "plain has no escapes" false (String.contains plain '\x1b');
+  let ansi = Tty.frame ~mode:Tty.Ansi t in
+  check Alcotest.bool "ansi homes the cursor" true (contains ~needle:"\x1b[H" ansi)
+
+let test_tty_driver () =
+  let t = Live.create ~epoch_ms:100.0 ~disks:1 () in
+  let frames = ref 0 in
+  let buf = Buffer.create 256 in
+  let feed, finish =
+    Tty.driver ~out:(fun s -> incr frames; Buffer.add_string buf s) t
+  in
+  List.iter feed live_story;
+  (* 15 epochs elapse, but epoch crossings cluster inside single spans:
+     each crossing event yields exactly one frame. *)
+  let mid = !frames in
+  check Alcotest.bool "frames emitted on epoch crossings" true (mid > 0 && mid <= 15);
+  finish ();
+  check Alcotest.int "finish emits the final frame" (mid + 1) !frames;
+  check Alcotest.bool "frames accumulate in order" true
+    (contains ~needle:"t=1.6s" (Buffer.contents buf))
+
+(* --- diff --- *)
+
+let two_run_artifacts () =
+  let run_a =
+    [
+      power Event.Active ~energy:0.1 0.0 10.0;
+      service ~arrival:0.0 ~start:0.0 ~stop:10.0 ();
+      power (Event.Idle 15000) ~energy:5.0 10.0 1010.0;
+      power Event.Standby 1010.0 2010.0;
+    ]
+  in
+  let run_b =
+    [
+      power Event.Active ~energy:0.3 0.0 40.0;
+      service ~arrival:0.0 ~start:0.0 ~stop:40.0 ();
+      power (Event.Idle 15000) ~energy:9.0 40.0 90.0;
+      power Event.Active ~energy:0.1 90.0 100.0;
+      service ~arrival:85.0 ~start:90.0 ~stop:100.0 ();
+    ]
+  in
+  ( Report.jsonl (Report.of_events ~disks:1 run_a),
+    Report.jsonl (Report.of_events ~disks:1 run_b) )
+
+let test_diff_parse_roundtrip () =
+  let a, _ = two_run_artifacts () in
+  match Diff.parse a with
+  | Error e -> Alcotest.fail e
+  | Ok [ side ] ->
+      check Alcotest.int "disk" 0 side.Diff.disk;
+      check Alcotest.int "requests" 1 side.Diff.requests;
+      check (Alcotest.float 1e-9) "busy" 10.0 side.Diff.busy_ms;
+      check (Alcotest.float 1e-9) "standby" 1000.0 side.Diff.standby_ms;
+      check (Alcotest.float 1e-9) "energy" 5.1 side.Diff.energy_j;
+      check Alcotest.int "gap count" side.Diff.idle_gaps.Diff.count 1;
+      check Alcotest.bool "edges survive" true
+        (side.Diff.idle_gaps.Diff.edges = Report.gap_edges)
+  | Ok sides -> Alcotest.fail (Printf.sprintf "expected 1 line, got %d" (List.length sides))
+
+let test_diff_self_zero () =
+  let a, _ = two_run_artifacts () in
+  let sides = Result.get_ok (Diff.parse a) in
+  match Diff.diff ~a:sides ~b:sides with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check (Alcotest.float 0.0) "max ks" 0.0 r.Diff.max_ks;
+      check (Alcotest.float 0.0) "max emd" 0.0 r.Diff.max_emd;
+      List.iter
+        (fun (l : Diff.line_diff) ->
+          check (Alcotest.float 0.0) "gaps ks" 0.0 l.Diff.gaps.Diff.ks;
+          check (Alcotest.float 0.0) "resp emd" 0.0 l.Diff.resp.Diff.emd;
+          check (Alcotest.float 0.0) "energy delta" 0.0 l.Diff.d_energy_j;
+          check Alcotest.int "request delta" 0 l.Diff.d_requests;
+          check (Alcotest.float 0.0) "standby share delta" 0.0 l.Diff.d_standby_share)
+        r.Diff.lines;
+      check Alcotest.bool "threshold 0 not exceeded" false (Diff.exceeds ~threshold:0.0 r)
+
+let test_diff_shift () =
+  let a, b = two_run_artifacts () in
+  let sa = Result.get_ok (Diff.parse a) and sb = Result.get_ok (Diff.parse b) in
+  match Diff.diff ~a:sa ~b:sb with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check Alcotest.bool "shift detected" true (r.Diff.max_ks > 0.0);
+      check Alcotest.bool "tiny threshold exceeded" true (Diff.exceeds ~threshold:1e-6 r);
+      check Alcotest.bool "ks <= 1" true (r.Diff.max_ks <= 1.0);
+      let l = List.hd r.Diff.lines in
+      (* B spun standby down to zero and added a request. *)
+      check Alcotest.int "request delta" 1 l.Diff.d_requests;
+      check Alcotest.bool "standby share fell" true (l.Diff.d_standby_share < 0.0);
+      (* B never reached standby: empty-vs-nonempty residency is maximal. *)
+      check (Alcotest.float 0.0) "residency ks maximal" 1.0 l.Diff.residency.Diff.ks;
+      let human = Format.asprintf "%a" Diff.pp r in
+      check Alcotest.bool "signed deltas" true
+        (contains ~needle:"requests +1" human);
+      check Alcotest.bool "summary line" true (contains ~needle:"max KS" human);
+      let json = Diff.to_json r in
+      check Alcotest.bool "json has max_ks" true (contains ~needle:"\"max_ks\":" json);
+      check Alcotest.bool "json lines array" true (contains ~needle:"\"lines\":[{" json)
+
+let test_diff_shift_of_edges () =
+  let h edges counts =
+    {
+      Diff.edges;
+      counts;
+      count = Array.fold_left ( + ) 0 counts;
+      sum = 0.0;
+      vmax = 0.0;
+    }
+  in
+  let e = [| 1.0; 10.0; 100.0 |] in
+  let empty = h e [| 0; 0; 0; 0 |] in
+  let s = Diff.shift_of empty empty in
+  check (Alcotest.float 0.0) "empty-empty ks" 0.0 s.Diff.ks;
+  check (Alcotest.float 0.0) "empty-empty emd" 0.0 s.Diff.emd;
+  let full = h e [| 4; 0; 0; 0 |] in
+  let s = Diff.shift_of empty full in
+  check (Alcotest.float 0.0) "empty-nonempty ks" 1.0 s.Diff.ks;
+  check (Alcotest.float 0.0) "empty-nonempty emd" 4.0 s.Diff.emd;
+  (* Mass moved one bucket over: KS 1, EMD exactly one bucket. *)
+  let shifted = h e [| 0; 4; 0; 0 |] in
+  let s = Diff.shift_of full shifted in
+  check (Alcotest.float 1e-9) "one-bucket ks" 1.0 s.Diff.ks;
+  check (Alcotest.float 1e-9) "one-bucket emd" 1.0 s.Diff.emd
+
+let test_diff_errors () =
+  check Alcotest.bool "bad json names the line" true
+    (match Diff.parse "{\"disk\":0}\nnot json\n" with
+    | Error e -> contains ~needle:"line 1" e || contains ~needle:"line 2" e
+    | Ok _ -> false);
+  let a, _ = two_run_artifacts () in
+  let sides = Result.get_ok (Diff.parse a) in
+  (match Diff.diff ~a:sides ~b:[] with
+  | Error e -> check Alcotest.bool "count mismatch named" true (contains ~needle:"line counts" e)
+  | Ok _ -> Alcotest.fail "line-count mismatch must be an error");
+  let other_disk = List.map (fun (s : Diff.side) -> { s with Diff.disk = 3 }) sides in
+  (match Diff.diff ~a:sides ~b:other_disk with
+  | Error e -> check Alcotest.bool "disk mismatch named" true (contains ~needle:"disk" e)
+  | Ok _ -> Alcotest.fail "disk mismatch must be an error");
+  let h edges = { Diff.edges; counts = [| 1; 1 |]; count = 2; sum = 0.0; vmax = 0.0 } in
+  match Diff.shift_of (h [| 1.0 |]) (h [| 2.0 |]) with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "mismatched edges must be rejected"
+
+(* --- live vs report: the rolling percentiles agree post hoc --- *)
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let test_live_matches_report =
+  (* Whatever a random faulty run emits, the Live aggregator's
+     cumulative percentiles, energy and counters at end of run equal the
+     post-hoc Report built from a ring recording of the same stream. *)
+  qtest "Live agrees with post-hoc Report"
+    QCheck2.Gen.(pair (int_range 0 9999) (int_range 0 3))
+    (fun (seed, rate_idx) ->
+      let rate = [| 0.0; 0.01; 0.05; 0.1 |].(rate_idx) in
+      let faults =
+        if rate = 0.0 then None
+        else
+          match Fault_model.of_spec (Printf.sprintf "%d:%g:all" seed rate) with
+          | Ok f -> Some f
+          | Error e -> failwith e
+      in
+      let reqs =
+        List.init 24 (fun i ->
+            req ~proc:(i mod 2) ~disk:(i mod 2)
+              ~lba:(i * 131 * 1024)
+              ~think:(float_of_int (((seed * 7919) + (i * 104729)) mod 70_000))
+              ())
+      in
+      let live = Live.create ~disks:2 () in
+      let ring = Sink.ring ~capacity:65536 () in
+      let sink =
+        Sink.stream (fun e ->
+            Sink.emit ring e;
+            Live.feed live e)
+      in
+      ignore (Engine.simulate ~obs:sink ?faults ~disks:2 Policy.default_tpm reqs);
+      let reports = Report.of_events ~disks:2 (Sink.events ring) in
+      Array.for_all
+        (fun (r : Report.disk_report) ->
+          let d = r.Report.disk in
+          let dl = (Live.disks live).(d) in
+          List.for_all
+            (fun q ->
+              Metrics.quantile r.Report.response_ms q = Live.percentile live ~disk:d q)
+            [ 0.25; 0.5; 0.9; 0.99; 1.0 ]
+          && r.Report.requests = dl.Live.requests
+          && r.Report.energy_j = dl.Live.energy_j
+          && r.Report.faults = dl.Live.faults
+          && r.Report.busy_ms = dl.Live.busy_ms
+          && r.Report.standby_ms = dl.Live.standby_ms)
+        reports)
+
+(* --- engine integration and the Chrome exporter --- *)
 
 let sim_events policy reqs =
   let sink = Sink.ring ~capacity:65536 () in
@@ -310,6 +659,7 @@ let suites =
         Alcotest.test_case "null" `Quick test_null_sink;
         Alcotest.test_case "ring" `Quick test_ring_sink;
         Alcotest.test_case "stream" `Quick test_stream_sink;
+        Alcotest.test_case "kind" `Quick test_sink_kind;
       ] );
     ( "obs.metrics",
       [
@@ -326,6 +676,29 @@ let suites =
       [
         Alcotest.test_case "of_events" `Quick test_report_of_events;
         Alcotest.test_case "jsonl" `Quick test_report_jsonl;
+        Alcotest.test_case "percentile edges" `Quick test_report_percentile_edges;
+        Alcotest.test_case "incremental builder" `Quick test_report_builder_incremental;
+      ] );
+    ( "obs.live",
+      [
+        Alcotest.test_case "fold" `Quick test_live_fold;
+        Alcotest.test_case "power-state track" `Quick test_live_track;
+        Alcotest.test_case "sliding window" `Quick test_live_window;
+        Alcotest.test_case "rejects" `Quick test_live_rejects;
+        test_live_matches_report;
+      ] );
+    ( "obs.tty",
+      [
+        Alcotest.test_case "frame" `Quick test_tty_frame;
+        Alcotest.test_case "driver" `Quick test_tty_driver;
+      ] );
+    ( "obs.diff",
+      [
+        Alcotest.test_case "parse roundtrip" `Quick test_diff_parse_roundtrip;
+        Alcotest.test_case "self-diff is zero" `Quick test_diff_self_zero;
+        Alcotest.test_case "shift detected" `Quick test_diff_shift;
+        Alcotest.test_case "ks/emd core" `Quick test_diff_shift_of_edges;
+        Alcotest.test_case "errors" `Quick test_diff_errors;
       ] );
     ( "obs.engine",
       [
