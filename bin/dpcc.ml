@@ -16,6 +16,7 @@ module Symbolic = Dp_restructure.Symbolic
 module Generate = Dp_trace.Generate
 module Request = Dp_trace.Request
 module Hint = Dp_trace.Hint
+module Bin = Dp_trace.Bin
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
 module Fault_model = Dp_faults.Fault_model
@@ -76,6 +77,27 @@ let resolve_mode ~procs ~restructured = function
 
 let check_jobs jobs = if jobs < 1 then fail "--jobs must be at least 1 (got %d)" jobs
 let check_procs procs = if procs < 1 then fail "--procs must be at least 1 (got %d)" procs
+
+let check_shards shards =
+  if shards < 1 then fail "--shards must be at least 1 (got %d)" shards
+
+(* Trace output format: the human text format or the streaming binary
+   codec.  Binary output quantizes timestamps to the text format's
+   3-decimal precision first, so text <-> bin conversion round-trips
+   byte-identically. *)
+let trace_format_of_name = function
+  | "text" -> `Text
+  | "bin" -> `Bin
+  | f -> fail "unknown --format %s (expected text | bin)" f
+
+let save_trace ~format ~hints ?faults path reqs =
+  match format with
+  | `Text -> Request.save ~hints ?faults path reqs
+  | `Bin ->
+      Bin.save
+        ~hints:(List.map Bin.quantize_hint hints)
+        ?faults path
+        (List.map Bin.quantize reqs)
 
 (* Pass profiling (--profile): the compiler stages carry Dp_obs.Prof
    hooks; enabling the collector before the pipeline and printing the
@@ -168,11 +190,14 @@ let restructure source symbolic profile =
 
 (* --- trace --- *)
 
-let trace source output procs restructured mode_name gaps with_hints faults_spec cache_dir
-    no_cache profile =
+let trace source output procs restructured mode_name gaps with_hints faults_spec
+    format_name cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_procs procs;
+      let format = trace_format_of_name format_name in
+      if format = `Bin && output = None then
+        fail "--format bin needs -o FILE (binary traces are not written to a terminal)";
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let ctx = Pipeline.load ?cache source in
       let mode = resolve_mode ~procs ~restructured mode_name in
@@ -182,7 +207,7 @@ let trace source output procs restructured mode_name gaps with_hints faults_spec
       in
       let faults = faults_of_spec faults_spec in
       (match output with
-      | Some path -> Request.save ~hints ?faults path reqs
+      | Some path -> save_trace ~format ~hints ?faults path reqs
       | None when not gaps ->
           List.iter (fun r -> Format.printf "%a@." Request.pp r) reqs;
           List.iter (fun h -> Format.printf "%a@." Hint.pp h) hints;
@@ -220,10 +245,11 @@ let policy_of_string = function
 (* --- simulate --- *)
 
 let simulate source procs restructured mode_name policy_name per_disk timeline faults_spec
-    cache_dir no_cache profile =
+    shards cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_procs procs;
+      check_shards shards;
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let ctx = Pipeline.load ?cache source in
       let mode = resolve_mode ~procs ~restructured mode_name in
@@ -241,7 +267,8 @@ let simulate source procs restructured mode_name policy_name per_disk timeline f
           let policy = policy_of_string policy_name in
           let faults = faults_of_spec faults_spec in
           let r =
-            Pipeline.simulate ?faults ~record_timeline:timeline ctx ~procs ~policy mode
+            Pipeline.simulate ?faults ~record_timeline:timeline ~shards ctx ~procs ~policy
+              mode
           in
           (match faults with
           | Some f -> Format.printf "%a@." Fault_model.pp f
@@ -264,7 +291,7 @@ let simulate source procs restructured mode_name policy_name per_disk timeline f
           (* Also report against the no-PM baseline on the same trace. *)
           if policy <> Policy.No_pm then begin
             let base =
-              Pipeline.simulate ?faults ctx ~procs ~policy:Policy.No_pm mode
+              Pipeline.simulate ?faults ~shards ctx ~procs ~policy:Policy.No_pm mode
             in
             Format.printf "normalized energy vs no-PM on this trace: %.3f@."
               (r.Engine.energy_j /. base.Engine.energy_j)
@@ -274,11 +301,12 @@ let simulate source procs restructured mode_name policy_name per_disk timeline f
 
 (* --- report: the version matrix for one program --- *)
 
-let report source procs jobs json_path obs cache_dir no_cache profile =
+let report source procs jobs shards json_path obs cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_jobs jobs;
       check_procs procs;
+      check_shards shards;
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let app = Pipeline.app (Pipeline.load source) in
       let versions =
@@ -286,7 +314,7 @@ let report source procs jobs json_path obs cache_dir no_cache profile =
         @ Dp_harness.Version.oracle
       in
       let matrix =
-        Dp_harness.Experiments.build_matrix ~apps:[ app ] ?cache ~obs ~jobs ~procs
+        Dp_harness.Experiments.build_matrix ~apps:[ app ] ?cache ~obs ~jobs ~shards ~procs
           ~versions ()
       in
       Dp_harness.Experiments.fig_energy matrix Format.std_formatter;
@@ -301,12 +329,13 @@ let report source procs jobs json_path obs cache_dir no_cache profile =
 
 (* --- fault-sweep: degradation under increasing fault rates --- *)
 
-let fault_sweep source procs jobs seed rates classes json_path obs_jsonl cache_dir no_cache
-    profile =
+let fault_sweep source procs jobs shards seed rates classes json_path obs_jsonl cache_dir
+    no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_jobs jobs;
       check_procs procs;
+      check_shards shards;
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let app = Pipeline.app (Pipeline.load source) in
       let classes =
@@ -322,7 +351,7 @@ let fault_sweep source procs jobs seed rates classes json_path obs_jsonl cache_d
       in
       let sweep =
         Dp_harness.Experiments.fault_sweep ~seed ?rates ?cache ?classes
-          ~obs:(obs_jsonl <> None) ~jobs ~procs ~versions app
+          ~obs:(obs_jsonl <> None) ~jobs ~shards ~procs ~versions app
       in
       Dp_harness.Experiments.fig_sweep sweep Format.std_formatter;
       (match json_path with
@@ -353,11 +382,12 @@ let fault_sweep source procs jobs seed rates classes json_path obs_jsonl cache_d
 
 (* --- serve: the multi-tenant server-array experiment --- *)
 
-let serve tenants seed disks jitter_ms policy_name jobs faults_spec decay_spec scrub_ms
-    spare deadline json obs_jsonl live cache_dir no_cache profile =
+let serve tenants seed disks jitter_ms policy_name jobs shards faults_spec decay_spec
+    scrub_ms spare deadline json obs_jsonl live cache_dir no_cache profile =
   with_profile profile @@ fun () ->
   with_errors (fun () ->
       check_jobs jobs;
+      check_shards shards;
       if tenants < 1 then fail "--tenants must be at least 1 (got %d)" tenants;
       if disks < 1 then fail "--disks must be at least 1 (got %d)" disks;
       if jitter_ms < 0.0 then fail "--jitter-ms must be non-negative (got %g)" jitter_ms;
@@ -412,7 +442,7 @@ let serve tenants seed disks jitter_ms policy_name jobs faults_spec decay_spec s
       in
       let cache = open_cache ~no_cache ~dir:cache_dir () in
       let cfg =
-        Dp_serve.Serve.config ~disks ~jitter_ms ~jobs ~selection ?faults ?repair
+        Dp_serve.Serve.config ~disks ~jitter_ms ~jobs ~shards ~selection ?faults ?repair
           ?deadline_ms ?spare_blocks:spare ~obs:(obs_jsonl <> None) ~live ~tenants ~seed
           ()
       in
@@ -457,6 +487,14 @@ let serve tenants seed disks jitter_ms policy_name jobs faults_spec decay_spec s
 
 let resolved_cache_dir = function Some d -> d | None -> Cachefs.default_dir ()
 
+(* Sizes rendered for humans: a store holding megabytes of traces
+   should not print a nine-digit byte count. *)
+let human_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if f < 1024. *. 1024. then Printf.sprintf "%.1f KB" (f /. 1024.)
+  else Printf.sprintf "%.1f MB" (f /. (1024. *. 1024.))
+
 let cache_stat dir_opt json =
   with_errors (fun () ->
       let dir = resolved_cache_dir dir_opt in
@@ -483,6 +521,22 @@ let cache_stat dir_opt json =
                   ("dir", J.String dir);
                   ("entries", J.Int u.Cachefs.entries);
                   ("bytes", J.Int u.Cachefs.bytes);
+                  ( "formats",
+                    J.Obj
+                      [
+                        ( "trace_bin",
+                          J.Obj
+                            [
+                              ("entries", J.Int u.Cachefs.trace_entries);
+                              ("bytes", J.Int u.Cachefs.trace_bytes);
+                            ] );
+                        ( "marshal",
+                          J.Obj
+                            [
+                              ("entries", J.Int (u.Cachefs.entries - u.Cachefs.trace_entries));
+                              ("bytes", J.Int (u.Cachefs.bytes - u.Cachefs.trace_bytes));
+                            ] );
+                      ] );
                   ("quarantined", J.Int u.Cachefs.quarantined);
                   ("temp", J.Int u.Cachefs.temp);
                   ("last_run", last_run);
@@ -491,7 +545,13 @@ let cache_stat dir_opt json =
       end
       else begin
         Format.printf "cache directory: %s@." dir;
-        Format.printf "entries: %d (%d bytes)@." u.Cachefs.entries u.Cachefs.bytes;
+        Format.printf "entries: %d (%s)@." u.Cachefs.entries (human_bytes u.Cachefs.bytes);
+        if u.Cachefs.entries > 0 then
+          Format.printf "  binary traces: %d (%s), marshal: %d (%s)@."
+            u.Cachefs.trace_entries
+            (human_bytes u.Cachefs.trace_bytes)
+            (u.Cachefs.entries - u.Cachefs.trace_entries)
+            (human_bytes (u.Cachefs.bytes - u.Cachefs.trace_bytes));
         Format.printf "quarantined: %d, leftover temp files: %d@." u.Cachefs.quarantined
           u.Cachefs.temp;
         match counters with
@@ -555,6 +615,26 @@ let emit source output =
           Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
       | None -> print_string text)
 
+(* --- convert: trace files between the text and binary formats --- *)
+
+let convert input output format_name =
+  with_errors (fun () ->
+      let reqs, hints, faults =
+        match Bin.load_result input with
+        | Ok v -> v
+        | Error e -> fail "%s" (Request.load_error_to_string e)
+      in
+      let format =
+        match format_name with
+        (* No --format: convert to the opposite of what the input is. *)
+        | None -> if Bin.sniff input then `Text else `Bin
+        | Some name -> trace_format_of_name name
+      in
+      save_trace ~format ~hints ?faults output reqs;
+      Format.eprintf "%s: %d requests, %d hints -> %s (%s)@." input (List.length reqs)
+        (List.length hints) output
+        (match format with `Bin -> "binary" | `Text -> "text"))
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -594,6 +674,17 @@ let jobs_arg =
         ~doc:
           "Run matrix rows on N domains in parallel; results are deterministic — output \
            is byte-identical to --jobs 1")
+
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Fan each simulation across up to N domains: every trace segment splits into \
+           the connected components of its processor-disk interaction graph and the \
+           components run in parallel, rejoining at the segment barrier.  Results are \
+           byte-identical to --shards 1.  Composes with --jobs (rows x intra-run \
+           shards).")
 
 let profile_arg =
   Arg.(
@@ -662,11 +753,21 @@ let trace_cmd =
       & info [ "faults" ] ~docv:"SEED:RATE:CLASSES"
           ~doc:"Embed a fault-injection window (an F line) into the trace")
   in
+  let format =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ] ~docv:"text|bin"
+          ~doc:
+            "Trace file format: text (the human line format) or bin (the chunked, \
+             checksummed binary codec — a fraction of the size, streamable; needs -o).  \
+             Both carry the same requests, hints and fault window; dpsim auto-detects \
+             either.")
+  in
   Cmd.v
     (Cmd.info "trace" ~doc:"Generate the timed I/O request trace of a program")
     Term.(
       const trace $ source_arg $ output $ procs_arg $ restructured_arg $ mode_arg $ gaps
-      $ hints $ faults $ cache_dir_arg $ no_cache_arg $ profile_arg)
+      $ hints $ faults $ format $ cache_dir_arg $ no_cache_arg $ profile_arg)
 
 let simulate_cmd =
   let policy =
@@ -695,7 +796,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run the trace-driven disk power simulation")
     Term.(
       const simulate $ source_arg $ procs_arg $ restructured_arg $ mode_arg $ policy
-      $ per_disk $ timeline $ faults $ cache_dir_arg $ no_cache_arg $ profile_arg)
+      $ per_disk $ timeline $ faults $ shards_arg $ cache_dir_arg $ no_cache_arg
+      $ profile_arg)
 
 let report_cmd =
   let json =
@@ -713,8 +815,8 @@ let report_cmd =
   Cmd.v
     (Cmd.info "report" ~doc:"Run the full version matrix for a program and print figures")
     Term.(
-      const report $ source_arg $ procs_arg $ jobs_arg $ json $ obs $ cache_dir_arg
-      $ no_cache_arg $ profile_arg)
+      const report $ source_arg $ procs_arg $ jobs_arg $ shards_arg $ json $ obs
+      $ cache_dir_arg $ no_cache_arg $ profile_arg)
 
 let fault_sweep_cmd =
   let seed =
@@ -756,8 +858,8 @@ let fault_sweep_cmd =
          "Re-simulate the version matrix of a program across a fault-rate ramp (same seed \
           at every point) and report energy and degraded time per version")
     Term.(
-      const fault_sweep $ source_arg $ procs_arg $ jobs_arg $ seed $ rates $ classes
-      $ json $ obs_jsonl $ cache_dir_arg $ no_cache_arg $ profile_arg)
+      const fault_sweep $ source_arg $ procs_arg $ jobs_arg $ shards_arg $ seed $ rates
+      $ classes $ json $ obs_jsonl $ cache_dir_arg $ no_cache_arg $ profile_arg)
 
 let emit_cmd =
   let output =
@@ -767,6 +869,30 @@ let emit_cmd =
   Cmd.v
     (Cmd.info "emit" ~doc:"Emit a program back as .dpl source (with its striping)")
     Term.(const emit $ source_arg $ output)
+
+let convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"IN" ~doc:"Input trace file (text or binary, auto-detected)")
+  in
+  let output =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output trace file")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "format" ] ~docv:"text|bin"
+          ~doc:"Output format (default: the opposite of the input's)")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Convert a trace file between the text and binary formats (lossless both ways: \
+          requests, hints and the fault window all carry over)")
+    Term.(const convert $ input $ output $ format)
 
 let serve_cmd =
   let tenants =
@@ -883,9 +1009,9 @@ let serve_cmd =
          "Multiplex N tenant workloads onto one disk array and compare offline compiler \
           hints, online adaptation and the oracle bound")
     Term.(
-      const serve $ tenants $ seed $ disks $ jitter $ policy $ jobs_arg $ faults $ decay
-      $ scrub $ spare $ deadline $ json $ obs_jsonl $ live $ cache_dir_arg $ no_cache_arg
-      $ profile_arg)
+      const serve $ tenants $ seed $ disks $ jitter $ policy $ jobs_arg $ shards_arg
+      $ faults $ decay $ scrub $ spare $ deadline $ json $ obs_jsonl $ live
+      $ cache_dir_arg $ no_cache_arg $ profile_arg)
 
 let cache_subcommand_docs =
   [
@@ -970,6 +1096,7 @@ let command_docs =
     ("trace", "Generate the timed I/O request trace of a program");
     ("simulate", "Run the trace-driven disk power simulation");
     ("emit", "Emit a program back as .dpl source (with its striping)");
+    ("convert", "Convert a trace file between the text and binary formats");
     ("report", "Run the full version matrix for a program and print figures");
     ("fault-sweep", "Re-simulate the version matrix across a fault-rate ramp");
     ("serve", "Multiplex N tenants onto one array: offline hints vs online adaptation");
@@ -993,28 +1120,28 @@ let check_subcommand () =
   if Array.length Sys.argv > 1 then begin
     let arg = Sys.argv.(1) in
     if String.length arg > 0 && arg.[0] <> '-' then
-      if not (List.exists (prefix_of arg) command_docs) then
-        unknown_command ~usage:"dpcc COMMAND ..." ~docs:command_docs arg
-      else begin
-        (* [cache] and [obs] are themselves command groups: vet their
-           subcommand too so [dpcc cache bogus] / [dpcc obs bogus] are
-           usage errors (exit 2), not cmdliner's generic CLI failure.
-           Any prefix of either name is unambiguous — no other command
-           shares its first letter. *)
-        let groups = [ ("cache", cache_subcommand_docs); ("obs", obs_subcommand_docs) ] in
-        match
-          List.find_opt (fun (name, _) -> prefix_of arg (name, "")) groups
-        with
-        | Some (name, docs) when Array.length Sys.argv > 2 ->
-            let sub = Sys.argv.(2) in
-            if
-              String.length sub > 0
-              && sub.[0] <> '-'
-              && not (List.exists (prefix_of sub) docs)
-            then
-              unknown_command ~usage:(Printf.sprintf "dpcc %s COMMAND ..." name) ~docs sub
-        | _ -> ()
-      end
+      match List.filter (prefix_of arg) command_docs with
+      | [] -> unknown_command ~usage:"dpcc COMMAND ..." ~docs:command_docs arg
+      | [ (name, _) ] -> (
+          (* [cache] and [obs] are themselves command groups: vet their
+             subcommand too so [dpcc cache bogus] / [dpcc obs bogus] are
+             usage errors (exit 2), not cmdliner's generic CLI failure.
+             A group is vetted only when the prefix resolves to exactly
+             one command — "c" is ambiguous between cache and convert,
+             and cmdliner reports that itself. *)
+          let groups = [ ("cache", cache_subcommand_docs); ("obs", obs_subcommand_docs) ] in
+          match List.assoc_opt name groups with
+          | Some docs when Array.length Sys.argv > 2 ->
+              let sub = Sys.argv.(2) in
+              if
+                String.length sub > 0
+                && sub.[0] <> '-'
+                && not (List.exists (prefix_of sub) docs)
+              then
+                unknown_command ~usage:(Printf.sprintf "dpcc %s COMMAND ..." name) ~docs
+                  sub
+          | _ -> ())
+      | _ :: _ :: _ -> (* ambiguous prefix: cmdliner lists the candidates *) ()
   end
 
 let () =
@@ -1027,6 +1154,6 @@ let () =
     (Cmd.eval ~term_err:2
        (Cmd.group info
           [
-            show_cmd; restructure_cmd; trace_cmd; simulate_cmd; emit_cmd; report_cmd;
-            fault_sweep_cmd; serve_cmd; cache_cmd; obs_cmd;
+            show_cmd; restructure_cmd; trace_cmd; simulate_cmd; emit_cmd; convert_cmd;
+            report_cmd; fault_sweep_cmd; serve_cmd; cache_cmd; obs_cmd;
           ]))

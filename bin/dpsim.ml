@@ -1,6 +1,7 @@
 (* dpsim — trace-driven disk power simulator.
 
-   Replays a trace file (as produced by [dpcc trace -o ...]) against a
+   Replays a trace file (as produced by [dpcc trace -o ...] — the text
+   line format or the binary codec, sniffed by magic bytes) against a
    disk configuration and power-management policy, and reports energy and
    performance statistics.  Compiler power hints embedded in the trace
    ([H ...] lines, from [dpcc trace --hints]) are executed by the
@@ -10,6 +11,7 @@
    simulating. *)
 
 module Request = Dp_trace.Request
+module Bin = Dp_trace.Bin
 module Engine = Dp_disksim.Engine
 module Policy = Dp_disksim.Policy
 module Disk_model = Dp_disksim.Disk_model
@@ -68,12 +70,21 @@ let obs_finish mode sink out disks (r : Engine.result) =
   | _ -> ()
 
 let run trace_file out disks policy_name threshold proactive window downshift faults_spec
-    scrub_ms spare deadline per_disk obs_mode live =
+    scrub_ms spare deadline shards per_disk obs_mode live =
+  (* Format-sniffing loader: binary traces (by magic) stream through the
+     chunked reader, anything else parses as text.  Binary framing
+     errors carry the byte offset in the line field. *)
   let reqs, hints, trace_faults =
-    match Request.load_result trace_file with
+    match Bin.load_result trace_file with
     | Ok parsed -> parsed
     | Error e -> usage_error "%s" (Request.load_error_to_string e)
   in
+  if shards < 1 then usage_error "--shards must be at least 1 (got %d)" shards;
+  if live && shards > 1 then
+    usage_error
+      "--live needs the event stream as it happens; --shards %d would deliver it in \
+       per-segment batches"
+      shards;
   let faults =
     match faults_spec with
     | None -> trace_faults
@@ -139,7 +150,7 @@ let run trace_file out disks policy_name threshold proactive window downshift fa
         in
         let r =
           Engine.simulate ~model ~obs:sink ~hints ?faults ?repair ?deadline_ms:deadline
-            ~disks policy reqs
+            ~shards ~disks policy reqs
         in
         live_finish ();
         close_stream ();
@@ -246,6 +257,15 @@ let () =
             "Per-request deadline: media-error retry storms that blow it fail over to \
              the disk's mirror; misses are reported as deadline events")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Fan the run across up to N domains (per-segment connected components of the \
+             processor-disk interaction graph, rejoining at each segment barrier); \
+             results are byte-identical to --shards 1.  Refuses --live.")
+  in
   let per_disk = Arg.(value & flag & info [ "per-disk" ] ~doc:"Print per-disk statistics") in
   let obs =
     Arg.(
@@ -272,6 +292,6 @@ let () =
       (Cmd.info "dpsim" ~version:"1.0.0" ~doc:"Trace-driven multi-disk power simulator")
       Term.(
         const run $ trace_file $ out_file $ disks $ policy $ threshold $ proactive $ window
-        $ downshift $ faults $ scrub $ spare $ deadline $ per_disk $ obs $ live)
+        $ downshift $ faults $ scrub $ spare $ deadline $ shards $ per_disk $ obs $ live)
   in
   exit (Cmd.eval ~term_err:2 cmd)

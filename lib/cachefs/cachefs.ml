@@ -239,7 +239,42 @@ let load_run_counters ~dir =
 
 (* --- static maintenance --- *)
 
-type usage = { entries : int; bytes : int; quarantined : int; temp : int }
+type usage = {
+  entries : int;
+  bytes : int;
+  trace_entries : int;
+  trace_bytes : int;
+  quarantined : int;
+  temp : int;
+}
+
+(* [Dp_trace.Bin.magic], mirrored here so the generic store does not
+   depend on the trace layer.  Guarded by a test on both sides. *)
+let trace_magic = "DPTB"
+
+(* Does the entry's *payload* start with the binary-trace magic?  Reads
+   only the first bytes of the file: the frame header is two short
+   text lines ("dpowercache <version>\n<payload-length>\n"), so the
+   payload start is within the first few dozen bytes. *)
+let entry_payload_is_trace path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (min 64 (in_channel_length ic)) with
+          | exception (End_of_file | Sys_error _) -> false
+          | head -> (
+              match String.index_opt head '\n' with
+              | None -> false
+              | Some e1 -> (
+                  match String.index_from_opt head (e1 + 1) '\n' with
+                  | None -> false
+                  | Some e2 ->
+                      let start = e2 + 1 in
+                      String.length head >= start + String.length trace_magic
+                      && String.sub head start (String.length trace_magic) = trace_magic)))
 
 let is_entry name =
   String.length name > 10
@@ -270,10 +305,19 @@ let usage ~dir =
       in
       if is_temp name then { acc with temp = acc.temp + 1 }
       else if is_quarantined name then { acc with quarantined = acc.quarantined + 1 }
-      else if is_entry name then
-        { acc with entries = acc.entries + 1; bytes = acc.bytes + size () }
+      else if is_entry name then begin
+        let sz = size () in
+        let acc = { acc with entries = acc.entries + 1; bytes = acc.bytes + sz } in
+        if entry_payload_is_trace (Filename.concat dir name) then
+          {
+            acc with
+            trace_entries = acc.trace_entries + 1;
+            trace_bytes = acc.trace_bytes + sz;
+          }
+        else acc
+      end
       else acc)
-    { entries = 0; bytes = 0; quarantined = 0; temp = 0 }
+    { entries = 0; bytes = 0; trace_entries = 0; trace_bytes = 0; quarantined = 0; temp = 0 }
     (scan dir)
 
 let clear ~dir =

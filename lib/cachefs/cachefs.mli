@@ -98,12 +98,19 @@ val load_run_counters : dir:string -> counters option
 type usage = {
   entries : int;
   bytes : int;  (** total size of live entries *)
+  trace_entries : int;
+      (** entries whose payload is a binary trace frame (sniffed by the
+          {!Dp_trace.Bin.magic} leading bytes) — the rest are Marshal
+          blobs *)
+  trace_bytes : int;  (** total size of the binary-trace entries *)
   quarantined : int;  (** [*.corrupt] files awaiting inspection *)
   temp : int;  (** leftover [*.tmp*] files (crashed writers) *)
 }
 
 val usage : dir:string -> usage
-(** Scan a store directory.  All zero when the directory is missing. *)
+(** Scan a store directory.  All zero when the directory is missing.
+    The per-format split reads only each entry's first bytes, so the
+    scan stays cheap however large the store. *)
 
 val clear : dir:string -> int
 (** Remove every entry, quarantined file, temporary file and stats

@@ -6,6 +6,7 @@ module Repair = Dp_repair.Repair
 module Sink = Dp_obs.Sink
 module Obs_event = Dp_obs.Event
 module Online = Dp_online.Online
+module Domain_pool = Dp_util.Domain_pool
 
 type disk_stats = {
   disk : int;
@@ -79,7 +80,10 @@ type disk_state = {
   mutable hints : Hint.t list;  (* pending compiler directives, by nominal time *)
   record : bool;
   mutable segs : Timeline.segment list;  (* reversed *)
-  sink : Sink.t;  (* observability recorder; Sink.null by default *)
+  mutable sink : Sink.t;
+      (* observability recorder; Sink.null by default.  Mutable because
+         a sharded segment temporarily points the disks of a parallel
+         group at a per-group buffering sink (see [simulate]). *)
 }
 
 let make_state ?(record = false) ?(sink = Sink.null) model id =
@@ -1017,6 +1021,64 @@ let stats_of_state rctx st ~last_completion =
 let wear_fraction model stats =
   float_of_int stats.spin_downs /. float_of_int model.Disk_model.rated_start_stop_cycles
 
+(* --- sharding: per-segment connected components --- *)
+
+(* A shard group is a set of processors plus the set of disks they can
+   possibly touch this segment (their request targets, closed under
+   mirror pairing when the repair domain is armed, since failover and
+   reconstruction route a request to its mirror).  Two groups share no
+   mutable state — disjoint processors, clocks, disk states, injector
+   and repair slots — so groups run on separate domains and the result
+   is the serial result bit for bit.  Both lists ascend so a group's
+   internal scan order matches the serial engine's index-order scans. *)
+type shard_group = { g_procs : int list; g_disks : int list }
+
+let shard_groups ~n_proc ~disks ~mirror queues_seg =
+  let n = n_proc + disks in
+  let parent = Array.init n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra < rb then parent.(rb) <- ra else if rb < ra then parent.(ra) <- rb
+  in
+  Array.iteri
+    (fun p q -> List.iter (fun (r : Request.t) -> union p (n_proc + r.Request.disk)) q)
+    queues_seg;
+  (match mirror with
+  | Some mirror_of ->
+      for d = 0 to disks - 1 do
+        match mirror_of d with Some m when m <> d -> union (n_proc + d) (n_proc + m) | _ -> ()
+      done
+  | None -> ());
+  let groups : (int, int list * int list) Hashtbl.t = Hashtbl.create 16 in
+  (* Descending passes cons up ascending member lists; processors with
+     no requests this segment never win the issue scan and are left out
+     of every group, as are the disk-only components they would leave
+     behind. *)
+  for p = n_proc - 1 downto 0 do
+    if queues_seg.(p) <> [] then begin
+      let r = find p in
+      let ps, ds = try Hashtbl.find groups r with Not_found -> ([], []) in
+      Hashtbl.replace groups r (p :: ps, ds)
+    end
+  done;
+  for d = disks - 1 downto 0 do
+    let r = find (n_proc + d) in
+    match Hashtbl.find_opt groups r with
+    | Some (ps, ds) -> Hashtbl.replace groups r (ps, d :: ds)
+    | None -> ()
+  done;
+  Hashtbl.fold (fun root g acc -> (root, g) :: acc) groups []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map (fun (_, (ps, ds)) -> { g_procs = ps; g_disks = ds })
+
 (* Closed-loop simulation: each processor replays its request stream in
    order, issuing a request [think_ms] after its previous completion.
    Segment barriers synchronize all processors.  Disks are FIFO in issue
@@ -1024,9 +1086,10 @@ let wear_fraction model stats =
    by the policy. *)
 let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
     ?(obs = Sink.null) ?(hints = []) ?faults ?(retry = Policy.default_retry) ?repair
-    ?deadline_ms ~disks policy reqs =
+    ?deadline_ms ?(shards = 1) ~disks policy reqs =
   Dp_obs.Prof.span "disksim.simulate" @@ fun () ->
   if disks < 1 then invalid_arg "Engine.simulate: disks must be >= 1";
+  if shards < 1 then invalid_arg "Engine.simulate: shards must be >= 1";
   List.iter
     (fun (r : Request.t) ->
       if r.disk < 0 || r.disk >= disks then
@@ -1100,8 +1163,24 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
     (List.rev (List.stable_sort Hint.compare_at hints));
   let last_completion = Array.make disks 0.0 in
   let clocks = Array.make (max n_proc 1) 0.0 in
-  for seg = 0 to n_seg - 1 do
-    let pending = Array.copy queues.(seg) in
+  let sink_on = Sink.enabled obs in
+  (* One group's issue loop over a segment.  The group touches only its
+     own slots of [pending]/[clocks]/[last_completion] and its own disk
+     states, so concurrent groups never share a mutable cell.  With
+     [batch] set, the events of each issue step are buffered and tagged
+     with the step's (issue time, processor): the serial engine executes
+     steps in exactly (issue time, processor) order — per processor the
+     issue times are non-decreasing, and among processors tied at the
+     same instant the scan's strict [<] picks the lowest index first —
+     so a stable sort of all groups' batches on that key replays the
+     serial emission order bit for bit. *)
+  let run_group ~batch pending { g_procs; g_disks } =
+    let batches = ref [] in
+    let cur = ref [] in
+    if batch then begin
+      let buffer = Sink.stream (fun e -> cur := e :: !cur) in
+      List.iter (fun d -> states.(d).sink <- buffer) g_disks
+    end;
     let next_issue p =
       match pending.(p) with
       | [] -> infinity
@@ -1110,13 +1189,14 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
     let rec step () =
       (* Pick the processor with the earliest next issue time. *)
       let best = ref (-1) and best_t = ref infinity in
-      for p = 0 to n_proc - 1 do
-        let t = next_issue p in
-        if t < !best_t then begin
-          best := p;
-          best_t := t
-        end
-      done;
+      List.iter
+        (fun p ->
+          let t = next_issue p in
+          if t < !best_t then begin
+            best := p;
+            best_t := t
+          end)
+        g_procs;
       if !best >= 0 then begin
         let p = !best in
         match pending.(p) with
@@ -1125,14 +1205,19 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
             pending.(p) <- rest;
             (* Degraded mode: rebuild streams advance on failed slots up
                to the issue instant, and the request is routed to the
-               mirror while its home slot is down. *)
+               mirror while its home slot is down.  Only this group's
+               slots: a foreign failed slot is advanced by its own
+               group's clock, and the rebuild stream's whole-slice
+               greedy advance reaches the same state through any
+               refinement of intermediate instants. *)
             (match rctx with
             | Some rx ->
-                Array.iter
-                  (fun st ->
+                List.iter
+                  (fun d ->
+                    let st = states.(d) in
                     if Repair.is_failed rx.rc st.id then
                       advance_rebuild model rx st ~until:!best_t)
-                  states
+                  g_disks
             | None -> ());
             let target =
               match rctx with
@@ -1161,11 +1246,55 @@ let simulate ?(model = Disk_model.ultrastar_36z15) ?(record_timeline = false)
             | Some rx when Repair.should_fail rx.rc ~disk:target ->
                 fail_disk model rx states.(target)
             | _ -> ());
+            if batch then begin
+              batches := (!best_t, p, List.rev !cur) :: !batches;
+              cur := []
+            end;
             step ()
       end
     in
     step ();
-    (* Fork-join barrier. *)
+    if batch then List.iter (fun d -> states.(d).sink <- obs) g_disks;
+    List.rev !batches
+  in
+  let all_group =
+    { g_procs = List.init n_proc Fun.id; g_disks = List.init disks Fun.id }
+  in
+  let mirror_edges =
+    match rctx with Some rx -> Some (fun d -> Repair.mirror_of rx.rc d) | None -> None
+  in
+  for seg = 0 to n_seg - 1 do
+    let pending = Array.copy queues.(seg) in
+    let groups =
+      (* Repair-armed runs with a live sink stay one group: a failed
+         slot's rebuild slices are emitted from whichever step's clock
+         first covers them, an attribution the batch key cannot carry
+         across groups.  Without a sink the rebuild invariance above
+         makes the split safe, and without repair there is nothing to
+         attribute. *)
+      if shards <= 1 || (sink_on && Option.is_some rctx) then [ all_group ]
+      else shard_groups ~n_proc ~disks ~mirror:mirror_edges pending
+    in
+    (match groups with
+    | [] -> ()
+    | [ g ] -> ignore (run_group ~batch:false pending g)
+    | gs ->
+        (* Never oversubscribe the machine: extra domains on a saturated
+           core buy no parallelism but still pay the runtime's
+           stop-the-world coordination on every minor collection, a cost
+           that grows with the trace.  Clamped to one domain the pool
+           runs the groups sequentially in input order — same results,
+           and each group still scans only its own processors. *)
+        let jobs =
+          min (min shards (List.length gs)) (Domain.recommended_domain_count ())
+        in
+        let per_group = Domain_pool.map ~jobs (run_group ~batch:sink_on pending) gs in
+        if sink_on then
+          List.concat per_group
+          |> List.stable_sort (fun (t1, p1, _) (t2, p2, _) ->
+                 match Float.compare t1 t2 with 0 -> Int.compare p1 p2 | c -> c)
+          |> List.iter (fun (_, _, es) -> List.iter (Sink.emit obs) es));
+    (* Fork-join barrier: the epoch boundary every shard joins. *)
     let latest = Array.fold_left max 0.0 clocks in
     Array.fill clocks 0 (Array.length clocks) latest
   done;

@@ -71,6 +71,7 @@ val simulate :
   ?retry:Policy.retry_config ->
   ?repair:Dp_repair.Repair.config ->
   ?deadline_ms:float ->
+  ?shards:int ->
   disks:int ->
   Policy.t ->
   Request.t list ->
@@ -79,6 +80,20 @@ val simulate :
     [disk] is outside [0, disks) raise [Invalid_argument].  The request
     list need not be sorted.  [record_timeline] (default false) keeps the
     per-disk power-state segments for {!Timeline.render}.
+
+    [shards] (default 1) caps how many domains the engine may fan the
+    run across.  Each segment is split into the connected components of
+    its processor–disk interaction graph (requests as edges, closed
+    under mirror pairing when the repair domain is armed); components
+    share no mutable state, run in parallel, and rejoin at the
+    segment's fork-join barrier — the epoch boundary.  The result is
+    {e byte-identical} to [shards = 1] for every shard count: per-disk
+    stats, timelines and repair digests are reproduced exactly, and
+    observability events are re-merged into the serial emission order
+    (each parallel step's events are tagged with its issue instant and
+    processor, the key the serial scheduler executes in).  A trace
+    whose segments form a single component — every processor touching
+    every disk — simply runs serially whatever [shards] says.
 
     [obs] (default {!Dp_obs.Sink.null}) receives typed observability
     events as the run unfolds: every power-state span (with the exact

@@ -19,7 +19,7 @@ let rec chunks size = function
       let chunk, rest = take size [] xs in
       chunk :: chunks size rest
 
-let build_matrix ?apps ?cache ?faults ?retry ?obs ?(jobs = 1) ~procs ~versions () =
+let build_matrix ?apps ?cache ?faults ?retry ?obs ?(jobs = 1) ?shards ~procs ~versions () =
   let apps = match apps with Some a -> a | None -> Workloads.all () in
   (* One shared context per app: rows fan out over the domain pool and
      meet again in the context's stage memo tables, so the dependence
@@ -30,7 +30,7 @@ let build_matrix ?apps ?cache ?faults ?retry ?obs ?(jobs = 1) ~procs ~versions (
   in
   let runs =
     Domain_pool.map ~jobs
-      (fun (ctx, v) -> (v, Runner.run ctx ?faults ?retry ?obs ~procs v))
+      (fun (ctx, v) -> (v, Runner.run ctx ?faults ?retry ?obs ?shards ~procs v))
       cells
   in
   List.map2
@@ -195,7 +195,7 @@ type sweep_point = { rate : float; runs : (Version.t * Runner.run) list }
 type sweep = { app : App.t; procs : int; seed : int; points : sweep_point list }
 
 let fault_sweep ?(seed = 42) ?(rates = [ 0.0; 0.001; 0.01; 0.05; 0.1 ]) ?cache ?classes
-    ?obs ?(jobs = 1) ~procs ~versions app =
+    ?obs ?(jobs = 1) ?shards ~procs ~versions app =
   let ctx = Runner.context ?cache app in
   (* rate x version cells share one context: the injector perturbs only
      the simulation, so every point reuses the same memoized traces. *)
@@ -206,7 +206,7 @@ let fault_sweep ?(seed = 42) ?(rates = [ 0.0; 0.001; 0.01; 0.05; 0.1 ]) ?cache ?
     Domain_pool.map ~jobs
       (fun (rate, v) ->
         let faults = Dp_faults.Fault_model.make ?classes ~seed ~rate () in
-        (v, Runner.run ctx ~faults ?obs ~procs v))
+        (v, Runner.run ctx ~faults ?obs ?shards ~procs v))
       cells
   in
   let points =

@@ -17,7 +17,7 @@ type run = {
   obs : Dp_obs.Report.disk_report array option;
 }
 
-let run ctx ?faults ?retry ?(obs = false) ~procs version =
+let run ctx ?faults ?retry ?(obs = false) ?shards ~procs version =
   match Version.oracle_space version with
   | Some space ->
       (* Offline-optimal bound on the unmodified code: same trace as the
@@ -59,8 +59,8 @@ let run ctx ?faults ?retry ?(obs = false) ~procs version =
         else Dp_obs.Sink.null
       in
       let result =
-        Engine.simulate ~obs:sink ~hints ?faults ?retry ~disks:(Pipeline.disks ctx) policy
-          trace
+        Engine.simulate ~obs:sink ~hints ?faults ?retry ?shards
+          ~disks:(Pipeline.disks ctx) policy trace
       in
       let obs =
         if obs then

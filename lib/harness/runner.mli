@@ -38,6 +38,7 @@ val run :
   ?faults:Dp_faults.Fault_model.t ->
   ?retry:Dp_disksim.Policy.retry_config ->
   ?obs:bool ->
+  ?shards:int ->
   procs:int ->
   Version.t ->
   run
@@ -54,6 +55,11 @@ val run :
     {!Dp_disksim.Engine.simulate}).  The oracle rows stay fault-free:
     they are an idealized offline bound, so perturbing them would
     conflate the bound with injector noise.
+
+    [shards] caps the engine's intra-run domain fan-out (per-segment
+    shard groups, byte-identical to serial — see
+    {!Dp_disksim.Engine.simulate}); it composes with the harness's
+    [jobs] row-level fan-out.  The oracle rows ignore it.
 
     [obs] (default false) attaches a ring sink sized to the trace and
     distills the recorded events into the run's per-disk

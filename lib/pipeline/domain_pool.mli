@@ -1,43 +1,6 @@
-(** A small supervised pool of OCaml 5 domains for fanning out
-    independent experiment rows.
+(** Deprecated location: the pool lives in {!Dp_util.Domain_pool} now
+    (the engine's shard fan-out needs it below the pipeline layer).
+    This alias keeps existing [Dp_pipeline.Domain_pool] callers
+    compiling. *)
 
-    Results are returned in input order regardless of which domain ran
-    which task, so a parallel map over deterministic functions is itself
-    deterministic: [map ~jobs:n f xs = map ~jobs:1 f xs] byte for byte.
-
-    {b Supervision}: a task failure is confined to its own slot — it
-    never deadlocks the pool or poisons sibling slots.  Every cell is
-    still attempted (completed cells keep their results and any
-    persistent-cache writes they made); once all domains have drained,
-    the calling domain re-raises the {e first} failure in input order
-    with the backtrace captured at the original raise site, however many
-    tasks failed and whichever failed first in wall time.  The serial
-    path ([jobs = 1]) has the same complete-all-then-raise semantics, so
-    it stays the byte-identical baseline.
-
-    [jobs = 1] (and singleton/empty inputs) run inline on the calling
-    domain — no domain is spawned. *)
-
-exception Transient of exn
-(** Wrap an exception in [Transient] to ask the pool to retry the task
-    (up to [retries] times) before giving up.  When retries are
-    exhausted the {e inner} exception is what the pool records and
-    re-raises. *)
-
-val map : ?retries:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** [map ~jobs f xs] applies [f] to every element of [xs] on a pool of
-    [min jobs (length xs)] domains (the calling domain counts as one)
-    and returns the results in input order.
-
-    Tasks are claimed from a shared atomic counter, so an imbalanced
-    workload still keeps every domain busy.  A task raising
-    {!Transient} is retried up to [retries] times (default 2) before
-    its inner exception counts as the task's failure; any other
-    exception fails the task immediately.  All cells are attempted
-    before the first input-order failure is re-raised — see the
-    supervision contract above.
-    @raise Invalid_argument if [jobs < 1] or [retries < 0]. *)
-
-val default_jobs : unit -> int
-(** A conservative pool size for experiment fan-out:
-    [max 1 (recommended_domain_count () - 1)], capped at 8. *)
+include module type of Dp_util.Domain_pool

@@ -16,6 +16,7 @@ module Policy = Dp_disksim.Policy
 module Oracle = Dp_oracle.Oracle
 module Prof = Dp_obs.Prof
 module Cachefs = Dp_cachefs.Cachefs
+module Bin = Dp_trace.Bin
 
 type mode = Original | Reuse_single | Reuse_multi
 
@@ -281,9 +282,10 @@ let streams ?cluster t ~procs mode =
 
    Only the trace and hint stages spill to disk: they subsume their
    upstream stages, so a warm run never touches the dependence graph or
-   the reuse scheduler at all.  Payloads are Marshal-framed by
-   Cachefs (versioned header + checksum trailer); a decode failure
-   after the frame verified means a format drift — the entry is
+   the reuse scheduler at all.  Trace payloads are binary trace frames
+   ({!Dp_trace.Bin}), hint payloads Marshal blobs; both ride inside a
+   Cachefs frame (versioned header + checksum trailer).  A decode
+   failure after the frame verified means a format drift — the entry is
    quarantined and recomputed.  All disk traffic happens under the
    context mutex: stage lookups are already serialized, so the cache
    needs no locking of its own beyond its writer lock. *)
@@ -314,6 +316,36 @@ let cache_store t ~key v =
   | None -> ()
   | Some c -> Cachefs.put c ~key (Marshal.to_string v [])
 
+(* The trace stage spills as a binary trace frame (see {!Dp_trace.Bin})
+   rather than a Marshal blob: the payload is then self-describing —
+   [dpcc cache stat] can tell traces from the other entries by magic —
+   and an order of magnitude smaller.  The codec's raw-float fallback
+   keeps unquantized engine-bound timestamps bit-exact, so a warm run
+   is byte-identical to a cold one.  The codec version is part of the
+   key: a format bump makes old entries miss cleanly instead of
+   misdecoding. *)
+
+let trace_stage_key t k =
+  stage_key t k "trace" [ "bin"; string_of_int Bin.format_version ]
+
+let trace_cache_fetch t ~key =
+  match t.cache with
+  | None -> None
+  | Some c -> (
+      match Cachefs.get c ~key with
+      | None -> None
+      | Some payload -> (
+          match Bin.decode payload with
+          | Ok (reqs, _, _, rounds) -> Some (reqs, rounds)
+          | Error _ ->
+              Cachefs.report_undecodable c ~key;
+              None))
+
+let trace_cache_store t ~key (reqs, rounds) =
+  match t.cache with
+  | None -> ()
+  | Some c -> Cachefs.put c ~key (Bin.encode ?rounds reqs)
+
 (* The trace entry carries the scheduler round count too, so a warm
    run can answer [rounds] without rebuilding the streams stage. *)
 let trace_lookup t k =
@@ -322,9 +354,7 @@ let trace_lookup t k =
       t.memo_hits <- t.memo_hits + 1;
       Some (reqs, try Hashtbl.find t.rounds_tbl k with Not_found -> None)
   | None -> (
-      match
-        (cache_fetch t ~key:(stage_key t k "trace" []) : (Request.t list * int option) option)
-      with
+      match trace_cache_fetch t ~key:(trace_stage_key t k) with
       | Some ((reqs, rounds) as v) ->
           Hashtbl.add t.trace_tbl k reqs;
           Hashtbl.replace t.rounds_tbl k rounds;
@@ -353,7 +383,7 @@ let trace ?cluster t ~procs mode =
               Hashtbl.add t.trace_tbl k v;
               Hashtbl.replace t.rounds_tbl k rounds;
               t.trace_builds <- t.trace_builds + 1;
-              cache_store t ~key:(stage_key t k "trace" []) (v, rounds);
+              trace_cache_store t ~key:(trace_stage_key t k) (v, rounds);
               v)
 
 let rounds ?cluster t ~procs mode =
@@ -412,9 +442,9 @@ let hints_for ?cluster t ~procs ~policy mode =
   | None -> []
   | Some space -> hints ?cluster t ~procs ~space mode
 
-let simulate ?cluster ?faults ?retry ?obs ?record_timeline t ~procs ~policy mode =
+let simulate ?cluster ?faults ?retry ?obs ?record_timeline ?shards t ~procs ~policy mode =
   let reqs = trace ?cluster t ~procs mode in
   let hints = hints_for ?cluster t ~procs ~policy mode in
   Prof.span "pipeline.simulate" (fun () ->
-      Engine.simulate ?record_timeline ?obs ?faults ?retry ~hints ~disks:(disks t) policy
-        reqs)
+      Engine.simulate ?record_timeline ?obs ?faults ?retry ?shards ~hints ~disks:(disks t)
+        policy reqs)

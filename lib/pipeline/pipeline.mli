@@ -159,6 +159,7 @@ val simulate :
   ?retry:Policy.retry_config ->
   ?obs:Dp_obs.Sink.t ->
   ?record_timeline:bool ->
+  ?shards:int ->
   t ->
   procs:int ->
   policy:Policy.t ->
@@ -167,7 +168,10 @@ val simulate :
 (** Stage 5: trace-driven simulation of the mode under a policy, with
     the policy's hint stream ({!hints_for}) attached.  Simulation
     results are not memoized — faults, sinks and timelines make runs
-    observationally distinct; the expensive upstream stages are. *)
+    observationally distinct; the expensive upstream stages are.
+    [shards] fans the engine's per-segment shard groups across that
+    many domains ({!Engine.simulate}); the result stays byte-identical
+    to a serial run. *)
 
 (** {1 Stage accounting} *)
 

@@ -30,6 +30,7 @@ type config = {
   disks : int;
   jitter_ms : float;
   jobs : int;
+  shards : int;
   selection : selection;
   faults : Fault_model.t option;
   repair : Repair.config option;
@@ -39,11 +40,13 @@ type config = {
   live : bool;
 }
 
-let config ?(disks = 8) ?(jitter_ms = 30_000.0) ?(jobs = 1) ?(selection = All) ?faults
-    ?repair ?deadline_ms ?spare_blocks ?(obs = false) ?(live = false) ~tenants ~seed () =
+let config ?(disks = 8) ?(jitter_ms = 30_000.0) ?(jobs = 1) ?(shards = 1) ?(selection = All)
+    ?faults ?repair ?deadline_ms ?spare_blocks ?(obs = false) ?(live = false) ~tenants
+    ~seed () =
   if tenants < 1 then invalid_arg "Serve.config: tenants must be >= 1";
   if disks < 1 then invalid_arg "Serve.config: disks must be >= 1";
   if jobs < 1 then invalid_arg "Serve.config: jobs must be >= 1";
+  if shards < 1 then invalid_arg "Serve.config: shards must be >= 1";
   if jitter_ms < 0.0 then invalid_arg "Serve.config: jitter_ms must be >= 0";
   (match deadline_ms with
   | Some d when d <= 0.0 -> invalid_arg "Serve.config: deadline_ms must be > 0"
@@ -57,6 +60,7 @@ let config ?(disks = 8) ?(jitter_ms = 30_000.0) ?(jobs = 1) ?(selection = All) ?
     disks;
     jitter_ms;
     jobs;
+    shards;
     selection;
     faults;
     repair;
@@ -178,7 +182,7 @@ let run ?cache cfg =
         in
         let res =
           Engine.simulate ~model ~obs:sink ~hints ?faults:cfg.faults ?repair:cfg.repair
-            ?deadline_ms:cfg.deadline_ms ~disks:cfg.disks policy merged
+            ?deadline_ms:cfg.deadline_ms ~shards:cfg.shards ~disks:cfg.disks policy merged
         in
         {
           label;

@@ -44,6 +44,10 @@ type config = {
       (** tenant start offsets are uniform in [\[0, jitter_ms)]
           (default 30 000) *)
   jobs : int;  (** domain-pool width for the row fan-out *)
+  shards : int;
+      (** engine-internal domain fan-out per simulated row (per-segment
+          shard groups, byte-identical to serial — see
+          {!Dp_disksim.Engine.simulate}) *)
   selection : selection;
   faults : Dp_faults.Fault_model.t option;
       (** seeded fault injection for the simulated rows (the oracle
@@ -67,6 +71,7 @@ val config :
   ?disks:int ->
   ?jitter_ms:float ->
   ?jobs:int ->
+  ?shards:int ->
   ?selection:selection ->
   ?faults:Dp_faults.Fault_model.t ->
   ?repair:Dp_repair.Repair.config ->
@@ -79,7 +84,8 @@ val config :
   unit ->
   config
 (** @raise Invalid_argument when [tenants < 1], [disks < 1], [jobs < 1],
-    [jitter_ms < 0], [deadline_ms <= 0] or [spare_blocks < 1]. *)
+    [shards < 1], [jitter_ms < 0], [deadline_ms <= 0] or
+    [spare_blocks < 1]. *)
 
 type row = {
   label : string;  (** [base] | [offline-tpm] | [offline-drpm] | [online] | [oracle] *)

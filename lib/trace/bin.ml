@@ -1,0 +1,662 @@
+module Ir = Dp_ir.Ir
+module Fault_model = Dp_faults.Fault_model
+
+let magic = "DPTB"
+let format_version = 1
+let default_chunk_bytes = 65536
+
+(* Chunks larger than this are rejected as framing corruption rather than
+   allocated: a flipped length byte must not turn into a 2 GB read. *)
+let max_chunk_bytes = 1 lsl 26
+
+type record = Req of Request.t | Hint of Hint.t | Faults of Fault_model.t
+type error = { file : string; offset : int; msg : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s:%d: %s" e.file e.offset e.msg
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let to_load_error (e : error) : Request.load_error =
+  { file = e.file; line = e.offset; msg = e.msg }
+
+(* Record tags: kind in the high nibble, per-kind flags in the low one. *)
+let kind_request = 1 (* flags: bit0 write, bit1 arrival raw, bit2 think raw *)
+let kind_compact = 2 (* flags: bit0 address/lba exactly as predicted *)
+let kind_hint = 3 (* flags: bits0-1 action (D/U/S), bit2 at raw, bit3 lead raw *)
+let kind_fault = 4
+
+(* Scales for the opportunistic divide-before-varint trick below: timestamps
+   are deltas of thousandths of a millisecond (whole-ms steps divide by
+   1000), addresses step in stripe-unit multiples. *)
+let time_scale = 1000
+let addr_scale = 1024
+
+let zigzag v = (v lsl 1) lxor (v asr 62)
+let unzigzag u = (u lsr 1) lxor (-(u land 1))
+
+let put_u b v =
+  let v = ref v in
+  while !v land lnot 0x7f <> 0 do
+    Buffer.add_char b (Char.chr (0x80 lor (!v land 0x7f)));
+    v := !v lsr 7
+  done;
+  Buffer.add_char b (Char.chr !v)
+
+let put_s b v = put_u b (zigzag v)
+
+(* Signed varint with one spare bit marking "value divided by [scale]":
+   exact multiples (the overwhelmingly common case for sequential address
+   deltas and whole-ms time deltas) shrink by ~10 bits. *)
+let put_scaled b ~scale v =
+  if v mod scale = 0 then put_u b ((zigzag (v / scale) lsl 1) lor 1)
+  else put_u b (zigzag v lsl 1)
+
+(* A float is stored as a delta of thousandths-of-ms only when that integer
+   reproduces its exact bits on decode — true for every value the text
+   format's %.3f rendering parses back, since both are correctly rounded
+   images of the same rational k/1000.  Anything else keeps raw bits. *)
+let thousandths x =
+  let k = Float.round (x *. 1000.0) in
+  if Float.is_finite k && Float.abs k <= 4.5e15 then begin
+    let i = int_of_float k in
+    if Int64.bits_of_float (float_of_int i /. 1000.0) = Int64.bits_of_float x then Some i
+    else None
+  end
+  else None
+
+let q3 x = float_of_string (Printf.sprintf "%.3f" x)
+
+let quantize (r : Request.t) =
+  { r with arrival_ms = q3 r.arrival_ms; think_ms = q3 r.think_ms }
+
+let quantize_hint (h : Hint.t) =
+  let action =
+    match h.action with Hint.Pre_spin_up lead -> Hint.Pre_spin_up (q3 lead) | a -> a
+  in
+  { h with at_ms = q3 h.at_ms; action }
+
+(* Stream contexts, shared verbatim by encoder and decoder so deltas
+   cancel.  A generated trace interleaves a few logical streams per
+   (proc, disk) — e.g. two input arrays and an output array rotating in
+   one loop body — and each stream is individually regular: constant
+   address stride, repeated think/seg/mode, periodic arrivals.  Each
+   (proc, disk) pair therefore keeps TWO contexts in MRU order; a tag
+   bit says which one a record was coded against, so alternating
+   streams keep hitting their own predictor.  Arrivals are predicted
+   second-order (last arrival + last inter-arrival), so a steady rhythm
+   encodes as zero. *)
+type ctx = {
+  mutable last_addr : int;
+  mutable stride_addr : int;
+  mutable last_lba : int;
+  mutable stride_lba : int;
+  mutable last_size : int;
+  mutable prev_think : int; (* thousandths *)
+  mutable prev_seg : int;
+  mutable prev_mode : Ir.access_mode;
+  mutable prev_arr : int; (* thousandths *)
+  mutable prev_arr_d : int; (* last inter-arrival, thousandths *)
+  mutable fresh : bool;
+}
+
+type slot = { mutable front : ctx; mutable back : ctx } (* MRU order *)
+
+type predictors = {
+  mutable prev_hint_at : int;
+  slots : (int * int, slot) Hashtbl.t;
+}
+
+let predictors () = { prev_hint_at = 0; slots = Hashtbl.create 64 }
+
+let fresh_ctx () =
+  {
+    last_addr = 0;
+    stride_addr = 0;
+    last_lba = 0;
+    stride_lba = 0;
+    last_size = 0;
+    prev_think = 0;
+    prev_seg = 0;
+    prev_mode = Ir.Read;
+    prev_arr = 0;
+    prev_arr_d = 0;
+    fresh = true;
+  }
+
+let slot_of p proc disk =
+  match Hashtbl.find_opt p.slots (proc, disk) with
+  | Some s -> s
+  | None ->
+      let s = { front = fresh_ctx (); back = fresh_ctx () } in
+      Hashtbl.add p.slots (proc, disk) s;
+      s
+
+let pick slot index = if index = 0 then slot.front else slot.back
+
+let touch slot index =
+  if index = 1 then begin
+    let c = slot.back in
+    slot.back <- slot.front;
+    slot.front <- c
+  end
+
+let predict_arr c = c.prev_arr + c.prev_arr_d
+
+let ctx_update c ~arr ~think ~address ~lba ~size ~seg ~mode =
+  (match arr with
+  | Some a ->
+      c.prev_arr_d <- a - c.prev_arr;
+      c.prev_arr <- a
+  | None -> ());
+  (match think with Some t -> c.prev_think <- t | None -> ());
+  c.stride_addr <- (if c.fresh then size else address - c.last_addr);
+  c.stride_lba <- (if c.fresh then size else lba - c.last_lba);
+  c.last_addr <- address;
+  c.last_lba <- lba;
+  c.last_size <- size;
+  c.prev_seg <- seg;
+  c.prev_mode <- mode;
+  c.fresh <- false
+
+(* {1 Encoding} *)
+
+type enc = {
+  out : string -> unit;
+  chunk : Buffer.t;
+  chunk_bytes : int;
+  mutable nrecords : int;
+  p : predictors;
+}
+
+let flush_chunk e =
+  if Buffer.length e.chunk > 0 then begin
+    let payload = Buffer.contents e.chunk in
+    Buffer.clear e.chunk;
+    let hdr = Buffer.create 8 in
+    Buffer.add_char hdr 'C';
+    Buffer.add_int32_le hdr (Int32.of_int (String.length payload));
+    e.out (Buffer.contents hdr);
+    e.out payload;
+    e.out (Digest.string payload)
+  end
+
+let end_record e b =
+  e.nrecords <- e.nrecords + 1;
+  ignore b;
+  if Buffer.length e.chunk >= e.chunk_bytes then flush_chunk e
+
+let add_raw_float b x = Buffer.add_int64_le b (Int64.bits_of_float x)
+
+let len_u v =
+  let rec go v n = if v land lnot 0x7f = 0 then n else go (v lsr 7) (n + 1) in
+  go v 1
+
+let len_scaled ~scale v =
+  if v mod scale = 0 then len_u ((zigzag (v / scale) lsl 1) lor 1)
+  else len_u (zigzag v lsl 1)
+
+(* Encoded bytes this request would cost against context [c] (excluding
+   the fields whose size does not depend on the context). *)
+let ctx_cost c (r : Request.t) ~arr ~think =
+  let d_addr = r.address - (c.last_addr + c.stride_addr) in
+  let d_lba = r.lba - (c.last_lba + c.stride_lba) in
+  let d_size = r.size - c.last_size in
+  let compact =
+    (match (arr, think) with Some _, Some t -> t = c.prev_think | _ -> false)
+    && r.seg = c.prev_seg && r.mode = c.prev_mode && d_size = 0
+  in
+  let arr_len =
+    match arr with
+    | Some a -> len_scaled ~scale:time_scale (a - predict_arr c)
+    | None -> 8
+  in
+  let addr_len =
+    if compact && d_addr = 0 && d_lba = 0 then 0
+    else len_scaled ~scale:addr_scale d_addr + len_scaled ~scale:addr_scale d_lba
+  in
+  let rest_len =
+    if compact then 0
+    else
+      (match think with
+      | Some t -> len_scaled ~scale:time_scale (t - c.prev_think)
+      | None -> 8)
+      + len_u (zigzag (r.seg - c.prev_seg))
+      + len_scaled ~scale:addr_scale d_size
+  in
+  (arr_len + addr_len + rest_len, compact)
+
+let add_request e (r : Request.t) =
+  let b = e.chunk in
+  let slot = slot_of e.p r.proc r.disk in
+  let arr = thousandths r.arrival_ms in
+  let think = thousandths r.think_ms in
+  let cost0 = ctx_cost slot.front r ~arr ~think in
+  let cost1 = ctx_cost slot.back r ~arr ~think in
+  let index = if fst cost1 < fst cost0 then 1 else 0 in
+  let c = pick slot index in
+  let compact = snd (if index = 0 then cost0 else cost1) in
+  let d_addr = r.address - (c.last_addr + c.stride_addr) in
+  let d_lba = r.lba - (c.last_lba + c.stride_lba) in
+  (if compact then begin
+     let a = Option.get arr in
+     let zero = d_addr = 0 && d_lba = 0 in
+     Buffer.add_char b
+       (Char.chr ((kind_compact lsl 4) lor (if zero then 1 else 0) lor (index lsl 1)));
+     put_u b r.proc;
+     put_u b r.disk;
+     put_scaled b ~scale:time_scale (a - predict_arr c);
+     if not zero then begin
+       put_scaled b ~scale:addr_scale d_addr;
+       put_scaled b ~scale:addr_scale d_lba
+     end
+   end
+   else begin
+     let flags =
+       (match r.mode with Ir.Write -> 1 | Ir.Read -> 0)
+       lor (if arr = None then 2 else 0)
+       lor (if think = None then 4 else 0)
+       lor (index lsl 3)
+     in
+     Buffer.add_char b (Char.chr ((kind_request lsl 4) lor flags));
+     put_u b r.proc;
+     put_u b r.disk;
+     (match arr with
+     | Some a -> put_scaled b ~scale:time_scale (a - predict_arr c)
+     | None -> add_raw_float b r.arrival_ms);
+     (match think with
+     | Some t -> put_scaled b ~scale:time_scale (t - c.prev_think)
+     | None -> add_raw_float b r.think_ms);
+     put_s b (r.seg - c.prev_seg);
+     put_scaled b ~scale:addr_scale d_addr;
+     put_scaled b ~scale:addr_scale d_lba;
+     put_scaled b ~scale:addr_scale (r.size - c.last_size)
+   end);
+  ctx_update c ~arr ~think ~address:r.address ~lba:r.lba ~size:r.size ~seg:r.seg
+    ~mode:r.mode;
+  touch slot index;
+  end_record e b
+
+let add_hint e (h : Hint.t) =
+  let b = e.chunk in
+  let p = e.p in
+  let at = thousandths h.at_ms in
+  let action_code, lead, rpm =
+    match h.action with
+    | Hint.Spin_down -> (0, None, None)
+    | Hint.Pre_spin_up l -> (1, Some l, None)
+    | Hint.Set_rpm r -> (2, None, Some r)
+  in
+  let lead_k = Option.map thousandths lead in
+  let flags =
+    action_code
+    lor (if at = None then 4 else 0)
+    lor if lead_k = Some None then 8 else 0
+  in
+  Buffer.add_char b (Char.chr ((kind_hint lsl 4) lor flags));
+  put_u b h.disk;
+  (match at with
+  | Some a ->
+      put_scaled b ~scale:time_scale (a - p.prev_hint_at);
+      p.prev_hint_at <- a
+  | None -> add_raw_float b h.at_ms);
+  (match (lead, lead_k) with
+  | Some _, Some (Some k) -> put_scaled b ~scale:time_scale k
+  | Some l, _ -> add_raw_float b l
+  | None, _ -> ());
+  (match rpm with Some r -> put_u b r | None -> ());
+  end_record e b
+
+let add_fault e (f : Fault_model.t) =
+  let b = e.chunk in
+  let spec = Fault_model.to_spec f in
+  Buffer.add_char b (Char.chr (kind_fault lsl 4));
+  put_u b (String.length spec);
+  Buffer.add_string b spec;
+  end_record e b
+
+let write ~out ?(chunk_bytes = default_chunk_bytes) ?rounds ?(hints = []) ?faults reqs =
+  if chunk_bytes < 1 then invalid_arg "Trace.Bin: chunk_bytes must be >= 1";
+  let e = { out; chunk = Buffer.create (chunk_bytes + 256); chunk_bytes; nrecords = 0; p = predictors () } in
+  let hdr = Buffer.create 16 in
+  Buffer.add_string hdr magic;
+  Buffer.add_char hdr (Char.chr format_version);
+  (match rounds with
+  | None -> Buffer.add_char hdr '\000'
+  | Some n ->
+      if n < 0 then invalid_arg "Trace.Bin: rounds must be >= 0";
+      Buffer.add_char hdr '\001';
+      put_u hdr n);
+  out (Buffer.contents hdr);
+  List.iter (add_request e) reqs;
+  List.iter (add_hint e) hints;
+  Option.iter (add_fault e) faults;
+  flush_chunk e;
+  let trailer = Buffer.create 8 in
+  Buffer.add_char trailer 'E';
+  put_u trailer e.nrecords;
+  out (Buffer.contents trailer)
+
+let encode ?chunk_bytes ?rounds ?hints ?faults reqs =
+  let buf = Buffer.create 4096 in
+  write ~out:(Buffer.add_string buf) ?chunk_bytes ?rounds ?hints ?faults reqs;
+  Buffer.contents buf
+
+let save ?chunk_bytes ?hints ?faults path reqs =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> write ~out:(output_string oc) ?chunk_bytes ?hints ?faults reqs)
+
+(* {1 Decoding} *)
+
+exception Fail of error
+
+type src = {
+  name : string;
+  refill : bytes -> int -> int -> int; (* like [input]; 0 means EOF *)
+  mutable pos : int; (* absolute byte offset consumed so far *)
+}
+
+let fail src offset fmt =
+  Printf.ksprintf (fun msg -> raise (Fail { file = src.name; offset; msg })) fmt
+
+(* Reads [len] bytes or reports how far it got (EOF mid-structure is the
+   caller's truncation diagnostic, not an exception here). *)
+let read_avail src buf off len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    let n = src.refill buf (off + !got) (len - !got) in
+    if n = 0 then eof := true else got := !got + n
+  done;
+  src.pos <- src.pos + !got;
+  !got
+
+let read_exact src buf off len what =
+  let at = src.pos in
+  let got = read_avail src buf off len in
+  if got < len then
+    fail src at "truncated trace: %s needs %d bytes, found %d" what len got
+
+let read_byte_opt src =
+  let b = Bytes.create 1 in
+  if read_avail src b 0 1 = 0 then None else Some (Bytes.get b 0)
+
+let read_byte src what =
+  match read_byte_opt src with
+  | Some c -> Char.code c
+  | None -> fail src src.pos "truncated trace: missing %s" what
+
+let read_varint_src src what =
+  let at = src.pos in
+  let rec go shift acc =
+    if shift > 62 then fail src at "malformed %s: varint too long" what;
+    let c = read_byte src what in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+(* Cursor over one chunk payload; [base] is the chunk's absolute offset so
+   record diagnostics carry file positions. *)
+type cur = { src : src; buf : bytes; len : int; base : int; mutable cpos : int }
+
+let cur_fail c fmt = fail c.src (c.base + c.cpos) fmt
+
+let get_byte c what =
+  if c.cpos >= c.len then cur_fail c "truncated record: %s runs past chunk end" what;
+  let v = Char.code (Bytes.get c.buf c.cpos) in
+  c.cpos <- c.cpos + 1;
+  v
+
+let get_u c what =
+  let rec go shift acc =
+    if shift > 62 then cur_fail c "malformed %s: varint too long" what;
+    let b = get_byte c what in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let get_s c what = unzigzag (get_u c what)
+
+let get_scaled c ~scale what =
+  let u = get_u c what in
+  if u land 1 = 1 then unzigzag (u lsr 1) * scale else unzigzag (u lsr 1)
+
+let get_raw_float c what =
+  if c.cpos + 8 > c.len then cur_fail c "truncated record: %s runs past chunk end" what;
+  let v = Int64.float_of_bits (Bytes.get_int64_le c.buf c.cpos) in
+  c.cpos <- c.cpos + 8;
+  v
+
+let decode_request cu p ~flags : Request.t =
+  let proc = get_u cu "request proc" in
+  let disk = get_u cu "request disk" in
+  let slot = slot_of p proc disk in
+  let index = (flags lsr 3) land 1 in
+  let c = pick slot index in
+  let arr =
+    if flags land 2 = 0 then
+      Some (predict_arr c + get_scaled cu ~scale:time_scale "request arrival")
+    else None
+  in
+  let arrival_ms =
+    match arr with
+    | Some a -> float_of_int a /. 1000.0
+    | None -> get_raw_float cu "request arrival"
+  in
+  let think =
+    if flags land 4 = 0 then
+      Some (c.prev_think + get_scaled cu ~scale:time_scale "request think")
+    else None
+  in
+  let think_ms =
+    match think with
+    | Some t -> float_of_int t /. 1000.0
+    | None -> get_raw_float cu "request think"
+  in
+  let seg = c.prev_seg + get_s cu "request seg" in
+  let address = c.last_addr + c.stride_addr + get_scaled cu ~scale:addr_scale "request address" in
+  let lba = c.last_lba + c.stride_lba + get_scaled cu ~scale:addr_scale "request lba" in
+  let size = c.last_size + get_scaled cu ~scale:addr_scale "request size" in
+  let mode = if flags land 1 <> 0 then Ir.Write else Ir.Read in
+  ctx_update c ~arr ~think ~address ~lba ~size ~seg ~mode;
+  touch slot index;
+  { arrival_ms; think_ms; seg; address; lba; size; mode; proc; disk }
+
+let decode_compact cu p ~flags : Request.t =
+  let proc = get_u cu "request proc" in
+  let disk = get_u cu "request disk" in
+  let slot = slot_of p proc disk in
+  let index = (flags lsr 1) land 1 in
+  let c = pick slot index in
+  let a = predict_arr c + get_scaled cu ~scale:time_scale "request arrival" in
+  let d_addr, d_lba =
+    if flags land 1 <> 0 then (0, 0)
+    else
+      let da = get_scaled cu ~scale:addr_scale "request address" in
+      let dl = get_scaled cu ~scale:addr_scale "request lba" in
+      (da, dl)
+  in
+  let address = c.last_addr + c.stride_addr + d_addr in
+  let lba = c.last_lba + c.stride_lba + d_lba in
+  let size = c.last_size in
+  let r : Request.t =
+    {
+      arrival_ms = float_of_int a /. 1000.0;
+      think_ms = float_of_int c.prev_think /. 1000.0;
+      seg = c.prev_seg;
+      address;
+      lba;
+      size;
+      mode = c.prev_mode;
+      proc;
+      disk;
+    }
+  in
+  ctx_update c ~arr:(Some a) ~think:(Some c.prev_think) ~address ~lba ~size ~seg:r.seg
+    ~mode:r.mode;
+  touch slot index;
+  r
+
+let decode_hint c p ~flags : Hint.t =
+  let disk = get_u c "hint disk" in
+  let at_ms =
+    if flags land 4 <> 0 then get_raw_float c "hint time"
+    else begin
+      let a = p.prev_hint_at + get_scaled c ~scale:time_scale "hint time" in
+      p.prev_hint_at <- a;
+      float_of_int a /. 1000.0
+    end
+  in
+  let action =
+    match flags land 3 with
+    | 0 -> Hint.Spin_down
+    | 1 ->
+        let lead =
+          if flags land 8 <> 0 then get_raw_float c "hint lead"
+          else float_of_int (get_scaled c ~scale:time_scale "hint lead") /. 1000.0
+        in
+        Hint.Pre_spin_up lead
+    | 2 -> Hint.Set_rpm (get_u c "hint rpm")
+    | _ -> cur_fail c "bad hint action %d" (flags land 3)
+  in
+  { at_ms; disk; action }
+
+let decode_fault c : Fault_model.t =
+  let len = get_u c "fault spec length" in
+  if len < 0 || c.cpos + len > c.len then
+    cur_fail c "truncated record: fault spec runs past chunk end";
+  let spec = Bytes.sub_string c.buf c.cpos len in
+  let at = c.base + c.cpos in
+  c.cpos <- c.cpos + len;
+  match Fault_model.of_spec spec with
+  | Ok f -> f
+  | Error msg -> fail c.src at "bad fault spec %S: %s" spec msg
+
+let decode_chunk c p ~on_record =
+  let n = ref 0 in
+  while c.cpos < c.len do
+    let tag = get_byte c "record tag" in
+    let flags = tag land 0xf in
+    let record =
+      match tag lsr 4 with
+      | k when k = kind_request -> Req (decode_request c p ~flags)
+      | k when k = kind_compact -> Req (decode_compact c p ~flags)
+      | k when k = kind_hint -> Hint (decode_hint c p ~flags)
+      | k when k = kind_fault -> Faults (decode_fault c)
+      | k -> fail c.src (c.base + c.cpos - 1) "unknown record kind %d" k
+    in
+    incr n;
+    on_record record
+  done;
+  !n
+
+let fold_src src ~init ~f =
+  let hdr = Bytes.create 6 in
+  let at = src.pos in
+  let got = read_avail src hdr 0 6 in
+  if got < 4 || Bytes.sub_string hdr 0 4 <> magic then
+    fail src at "bad magic: not a binary trace (expected %S header)" magic;
+  if got < 6 then fail src at "truncated trace: header needs 6 bytes, found %d" got;
+  let version = Char.code (Bytes.get hdr 4) in
+  if version <> format_version then
+    fail src 4 "unsupported binary trace version %d (this build reads version %d)" version
+      format_version;
+  let hflags = Char.code (Bytes.get hdr 5) in
+  if hflags land lnot 1 <> 0 then fail src 5 "bad header flags 0x%x" hflags;
+  let rounds = if hflags land 1 <> 0 then Some (read_varint_src src "header rounds") else None in
+  let p = predictors () in
+  let acc = ref init in
+  let on_record r = acc := f !acc r in
+  let chunk_buf = ref (Bytes.create 8192) in
+  let nrecords = ref 0 in
+  let lenb = Bytes.create 4 in
+  let digest = Bytes.create 16 in
+  let rec chunks () =
+    let marker_at = src.pos in
+    match read_byte_opt src with
+    | None -> fail src marker_at "truncated trace: missing end-of-trace marker"
+    | Some 'C' ->
+        read_exact src lenb 0 4 "chunk length";
+        let len = Int32.to_int (Bytes.get_int32_le lenb 0) in
+        if len <= 0 || len > max_chunk_bytes then
+          fail src marker_at "bad chunk length %d" len;
+        if Bytes.length !chunk_buf < len then
+          chunk_buf := Bytes.create (max len (2 * Bytes.length !chunk_buf));
+        let data_at = src.pos in
+        read_exact src !chunk_buf 0 len "chunk payload";
+        read_exact src digest 0 16 "chunk checksum";
+        if Digest.subbytes !chunk_buf 0 len <> Bytes.to_string digest then
+          fail src marker_at "chunk checksum mismatch (%d-byte chunk)" len;
+        let c = { src; buf = !chunk_buf; len; base = data_at; cpos = 0 } in
+        nrecords := !nrecords + decode_chunk c p ~on_record;
+        chunks ()
+    | Some 'E' ->
+        let n = read_varint_src src "end-of-trace record count" in
+        if n <> !nrecords then
+          fail src marker_at "record count mismatch: trailer says %d, decoded %d" n !nrecords;
+        (match read_byte_opt src with
+        | None -> ()
+        | Some _ -> fail src (src.pos - 1) "trailing bytes after end-of-trace marker")
+    | Some c -> fail src marker_at "bad chunk marker %C (expected 'C' or 'E')" c
+  in
+  chunks ();
+  (!acc, rounds)
+
+let src_of_string ?(file = "<buffer>") s =
+  let cursor = ref 0 in
+  let refill buf off len =
+    let n = min len (String.length s - !cursor) in
+    Bytes.blit_string s !cursor buf off n;
+    cursor := !cursor + n;
+    n
+  in
+  { name = file; refill; pos = 0 }
+
+let run_fold src ~init ~f =
+  match fold_src src ~init ~f with
+  | v -> Ok v
+  | exception Fail e -> Error e
+
+let collect (reqs, hints, faults) = function
+  | Req r -> (r :: reqs, hints, faults)
+  | Hint h -> (reqs, h :: hints, faults)
+  | Faults f -> (reqs, hints, Some f)
+
+let finish ((reqs, hints, faults), rounds) =
+  (List.rev reqs, List.rev hints, faults, rounds)
+
+let decode ?file s =
+  Result.map finish (run_fold (src_of_string ?file s) ~init:([], [], None) ~f:collect)
+
+let fold_path path ~init ~f =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error { file = path; offset = 0; msg }
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> run_fold { name = path; refill = input ic; pos = 0 } ~init ~f)
+
+let load_bin path = Result.map finish (fold_path path ~init:([], [], None) ~f:collect)
+
+let sniff_string s = String.length s >= 4 && String.sub s 0 4 = magic
+
+let sniff path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let b = Bytes.create 4 in
+          match really_input ic b 0 4 with
+          | () -> Bytes.to_string b = magic
+          | exception End_of_file -> false)
+
+let load_result path =
+  if sniff path then
+    match load_bin path with
+    | Ok (reqs, hints, faults, _rounds) -> Ok (reqs, hints, faults)
+    | Error e -> Error (to_load_error e)
+  else Request.load_result path

@@ -625,6 +625,222 @@ let test_dpcc_cache_concurrent () =
       check Alcotest.string "racing runs print identical output" (slurp out1) (slurp out2);
       assert_no_residue dir)
 
+(* --- trace formats: the binary codec, conversion, auto-detection --- *)
+
+let with_temp_files n f =
+  let paths = List.init n (fun _ -> Filename.temp_file "dpower" ".trace") in
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths)
+    (fun () -> f paths)
+
+(* The nine golden trace shapes of the evaluation matrix: every
+   restructuring mode and processor count the version rows replay, with
+   and without a hint stream, plus an embedded fault window. *)
+let golden_trace_shapes =
+  [
+    ("base-p1", [ "--procs"; "1" ]);
+    ("base-p4", [ "--procs"; "4" ]);
+    ("hints-p1", [ "--procs"; "1"; "--hints" ]);
+    ("hints-p4", [ "--procs"; "4"; "--hints" ]);
+    ("single-p1", [ "--procs"; "1"; "--restructure" ]);
+    ("single-p4", [ "--procs"; "4"; "--restructure"; "--mode"; "single" ]);
+    ("multi-p4", [ "--procs"; "4"; "--restructure"; "--mode"; "multi" ]);
+    ("multi-hints-p4", [ "--procs"; "4"; "--restructure"; "--mode"; "multi"; "--hints" ]);
+    ("faulted-p1", [ "--procs"; "1"; "--hints"; "--faults"; "42:0.01:sm" ]);
+  ]
+
+let test_dpcc_trace_format_roundtrip () =
+  List.iter
+    (fun (label, args) ->
+      with_temp_files 4 @@ function
+      | [ txt; bin; bin2; txt2 ] ->
+          let code, _, err =
+            run ([ dpcc; "trace"; "app:cholesky"; "-o"; txt; "--no-cache" ] @ args)
+          in
+          check Alcotest.int (Printf.sprintf "%s: text trace (stderr %S)" label err) 0 code;
+          let code, _, _ =
+            run
+              ([ dpcc; "trace"; "app:cholesky"; "-o"; bin; "--format"; "bin"; "--no-cache" ]
+              @ args)
+          in
+          check Alcotest.int (label ^ ": binary trace exits 0") 0 code;
+          (* text -> bin reproduces the directly-emitted binary... *)
+          let code, _, _ = run [ dpcc; "convert"; txt; bin2 ] in
+          check Alcotest.int (label ^ ": convert to bin exits 0") 0 code;
+          check Alcotest.bool (label ^ ": converted binary = direct binary") true
+            (slurp bin = slurp bin2);
+          (* ...and bin -> text closes the loop byte-identically. *)
+          let code, _, _ = run [ dpcc; "convert"; bin; txt2 ] in
+          check Alcotest.int (label ^ ": convert to text exits 0") 0 code;
+          check Alcotest.bool (label ^ ": text -> bin -> text byte-identical") true
+            (slurp txt = slurp txt2);
+          check Alcotest.bool (label ^ ": binary is smaller than text") true
+            (String.length (slurp bin) < String.length (slurp txt))
+      | _ -> assert false)
+    golden_trace_shapes
+
+let test_dpcc_trace_bin_needs_output () =
+  let code, _, err = run [ dpcc; "trace"; "app:AST"; "--format"; "bin"; "--no-cache" ] in
+  check Alcotest.int "exit code" 2 code;
+  check Alcotest.bool
+    (Printf.sprintf "points at -o (got %S)" err)
+    true (contains ~needle:"-o" err);
+  let code, _, err = run [ dpcc; "trace"; "app:AST"; "--format"; "xml"; "--no-cache" ] in
+  check Alcotest.int "unknown format exits 2" 2 code;
+  check Alcotest.bool "names the choices" true (contains ~needle:"text | bin" err)
+
+let test_dpcc_convert_errors () =
+  with_temp_files 1 @@ function
+  | [ out ] ->
+      let code, _, err = run [ dpcc; "convert"; "/nonexistent.trace"; out ] in
+      check Alcotest.int "missing input exits 2" 2 code;
+      check Alcotest.bool "one-line diagnostic" true (one_line err);
+      with_trace_file "1.0 2.0 0 0 0 65536 R 0 0\n" (fun path ->
+          let code, _, err = run [ dpcc; "convert"; path; out; "--format"; "xml" ] in
+          check Alcotest.int "unknown format exits 2" 2 code;
+          check Alcotest.bool "names the choices" true (contains ~needle:"text | bin" err))
+  | _ -> assert false
+
+(* Strip dpsim's first stdout line (it names the trace file, which
+   differs between the text and binary copies). *)
+let drop_first_line s =
+  match String.index_opt s '\n' with
+  | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+  | None -> s
+
+let test_dpsim_bin_autodetect () =
+  with_temp_files 2 @@ function
+  | [ txt; bin ] ->
+      let gen fmt path =
+        run
+          [
+            dpcc; "trace"; "app:cholesky"; "-p"; "2"; "--restructure"; "--hints";
+            "--faults"; "7:0.02:m"; "-o"; path; "--format"; fmt; "--no-cache";
+          ]
+      in
+      let code, _, _ = gen "text" txt in
+      check Alcotest.int "text trace exits 0" 0 code;
+      let code, _, _ = gen "bin" bin in
+      check Alcotest.int "binary trace exits 0" 0 code;
+      let codea, outa, _ = run [ dpsim; txt; "--policy"; "tpm"; "--proactive" ] in
+      let codeb, outb, _ = run [ dpsim; bin; "--policy"; "tpm"; "--proactive" ] in
+      check Alcotest.int "text run exits 0" 0 codea;
+      check Alcotest.int "binary run exits 0" 0 codeb;
+      check Alcotest.string "identical simulation from either format"
+        (drop_first_line outa) (drop_first_line outb)
+  | _ -> assert false
+
+let test_dpsim_truncated_bin () =
+  with_temp_files 2 @@ function
+  | [ bin; trunc ] ->
+      let code, _, _ =
+        run
+          [
+            dpcc; "trace"; "app:cholesky"; "-o"; bin; "--format"; "bin"; "--no-cache";
+          ]
+      in
+      check Alcotest.int "binary trace exits 0" 0 code;
+      let data = slurp bin in
+      let oc = open_out_bin trunc in
+      output_string oc (String.sub data 0 (String.length data / 2));
+      close_out oc;
+      let code, _, err = run [ dpsim; trunc ] in
+      check Alcotest.int "truncated binary exits 2" 2 code;
+      check Alcotest.bool "one-line diagnostic" true (one_line err);
+      check Alcotest.bool
+        (Printf.sprintf "names file:offset (got %S)" err)
+        true
+        (contains ~needle:(trunc ^ ":") err && contains ~needle:"truncated" err)
+  | _ -> assert false
+
+(* --- intra-run sharding flags --- *)
+
+let test_cli_bad_shards () =
+  List.iter
+    (fun sub ->
+      let code, _, err = run [ dpcc; sub; "app:AST"; "--shards"; "0" ] in
+      check Alcotest.int (sub ^ " --shards 0 exit code") 2 code;
+      check Alcotest.bool
+        (Printf.sprintf "%s names --shards (got %S)" sub err)
+        true (contains ~needle:"--shards" err))
+    [ "simulate"; "report"; "fault-sweep" ];
+  let code, _, err = run [ dpcc; "serve"; "--tenants"; "1"; "--shards"; "0" ] in
+  check Alcotest.int "serve --shards 0 exit code" 2 code;
+  check Alcotest.bool "serve names --shards" true (contains ~needle:"--shards" err);
+  with_trace_file "1.0 2.0 0 0 0 65536 R 0 0\n" (fun path ->
+      let code, _, err = run [ dpsim; path; "--shards"; "0" ] in
+      check Alcotest.int "dpsim --shards 0 exit code" 2 code;
+      check Alcotest.bool "dpsim names --shards" true (contains ~needle:"--shards" err);
+      let code, _, err = run [ dpsim; path; "--shards"; "2"; "--live" ] in
+      check Alcotest.int "dpsim --live with shards exit code" 2 code;
+      check Alcotest.bool "names --live" true (contains ~needle:"--live" err))
+
+let test_dpcc_simulate_shards_identity () =
+  let simulate shards =
+    run
+      ([
+         dpcc; "simulate"; "app:cholesky"; "-p"; "4"; "--restructure"; "--mode"; "multi";
+         "--policy"; "drpm-proactive"; "--per-disk"; "--timeline"; "--no-cache";
+       ]
+      @ shards)
+  in
+  let code1, out1, _ = simulate [] in
+  check Alcotest.int "serial exits 0" 0 code1;
+  List.iter
+    (fun n ->
+      let code, out, _ = simulate [ "--shards"; n ] in
+      check Alcotest.int (Printf.sprintf "--shards %s exits 0" n) 0 code;
+      check Alcotest.string (Printf.sprintf "--shards %s byte-identical" n) out1 out)
+    [ "1"; "4" ]
+
+(* --- cache stat: per-format breakdown --- *)
+
+let test_dpcc_cache_stat_formats () =
+  let dir = fresh_cache_dir () in
+  (* A proactive simulate stores the trace (binary frame) and its hint
+     stream (Marshal blob). *)
+  let code, _, _ =
+    run
+      [
+        dpcc; "simulate"; "app:cholesky"; "--policy"; "tpm-proactive"; "--cache-dir"; dir;
+      ]
+  in
+  check Alcotest.int "simulate exits 0" 0 code;
+  let code, out, _ = run [ dpcc; "cache"; "stat"; "--cache-dir"; dir ] in
+  check Alcotest.int "stat exits 0" 0 code;
+  check Alcotest.bool
+    (Printf.sprintf "breakdown names binary traces (got %S)" out)
+    true
+    (contains ~needle:"binary traces: 1" out);
+  check Alcotest.bool "breakdown names marshal entries" true
+    (contains ~needle:"marshal: 1" out);
+  check Alcotest.bool "sizes in human units" true
+    (contains ~needle:" B)" out || contains ~needle:" KB)" out
+   || contains ~needle:" MB)" out);
+  let code, out, _ = run [ dpcc; "cache"; "stat"; "--json"; "--cache-dir"; dir ] in
+  check Alcotest.int "stat --json exits 0" 0 code;
+  List.iter
+    (fun needle ->
+      check Alcotest.bool (Printf.sprintf "json has %s" needle) true
+        (contains ~needle out))
+    [ "\"formats\""; "\"trace_bin\""; "\"marshal\"" ];
+  let code, _, _ = run [ dpcc; "cache"; "clear"; "--cache-dir"; dir ] in
+  check Alcotest.int "clear exits 0" 0 code
+
+(* A warm binary-trace cache reproduces the cold run byte for byte. *)
+let test_dpcc_cache_warm_bin_identity () =
+  let dir = fresh_cache_dir () in
+  let report () =
+    run [ dpcc; "report"; "app:cholesky"; "-p"; "2"; "--cache-dir"; dir ]
+  in
+  let code1, cold, _ = report () in
+  check Alcotest.int "cold run exits 0" 0 code1;
+  let code2, warm, _ = report () in
+  check Alcotest.int "warm run exits 0" 0 code2;
+  check Alcotest.string "warm = cold byte for byte" cold warm;
+  let code, _, _ = run [ dpcc; "cache"; "clear"; "--cache-dir"; dir ] in
+  check Alcotest.int "clear exits 0" 0 code
+
 let suites =
   [
     ( "cli",
@@ -676,5 +892,18 @@ let suites =
         Alcotest.test_case "dpcc cache corruption recovery" `Slow
           test_dpcc_cache_corruption_recovery;
         Alcotest.test_case "dpcc cache concurrent runs" `Slow test_dpcc_cache_concurrent;
+        Alcotest.test_case "dpcc trace text/bin roundtrip" `Slow
+          test_dpcc_trace_format_roundtrip;
+        Alcotest.test_case "dpcc trace --format bin needs -o" `Quick
+          test_dpcc_trace_bin_needs_output;
+        Alcotest.test_case "dpcc convert errors" `Quick test_dpcc_convert_errors;
+        Alcotest.test_case "dpsim binary auto-detect" `Slow test_dpsim_bin_autodetect;
+        Alcotest.test_case "dpsim truncated binary" `Slow test_dpsim_truncated_bin;
+        Alcotest.test_case "bad --shards" `Quick test_cli_bad_shards;
+        Alcotest.test_case "dpcc simulate --shards identity" `Slow
+          test_dpcc_simulate_shards_identity;
+        Alcotest.test_case "dpcc cache stat formats" `Slow test_dpcc_cache_stat_formats;
+        Alcotest.test_case "dpcc cache warm binary identity" `Slow
+          test_dpcc_cache_warm_bin_identity;
       ] );
   ]

@@ -518,6 +518,131 @@ let test_backoff_bounded () =
       check Alcotest.(option int) "floor kept" (Some 9000) c.Policy.min_rpm
   | _ -> Alcotest.fail "fallback changed the policy family"
 
+(* --- sharding: component-parallel runs reproduce serial byte for byte --- *)
+
+let shard_counts = [ 1; 2; 4; 8 ]
+
+(* Four procs touring four disjoint disk pairs across three segments:
+   every segment splits into four shard groups, so shards > 1 actually
+   exercises the parallel path (a single-component trace would just run
+   serially whatever the cap says). *)
+let disjoint_trace =
+  List.concat_map
+    (fun p ->
+      List.concat_map
+        (fun s ->
+          List.init 6 (fun i ->
+              req ~proc:p ~seg:s
+                ~disk:((2 * p) + (i mod 2))
+                ~lba:(i * 7919 * 4096)
+                ~think:(float_of_int ((p + 1) * 911 * (i + 1) mod 20_000))
+                ()))
+        [ 0; 1; 2 ])
+    [ 0; 1; 2; 3 ]
+
+let test_shards_identity () =
+  List.iter
+    (fun policy ->
+      let serial = Engine.simulate ~record_timeline:true ~disks:8 policy disjoint_trace in
+      List.iter
+        (fun shards ->
+          let sharded =
+            Engine.simulate ~record_timeline:true ~shards ~disks:8 policy disjoint_trace
+          in
+          check Alcotest.bool
+            (Printf.sprintf "%s --shards %d = serial" (Policy.name policy) shards)
+            true (serial = sharded))
+        shard_counts)
+    all_policies
+
+let test_shards_identity_faulted () =
+  (* Transient faults, media decay (arming the repair domain, which
+     collapses observed runs to one group but must stay identical), and
+     a deadline with failover — across every shard count. *)
+  let cases =
+    [
+      (Some (Fault_model.make ~seed:7 ~rate:0.05 ()), None);
+      ( Some (Fault_model.make ~classes:[ Fault_model.Media_decay ] ~seed:11 ~rate:0.3 ()),
+        Some 500.0 );
+      (None, Some 200.0);
+    ]
+  in
+  List.iter
+    (fun (faults, deadline_ms) ->
+      let serial =
+        Engine.simulate ~record_timeline:true ?faults ?deadline_ms ~disks:8
+          Policy.default_tpm disjoint_trace
+      in
+      List.iter
+        (fun shards ->
+          let sharded =
+            Engine.simulate ~record_timeline:true ?faults ?deadline_ms ~shards ~disks:8
+              Policy.default_tpm disjoint_trace
+          in
+          check Alcotest.bool
+            (Printf.sprintf "faulted --shards %d = serial" shards)
+            true (serial = sharded))
+        shard_counts)
+    cases
+
+let test_shards_obs_order () =
+  (* The re-merged event stream must replay the serial emission order
+     exactly — same events, same order, not just the same multiset. *)
+  let record shards =
+    let sink = Dp_obs.Sink.ring ~capacity:65_536 () in
+    let r =
+      Engine.simulate ~obs:sink ?shards ~disks:8 (Policy.tpm ~proactive:true ())
+        disjoint_trace
+    in
+    (r, Dp_obs.Sink.events sink)
+  in
+  let r1, e1 = record None in
+  check Alcotest.bool "events recorded" true (e1 <> []);
+  List.iter
+    (fun n ->
+      let r2, e2 = record (Some n) in
+      check Alcotest.bool (Printf.sprintf "result identical at shards %d" n) true (r1 = r2);
+      check Alcotest.bool
+        (Printf.sprintf "event stream identical at shards %d" n)
+        true (e1 = e2))
+    shard_counts
+
+let test_shards_validation () =
+  match Engine.simulate ~shards:0 ~disks:1 Policy.No_pm [ req ~think:1.0 () ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shards=0 must be rejected"
+
+(* Random multi-component traces (proc p owns disk p) under random
+   fault seeds: sharded and serial runs stay structurally equal. *)
+let sharded_gen =
+  QCheck2.Gen.(
+    triple
+      (list_size (int_range 1 30)
+         (map3
+            (fun think pd i ->
+              req ~proc:pd ~seg:(i mod 3) ~disk:pd ~lba:(i * 7919 * 4096)
+                ~think:(float_of_int think) ())
+            (int_range 1 30_000) (int_range 0 2) (int_range 0 50)))
+      (int_range 0 10_000)
+      (map (fun r -> float_of_int r /. 100.0) (int_range 0 40)))
+
+let prop_shards_identity =
+  qtest ~count:30 "Engine: sharded faulted runs byte-identical to serial" sharded_gen
+    (fun (reqs, seed, rate) ->
+      let faults = Fault_model.make ~seed ~rate () in
+      List.for_all
+        (fun policy ->
+          let serial =
+            Engine.simulate ~record_timeline:true ~faults ~disks:3 policy reqs
+          in
+          List.for_all
+            (fun shards ->
+              serial
+              = Engine.simulate ~record_timeline:true ~faults ~shards ~disks:3 policy
+                  reqs)
+            [ 2; 8 ])
+        all_policies)
+
 let suites =
   [
     ( "disksim.model",
@@ -571,6 +696,15 @@ let suites =
         Alcotest.test_case "rate zero with hints" `Quick test_rate_zero_with_hints;
         Alcotest.test_case "wear fraction" `Quick test_wear_fraction;
         Alcotest.test_case "retry config" `Quick test_backoff_bounded;
+      ] );
+    ( "disksim.shards",
+      [
+        Alcotest.test_case "identity across policies" `Quick test_shards_identity;
+        Alcotest.test_case "identity under faults/decay/deadline" `Quick
+          test_shards_identity_faulted;
+        Alcotest.test_case "obs event order" `Quick test_shards_obs_order;
+        Alcotest.test_case "validation" `Quick test_shards_validation;
+        prop_shards_identity;
       ] );
     ("disksim.obs", [ prop_events_reproduce_stats ]);
   ]

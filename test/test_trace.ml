@@ -320,6 +320,325 @@ let test_idle_stats_restructuring_helps () =
   check Alcotest.bool "restructured idle mass larger" true
     (exploitable reuse > exploitable base)
 
+(* {1 Binary codec} *)
+
+module Bin = Dp_trace.Bin
+
+let tmp_file name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let sample_reqs : Request.t list =
+  [
+    {
+      arrival_ms = 0.0;
+      think_ms = 1.0;
+      seg = 0;
+      address = 0;
+      lba = 0;
+      size = 1024;
+      mode = Ir.Read;
+      proc = 0;
+      disk = 0;
+    };
+    {
+      arrival_ms = 1.5;
+      think_ms = 1.0;
+      seg = 0;
+      address = 1024;
+      lba = 1024;
+      size = 1024;
+      mode = Ir.Read;
+      proc = 0;
+      disk = 0;
+    };
+    {
+      arrival_ms = 2.125;
+      think_ms = 0.1 +. 0.2;
+      (* not representable in thousandths: exercises the raw-bits path *)
+      seg = 1;
+      address = 1 lsl 40;
+      lba = 77;
+      size = 32768;
+      mode = Ir.Write;
+      proc = 3;
+      disk = 2;
+    };
+  ]
+
+let sample_hints : Dp_trace.Hint.t list =
+  [
+    { at_ms = 10.0; disk = 0; action = Dp_trace.Hint.Spin_down };
+    { at_ms = 12.5; disk = 1; action = Dp_trace.Hint.Pre_spin_up 10.8 };
+    { at_ms = 0.3 *. 3.0; disk = 2; action = Dp_trace.Hint.Set_rpm 9000 };
+  ]
+
+let sample_faults = Result.get_ok (Fault_model.of_spec "42:0.25:md")
+
+let bits f = Int64.bits_of_float f
+
+let check_reqs_equal what expected got =
+  check Alcotest.int (what ^ ": count") (List.length expected) (List.length got);
+  List.iter2
+    (fun (a : Request.t) (b : Request.t) ->
+      check Alcotest.bool (what ^ ": request") true
+        (a = b && bits a.arrival_ms = bits b.arrival_ms && bits a.think_ms = bits b.think_ms))
+    expected got
+
+let test_bin_roundtrip () =
+  let s = Bin.encode ~rounds:5 ~hints:sample_hints ~faults:sample_faults sample_reqs in
+  match Bin.decode s with
+  | Error e -> Alcotest.failf "decode: %s" (Bin.error_to_string e)
+  | Ok (reqs, hints, faults, rounds) ->
+      check_reqs_equal "roundtrip" sample_reqs reqs;
+      check Alcotest.bool "hints" true (hints = sample_hints);
+      check Alcotest.(option string) "faults"
+        (Some (Fault_model.to_spec sample_faults))
+        (Option.map Fault_model.to_spec faults);
+      check Alcotest.(option int) "rounds" (Some 5) rounds;
+      let s' = Bin.encode sample_reqs in
+      let _, _, f', r' = Result.get_ok (Bin.decode s') in
+      check Alcotest.bool "no faults" true (f' = None);
+      check Alcotest.(option int) "no rounds" None r'
+
+let test_bin_file_roundtrip () =
+  let path = tmp_file "dpower-bin-roundtrip.dpt" in
+  Bin.save ~hints:sample_hints ~faults:sample_faults path sample_reqs;
+  check Alcotest.bool "sniff" true (Bin.sniff path);
+  (match Bin.load_bin path with
+  | Error e -> Alcotest.failf "load_bin: %s" (Bin.error_to_string e)
+  | Ok (reqs, hints, faults, rounds) ->
+      check_reqs_equal "file" sample_reqs reqs;
+      check Alcotest.bool "file hints" true (hints = sample_hints);
+      check Alcotest.bool "file faults" true (faults <> None);
+      check Alcotest.(option int) "file rounds" None rounds);
+  (* The sniffing loader agrees with the text loader on a text file. *)
+  let text = tmp_file "dpower-bin-roundtrip.trace" in
+  Request.save ~hints:sample_hints ~faults:sample_faults text sample_reqs;
+  check Alcotest.bool "text not sniffed" false (Bin.sniff text);
+  let via_text = Result.get_ok (Request.load_result text) in
+  let via_auto = Result.get_ok (Bin.load_result text) in
+  check Alcotest.bool "auto = text loader" true (via_text = via_auto);
+  let rb, hb, fb = Result.get_ok (Bin.load_result path) in
+  check_reqs_equal "auto bin" sample_reqs rb;
+  check Alcotest.bool "auto bin hints" true (hb = sample_hints);
+  check Alcotest.bool "auto bin faults" true (fb <> None);
+  Sys.remove path;
+  Sys.remove text
+
+let test_bin_text_identity () =
+  (* text -> bin -> text is byte-identical: quantized requests take the
+     thousandths path, whose decode is the same correctly-rounded float the
+     text parser produces. *)
+  let reqs = single_trace () in
+  let text1 = tmp_file "dpower-bin-text1.trace" in
+  Request.save ~hints:sample_hints ~faults:sample_faults text1 reqs;
+  let r1, h1, f1 = Result.get_ok (Request.load_result text1) in
+  let bin = Bin.encode ~hints:h1 ?faults:f1 r1 in
+  let r2, h2, f2, _ = Result.get_ok (Bin.decode bin) in
+  let text2 = tmp_file "dpower-bin-text2.trace" in
+  Request.save ~hints:h2 ?faults:f2 text2 r2;
+  let read p = In_channel.with_open_bin p In_channel.input_all in
+  check Alcotest.string "text -> bin -> text bytes" (read text1) (read text2);
+  Sys.remove text1;
+  Sys.remove text2
+
+let test_bin_quantize () =
+  let r = List.nth sample_reqs 2 in
+  let q = Bin.quantize r in
+  check (Alcotest.float 1e-9) "quantize 3 decimals" 0.3 q.think_ms;
+  (* A quantized value is exactly what the text format round-trips to. *)
+  check Alcotest.bool "quantize = text parse" true
+    (bits q.think_ms = bits (float_of_string (Printf.sprintf "%.3f" r.think_ms)));
+  let h = Bin.quantize_hint { at_ms = 1.0 /. 3.0; disk = 0; action = Dp_trace.Hint.Pre_spin_up (2.0 /. 3.0) } in
+  check Alcotest.bool "hint quantized" true
+    (h.at_ms = 0.333 && h.action = Dp_trace.Hint.Pre_spin_up 0.667)
+
+let test_bin_compression () =
+  (* Acceptance: binary <= 25% of text across the Table-2 workloads (fixed
+     header/chunk overhead is ~30 bytes, so toy traces are excluded). *)
+  List.iter
+    (fun (app : Dp_workloads.App.t) ->
+      let g = Concrete.build app.program in
+      let layout' = Dp_layout.Layout.make ~default:app.striping ~overrides:app.overrides app.program in
+      let reqs =
+        Generate.trace layout' app.program g
+          (Generate.single_stream g ~order:(Concrete.original_order g))
+      in
+      let text =
+        Format.asprintf "%a"
+          (fun ppf () -> List.iter (fun r -> Format.fprintf ppf "%a\n" Request.pp r) reqs)
+          ()
+      in
+      let bin = Bin.encode (List.map Bin.quantize reqs) in
+      let ratio = float_of_int (String.length bin) /. float_of_int (String.length text) in
+      if ratio > 0.25 then
+        Alcotest.failf "app:%s: binary %d bytes vs text %d bytes (ratio %.2f > 0.25)"
+          app.name (String.length bin) (String.length text) ratio)
+    (Dp_workloads.Workloads.all ())
+
+let corrupt s pos c =
+  let b = Bytes.of_string s in
+  Bytes.set b pos c;
+  Bytes.to_string b
+
+
+let test_bin_corruption () =
+  let s = Bin.encode ~chunk_bytes:64 ~hints:sample_hints sample_reqs in
+  (* Bad magic *)
+  (match Bin.decode (corrupt s 0 'X') with
+  | Ok _ -> Alcotest.fail "bad magic accepted"
+  | Error e ->
+      check Alcotest.int "magic offset" 0 e.offset;
+      check Alcotest.bool "magic msg" true
+        (contains ~needle:"magic" e.msg));
+  (* Version skew *)
+  (match Bin.decode (corrupt s 4 '\009') with
+  | Ok _ -> Alcotest.fail "bad version accepted"
+  | Error e ->
+      check Alcotest.bool "version msg" true
+        (contains ~needle:"version 9" e.msg));
+  (* Truncation: every strict prefix must fail, never loop or succeed. *)
+  let n = String.length s in
+  for cut = 0 to n - 1 do
+    match Bin.decode ~file:"t.dpt" (String.sub s 0 cut) with
+    | Ok _ -> Alcotest.failf "truncated prefix of %d bytes accepted" cut
+    | Error e ->
+        check Alcotest.string "truncation names the file" "t.dpt" e.file;
+        if e.offset < 0 || e.offset > cut then
+          Alcotest.failf "truncation offset %d out of range (prefix %d)" e.offset cut
+  done;
+  (* Bad checksum: flip one payload byte (first chunk payload starts after
+     the 6-byte header + 'C' + 4-byte length). *)
+  let pos = 6 + 5 + 2 in
+  let flipped = corrupt s pos (Char.chr (Char.code s.[pos] lxor 0xff)) in
+  (match Bin.decode flipped with
+  | Ok _ -> Alcotest.fail "checksum mismatch accepted"
+  | Error e ->
+      check Alcotest.bool "checksum msg" true
+        (contains ~needle:"checksum" e.msg);
+      check Alcotest.int "checksum offset = chunk marker" 6 e.offset);
+  (* Trailing bytes after the end marker. *)
+  (match Bin.decode (s ^ "x") with
+  | Ok _ -> Alcotest.fail "trailing bytes accepted"
+  | Error e ->
+      check Alcotest.bool "trailing msg" true
+        (contains ~needle:"trailing" e.msg))
+
+let test_bin_error_rendering () =
+  let path = tmp_file "dpower-bin-truncated.dpt" in
+  Bin.save path sample_reqs;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 (String.length full - 3)));
+  (match Bin.load_result path with
+  | Ok _ -> Alcotest.fail "truncated file accepted"
+  | Error e ->
+      let rendered = Request.load_error_to_string e in
+      check Alcotest.bool "file:offset: msg shape" true
+        (String.length rendered > String.length path && String.sub rendered 0 (String.length path + 1) = path ^ ":");
+      check Alcotest.bool "offset nonzero" true (e.line > 0));
+  Sys.remove path
+
+let arbitrary_trace =
+  let open QCheck in
+  let float_ms =
+    oneof
+      [
+        map (fun k -> float_of_int k /. 1000.0) (int_range 0 5_000_000);
+        map Float.abs (float_bound_exclusive 1e6);
+      ]
+  in
+  let req =
+    map
+      (fun ((arrival, think, seg, addr), (lba, size, mode, proc, disk)) : Request.t ->
+        {
+          arrival_ms = arrival;
+          think_ms = think;
+          seg;
+          address = addr;
+          lba;
+          size;
+          mode = (if mode then Ir.Write else Ir.Read);
+          proc;
+          disk;
+        })
+      (pair
+         (quad float_ms float_ms (int_range 0 8) (int_range 0 (1 lsl 30)))
+         (tup5 (int_range 0 (1 lsl 20)) (int_range 0 65536) bool (int_range 0 15)
+            (int_range 0 15)))
+  in
+  QCheck.list_of_size (Gen.int_range 0 200) req
+
+let test_bin_fold_equals_decode =
+  QCheck.Test.make ~count:60 ~name:"chunked fold = whole-buffer decode" arbitrary_trace
+    (fun reqs ->
+      (* Tiny chunks force many chunk boundaries mid-stream. *)
+      let s = Bin.encode ~chunk_bytes:48 ~hints:sample_hints ~faults:sample_faults reqs in
+      let whole = Result.get_ok (Bin.decode s) in
+      let path = tmp_file "dpower-bin-qcheck.dpt" in
+      Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s);
+      let folded =
+        Result.get_ok
+          (Bin.fold_path path ~init:[] ~f:(fun acc r -> r :: acc))
+      in
+      Sys.remove path;
+      let reqs', hints', faults', rounds' =
+        let rs, hs, f =
+          List.fold_left
+            (fun (rs, hs, f) -> function
+              | Bin.Req r -> (r :: rs, hs, f)
+              | Bin.Hint h -> (rs, h :: hs, f)
+              | Bin.Faults fm -> (rs, hs, Some fm))
+            ([], [], None) (List.rev (fst folded))
+        in
+        (List.rev rs, List.rev hs, f, snd folded)
+      in
+      let wr, wh, wf, wround = whole in
+      reqs' = wr && hints' = wh
+      && Option.map Fault_model.to_spec faults' = Option.map Fault_model.to_spec wf
+      && rounds' = wround && wr = reqs)
+
+let test_bin_streaming_memory () =
+  (* A 100x-scale trace folds in constant space: live heap while streaming
+     stays bounded by the chunk buffer, far below the materialized list. *)
+  let n = 300_000 in
+  let path = tmp_file "dpower-bin-large.dpt" in
+  let write_large () =
+    let reqs =
+      List.init n (fun i : Request.t ->
+          {
+            arrival_ms = float_of_int i /. 4.0;
+            think_ms = 1.0;
+            seg = 0;
+            address = i * 1024;
+            lba = i * 1024;
+            size = 1024;
+            mode = Ir.Read;
+            proc = i land 7;
+            disk = i land 3;
+          })
+    in
+    Bin.save path reqs
+  in
+  write_large ();
+  Gc.compact ();
+  let baseline = (Gc.stat ()).live_words in
+  let peak = ref 0 in
+  let count =
+    Result.get_ok
+      (Bin.fold_path path ~init:0 ~f:(fun acc _ ->
+           if acc mod 50_000 = 0 then begin
+             let live = (Gc.stat ()).live_words - baseline in
+             if live > !peak then peak := live
+           end;
+           acc + 1))
+  in
+  Sys.remove path;
+  check Alcotest.int "all records streamed" n (fst count);
+  (* A materialized list of 300k requests is ~30 MWords; the streaming
+     reader must stay within a small constant (chunk buffer + decoder). *)
+  if !peak > 1_000_000 then
+    Alcotest.failf "streaming fold grew live heap by %d words (bound 1M)" !peak
+
 let suites =
   [
     ( "trace",
@@ -341,5 +660,20 @@ let suites =
         Alcotest.test_case "idle stats" `Quick test_idle_stats;
         Alcotest.test_case "restructuring lengthens gaps" `Slow
           test_idle_stats_restructuring_helps;
+      ] );
+    ( "trace.bin",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_bin_roundtrip;
+        Alcotest.test_case "file roundtrip + sniffing loader" `Quick
+          test_bin_file_roundtrip;
+        Alcotest.test_case "text -> bin -> text byte-identity" `Quick
+          test_bin_text_identity;
+        Alcotest.test_case "quantize = text precision" `Quick test_bin_quantize;
+        Alcotest.test_case "binary <= 25% of text" `Quick test_bin_compression;
+        Alcotest.test_case "corruption diagnostics" `Quick test_bin_corruption;
+        Alcotest.test_case "file:offset error rendering" `Quick test_bin_error_rendering;
+        QCheck_alcotest.to_alcotest test_bin_fold_equals_decode;
+        Alcotest.test_case "streaming fold is constant-space" `Slow
+          test_bin_streaming_memory;
       ] );
   ]
