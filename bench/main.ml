@@ -921,6 +921,75 @@ let shard_bench () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Chaos harness: what the differential oracle costs on top of running
+   the same paired configurations directly, and what shrinking adds on
+   a failing scenario.  CI gates on the oracle staying within 2x of the
+   direct runs — the invariants and artifact comparisons must not
+   dominate the engine work they check. *)
+
+let chaos_bench () =
+  section "Chaos harness — oracle overhead and shrink cost";
+  let module Scenario = Dp_chaos.Scenario in
+  let module Check = Dp_chaos.Check in
+  let module Shrink = Dp_chaos.Shrink in
+  let scenarios = List.map (fun i -> Scenario.generate (Int64.of_int i)) [ 1; 2; 3; 4; 5; 6 ] in
+  let n = List.length scenarios in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let best k f =
+    let bt = ref infinity in
+    for _ = 1 to k do
+      let t = wall f in
+      if t < !bt then bt := t
+    done;
+    !bt
+  in
+  let t_direct = best 3 (fun () -> List.iter Check.run_direct scenarios) in
+  let t_oracle =
+    best 3 (fun () ->
+        List.iter
+          (fun s ->
+            match (Check.run s).Check.violations with
+            | [] -> ()
+            | v :: _ ->
+                Format.printf "oracle violation during bench: %s: %s@." v.Check.check
+                  v.Check.detail;
+                exit 1)
+          scenarios)
+  in
+  (* Shrinking only ever runs on failures: measure it on sabotaged
+     scenarios, where every one fails and minimizes. *)
+  let t_shrink =
+    wall (fun () ->
+        List.iter
+          (fun s -> ignore (Shrink.minimize ~sabotage:Check.Energy_skew s))
+          scenarios)
+  in
+  let row label t =
+    [ label; string_of_int n; Printf.sprintf "%.3f" t;
+      Printf.sprintf "%.1f" (float_of_int n /. t) ]
+  in
+  Tabulate.render ppf
+    ~header:[ "mode"; "scenarios"; "wall s"; "scenarios/s" ]
+    ~rows:
+      [
+        row "paired configs, no oracle" t_direct;
+        row "full oracle" t_oracle;
+        row "full oracle + shrink (sabotaged)" (t_oracle +. t_shrink);
+      ];
+  let overhead = t_oracle /. t_direct in
+  if overhead <= 2.0 then
+    Format.printf "chaos oracle overhead check: OK (x%.2f <= x2 of direct runs)@." overhead
+  else begin
+    Format.printf "chaos oracle overhead check: FAILED (x%.2f > x2 of direct runs)@."
+      overhead;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Trace codec: throughput and density of the binary format against the
    text rendering of the same trace. *)
 
@@ -1000,6 +1069,7 @@ let sections =
     ("serve", serve_bench);
     ("repair", repair_bench);
     ("shard", shard_bench);
+    ("chaos", chaos_bench);
     ("trace-codec", trace_codec_bench);
     ("micro", micro);
   ]

@@ -635,6 +635,159 @@ let convert input output format_name =
         (List.length hints) output
         (match format with `Bin -> "binary" | `Text -> "text"))
 
+(* --- chaos: randomized fault-schedule soak with differential oracles ---
+
+   Scenarios stream from one root seed; every failing one becomes a
+   reproducer directory (shrunk first under --shrink).  Exit 0 when the
+   soak is green, 1 when any violation survives, 2 on bad flags — the
+   CI contract. *)
+
+let chaos_outcome_json (s : Dp_chaos.Scenario.t) (o : Dp_chaos.Check.outcome) =
+  let module J = Dp_harness.Json_out in
+  J.Obj
+    [
+      ("token", J.String (Dp_chaos.Scenario.token_string s));
+      ("scenario", J.String (Dp_chaos.Scenario.describe s));
+      ("runs", J.Int o.Dp_chaos.Check.runs);
+      ("requests", J.Int o.Dp_chaos.Check.requests);
+      ( "violations",
+        J.List
+          (List.map
+             (fun (v : Dp_chaos.Check.violation) ->
+               J.Obj
+                 [
+                   ("check", J.String v.Dp_chaos.Check.check);
+                   ("detail", J.String v.Dp_chaos.Check.detail);
+                 ])
+             o.Dp_chaos.Check.violations) );
+    ]
+
+let chaos_emit_json json payload =
+  match json with
+  | None -> ()
+  | Some "-" -> print_string (Dp_harness.Json_out.to_string payload ^ "\n")
+  | Some path -> Fsx.atomic_write path (Dp_harness.Json_out.to_string payload ^ "\n")
+
+let chaos seed budget wall_ms shrink replay_dir sabotage_name out_dir json profile =
+  with_profile profile @@ fun () ->
+  with_errors (fun () ->
+      let sabotage =
+        match sabotage_name with
+        | None -> None
+        | Some name -> (
+            match Dp_chaos.Check.sabotage_of_name name with
+            | Some _ as s -> s
+            | None ->
+                fail "unknown --sabotage %s (expected %s)" name
+                  (String.concat " | "
+                     (List.map Dp_chaos.Check.sabotage_name Dp_chaos.Check.all_sabotages)))
+      in
+      (match budget with
+      | Some n when n < 1 -> fail "--budget must be at least 1 (got %d)" n
+      | _ -> ());
+      (match wall_ms with
+      | Some t when t <= 0.0 -> fail "--wall-ms must be positive (got %g)" t
+      | _ -> ());
+      match replay_dir with
+      | Some dir -> (
+          match Dp_chaos.Chaos.replay ?sabotage ~dir () with
+          | Error msg -> fail "--replay %s: %s" dir msg
+          | Ok (s, outcome) ->
+              let module J = Dp_harness.Json_out in
+              chaos_emit_json json
+                (J.Obj [ ("replay", J.String dir); ("result", chaos_outcome_json s outcome) ]);
+              (match outcome.Dp_chaos.Check.violations with
+              | [] ->
+                  if json = None then
+                    Format.printf "replay %s: clean (%s; %d runs)@." dir
+                      (Dp_chaos.Scenario.describe s) outcome.Dp_chaos.Check.runs
+              | vs ->
+                  if json = None then begin
+                    Format.printf "replay %s: %d violation%s (%s)@." dir (List.length vs)
+                      (if List.length vs = 1 then "" else "s")
+                      (Dp_chaos.Scenario.describe s);
+                    List.iter
+                      (fun (v : Dp_chaos.Check.violation) ->
+                        Format.printf "  %s: %s@." v.Dp_chaos.Check.check
+                          v.Dp_chaos.Check.detail)
+                      vs
+                  end;
+                  exit 1))
+      | None ->
+          let cfg =
+            {
+              Dp_chaos.Chaos.seed;
+              budget;
+              wall_ms;
+              shrink;
+              sabotage;
+              out_dir;
+            }
+          in
+          let progress (n, s, (o : Dp_chaos.Check.outcome)) =
+            if json = None && o.Dp_chaos.Check.violations <> [] then
+              Format.printf "scenario %d (token %s): %d violation%s — %s@." n
+                (Dp_chaos.Scenario.token_string s)
+                (List.length o.Dp_chaos.Check.violations)
+                (if List.length o.Dp_chaos.Check.violations = 1 then "" else "s")
+                (Dp_chaos.Scenario.describe s)
+          in
+          let summary = Dp_chaos.Chaos.soak ~progress cfg in
+          let module J = Dp_harness.Json_out in
+          chaos_emit_json json
+            (J.Obj
+               [
+                 ("seed", J.Int seed);
+                 ("scenarios", J.Int summary.Dp_chaos.Chaos.scenarios);
+                 ("runs", J.Int summary.Dp_chaos.Chaos.runs);
+                 ("elapsed_ms", J.Float summary.Dp_chaos.Chaos.elapsed_ms);
+                 ( "findings",
+                   J.List
+                     (List.map
+                        (fun (f : Dp_chaos.Chaos.finding) ->
+                          let shrink_fields =
+                            match (f.Dp_chaos.Chaos.shrunk, f.Dp_chaos.Chaos.shrink_stats)
+                            with
+                            | Some small, Some st ->
+                                [
+                                  ( "shrunk",
+                                    J.Obj
+                                      [
+                                        ( "nests",
+                                          J.Int (Dp_chaos.Scenario.nest_count small) );
+                                        ( "fault_classes",
+                                          J.Int (Dp_chaos.Scenario.fault_class_count small)
+                                        );
+                                        ("attempts", J.Int st.Dp_chaos.Shrink.attempts);
+                                        ("kept", J.Int st.Dp_chaos.Shrink.kept);
+                                      ] );
+                                ]
+                            | _ -> []
+                          in
+                          J.Obj
+                            ([
+                               ( "result",
+                                 chaos_outcome_json f.Dp_chaos.Chaos.scenario
+                                   f.Dp_chaos.Chaos.outcome );
+                               ("repro_dir", J.String f.Dp_chaos.Chaos.repro_dir);
+                             ]
+                            @ shrink_fields))
+                        summary.Dp_chaos.Chaos.findings) );
+               ]);
+          if json = None then
+            Format.printf "chaos: %d scenarios, %d engine runs, %d finding%s (%.0f ms)@."
+              summary.Dp_chaos.Chaos.scenarios summary.Dp_chaos.Chaos.runs
+              (List.length summary.Dp_chaos.Chaos.findings)
+              (if List.length summary.Dp_chaos.Chaos.findings = 1 then "" else "s")
+              summary.Dp_chaos.Chaos.elapsed_ms;
+          List.iter
+            (fun (f : Dp_chaos.Chaos.finding) ->
+              if json = None then
+                Format.printf "  reproducer: %s (replay: %s)@." f.Dp_chaos.Chaos.repro_dir
+                  (Dp_chaos.Repro.replay_command ?sabotage ~dir:f.Dp_chaos.Chaos.repro_dir ()))
+            summary.Dp_chaos.Chaos.findings;
+          if summary.Dp_chaos.Chaos.findings <> [] then exit 1)
+
 (* --- cmdliner wiring --- *)
 
 open Cmdliner
@@ -1013,6 +1166,86 @@ let serve_cmd =
       $ faults $ decay $ scrub $ spare $ deadline $ json $ obs_jsonl $ live
       $ cache_dir_arg $ no_cache_arg $ profile_arg)
 
+let chaos_cmd =
+  let seed =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Root seed of the soak: scenario N of seed S is always the same scenario, so \
+             a soak log line plus this flag is a complete reproducer")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Number of scenarios to run (default 100 when neither --budget nor --wall-ms \
+             is given)")
+  in
+  let wall_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "wall-ms" ] ~docv:"MS"
+          ~doc:
+            "Stop drawing new scenarios once MS milliseconds have elapsed (the scenario \
+             in flight finishes) — the nightly-soak budget knob")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Delta-debug every failing scenario before writing its reproducer: drop loop \
+             nests and statements, thin the fault schedule, zero the knobs — keeping \
+             each step only if the oracle still fails")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"DIR"
+          ~doc:
+            "Re-run a reproducer directory (written by a previous soak) through the \
+             oracle instead of soaking")
+  in
+  let sabotage =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sabotage" ] ~docv:"KIND"
+          ~doc:
+            "Deliberately break an invariant (test hook): 'energy' skews the observed \
+             power-span sum so the conservation check must fire — exercises the \
+             catch-shrink-replay path end to end")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt string Dp_chaos.Chaos.default_out_dir
+      & info [ "out" ] ~docv:"DIR" ~doc:"Directory reproducer directories are written under")
+  in
+  let json =
+    Arg.(
+      value
+      & opt ~vopt:(Some "-") (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Write the soak (or replay) summary as JSON to FILE ('-' or no value: \
+             stdout, replacing the human lines)")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Randomized fault-schedule soak: generate scenarios from a seed, run each under \
+          paired configurations with differential oracles, shrink failures to minimal \
+          reproducer directories")
+    Term.(
+      const chaos $ seed $ budget $ wall_ms $ shrink $ replay $ sabotage $ out_dir $ json
+      $ profile_arg)
+
 let cache_subcommand_docs =
   [
     ("stat", "Entry count, size and the previous run's hit statistics");
@@ -1100,6 +1333,7 @@ let command_docs =
     ("report", "Run the full version matrix for a program and print figures");
     ("fault-sweep", "Re-simulate the version matrix across a fault-rate ramp");
     ("serve", "Multiplex N tenants onto one array: offline hints vs online adaptation");
+    ("chaos", "Randomized fault-schedule soak with differential oracles and shrinking");
     ("cache", "Inspect or clear the persistent stage cache");
     ("obs", "Analyze observability artifacts (diff gap-histogram JSONL files)");
   ]
@@ -1155,5 +1389,5 @@ let () =
        (Cmd.group info
           [
             show_cmd; restructure_cmd; trace_cmd; simulate_cmd; emit_cmd; convert_cmd;
-            report_cmd; fault_sweep_cmd; serve_cmd; cache_cmd; obs_cmd;
+            report_cmd; fault_sweep_cmd; serve_cmd; chaos_cmd; cache_cmd; obs_cmd;
           ]))

@@ -188,17 +188,60 @@ let get t ~key =
         record t `Corrupt ~key ~bytes:0;
         None
 
-let put t ~key payload =
+type error = Lock_timeout of { lock_path : string; holder_age_s : float option }
+
+let error_to_string = function
+  | Lock_timeout { lock_path; holder_age_s } ->
+      Printf.sprintf "cache lock timeout: %s%s" lock_path
+        (match holder_age_s with
+        | Some age -> Printf.sprintf " (held for %.1f s)" age
+        | None -> " (holder gone)")
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+(* How long the current holder has owned the lock: the lock file's age.
+   The holder (re)creates the file when it acquires, and unlinks it on
+   release, so mtime marks the start of the current ownership.  [None]
+   when the file vanished between the timeout and the stat — the holder
+   released just too late. *)
+let holder_age_s t =
+  match Unix.stat (lock_path t) with
+  | st -> Some (Float.max 0.0 (Unix.gettimeofday () -. st.Unix.st_mtime))
+  | exception Unix.Unix_error _ -> None
+
+let record_lock_timeout t ~key err =
+  t.write_failures <- t.write_failures + 1;
+  ignore key;
+  (* A lock timeout is contention, not a store defect: surface it on
+     the fault track (disk -1: no disk owns a store-level event) so a
+     soak run shows the contention alongside the injected faults. *)
+  if Sink.enabled t.sink then
+    Sink.emit t.sink
+      (Event.Fault
+         {
+           disk = -1;
+           at_ms = Unix.gettimeofday () *. 1000.;
+           kind = "cache-lock-timeout: " ^ error_to_string err;
+           cost_ms = float_of_int t.lock_timeout_ms;
+         })
+
+let put_result t ~key payload =
   match acquire_lock t with
-  | None -> record t `Write_failure ~key ~bytes:(String.length payload)
+  | None ->
+      let err = Lock_timeout { lock_path = lock_path t; holder_age_s = holder_age_s t } in
+      record_lock_timeout t ~key err;
+      Error err
   | Some fd ->
       Fun.protect
         ~finally:(fun () -> release_lock t fd)
         (fun () ->
           match Fsx.atomic_write ~fsync:true (entry_path t key) (frame payload) with
-          | () -> ()
+          | () -> Ok ()
           | exception (Sys_error _ | Unix.Unix_error _) ->
-              record t `Write_failure ~key ~bytes:(String.length payload))
+              record t `Write_failure ~key ~bytes:(String.length payload);
+              Ok ())
+
+let put t ~key payload = match put_result t ~key payload with Ok () | Error _ -> ()
 
 let report_undecodable t ~key =
   quarantine (entry_path t key);

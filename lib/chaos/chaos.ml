@@ -1,0 +1,99 @@
+module Splitmix = Dp_util.Splitmix
+module Prof = Dp_obs.Prof
+
+type config = {
+  seed : int;
+  budget : int option;  (** scenario count; [None] means wall-clock bound *)
+  wall_ms : float option;
+  shrink : bool;
+  sabotage : Check.sabotage option;
+  out_dir : string;  (** reproducer directories land under here *)
+}
+
+let default_out_dir = "chaos-repros"
+
+let default_config =
+  {
+    seed = 0;
+    budget = None;
+    wall_ms = None;
+    shrink = false;
+    sabotage = None;
+    out_dir = default_out_dir;
+  }
+
+type finding = {
+  scenario : Scenario.t;  (** as generated (the shrunk form is in [repro_dir]) *)
+  outcome : Check.outcome;
+  shrunk : Scenario.t option;
+  shrink_stats : Shrink.stats option;
+  repro_dir : string;
+}
+
+type summary = {
+  scenarios : int;
+  runs : int;
+  findings : finding list;
+  elapsed_ms : float;
+}
+
+let repro_dir_for cfg (s : Scenario.t) =
+  Filename.concat cfg.out_dir ("repro-" ^ Scenario.token_string s)
+
+let handle_failure cfg s outcome =
+  let shrunk, shrink_stats =
+    if cfg.shrink then begin
+      let small, stats = Shrink.minimize ?sabotage:cfg.sabotage s in
+      (Some small, Some stats)
+    end
+    else (None, None)
+  in
+  let dir = repro_dir_for cfg s in
+  let written = Option.value shrunk ~default:s in
+  let written_outcome =
+    match shrunk with
+    | Some small when small != s -> Check.run ?sabotage:cfg.sabotage small
+    | _ -> outcome
+  in
+  Repro.write ?sabotage:cfg.sabotage ~dir written written_outcome;
+  { scenario = s; outcome; shrunk; shrink_stats; repro_dir = dir }
+
+let soak ?(progress = fun _ -> ()) cfg =
+  let started = Unix.gettimeofday () in
+  let elapsed_ms () = (Unix.gettimeofday () -. started) *. 1000.0 in
+  let budget =
+    match (cfg.budget, cfg.wall_ms) with
+    | Some n, _ -> n
+    | None, Some _ -> max_int
+    | None, None -> 100
+  in
+  let within_wall () =
+    match cfg.wall_ms with None -> true | Some limit -> elapsed_ms () < limit
+  in
+  let root = Splitmix.create cfg.seed in
+  let runs = ref 0 in
+  let findings = ref [] in
+  let scenarios = ref 0 in
+  while !scenarios < budget && within_wall () do
+    let token = Splitmix.next_int64 root in
+    let s = Prof.span "chaos.generate" (fun () -> Scenario.generate token) in
+    let outcome = Check.run ?sabotage:cfg.sabotage s in
+    incr scenarios;
+    runs := !runs + outcome.Check.runs;
+    if outcome.Check.violations <> [] then begin
+      let f = handle_failure cfg s outcome in
+      findings := f :: !findings
+    end;
+    progress (!scenarios, s, outcome)
+  done;
+  {
+    scenarios = !scenarios;
+    runs = !runs;
+    findings = List.rev !findings;
+    elapsed_ms = elapsed_ms ();
+  }
+
+let replay ?sabotage ~dir () =
+  match Repro.load ~dir with
+  | Error msg -> Error msg
+  | Ok s -> Ok (s, Check.run ?sabotage s)

@@ -1,0 +1,50 @@
+(** The soak driver: draw scenario tokens from one root seed, run the
+    differential oracle on each, shrink failures and materialize
+    reproducer directories.
+
+    Determinism contract: the [n]-th scenario of seed [S] is always the
+    same, independent of how many failed before it or whether shrinking
+    is on — tokens are drawn from the root stream, never from scenario
+    work. *)
+
+type config = {
+  seed : int;
+  budget : int option;  (** scenario count; [None] means wall-clock bound *)
+  wall_ms : float option;
+  shrink : bool;
+  sabotage : Check.sabotage option;
+  out_dir : string;  (** reproducer directories land under here *)
+}
+
+val default_out_dir : string
+
+val default_config : config
+(** seed 0, no shrinking, reproducers under {!default_out_dir}.  With
+    neither [budget] nor [wall_ms], {!soak} runs 100 scenarios. *)
+
+type finding = {
+  scenario : Scenario.t;  (** as generated (the shrunk form is in [repro_dir]) *)
+  outcome : Check.outcome;
+  shrunk : Scenario.t option;
+  shrink_stats : Shrink.stats option;
+  repro_dir : string;
+}
+
+type summary = {
+  scenarios : int;
+  runs : int;  (** engine executions across all scenarios *)
+  findings : finding list;
+  elapsed_ms : float;
+}
+
+val soak :
+  ?progress:(int * Scenario.t * Check.outcome -> unit) -> config -> summary
+(** Run the soak.  [progress] fires after each scenario with its
+    ordinal, the scenario and the oracle outcome. *)
+
+val replay :
+  ?sabotage:Check.sabotage ->
+  dir:string ->
+  unit ->
+  (Scenario.t * Check.outcome, string) result
+(** Re-run a reproducer directory through the oracle. *)

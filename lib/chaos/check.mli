@@ -1,0 +1,35 @@
+(** The differential oracle: run one scenario under paired
+    configurations that must agree — serial vs sharded, jobs 1 vs N,
+    text vs binary trace, cold vs warm cache, a rate-0 fault window vs
+    the clean engine — and check structural invariants on every run
+    (energy conservation, per-state charge accounting, monotone event
+    time per disk, SLO/availability consistency). *)
+
+type sabotage = Energy_skew
+(** Test-only invariant breakers, injected from the CLI so the
+    shrinker's catch-and-minimize path can be exercised end to end.
+    [Energy_skew] perturbs the observed power-span sum of disk 0 so the
+    energy-conservation check must fire. *)
+
+val sabotage_name : sabotage -> string
+val sabotage_of_name : string -> sabotage option
+val all_sabotages : sabotage list
+
+type violation = { check : string; detail : string }
+(** [check] is a stable slug ([pair:shards-4],
+    [energy-conservation:base], ...); [detail] is the human line, with
+    the first divergence excerpt for pair checks. *)
+
+type outcome = { violations : violation list; runs : int; requests : int }
+
+val run : ?sabotage:sabotage -> Scenario.t -> outcome
+(** Execute every pair and every invariant for one scenario.  [runs]
+    counts engine executions, [requests] the scenario's trace length. *)
+
+val run_trace : Scenario.t -> Dp_trace.Request.t list
+(** The scenario's access trace (for the reproducer directory). *)
+
+val run_direct : Scenario.t -> unit
+(** The same paired configurations with no oracle: no invariants, no
+    artifacts, no observability.  The bench baseline that bounds the
+    oracle's overhead. *)

@@ -1,0 +1,25 @@
+(** Self-contained reproducer directories.
+
+    A directory holds the (shrunk) scenario's emitted [.dpl] source
+    with its striping clauses, the knob spec, the access trace it
+    generates (text format, fault window included), the
+    expected-vs-got diff of every violation, and a one-line replay
+    command.  All files are written atomically, so a reproducer is
+    never observed half-built. *)
+
+val program_file : string
+val spec_file : string
+val trace_file : string
+val diff_file : string
+val replay_file : string
+
+val replay_command : ?sabotage:Check.sabotage -> dir:string -> unit -> string
+(** The [dpcc chaos --replay] line that re-runs the directory. *)
+
+val write : ?sabotage:Check.sabotage -> dir:string -> Scenario.t -> Check.outcome -> unit
+(** Materialize the reproducer (creating [dir] as needed). *)
+
+val load : dir:string -> (Scenario.t, string) result
+(** Rebuild the scenario from a reproducer directory: parse the [.dpl]
+    (program and striping), then the knob spec.  Errors echo the
+    offending field or file. *)

@@ -1,0 +1,191 @@
+module Ir = Dp_ir.Ir
+module Pipeline = Dp_pipeline.Pipeline
+module Cluster = Dp_restructure.Cluster
+module Fault_model = Dp_faults.Fault_model
+module Prof = Dp_obs.Prof
+
+type stats = { attempts : int; kept : int }
+
+(* A candidate replaces the current scenario when the oracle still
+   fails on it.  Greedy delta debugging: program first (the expensive
+   dimension), then the fault schedule, then the scalar knobs. *)
+
+let still_fails ?sabotage s =
+  match Check.run ?sabotage s with
+  | { Check.violations = []; _ } -> false
+  | _ -> true
+  | exception _ ->
+      (* A candidate that crashes the pipeline outright (e.g. a program
+         whose only remaining nest no longer references an array) is
+         not a smaller witness of the original violation. *)
+      false
+
+(* Arrays that no remaining nest references are dropped together with
+   their striping overrides, keeping emitted reproducers minimal. *)
+let prune_arrays (p : Ir.program) stripes =
+  let used = Hashtbl.create 8 in
+  List.iter
+    (fun n -> List.iter (fun a -> Hashtbl.replace used a true) (Ir.arrays_referenced n))
+    p.Ir.nests;
+  let arrays = List.filter (fun (a : Ir.array_decl) -> Hashtbl.mem used a.Ir.name) p.Ir.arrays in
+  let program = Ir.program arrays p.Ir.nests in
+  let stripes = List.filter (fun (name, _) -> Hashtbl.mem used name) stripes in
+  (program, stripes)
+
+let with_program (s : Scenario.t) nests =
+  let program, stripes =
+    prune_arrays (Ir.program s.Scenario.program.Ir.arrays nests) s.Scenario.stripes
+  in
+  { s with Scenario.token = None; program; stripes }
+
+(* Drop list elements one at a time while the predicate keeps holding;
+   each successful drop restarts the scan so later elements are tried
+   against the smaller list. *)
+let drop_each ~attempts ~kept ~min_len xs ~rebuild ~check =
+  let rec go xs i =
+    if List.length xs <= min_len || i >= List.length xs then xs
+    else begin
+      let candidate = List.filteri (fun j _ -> j <> i) xs in
+      incr attempts;
+      if check (rebuild candidate) then begin
+        incr kept;
+        go candidate 0
+      end
+      else go xs (i + 1)
+    end
+  in
+  go xs 0
+
+let shrink_program ~attempts ~kept ~check (s : Scenario.t) =
+  (* Whole nests first. *)
+  let nests =
+    drop_each ~attempts ~kept ~min_len:1 s.Scenario.program.Ir.nests
+      ~rebuild:(with_program s)
+      ~check
+  in
+  let s = if nests == s.Scenario.program.Ir.nests then s else with_program s nests in
+  (* Then statements inside each surviving nest. *)
+  let shrink_nest i (n : Ir.nest) =
+    let body =
+      drop_each ~attempts ~kept ~min_len:1 n.Ir.body
+        ~rebuild:(fun body ->
+          let nests =
+            List.mapi
+              (fun j m -> if j = i then { n with Ir.body } else m)
+              s.Scenario.program.Ir.nests
+          in
+          with_program s nests)
+        ~check
+    in
+    if body == n.Ir.body then n else { n with Ir.body }
+  in
+  let nests' = List.mapi shrink_nest s.Scenario.program.Ir.nests in
+  if List.for_all2 (fun (a : Ir.nest) b -> a == b) s.Scenario.program.Ir.nests nests' then s
+  else with_program s nests'
+
+let try_candidate ~attempts ~kept ~check s candidate =
+  if candidate = s then s
+  else begin
+    incr attempts;
+    if check candidate then begin
+      incr kept;
+      candidate
+    end
+    else s
+  end
+
+let shrink_faults ~attempts ~kept ~check (s : Scenario.t) =
+  match s.Scenario.faults with
+  | None -> s
+  | Some _ ->
+      let try_c = try_candidate ~attempts ~kept ~check in
+      (* No faults at all is the biggest single step. *)
+      let s = try_c s { s with Scenario.token = None; faults = None } in
+      (match s.Scenario.faults with
+      | None -> s
+      | Some _ ->
+          (* Halve the class list while it shrinks. *)
+          let rec halve_classes s (f : Fault_model.t) =
+            let n = List.length f.Fault_model.classes in
+            if n <= 1 then s
+            else begin
+              let keep = List.filteri (fun i _ -> i < (n + 1) / 2) f.Fault_model.classes in
+              let s' =
+                try_c s
+                  {
+                    s with
+                    Scenario.token = None;
+                    faults = Some { f with Fault_model.classes = keep };
+                  }
+              in
+              match s'.Scenario.faults with
+              | Some f' when s' != s -> halve_classes s' f'
+              | _ -> s
+            end
+          in
+          let s = match s.Scenario.faults with Some f -> halve_classes s f | None -> s in
+          (* Halve rate, spikes and stuck windows (one step each). *)
+          let halve_field s mk =
+            match s.Scenario.faults with
+            | None -> s
+            | Some f -> try_c s { s with Scenario.token = None; faults = Some (mk f) }
+          in
+          let s = halve_field s (fun f -> { f with Fault_model.rate = f.Fault_model.rate /. 2.0 }) in
+          let s =
+            halve_field s (fun f -> { f with Fault_model.spike_ms = f.Fault_model.spike_ms /. 2.0 })
+          in
+          halve_field s (fun f ->
+              { f with Fault_model.stuck_window_ms = f.Fault_model.stuck_window_ms /. 2.0 }))
+
+let shrink_knobs ~attempts ~kept ~check (s : Scenario.t) =
+  let try_c = try_candidate ~attempts ~kept ~check in
+  let s =
+    if s.Scenario.procs > 1 then
+      try_c s
+        {
+          s with
+          Scenario.token = None;
+          procs = 1;
+          mode =
+            (if s.Scenario.mode = Pipeline.Reuse_multi then Pipeline.Reuse_single
+             else s.Scenario.mode);
+        }
+    else s
+  in
+  let s =
+    if s.Scenario.mode <> Pipeline.Original then
+      try_c s { s with Scenario.token = None; mode = Pipeline.Original }
+    else s
+  in
+  let s =
+    if s.Scenario.cluster <> Cluster.First_ref then
+      try_c s { s with Scenario.token = None; cluster = Cluster.First_ref }
+    else s
+  in
+  let s =
+    if s.Scenario.scrub_ms > 0.0 then
+      try_c s { s with Scenario.token = None; scrub_ms = 0.0 }
+    else s
+  in
+  let s =
+    match s.Scenario.spare with
+    | Some _ -> try_c s { s with Scenario.token = None; spare = None }
+    | None -> s
+  in
+  let s =
+    match s.Scenario.deadline_ms with
+    | Some _ -> try_c s { s with Scenario.token = None; deadline_ms = None }
+    | None -> s
+  in
+  if s.Scenario.policy <> "none" then
+    try_c s { s with Scenario.token = None; policy = "none" }
+  else s
+
+let minimize ?sabotage (s : Scenario.t) =
+  Prof.span "chaos.shrink" @@ fun () ->
+  let attempts = ref 0 and kept = ref 0 in
+  let check = still_fails ?sabotage in
+  let s = shrink_program ~attempts ~kept ~check s in
+  let s = shrink_faults ~attempts ~kept ~check s in
+  let s = shrink_knobs ~attempts ~kept ~check s in
+  (s, { attempts = !attempts; kept = !kept })

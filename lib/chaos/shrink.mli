@@ -1,0 +1,18 @@
+(** Greedy delta-debugging minimizer for a failing scenario.
+
+    Dimensions shrink in order of leverage: whole loop nests, then
+    statements inside surviving nests (unreferenced arrays and their
+    striping overrides pruned along the way), then the fault schedule
+    (drop entirely, halve the class list, halve rate / spike / stuck
+    window), then the scalar knobs (procs to 1, mode to original,
+    cluster to first-ref, scrub / spare / deadline off, policy to
+    none).  Every candidate re-runs the full oracle and is kept only if
+    it still fails, so the result is a genuine smaller witness, not a
+    syntactic trim. *)
+
+type stats = { attempts : int; kept : int }
+
+val minimize : ?sabotage:Check.sabotage -> Scenario.t -> Scenario.t * stats
+(** The input scenario must already fail {!Check.run} (under the same
+    [sabotage]); otherwise minimization returns it unchanged with zero
+    kept candidates. *)

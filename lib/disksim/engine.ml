@@ -1396,3 +1396,53 @@ let pp_result ppf r =
     r.policy r.energy_j r.io_time_ms r.makespan_ms
     (Format.pp_print_list pp_disk_stats)
     (Array.to_list r.per_disk)
+
+(* --- conservation accessors ---
+
+   The identities every run must satisfy, factored out of the tests so
+   external checkers (the chaos oracle) probe the same definitions the
+   engine promises instead of re-deriving their own. *)
+
+let accounted_ms s = s.busy_ms +. s.idle_ms +. s.standby_ms +. s.transition_ms
+
+let check_conservation ?(eps = 1e-6) r =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let close a b = Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.abs b) in
+  (* The per-disk energies fold to the array total. *)
+  let folded = Array.fold_left (fun acc (s : disk_stats) -> acc +. s.energy_j) 0.0 r.per_disk in
+  if not (close folded r.energy_j) then
+    err "per-disk energies sum to %.9f J, result says %.9f J" folded r.energy_j;
+  (match r.timeline with
+  | None -> ()
+  | Some t ->
+      Array.iter
+        (fun (s : disk_stats) ->
+          let d = s.disk in
+          (* Every accounted joule lands in exactly one segment. *)
+          let seg_j = Timeline.total_energy_j t ~disk:d in
+          if not (close seg_j s.energy_j) then
+            err "disk %d: timeline energy %.9f J, stats say %.9f J" d seg_j s.energy_j;
+          (* Segment spans cover the accounted state time exactly. *)
+          let span =
+            List.fold_left (fun acc (g : Timeline.segment) -> acc +. (g.stop_ms -. g.start_ms))
+              0.0 t.(d)
+          in
+          if not (close span (accounted_ms s)) then
+            err "disk %d: timeline spans %.6f ms, state times sum to %.6f ms" d span
+              (accounted_ms s);
+          (* Chronological, gap-free, non-negative segments. *)
+          ignore
+            (List.fold_left
+               (fun prev (g : Timeline.segment) ->
+                 if g.stop_ms -. g.start_ms < -.eps then
+                   err "disk %d: segment [%.6f, %.6f] runs backwards" d g.start_ms g.stop_ms;
+                 (match prev with
+                 | Some stop when Float.abs (g.start_ms -. stop) > eps ->
+                     err "disk %d: segment gap at %.6f ms (previous stopped %.6f)" d
+                       g.start_ms stop
+                 | _ -> ());
+                 Some g.stop_ms)
+               None t.(d)))
+        r.per_disk);
+  match !errors with [] -> Ok () | es -> Error (String.concat "; " (List.rev es))

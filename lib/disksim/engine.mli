@@ -145,3 +145,22 @@ val pp_reliability : ?model:Disk_model.t -> Format.formatter -> result -> unit
 (** The one-line wear/retry/degraded-time summary of a run: worst-disk
     {!wear_fraction} plus retry/spike counts and degraded time summed
     across disks (the line both CLIs print after a simulation). *)
+
+(** {1 Conservation accessors}
+
+    The structural identities every simulation result satisfies,
+    factored out so external checkers (tests, the chaos oracle) probe
+    the engine's own definitions. *)
+
+val accounted_ms : disk_stats -> float
+(** [busy_ms + idle_ms + standby_ms + transition_ms] — the four power
+    states partition a disk's timeline, so with a recorded timeline
+    this equals the sum of its segment spans. *)
+
+val check_conservation : ?eps:float -> result -> (unit, string) Stdlib.result
+(** Verify the conservation identities of a result: per-disk energies
+    fold to the array total, and — when the run recorded a timeline —
+    each disk's segment energies sum to its [energy_j], its segment
+    spans sum to {!accounted_ms}, and its segments are chronological and
+    gap-free.  [eps] (default [1e-6]) is the relative tolerance.
+    [Error] carries every violated identity, semicolon-separated. *)

@@ -46,6 +46,32 @@ let rec pp ppf = function
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* Precise twin of [pp]: floats render as their shortest round-trip
+   decimal instead of [%.6g], so two structurally equal values produce
+   byte-identical strings exactly when their floats are bit-identical.
+   This is what differential checkers (the chaos oracle) compare — the
+   readable [%.6g] rendering would mask low-order divergence. *)
+let float_precise f =
+  let s = Float.to_string f in
+  (* [Float.to_string 1.0] is ["1."] — not valid JSON. *)
+  if String.length s > 0 && s.[String.length s - 1] = '.' then s ^ "0" else s
+
+let rec pp_precise ppf = function
+  | Float f when Float.is_finite f -> Format.pp_print_string ppf (float_precise f)
+  | List xs ->
+      Format.fprintf ppf "[@[<hv>%a@]]"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp_precise)
+        xs
+  | Obj fields ->
+      Format.fprintf ppf "{@[<hv>%a@]}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           (fun ppf (k, v) -> Format.fprintf ppf "\"%s\": %a" (escape k) pp_precise v))
+        fields
+  | (Null | Bool _ | Int _ | Float _ | String _) as t -> pp ppf t
+
+let to_string_precise t = Format.asprintf "%a" pp_precise t
+
 let of_histogram (h : Dp_obs.Metrics.histogram) =
   Obj
     [

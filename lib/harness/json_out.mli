@@ -38,3 +38,11 @@ val of_serve : Dp_serve.Serve.report -> t
 val of_sweep : Experiments.sweep -> t
 (** The fault sweep as one object: app, seed, and per rate the runs
     (with their reliability aggregates). *)
+
+val pp_precise : Format.formatter -> t -> unit
+(** Like {!pp} but floats render as their shortest round-trip decimal,
+    so byte-equal output means bit-equal floats.  The rendering for
+    differential artifacts (the chaos oracle's pair comparisons);
+    non-finite floats still become null. *)
+
+val to_string_precise : t -> string

@@ -89,6 +89,9 @@ let builder ~disks =
           r.requests <- r.requests + 1;
           Metrics.observe r.response_ms (s.stop_ms -. s.arrival_ms)
       | Event.Hint_exec h -> reports.(h.disk).hints <- reports.(h.disk).hints + 1
+      (* Store-level fault lines (cache lock timeouts) carry disk -1:
+         they belong to no disk's report. *)
+      | Event.Fault f when f.disk < 0 || f.disk >= disks -> ()
       | Event.Fault f -> reports.(f.disk).faults <- reports.(f.disk).faults + 1
       | Event.Decision d -> reports.(d.disk).decisions <- reports.(d.disk).decisions + 1
       | Event.Repair r -> reports.(r.disk).repairs <- reports.(r.disk).repairs + 1

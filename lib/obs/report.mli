@@ -41,7 +41,10 @@ val response_edges : float array
 (** The response-time edges (0.1 ms .. 10⁵ ms, two per decade). *)
 
 val of_events : disks:int -> Event.t list -> disk_report array
-(** Events must be per-disk chronological (as emitted by the engine). *)
+(** Events must be per-disk chronological (as emitted by the engine).
+    Process-level events that belong to no disk — [Cache] lines, and
+    [Fault] lines with disk [-1] (a store's lock-timeout report) — are
+    skipped rather than counted against any disk. *)
 
 val builder : disks:int -> (Event.t -> unit) * (unit -> disk_report array)
 (** The incremental form of {!of_events}: a feed function to call on

@@ -311,10 +311,15 @@ let cache_fetch : type a. t -> key:string -> a option =
               Cachefs.report_undecodable c ~key;
               None))
 
+(* Write-through is advisory: a dropped write (named lock timeout or
+   plain I/O failure) costs a recompute on some future run, never this
+   one — the in-memory memo already holds the value. *)
 let cache_store t ~key v =
   match t.cache with
   | None -> ()
-  | Some c -> Cachefs.put c ~key (Marshal.to_string v [])
+  | Some c -> (
+      match Cachefs.put_result c ~key (Marshal.to_string v []) with
+      | Ok () | Error (Cachefs.Lock_timeout _) -> ())
 
 (* The trace stage spills as a binary trace frame (see {!Dp_trace.Bin})
    rather than a Marshal blob: the payload is then self-describing —
@@ -344,7 +349,9 @@ let trace_cache_fetch t ~key =
 let trace_cache_store t ~key (reqs, rounds) =
   match t.cache with
   | None -> ()
-  | Some c -> Cachefs.put c ~key (Bin.encode ?rounds reqs)
+  | Some c -> (
+      match Cachefs.put_result c ~key (Bin.encode ?rounds reqs) with
+      | Ok () | Error (Cachefs.Lock_timeout _) -> ())
 
 (* The trace entry carries the scheduler round count too, so a warm
    run can answer [rounds] without rebuilding the streams stage. *)

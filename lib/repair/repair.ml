@@ -13,15 +13,22 @@ type config = {
 let config ?(surface_blocks = 65_536) ?(block_bytes = 4096) ?(scrub_budget_ms = 0.0)
     ?(scrub_chunk_blocks = 64) ?(rebuild_chunk_blocks = 256) ?rebuild_blocks
     ?(fail_threshold = 64) () =
-  if surface_blocks < 1 then invalid_arg "Repair.config: surface_blocks must be >= 1";
-  if block_bytes < 1 then invalid_arg "Repair.config: block_bytes must be >= 1";
-  if scrub_budget_ms < 0.0 then invalid_arg "Repair.config: scrub_budget_ms must be >= 0";
-  if scrub_chunk_blocks < 1 then invalid_arg "Repair.config: scrub_chunk_blocks must be >= 1";
-  if rebuild_chunk_blocks < 1 then
-    invalid_arg "Repair.config: rebuild_chunk_blocks must be >= 1";
+  (* Diagnostics echo the offending value: a knob threaded through
+     several CLI layers is much easier to trace back when the message
+     shows what actually arrived. *)
+  let badi field got =
+    invalid_arg (Printf.sprintf "Repair.config: %s must be >= 1 (got %d)" field got)
+  in
+  if surface_blocks < 1 then badi "surface_blocks" surface_blocks;
+  if block_bytes < 1 then badi "block_bytes" block_bytes;
+  if scrub_budget_ms < 0.0 then
+    invalid_arg
+      (Printf.sprintf "Repair.config: scrub_budget_ms must be >= 0 (got %g)" scrub_budget_ms);
+  if scrub_chunk_blocks < 1 then badi "scrub_chunk_blocks" scrub_chunk_blocks;
+  if rebuild_chunk_blocks < 1 then badi "rebuild_chunk_blocks" rebuild_chunk_blocks;
   let rebuild_blocks = Option.value rebuild_blocks ~default:surface_blocks in
-  if rebuild_blocks < 1 then invalid_arg "Repair.config: rebuild_blocks must be >= 1";
-  if fail_threshold < 1 then invalid_arg "Repair.config: fail_threshold must be >= 1";
+  if rebuild_blocks < 1 then badi "rebuild_blocks" rebuild_blocks;
+  if fail_threshold < 1 then badi "fail_threshold" fail_threshold;
   {
     surface_blocks;
     block_bytes;
@@ -78,7 +85,8 @@ type media = {
 type t = { cfg : config; disks : int; media : media array }
 
 let make cfg ~disks =
-  if disks < 1 then invalid_arg "Repair.make: disks must be >= 1";
+  if disks < 1 then
+    invalid_arg (Printf.sprintf "Repair.make: disks must be >= 1 (got %d)" disks);
   {
     cfg;
     disks;

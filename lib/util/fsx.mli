@@ -29,3 +29,9 @@ val atomic_out : ?fsync:bool -> string -> (out_channel -> unit) -> unit
 
 val read_file : string -> string
 (** The whole (binary) file contents.  @raise Sys_error. *)
+
+val remove_tree : string -> unit
+(** Recursively delete a file or directory tree, best-effort: entries
+    that cannot be removed (permissions, concurrent deletion) are
+    skipped silently and a missing [path] is not an error.  Symbolic
+    links are removed, never followed. *)

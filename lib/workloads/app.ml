@@ -50,3 +50,28 @@ let nest t loops body =
   let id = t.next_nest in
   t.next_nest <- t.next_nest + 1;
   Ir.nest id (List.map (fun (i, lo, hi) -> Ir.loop i lo hi) loops) body
+
+(* --- reusable nest shapes ---
+
+   The access-pattern building blocks the workload models share
+   (stencil sweep, diagnostic reduction, array copy).  The chaos
+   scenario generator composes random programs from the same shapes, so
+   its scenarios stay inside the input class the paper targets. *)
+
+let sweep_nest k ?(cycles = 2_000_000) ~src ~dst ~rows ~cols () =
+  nest k
+    [ ("i", c 0, c (rows - 2)); ("j", c 0, c (cols - 1)) ]
+    [
+      stmt k ~cycles
+        [ rd src [ v "i"; v "j" ]; rd src [ v "i" +! 1; v "j" ]; wr dst [ v "i"; v "j" ] ];
+    ]
+
+let copy_nest k ?(cycles = 1_000_000) ~src ~dst ~rows ~cols () =
+  nest k
+    [ ("i", c 0, c (rows - 1)); ("j", c 0, c (cols - 1)) ]
+    [ stmt k ~cycles [ rd src [ v "i"; v "j" ]; wr dst [ v "i"; v "j" ] ] ]
+
+let reduction_nest k ?(cycles = 1_500_000) ~src ~acc ~slot ~rows ~cols () =
+  nest k
+    [ ("i", c 0, c (rows - 1)); ("j", c 0, c (cols - 1)) ]
+    [ stmt k ~cycles [ rd src [ v "i"; v "j" ]; wr acc [ c slot ] ] ]

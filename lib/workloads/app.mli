@@ -58,3 +58,23 @@ val counter : unit -> counter
 val stmt : counter -> ?cycles:int -> Ir.array_ref list -> Ir.stmt
 val nest : counter -> (string * Dp_affine.Affine.t * Dp_affine.Affine.t) list -> Ir.stmt list -> Ir.nest
 (** [nest k [ (i, lo, hi); ... ] body] with loops outermost first. *)
+
+(** {1 Reusable nest shapes}
+
+    The access-pattern building blocks the workload models (and the
+    chaos scenario generator) compose programs from.  All loops are
+    rectangular with outermost index ["i"], innermost ["j"]. *)
+
+val sweep_nest :
+  counter -> ?cycles:int -> src:string -> dst:string -> rows:int -> cols:int -> unit -> Ir.nest
+(** A neighbor stencil: reads rows [i] and [i+1] of [src], writes row
+    [i] of [dst].  Needs [rows >= 2]. *)
+
+val copy_nest :
+  counter -> ?cycles:int -> src:string -> dst:string -> rows:int -> cols:int -> unit -> Ir.nest
+(** A whole-array copy: reads [src[i][j]], writes [dst[i][j]]. *)
+
+val reduction_nest :
+  counter -> ?cycles:int -> src:string -> acc:string -> slot:int -> rows:int -> cols:int -> unit -> Ir.nest
+(** A diagnostic reduction: scans [src] and accumulates into the 1-D
+    array [acc] at [slot]. *)

@@ -28,18 +28,11 @@ let app () =
   let sweep step =
     (* Even steps read [a] and write [b]; odd steps flow back. *)
     let src, dst = if step mod 2 = 0 then ("a", "b") else ("b", "a") in
-    nest k
-      [ ("i", c 0, c (rows - 2)); ("j", c 0, c (cols - 1)) ]
-      [
-        stmt k ~cycles:2_600_000
-          [ rd src [ v "i"; v "j" ]; rd src [ v "i" +! 1; v "j" ]; wr dst [ v "i"; v "j" ] ];
-      ]
+    sweep_nest k ~cycles:2_600_000 ~src ~dst ~rows ~cols ()
   in
   let reduction step =
     let src = if step mod 2 = 0 then "b" else "a" in
-    nest k
-      [ ("i", c 0, c (rows - 1)); ("j", c 0, c (cols - 1)) ]
-      [ stmt k ~cycles:1_700_000 [ rd src [ v "i"; v "j" ]; wr "s" [ c step ] ] ]
+    reduction_nest k ~cycles:1_700_000 ~src ~acc:"s" ~slot:step ~rows ~cols ()
   in
   let nests =
     List.concat_map

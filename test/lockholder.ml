@@ -1,0 +1,12 @@
+(* Helper process for the cachefs lock-contention test: take the
+   advisory [lockf] lock on argv(1), report readiness with one byte on
+   stdout, then park until the test kills us.  A separate process is
+   required twice over — lockf locks are per-process, and OCaml 5
+   forbids [Unix.fork] once any suite has spawned a domain. *)
+let () =
+  let lock = Sys.argv.(1) in
+  let fd = Unix.openfile lock [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  Unix.lockf fd Unix.F_LOCK 0;
+  print_string "x";
+  flush stdout;
+  Unix.sleepf 30.0

@@ -240,6 +240,63 @@ let test_missing_dir_maintenance () =
   check Alcotest.int "usage of missing dir" 0 (u.Cachefs.entries + u.Cachefs.bytes);
   check Alcotest.int "clear of missing dir" 0 (Cachefs.clear ~dir)
 
+(* A contended advisory lock: lockf locks are per-process, so a helper
+   process ([lockholder.exe] — spawned, not forked: OCaml 5 forbids
+   fork once another suite has created a domain) holds the store lock
+   while our put times out.  The put must degrade (Error, counted,
+   store untouched), name the lock file and the holder's age, and
+   surface on the observability sink as a fault-class event. *)
+let test_lock_timeout () =
+  let dir = fresh_dir () in
+  let events = ref [] in
+  let sink = Dp_obs.Sink.stream (fun e -> events := e :: !events) in
+  match Cachefs.open_store ~sink ~lock_timeout_ms:100 ~dir () with
+  | Error msg -> Alcotest.failf "open_store %s: %s" dir msg
+  | Ok store ->
+      let lock = Filename.concat dir "lock" in
+      let r, w = Unix.pipe () in
+      let holder =
+        Filename.concat (Filename.dirname Sys.executable_name) "lockholder.exe"
+      in
+      let pid = Unix.create_process holder [| holder; lock |] Unix.stdin w Unix.stderr in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          Unix.close r;
+          Unix.close w)
+        (fun () ->
+          (* Wait until the holder actually has the lock. *)
+          ignore (Unix.read r (Bytes.create 1) 0 1);
+              match Cachefs.put_result store ~key:"contended" "payload" with
+              | Ok () -> Alcotest.fail "put succeeded under a held lock"
+              | Error (Cachefs.Lock_timeout { lock_path; holder_age_s } as err) ->
+                  check Alcotest.string "names the contended file" lock lock_path;
+                  (match holder_age_s with
+                  | None -> Alcotest.fail "holder age missing (lock file exists)"
+                  | Some age ->
+                      check Alcotest.bool "holder age is non-negative" true (age >= 0.0));
+                  check Alcotest.bool "message names the lock file" true
+                    (let msg = Cachefs.error_to_string err in
+                     let nl = String.length lock and ml = String.length msg in
+                     let rec go i =
+                       i + nl <= ml && (String.sub msg i nl = lock || go (i + 1))
+                     in
+                     go 0);
+                  check Alcotest.int "dropped write counted" 1
+                    (Cachefs.counters store).Cachefs.write_failures;
+                  check Alcotest.bool "fault-class event on the obs sink" true
+                    (List.exists
+                       (function
+                         | Dp_obs.Event.Fault { disk; kind; _ } ->
+                             disk = -1
+                             && String.length kind >= 18
+                             && String.sub kind 0 18 = "cache-lock-timeout"
+                         | _ -> false)
+                       !events);
+                  check Alcotest.bool "entry was not written" true
+                    (Cachefs.get store ~key:"contended" = None))
+
 let suites =
   [
     ( "cachefs",
@@ -255,5 +312,6 @@ let suites =
         Alcotest.test_case "default dir from environment" `Quick test_default_dir_env;
         Alcotest.test_case "usage and clear" `Quick test_usage_and_clear;
         Alcotest.test_case "maintenance on missing dir" `Quick test_missing_dir_maintenance;
+        Alcotest.test_case "lock timeout degrades" `Quick test_lock_timeout;
       ] );
   ]

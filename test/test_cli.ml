@@ -841,6 +841,185 @@ let test_dpcc_cache_warm_bin_identity () =
   let code, _, _ = run [ dpcc; "cache"; "clear"; "--cache-dir"; dir ] in
   check Alcotest.int "clear exits 0" 0 code
 
+(* --- fault/knob diagnostics echo the offending value (exit 2) --- *)
+
+let test_cli_fault_spec_echoes_value () =
+  (* An out-of-range rate: the diagnostic must carry the offending
+     substring, in both binaries. *)
+  let code, _, err = run [ dpcc; "simulate"; "app:AST"; "--faults"; "5:1.5:all" ] in
+  check Alcotest.int "dpcc exit code" 2 code;
+  check Alcotest.bool
+    (Printf.sprintf "dpcc echoes the rate (got %S)" err)
+    true
+    (contains ~needle:"1.5" err && contains ~needle:"--faults" err);
+  with_trace_file "1.0 2.0 0 0 0 1024 R 0 0\n" (fun path ->
+      let code, _, err = run [ dpsim; path; "--faults"; "5:1.5:all" ] in
+      check Alcotest.int "dpsim exit code" 2 code;
+      check Alcotest.bool
+        (Printf.sprintf "dpsim echoes the rate (got %S)" err)
+        true
+        (contains ~needle:"1.5" err));
+  let code, _, err = run [ dpcc; "simulate"; "app:AST"; "--faults"; "5:0.1:q" ] in
+  check Alcotest.int "unknown class exit code" 2 code;
+  check Alcotest.bool
+    (Printf.sprintf "echoes the class letter (got %S)" err)
+    true (contains ~needle:"q" err);
+  let code, _, err = run [ dpcc; "serve"; "--tenants"; "1"; "--spare"; "0" ] in
+  check Alcotest.int "--spare 0 exit code" 2 code;
+  check Alcotest.bool
+    (Printf.sprintf "echoes the value (got %S)" err)
+    true
+    (contains ~needle:"(got 0)" err && contains ~needle:"--spare" err)
+
+(* --- binary-trace truncation points (satellite: framing diagnostics) ---
+
+   Chop a binary trace inside the first chunk header and inside the
+   end-of-trace trailer; both dpsim and dpcc convert must exit 2 with a
+   one-line file:offset: diagnostic. *)
+
+let test_bin_truncation_points () =
+  with_temp_files 3 @@ function
+  | [ bin; hdr; trl ] ->
+      let code, _, _ =
+        run [ dpcc; "trace"; "app:cholesky"; "-o"; bin; "--format"; "bin"; "--no-cache" ]
+      in
+      check Alcotest.int "binary trace exits 0" 0 code;
+      let data = slurp bin in
+      let write path contents =
+        let oc = open_out_bin path in
+        output_string oc contents;
+        close_out oc
+      in
+      (* Offset 5 starts the first chunk header (magic + version byte);
+         7 bytes keeps only part of its length field. *)
+      write hdr (String.sub data 0 7);
+      (* Dropping the final byte leaves the 'E' trailer without its
+         record count. *)
+      write trl (String.sub data 0 (String.length data - 1));
+      List.iter
+        (fun (path, needle) ->
+          let code, _, err = run [ dpsim; path ] in
+          check Alcotest.int (Printf.sprintf "dpsim %s exits 2" needle) 2 code;
+          check Alcotest.bool "one-line diagnostic" true (one_line err);
+          check Alcotest.bool
+            (Printf.sprintf "dpsim names file:offset and %s (got %S)" needle err)
+            true
+            (contains ~needle:(path ^ ":") err
+            && contains ~needle:"truncated" err
+            && contains ~needle err);
+          let code, _, err = run [ dpcc; "convert"; path; path ^ ".out" ] in
+          check Alcotest.int (Printf.sprintf "convert %s exits 2" needle) 2 code;
+          check Alcotest.bool
+            (Printf.sprintf "convert names file:offset and %s (got %S)" needle err)
+            true
+            (contains ~needle:(path ^ ":") err
+            && contains ~needle:"truncated" err
+            && contains ~needle err))
+        [ (hdr, "chunk length"); (trl, "end-of-trace") ]
+  | _ -> assert false
+
+(* --- the chaos soak --- *)
+
+let chaos_dir_counter = ref 0
+
+let fresh_chaos_dir () =
+  incr chaos_dir_counter;
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "dpower-cli-chaos-%d-%d" (Unix.getpid ()) !chaos_dir_counter)
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> remove_tree (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let test_dpcc_chaos_green () =
+  let dir = fresh_chaos_dir () in
+  Fun.protect
+    ~finally:(fun () -> remove_tree dir)
+    (fun () ->
+      let code, out, _ =
+        run [ dpcc; "chaos"; "--seed"; "42"; "--budget"; "10"; "--out"; dir ]
+      in
+      check Alcotest.int "green soak exits 0" 0 code;
+      check Alcotest.bool
+        (Printf.sprintf "summary reports 0 findings (got %S)" out)
+        true
+        (contains ~needle:"10 scenarios" out && contains ~needle:"0 findings" out);
+      check Alcotest.bool "no reproducers written" true (not (Sys.file_exists dir));
+      let code, json, _ =
+        run [ dpcc; "chaos"; "--seed"; "42"; "--budget"; "3"; "--out"; dir; "--json" ]
+      in
+      check Alcotest.int "json soak exits 0" 0 code;
+      List.iter
+        (fun needle ->
+          check Alcotest.bool (Printf.sprintf "json has %s" needle) true
+            (contains ~needle json))
+        [ "\"seed\": 42"; "\"scenarios\": 3"; "\"findings\": []" ])
+
+let test_dpcc_chaos_bad_flags () =
+  let code, _, err = run [ dpcc; "chaos"; "--budget"; "0" ] in
+  check Alcotest.int "--budget 0 exits 2" 2 code;
+  check Alcotest.bool "names --budget" true (contains ~needle:"--budget" err);
+  let code, _, err = run [ dpcc; "chaos"; "--sabotage"; "bogus"; "--budget"; "1" ] in
+  check Alcotest.int "unknown --sabotage exits 2" 2 code;
+  check Alcotest.bool
+    (Printf.sprintf "echoes the kind (got %S)" err)
+    true
+    (contains ~needle:"bogus" err && contains ~needle:"energy" err);
+  let code, _, err = run [ dpcc; "chaos"; "--replay"; "/nonexistent-chaos-dir" ] in
+  check Alcotest.int "bad --replay exits 2" 2 code;
+  check Alcotest.bool "names the directory" true
+    (contains ~needle:"/nonexistent-chaos-dir" err)
+
+(* The acceptance loop: a deliberately broken invariant is caught,
+   shrunk to a minimal scenario, and the written reproducer replays the
+   violation deterministically. *)
+let test_dpcc_chaos_sabotage_shrink_replay () =
+  let dir = fresh_chaos_dir () in
+  Fun.protect
+    ~finally:(fun () -> remove_tree dir)
+    (fun () ->
+      let code, out, _ =
+        run
+          [
+            dpcc; "chaos"; "--seed"; "7"; "--budget"; "1"; "--shrink"; "--sabotage";
+            "energy"; "--out"; dir;
+          ]
+      in
+      check Alcotest.int "sabotaged soak exits 1" 1 code;
+      check Alcotest.bool "reports the finding" true (contains ~needle:"1 finding" out);
+      let repro =
+        match Array.to_list (Sys.readdir dir) with
+        | [ d ] -> Filename.concat dir d
+        | _ -> Alcotest.fail "expected exactly one reproducer directory"
+      in
+      let diff = slurp (Filename.concat repro "diff.txt") in
+      check Alcotest.bool
+        (Printf.sprintf "shrunk to one nest, no faults (got %S)" diff)
+        true
+        (contains ~needle:"1 nest," diff && contains ~needle:"no faults" diff);
+      check Alcotest.bool "diff names the broken invariant" true
+        (contains ~needle:"energy-conservation" diff);
+      List.iter
+        (fun f ->
+          check Alcotest.bool (f ^ " present") true
+            (Sys.file_exists (Filename.concat repro f)))
+        [ "scenario.dpl"; "scenario.spec"; "trace.txt"; "replay.cmd" ];
+      (* The emitted replay line reproduces the violation... *)
+      let code, out, _ =
+        run [ dpcc; "chaos"; "--replay"; repro; "--sabotage"; "energy" ]
+      in
+      check Alcotest.int "replay under sabotage exits 1" 1 code;
+      check Alcotest.bool "replay reports the violation" true
+        (contains ~needle:"energy-conservation" out);
+      (* ... and the same directory is clean once the hook is off. *)
+      let code, out, _ = run [ dpcc; "chaos"; "--replay"; repro ] in
+      check Alcotest.int "clean replay exits 0" 0 code;
+      check Alcotest.bool "reports clean" true (contains ~needle:"clean" out))
+
 let suites =
   [
     ( "cli",
@@ -905,5 +1084,12 @@ let suites =
         Alcotest.test_case "dpcc cache stat formats" `Slow test_dpcc_cache_stat_formats;
         Alcotest.test_case "dpcc cache warm binary identity" `Slow
           test_dpcc_cache_warm_bin_identity;
+        Alcotest.test_case "fault/knob diagnostics echo values" `Quick
+          test_cli_fault_spec_echoes_value;
+        Alcotest.test_case "binary truncation points" `Slow test_bin_truncation_points;
+        Alcotest.test_case "dpcc chaos green soak" `Slow test_dpcc_chaos_green;
+        Alcotest.test_case "dpcc chaos bad flags" `Quick test_dpcc_chaos_bad_flags;
+        Alcotest.test_case "dpcc chaos sabotage shrink replay" `Slow
+          test_dpcc_chaos_sabotage_shrink_replay;
       ] );
   ]

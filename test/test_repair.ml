@@ -85,7 +85,32 @@ let test_repair_config_validation () =
   rejects "fail threshold < 1" (fun () -> Repair.config ~fail_threshold:0 ());
   rejects "no disks" (fun () -> Repair.make Repair.default ~disks:0);
   check Alcotest.bool "default scrub is off" true
-    (Repair.default.Repair.scrub_budget_ms = 0.0)
+    (Repair.default.Repair.scrub_budget_ms = 0.0);
+  (* Every knob diagnostic names the knob and echoes the offending
+     value. *)
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let echoes name needles f =
+    match f () with
+    | _ -> Alcotest.failf "%s: accepted" name
+    | exception Invalid_argument msg ->
+        List.iter
+          (fun needle ->
+            check Alcotest.bool
+              (Printf.sprintf "%s echoes %S (got %S)" name needle msg)
+              true (contains ~needle msg))
+          needles
+  in
+  echoes "surface" [ "surface_blocks"; "(got -3)" ] (fun () ->
+      Repair.config ~surface_blocks:(-3) ());
+  echoes "scrub chunk" [ "scrub_chunk_blocks"; "(got 0)" ] (fun () ->
+      Repair.config ~scrub_chunk_blocks:0 ());
+  echoes "scrub budget" [ "scrub_budget_ms"; "(got -2.5)" ] (fun () ->
+      Repair.config ~scrub_budget_ms:(-2.5) ());
+  echoes "disks" [ "disks"; "(got 0)" ] (fun () -> Repair.make Repair.default ~disks:0)
 
 let test_repair_touch_remap_then_penalty () =
   (* One 4 KiB block grown bad: the first touch remaps it, later touches
